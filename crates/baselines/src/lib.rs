@@ -1,0 +1,27 @@
+//! Baseline allocators the paper evaluates against (§VI):
+//!
+//! * [`modified_ps`] — the **modified Proportional-Share** scheduler: all
+//!   active capacity in a cluster is treated as one big server, clients
+//!   receive capacity proportional to their slope-weighted demand, and the
+//!   resulting capacities are mapped onto physical servers with a
+//!   first-fit heuristic; an outer loop searches the best active-server
+//!   set.
+//! * [`original_ps`] — the **unmodified Proportional-Share** scheduler
+//!   the paper starts from (spreads every client over all servers,
+//!   ignores classes), kept so the modified-vs-original gap is itself
+//!   reproducible;
+//! * [`monte_carlo`] — the **best-found** search: many random cluster
+//!   assignments (placements via the proposed `Assign_Distribute`), each
+//!   polished by the reassignment local search; tracks the best and worst
+//!   outcomes used to normalize Figures 4 and 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mc;
+mod original_ps;
+mod ps;
+
+pub use mc::{monte_carlo, McConfig, McOutcome};
+pub use original_ps::{original_ps, original_ps_profit};
+pub use ps::{modified_ps, PsConfig};

@@ -1,0 +1,162 @@
+//! The *original* Proportional-Share scheduler (Liu–Squillante–Wolf),
+//! before the paper's modifications.
+//!
+//! The paper describes it to motivate the modified version: "The original
+//! PS distributes the client's requests between all active servers; this
+//! strategy increases the response time of the clients. Also the class of
+//! clients is not considered." We implement it faithfully so the claimed
+//! gap (modified PS ≫ original PS) is itself reproducible:
+//!
+//! * every server of the chosen cluster is powered on;
+//! * each client's requests are spread over **all** of them,
+//!   proportionally to server processing capacity;
+//! * each server splits its shares among its residents proportionally to
+//!   their **demand** (`λ·t̄`), with no utility weighting whatsoever.
+
+use cloudalloc_model::{
+    evaluate, Allocation, ClientId, CloudSystem, ClusterId, Placement, ServerId, MIN_SHARE,
+};
+
+/// Runs the original PS baseline.
+///
+/// Clients are assigned round-robin across clusters (capacity-oblivious —
+/// the original scheduler has no notion of placement quality); within a
+/// cluster, traffic spreads over all servers by capacity and shares split
+/// by demand. Clients whose floors do not fit are left unassigned.
+pub fn original_ps(system: &CloudSystem) -> Allocation {
+    let mut alloc = Allocation::new(system);
+
+    // Round-robin cluster assignment in client-id order.
+    let mut members: Vec<Vec<ClientId>> = vec![Vec::new(); system.num_clusters()];
+    for i in 0..system.num_clients() {
+        members[i % system.num_clusters()].push(ClientId(i));
+    }
+
+    for (k, clients) in members.iter().enumerate() {
+        let cluster = ClusterId(k);
+        if clients.is_empty() {
+            continue;
+        }
+        let servers: Vec<ServerId> = system.servers_in(cluster).map(|s| s.id).collect();
+        let total_cap: f64 =
+            servers.iter().map(|&j| system.class_of(j).cap_processing).sum();
+        if total_cap <= 0.0 {
+            continue;
+        }
+        // Dispersion by capacity, identical for every client.
+        let alphas: Vec<f64> = servers
+            .iter()
+            .map(|&j| system.class_of(j).cap_processing / total_cap)
+            .collect();
+
+        // Per-server proportional split of the share budget by demand.
+        for (&server, &alpha) in servers.iter().zip(&alphas) {
+            let class = system.class_of(server);
+            let bg = system.background(server);
+            let total_demand_p: f64 = clients
+                .iter()
+                .map(|&i| system.client(i).min_processing_capacity())
+                .sum();
+            let total_demand_c: f64 = clients
+                .iter()
+                .map(|&i| system.client(i).min_communication_capacity())
+                .sum();
+            for &client in clients {
+                let c = system.client(client);
+                let phi_p = ((1.0 - bg.phi_p) * c.min_processing_capacity()
+                    / total_demand_p.max(1e-12))
+                .max(MIN_SHARE)
+                .min(1.0);
+                let phi_c = ((1.0 - bg.phi_c) * c.min_communication_capacity()
+                    / total_demand_c.max(1e-12))
+                .max(MIN_SHARE)
+                .min(1.0);
+                // Disk: the original scheduler ignores it; skip servers
+                // that physically cannot hold the client so the result
+                // stays model-feasible.
+                if alloc.load(server).storage + c.storage > class.cap_storage {
+                    continue;
+                }
+                if alloc.cluster_of(client).is_none() {
+                    alloc.assign_cluster(client, cluster);
+                }
+                alloc.place(system, client, server, Placement { alpha, phi_p, phi_c });
+            }
+        }
+        // Clients whose dispersion did not reach 1 (skipped servers) are
+        // cleared: partial traffic earns nothing under the model.
+        for &client in clients {
+            if alloc.cluster_of(client) == Some(cluster)
+                && (alloc.total_alpha(client) - 1.0).abs() > 1e-6
+            {
+                alloc.clear_client(system, client);
+            }
+        }
+    }
+    alloc
+}
+
+/// Convenience: the original-PS profit on `system`.
+pub fn original_ps_profit(system: &CloudSystem) -> f64 {
+    evaluate(system, &original_ps(system)).profit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ps::{modified_ps, PsConfig};
+    use cloudalloc_model::{check_feasibility, Violation};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn original_ps_is_model_feasible() {
+        let system = generate(&ScenarioConfig::paper(20), 141);
+        let alloc = original_ps(&system);
+        let violations = check_feasibility(&system, &alloc);
+        assert!(
+            violations.iter().all(|v| matches!(
+                v,
+                Violation::Unassigned { .. } | Violation::UnstableQueue { .. }
+            )),
+            "unexpected violations: {violations:?}"
+        );
+        alloc.assert_consistent(&system);
+    }
+
+    #[test]
+    fn spreading_over_every_server_powers_everything() {
+        let system = generate(&ScenarioConfig::small(6), 142);
+        let alloc = original_ps(&system);
+        // Every server that can hold the clients' disks serves traffic —
+        // the original PS never consolidates.
+        assert!(
+            alloc.num_active_servers() > system.num_servers() / 2,
+            "only {}/{} active",
+            alloc.num_active_servers(),
+            system.num_servers()
+        );
+    }
+
+    #[test]
+    fn modified_ps_beats_original_ps() {
+        // The paper: "The quality of the solution generated from this
+        // modified algorithm is much better than the original PS."
+        let mut wins = 0;
+        for seed in 0..3 {
+            let system = generate(&ScenarioConfig::paper(25), 700 + seed);
+            let original = original_ps_profit(&system);
+            let modified =
+                evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
+            if modified > original {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 2, "modified PS lost to original PS on {} of 3 seeds", 3 - wins);
+    }
+
+    #[test]
+    fn deterministic() {
+        let system = generate(&ScenarioConfig::small(8), 143);
+        assert_eq!(original_ps(&system), original_ps(&system));
+    }
+}

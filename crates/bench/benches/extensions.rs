@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the extension layers: one epoch step
+//! (warm-started local search) and the multi-tier compilation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudalloc_core::SolverConfig;
+use cloudalloc_epoch::{EpochConfig, EpochManager, EwmaPredictor};
+use cloudalloc_model::UtilityFunction;
+use cloudalloc_multitier::{compile, Application, Tier};
+use cloudalloc_workload::{generate, ScenarioConfig};
+
+fn bench_epoch_step(c: &mut Criterion) {
+    let system = generate(&ScenarioConfig::paper(20), 29);
+    let base: Vec<f64> = system.clients().iter().map(|cl| cl.rate_predicted).collect();
+    let drifted: Vec<f64> = base.iter().map(|r| r * 1.03).collect();
+
+    let mut group = c.benchmark_group("epoch");
+    group.sample_size(10);
+    group.bench_function("warm_step_20_clients", |b| {
+        b.iter_batched(
+            || {
+                EpochManager::new(
+                    system.clone(),
+                    EwmaPredictor::new(0.4, &base),
+                    EpochConfig { solver: SolverConfig::fast(), resolve_threshold: 0.5 },
+                    1,
+                )
+            },
+            |mut manager| manager.step(black_box(&drifted)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_multitier_compile(c: &mut Criterion) {
+    let infrastructure = generate(&ScenarioConfig::small(1), 31);
+    let apps: Vec<Application> = (0..10)
+        .map(|i| {
+            Application::new(
+                format!("app{i}"),
+                vec![
+                    Tier::new(1.0, 0.3, 0.3, 0.5),
+                    Tier::new(1.5, 0.5, 0.3, 0.8),
+                    Tier::new(0.5, 0.8, 0.2, 1.2),
+                ],
+                0.5 + 0.1 * i as f64,
+                0.5 + 0.1 * i as f64,
+                UtilityFunction::linear(3.0, 0.5),
+            )
+        })
+        .collect();
+    c.bench_function("multitier_compile_10_apps", |b| {
+        b.iter(|| compile(black_box(&apps), black_box(&infrastructure)))
+    });
+}
+
+criterion_group!(benches, bench_epoch_step, bench_multitier_compile);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks of the discrete-event simulator (experiment
+//! E6): event throughput of the isolated-queues and fluid-GPS engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudalloc_core::{solve, SolverConfig};
+use cloudalloc_simulator::{simulate, GpsMode, SimConfig};
+use cloudalloc_workload::{generate, ScenarioConfig};
+
+fn bench_engines(c: &mut Criterion) {
+    let system = generate(&ScenarioConfig::paper(20), 19);
+    let result = solve(&system, &SolverConfig::fast(), 1);
+    let base = SimConfig { horizon: 300.0, warmup: 30.0, seed: 5, ..Default::default() };
+
+    let mut group = c.benchmark_group("des");
+    group.sample_size(10);
+    group.bench_function("isolated_20_clients_300tu", |b| {
+        b.iter(|| simulate(black_box(&system), black_box(&result.allocation), &base))
+    });
+    let shared = SimConfig { mode: GpsMode::Shared, ..base };
+    group.bench_function("shared_gps_20_clients_300tu", |b| {
+        b.iter(|| simulate(black_box(&system), black_box(&result.allocation), &shared))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

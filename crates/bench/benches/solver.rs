@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the solver's hot paths (experiment E6):
+//! the closed-form KKT share solver, the dispersion water-filling, one
+//! `Assign_Distribute` call, a full greedy pass and a full solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cloudalloc_core::{
+    best_cluster, dispersion::{optimal_dispersion, DispersionBranch},
+    greedy_pass, kkt::{optimal_shares, ShareDemand}, solve, SolverConfig, SolverCtx,
+};
+use cloudalloc_model::{Allocation, ClientId};
+use cloudalloc_workload::{generate, ScenarioConfig};
+
+fn bench_kkt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kkt_shares");
+    group.sample_size(50);
+    for n in [2usize, 8, 32] {
+        let demands: Vec<ShareDemand> = (0..n)
+            .map(|i| ShareDemand {
+                arrival: 0.1 + 0.4 * (i as f64 / n as f64),
+                rate_per_share: 3.0 + (i % 5) as f64,
+                weight: 0.5 + (i % 3) as f64,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &demands, |b, demands| {
+            b.iter(|| optimal_shares(black_box(0.95), black_box(demands), 1e-6, 1e-3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispersion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispersion_waterfill");
+    group.sample_size(50);
+    for n in [2usize, 8, 32] {
+        let branches: Vec<DispersionBranch> = (0..n)
+            .map(|i| DispersionBranch {
+                service_p: 2.0 + (i % 7) as f64,
+                service_c: 2.5 + (i % 5) as f64,
+                cost_slope: 0.1 * (i % 3) as f64,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &branches, |b, branches| {
+            b.iter(|| optimal_dispersion(black_box(1.2), black_box(1.0), black_box(branches), 1e-3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_assign_distribute(c: &mut Criterion) {
+    let system = generate(&ScenarioConfig::paper(40), 7);
+    let config = SolverConfig::default();
+    let ctx = SolverCtx::new(&system, &config);
+    // Pre-load the system with 30 clients; benchmark inserting the 31st.
+    let mut alloc = Allocation::new(&system);
+    for i in 0..30 {
+        if let Some(cand) = best_cluster(&ctx, &alloc, ClientId(i)) {
+            cloudalloc_core::commit(&ctx, &mut alloc, ClientId(i), &cand);
+        }
+    }
+    c.bench_function("assign_distribute_one_client", |b| {
+        b.iter(|| best_cluster(&ctx, black_box(&alloc), ClientId(31)))
+    });
+}
+
+fn bench_greedy_and_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let system = generate(&ScenarioConfig::paper(40), 11);
+    let config = SolverConfig::default();
+    let ctx = SolverCtx::new(&system, &config);
+    let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
+    group.bench_function("greedy_pass_40_clients", |b| {
+        b.iter(|| greedy_pass(&ctx, black_box(&order)))
+    });
+    let fast = SolverConfig::fast();
+    group.bench_function("solve_fast_40_clients", |b| {
+        b.iter(|| solve(black_box(&system), &fast, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kkt,
+    bench_dispersion,
+    bench_assign_distribute,
+    bench_greedy_and_solve
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Minimal command-line parsing shared by the figure binaries (no extra
+//! dependency: flags are few and fixed).
+
+/// Common harness options.
+///
+/// Flags (all optional):
+///
+/// * `--scenarios N` — scenarios per sweep point (default 5; paper ≥ 20);
+/// * `--mc N` — Monte-Carlo iterations per scenario (default 120; paper
+///   ≥ 10,000);
+/// * `--paper-scale` — shorthand for `--scenarios 20 --mc 10000`;
+/// * `--quick` — tiny sweep (three points, 2 scenarios, 40 MC draws) for
+///   smoke runs;
+/// * `--seed N` — base seed (default 1);
+/// * `--json PATH` — also write the aggregated rows as JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Scenarios per sweep point.
+    pub scenarios: usize,
+    /// Monte-Carlo iterations per scenario.
+    pub mc_iterations: usize,
+    /// Client counts on the x-axis.
+    pub client_counts: Vec<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            scenarios: 5,
+            mc_iterations: 120,
+            client_counts: cloudalloc_workload::paper_client_counts(),
+            seed: 1,
+            json: None,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`-style iterator contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut grab = |name: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scenarios" => out.scenarios = grab("--scenarios").parse().expect("usize"),
+                "--mc" => out.mc_iterations = grab("--mc").parse().expect("usize"),
+                "--seed" => out.seed = grab("--seed").parse().expect("u64"),
+                "--json" => out.json = Some(grab("--json")),
+                "--paper-scale" => {
+                    out.scenarios = 20;
+                    out.mc_iterations = 10_000;
+                }
+                "--quick" => {
+                    out.scenarios = 2;
+                    out.mc_iterations = 40;
+                    out.client_counts = vec![20, 60, 100];
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --scenarios N, --mc N, --seed N, \
+                     --json PATH, --paper-scale, --quick"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_modest() {
+        let a = parse(&[]);
+        assert_eq!(a.scenarios, 5);
+        assert_eq!(a.mc_iterations, 120);
+        assert_eq!(a.client_counts, vec![20, 40, 60, 80, 100, 150, 200]);
+    }
+
+    #[test]
+    fn paper_scale_matches_section_vi() {
+        let a = parse(&["--paper-scale"]);
+        assert_eq!(a.scenarios, 20);
+        assert_eq!(a.mc_iterations, 10_000);
+    }
+
+    #[test]
+    fn quick_shrinks_the_sweep() {
+        let a = parse(&["--quick"]);
+        assert_eq!(a.client_counts, vec![20, 60, 100]);
+        assert_eq!(a.scenarios, 2);
+    }
+
+    #[test]
+    fn explicit_values_override() {
+        let a = parse(&["--quick", "--scenarios", "9", "--seed", "7", "--json", "out.json"]);
+        assert_eq!(a.scenarios, 9);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flags_panic() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Experiment **E4**: ablations over the heuristic's own design knobs —
+//! the α-grid granularity, the number of initial solutions, and each
+//! local-search operator — at a fixed scenario size.
+//!
+//! ```text
+//! cargo run -p cloudalloc-bench --release --bin ablation [--seed N] [--scenarios N]
+//! ```
+
+use std::time::Instant;
+
+use cloudalloc_core::{solve, SolverConfig};
+use cloudalloc_metrics::{OnlineStats, Table};
+use cloudalloc_workload::{generate, scenario_seeds, ScenarioConfig};
+
+const NUM_CLIENTS: usize = 100;
+
+fn run_config(label: &str, config: &SolverConfig, seeds: &[u64], table: &mut Table) {
+    let mut profit = OnlineStats::new();
+    let mut active = OnlineStats::new();
+    let start = Instant::now();
+    for &seed in seeds {
+        let system = generate(&ScenarioConfig::paper(NUM_CLIENTS), seed);
+        let result = solve(&system, config, seed);
+        profit.push(result.report.profit);
+        active.push(result.report.active_servers as f64);
+    }
+    let elapsed = start.elapsed().as_secs_f64() / seeds.len() as f64;
+    table.row(vec![
+        label.to_string(),
+        format!("{:.3}", profit.mean()),
+        format!("{:.3}", profit.ci95()),
+        format!("{:.1}", active.mean()),
+        format!("{elapsed:.2}s"),
+    ]);
+}
+
+fn main() {
+    let args = cloudalloc_bench::HarnessArgs::from_env();
+    let seeds = scenario_seeds(args.seed, NUM_CLIENTS, args.scenarios.min(5));
+    let headers = vec![
+        "config".into(),
+        "profit".into(),
+        "ci95".into(),
+        "active_servers".into(),
+        "time/scenario".into(),
+    ];
+
+    println!("E4a — α-grid granularity (N={NUM_CLIENTS}, {} scenarios)", seeds.len());
+    let mut t = Table::new(headers.clone());
+    for g in [4usize, 8, 10, 20, 40] {
+        let config = SolverConfig { alpha_granularity: g, ..Default::default() };
+        run_config(&format!("G={g}"), &config, &seeds, &mut t);
+    }
+    println!("{t}");
+
+    println!("E4b — number of initial solutions");
+    let mut t = Table::new(headers.clone());
+    for n in [1usize, 3, 5, 10] {
+        let config = SolverConfig { num_init_solns: n, ..Default::default() };
+        run_config(&format!("init={n}"), &config, &seeds, &mut t);
+    }
+    println!("{t}");
+
+    println!("E4c — local-search operators (each disabled in turn)");
+    let mut t = Table::new(headers);
+    run_config("all operators", &SolverConfig::default(), &seeds, &mut t);
+    run_config(
+        "no share re-balance",
+        &SolverConfig { adjust_shares: false, ..Default::default() },
+        &seeds,
+        &mut t,
+    );
+    run_config(
+        "no dispersion re-balance",
+        &SolverConfig { adjust_dispersion: false, ..Default::default() },
+        &seeds,
+        &mut t,
+    );
+    run_config(
+        "no turn-on",
+        &SolverConfig { turn_on: false, ..Default::default() },
+        &seeds,
+        &mut t,
+    );
+    run_config(
+        "no turn-off",
+        &SolverConfig { turn_off: false, ..Default::default() },
+        &seeds,
+        &mut t,
+    );
+    run_config(
+        "no reassignment",
+        &SolverConfig { reassign: false, ..Default::default() },
+        &seeds,
+        &mut t,
+    );
+    run_config(
+        "with swap extension",
+        &SolverConfig { swap: true, ..Default::default() },
+        &seeds,
+        &mut t,
+    );
+    run_config(
+        "greedy only (no local search)",
+        &SolverConfig {
+            adjust_shares: false,
+            adjust_dispersion: false,
+            turn_on: false,
+            turn_off: false,
+            reassign: false,
+            max_rounds: 1,
+            ..Default::default()
+        },
+        &seeds,
+        &mut t,
+    );
+    println!("{t}");
+
+    println!("E4d — shadow price ψ (capacity reservation during greedy insertion)");
+    let mut t = Table::new(vec![
+        "config".into(),
+        "profit".into(),
+        "ci95".into(),
+        "active_servers".into(),
+        "time/scenario".into(),
+    ]);
+    run_config("auto (mean λ̃·slope)", &SolverConfig::default(), &seeds, &mut t);
+    for psi in [0.1f64, 0.5, 1.0, 2.0, 5.0] {
+        let config = SolverConfig { shadow_price: Some(psi), ..Default::default() };
+        run_config(&format!("ψ={psi}"), &config, &seeds, &mut t);
+    }
+    println!("{t}");
+}

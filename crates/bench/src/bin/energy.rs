@@ -1,0 +1,64 @@
+//! Experiment **E8**: the energy/consolidation story of the paper's
+//! introduction — "energy efficiency can be maximized through system-wide
+//! resource allocation and server consolidation ... in spite of non
+//! energy-proportional characteristics of current server machines".
+//!
+//! A fixed client population's demand is scaled from idle to saturation;
+//! at each point we compare the proposed allocator against the modified
+//! Proportional-Share baseline on active servers, energy cost (the
+//! `P0 + P1·ρ` model with a large non-proportional `P0`), and profit.
+//!
+//! ```text
+//! cargo run -p cloudalloc-bench --release --bin energy [--seed N]
+//! ```
+
+use cloudalloc_baselines::{modified_ps, PsConfig};
+use cloudalloc_core::{solve, SolverConfig};
+use cloudalloc_metrics::Table;
+use cloudalloc_model::evaluate;
+use cloudalloc_workload::{generate, Range, ScenarioConfig};
+
+const NUM_CLIENTS: usize = 40;
+
+fn main() {
+    let args = cloudalloc_bench::HarnessArgs::from_env();
+    let mut table = Table::new(vec![
+        "demand".into(),
+        "active (ours)".into(),
+        "active (PS)".into(),
+        "cost (ours)".into(),
+        "cost (PS)".into(),
+        "profit (ours)".into(),
+        "profit (PS)".into(),
+    ]);
+    println!(
+        "E8 — consolidation under scaled demand ({NUM_CLIENTS} clients; \
+         non-proportional servers: P0 dominates at low utilization)"
+    );
+    for step in 0..=5 {
+        let multiplier = 0.2 + 0.35 * step as f64;
+        let scenario = ScenarioConfig {
+            arrival_rate: Range::new(0.5 * multiplier, 4.5 * multiplier),
+            ..ScenarioConfig::paper(NUM_CLIENTS)
+        };
+        let system = generate(&scenario, args.seed);
+        let ours = solve(&system, &SolverConfig::default(), args.seed);
+        let ps = evaluate(&system, &modified_ps(&system, &PsConfig::default()));
+        table.row(vec![
+            format!("{multiplier:.2}x"),
+            ours.report.active_servers.to_string(),
+            ps.active_servers.to_string(),
+            format!("{:.1}", ours.report.cost),
+            format!("{:.1}", ps.cost),
+            format!("{:.1}", ours.report.profit),
+            format!("{:.1}", ps.profit),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: at low demand the profit-maximizing allocator powers only\n\
+         a fraction of the fleet (energy cost scales with demand), while PS's\n\
+         active-set search is coarser; the gap in cost per unit of profit widens\n\
+         as the non-proportional P0 term dominates"
+    );
+}

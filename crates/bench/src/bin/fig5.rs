@@ -1,0 +1,54 @@
+//! Regenerates **Figure 5** of the paper: robustness of the solution —
+//! worst random initial solution before and after local-search
+//! optimization, worst-case proposed solution, and the best found result,
+//! all normalized per scenario.
+//!
+//! ```text
+//! cargo run -p cloudalloc-bench --release --bin fig5 [--scenarios N]
+//!     [--mc N] [--paper-scale] [--quick] [--seed N] [--json PATH]
+//! ```
+
+use cloudalloc_bench::{figure5, HarnessArgs};
+use cloudalloc_metrics::Table;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    eprintln!(
+        "fig5: {} points x {} scenarios, {} MC iterations each",
+        args.client_counts.len(),
+        args.scenarios,
+        args.mc_iterations
+    );
+    let rows = figure5(&args);
+
+    let mut table = Table::new(vec![
+        "clients".into(),
+        "worst_initial_raw".into(),
+        "worst_initial_optimized".into(),
+        "worst_proposed".into(),
+        "best_found".into(),
+        "scenarios".into(),
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.clients.to_string(),
+            format!("{:.4}", row.worst_initial_raw),
+            format!("{:.4}", row.worst_initial_optimized),
+            format!("{:.4}", row.worst_proposed),
+            format!("{:.4}", row.best_found),
+            row.scenarios.to_string(),
+        ]);
+    }
+    println!("Figure 5 — random initial solutions vs final results (normalized, per-point minima)");
+    println!("{table}");
+    println!(
+        "expected shape: worst_initial_raw « worst_initial_optimized ≈ worst_proposed ≤ 1.0\n\
+         (the paper: quality improves dramatically after optimizing the initial solution)"
+    );
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serializable"))
+            .expect("writable json path");
+        eprintln!("wrote {path}");
+    }
+}

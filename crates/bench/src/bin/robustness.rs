@@ -1,0 +1,156 @@
+//! Experiment **E7**: robustness of the analytic design basis.
+//!
+//! The optimizer plans with M/M/1 formulas. This experiment measures what
+//! happens when reality violates the assumptions:
+//!
+//! * **E7a — service-time shape**: replay a solved allocation with
+//!   deterministic (CV²=0), exponential (CV²=1) and increasingly bursty
+//!   hyperexponential service; report the measured-vs-analytic response
+//!   error and the realized revenue.
+//! * **E7b — server failures**: inject exponential up/down failures at
+//!   decreasing availability; report response inflation and revenue loss.
+//!
+//! ```text
+//! cargo run -p cloudalloc-bench --release --bin robustness [--seed N]
+//! ```
+
+use cloudalloc_core::{solve, SolverConfig};
+use cloudalloc_metrics::{OnlineStats, Table};
+use cloudalloc_simulator::{simulate, FailureConfig, RoutingPolicy, ServiceDistribution, SimConfig};
+use cloudalloc_workload::{generate, ScenarioConfig};
+
+fn main() {
+    let args = cloudalloc_bench::HarnessArgs::from_env();
+    let system = generate(&ScenarioConfig::paper(40), args.seed);
+    let result = solve(&system, &SolverConfig::default(), args.seed);
+    let analytic_revenue = result.report.revenue;
+    let served: Vec<usize> = (0..system.num_clients())
+        .filter(|&i| result.report.clients[i].response_time.is_finite())
+        .collect();
+    eprintln!(
+        "solved 40 clients: profit {:.2}, revenue {analytic_revenue:.2}, {} served",
+        result.report.profit,
+        served.len()
+    );
+    let base = SimConfig { horizon: 10_000.0, warmup: 1_000.0, seed: args.seed ^ 0xE7, ..Default::default() };
+
+    let measure = |config: &SimConfig| -> (f64, f64) {
+        let report = simulate(&system, &result.allocation, config);
+        let mut err = OnlineStats::new();
+        for &i in &served {
+            let analytic = result.report.clients[i].response_time;
+            let measured = report.clients[i].mean_response();
+            if measured.is_finite() {
+                err.push((measured - analytic) / analytic);
+            }
+        }
+        (err.mean(), report.measured_revenue(&system))
+    };
+
+    println!("E7a — service-time shape (same allocation, same means, different CV²)");
+    let mut table = Table::new(vec![
+        "service".into(),
+        "cv2".into(),
+        "mean response drift".into(),
+        "measured revenue".into(),
+        "vs analytic".into(),
+    ]);
+    let shapes = [
+        ("deterministic", ServiceDistribution::Deterministic),
+        ("exponential (model)", ServiceDistribution::Exponential),
+        ("hyperexp", ServiceDistribution::HyperExponential { cv2: 2.0 }),
+        ("hyperexp", ServiceDistribution::HyperExponential { cv2: 4.0 }),
+        ("hyperexp", ServiceDistribution::HyperExponential { cv2: 8.0 }),
+    ];
+    for (name, service) in shapes {
+        let (drift, revenue) = measure(&SimConfig { service, ..base });
+        table.row(vec![
+            name.into(),
+            format!("{:.0}", service.cv2()),
+            format!("{:+.1}%", drift * 100.0),
+            format!("{revenue:.2}"),
+            format!("{:+.1}%", (revenue / analytic_revenue - 1.0) * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: deterministic service beats the model (negative drift),\n\
+         burstier service inflates responses roughly linearly in (1+CV²)/2\n"
+    );
+
+    println!("E7b — server failures (exponential up/down, MTTR = 20 time units)");
+    let mut table = Table::new(vec![
+        "availability".into(),
+        "mtbf".into(),
+        "mean response drift".into(),
+        "measured revenue".into(),
+        "vs analytic".into(),
+    ]);
+    for availability in [1.0, 0.999, 0.99, 0.95, 0.90] {
+        let config = if availability >= 1.0 {
+            base
+        } else {
+            let mttr = 20.0;
+            let mtbf = mttr * availability / (1.0 - availability);
+            SimConfig { failures: Some(FailureConfig::new(mtbf, mttr)), ..base }
+        };
+        let (drift, revenue) = measure(&config);
+        table.row(vec![
+            format!("{:.1}%", availability * 100.0),
+            config
+                .failures
+                .map(|f| format!("{:.0}", f.mtbf))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:+.1}%", drift * 100.0),
+            format!("{revenue:.2}"),
+            format!("{:+.1}%", (revenue / analytic_revenue - 1.0) * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: revenue degrades super-linearly as availability drops —\n\
+         outages park whole queues, and the utility functions punish the tail\n"
+    );
+
+    println!("E7c — dispatcher reaction to intra-epoch drift (static α vs least-work)");
+    let mut table = Table::new(vec![
+        "actual load".into(),
+        "static routing".into(),
+        "least-work routing".into(),
+        "revenue static".into(),
+        "revenue least-work".into(),
+    ]);
+    for drift in [1.0f64, 1.1, 1.2, 1.3] {
+        // The epoch's allocation stays fixed while reality drifts: the
+        // simulator replays the same placements at scaled arrival rates.
+        let rates: Vec<f64> =
+            system.clients().iter().map(|c| c.rate_predicted * drift).collect();
+        let drifted = system.with_predicted_rates(&rates);
+        let mean_of = |config: &SimConfig| -> (f64, f64) {
+            let report = simulate(&drifted, &result.allocation, config);
+            let mut resp = OnlineStats::new();
+            for &i in &served {
+                let m = report.clients[i].mean_response();
+                if m.is_finite() {
+                    resp.push(m);
+                }
+            }
+            (resp.mean(), report.measured_revenue(&drifted))
+        };
+        let (static_r, static_rev) = mean_of(&base);
+        let (lw_r, lw_rev) =
+            mean_of(&SimConfig { routing: RoutingPolicy::LeastWork, ..base });
+        table.row(vec![
+            format!("{:.0}%", drift * 100.0),
+            format!("{static_r:.3}"),
+            format!("{lw_r:.3}"),
+            format!("{static_rev:.2}"),
+            format!("{lw_rev:.2}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: the work-aware dispatcher (the paper's \"proper reaction of\n\
+         request dispatchers\") absorbs small drifts that static splitting cannot"
+    );
+}

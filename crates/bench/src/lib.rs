@@ -1,0 +1,15 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §5); the functions here hold the common
+//! logic — scenario sweeps, per-scenario normalization, aggregation —
+//! so the binaries stay thin and the logic stays testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod figures;
+
+pub use args::HarnessArgs;
+pub use figures::{figure4, figure5, run_scenario, Figure4Row, Figure5Row, ScenarioProfit};

@@ -1,0 +1,472 @@
+//! The subcommand implementations.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+
+use cloudalloc_baselines::{modified_ps, monte_carlo, McConfig, PsConfig};
+use cloudalloc_core::{solve, SolverConfig};
+use cloudalloc_metrics::Table;
+use cloudalloc_model::{
+    check_feasibility, evaluate, Allocation, CloudSystem, Violation,
+};
+use cloudalloc_simulator::{
+    simulate, validate, FailureConfig, GpsMode, RoutingPolicy, ServiceDistribution, SimConfig,
+};
+use cloudalloc_workload::{generate, ScenarioConfig};
+
+use crate::args::{ArgError, Parsed};
+
+/// Any failure a command can produce.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Args(ArgError),
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// Malformed JSON artifact.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Args(e) => write!(f, "{e}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+impl Error for CliError {}
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        Self::Args(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+fn load_system(parsed: &Parsed) -> Result<CloudSystem, CliError> {
+    let path = parsed.require("--system")?;
+    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+}
+
+fn load_allocation(parsed: &Parsed) -> Result<Allocation, CliError> {
+    let path = parsed.require("--allocation")?;
+    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+}
+
+fn solver_config(parsed: &Parsed) -> Result<SolverConfig, CliError> {
+    Ok(SolverConfig {
+        alpha_granularity: parsed.num("--granularity", 10usize)?,
+        num_init_solns: parsed.num("--init", 3usize)?,
+        require_service: parsed.switch("--require-service"),
+        ..Default::default()
+    })
+}
+
+fn cmd_generate(parsed: &Parsed) -> Result<String, CliError> {
+    let clients = parsed.num("--clients", 40usize)?;
+    let seed = parsed.num("--seed", 1u64)?;
+    let config = match parsed.get("--preset").unwrap_or("paper") {
+        "paper" => ScenarioConfig::paper(clients),
+        "small" => ScenarioConfig::small(clients),
+        "overloaded" => ScenarioConfig::overloaded(clients),
+        other => return Err(ArgError(format!("unknown preset {other:?}")).into()),
+    };
+    let system = generate(&config, seed);
+    let mut out = format!(
+        "generated {} clients over {} servers in {} clusters (seed {seed})\n",
+        system.num_clients(),
+        system.num_servers(),
+        system.num_clusters()
+    );
+    if let Some(path) = parsed.get("--out") {
+        fs::write(path, serde_json::to_string_pretty(&system)?)?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
+fn render_report(system: &CloudSystem, alloc: &Allocation) -> String {
+    let report = evaluate(system, alloc);
+    let violations = check_feasibility(system, alloc);
+    let declined = violations
+        .iter()
+        .filter(|v| matches!(v, Violation::Unassigned { .. }))
+        .count();
+    let hard = violations.len() - declined;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profit {:.4} = revenue {:.4} − cost {:.4}\n",
+        report.profit, report.revenue, report.cost
+    ));
+    out.push_str(&format!(
+        "{} active servers, {} clients served, {} declined, {} hard violations\n",
+        report.active_servers,
+        report.clients.iter().filter(|c| c.response_time.is_finite()).count(),
+        declined,
+        hard
+    ));
+    out
+}
+
+fn cmd_solve(parsed: &Parsed) -> Result<String, CliError> {
+    let system = load_system(parsed)?;
+    let seed = parsed.num("--seed", 0u64)?;
+    let config = solver_config(parsed)?;
+    let result = solve(&system, &config, seed);
+    let mut out = format!(
+        "initial {:.4} → final {:.4} in {} rounds (converged: {})\n",
+        result.initial_profit,
+        result.report.profit,
+        result.stats.rounds,
+        result.stats.converged
+    );
+    out.push_str(&render_report(&system, &result.allocation));
+    if let Some(path) = parsed.get("--out") {
+        fs::write(path, serde_json::to_string_pretty(&result.allocation)?)?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_evaluate(parsed: &Parsed) -> Result<String, CliError> {
+    let system = load_system(parsed)?;
+    let alloc = load_allocation(parsed)?;
+    Ok(render_report(&system, &alloc))
+}
+
+fn cmd_explain(parsed: &Parsed) -> Result<String, CliError> {
+    let system = load_system(parsed)?;
+    let alloc = load_allocation(parsed)?;
+    Ok(cloudalloc_core::explain(&system, &alloc))
+}
+
+fn cmd_simulate(parsed: &Parsed) -> Result<String, CliError> {
+    let system = load_system(parsed)?;
+    let alloc = load_allocation(parsed)?;
+    let horizon = parsed.num("--horizon", 5_000.0f64)?;
+    let mut config = SimConfig {
+        horizon,
+        warmup: horizon * 0.1,
+        seed: parsed.num("--seed", 0u64)?,
+        mode: if parsed.switch("--shared") { GpsMode::Shared } else { GpsMode::Isolated },
+        routing: if parsed.switch("--least-work") {
+            RoutingPolicy::LeastWork
+        } else {
+            RoutingPolicy::Static
+        },
+        ..Default::default()
+    };
+    if let Some(cv2) = parsed.get("--cv2") {
+        let cv2: f64 =
+            cv2.parse().map_err(|_| ArgError(format!("--cv2 got {cv2:?}")))?;
+        config.service = ServiceDistribution::HyperExponential { cv2 };
+    }
+    if let Some(avail) = parsed.get("--availability") {
+        let a: f64 =
+            avail.parse().map_err(|_| ArgError(format!("--availability got {avail:?}")))?;
+        if !(0.0 < a && a < 1.0) {
+            return Err(ArgError("--availability must lie in (0,1)".into()).into());
+        }
+        let mttr = 20.0;
+        config.failures = Some(FailureConfig::new(mttr * a / (1.0 - a), mttr));
+    }
+    config.validate();
+
+    let rows = validate(&system, &alloc, &config);
+    let report = simulate(&system, &alloc, &config);
+    let mut table = Table::new(vec![
+        "client".into(),
+        "analytic".into(),
+        "measured".into(),
+        "rel_err".into(),
+        "completed".into(),
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.client.to_string(),
+            format!("{:.4}", row.analytic),
+            format!("{:.4}", row.measured),
+            format!("{:+.1}%", (row.measured / row.analytic - 1.0) * 100.0),
+            row.samples.to_string(),
+        ]);
+    }
+    let mut out = table.to_string();
+    out.push_str(&format!(
+        "measured revenue {:.4} over {} events\n",
+        report.measured_revenue(&system),
+        report.events
+    ));
+    Ok(out)
+}
+
+fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
+    use cloudalloc_epoch::{
+        DriftConfig, EpochConfig, EpochManager, EwmaPredictor, OperationsLog, WorkloadDrift,
+    };
+    let system = load_system(parsed)?;
+    let seed = parsed.num("--seed", 0u64)?;
+    let epochs = parsed.num("--epochs", 8usize)?;
+    if epochs == 0 {
+        return Err(ArgError("--epochs must be at least 1".into()).into());
+    }
+    let volatility = parsed.num("--volatility", 0.08f64)?;
+    let base: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+    let num_clients = system.num_clients();
+    let predictor = EwmaPredictor::new(0.4, &base);
+    let config = EpochConfig { solver: solver_config(parsed)?, resolve_threshold: 0.15 };
+    let mut manager = EpochManager::new(system, predictor, config, seed);
+    let mut drift = WorkloadDrift::new(
+        DriftConfig { volatility, ..Default::default() },
+        &base,
+        seed ^ 0xD21F,
+    );
+    let mut log = OperationsLog::new();
+    let mut table = Table::new(vec![
+        "epoch".into(),
+        "pred_err".into(),
+        "planned".into(),
+        "realized".into(),
+        "unstable".into(),
+        "replan".into(),
+    ]);
+    for _ in 0..epochs {
+        let report = manager.step(&drift.step());
+        table.row(vec![
+            report.epoch.to_string(),
+            format!("{:.1}%", report.prediction_error * 100.0),
+            format!("{:.2}", report.predicted_profit),
+            format!("{:.2}", report.actual_profit),
+            report.unstable_clients.to_string(),
+            if report.resolved_fully { "full".into() } else { "warm".into() },
+        ]);
+        log.record(report);
+    }
+    let summary = log.summary(num_clients);
+    let mut out = table.to_string();
+    out.push_str(&format!(
+        "total realized profit {:.2}; replan rate {:.0}%, SLA instability {:.1}%,          mean prediction error {:.1}%
+",
+        summary.total_profit,
+        summary.replan_rate * 100.0,
+        summary.instability_rate * 100.0,
+        summary.mean_prediction_error * 100.0
+    ));
+    Ok(out)
+}
+
+fn cmd_baseline(parsed: &Parsed) -> Result<String, CliError> {
+    let system = load_system(parsed)?;
+    let seed = parsed.num("--seed", 0u64)?;
+    let config = solver_config(parsed)?;
+    let proposed = solve(&system, &config, seed).report.profit;
+    let ps = evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
+    let mc = monte_carlo(
+        &system,
+        &McConfig {
+            iterations: parsed.num("--mc", 120usize)?,
+            solver: config,
+            polish_best: true,
+        },
+        seed,
+    );
+    let bound = cloudalloc_core::profit_upper_bound(&system);
+    let best = proposed.max(ps).max(mc.best_profit);
+    let mut table = Table::new(vec!["method".into(), "profit".into(), "normalized".into()]);
+    for (name, profit) in [
+        ("relaxation upper bound", bound),
+        ("proposed (Resource_Alloc)", proposed),
+        ("modified PS", ps),
+        ("Monte-Carlo best", mc.best_profit),
+        ("Monte-Carlo worst raw", mc.mc_worst_raw()),
+    ] {
+        table.row(vec![
+            name.into(),
+            format!("{profit:.4}"),
+            if best > 0.0 { format!("{:.4}", profit / best) } else { "-".into() },
+        ]);
+    }
+    Ok(table.to_string())
+}
+
+/// The help text.
+pub const HELP: &str = "cloudalloc — SLA-driven profit-maximizing cloud resource allocation
+
+USAGE: cloudalloc <command> [--flag value] [--switch]
+
+COMMANDS
+  generate  --clients N [--preset paper|small|overloaded] [--seed S] [--out FILE]
+  solve     --system FILE [--seed S] [--granularity G] [--init N]
+            [--require-service] [--out FILE]
+  evaluate  --system FILE --allocation FILE
+  explain   --system FILE --allocation FILE
+  simulate  --system FILE --allocation FILE [--horizon H] [--seed S]
+            [--shared] [--least-work] [--cv2 X] [--availability A]
+  baseline  --system FILE [--mc N] [--seed S]
+  epochs    --system FILE [--epochs N] [--volatility V] [--seed S]
+  help
+";
+
+/// Dispatches one parsed command and returns its rendered output.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, bad flags, unreadable
+/// artifacts or malformed JSON.
+pub fn run(parsed: &Parsed) -> Result<String, CliError> {
+    match parsed.command.as_str() {
+        "generate" => cmd_generate(parsed),
+        "solve" => cmd_solve(parsed),
+        "evaluate" => cmd_evaluate(parsed),
+        "explain" => cmd_explain(parsed),
+        "simulate" => cmd_simulate(parsed),
+        "baseline" => cmd_baseline(parsed),
+        "epochs" => cmd_epochs(parsed),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(ArgError(format!("unknown command {other:?}; try `cloudalloc help`")).into()),
+    }
+}
+
+// The Monte-Carlo outcome field is named differently; a tiny adapter so
+// the table code above reads naturally.
+trait McWorst {
+    fn mc_worst_raw(&self) -> f64;
+}
+impl McWorst for cloudalloc_baselines::McOutcome {
+    fn mc_worst_raw(&self) -> f64 {
+        self.worst_raw_profit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Parsed;
+
+    fn parse(words: &[&str]) -> Parsed {
+        Parsed::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cloudalloc-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_solve_evaluate_round_trip() {
+        let sys_path = temp_path("sys.json");
+        let alloc_path = temp_path("alloc.json");
+        let out = run(&parse(&[
+            "generate", "--clients", "6", "--preset", "small", "--seed", "3", "--out", &sys_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("generated 6 clients"));
+
+        let out = run(&parse(&[
+            "solve", "--system", &sys_path, "--seed", "1", "--out", &alloc_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("final"));
+        assert!(out.contains("wrote"));
+
+        let out =
+            run(&parse(&["evaluate", "--system", &sys_path, "--allocation", &alloc_path]))
+                .unwrap();
+        assert!(out.contains("profit"));
+        assert!(out.contains("0 hard violations"));
+    }
+
+    #[test]
+    fn simulate_reports_measured_rows() {
+        let sys_path = temp_path("sys2.json");
+        let alloc_path = temp_path("alloc2.json");
+        run(&parse(&[
+            "generate", "--clients", "4", "--preset", "small", "--seed", "5", "--out", &sys_path,
+        ]))
+        .unwrap();
+        run(&parse(&["solve", "--system", &sys_path, "--out", &alloc_path])).unwrap();
+        let out = run(&parse(&[
+            "simulate",
+            "--system",
+            &sys_path,
+            "--allocation",
+            &alloc_path,
+            "--horizon",
+            "500",
+        ]))
+        .unwrap();
+        assert!(out.contains("measured revenue"));
+        assert!(out.contains("rel_err"));
+    }
+
+    #[test]
+    fn explain_renders_the_operator_view() {
+        let sys_path = temp_path("sys4.json");
+        let alloc_path = temp_path("alloc4.json");
+        run(&parse(&[
+            "generate", "--clients", "5", "--preset", "small", "--seed", "9", "--out", &sys_path,
+        ]))
+        .unwrap();
+        run(&parse(&["solve", "--system", &sys_path, "--out", &alloc_path])).unwrap();
+        let out =
+            run(&parse(&["explain", "--system", &sys_path, "--allocation", &alloc_path]))
+                .unwrap();
+        assert!(out.contains("clusters:"));
+        assert!(out.contains("busiest servers:"));
+    }
+
+    #[test]
+    fn baseline_renders_the_comparison_table() {
+        let sys_path = temp_path("sys3.json");
+        run(&parse(&[
+            "generate", "--clients", "6", "--preset", "small", "--seed", "8", "--out", &sys_path,
+        ]))
+        .unwrap();
+        let out = run(&parse(&["baseline", "--system", &sys_path, "--mc", "5"])).unwrap();
+        assert!(out.contains("relaxation upper bound"));
+        assert!(out.contains("proposed (Resource_Alloc)"));
+        assert!(out.contains("modified PS"));
+        assert!(out.contains("Monte-Carlo best"));
+    }
+
+    #[test]
+    fn epochs_runs_the_operational_loop() {
+        let sys_path = temp_path("sys5.json");
+        run(&parse(&[
+            "generate", "--clients", "6", "--preset", "small", "--seed", "11", "--out", &sys_path,
+        ]))
+        .unwrap();
+        let out = run(&parse(&[
+            "epochs", "--system", &sys_path, "--epochs", "3", "--init", "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("total realized profit"));
+        assert!(out.lines().count() >= 5, "missing table rows:\n{out}");
+    }
+
+    #[test]
+    fn unknown_command_and_missing_files_error_cleanly() {
+        assert!(run(&parse(&["frobnicate"])).is_err());
+        let err = run(&parse(&["solve", "--system", "/nonexistent.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let out = run(&parse(&["help"])).unwrap();
+        for cmd in ["generate", "solve", "evaluate", "explain", "simulate", "baseline", "epochs"] {
+            assert!(out.contains(cmd), "help misses {cmd}");
+        }
+    }
+}

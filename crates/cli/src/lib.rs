@@ -1,0 +1,25 @@
+//! Command implementations behind the `cloudalloc` binary.
+//!
+//! Every command is a pure function from parsed arguments to a rendered
+//! report string (plus optional JSON artifacts on disk), so the whole CLI
+//! is unit-testable without spawning processes. Artifacts are the plain
+//! serde representations of [`cloudalloc_model::CloudSystem`] and
+//! [`cloudalloc_model::Allocation`] — the same structures the library
+//! API uses, making the CLI a thin operational veneer.
+//!
+//! ```text
+//! cloudalloc generate --clients 40 --seed 1 --out system.json
+//! cloudalloc solve    --system system.json --out allocation.json
+//! cloudalloc evaluate --system system.json --allocation allocation.json
+//! cloudalloc simulate --system system.json --allocation allocation.json --horizon 2000
+//! cloudalloc baseline --system system.json --mc 200
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Parsed};
+pub use commands::{run, CliError};

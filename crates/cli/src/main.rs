@@ -1,0 +1,23 @@
+//! The `cloudalloc` binary: thin wrapper over [`cloudalloc_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match cloudalloc_cli::Parsed::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cloudalloc_cli::run(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

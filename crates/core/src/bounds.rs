@@ -1,0 +1,158 @@
+//! An upper bound on the optimal profit, via relaxation.
+//!
+//! The heuristic's quality is usually judged against the Monte-Carlo
+//! best-found solution (paper §VI), but that is itself a heuristic. This
+//! module provides a cheap *certificate*: a bound no feasible allocation
+//! can exceed, obtained by relaxing every coupling constraint:
+//!
+//! * each client is granted an **entire server of the best class for it**
+//!   (`φ = 1` on both resources, no competition, `α = 1`), which lower-
+//!   bounds its response time and so upper-bounds its revenue;
+//! * total cost is lower-bounded by each client's **cheapest possible
+//!   marginal utilization cost** `min_j P1_j·λ·t̄^p/C^p_j` (constant
+//!   costs `P0 ≥ 0` are dropped entirely);
+//! * admission is free: clients whose relaxed margin is negative
+//!   contribute zero.
+//!
+//! The bound is loose under contention (many clients per server) but
+//! tight enough to certify single-digit optimality gaps on the paper's
+//! scenarios — and it is exact on a system with one client per dedicated
+//! best-class server and negligible `P0`.
+
+use cloudalloc_model::{ClientId, CloudSystem};
+
+/// Per-client contribution to the bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientBound {
+    /// The client.
+    pub client: ClientId,
+    /// Lowest achievable mean response time (a dedicated best server);
+    /// `∞` when no single server can stably host the client.
+    pub best_response: f64,
+    /// Revenue upper bound `λ̃·U(best_response)`.
+    pub revenue_bound: f64,
+    /// Marginal cost lower bound (cheapest utilization cost anywhere).
+    pub cost_floor: f64,
+}
+
+impl ClientBound {
+    /// The client's margin contribution `max(0, revenue − cost)`.
+    pub fn margin(&self) -> f64 {
+        (self.revenue_bound - self.cost_floor).max(0.0)
+    }
+}
+
+/// Computes the per-client relaxation bounds.
+pub fn client_bounds(system: &CloudSystem) -> Vec<ClientBound> {
+    system
+        .clients()
+        .iter()
+        .map(|c| {
+            let mut best_response = f64::INFINITY;
+            let mut cost_floor = f64::INFINITY;
+            for class in system.server_classes() {
+                // Dedicated server of this class: φ = 1, α = 1.
+                let service_p = class.cap_processing / c.exec_processing;
+                let service_c = class.cap_communication / c.exec_communication;
+                if service_p > c.rate_predicted
+                    && service_c > c.rate_predicted
+                    && class.cap_storage >= c.storage
+                {
+                    let t = 1.0 / (service_p - c.rate_predicted)
+                        + 1.0 / (service_c - c.rate_predicted);
+                    best_response = best_response.min(t);
+                }
+                let marginal = class.cost_per_utilization
+                    * c.rate_predicted
+                    * c.exec_processing
+                    / class.cap_processing;
+                cost_floor = cost_floor.min(marginal);
+            }
+            let revenue_bound = if best_response.is_finite() {
+                c.rate_agreed * system.utility_of(c.id).value(best_response)
+            } else {
+                0.0
+            };
+            // No hostable server ⇒ the client contributes nothing either
+            // way; zero the floor so margins stay well-defined.
+            if !best_response.is_finite() {
+                cost_floor = 0.0;
+            }
+            ClientBound { client: c.id, best_response, revenue_bound, cost_floor }
+        })
+        .collect()
+}
+
+/// An upper bound on the optimal profit of `system`: no feasible
+/// allocation — under either admission policy — can earn more.
+pub fn profit_upper_bound(system: &CloudSystem) -> f64 {
+    client_bounds(system).iter().map(ClientBound::margin).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, SolverConfig};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn bound_dominates_the_solver_on_many_seeds() {
+        for seed in 0..8 {
+            let system = generate(&ScenarioConfig::paper(20), 900 + seed);
+            let bound = profit_upper_bound(&system);
+            let achieved = solve(&system, &SolverConfig::fast(), seed).report.profit;
+            assert!(
+                bound >= achieved - 1e-9,
+                "seed {seed}: bound {bound} below achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_on_a_dedicated_system() {
+        // One client, one server that exactly realizes the relaxation
+        // (whole machine, only the P0 term separates bound from truth).
+        use cloudalloc_model::{SystemBuilder, UtilityFunction};
+        let mut b = SystemBuilder::new();
+        let class = b.server_class(4.0, 4.0, 4.0, 0.0, 0.5); // P0 = 0
+        let sla = b.utility_class(UtilityFunction::linear(2.0, 0.5));
+        let k = b.cluster();
+        b.servers(k, class, 1);
+        b.client(sla, 1.0, 0.5, 0.5, 0.5);
+        let system = b.build();
+        let bound = profit_upper_bound(&system);
+        let achieved = solve(&system, &SolverConfig::default(), 1).report.profit;
+        assert!(bound >= achieved - 1e-9);
+        assert!(
+            (bound - achieved) / bound < 0.01,
+            "bound {bound} not tight vs achieved {achieved}"
+        );
+    }
+
+    #[test]
+    fn unhostable_clients_contribute_nothing() {
+        use cloudalloc_model::{SystemBuilder, UtilityFunction};
+        let mut b = SystemBuilder::new();
+        let class = b.server_class(1.0, 1.0, 1.0, 1.0, 1.0);
+        let sla = b.utility_class(UtilityFunction::linear(5.0, 0.1));
+        let k = b.cluster();
+        b.servers(k, class, 1);
+        // Demands 5·1.0 = 5 processing units; no server can host it.
+        b.client(sla, 5.0, 1.0, 1.0, 0.5);
+        let system = b.build();
+        let bounds = client_bounds(&system);
+        assert_eq!(bounds[0].best_response, f64::INFINITY);
+        assert_eq!(bounds[0].margin(), 0.0);
+        assert_eq!(profit_upper_bound(&system), 0.0);
+    }
+
+    #[test]
+    fn margins_never_go_negative() {
+        let system = generate(&ScenarioConfig::overloaded(15), 901);
+        for b in client_bounds(&system) {
+            assert!(b.margin() >= 0.0);
+            assert!(b.cost_floor >= 0.0);
+        }
+        assert!(profit_upper_bound(&system) >= 0.0);
+    }
+}

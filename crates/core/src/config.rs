@@ -1,0 +1,143 @@
+//! Tuning knobs of the `Resource_Alloc` heuristic.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the multi-stage heuristic.
+///
+/// Defaults reproduce the paper's setup: three randomized initial
+/// solutions, a dispersion grid of ten levels, and a local search that
+/// runs every operator until the profit stops improving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Number of randomized greedy initial solutions; the best one seeds
+    /// the local search (paper: 3).
+    pub num_init_solns: usize,
+    /// Granularity `G` of the dispersion grid: `α ∈ {1/G, 2/G, …, 1}` in
+    /// the greedy construction's dynamic program (paper's `g`).
+    pub alpha_granularity: usize,
+    /// Shadow price `ψ` charged per unit of GPS share during greedy
+    /// insertion (the reconstruction of paper Eq. (16); see DESIGN.md).
+    /// `None` auto-calibrates to the mean `λ̃·slope` of the client
+    /// population.
+    pub shadow_price: Option<f64>,
+    /// Maximum local-search rounds; each round runs every enabled
+    /// operator once over the whole system.
+    pub max_rounds: usize,
+    /// Relative profit improvement below which the search is "steady".
+    pub steady_tol: f64,
+    /// Enable the `Adjust_ResourceShares` operator.
+    pub adjust_shares: bool,
+    /// Enable the `Adjust_DispersionRates` operator.
+    pub adjust_dispersion: bool,
+    /// Enable the `TurnON_servers` operator.
+    pub turn_on: bool,
+    /// Enable the `TurnOFF_servers` operator.
+    pub turn_off: bool,
+    /// Enable the inter-cluster `Reassign_Clients` operator.
+    pub reassign: bool,
+    /// Enable the pairwise `Swap_Clients` operator, an extension beyond
+    /// the paper's operator set (escapes optima where two full clusters
+    /// block single-client moves). Off by default to match the paper.
+    pub swap: bool,
+    /// Relative stability margin: service rates must exceed arrival rates
+    /// by this factor so response times stay bounded.
+    pub stability_margin: f64,
+    /// Serve every client even at a loss, mirroring the paper's
+    /// constraint (6) strictly. When `false` (default) the greedy
+    /// construction declines clients whose best placement has a negative
+    /// profit contribution; the reassignment operator keeps re-testing
+    /// them each round and admits them as soon as they turn profitable.
+    pub require_service: bool,
+}
+
+impl SolverConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first out-of-domain field.
+    pub fn validate(&self) {
+        assert!(self.num_init_solns >= 1, "need at least one initial solution");
+        assert!(
+            (2..=1000).contains(&self.alpha_granularity),
+            "alpha granularity must lie in [2, 1000], got {}",
+            self.alpha_granularity
+        );
+        if let Some(psi) = self.shadow_price {
+            assert!(psi.is_finite() && psi > 0.0, "shadow price must be positive, got {psi}");
+        }
+        assert!(self.max_rounds >= 1, "need at least one local-search round");
+        assert!(
+            self.steady_tol.is_finite() && self.steady_tol >= 0.0,
+            "steady_tol must be non-negative"
+        );
+        assert!(
+            self.stability_margin.is_finite() && self.stability_margin > 0.0,
+            "stability margin must be positive"
+        );
+    }
+
+    /// A fast configuration for tests: one initial solution, coarse grid,
+    /// few rounds.
+    pub fn fast() -> Self {
+        Self {
+            num_init_solns: 1,
+            alpha_granularity: 4,
+            max_rounds: 3,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            num_init_solns: 3,
+            alpha_granularity: 10,
+            shadow_price: None,
+            max_rounds: 25,
+            steady_tol: 1e-6,
+            adjust_shares: true,
+            adjust_dispersion: true,
+            turn_on: true,
+            turn_off: true,
+            reassign: true,
+            swap: false,
+            stability_margin: 1e-3,
+            require_service: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SolverConfig::default();
+        c.validate();
+        assert_eq!(c.num_init_solns, 3);
+        assert_eq!(c.alpha_granularity, 10);
+        assert!(c.adjust_shares && c.adjust_dispersion && c.turn_on && c.turn_off && c.reassign);
+    }
+
+    #[test]
+    fn fast_preset_validates() {
+        SolverConfig::fast().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha granularity")]
+    fn rejects_degenerate_grid() {
+        let c = SolverConfig { alpha_granularity: 1, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow price")]
+    fn rejects_non_positive_shadow_price() {
+        let c = SolverConfig { shadow_price: Some(0.0), ..Default::default() };
+        c.validate();
+    }
+}

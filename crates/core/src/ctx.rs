@@ -1,0 +1,125 @@
+//! Shared solver context: the system, the configuration, and derived
+//! constants used by every operator.
+
+use cloudalloc_model::{ClientId, CloudSystem};
+
+use crate::config::SolverConfig;
+
+/// Immutable context threaded through all heuristic stages.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverCtx<'a> {
+    /// The system being allocated.
+    pub system: &'a CloudSystem,
+    /// Heuristic configuration.
+    pub config: &'a SolverConfig,
+    /// Resolved shadow price `ψ` (auto-calibrated when the config leaves
+    /// it unset).
+    pub shadow_price: f64,
+}
+
+impl<'a> SolverCtx<'a> {
+    /// Builds a context, auto-calibrating the shadow price to the mean
+    /// `λ̃_i · slope_i(0)` over all clients when the config does not pin
+    /// it. That quantity is the average marginal revenue of saving one
+    /// unit of response time, which is the natural price scale for
+    /// reserving capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SolverConfig::validate`].
+    pub fn new(system: &'a CloudSystem, config: &'a SolverConfig) -> Self {
+        config.validate();
+        let shadow_price = config.shadow_price.unwrap_or_else(|| {
+            let n = system.num_clients();
+            if n == 0 {
+                return 1.0;
+            }
+            let total: f64 = system
+                .clients()
+                .iter()
+                .map(|c| c.rate_agreed * system.utility_of(c.id).reference_slope())
+                .sum();
+            (total / n as f64).max(1e-9)
+        });
+        Self { system, config, shadow_price }
+    }
+
+    /// Revenue-sensitivity weight of a client at response time `r`:
+    /// `λ̃_i · |dU/dr|(r)`, floored at a tiny positive value so clients in
+    /// a flat utility region still receive stability shares.
+    pub fn weight_at(&self, client: ClientId, r: f64) -> f64 {
+        let c = self.system.client(client);
+        let slope = self.system.utility_of(client).slope_at(r.min(1e12));
+        (c.rate_agreed * slope).max(1e-9)
+    }
+
+    /// Weight at the steepest point of the utility (used when no response
+    /// time is known yet, e.g. during greedy insertion).
+    pub fn reference_weight(&self, client: ClientId) -> f64 {
+        let c = self.system.client(client);
+        (c.rate_agreed * self.system.utility_of(client).reference_slope()).max(1e-9)
+    }
+
+    /// Weight used by the *local-search* operators: the local slope, or
+    /// the reference slope whenever the client currently earns less than
+    /// its maximum.
+    ///
+    /// Step utilities are flat past their last threshold, so a starved
+    /// client (huge `r`, zero local slope) would otherwise look worthless
+    /// to every operator and never be rescued, even though pulling it
+    /// back under a threshold recovers real revenue. Every caller
+    /// verifies the true profit delta before committing, so the
+    /// aspiration can only unlock improvements, not cause regressions.
+    pub fn aspiration_weight(&self, client: ClientId, r: f64) -> f64 {
+        let local = self.weight_at(client, r);
+        let u = self.system.utility_of(client);
+        if u.value(r.min(1e12)) < u.max_value() {
+            local.max(self.reference_weight(client))
+        } else {
+            local
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn auto_shadow_price_is_mean_marginal_revenue() {
+        let system = generate(&ScenarioConfig::small(10), 1);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let expect: f64 = system
+            .clients()
+            .iter()
+            .map(|c| c.rate_agreed * system.utility_of(c.id).reference_slope())
+            .sum::<f64>()
+            / 10.0;
+        assert!((ctx.shadow_price - expect).abs() < 1e-12);
+        assert!(ctx.shadow_price > 0.0);
+    }
+
+    #[test]
+    fn pinned_shadow_price_wins() {
+        let system = generate(&ScenarioConfig::small(5), 1);
+        let config = SolverConfig { shadow_price: Some(0.25), ..Default::default() };
+        let ctx = SolverCtx::new(&system, &config);
+        assert_eq!(ctx.shadow_price, 0.25);
+    }
+
+    #[test]
+    fn weights_are_floored_positive() {
+        let system = generate(&ScenarioConfig::small(5), 2);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        for c in system.clients() {
+            assert!(ctx.reference_weight(c.id) > 0.0);
+            // Far past any linear horizon the slope is zero, but the floor
+            // keeps the weight positive.
+            assert!(ctx.weight_at(c.id, 1e9) >= 1e-9);
+            assert!(ctx.weight_at(c.id, f64::INFINITY) >= 1e-9);
+        }
+    }
+}

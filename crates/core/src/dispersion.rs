@@ -1,0 +1,332 @@
+//! Optimal dispersion of one client's traffic across fixed resource
+//! shares — `Adjust_DispersionRates` (paper §V-B.2).
+//!
+//! With the GPS shares `φ` held constant, the per-client problem is
+//!
+//! ```text
+//! minimize   Σ_j [ w·g_j(α_j) + c_j·α_j ]
+//! subject to Σ_j α_j = 1,   0 ≤ α_j,   α_j·λ < min(s^p_j, s^c_j)
+//!
+//! g_j(α) = α/(s^p_j − αλ) + α/(s^c_j − αλ)
+//! ```
+//!
+//! where `s^r_j = φ^r_{ij}·C^r_j/t̄^r_i` are the fixed service rates,
+//! `w = λ̃·b` the client's revenue weight and `c_j = P1_j·λ·t̄^p_i/C^p_j`
+//! the marginal power cost of routing traffic to server *j*. Each `g_j` is
+//! strictly convex increasing, so the problem is convex — this is the
+//! "dual" of the share problem the paper mentions — and water-filling on
+//! the common marginal `η` solves it: branch marginals are equalized,
+//! branches whose zero-traffic marginal already exceeds `η` get `α_j = 0`.
+
+/// One candidate server (branch) for a client's traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispersionBranch {
+    /// Fixed processing service rate `s^p = φ^p·C^p/t̄^p` (`> 0`).
+    pub service_p: f64,
+    /// Fixed communication service rate `s^c = φ^c·C^c/t̄^c` (`> 0`).
+    pub service_c: f64,
+    /// Marginal operation cost per unit of `α` routed here (`>= 0`).
+    pub cost_slope: f64,
+}
+
+impl DispersionBranch {
+    /// Largest dispersion this branch can stably carry at arrival rate
+    /// `lambda`, with relative stability margin `margin`.
+    fn alpha_max(&self, lambda: f64, margin: f64) -> f64 {
+        (self.service_p.min(self.service_c) / (lambda * (1.0 + margin))).min(1.0)
+    }
+
+    /// Derivative of the weighted objective along `α` at `alpha`.
+    fn marginal(&self, weight: f64, lambda: f64, alpha: f64) -> f64 {
+        let dp = self.service_p - alpha * lambda;
+        let dc = self.service_c - alpha * lambda;
+        if dp <= 0.0 || dc <= 0.0 {
+            return f64::INFINITY;
+        }
+        weight * (self.service_p / (dp * dp) + self.service_c / (dc * dc)) + self.cost_slope
+    }
+
+    /// Per-request sojourn `1/(s^p − αλ) + 1/(s^c − αλ)` at `alpha`.
+    fn sojourn(&self, lambda: f64, alpha: f64) -> f64 {
+        let dp = self.service_p - alpha * lambda;
+        let dc = self.service_c - alpha * lambda;
+        if dp <= 0.0 || dc <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / dp + 1.0 / dc
+        }
+    }
+
+    /// Solves `marginal(α) = eta` for `α ∈ [0, alpha_max]` by bisection
+    /// (the marginal is strictly increasing).
+    fn alpha_for_marginal(&self, weight: f64, lambda: f64, eta: f64, alpha_max: f64) -> f64 {
+        if self.marginal(weight, lambda, 0.0) >= eta {
+            return 0.0;
+        }
+        if self.marginal(weight, lambda, alpha_max) <= eta {
+            return alpha_max;
+        }
+        let (mut lo, mut hi) = (0.0, alpha_max);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.marginal(weight, lambda, mid) < eta {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Solves the dispersion problem: returns the optimal `α` vector aligned
+/// with `branches`, or `None` when the branches cannot stably absorb the
+/// whole stream (`Σ_j α_max < 1`).
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0`, `weight <= 0`, `margin <= 0`, or any branch
+/// has a non-positive service rate or negative cost slope.
+pub fn optimal_dispersion(
+    lambda: f64,
+    weight: f64,
+    branches: &[DispersionBranch],
+    margin: f64,
+) -> Option<Vec<f64>> {
+    assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive, got {lambda}");
+    assert!(weight.is_finite() && weight > 0.0, "weight must be positive, got {weight}");
+    assert!(margin.is_finite() && margin > 0.0, "margin must be positive, got {margin}");
+    if branches.is_empty() {
+        return None;
+    }
+    let alpha_maxes: Vec<f64> = branches
+        .iter()
+        .map(|b| {
+            assert!(b.service_p.is_finite() && b.service_p > 0.0, "service_p must be > 0");
+            assert!(b.service_c.is_finite() && b.service_c > 0.0, "service_c must be > 0");
+            assert!(b.cost_slope.is_finite() && b.cost_slope >= 0.0, "cost_slope must be >= 0");
+            b.alpha_max(lambda, margin)
+        })
+        .collect();
+    let capacity: f64 = alpha_maxes.iter().sum();
+    if capacity < 1.0 {
+        return None;
+    }
+
+    let total_alpha = |eta: f64, out: &mut Vec<f64>| -> f64 {
+        out.clear();
+        let mut total = 0.0;
+        for (b, &amax) in branches.iter().zip(&alpha_maxes) {
+            let a = b.alpha_for_marginal(weight, lambda, eta, amax);
+            out.push(a);
+            total += a;
+        }
+        total
+    };
+
+    // Bracket η: at η_lo no branch takes traffic; at η_hi every branch is
+    // at α_max, so the total is `capacity ≥ 1`.
+    let mut eta_lo = branches
+        .iter()
+        .map(|b| b.marginal(weight, lambda, 0.0))
+        .fold(f64::INFINITY, f64::min);
+    let mut eta_hi = branches
+        .iter()
+        .zip(&alpha_maxes)
+        .map(|(b, &amax)| b.marginal(weight, lambda, amax))
+        .fold(0.0f64, f64::max)
+        .max(eta_lo * 2.0 + 1.0);
+    let mut alphas = Vec::with_capacity(branches.len());
+    for _ in 0..100 {
+        let eta = 0.5 * (eta_lo + eta_hi);
+        let total = total_alpha(eta, &mut alphas);
+        if total < 1.0 {
+            eta_lo = eta;
+        } else {
+            eta_hi = eta;
+        }
+    }
+    let total = total_alpha(eta_hi, &mut alphas);
+    debug_assert!(total >= 1.0 - 1e-6, "bisection failed to cover the stream: {total}");
+
+    // Remove the residual |Σα − 1| by shaving the branches with headroom,
+    // never pushing any branch past its stability cap.
+    let mut excess = total - 1.0;
+    if excess.abs() > 0.0 {
+        for (a, &amax) in alphas.iter_mut().zip(&alpha_maxes) {
+            if excess > 0.0 {
+                let cut = excess.min(*a);
+                *a -= cut;
+                excess -= cut;
+            } else {
+                let add = (-excess).min(amax - *a);
+                *a += add;
+                excess += add;
+            }
+            if excess.abs() < 1e-15 {
+                break;
+            }
+        }
+    }
+    if excess.abs() > 1e-9 {
+        return None;
+    }
+    Some(alphas)
+}
+
+/// Objective value `Σ_j [w·α_j·sojourn_j(α_j) + c_j·α_j]`; exposed for
+/// tests and for operators comparing candidate dispersions. Note
+/// `g_j(α) = α·sojourn_j(α)`.
+pub fn dispersion_objective(
+    lambda: f64,
+    weight: f64,
+    branches: &[DispersionBranch],
+    alphas: &[f64],
+) -> f64 {
+    branches
+        .iter()
+        .zip(alphas)
+        .map(|(b, &a)| {
+            if a == 0.0 {
+                0.0
+            } else {
+                weight * a * b.sojourn(lambda, a) + b.cost_slope * a
+            }
+        })
+        .sum()
+}
+
+/// Mean response time `Σ_j α_j·sojourn_j(α_j)` of a dispersion vector.
+pub fn dispersion_response(lambda: f64, branches: &[DispersionBranch], alphas: &[f64]) -> f64 {
+    branches
+        .iter()
+        .zip(alphas)
+        .map(|(b, &a)| if a == 0.0 { 0.0 } else { a * b.sojourn(lambda, a) })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn branch(sp: f64, sc: f64, cost: f64) -> DispersionBranch {
+        DispersionBranch { service_p: sp, service_c: sc, cost_slope: cost }
+    }
+
+    #[test]
+    fn identical_branches_split_evenly() {
+        let b = branch(4.0, 4.0, 0.0);
+        let alphas = optimal_dispersion(1.0, 1.0, &[b, b], 1e-3).unwrap();
+        assert!((alphas[0] - 0.5).abs() < 1e-6);
+        assert!((alphas.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_branch_takes_more_traffic() {
+        let alphas =
+            optimal_dispersion(1.0, 1.0, &[branch(8.0, 8.0, 0.0), branch(3.0, 3.0, 0.0)], 1e-3)
+                .unwrap();
+        assert!(alphas[0] > alphas[1]);
+    }
+
+    #[test]
+    fn expensive_branch_is_penalized() {
+        let free = optimal_dispersion(
+            1.0,
+            1.0,
+            &[branch(4.0, 4.0, 0.0), branch(4.0, 4.0, 0.0)],
+            1e-3,
+        )
+        .unwrap();
+        let costly = optimal_dispersion(
+            1.0,
+            1.0,
+            &[branch(4.0, 4.0, 0.0), branch(4.0, 4.0, 5.0)],
+            1e-3,
+        )
+        .unwrap();
+        assert!(costly[1] < free[1]);
+        assert!(costly[0] > costly[1]);
+    }
+
+    #[test]
+    fn single_branch_takes_everything_or_fails() {
+        let ok = optimal_dispersion(1.0, 1.0, &[branch(4.0, 4.0, 0.0)], 1e-3).unwrap();
+        assert!((ok[0] - 1.0).abs() < 1e-9);
+        // A branch that cannot stably carry the whole stream.
+        assert_eq!(optimal_dispersion(5.0, 1.0, &[branch(4.0, 4.0, 0.0)], 1e-3), None);
+        assert_eq!(optimal_dispersion(1.0, 1.0, &[], 1e-3), None);
+    }
+
+    #[test]
+    fn slow_branch_gets_zero_when_alternatives_abound() {
+        let alphas = optimal_dispersion(
+            0.5,
+            1.0,
+            &[branch(10.0, 10.0, 0.0), branch(0.6, 0.6, 3.0)],
+            1e-3,
+        )
+        .unwrap();
+        assert!(alphas[1] < 0.05, "slow costly branch got {}", alphas[1]);
+    }
+
+    #[test]
+    fn optimum_beats_even_split() {
+        let branches = [branch(6.0, 5.0, 0.1), branch(2.0, 3.0, 0.0), branch(4.0, 4.0, 0.5)];
+        let alphas = optimal_dispersion(1.5, 2.0, &branches, 1e-3).unwrap();
+        let best = dispersion_objective(1.5, 2.0, &branches, &alphas);
+        let even = vec![1.0 / 3.0; 3];
+        assert!(best <= dispersion_objective(1.5, 2.0, &branches, &even) + 1e-12);
+    }
+
+    #[test]
+    fn response_matches_objective_without_costs() {
+        let branches = [branch(6.0, 5.0, 0.0), branch(4.0, 4.0, 0.0)];
+        let alphas = optimal_dispersion(1.0, 2.0, &branches, 1e-3).unwrap();
+        let obj = dispersion_objective(1.0, 2.0, &branches, &alphas);
+        let resp = dispersion_response(1.0, &branches, &alphas);
+        assert!((obj - 2.0 * resp).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn dispersion_is_feasible_and_locally_optimal(
+            lambda in 0.2f64..2.0,
+            weight in 0.1f64..3.0,
+            services in proptest::collection::vec((1.0f64..8.0, 1.0f64..8.0, 0.0f64..2.0), 2..6),
+        ) {
+            let branches: Vec<DispersionBranch> =
+                services.iter().map(|&(sp, sc, c)| branch(sp, sc, c)).collect();
+            if let Some(alphas) = optimal_dispersion(lambda, weight, &branches, 1e-3) {
+                prop_assert!((alphas.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+                for (b, &a) in branches.iter().zip(&alphas) {
+                    prop_assert!(a >= 0.0 && a <= 1.0 + 1e-12);
+                    if a > 0.0 {
+                        prop_assert!(a * lambda < b.service_p.min(b.service_c));
+                    }
+                }
+                let best = dispersion_objective(lambda, weight, &branches, &alphas);
+                prop_assert!(best.is_finite());
+                // Pairwise perturbations must not improve the objective.
+                let n = branches.len();
+                for i in 0..n {
+                    for j in 0..n {
+                        if i == j { continue; }
+                        let mut p = alphas.clone();
+                        let d = 1e-5;
+                        if p[j] < d { continue; }
+                        p[i] += d;
+                        p[j] -= d;
+                        if p[i] * lambda
+                            < branches[i].service_p.min(branches[i].service_c)
+                        {
+                            let v = dispersion_objective(lambda, weight, &branches, &p);
+                            prop_assert!(v >= best - 1e-7, "perturbation improved: {v} < {best}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

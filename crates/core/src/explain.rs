@@ -1,0 +1,195 @@
+//! Human-readable explanations of an allocation: what the optimizer
+//! decided and why it is worth the money — the operator-facing view the
+//! CLI's `explain` command renders.
+
+use std::fmt::Write as _;
+
+use cloudalloc_model::{
+    evaluate, evaluate_client, Allocation, ClientId, CloudSystem, ClusterId, ServerId,
+};
+
+/// Per-cluster digest of an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterDigest {
+    /// The cluster.
+    pub cluster: ClusterId,
+    /// Clients assigned here.
+    pub clients: usize,
+    /// Active servers / total servers.
+    pub active_servers: (usize, usize),
+    /// Revenue attributed to this cluster's clients.
+    pub revenue: f64,
+    /// Operation cost of this cluster's active servers.
+    pub cost: f64,
+    /// Mean processing utilization over active servers.
+    pub mean_utilization: f64,
+}
+
+/// Builds per-cluster digests of `alloc`.
+pub fn cluster_digests(system: &CloudSystem, alloc: &Allocation) -> Vec<ClusterDigest> {
+    let report = evaluate(system, alloc);
+    (0..system.num_clusters())
+        .map(|k| {
+            let cluster = ClusterId(k);
+            let clients = (0..system.num_clients())
+                .filter(|&i| alloc.cluster_of(ClientId(i)) == Some(cluster))
+                .count();
+            let revenue: f64 = (0..system.num_clients())
+                .filter(|&i| alloc.cluster_of(ClientId(i)) == Some(cluster))
+                .map(|i| report.clients[i].revenue)
+                .sum();
+            let mut active = 0;
+            let mut total = 0;
+            let mut cost = 0.0;
+            let mut util_sum = 0.0;
+            for server in system.servers_in(cluster) {
+                total += 1;
+                let load = alloc.load(server.id);
+                if load.is_on() {
+                    active += 1;
+                    let rho = load.work_processing / server.class.cap_processing;
+                    cost += server.class.operation_cost(rho);
+                    util_sum += rho;
+                }
+            }
+            ClusterDigest {
+                cluster,
+                clients,
+                active_servers: (active, total),
+                revenue,
+                cost,
+                mean_utilization: if active > 0 { util_sum / active as f64 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Renders a multi-section report: totals, per-cluster digests, the
+/// busiest servers, and the clients with the weakest margins (the ones an
+/// operator would renegotiate first).
+pub fn explain(system: &CloudSystem, alloc: &Allocation) -> String {
+    let report = evaluate(system, alloc);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profit {:.3} = revenue {:.3} − cost {:.3}; {} / {} servers active",
+        report.profit,
+        report.revenue,
+        report.cost,
+        report.active_servers,
+        system.num_servers()
+    );
+
+    let _ = writeln!(out, "\nclusters:");
+    for d in cluster_digests(system, alloc) {
+        let _ = writeln!(
+            out,
+            "  {}: {} clients on {}/{} servers, revenue {:.2}, cost {:.2}, mean util {:.0}%",
+            d.cluster,
+            d.clients,
+            d.active_servers.0,
+            d.active_servers.1,
+            d.revenue,
+            d.cost,
+            d.mean_utilization * 100.0
+        );
+    }
+
+    // Busiest servers by processing utilization.
+    let mut servers: Vec<(f64, ServerId)> = (0..system.num_servers())
+        .map(ServerId)
+        .filter(|&j| alloc.is_on(j))
+        .map(|j| {
+            let rho = alloc.load(j).work_processing / system.class_of(j).cap_processing;
+            (rho, j)
+        })
+        .collect();
+    servers.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let _ = writeln!(out, "\nbusiest servers:");
+    for &(rho, j) in servers.iter().take(5) {
+        let load = alloc.load(j);
+        let _ = writeln!(
+            out,
+            "  {j} ({} residents): utilization {:.0}%, shares p={:.2} c={:.2}",
+            load.placements,
+            rho * 100.0,
+            load.phi_p,
+            load.phi_c
+        );
+    }
+
+    // Weakest margins: served clients ranked by revenue per unit of
+    // processing demand.
+    let mut margins: Vec<(f64, ClientId)> = (0..system.num_clients())
+        .map(ClientId)
+        .filter(|&i| !alloc.placements(i).is_empty())
+        .map(|i| {
+            let outcome = evaluate_client(system, alloc, i);
+            let demand = system.client(i).min_processing_capacity();
+            (outcome.revenue / demand.max(1e-9), i)
+        })
+        .collect();
+    margins.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let _ = writeln!(out, "\nweakest margins (revenue per unit of processing demand):");
+    for &(margin, i) in margins.iter().take(5) {
+        let outcome = evaluate_client(system, alloc, i);
+        let _ = writeln!(
+            out,
+            "  {i}: {margin:.3}/unit at response {:.3} over {} servers",
+            outcome.response_time,
+            alloc.placements(i).len()
+        );
+    }
+    let declined = (0..system.num_clients())
+        .filter(|&i| alloc.placements(ClientId(i)).is_empty())
+        .count();
+    if declined > 0 {
+        let _ = writeln!(out, "\n{declined} clients declined (no profitable placement)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, SolverConfig};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn digests_partition_the_totals() {
+        let system = generate(&ScenarioConfig::paper(20), 161);
+        let result = solve(&system, &SolverConfig::fast(), 1);
+        let digests = cluster_digests(&system, &result.allocation);
+        assert_eq!(digests.len(), system.num_clusters());
+        let revenue: f64 = digests.iter().map(|d| d.revenue).sum();
+        let cost: f64 = digests.iter().map(|d| d.cost).sum();
+        let clients: usize = digests.iter().map(|d| d.clients).sum();
+        assert!((revenue - result.report.revenue).abs() < 1e-9);
+        assert!((cost - result.report.cost).abs() < 1e-9);
+        assert!(clients <= 20);
+        for d in &digests {
+            assert!(d.active_servers.0 <= d.active_servers.1);
+            assert!(d.mean_utilization >= 0.0 && d.mean_utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn explain_renders_every_section() {
+        let system = generate(&ScenarioConfig::paper(15), 162);
+        let result = solve(&system, &SolverConfig::fast(), 2);
+        let text = explain(&system, &result.allocation);
+        assert!(text.contains("profit"));
+        assert!(text.contains("clusters:"));
+        assert!(text.contains("busiest servers:"));
+        assert!(text.contains("weakest margins"));
+    }
+
+    #[test]
+    fn empty_allocation_explains_gracefully() {
+        let system = generate(&ScenarioConfig::small(4), 163);
+        let alloc = Allocation::new(&system);
+        let text = explain(&system, &alloc);
+        assert!(text.contains("0 / "));
+        assert!(text.contains("4 clients declined"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Closed-form KKT share allocation on a single server.
+//!
+//! This is the mathematical core of `Adjust_ResourceShares` (paper §V-B.1,
+//! Eq. (18)). With the dispersion `α` fixed, the per-server problem for
+//! one resource is
+//!
+//! ```text
+//! minimize   Σ_i c_i / (φ_i·M_i − a_i)
+//! subject to Σ_i φ_i = budget,   φ_i·M_i > a_i
+//! ```
+//!
+//! where `a_i = α_{ij}λ_i` is the sub-stream arrival rate, `M_i = C/t̄_i`
+//! the service rate of a full share, and `c_i = λ̃_i·b_i·α_{ij}` the
+//! revenue weight of the queue's delay. The problem is convex; KKT
+//! stationarity gives `φ_i = a_i/M_i + √(c_i/(η·M_i))` and the multiplier
+//! resolves in closed form:
+//!
+//! ```text
+//! 1/√η = (budget − Σ_i a_i/M_i) / Σ_i √(c_i/M_i)
+//! ```
+//!
+//! An active-set sweep handles the `φ_i ≥ MIN_SHARE` floor (paper
+//! constraint (7)); the paper solves the same system numerically with a
+//! binary search.
+
+/// One client's demand on one resource of one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareDemand {
+    /// Sub-stream arrival rate `a = α·λ` routed to this server (`>= 0`).
+    pub arrival: f64,
+    /// Service rate of a *full* share, `M = C/t̄` (`> 0`).
+    pub rate_per_share: f64,
+    /// Revenue weight `c = λ̃·b·α` of this queue's delay (`> 0`).
+    pub weight: f64,
+}
+
+impl ShareDemand {
+    /// Share exactly at the stability boundary (`φM = a`).
+    fn critical_share(&self) -> f64 {
+        self.arrival / self.rate_per_share
+    }
+}
+
+/// Solves the convex share-allocation problem for one resource.
+///
+/// * `budget` — total share available (1 minus background load);
+/// * `margin` — relative stability margin: every client receives at least
+///   `(1 + margin)` times its critical share;
+/// * `min_share` — absolute floor per share (the paper's `ε`).
+///
+/// Returns the optimal share vector aligned with `demands`, or `None` when
+/// the floors alone exceed the budget (the server cannot stably host this
+/// mix). An empty demand slice yields an empty vector.
+///
+/// # Panics
+///
+/// Panics if any demand field is out of domain, or `budget ∉ (0, 1]`.
+pub fn optimal_shares(
+    budget: f64,
+    demands: &[ShareDemand],
+    min_share: f64,
+    margin: f64,
+) -> Option<Vec<f64>> {
+    assert!(budget.is_finite() && budget > 0.0 && budget <= 1.0, "budget must lie in (0,1], got {budget}");
+    assert!(margin.is_finite() && margin > 0.0, "margin must be positive, got {margin}");
+    assert!(min_share >= 0.0, "min_share must be non-negative, got {min_share}");
+    if demands.is_empty() {
+        return Some(Vec::new());
+    }
+    let floors: Vec<f64> = demands
+        .iter()
+        .map(|d| {
+            assert!(d.arrival.is_finite() && d.arrival >= 0.0, "arrival must be >= 0");
+            assert!(
+                d.rate_per_share.is_finite() && d.rate_per_share > 0.0,
+                "rate_per_share must be > 0"
+            );
+            assert!(d.weight.is_finite() && d.weight > 0.0, "weight must be > 0");
+            (d.critical_share() * (1.0 + margin)).max(min_share)
+        })
+        .collect();
+    if floors.iter().sum::<f64>() >= budget {
+        return None;
+    }
+
+    // Active-set iteration: start with every client interior, pin those
+    // whose KKT share falls below the floor, repeat. Each pass pins at
+    // least one client, so at most n passes run.
+    let n = demands.len();
+    let mut pinned = vec![false; n];
+    let mut shares = vec![0.0; n];
+    loop {
+        let mut free_budget = budget;
+        let mut sum_crit = 0.0;
+        let mut sum_sqrt = 0.0;
+        for i in 0..n {
+            if pinned[i] {
+                free_budget -= floors[i];
+            } else {
+                sum_crit += demands[i].critical_share();
+                sum_sqrt += (demands[i].weight / demands[i].rate_per_share).sqrt();
+            }
+        }
+        if sum_sqrt == 0.0 {
+            // Everyone pinned: the floors are the answer.
+            for i in 0..n {
+                shares[i] = floors[i];
+            }
+            break;
+        }
+        let slack = free_budget - sum_crit;
+        if slack <= 0.0 {
+            // The unpinned criticals no longer fit; infeasible mix.
+            return None;
+        }
+        let scale = slack / sum_sqrt; // = 1/√η
+        let mut newly_pinned = false;
+        for i in 0..n {
+            if pinned[i] {
+                shares[i] = floors[i];
+                continue;
+            }
+            let d = &demands[i];
+            let phi = d.critical_share() + scale * (d.weight / d.rate_per_share).sqrt();
+            if phi < floors[i] {
+                pinned[i] = true;
+                newly_pinned = true;
+            } else {
+                shares[i] = phi;
+            }
+        }
+        if !newly_pinned {
+            break;
+        }
+    }
+
+    debug_assert!((shares.iter().sum::<f64>() - budget).abs() < 1e-9 * budget.max(1.0) * 10.0);
+    // Guard against one-ulp overshoot past the budget from the closed-form
+    // arithmetic (a single interior client gets exactly `budget`).
+    for s in &mut shares {
+        *s = s.min(budget);
+    }
+    Some(shares)
+}
+
+/// Total weighted delay `Σ_i c_i/(φ_i·M_i − a_i)` of a share vector — the
+/// objective [`optimal_shares`] minimizes; exposed for tests and for
+/// operators that compare candidate allocations.
+pub fn weighted_delay(demands: &[ShareDemand], shares: &[f64]) -> f64 {
+    demands
+        .iter()
+        .zip(shares)
+        .map(|(d, &phi)| {
+            let denom = phi * d.rate_per_share - d.arrival;
+            if denom <= 0.0 {
+                f64::INFINITY
+            } else {
+                d.weight / denom
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn demand(arrival: f64, rate: f64, weight: f64) -> ShareDemand {
+        ShareDemand { arrival, rate_per_share: rate, weight }
+    }
+
+    #[test]
+    fn single_client_receives_the_whole_budget() {
+        let shares = optimal_shares(1.0, &[demand(1.0, 4.0, 1.0)], 1e-6, 1e-3).unwrap();
+        assert_eq!(shares.len(), 1);
+        assert!((shares[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_clients_split_evenly() {
+        let d = demand(1.0, 4.0, 1.0);
+        let shares = optimal_shares(1.0, &[d, d], 1e-6, 1e-3).unwrap();
+        assert!((shares[0] - shares[1]).abs() < 1e-12);
+        assert!((shares[0] + shares[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_weight_gets_more_share() {
+        let shares = optimal_shares(
+            1.0,
+            &[demand(0.5, 4.0, 4.0), demand(0.5, 4.0, 1.0)],
+            1e-6,
+            1e-3,
+        )
+        .unwrap();
+        assert!(shares[0] > shares[1]);
+        // Surplus above the (margin-free) critical share a/M scales with
+        // √weight: ratio √4/√1 = 2.
+        let crit = 0.5 / 4.0;
+        let surplus0 = shares[0] - crit;
+        let surplus1 = shares[1] - crit;
+        assert!((surplus0 / surplus1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_when_critical_shares_exceed_budget() {
+        // Each client needs at least 0.6 of the capacity to be stable.
+        let d = demand(2.4, 4.0, 1.0);
+        assert_eq!(optimal_shares(1.0, &[d, d], 1e-6, 1e-3), None);
+    }
+
+    #[test]
+    fn empty_demands_get_empty_shares() {
+        assert_eq!(optimal_shares(0.7, &[], 1e-6, 1e-3), Some(Vec::new()));
+    }
+
+    #[test]
+    fn min_share_floor_is_respected() {
+        // One nearly weightless idle client still receives MIN_SHARE.
+        let shares = optimal_shares(
+            1.0,
+            &[demand(1.0, 4.0, 10.0), demand(1e-9, 4.0, 1e-9)],
+            0.01,
+            1e-3,
+        )
+        .unwrap();
+        assert!(shares[1] >= 0.01 - 1e-12);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_shares_keep_queues_strictly_stable() {
+        let demands = [demand(1.0, 3.0, 2.0), demand(0.7, 5.0, 0.5), demand(0.2, 2.0, 1.0)];
+        let shares = optimal_shares(0.95, &demands, 1e-6, 1e-3).unwrap();
+        for (d, &phi) in demands.iter().zip(&shares) {
+            assert!(phi * d.rate_per_share > d.arrival);
+        }
+        assert!(weighted_delay(&demands, &shares).is_finite());
+    }
+
+    #[test]
+    fn kkt_point_beats_perturbations() {
+        let demands = [demand(1.0, 3.0, 2.0), demand(0.7, 5.0, 0.5), demand(0.2, 2.0, 1.0)];
+        let shares = optimal_shares(0.95, &demands, 1e-6, 1e-3).unwrap();
+        let best = weighted_delay(&demands, &shares);
+        // Move mass between every pair; the objective must not improve.
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let mut p = shares.clone();
+                let delta = 1e-4;
+                p[i] += delta;
+                p[j] -= delta;
+                if p[j] * demands[j].rate_per_share > demands[j].arrival {
+                    assert!(weighted_delay(&demands, &p) >= best - 1e-12);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn shares_exhaust_budget_and_stay_stable(
+            budget in 0.3f64..1.0,
+            arrivals in proptest::collection::vec(0.01f64..0.5, 1..6),
+            weights in proptest::collection::vec(0.01f64..5.0, 6),
+            rates in proptest::collection::vec(1.0f64..8.0, 6),
+        ) {
+            let demands: Vec<ShareDemand> = arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| demand(a, rates[i], weights[i]))
+                .collect();
+            if let Some(shares) = optimal_shares(budget, &demands, 1e-6, 1e-3) {
+                prop_assert!((shares.iter().sum::<f64>() - budget).abs() < 1e-7);
+                for (d, &phi) in demands.iter().zip(&shares) {
+                    prop_assert!(phi * d.rate_per_share > d.arrival);
+                    prop_assert!(phi >= 1e-6 - 1e-15);
+                }
+                prop_assert!(weighted_delay(&demands, &shares).is_finite());
+            }
+        }
+
+        #[test]
+        fn solution_is_a_local_minimum(
+            budget in 0.5f64..1.0,
+            n in 2usize..5,
+            seed in 0u64..1000,
+        ) {
+            // Deterministic pseudo-random demands from the seed.
+            let mut x = seed.wrapping_mul(2654435761).wrapping_add(1);
+            let mut next = || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) as f64 / 2f64.powi(31)).fract().abs()
+            };
+            let demands: Vec<ShareDemand> = (0..n)
+                .map(|_| demand(0.05 + 0.3 * next(), 1.0 + 6.0 * next(), 0.1 + 3.0 * next()))
+                .collect();
+            if let Some(shares) = optimal_shares(budget, &demands, 1e-6, 1e-3) {
+                let best = weighted_delay(&demands, &shares);
+                for i in 0..n {
+                    for j in 0..n {
+                        if i == j { continue; }
+                        let mut p = shares.clone();
+                        p[i] += 1e-5;
+                        p[j] -= 1e-5;
+                        if p[j] * demands[j].rate_per_share > demands[j].arrival
+                            && p[j] >= 0.0
+                        {
+                            prop_assert!(weighted_delay(&demands, &p) >= best - 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! `Adjust_DispersionRates(i)` — re-optimize one client's dispersion over
+//! its current servers with the shares fixed (paper §V-B.2, the dual of
+//! the share problem).
+
+use cloudalloc_model::{evaluate_client, Allocation, ClientId, Placement};
+
+use crate::ctx::SolverCtx;
+use crate::dispersion::{optimal_dispersion, DispersionBranch};
+
+/// Re-balances `client`'s dispersion `α` across the servers it already
+/// occupies, keeping every `φ` fixed. Commits only when the client's
+/// revenue minus its utilization cost improves (no other client is
+/// affected: shares and their arrivals are untouched). Branches whose
+/// optimal `α` collapses to zero are removed, freeing their shares.
+///
+/// Returns `true` when the allocation changed.
+pub fn adjust_dispersion_rates(
+    ctx: &SolverCtx<'_>,
+    alloc: &mut Allocation,
+    client: ClientId,
+) -> bool {
+    let system = ctx.system;
+    let held = alloc.placements(client).to_vec();
+    if held.len() < 2 {
+        // Nothing to re-balance with zero or one branch.
+        return false;
+    }
+    let c = system.client(client);
+    let outcome = evaluate_client(system, alloc, client);
+    let weight = ctx.aspiration_weight(client, outcome.response_time);
+
+    let branches: Vec<DispersionBranch> = held
+        .iter()
+        .map(|&(server, p)| {
+            let class = system.class_of(server);
+            DispersionBranch {
+                service_p: p.phi_p * class.cap_processing / c.exec_processing,
+                service_c: p.phi_c * class.cap_communication / c.exec_communication,
+                cost_slope: class.cost_per_utilization * c.rate_predicted * c.exec_processing
+                    / class.cap_processing,
+            }
+        })
+        .collect();
+
+    let Some(alphas) = optimal_dispersion(
+        c.rate_predicted,
+        weight,
+        &branches,
+        ctx.config.stability_margin,
+    ) else {
+        return false;
+    };
+
+    let utilization_cost = |a: &Allocation| -> f64 {
+        a.placements(client)
+            .iter()
+            .map(|&(server, p)| {
+                let class = system.class_of(server);
+                class.cost_per_utilization * p.alpha * c.rate_predicted * c.exec_processing
+                    / class.cap_processing
+            })
+            .sum()
+    };
+    let old_value = outcome.revenue - utilization_cost(alloc);
+
+    // Apply tentatively. Zeroed branches are dropped entirely, freeing
+    // their shares and possibly powering a server down (constraint (9)).
+    for (&(server, p), &a) in held.iter().zip(&alphas) {
+        if a < 1e-9 {
+            alloc.remove(system, client, server);
+        } else {
+            alloc.place(system, client, server, Placement { alpha: a, ..p });
+        }
+    }
+    let new_outcome = evaluate_client(system, alloc, client);
+    let new_value = new_outcome.revenue - utilization_cost(alloc);
+
+    if new_value + 1e-12 < old_value {
+        // Roll back to the original placements.
+        for &(server, p) in &held {
+            alloc.place(system, client, server, p);
+        }
+        return false;
+    }
+    held.iter().zip(&alphas).any(|(&(_, p), &a)| (p.alpha - a).abs() > 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{best_cluster, commit};
+    use crate::config::SolverConfig;
+    use cloudalloc_model::{check_feasibility, evaluate};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    fn greedy_system(
+        n: usize,
+        seed: u64,
+    ) -> (cloudalloc_model::CloudSystem, SolverConfig) {
+        (generate(&ScenarioConfig::small(n), seed), SolverConfig::default())
+    }
+
+    #[test]
+    fn dispersion_pass_never_decreases_profit() {
+        let (system, config) = greedy_system(10, 31);
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        for i in 0..system.num_clients() {
+            let cand = best_cluster(&ctx, &alloc, ClientId(i)).expect("fits");
+            commit(&ctx, &mut alloc, ClientId(i), &cand);
+        }
+        let before = evaluate(&system, &alloc).profit;
+        for i in 0..system.num_clients() {
+            adjust_dispersion_rates(&ctx, &mut alloc, ClientId(i));
+        }
+        let after = evaluate(&system, &alloc).profit;
+        assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        assert!(check_feasibility(&system, &alloc).is_empty());
+        alloc.assert_consistent(&system);
+    }
+
+    #[test]
+    fn single_branch_clients_are_untouched() {
+        let (system, config) = greedy_system(4, 5);
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        for i in 0..system.num_clients() {
+            let cand = best_cluster(&ctx, &alloc, ClientId(i)).expect("fits");
+            commit(&ctx, &mut alloc, ClientId(i), &cand);
+        }
+        for i in 0..system.num_clients() {
+            let held = alloc.placements(ClientId(i)).to_vec();
+            if held.len() == 1 {
+                assert!(!adjust_dispersion_rates(&ctx, &mut alloc, ClientId(i)));
+                assert_eq!(alloc.placements(ClientId(i)), held.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn dispersion_totals_stay_at_one() {
+        let (system, config) = greedy_system(12, 13);
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        for i in 0..system.num_clients() {
+            let cand = best_cluster(&ctx, &alloc, ClientId(i)).expect("fits");
+            commit(&ctx, &mut alloc, ClientId(i), &cand);
+        }
+        for i in 0..system.num_clients() {
+            adjust_dispersion_rates(&ctx, &mut alloc, ClientId(i));
+            assert!((alloc.total_alpha(ClientId(i)) - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn skewed_manual_dispersion_gets_rebalanced() {
+        // Build a deliberately bad split: a client with two placements,
+        // nearly all traffic on the weaker one.
+        let (system, config) = greedy_system(1, 17);
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        let cand = best_cluster(&ctx, &alloc, ClientId(0)).expect("fits");
+        commit(&ctx, &mut alloc, ClientId(0), &cand);
+        let held = alloc.placements(ClientId(0)).to_vec();
+        if held.len() >= 2 {
+            // Skew: 0.9 on the first branch, the rest spread evenly.
+            let n = held.len();
+            let rest = 0.1 / (n - 1) as f64;
+            for (idx, &(server, p)) in held.iter().enumerate() {
+                let alpha = if idx == 0 { 0.9 } else { rest };
+                // Only apply if stable enough to be a valid starting point.
+                let c = system.client(ClientId(0));
+                let class = system.class_of(server);
+                if alpha * c.rate_predicted
+                    < (p.phi_p * class.cap_processing / c.exec_processing)
+                        .min(p.phi_c * class.cap_communication / c.exec_communication)
+                {
+                    alloc.place(&system, ClientId(0), server, Placement { alpha, ..p });
+                }
+            }
+            let before = evaluate(&system, &alloc).profit;
+            adjust_dispersion_rates(&ctx, &mut alloc, ClientId(0));
+            let after = evaluate(&system, &alloc).profit;
+            assert!(after >= before - 1e-9);
+        }
+    }
+}

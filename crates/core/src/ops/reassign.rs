@@ -1,0 +1,115 @@
+//! `Reassign_Clients` — inter-cluster local search: move one client at a
+//! time to its currently-best cluster (paper §V: the local search "used to
+//! change client assignment to decrease the resource saturation in some of
+//! clusters ... and to combine the clients to decrease the number of
+//! active servers").
+
+use cloudalloc_model::{evaluate, Allocation, ClientId};
+
+use crate::assign::{best_cluster, commit};
+use crate::ctx::SolverCtx;
+
+/// One pass over `order`: each client is tentatively removed and
+/// re-inserted into its best cluster given the rest of the system; the
+/// move commits only when the total profit improves. Unassigned clients
+/// (left over from an infeasible greedy pass) get a placement attempt too.
+///
+/// Returns `true` when any client moved.
+pub fn reassign_clients(ctx: &SolverCtx<'_>, alloc: &mut Allocation, order: &[ClientId]) -> bool {
+    let system = ctx.system;
+    let mut current_profit = evaluate(system, alloc).profit;
+    let mut changed = false;
+    for &client in order {
+        let old_cluster = alloc.cluster_of(client);
+        let held = alloc.clear_client(system, client);
+        if let Some(candidate) = best_cluster(ctx, alloc, client) {
+            commit(ctx, alloc, client, &candidate);
+            let new_profit = evaluate(system, alloc).profit;
+            if new_profit > current_profit + 1e-9 {
+                current_profit = new_profit;
+                changed = true;
+                continue;
+            }
+        }
+        // Roll back: restore the exact previous placements.
+        alloc.clear_client(system, client);
+        if let Some(k) = old_cluster {
+            alloc.assign_cluster(client, k);
+            for &(server, placement) in &held {
+                alloc.place(system, client, server, placement);
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::initial::random_assignment;
+    use cloudalloc_model::check_feasibility;
+    use cloudalloc_workload::{generate, ScenarioConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reassignment_never_decreases_profit() {
+        let system = generate(&ScenarioConfig::small(10), 61);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut alloc = random_assignment(&ctx, &mut rng);
+        let before = evaluate(&system, &alloc).profit;
+        let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
+        reassign_clients(&ctx, &mut alloc, &order);
+        let after = evaluate(&system, &alloc).profit;
+        assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        // Reassignment keeps every placed client feasible; clients no
+        // cluster can profitably host may stay unassigned.
+        assert!(check_feasibility(&system, &alloc)
+            .iter()
+            .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })));
+        alloc.assert_consistent(&system);
+    }
+
+    #[test]
+    fn random_assignments_improve_under_reassignment() {
+        // A random start should usually leave room for at least one
+        // improving move across several seeds.
+        let mut improved = false;
+        for seed in 0..5 {
+            let system = generate(&ScenarioConfig::small(12), 400 + seed);
+            let config = SolverConfig::default();
+            let ctx = SolverCtx::new(&system, &config);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut alloc = random_assignment(&ctx, &mut rng);
+            let before = evaluate(&system, &alloc).profit;
+            let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
+            reassign_clients(&ctx, &mut alloc, &order);
+            if evaluate(&system, &alloc).profit > before + 1e-9 {
+                improved = true;
+                break;
+            }
+        }
+        assert!(improved, "reassignment never improved a random start");
+    }
+
+    #[test]
+    fn rollback_restores_the_exact_allocation() {
+        let system = generate(&ScenarioConfig::small(6), 63);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut rng = StdRng::seed_from_u64(5);
+        let alloc_before = random_assignment(&ctx, &mut rng);
+        let mut alloc = alloc_before.clone();
+        let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
+        let changed = reassign_clients(&ctx, &mut alloc, &order);
+        if !changed {
+            assert_eq!(alloc, alloc_before, "no-op pass must leave the allocation intact");
+        } else {
+            // Changed allocations must still be complete.
+            assert!(alloc.is_complete(1e-6) || !alloc_before.is_complete(1e-6));
+        }
+    }
+}

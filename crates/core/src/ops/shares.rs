@@ -1,0 +1,209 @@
+//! `Adjust_ResourceShares(j)` — re-optimize the GPS shares of one server
+//! with the dispersion fixed (paper §V-B.1).
+
+use cloudalloc_model::{evaluate_client, Allocation, ClientId, Placement, ServerId};
+
+use crate::ctx::SolverCtx;
+use crate::kkt::{optimal_shares, ShareDemand};
+
+/// Re-optimizes the shares of `server` and applies the KKT solution
+/// *unconditionally* (no revenue check). Used by operators that must
+/// restore share feasibility after force-inserting a client at its
+/// stability floor; such callers hold their own rollback snapshot.
+///
+/// Returns `false` when the resident mix cannot be stably re-balanced
+/// within the budget, leaving the allocation untouched.
+pub fn rebalance_server_shares(
+    ctx: &SolverCtx<'_>,
+    alloc: &mut Allocation,
+    server: ServerId,
+) -> bool {
+    adjust_shares_inner(ctx, alloc, server, false)
+}
+
+/// Re-optimizes the processing and communication shares of `server` among
+/// its residents via the closed-form KKT solution, committing the change
+/// only when the residents' total revenue improves (operation cost does
+/// not depend on `φ`, so revenue is the full profit delta).
+///
+/// Returns `true` when the allocation changed.
+pub fn adjust_resource_shares(
+    ctx: &SolverCtx<'_>,
+    alloc: &mut Allocation,
+    server: ServerId,
+) -> bool {
+    adjust_shares_inner(ctx, alloc, server, true)
+}
+
+fn adjust_shares_inner(
+    ctx: &SolverCtx<'_>,
+    alloc: &mut Allocation,
+    server: ServerId,
+    require_improvement: bool,
+) -> bool {
+    let system = ctx.system;
+    let residents: Vec<ClientId> = alloc.residents(server).to_vec();
+    if residents.is_empty() {
+        return false;
+    }
+    let class = system.class_of(server);
+    let bg = system.background(server);
+
+    // Weights use the utility slope at the client's *current* response
+    // time — the linearization point of the paper's Eq. (17).
+    let mut demands_p = Vec::with_capacity(residents.len());
+    let mut demands_c = Vec::with_capacity(residents.len());
+    let mut old_revenue = 0.0;
+    let mut old_placements = Vec::with_capacity(residents.len());
+    for &client in &residents {
+        let outcome = evaluate_client(system, alloc, client);
+        old_revenue += outcome.revenue;
+        let c = system.client(client);
+        let p = alloc.placement(client, server).expect("resident must hold a placement");
+        old_placements.push(p);
+        let weight = ctx.aspiration_weight(client, outcome.response_time) * p.alpha.max(1e-9);
+        demands_p.push(ShareDemand {
+            arrival: p.alpha * c.rate_predicted,
+            rate_per_share: class.cap_processing / c.exec_processing,
+            weight,
+        });
+        demands_c.push(ShareDemand {
+            arrival: p.alpha * c.rate_predicted,
+            rate_per_share: class.cap_communication / c.exec_communication,
+            weight,
+        });
+    }
+
+    let margin = ctx.config.stability_margin;
+    let (Some(shares_p), Some(shares_c)) = (
+        optimal_shares(1.0 - bg.phi_p, &demands_p, cloudalloc_model::MIN_SHARE, margin),
+        optimal_shares(1.0 - bg.phi_c, &demands_c, cloudalloc_model::MIN_SHARE, margin),
+    ) else {
+        // The current mix cannot be re-balanced (e.g. critical shares eat
+        // the budget); keep the existing feasible shares.
+        return false;
+    };
+
+    // Apply tentatively, then verify the revenue actually improved — the
+    // KKT step optimizes the *linearized* utility, which can differ from
+    // the true one for step/exponential SLAs.
+    for (idx, &client) in residents.iter().enumerate() {
+        let p = old_placements[idx];
+        alloc.place(
+            system,
+            client,
+            server,
+            Placement { alpha: p.alpha, phi_p: shares_p[idx], phi_c: shares_c[idx] },
+        );
+    }
+    let new_revenue: f64 = residents
+        .iter()
+        .map(|&client| evaluate_client(system, alloc, client).revenue)
+        .sum();
+    if require_improvement && new_revenue + 1e-12 < old_revenue {
+        for (idx, &client) in residents.iter().enumerate() {
+            alloc.place(system, client, server, old_placements[idx]);
+        }
+        return false;
+    }
+    new_revenue > old_revenue + 1e-12
+        || old_placements.iter().enumerate().any(|(idx, p)| {
+            (p.phi_p - shares_p[idx]).abs() > 1e-12 || (p.phi_c - shares_c[idx]).abs() > 1e-12
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{best_cluster, commit};
+    use crate::config::SolverConfig;
+    use cloudalloc_model::{check_feasibility, evaluate};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    fn seeded(n: usize, seed: u64) -> (cloudalloc_model::CloudSystem, SolverConfig) {
+        (generate(&ScenarioConfig::small(n), seed), SolverConfig::default())
+    }
+
+    fn greedy_alloc(
+        ctx: &SolverCtx<'_>,
+    ) -> Allocation {
+        let mut alloc = Allocation::new(ctx.system);
+        for i in 0..ctx.system.num_clients() {
+            // Overloaded fixtures may not fit every client; skip those.
+            if let Some(cand) = best_cluster(ctx, &alloc, ClientId(i)) {
+                commit(ctx, &mut alloc, ClientId(i), &cand);
+            }
+        }
+        alloc
+    }
+
+    #[test]
+    fn adjusting_never_decreases_profit() {
+        let (system, config) = seeded(10, 21);
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = greedy_alloc(&ctx);
+        let before = evaluate(&system, &alloc).profit;
+        let servers: Vec<ServerId> = alloc.active_servers().collect();
+        for server in servers {
+            adjust_resource_shares(&ctx, &mut alloc, server);
+        }
+        let after = evaluate(&system, &alloc).profit;
+        assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        // Best-effort greedy may leave unplaceable clients unassigned;
+        // everything else must be feasible.
+        assert!(check_feasibility(&system, &alloc)
+            .iter()
+            .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })));
+        alloc.assert_consistent(&system);
+    }
+
+    #[test]
+    fn adjusting_typically_improves_the_greedy_shares() {
+        // Across several seeds, at least one server's re-balance must
+        // strictly improve profit — the greedy's shadow-priced shares are
+        // not the per-server optimum.
+        let mut improved = false;
+        for seed in 0..5 {
+            let (system, config) = seeded(12, 100 + seed);
+            let ctx = SolverCtx::new(&system, &config);
+            let mut alloc = greedy_alloc(&ctx);
+            let before = evaluate(&system, &alloc).profit;
+            let servers: Vec<ServerId> = alloc.active_servers().collect();
+            for server in servers {
+                adjust_resource_shares(&ctx, &mut alloc, server);
+            }
+            if evaluate(&system, &alloc).profit > before + 1e-9 {
+                improved = true;
+                break;
+            }
+        }
+        assert!(improved, "share re-balancing never improved any seed");
+    }
+
+    #[test]
+    fn empty_server_is_a_noop() {
+        let (system, config) = seeded(2, 3);
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        // No residents anywhere yet.
+        let any_changed = (0..system.num_servers())
+            .any(|j| adjust_resource_shares(&ctx, &mut alloc, ServerId(j)));
+        assert!(!any_changed);
+    }
+
+    #[test]
+    fn shares_fill_the_budget_after_adjustment() {
+        let (system, config) = seeded(8, 9);
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = greedy_alloc(&ctx);
+        let servers: Vec<ServerId> = alloc.active_servers().collect();
+        for server in servers {
+            if adjust_resource_shares(&ctx, &mut alloc, server) {
+                let load = alloc.load(server);
+                // The KKT solution exhausts the share budget.
+                assert!(load.phi_p <= 1.0 + 1e-9);
+                assert!((load.phi_p - 1.0).abs() < 1e-6 || load.phi_p < 1.0);
+            }
+        }
+    }
+}

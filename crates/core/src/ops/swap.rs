@@ -1,0 +1,159 @@
+//! `Swap_Clients` — pairwise inter-cluster exchange (an extension beyond
+//! the paper's operator set).
+//!
+//! The single-client `Reassign_Clients` move cannot escape optima where
+//! two clusters are both full: moving either client alone fails for lack
+//! of capacity, while *exchanging* two clients would fit. This operator
+//! tries a bounded number of random cross-cluster pairs, swapping their
+//! clusters (placements re-derived via `Assign_Distribute`), and commits
+//! only profit-improving exchanges — monotone like every other operator.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use cloudalloc_model::{evaluate, Allocation, ClientId};
+
+use crate::assign::{assign_distribute, commit};
+use crate::ctx::SolverCtx;
+
+/// Attempts up to `budget` random cross-cluster swaps; returns `true`
+/// when any swap committed.
+pub fn swap_clients(
+    ctx: &SolverCtx<'_>,
+    alloc: &mut Allocation,
+    budget: usize,
+    rng: &mut StdRng,
+) -> bool {
+    let system = ctx.system;
+    if system.num_clusters() < 2 {
+        return false;
+    }
+    let assigned: Vec<ClientId> = (0..system.num_clients())
+        .map(ClientId)
+        .filter(|&c| alloc.cluster_of(c).is_some())
+        .collect();
+    if assigned.len() < 2 {
+        return false;
+    }
+
+    let mut current_profit = evaluate(system, alloc).profit;
+    let mut changed = false;
+    for _ in 0..budget {
+        // Draw a cross-cluster pair (retry a few times on same-cluster
+        // draws; clusters can be imbalanced).
+        let mut pair = None;
+        for _ in 0..8 {
+            let a = *assigned.choose(rng).expect("non-empty");
+            let b = *assigned.choose(rng).expect("non-empty");
+            if a != b && alloc.cluster_of(a) != alloc.cluster_of(b) {
+                pair = Some((a, b));
+                break;
+            }
+        }
+        let Some((a, b)) = pair else { continue };
+        let cluster_a = alloc.cluster_of(a).expect("assigned");
+        let cluster_b = alloc.cluster_of(b).expect("assigned");
+
+        let snapshot = alloc.clone();
+        alloc.clear_client(system, a);
+        alloc.clear_client(system, b);
+        // Insert in random order — both orders are legitimate greedy
+        // sequences and explore slightly different placements.
+        let (first, first_dst, second, second_dst) = if rng.gen::<bool>() {
+            (a, cluster_b, b, cluster_a)
+        } else {
+            (b, cluster_a, a, cluster_b)
+        };
+        let ok = [(first, first_dst), (second, second_dst)].into_iter().all(
+            |(client, cluster)| match assign_distribute(ctx, alloc, client, cluster) {
+                Some(cand) => {
+                    commit(ctx, alloc, client, &cand);
+                    true
+                }
+                None => false,
+            },
+        );
+        if ok {
+            let new_profit = evaluate(system, alloc).profit;
+            if new_profit > current_profit + 1e-9 {
+                current_profit = new_profit;
+                changed = true;
+                continue;
+            }
+        }
+        *alloc = snapshot;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::initial::random_assignment;
+    use cloudalloc_model::check_feasibility;
+    use cloudalloc_workload::{generate, ScenarioConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn swaps_never_decrease_profit_and_stay_feasible() {
+        let system = generate(&ScenarioConfig::small(12), 151);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut alloc = random_assignment(&ctx, &mut rng);
+        let before = evaluate(&system, &alloc).profit;
+        swap_clients(&ctx, &mut alloc, 30, &mut rng);
+        let after = evaluate(&system, &alloc).profit;
+        assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        assert!(check_feasibility(&system, &alloc)
+            .iter()
+            .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })));
+        alloc.assert_consistent(&system);
+    }
+
+    #[test]
+    fn swaps_find_improvements_on_random_starts() {
+        let mut improved = false;
+        for seed in 0..6 {
+            let system = generate(&ScenarioConfig::small(14), 800 + seed);
+            let config = SolverConfig::default();
+            let ctx = SolverCtx::new(&system, &config);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut alloc = random_assignment(&ctx, &mut rng);
+            if swap_clients(&ctx, &mut alloc, 40, &mut rng) {
+                improved = true;
+                break;
+            }
+        }
+        assert!(improved, "no swap ever improved a random start");
+    }
+
+    #[test]
+    fn single_cluster_systems_are_a_noop() {
+        let mut cfg = ScenarioConfig::small(6);
+        cfg.num_clusters = 1;
+        let system = generate(&cfg, 152);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut alloc = random_assignment(&ctx, &mut rng);
+        let before = alloc.clone();
+        assert!(!swap_clients(&ctx, &mut alloc, 10, &mut rng));
+        assert_eq!(alloc, before);
+    }
+
+    #[test]
+    fn rollbacks_restore_the_exact_state() {
+        let system = generate(&ScenarioConfig::small(8), 153);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut alloc = random_assignment(&ctx, &mut rng);
+        let before = alloc.clone();
+        // Zero budget: must be a perfect no-op.
+        assert!(!swap_clients(&ctx, &mut alloc, 0, &mut rng));
+        assert_eq!(alloc, before);
+    }
+}

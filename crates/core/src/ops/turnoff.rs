@@ -1,0 +1,347 @@
+//! `TurnOFF_servers(k)` — power a server down when its residents can be
+//! absorbed elsewhere for a net profit gain (paper §V-B.2).
+//!
+//! Candidates are ranked by approximated utility ascending (the paper's
+//! ordering): the least valuable server is tried first. Evacuation
+//! re-disperses each resident over its remaining branches (or fully
+//! re-assigns single-branch residents inside the cluster, excluding the
+//! dying server); the whole move commits only when the evaluated profit
+//! improves, otherwise the candidate is skipped — exactly the paper's
+//! "otherwise the selected server is removed from the candidate set".
+
+use cloudalloc_model::{
+    evaluate, evaluate_client, Allocation, ClientId, ClusterId, Placement, ServerId,
+};
+
+use crate::assign::{assign_distribute_excluding, commit};
+use crate::ctx::SolverCtx;
+use crate::dispersion::{optimal_dispersion, DispersionBranch};
+
+/// Approximated utility of a server: revenue attributable to the traffic
+/// it carries minus its operation cost. Low values make good shutdown
+/// candidates.
+fn server_value(ctx: &SolverCtx<'_>, alloc: &Allocation, server: ServerId) -> f64 {
+    let system = ctx.system;
+    let mut revenue_share = 0.0;
+    for &client in alloc.residents(server) {
+        let outcome = evaluate_client(system, alloc, client);
+        if let Some(p) = alloc.placement(client, server) {
+            revenue_share += outcome.revenue * p.alpha;
+        }
+    }
+    let class = system.class_of(server);
+    let rho = alloc.load(server).work_processing / class.cap_processing;
+    revenue_share - class.operation_cost(rho)
+}
+
+/// Force-fits `client` (whole stream) onto an already-active server of
+/// the cluster whose share budget can be re-balanced to absorb it: the
+/// newcomer enters at its stability floor, then the KKT re-balance
+/// redistributes the server's whole budget among all residents. Used when
+/// no *free* capacity exists anywhere (active servers run at `Σφ = 1`),
+/// which is exactly the situation consolidation must break through.
+fn squeeze_insert(
+    ctx: &SolverCtx<'_>,
+    alloc: &mut Allocation,
+    cluster: ClusterId,
+    client: ClientId,
+    exclude: ServerId,
+) -> bool {
+    let system = ctx.system;
+    let c = system.client(client);
+    let margin = ctx.config.stability_margin;
+    // Pick the active server with the most stability slack after taking
+    // the newcomer's full stream.
+    let mut best: Option<(f64, ServerId)> = None;
+    for server in system.servers_in(cluster) {
+        if server.id == exclude || !alloc.is_on(server.id) {
+            continue;
+        }
+        let load = alloc.load(server.id);
+        if load.storage + c.storage > server.class.cap_storage {
+            continue;
+        }
+        let bg = system.background(server.id);
+        let sigma_new_p = c.rate_predicted * c.exec_processing / server.class.cap_processing;
+        let sigma_new_c = c.rate_predicted * c.exec_communication / server.class.cap_communication;
+        // Total critical shares of current residents plus the newcomer
+        // must leave room under both budgets.
+        let mut crit_p = sigma_new_p;
+        let mut crit_c = sigma_new_c;
+        for &resident in alloc.residents(server.id) {
+            let rc = system.client(resident);
+            let p = alloc.placement(resident, server.id).expect("resident");
+            crit_p += p.alpha * rc.rate_predicted * rc.exec_processing
+                / server.class.cap_processing;
+            crit_c += p.alpha * rc.rate_predicted * rc.exec_communication
+                / server.class.cap_communication;
+        }
+        let slack = ((1.0 - bg.phi_p) - crit_p * (1.0 + margin))
+            .min((1.0 - bg.phi_c) - crit_c * (1.0 + margin));
+        if slack > 0.0 && best.as_ref().is_none_or(|&(s, _)| slack > s) {
+            best = Some((slack, server.id));
+        }
+    }
+    let Some((_, target)) = best else {
+        return false;
+    };
+    // Enter at the stability floor, then let the KKT pass re-balance the
+    // whole server.
+    let class = system.class_of(target);
+    let sigma_p = (c.rate_predicted * c.exec_processing / class.cap_processing)
+        * (1.0 + margin)
+        + 1e-9;
+    let sigma_c = (c.rate_predicted * c.exec_communication / class.cap_communication)
+        * (1.0 + margin)
+        + 1e-9;
+    alloc.assign_cluster(client, cluster);
+    alloc.place(
+        system,
+        client,
+        target,
+        Placement {
+            alpha: 1.0,
+            phi_p: sigma_p.max(cloudalloc_model::MIN_SHARE).min(1.0),
+            phi_c: sigma_c.max(cloudalloc_model::MIN_SHARE).min(1.0),
+        },
+    );
+    // Unconditional re-balance: the floor insert transiently overflows the
+    // share budget, and the KKT pass restores Σφ = budget. If the mix is
+    // not stably re-balanceable after all, undo the insert.
+    if !crate::ops::rebalance_server_shares(ctx, alloc, target) {
+        alloc.remove(system, client, target);
+        return false;
+    }
+    true
+}
+
+/// Re-homes a fully-evicted client inside the cluster without touching
+/// `server`. Prefers free capacity on already-active machines; when the
+/// best re-assignment would *open* a new server (which defeats the
+/// shutdown), it is compared against squeezing the client into an active
+/// server's re-balanced share budget, and the more profitable option
+/// wins. Returns `false` when the client cannot be re-homed at all.
+fn rehome_client(
+    ctx: &SolverCtx<'_>,
+    alloc: &mut Allocation,
+    cluster: ClusterId,
+    client: ClientId,
+    server: ServerId,
+) -> bool {
+    let system = ctx.system;
+    let candidate = assign_distribute_excluding(ctx, alloc, client, cluster, Some(server));
+    if let Some(cand) = &candidate {
+        let opens_new = cand.placements.iter().any(|&(s, _)| !alloc.is_on(s));
+        if !opens_new {
+            commit(ctx, alloc, client, cand);
+            return true;
+        }
+    }
+    // The re-assignment would power a fresh machine (or failed): try the
+    // squeeze and keep whichever outcome is more profitable.
+    let mut squeezed = alloc.clone();
+    let squeeze_ok = squeeze_insert(ctx, &mut squeezed, cluster, client, server);
+    match (candidate, squeeze_ok) {
+        (Some(cand), true) => {
+            let mut assigned = alloc.clone();
+            commit(ctx, &mut assigned, client, &cand);
+            if evaluate(system, &squeezed).profit >= evaluate(system, &assigned).profit {
+                *alloc = squeezed;
+            } else {
+                *alloc = assigned;
+            }
+            true
+        }
+        (Some(cand), false) => {
+            commit(ctx, alloc, client, &cand);
+            true
+        }
+        (None, true) => {
+            *alloc = squeezed;
+            true
+        }
+        (None, false) => false,
+    }
+}
+
+/// Moves every resident of `server` onto other machines; returns `false`
+/// (leaving `alloc` partially modified — callers hold a snapshot) when
+/// some resident cannot be absorbed.
+fn evacuate(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId, server: ServerId) -> bool {
+    let system = ctx.system;
+    let residents: Vec<ClientId> = alloc.residents(server).to_vec();
+    for client in residents {
+        let c = system.client(client);
+        alloc.remove(system, client, server);
+        let held = alloc.placements(client).to_vec();
+        if held.is_empty() {
+            // Sole-branch resident: full re-homing inside the cluster,
+            // never touching the dying server.
+            alloc.clear_client(system, client);
+            if !rehome_client(ctx, alloc, cluster, client, server) {
+                return false;
+            }
+        } else {
+            // Re-disperse the full stream over the remaining branches.
+            let weight =
+                ctx.aspiration_weight(client, evaluate_client(system, alloc, client).response_time);
+            let branches: Vec<DispersionBranch> = held
+                .iter()
+                .map(|&(sid, p)| {
+                    let class = system.class_of(sid);
+                    DispersionBranch {
+                        service_p: p.phi_p * class.cap_processing / c.exec_processing,
+                        service_c: p.phi_c * class.cap_communication / c.exec_communication,
+                        cost_slope: class.cost_per_utilization
+                            * c.rate_predicted
+                            * c.exec_processing
+                            / class.cap_processing,
+                    }
+                })
+                .collect();
+            let Some(alphas) = optimal_dispersion(
+                c.rate_predicted,
+                weight,
+                &branches,
+                ctx.config.stability_margin,
+            ) else {
+                // Remaining branches cannot absorb the stream: fall back
+                // to a full re-homing.
+                alloc.clear_client(system, client);
+                if !rehome_client(ctx, alloc, cluster, client, server) {
+                    return false;
+                }
+                continue;
+            };
+            for (&(sid, p), &a) in held.iter().zip(&alphas) {
+                if a < 1e-9 {
+                    alloc.remove(system, client, sid);
+                } else {
+                    alloc.place(system, client, sid, Placement { alpha: a, ..p });
+                }
+            }
+        }
+    }
+    debug_assert!(!alloc.is_on(server), "evacuated server must be off");
+    true
+}
+
+/// Runs the operator over `cluster`. Returns `true` when at least one
+/// server was profitably powered down.
+pub fn turn_off_servers(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId) -> bool {
+    let system = ctx.system;
+    let mut candidates: Vec<(f64, ServerId)> = system
+        .servers_in(cluster)
+        .filter(|s| alloc.is_on(s.id))
+        .map(|s| (server_value(ctx, alloc, s.id), s.id))
+        .collect();
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut changed = false;
+    let mut current_profit = evaluate(system, alloc).profit;
+    for (_, server) in candidates {
+        if !alloc.is_on(server) {
+            continue; // may have emptied while evacuating an earlier one
+        }
+        let snapshot = alloc.clone();
+        if evacuate(ctx, alloc, cluster, server) {
+            let new_profit = evaluate(system, alloc).profit;
+            if new_profit > current_profit + 1e-9 {
+                current_profit = new_profit;
+                changed = true;
+                continue;
+            }
+        }
+        *alloc = snapshot;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::best_cluster;
+    use crate::config::SolverConfig;
+    use cloudalloc_model::check_feasibility;
+    use cloudalloc_workload::{generate, Range, ScenarioConfig};
+
+    fn greedy(
+        system: &cloudalloc_model::CloudSystem,
+        config: &SolverConfig,
+    ) -> Allocation {
+        let ctx = SolverCtx::new(system, config);
+        let mut alloc = Allocation::new(system);
+        for i in 0..system.num_clients() {
+            if let Some(cand) = best_cluster(&ctx, &alloc, ClientId(i)) {
+                commit(&ctx, &mut alloc, ClientId(i), &cand);
+            }
+        }
+        alloc
+    }
+
+    #[test]
+    fn turn_off_never_decreases_profit_and_stays_feasible() {
+        let system = generate(&ScenarioConfig::small(10), 51);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = greedy(&system, &config);
+        let before = evaluate(&system, &alloc).profit;
+        for k in 0..system.num_clusters() {
+            turn_off_servers(&ctx, &mut alloc, ClusterId(k));
+        }
+        let after = evaluate(&system, &alloc).profit;
+        assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        assert!(check_feasibility(&system, &alloc).is_empty());
+        alloc.assert_consistent(&system);
+    }
+
+    #[test]
+    fn light_load_gets_consolidated() {
+        // Few tiny clients on a rich system: the greedy spread should be
+        // consolidated onto fewer machines by the shutdown operator on at
+        // least one of several seeds.
+        let mut any_shutdown = false;
+        for seed in 0..8 {
+            let mut cfg = ScenarioConfig::small(8);
+            cfg.arrival_rate = Range::new(0.5, 1.0);
+            let system = generate(&cfg, 300 + seed);
+            let config = SolverConfig::default();
+            let ctx = SolverCtx::new(&system, &config);
+            let mut alloc = greedy(&system, &config);
+            let before = alloc.num_active_servers();
+            for k in 0..system.num_clusters() {
+                turn_off_servers(&ctx, &mut alloc, ClusterId(k));
+            }
+            if alloc.num_active_servers() < before {
+                any_shutdown = true;
+                break;
+            }
+        }
+        assert!(any_shutdown, "consolidation never fired on light loads");
+    }
+
+    #[test]
+    fn evacuated_clients_remain_fully_dispersed() {
+        let system = generate(&ScenarioConfig::small(9), 53);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = greedy(&system, &config);
+        for k in 0..system.num_clusters() {
+            turn_off_servers(&ctx, &mut alloc, ClusterId(k));
+        }
+        for i in 0..system.num_clients() {
+            if alloc.cluster_of(ClientId(i)).is_some() {
+                assert!((alloc.total_alpha(ClientId(i)) - 1.0).abs() < 1e-8, "client {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cluster_is_a_noop() {
+        let system = generate(&ScenarioConfig::small(3), 54);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        assert!(!turn_off_servers(&ctx, &mut alloc, ClusterId(0)));
+    }
+}

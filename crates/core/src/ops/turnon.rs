@@ -1,0 +1,298 @@
+//! `TurnON_servers(k)` — activate an idle server when offloading traffic
+//! onto it buys more utility than its operation cost (paper §V-B.2).
+//!
+//! The paper solves the "best set of clients for the new server" MINLP by
+//! decomposition + dynamic programming and omits the details; this
+//! implementation uses the same family: a greedy marginal-gain loop over
+//! `(client, offload-fraction)` moves on the α-grid, each priced exactly
+//! (true utility delta, true cost delta, activation charge on the first
+//! accepted move). Every accepted move strictly improves profit, so the
+//! operator is monotone and needs no rollback.
+
+use cloudalloc_model::{
+    evaluate_client, Allocation, ClientId, ClusterId, Placement, ServerId, MIN_SHARE,
+};
+
+use crate::ctx::SolverCtx;
+
+/// A candidate offload move: shift fraction `beta` of `client`'s traffic
+/// onto the fresh server with shares `(phi_p, phi_c)`.
+#[derive(Debug, Clone, Copy)]
+struct Move {
+    client: ClientId,
+    beta: f64,
+    phi_p: f64,
+    phi_c: f64,
+    delta: f64,
+}
+
+/// Evaluates the exact profit delta of offloading `beta` of `client`'s
+/// traffic onto `target` (currently holding `free_p/free_c` share budget),
+/// charging `activation` if the server is still off.
+fn eval_move(
+    ctx: &SolverCtx<'_>,
+    alloc: &Allocation,
+    client: ClientId,
+    target: ServerId,
+    beta: f64,
+    activation: f64,
+) -> Option<Move> {
+    let system = ctx.system;
+    let c = system.client(client);
+    let class = system.class_of(target);
+    let load = alloc.load(target);
+    if load.storage + c.storage > class.cap_storage {
+        return None;
+    }
+    let margin = ctx.config.stability_margin;
+    let a = beta * c.rate_predicted;
+    let m_p = class.cap_processing / c.exec_processing;
+    let m_c = class.cap_communication / c.exec_communication;
+    let sigma_p = (a / m_p) * (1.0 + margin);
+    let sigma_c = (a / m_c) * (1.0 + margin);
+    let (free_p, free_c) = (load.free_phi_p(), load.free_phi_c());
+    if sigma_p.max(MIN_SHARE) > free_p || sigma_c.max(MIN_SHARE) > free_c {
+        return None;
+    }
+    let w = ctx.aspiration_weight(client, evaluate_client(system, alloc, client).response_time);
+    let psi = ctx.shadow_price;
+    let phi_p = (a / m_p + (w * beta / (psi * m_p)).sqrt()).clamp(sigma_p.max(MIN_SHARE), free_p);
+    let phi_c = (a / m_c + (w * beta / (psi * m_c)).sqrt()).clamp(sigma_c.max(MIN_SHARE), free_c);
+
+    // New response time: existing branches shrink to (1−β)·α with their
+    // shares intact, plus the new branch.
+    let held = alloc.placements(client);
+    let mut response = 0.0;
+    let mut p1_saved = 0.0;
+    for &(server, p) in held {
+        let srv_class = system.class_of(server);
+        let scaled = Placement { alpha: p.alpha * (1.0 - beta), ..p };
+        if scaled.alpha > 0.0 {
+            let t = cloudalloc_model::placement_response_time(srv_class, c, scaled);
+            if !t.is_finite() {
+                return None;
+            }
+            response += scaled.alpha * t;
+        }
+        p1_saved += srv_class.cost_per_utilization
+            * (p.alpha * beta)
+            * c.rate_predicted
+            * c.exec_processing
+            / srv_class.cap_processing;
+    }
+    let new_placement = Placement { alpha: beta, phi_p, phi_c };
+    let t0 = cloudalloc_model::placement_response_time(class, c, new_placement);
+    if !t0.is_finite() {
+        return None;
+    }
+    response += beta * t0;
+
+    let old = evaluate_client(system, alloc, client);
+    let new_revenue = c.rate_agreed * system.utility_of(client).value(response);
+    let p1_added =
+        class.cost_per_utilization * a * c.exec_processing / class.cap_processing;
+    let delta = (new_revenue - old.revenue) - (p1_added - p1_saved) - activation;
+    Some(Move { client, beta, phi_p, phi_c, delta })
+}
+
+/// Applies a move: scales the client's existing placements by `1 − β` and
+/// adds the new branch on `target`.
+fn apply_move(ctx: &SolverCtx<'_>, alloc: &mut Allocation, target: ServerId, mv: Move) {
+    let system = ctx.system;
+    let held = alloc.placements(mv.client).to_vec();
+    for (server, p) in held {
+        alloc.place(
+            system,
+            mv.client,
+            server,
+            Placement { alpha: p.alpha * (1.0 - mv.beta), ..p },
+        );
+    }
+    alloc.place(
+        system,
+        mv.client,
+        target,
+        Placement { alpha: mv.beta, phi_p: mv.phi_p, phi_c: mv.phi_c },
+    );
+}
+
+/// Tries to profitably fill one idle server; returns `true` when at least
+/// one offload move was committed (the server is then active).
+fn try_fill(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId, target: ServerId) -> bool {
+    let system = ctx.system;
+    let granularity = ctx.config.alpha_granularity;
+    let mut changed = false;
+    // Bounded greedy: each iteration commits the single best positive
+    // move; capacity strictly shrinks, so few iterations suffice.
+    for _ in 0..32 {
+        let activation =
+            if alloc.load(target).is_on() { 0.0 } else { system.class_of(target).cost_fixed };
+        let mut best: Option<Move> = None;
+        for i in 0..system.num_clients() {
+            let client = ClientId(i);
+            if alloc.cluster_of(client) != Some(cluster)
+                || alloc.placements(client).is_empty()
+                || alloc.placement(client, target).is_some()
+            {
+                continue;
+            }
+            for g in 1..=granularity {
+                let beta = g as f64 / granularity as f64;
+                if let Some(mv) = eval_move(ctx, alloc, client, target, beta, activation) {
+                    if best.as_ref().is_none_or(|b| mv.delta > b.delta) {
+                        best = Some(mv);
+                    }
+                }
+            }
+        }
+        match best {
+            Some(mv) if mv.delta > 1e-9 => {
+                apply_move(ctx, alloc, target, mv);
+                changed = true;
+            }
+            _ => break,
+        }
+    }
+    changed
+}
+
+/// Runs the operator over `cluster`: for every server class with an idle
+/// unit, attempt to profitably activate one machine of that class.
+///
+/// Returns `true` when the allocation changed.
+pub fn turn_on_servers(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId) -> bool {
+    let system = ctx.system;
+    // One idle representative per class: idle empty servers of a class
+    // are interchangeable (the paper solves the activation problem once
+    // per class for exactly this reason).
+    let mut seen_class = vec![false; system.server_classes().len()];
+    let mut targets = Vec::new();
+    for server in system.servers_in(cluster) {
+        let class_idx = server.server.class.index();
+        if !alloc.is_on(server.id) && !seen_class[class_idx] {
+            seen_class[class_idx] = true;
+            targets.push(server.id);
+        }
+    }
+    let mut changed = false;
+    for target in targets {
+        if try_fill(ctx, alloc, cluster, target) {
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{best_cluster, commit};
+    use crate::config::SolverConfig;
+    use cloudalloc_model::{check_feasibility, evaluate};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    fn greedy(
+        system: &cloudalloc_model::CloudSystem,
+        config: &SolverConfig,
+    ) -> Allocation {
+        let ctx = SolverCtx::new(system, config);
+        let mut alloc = Allocation::new(system);
+        for i in 0..system.num_clients() {
+            if let Some(cand) = best_cluster(&ctx, &alloc, ClientId(i)) {
+                commit(&ctx, &mut alloc, ClientId(i), &cand);
+            }
+        }
+        alloc
+    }
+
+    #[test]
+    fn turn_on_never_decreases_profit() {
+        let system = generate(&ScenarioConfig::small(10), 41);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = greedy(&system, &config);
+        let before = evaluate(&system, &alloc).profit;
+        for k in 0..system.num_clusters() {
+            turn_on_servers(&ctx, &mut alloc, ClusterId(k));
+        }
+        let after = evaluate(&system, &alloc).profit;
+        assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        assert!(check_feasibility(&system, &alloc).is_empty());
+        alloc.assert_consistent(&system);
+    }
+
+    #[test]
+    fn congested_server_triggers_activation() {
+        // Hand-built congestion: two clients squeezed onto one server of a
+        // two-server cluster, the spare server cheap to power. Offloading
+        // must clearly beat the activation cost.
+        use cloudalloc_model::{
+            Client, CloudSystem, Cluster, Placement, ServerClass, ServerClassId, UtilityClass,
+            UtilityClassId, UtilityFunction,
+        };
+        let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 0.1, 0.1)];
+        let utils = vec![UtilityClass::new(
+            UtilityClassId(0),
+            UtilityFunction::linear(3.0, 1.0),
+        )];
+        let mut system = CloudSystem::new(classes, utils);
+        let k0 = system.add_cluster(Cluster::new(ClusterId(0)));
+        let s0 = system.add_server(cloudalloc_model::Server::new(ServerClassId(0), k0));
+        let s1 = system.add_server(cloudalloc_model::Server::new(ServerClassId(0), k0));
+        for i in 0..2 {
+            system.add_client(Client::new(
+                ClientId(i),
+                UtilityClassId(0),
+                1.5,
+                1.5,
+                0.5,
+                0.5,
+                0.5,
+            ));
+        }
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        for i in 0..2 {
+            alloc.assign_cluster(ClientId(i), k0);
+            alloc.place(
+                &system,
+                ClientId(i),
+                s0,
+                Placement { alpha: 1.0, phi_p: 0.45, phi_c: 0.45 },
+            );
+        }
+        let before = evaluate(&system, &alloc).profit;
+        assert!(!alloc.is_on(s1));
+        assert!(turn_on_servers(&ctx, &mut alloc, k0), "activation must fire");
+        assert!(alloc.is_on(s1));
+        assert!(evaluate(&system, &alloc).profit > before);
+        assert!(check_feasibility(&system, &alloc).is_empty());
+    }
+
+    #[test]
+    fn moves_preserve_dispersion_totals() {
+        let system = generate(&ScenarioConfig::small(8), 43);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = greedy(&system, &config);
+        for k in 0..system.num_clusters() {
+            turn_on_servers(&ctx, &mut alloc, ClusterId(k));
+        }
+        for i in 0..system.num_clients() {
+            if !alloc.placements(ClientId(i)).is_empty() {
+                assert!((alloc.total_alpha(ClientId(i)) - 1.0).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cluster_is_a_noop() {
+        let system = generate(&ScenarioConfig::small(3), 44);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        // No clients assigned: no moves exist.
+        assert!(!turn_on_servers(&ctx, &mut alloc, ClusterId(0)));
+    }
+}

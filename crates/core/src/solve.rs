@@ -1,0 +1,234 @@
+//! The full `Resource_Alloc` pipeline: best-of-N greedy construction
+//! followed by the local-search loop until steady (paper Fig. 3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem, ClusterId, ProfitReport, ServerId};
+
+use crate::config::SolverConfig;
+use crate::ctx::SolverCtx;
+use crate::initial::best_initial;
+use crate::ops::{
+    adjust_dispersion_rates, adjust_resource_shares, reassign_clients, swap_clients,
+    turn_off_servers, turn_on_servers,
+};
+
+/// Outcome of a full solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult {
+    /// The final allocation.
+    pub allocation: Allocation,
+    /// Profit breakdown of the final allocation.
+    pub report: ProfitReport,
+    /// Profit of the best greedy initial solution (before local search).
+    pub initial_profit: f64,
+    /// Local-search statistics.
+    pub stats: SearchStats,
+}
+
+/// Progress record of the local-search loop.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Rounds executed before steady state (or the round cap).
+    pub rounds: usize,
+    /// Profit after each round, starting with the initial solution.
+    pub history: Vec<f64>,
+    /// Whether the loop reached steady state before the round cap.
+    pub converged: bool,
+}
+
+/// Runs the local-search phase in place until the profit is steady:
+/// `Adjust_ResourceShares` → `Adjust_DispersionRates` → `TurnON` →
+/// `TurnOFF` → `Reassign_Clients`, repeated. Every operator commits only
+/// improving changes, so the profit trace is non-decreasing.
+pub fn improve(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u64) -> SearchStats {
+    let system = ctx.system;
+    let config = ctx.config;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut profit = evaluate(system, alloc).profit;
+    let mut stats = SearchStats { history: vec![profit], ..Default::default() };
+
+    let mut order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
+    for round in 0..config.max_rounds {
+        if config.adjust_shares {
+            let servers: Vec<ServerId> = alloc.active_servers().collect();
+            for server in servers {
+                adjust_resource_shares(ctx, alloc, server);
+            }
+        }
+        if config.adjust_dispersion {
+            for i in 0..system.num_clients() {
+                adjust_dispersion_rates(ctx, alloc, ClientId(i));
+            }
+        }
+        if config.turn_on {
+            for k in 0..system.num_clusters() {
+                turn_on_servers(ctx, alloc, ClusterId(k));
+            }
+        }
+        if config.turn_off {
+            for k in 0..system.num_clusters() {
+                turn_off_servers(ctx, alloc, ClusterId(k));
+            }
+        }
+        if config.reassign {
+            order.shuffle(&mut rng);
+            reassign_clients(ctx, alloc, &order);
+        }
+        if config.swap {
+            swap_clients(ctx, alloc, system.num_clients(), &mut rng);
+        }
+        let new_profit = evaluate(system, alloc).profit;
+        stats.rounds = round + 1;
+        stats.history.push(new_profit);
+        let scale = profit.abs().max(1.0);
+        if new_profit - profit <= config.steady_tol * scale {
+            stats.converged = true;
+            break;
+        }
+        profit = new_profit;
+    }
+    stats
+}
+
+/// Runs the complete `Resource_Alloc` heuristic on `system`.
+///
+/// `seed` drives every randomized choice (client orderings); identical
+/// `(system, config, seed)` triples produce identical results.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`SolverConfig::validate`].
+pub fn solve(system: &CloudSystem, config: &SolverConfig, seed: u64) -> SolveResult {
+    let ctx = SolverCtx::new(system, config);
+    let (mut allocation, initial_profit) = best_initial(&ctx, seed);
+    let stats = improve(&ctx, &mut allocation, seed.wrapping_add(0x5EED));
+    let report = evaluate(system, &allocation);
+    SolveResult { allocation, report, initial_profit, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudalloc_model::check_feasibility;
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn solve_produces_feasible_improving_solutions() {
+        let system = generate(&ScenarioConfig::small(12), 71);
+        let result = solve(&system, &SolverConfig::default(), 1);
+        assert!(result.report.profit >= result.initial_profit - 1e-9);
+        // Everything placed must be feasible; clients the system cannot
+        // profitably host may stay unassigned in overloaded fixtures.
+        assert!(check_feasibility(&system, &result.allocation)
+            .iter()
+            .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })));
+        result.allocation.assert_consistent(&system);
+    }
+
+    #[test]
+    fn well_provisioned_scenarios_serve_every_client() {
+        // With strict constraint (6) every placeable client is served.
+        let system = generate(&ScenarioConfig::small(5), 71);
+        let config = SolverConfig { require_service: true, ..Default::default() };
+        let result = solve(&system, &config, 1);
+        assert!(check_feasibility(&system, &result.allocation).is_empty());
+        assert!(result.allocation.is_complete(1e-6));
+    }
+
+    #[test]
+    fn profit_history_is_monotone_non_decreasing() {
+        let system = generate(&ScenarioConfig::small(10), 72);
+        let result = solve(&system, &SolverConfig::default(), 2);
+        for pair in result.stats.history.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "history decreased: {:?}", result.stats.history);
+        }
+    }
+
+    #[test]
+    fn solve_is_deterministic() {
+        let system = generate(&ScenarioConfig::small(8), 73);
+        let a = solve(&system, &SolverConfig::default(), 9);
+        let b = solve(&system, &SolverConfig::default(), 9);
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.report.profit, b.report.profit);
+    }
+
+    #[test]
+    fn local_search_beats_the_initial_solution_on_some_seed() {
+        let mut improved = false;
+        for seed in 0..4 {
+            let system = generate(&ScenarioConfig::small(12), 500 + seed);
+            let result = solve(&system, &SolverConfig::default(), seed);
+            if result.report.profit > result.initial_profit + 1e-6 {
+                improved = true;
+                break;
+            }
+        }
+        assert!(improved, "local search never improved the greedy start");
+    }
+
+    #[test]
+    fn disabled_operators_are_skipped() {
+        let system = generate(&ScenarioConfig::small(6), 75);
+        let config = SolverConfig {
+            adjust_shares: false,
+            adjust_dispersion: false,
+            turn_on: false,
+            turn_off: false,
+            reassign: false,
+            max_rounds: 2,
+            ..Default::default()
+        };
+        let result = solve(&system, &config, 1);
+        // With every operator off, round one changes nothing and the loop
+        // converges immediately.
+        assert!(result.stats.converged);
+        assert_eq!(result.stats.rounds, 1);
+        assert!((result.report.profit - result.initial_profit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_extension_never_hurts() {
+        let system = generate(&ScenarioConfig::paper(20), 79);
+        let plain = solve(&system, &SolverConfig::fast(), 5);
+        let with_swap =
+            solve(&system, &SolverConfig { swap: true, ..SolverConfig::fast() }, 5);
+        // Same greedy start (the swap flag does not perturb the shared
+        // RNG stream until after reassign), monotone operators on top.
+        assert!(with_swap.report.profit >= plain.initial_profit - 1e-9);
+        assert!(with_swap.report.profit.is_finite());
+    }
+
+    #[test]
+    fn paper_scale_scenario_solves_cleanly() {
+        let system = generate(&ScenarioConfig::paper(40), 77);
+        let result = solve(&system, &SolverConfig::fast(), 3);
+        assert!(result.report.profit.is_finite());
+        // Money-losing clients may be declined (Unassigned); every
+        // placement must satisfy the capacity/stability constraints.
+        assert!(check_feasibility(&system, &result.allocation)
+            .iter()
+            .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })));
+    }
+
+    #[test]
+    fn require_service_serves_everyone_placeable() {
+        let system = generate(&ScenarioConfig::paper(25), 78);
+        let strict = SolverConfig { require_service: true, ..SolverConfig::fast() };
+        let relaxed = SolverConfig::fast();
+        let strict_result = solve(&system, &strict, 3);
+        let relaxed_result = solve(&system, &relaxed, 3);
+        let served = |r: &SolveResult| {
+            (0..25)
+                .filter(|&i| !r.allocation.placements(ClientId(i)).is_empty())
+                .count()
+        };
+        assert!(served(&strict_result) >= served(&relaxed_result));
+        // Declining clients can only help profit.
+        assert!(relaxed_result.report.profit >= strict_result.report.profit - 1e-6);
+    }
+}

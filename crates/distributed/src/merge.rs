@@ -1,0 +1,91 @@
+//! Merging per-cluster partial allocations into one global allocation.
+
+use cloudalloc_model::{Allocation, ClientId, CloudSystem, ClusterId};
+
+/// Merges per-cluster allocations into a single global one.
+///
+/// `parts[k]` is an allocation whose placements for clients assigned to
+/// cluster `k` are authoritative; placements it may carry for other
+/// clusters are ignored. Clients assigned to no part stay unassigned.
+///
+/// # Panics
+///
+/// Panics if `parts.len()` differs from the number of clusters, or two
+/// parts claim the same client.
+pub fn merge_cluster_allocations(system: &CloudSystem, parts: &[Allocation]) -> Allocation {
+    assert_eq!(parts.len(), system.num_clusters(), "one part per cluster required");
+    let mut merged = Allocation::new(system);
+    for (k, part) in parts.iter().enumerate() {
+        let cluster = ClusterId(k);
+        for i in 0..system.num_clients() {
+            let client = ClientId(i);
+            if part.cluster_of(client) != Some(cluster) {
+                continue;
+            }
+            assert!(
+                merged.cluster_of(client).is_none(),
+                "{client} claimed by two clusters"
+            );
+            merged.assign_cluster(client, cluster);
+            for &(server, placement) in part.placements(client) {
+                merged.place(system, client, server, placement);
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudalloc_core::{best_cluster, commit, SolverConfig, SolverCtx};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn merging_disjoint_parts_reconstructs_the_whole() {
+        let system = generate(&ScenarioConfig::small(8), 111);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        // Build a sequential allocation, then split it per cluster.
+        let mut whole = Allocation::new(&system);
+        for i in 0..system.num_clients() {
+            if let Some(c) = best_cluster(&ctx, &whole, ClientId(i)) {
+                commit(&ctx, &mut whole, ClientId(i), &c);
+            }
+        }
+        let parts: Vec<Allocation> = (0..system.num_clusters())
+            .map(|k| {
+                let mut part = Allocation::new(&system);
+                for i in 0..system.num_clients() {
+                    let client = ClientId(i);
+                    if whole.cluster_of(client) == Some(ClusterId(k)) {
+                        part.assign_cluster(client, ClusterId(k));
+                        for &(server, p) in whole.placements(client) {
+                            part.place(&system, client, server, p);
+                        }
+                    }
+                }
+                part
+            })
+            .collect();
+        let merged = merge_cluster_allocations(&system, &parts);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn unclaimed_clients_stay_unassigned() {
+        let system = generate(&ScenarioConfig::small(3), 112);
+        let parts = vec![Allocation::new(&system); system.num_clusters()];
+        let merged = merge_cluster_allocations(&system, &parts);
+        for i in 0..system.num_clients() {
+            assert_eq!(merged.cluster_of(ClientId(i)), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one part per cluster")]
+    fn wrong_part_count_panics() {
+        let system = generate(&ScenarioConfig::small(3), 113);
+        let _ = merge_cluster_allocations(&system, &[Allocation::new(&system)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic workload evolution between epochs.
+//!
+//! Stands in for production traces (per the reproduction's substitution
+//! rule): each client's true arrival rate follows a clamped
+//! multiplicative random walk, with occasional surges — the "large and
+//! sudden change in the service generation characteristics of a client"
+//! the paper says must be handled at the cloud (not cluster) level.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the workload process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Standard deviation of the per-epoch log-rate step (e.g. 0.1).
+    pub volatility: f64,
+    /// Probability a client surges in a given epoch.
+    pub surge_probability: f64,
+    /// Multiplicative surge factor (applied for exactly one epoch).
+    pub surge_factor: f64,
+    /// Hard clamp on rates, as multiples of each client's base rate.
+    pub clamp: (f64, f64),
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            volatility: 0.08,
+            surge_probability: 0.02,
+            surge_factor: 2.5,
+            clamp: (0.25, 4.0),
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain fields.
+    pub fn validate(&self) {
+        assert!(self.volatility >= 0.0 && self.volatility.is_finite());
+        assert!((0.0..=1.0).contains(&self.surge_probability));
+        assert!(self.surge_factor.is_finite() && self.surge_factor > 0.0);
+        assert!(self.clamp.0 > 0.0 && self.clamp.1 >= self.clamp.0);
+    }
+}
+
+/// A deterministic (per seed) workload process over epochs.
+#[derive(Debug, Clone)]
+pub struct WorkloadDrift {
+    config: DriftConfig,
+    base: Vec<f64>,
+    current: Vec<f64>,
+    rng: StdRng,
+}
+
+impl WorkloadDrift {
+    /// Creates a process anchored at the clients' base rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or any base rate is not positive.
+    pub fn new(config: DriftConfig, base_rates: &[f64], seed: u64) -> Self {
+        config.validate();
+        for &r in base_rates {
+            assert!(r.is_finite() && r > 0.0, "base rates must be positive, got {r}");
+        }
+        Self {
+            config,
+            base: base_rates.to_vec(),
+            current: base_rates.to_vec(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Rates in effect right now.
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// Advances one epoch and returns the new actual rates. Surges apply
+    /// for a single epoch on top of the random walk.
+    pub fn step(&mut self) -> Vec<f64> {
+        let cfg = self.config;
+        for (i, rate) in self.current.iter_mut().enumerate() {
+            // Box–Muller from two uniforms keeps us on plain `rand`.
+            let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+            let u2: f64 = self.rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            *rate *= (cfg.volatility * z).exp();
+            let (lo, hi) = (self.base[i] * cfg.clamp.0, self.base[i] * cfg.clamp.1);
+            *rate = rate.clamp(lo, hi);
+        }
+        let mut out = self.current.clone();
+        for rate in &mut out {
+            if self.rng.gen::<f64>() < cfg.surge_probability {
+                *rate = (*rate * cfg.surge_factor).min(*rate / self.config.clamp.0);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_stay_positive_and_clamped() {
+        let base = vec![1.0, 2.0, 0.5];
+        let mut drift = WorkloadDrift::new(DriftConfig::default(), &base, 1);
+        for _ in 0..200 {
+            let rates = drift.step();
+            for (r, b) in rates.iter().zip(&base) {
+                assert!(*r > 0.0 && r.is_finite());
+                // Surge can exceed the walk clamp by at most the factor.
+                assert!(*r <= b * 4.0 * 2.5 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn process_is_deterministic_per_seed() {
+        let base = vec![1.5; 4];
+        let mut a = WorkloadDrift::new(DriftConfig::default(), &base, 9);
+        let mut b = WorkloadDrift::new(DriftConfig::default(), &base, 9);
+        for _ in 0..10 {
+            assert_eq!(a.step(), b.step());
+        }
+        let mut c = WorkloadDrift::new(DriftConfig::default(), &base, 10);
+        let differs = (0..10).any(|_| a.step() != c.step());
+        assert!(differs);
+    }
+
+    #[test]
+    fn zero_volatility_without_surges_is_constant() {
+        let config = DriftConfig {
+            volatility: 0.0,
+            surge_probability: 0.0,
+            ..Default::default()
+        };
+        let base = vec![2.0, 3.0];
+        let mut drift = WorkloadDrift::new(config, &base, 3);
+        for _ in 0..5 {
+            assert_eq!(drift.step(), base);
+        }
+    }
+
+    #[test]
+    fn surges_fire_at_the_configured_probability() {
+        let config = DriftConfig {
+            volatility: 0.0,
+            surge_probability: 0.5,
+            surge_factor: 2.0,
+            ..Default::default()
+        };
+        let base = vec![1.0; 1000];
+        let mut drift = WorkloadDrift::new(config, &base, 7);
+        let rates = drift.step();
+        let surged = rates.iter().filter(|&&r| r > 1.5).count();
+        assert!((300..700).contains(&surged), "surged {surged}/1000");
+    }
+}

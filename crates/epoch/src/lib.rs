@@ -1,0 +1,32 @@
+//! Decision-epoch management.
+//!
+//! The paper allocates resources once per **decision epoch**: "the
+//! solution found by the presented algorithm is acceptable only as long
+//! as the parameters used to find the solution are approximately valid",
+//! predicted request rates drive the allocation while agreed rates drive
+//! revenue, and the greedy pass starts from "the state of the cluster at
+//! the end of the previous epoch". The paper scopes out the estimation
+//! and prediction machinery; this crate supplies it so the allocator can
+//! actually be operated over time:
+//!
+//! * [`RatePredictor`] — arrival-rate predictors ([`EwmaPredictor`] and
+//!   the naive [`LastValue`] baseline),
+//! * [`WorkloadDrift`] — a synthetic workload process (multiplicative
+//!   random walk with occasional surges) standing in for real traces,
+//! * [`EpochManager`] — runs the allocator epoch by epoch: re-predicts
+//!   rates, warm-starts the local search from the previous allocation,
+//!   falls back to a full re-solve when the workload moved too much, and
+//!   scores each epoch against the *actual* (realized) rates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drift;
+mod log;
+mod manager;
+mod predictor;
+
+pub use drift::{DriftConfig, WorkloadDrift};
+pub use log::{OperationsLog, OperationsSummary};
+pub use manager::{EpochConfig, EpochManager, EpochReport};
+pub use predictor::{EwmaPredictor, LastValue, RatePredictor};

@@ -1,0 +1,287 @@
+//! The epoch loop: predict → (re-)allocate → realize → score.
+
+use serde::{Deserialize, Serialize};
+
+use cloudalloc_core::{improve, solve, SolverConfig, SolverCtx};
+use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem};
+
+use crate::predictor::RatePredictor;
+
+/// Configuration of the epoch manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochConfig {
+    /// Solver settings used for both full solves and warm re-optimizes.
+    pub solver: SolverConfig,
+    /// Relative change in total predicted processing demand that triggers
+    /// a full re-solve instead of a warm-started local search — the
+    /// paper's "large changes cannot be handled by the local managers".
+    pub resolve_threshold: f64,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        Self { solver: SolverConfig::default(), resolve_threshold: 0.15 }
+    }
+}
+
+/// Outcome of one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Whether a full re-solve ran (vs a warm-started local search).
+    pub resolved_fully: bool,
+    /// Profit the allocator *expected* under the predicted rates.
+    pub predicted_profit: f64,
+    /// Profit actually realized under the true rates.
+    pub actual_profit: f64,
+    /// Served clients whose queues turned unstable under the true rates
+    /// (SLA blown because prediction under-shot).
+    pub unstable_clients: usize,
+    /// Active servers at the end of the epoch.
+    pub active_servers: usize,
+    /// Mean absolute relative prediction error of this epoch.
+    pub prediction_error: f64,
+}
+
+/// Runs the allocator across decision epochs.
+///
+/// Each [`EpochManager::step`] receives the rates that *actually*
+/// materialized during the epoch, scores the standing allocation against
+/// them, feeds the predictor, and prepares the next epoch's allocation —
+/// warm-starting from the previous one unless predicted demand moved by
+/// more than [`EpochConfig::resolve_threshold`].
+#[derive(Debug)]
+pub struct EpochManager<P> {
+    base: CloudSystem,
+    predictor: P,
+    config: EpochConfig,
+    allocation: Allocation,
+    predicted: Vec<f64>,
+    epoch: usize,
+    seed: u64,
+}
+
+/// Rebuilds an allocation's derived aggregates against a re-parameterized
+/// system (placements and assignments carry over verbatim; per-server
+/// work totals depend on the rates and must be recomputed).
+fn rebuild(system: &CloudSystem, alloc: &Allocation) -> Allocation {
+    let mut fresh = Allocation::new(system);
+    for i in 0..system.num_clients() {
+        let client = ClientId(i);
+        if let Some(cluster) = alloc.cluster_of(client) {
+            fresh.assign_cluster(client, cluster);
+            for &(server, placement) in alloc.placements(client) {
+                fresh.place(system, client, server, placement);
+            }
+        }
+    }
+    fresh
+}
+
+impl<P: RatePredictor> EpochManager<P> {
+    /// Creates a manager and computes the epoch-0 allocation from the
+    /// predictor's initial rates.
+    pub fn new(base: CloudSystem, predictor: P, config: EpochConfig, seed: u64) -> Self {
+        let predicted = predictor.predict();
+        let system = base.with_predicted_rates(&predicted);
+        let result = solve(&system, &config.solver, seed);
+        Self {
+            base,
+            predictor,
+            config,
+            allocation: result.allocation,
+            predicted,
+            epoch: 0,
+            seed,
+        }
+    }
+
+    /// The allocation currently in force (computed against the predicted
+    /// rates of the ongoing epoch).
+    pub fn allocation(&self) -> &Allocation {
+        &self.allocation
+    }
+
+    /// The rates the current allocation was planned for.
+    pub fn predicted_rates(&self) -> &[f64] {
+        &self.predicted
+    }
+
+    /// Closes the current epoch with the rates that actually occurred and
+    /// prepares the next epoch's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actual_rates` does not hold one positive rate per
+    /// client.
+    pub fn step(&mut self, actual_rates: &[f64]) -> EpochReport {
+        // 1. Score the standing allocation against reality.
+        let predicted_system = self.base.with_predicted_rates(&self.predicted);
+        let predicted_profit = evaluate(&predicted_system, &self.allocation).profit;
+        let actual_system = self.base.with_predicted_rates(actual_rates);
+        let realized_alloc = rebuild(&actual_system, &self.allocation);
+        let actual_report = evaluate(&actual_system, &realized_alloc);
+        let unstable_clients = actual_report
+            .clients
+            .iter()
+            .enumerate()
+            .filter(|(i, outcome)| {
+                !realized_alloc.placements(ClientId(*i)).is_empty()
+                    && !outcome.response_time.is_finite()
+            })
+            .count();
+        let prediction_error = self
+            .predicted
+            .iter()
+            .zip(actual_rates)
+            .map(|(p, a)| (p - a).abs() / a)
+            .sum::<f64>()
+            / actual_rates.len().max(1) as f64;
+
+        let report = EpochReport {
+            epoch: self.epoch,
+            resolved_fully: false,
+            predicted_profit,
+            actual_profit: actual_report.profit,
+            unstable_clients,
+            active_servers: actual_report.active_servers,
+            prediction_error,
+        };
+
+        // 2. Learn and plan the next epoch.
+        self.predictor.observe(actual_rates);
+        let next_predicted = self.predictor.predict();
+        let old_demand: f64 = self.predicted.iter().sum();
+        let new_demand: f64 = next_predicted.iter().sum();
+        let shift = (new_demand - old_demand).abs() / old_demand.max(1e-9);
+        let next_system = self.base.with_predicted_rates(&next_predicted);
+        self.epoch += 1;
+        self.seed = self.seed.wrapping_add(1);
+
+        let mut resolved_fully = false;
+        if shift > self.config.resolve_threshold {
+            // Large change: full re-solve at the cloud level.
+            resolved_fully = true;
+            self.allocation = solve(&next_system, &self.config.solver, self.seed).allocation;
+        } else {
+            // Small change: keep the assignment, re-run the local search
+            // from the previous epoch's state (the paper's warm start).
+            let ctx = SolverCtx::new(&next_system, &self.config.solver);
+            let mut warm = rebuild(&next_system, &self.allocation);
+            improve(&ctx, &mut warm, self.seed);
+            self.allocation = warm;
+        }
+        self.predicted = next_predicted;
+
+        EpochReport { resolved_fully, ..report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::{DriftConfig, WorkloadDrift};
+    use crate::predictor::EwmaPredictor;
+    use cloudalloc_model::check_feasibility;
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    fn base_rates(system: &CloudSystem) -> Vec<f64> {
+        system.clients().iter().map(|c| c.rate_predicted).collect()
+    }
+
+    fn manager(seed: u64) -> (EpochManager<EwmaPredictor>, Vec<f64>) {
+        let system = generate(&ScenarioConfig::paper(15), seed);
+        let rates = base_rates(&system);
+        let predictor = EwmaPredictor::new(0.4, &rates);
+        let config = EpochConfig { solver: SolverConfig::fast(), ..Default::default() };
+        (EpochManager::new(system, predictor, config, seed), rates)
+    }
+
+    #[test]
+    fn stable_workloads_warm_start_and_stay_profitable() {
+        let (mut mgr, rates) = manager(301);
+        for epoch in 0..4 {
+            let report = mgr.step(&rates);
+            assert_eq!(report.epoch, epoch);
+            assert!(!report.resolved_fully, "no demand shift, no full solve");
+            assert_eq!(report.unstable_clients, 0);
+            assert!(report.actual_profit > 0.0);
+            assert!(report.prediction_error < 1e-9);
+        }
+    }
+
+    #[test]
+    fn large_demand_shift_triggers_full_resolve() {
+        let (mut mgr, rates) = manager(302);
+        let surged: Vec<f64> = rates.iter().map(|r| r * 2.0).collect();
+        let report = mgr.step(&surged);
+        // The EWMA moved predictions by ~40% > threshold.
+        assert!(report.resolved_fully);
+        assert!((report.prediction_error - 0.5).abs() < 1e-9); // |r − 2r| / 2r
+    }
+
+    #[test]
+    fn under_predicted_surges_blow_slas_then_recover() {
+        let (mut mgr, rates) = manager(303);
+        let surged: Vec<f64> = rates.iter().map(|r| r * 3.0).collect();
+        // Epoch 0: the allocation was sized for the base rates, reality
+        // tripled — some queues must collapse.
+        let hit = mgr.step(&surged);
+        assert!(hit.unstable_clients > 0, "tripled load should destabilize someone");
+        // Keep the surge: the re-planned epoch absorbs it.
+        let recovered = mgr.step(&surged);
+        assert!(
+            recovered.unstable_clients <= hit.unstable_clients,
+            "re-planning must not make stability worse"
+        );
+        assert!(recovered.actual_profit >= hit.actual_profit - 1e-9);
+    }
+
+    #[test]
+    fn allocations_stay_feasible_across_drifting_epochs() {
+        let (mut mgr, rates) = manager(304);
+        let mut drift = WorkloadDrift::new(DriftConfig::default(), &rates, 5);
+        for _ in 0..5 {
+            let actual = drift.step();
+            let _ = mgr.step(&actual);
+            // The standing allocation is always feasible for its
+            // *predicted* system.
+            let predicted_system =
+                mgr.base.with_predicted_rates(mgr.predicted_rates());
+            let violations = check_feasibility(&predicted_system, mgr.allocation());
+            assert!(
+                violations.iter().all(|v| matches!(
+                    v,
+                    cloudalloc_model::Violation::Unassigned { .. }
+                )),
+                "violations: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn last_value_predictor_also_drives_the_manager() {
+        use crate::predictor::LastValue;
+        let system = generate(&ScenarioConfig::paper(10), 306);
+        let rates = base_rates(&system);
+        let config = EpochConfig { solver: SolverConfig::fast(), ..Default::default() };
+        let mut mgr = EpochManager::new(system, LastValue::new(&rates), config, 1);
+        let bumped: Vec<f64> = rates.iter().map(|r| r * 1.05).collect();
+        let first = mgr.step(&bumped);
+        assert!(first.prediction_error > 0.04);
+        // After observing, last-value predicts the bumped rates exactly.
+        let second = mgr.step(&bumped);
+        assert!(second.prediction_error < 1e-9);
+    }
+
+    #[test]
+    fn epoch_loop_is_deterministic() {
+        let run = || {
+            let (mut mgr, rates) = manager(305);
+            let mut drift = WorkloadDrift::new(DriftConfig::default(), &rates, 9);
+            (0..3).map(|_| mgr.step(&drift.step()).actual_profit).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,148 @@
+//! Arrival-rate predictors.
+//!
+//! The paper allocates with *predicted* rates ("requests for each client
+//! are assumed to follow a Poisson distribution with mean predicted based
+//! on the behavior of the client") but leaves prediction out of scope.
+//! These are the standard online estimators an operator would plug in.
+
+use serde::{Deserialize, Serialize};
+
+/// An online per-client arrival-rate predictor.
+pub trait RatePredictor {
+    /// Feeds the rates actually observed during the finished epoch.
+    fn observe(&mut self, actual: &[f64]);
+
+    /// Predicted rates for the next epoch. Must return one positive rate
+    /// per client once at least one observation was fed.
+    fn predict(&self) -> Vec<f64>;
+}
+
+/// Exponentially-weighted moving average: `r̂ ← (1−a)·r̂ + a·observed`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EwmaPredictor {
+    alpha: f64,
+    estimate: Vec<f64>,
+}
+
+impl EwmaPredictor {
+    /// Creates an EWMA predictor seeded with `initial` rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ (0, 1]` or any initial rate is not positive.
+    pub fn new(alpha: f64, initial: &[f64]) -> Self {
+        assert!(
+            alpha.is_finite() && 0.0 < alpha && alpha <= 1.0,
+            "alpha must lie in (0,1], got {alpha}"
+        );
+        for &r in initial {
+            assert!(r.is_finite() && r > 0.0, "initial rates must be positive, got {r}");
+        }
+        Self { alpha, estimate: initial.to_vec() }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl RatePredictor for EwmaPredictor {
+    fn observe(&mut self, actual: &[f64]) {
+        assert_eq!(actual.len(), self.estimate.len(), "client count changed mid-flight");
+        for (e, &a) in self.estimate.iter_mut().zip(actual) {
+            assert!(a.is_finite() && a > 0.0, "observed rates must be positive, got {a}");
+            *e = (1.0 - self.alpha) * *e + self.alpha * a;
+        }
+    }
+
+    fn predict(&self) -> Vec<f64> {
+        self.estimate.clone()
+    }
+}
+
+/// The naive baseline: next epoch looks exactly like the last one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LastValue {
+    last: Vec<f64>,
+}
+
+impl LastValue {
+    /// Creates a last-value predictor seeded with `initial` rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any initial rate is not positive.
+    pub fn new(initial: &[f64]) -> Self {
+        for &r in initial {
+            assert!(r.is_finite() && r > 0.0, "initial rates must be positive, got {r}");
+        }
+        Self { last: initial.to_vec() }
+    }
+}
+
+impl RatePredictor for LastValue {
+    fn observe(&mut self, actual: &[f64]) {
+        assert_eq!(actual.len(), self.last.len(), "client count changed mid-flight");
+        self.last.copy_from_slice(actual);
+    }
+
+    fn predict(&self) -> Vec<f64> {
+        self.last.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_a_constant_signal() {
+        let mut p = EwmaPredictor::new(0.5, &[1.0]);
+        for _ in 0..20 {
+            p.observe(&[3.0]);
+        }
+        assert!((p.predict()[0] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ewma_smooths_noise_more_than_last_value() {
+        let signal = [2.0, 4.0, 2.0, 4.0, 2.0, 4.0];
+        let mut ewma = EwmaPredictor::new(0.2, &[3.0]);
+        let mut last = LastValue::new(&[3.0]);
+        let mut ewma_err = 0.0;
+        let mut last_err = 0.0;
+        // True mean is 3; compare squared error of the forecasts.
+        for &s in &signal {
+            ewma_err += (ewma.predict()[0] - 3.0_f64).powi(2);
+            last_err += (last.predict()[0] - 3.0_f64).powi(2);
+            ewma.observe(&[s]);
+            last.observe(&[s]);
+        }
+        assert!(ewma_err < last_err, "EWMA {ewma_err} vs last-value {last_err}");
+    }
+
+    #[test]
+    fn alpha_one_equals_last_value() {
+        let mut e = EwmaPredictor::new(1.0, &[1.0, 2.0]);
+        let mut l = LastValue::new(&[1.0, 2.0]);
+        for obs in [[2.5, 0.5], [1.5, 4.0]] {
+            e.observe(&obs);
+            l.observe(&obs);
+            assert_eq!(e.predict(), l.predict());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in (0,1]")]
+    fn rejects_zero_alpha() {
+        let _ = EwmaPredictor::new(0.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "client count changed")]
+    fn rejects_mismatched_observation_length() {
+        let mut p = EwmaPredictor::new(0.5, &[1.0]);
+        p.observe(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Fixed-bin histograms with ASCII rendering, for response-time
+//! distributions in reports and the CLI.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins plus overflow and
+/// underflow counters.
+///
+/// # Example
+///
+/// ```
+/// use cloudalloc_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 2.0, 4);
+/// for x in [0.1, 0.6, 0.7, 1.9, 5.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.bin_counts()[1], 2); // 0.5..1.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo`, either bound is non-finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid range [{lo}, {hi})");
+        assert!(bins > 0, "need at least one bin");
+        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN (infinities go to the overflow/underflow counters).
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot record NaN");
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (in-range + out-of-range).
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `(lo, hi)` edges of bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn bin_edges(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.bins.len(), "bin {idx} out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + idx as f64 * width, self.lo + (idx + 1) as f64 * width)
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bin, bars scaled to
+    /// `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (idx, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(idx);
+            let bar = "#".repeat((count as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:>8.3}, {hi:>8.3})  {count:>7}  {bar}\n"));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("[{:>8.3},      ∞)  {:>7}\n", self.hi, self.overflow));
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([0.0, 0.49, 0.5, 0.99]);
+        assert_eq!(h.bin_counts(), &[2, 2]);
+        assert_eq!(h.bin_edges(0), (0.0, 0.5));
+        assert_eq!(h.bin_edges(1), (0.5, 1.0));
+    }
+
+    #[test]
+    fn out_of_range_goes_to_the_counters() {
+        let mut h = Histogram::new(1.0, 2.0, 4);
+        h.extend([0.5, 2.0, 3.0, f64::INFINITY]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn render_scales_bars_and_shows_overflow() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.extend([0.1, 0.2, 0.3, 1.5, 9.0]);
+        let text = h.render(10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].matches('#').count() > lines[1].matches('#').count());
+        assert!(lines[2].contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        Histogram::new(0.0, 1.0, 1).record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Buffered samples with order statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::OnlineStats;
+
+/// A buffered sample set: keeps every observation for percentile queries
+/// while maintaining streaming moments.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Sample {
+    values: Vec<f64>,
+    stats: OnlineStats,
+}
+
+impl Sample {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self { values: Vec::new(), stats: OnlineStats::new() }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn push(&mut self, x: f64) {
+        self.stats.push(x);
+        self.values.push(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The streaming moments of the sample.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// The `q`-quantile (`q ∈ [0,1]`) by linear interpolation between
+    /// order statistics (type-7, the numpy default).
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty or `q ∉ [0,1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.values.is_empty(), "quantile of an empty sample");
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0,1], got {q}");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+
+    /// Median (the 0.5-quantile).
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Raw observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<f64> for Sample {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Sample::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Sample {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s: Sample = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert_eq!(s.median(), 2.5);
+        assert!((s.quantile(0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter_for_quantiles() {
+        let a: Sample = [3.0, 1.0, 4.0, 2.0].into_iter().collect();
+        let b: Sample = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(a.median(), b.median());
+        assert_eq!(a.quantile(0.9), b.quantile(0.9));
+    }
+
+    #[test]
+    fn stats_track_pushes() {
+        let mut s = Sample::new();
+        s.extend([2.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.stats().count(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_of_empty_panics() {
+        Sample::new().median();
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0,1]")]
+    fn out_of_range_quantile_panics() {
+        let s: Sample = [1.0].into_iter().collect();
+        s.quantile(1.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Multi-series data over a shared x-axis, with the per-point
+//! normalization used by the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{OnlineStats, Table};
+
+/// Named series over a shared numeric x-axis (e.g. number of clients),
+/// accumulating repeated observations per point.
+///
+/// This mirrors how the paper builds Figures 4 and 5: several scenarios
+/// per x-value, profits normalized per point by a reference series
+/// ("best solution found"), then averaged.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Series {
+    xs: Vec<f64>,
+    names: Vec<String>,
+    /// `cells[series][point]` — accumulated observations.
+    cells: Vec<Vec<OnlineStats>>,
+}
+
+impl Series {
+    /// Creates a series collection over the x-axis `xs` with one named
+    /// series per entry of `names`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is empty.
+    pub fn new(xs: Vec<f64>, names: Vec<String>) -> Self {
+        assert!(!xs.is_empty(), "need at least one x point");
+        assert!(!names.is_empty(), "need at least one series");
+        let cells = vec![vec![OnlineStats::new(); xs.len()]; names.len()];
+        Self { xs, names, cells }
+    }
+
+    /// Index of the x point with value `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not on the axis.
+    fn point(&self, x: f64) -> usize {
+        self.xs
+            .iter()
+            .position(|&v| v == x)
+            .unwrap_or_else(|| panic!("x = {x} is not on the axis {:?}", self.xs))
+    }
+
+    /// Index of the series named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    fn series(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("unknown series {name:?}; have {:?}", self.names))
+    }
+
+    /// Records one observation of `name` at x-value `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown coordinates or NaN values.
+    pub fn record(&mut self, name: &str, x: f64, value: f64) {
+        let s = self.series(name);
+        let p = self.point(x);
+        self.cells[s][p].push(value);
+    }
+
+    /// The x-axis.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The series names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Mean of `name` at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown coordinates.
+    pub fn mean(&self, name: &str, x: f64) -> f64 {
+        self.cells[self.series(name)][self.point(x)].mean()
+    }
+
+    /// The accumulated statistics of `name` at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown coordinates.
+    pub fn stats(&self, name: &str, x: f64) -> &OnlineStats {
+        &self.cells[self.series(name)][self.point(x)]
+    }
+
+    /// Renders the mean of every series per x point as a table with the
+    /// given float precision.
+    pub fn to_table(&self, x_label: &str, precision: usize) -> Table {
+        let mut headers = vec![x_label.to_owned()];
+        headers.extend(self.names.iter().cloned());
+        let mut table = Table::new(headers);
+        for (p, &x) in self.xs.iter().enumerate() {
+            let mut cells = vec![x];
+            cells.extend(self.cells.iter().map(|series| series[p].mean()));
+            table.float_row(&cells, precision);
+        }
+        table
+    }
+}
+
+/// Normalizes a set of same-scenario observations by their maximum —
+/// the per-scenario step behind the paper's "normalized total profit".
+/// Returns `None` when the reference (maximum) is not strictly positive,
+/// in which case normalization is meaningless.
+pub fn normalize_by_best(values: &[f64]) -> Option<Vec<f64>> {
+    let best = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(best.is_finite() && best > 0.0) {
+        return None;
+    }
+    Some(values.iter().map(|v| v / best).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages_per_point() {
+        let mut s = Series::new(vec![20.0, 40.0], vec!["a".into(), "b".into()]);
+        s.record("a", 20.0, 1.0);
+        s.record("a", 20.0, 3.0);
+        s.record("b", 40.0, 5.0);
+        assert_eq!(s.mean("a", 20.0), 2.0);
+        assert_eq!(s.mean("b", 40.0), 5.0);
+        assert_eq!(s.stats("a", 20.0).count(), 2);
+        assert_eq!(s.stats("b", 20.0).count(), 0);
+    }
+
+    #[test]
+    fn table_rendering_includes_every_point() {
+        let mut s = Series::new(vec![1.0, 2.0], vec!["x2".into()]);
+        s.record("x2", 1.0, 2.0);
+        s.record("x2", 2.0, 4.0);
+        let text = s.to_table("n", 1).to_string();
+        assert!(text.contains("2.0"));
+        assert!(text.contains("4.0"));
+        assert!(text.starts_with("  n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown series")]
+    fn unknown_series_panics() {
+        let mut s = Series::new(vec![1.0], vec!["a".into()]);
+        s.record("nope", 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on the axis")]
+    fn unknown_x_panics() {
+        let mut s = Series::new(vec![1.0], vec!["a".into()]);
+        s.record("a", 9.0, 0.0);
+    }
+
+    #[test]
+    fn normalize_by_best_divides_by_max() {
+        let n = normalize_by_best(&[1.0, 4.0, 2.0]).unwrap();
+        assert_eq!(n, vec![0.25, 1.0, 0.5]);
+        // Negative and zero references are rejected.
+        assert_eq!(normalize_by_best(&[-3.0, -1.0]), None);
+        assert_eq!(normalize_by_best(&[0.0]), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! Streaming moments via Welford's algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean/variance accumulator.
+///
+/// # Example
+///
+/// ```
+/// use cloudalloc_metrics::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN (infinite observations are accepted and poison the
+    /// moments, mirroring IEEE semantics).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot accumulate NaN");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`0` with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn moments_match_closed_forms() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut s = OnlineStats::new();
+        s.push(3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        OnlineStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_sequential() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0];
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..3] {
+            left.push(x);
+        }
+        for &x in &xs[3..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(2.0);
+        let snapshot = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, snapshot);
+        let mut empty = OnlineStats::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-100.0f64..100.0, 2..50)) {
+            let mut s = OnlineStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.mean() - mean).abs() < 1e-9);
+            prop_assert!((s.variance() - var).abs() < 1e-8);
+        }
+
+        #[test]
+        fn any_split_merges_identically(
+            xs in proptest::collection::vec(-10.0f64..10.0, 3..30),
+            split_at in 1usize..29,
+        ) {
+            prop_assume!(split_at < xs.len());
+            let mut whole = OnlineStats::new();
+            for &x in &xs { whole.push(x); }
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            for &x in &xs[..split_at] { a.push(x); }
+            for &x in &xs[split_at..] { b.push(x); }
+            a.merge(&b);
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Fixed-width ASCII tables for benchmark output.
+
+use std::fmt;
+
+/// A simple right-aligned ASCII table.
+///
+/// # Example
+///
+/// ```
+/// use cloudalloc_metrics::Table;
+///
+/// let mut t = Table::new(vec!["n".into(), "profit".into()]);
+/// t.row(vec!["20".into(), "0.95".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("profit"));
+/// assert!(text.contains("0.95"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row of floats formatted with `precision` decimals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn float_row(&mut self, cells: &[f64], precision: usize) -> &mut Self {
+        self.row(cells.iter().map(|v| format!("{v:.precision$}")).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (idx, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if idx > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["clients".into(), "profit".into()]);
+        t.row(vec!["20".into(), "0.9".into()]);
+        t.float_row(&[200.0, 0.912345], 3);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("clients"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].contains("0.912"));
+        // Right alignment: both data rows end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn tracks_row_count() {
+        let mut t = Table::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        Table::new(vec!["a".into(), "b".into()]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        Table::new(Vec::new());
+    }
+}

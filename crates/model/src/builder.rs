@@ -1,0 +1,232 @@
+//! A fluent builder for hand-constructed systems.
+//!
+//! [`CloudSystem`]'s raw `add_*` methods demand ids that match insertion
+//! order — fine for generators, noisy for hand-built scenarios. The
+//! builder assigns ids itself and reads as infrastructure-as-code:
+//!
+//! ```
+//! use cloudalloc_model::{SystemBuilder, UtilityFunction};
+//!
+//! let mut b = SystemBuilder::new();
+//! let fast = b.server_class(6.0, 6.0, 6.0, 1.5, 1.0);
+//! let cheap = b.server_class(3.0, 4.0, 3.0, 0.8, 0.6);
+//! let gold = b.utility_class(UtilityFunction::linear(3.0, 0.8));
+//! let east = b.cluster();
+//! b.servers(east, fast, 2);
+//! b.servers(east, cheap, 3);
+//! b.client(gold, 1.5, 0.5, 0.4, 1.0);
+//! let system = b.build();
+//! assert_eq!(system.num_servers(), 5);
+//! assert_eq!(system.num_clients(), 1);
+//! ```
+
+use crate::{
+    BackgroundLoad, Client, ClientId, CloudSystem, Cluster, ClusterId, Server, ServerClass,
+    ServerClassId, UtilityClass, UtilityClassId, UtilityFunction,
+};
+
+/// Incrementally assembles a [`CloudSystem`].
+///
+/// All `*_class`/`cluster` handles returned by the builder are ordinary
+/// typed ids, usable immediately in subsequent calls.
+#[derive(Debug, Clone, Default)]
+pub struct SystemBuilder {
+    server_classes: Vec<ServerClass>,
+    utility_classes: Vec<UtilityClass>,
+    clusters: usize,
+    servers: Vec<(ServerClassId, ClusterId, BackgroundLoad)>,
+    clients: Vec<(UtilityClassId, f64, f64, f64, f64, f64)>,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a hardware class; see [`ServerClass::new`] for the
+    /// parameter domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain values (delegated to [`ServerClass::new`]).
+    pub fn server_class(
+        &mut self,
+        cap_processing: f64,
+        cap_storage: f64,
+        cap_communication: f64,
+        cost_fixed: f64,
+        cost_per_utilization: f64,
+    ) -> ServerClassId {
+        let id = ServerClassId(self.server_classes.len());
+        self.server_classes.push(ServerClass::new(
+            id,
+            cap_processing,
+            cap_storage,
+            cap_communication,
+            cost_fixed,
+            cost_per_utilization,
+        ));
+        id
+    }
+
+    /// Registers an SLA class.
+    pub fn utility_class(&mut self, function: UtilityFunction) -> UtilityClassId {
+        let id = UtilityClassId(self.utility_classes.len());
+        self.utility_classes.push(UtilityClass::new(id, function));
+        id
+    }
+
+    /// Adds a cluster.
+    pub fn cluster(&mut self) -> ClusterId {
+        let id = ClusterId(self.clusters);
+        self.clusters += 1;
+        id
+    }
+
+    /// Adds `count` idle servers of `class` to `cluster`.
+    pub fn servers(&mut self, cluster: ClusterId, class: ServerClassId, count: usize) -> &mut Self {
+        for _ in 0..count {
+            self.servers.push((class, cluster, BackgroundLoad::default()));
+        }
+        self
+    }
+
+    /// Adds one server carrying pre-existing background load.
+    pub fn server_with_background(
+        &mut self,
+        cluster: ClusterId,
+        class: ServerClassId,
+        background: BackgroundLoad,
+    ) -> &mut Self {
+        self.servers.push((class, cluster, background));
+        self
+    }
+
+    /// Adds a client with equal predicted and agreed rates; see
+    /// [`Client::new`] for parameter domains.
+    pub fn client(
+        &mut self,
+        utility: UtilityClassId,
+        rate: f64,
+        exec_processing: f64,
+        exec_communication: f64,
+        storage: f64,
+    ) -> ClientId {
+        self.client_with_rates(utility, rate, rate, exec_processing, exec_communication, storage)
+    }
+
+    /// Adds a client with distinct predicted and agreed (contract) rates.
+    pub fn client_with_rates(
+        &mut self,
+        utility: UtilityClassId,
+        rate_predicted: f64,
+        rate_agreed: f64,
+        exec_processing: f64,
+        exec_communication: f64,
+        storage: f64,
+    ) -> ClientId {
+        let id = ClientId(self.clients.len());
+        self.clients.push((
+            utility,
+            rate_predicted,
+            rate_agreed,
+            exec_processing,
+            exec_communication,
+            storage,
+        ));
+        id
+    }
+
+    /// Materializes the [`CloudSystem`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced class or cluster does not exist, or any
+    /// client parameter is out of domain (delegated validation).
+    pub fn build(self) -> CloudSystem {
+        let mut system = CloudSystem::new(self.server_classes, self.utility_classes);
+        for k in 0..self.clusters {
+            system.add_cluster(Cluster::new(ClusterId(k)));
+        }
+        for (class, cluster, background) in self.servers {
+            system.add_server_with_background(Server::new(class, cluster), background);
+        }
+        for (idx, (utility, pred, agreed, exec_p, exec_c, storage)) in
+            self.clients.into_iter().enumerate()
+        {
+            system.add_client(Client::new(
+                ClientId(idx),
+                utility,
+                pred,
+                agreed,
+                exec_p,
+                exec_c,
+                storage,
+            ));
+        }
+        system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> SystemBuilder {
+        let mut b = SystemBuilder::new();
+        let class = b.server_class(4.0, 4.0, 4.0, 1.0, 0.5);
+        let sla = b.utility_class(UtilityFunction::linear(2.0, 0.5));
+        let k = b.cluster();
+        b.servers(k, class, 2);
+        b.client(sla, 1.0, 0.5, 0.5, 0.5);
+        b
+    }
+
+    #[test]
+    fn builds_a_consistent_system() {
+        let system = minimal().build();
+        assert_eq!(system.num_clusters(), 1);
+        assert_eq!(system.num_servers(), 2);
+        assert_eq!(system.num_clients(), 1);
+        assert_eq!(system.cluster(ClusterId(0)).len(), 2);
+        assert_eq!(system.client(ClientId(0)).rate_agreed, 1.0);
+    }
+
+    #[test]
+    fn handles_are_stable_across_interleaved_calls() {
+        let mut b = SystemBuilder::new();
+        let c0 = b.server_class(2.0, 2.0, 2.0, 1.0, 1.0);
+        let k0 = b.cluster();
+        let c1 = b.server_class(6.0, 6.0, 6.0, 2.0, 2.0);
+        let k1 = b.cluster();
+        b.servers(k0, c1, 1).servers(k1, c0, 1);
+        let sla = b.utility_class(UtilityFunction::linear(1.0, 0.1));
+        b.client_with_rates(sla, 1.0, 2.0, 0.5, 0.5, 0.0);
+        let system = b.build();
+        assert_eq!(system.class_of(crate::ServerId(0)).cap_processing, 6.0);
+        assert_eq!(system.class_of(crate::ServerId(1)).cap_processing, 2.0);
+        assert_eq!(system.client(ClientId(0)).rate_agreed, 2.0);
+    }
+
+    #[test]
+    fn background_load_is_carried_through() {
+        let mut b = minimal();
+        let class = ServerClassId(0);
+        let k = ClusterId(0);
+        b.server_with_background(k, class, BackgroundLoad::new(0.3, 0.2, 1.0));
+        let system = b.build();
+        assert_eq!(system.num_servers(), 3);
+        let bg = system.background(crate::ServerId(2));
+        assert_eq!(bg.phi_p, 0.3);
+        assert_eq!(bg.storage, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn unknown_cluster_panics_at_build() {
+        let mut b = minimal();
+        b.servers(ClusterId(9), ServerClassId(0), 1);
+        let _ = b.build();
+    }
+}

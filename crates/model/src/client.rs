@@ -1,0 +1,135 @@
+//! Clients: application workloads with Poisson request streams and SLAs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClientId, UtilityClassId};
+
+/// An application workload hosted by the cloud.
+///
+/// Requests of client *i* arrive as a Poisson stream. The *predicted* rate
+/// `λ_i` drives resource allocation (queue stability) while the *agreed*
+/// contract rate `λ̃_i` drives revenue — the paper exploits the gap to pack
+/// resources more tightly when actual traffic is known to run below
+/// contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Client {
+    /// Identifier assigned by [`crate::CloudSystem::add_client`].
+    pub id: ClientId,
+    /// SLA class of this client (`c(i)` in the paper).
+    pub utility_class: UtilityClassId,
+    /// Predicted mean request arrival rate `λ_i` (requests/unit time, `> 0`).
+    pub rate_predicted: f64,
+    /// Agreed (contract) arrival rate `λ̃_i` used for pricing (`> 0`).
+    pub rate_agreed: f64,
+    /// Mean processing time `t̄^p_i` of one request on a *unit* of
+    /// processing capacity (`> 0`); the service rate on share `φ` of a
+    /// server with capacity `C^p` is `φ·C^p / t̄^p_i`.
+    pub exec_processing: f64,
+    /// Mean communication time `t̄^c_i` of one request on a unit of
+    /// communication capacity (`> 0`).
+    pub exec_communication: f64,
+    /// Constant data-storage requirement `m_i` that must fit on every
+    /// server holding a positive portion of this client's requests (`>= 0`).
+    pub storage: f64,
+}
+
+impl Client {
+    /// Creates a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates or execution times are not strictly positive, the
+    /// storage need is negative, or any argument is non-finite.
+    pub fn new(
+        id: ClientId,
+        utility_class: UtilityClassId,
+        rate_predicted: f64,
+        rate_agreed: f64,
+        exec_processing: f64,
+        exec_communication: f64,
+        storage: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("rate_predicted", rate_predicted),
+            ("rate_agreed", rate_agreed),
+            ("exec_processing", exec_processing),
+            ("exec_communication", exec_communication),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
+        }
+        assert!(
+            storage.is_finite() && storage >= 0.0,
+            "storage must be non-negative and finite, got {storage}"
+        );
+        Self {
+            id,
+            utility_class,
+            rate_predicted,
+            rate_agreed,
+            exec_processing,
+            exec_communication,
+            storage,
+        }
+    }
+
+    /// Minimum total processing capacity (in normalized units) needed to
+    /// serve this client's predicted traffic with a stable queue:
+    /// `λ_i · t̄^p_i`.
+    pub fn min_processing_capacity(&self) -> f64 {
+        self.rate_predicted * self.exec_processing
+    }
+
+    /// Minimum total communication capacity needed for stability:
+    /// `λ_i · t̄^c_i`.
+    pub fn min_communication_capacity(&self) -> f64 {
+        self.rate_predicted * self.exec_communication
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> Client {
+        Client::new(ClientId(0), UtilityClassId(1), 2.0, 2.5, 0.5, 0.4, 1.0)
+    }
+
+    #[test]
+    fn stability_floors_are_rate_times_exec() {
+        let c = client();
+        assert!((c.min_processing_capacity() - 1.0).abs() < 1e-12);
+        assert!((c.min_communication_capacity() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreed_and_predicted_rates_are_independent() {
+        let c = client();
+        assert_eq!(c.rate_predicted, 2.0);
+        assert_eq!(c.rate_agreed, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate_predicted must be positive")]
+    fn rejects_zero_rate() {
+        let _ = Client::new(ClientId(0), UtilityClassId(0), 0.0, 1.0, 1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "storage must be non-negative")]
+    fn rejects_negative_storage() {
+        let _ = Client::new(ClientId(0), UtilityClassId(0), 1.0, 1.0, 1.0, 1.0, -0.1);
+    }
+
+    #[test]
+    fn zero_storage_is_allowed() {
+        let c = Client::new(ClientId(0), UtilityClassId(0), 1.0, 1.0, 1.0, 1.0, 0.0);
+        assert_eq!(c.storage, 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = client();
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Client>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,118 @@
+//! Clusters and their pre-existing (background) load.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClusterId, ServerId};
+
+/// Resources of one server already committed before the decision epoch.
+///
+/// The paper's greedy phase starts from "the state of the cluster at the end
+/// of the previous epoch": shares `φ̂` held by previously placed clients or
+/// by applications outside the cloud system. Background load reduces the
+/// capacity available to the allocator but does not contribute revenue.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BackgroundLoad {
+    /// Fraction of the server's processing capacity already taken (`[0,1]`).
+    pub phi_p: f64,
+    /// Fraction of the communication capacity already taken (`[0,1]`).
+    pub phi_c: f64,
+    /// Absolute storage (in the same units as `C^m`) already taken (`>= 0`).
+    pub storage: f64,
+}
+
+impl BackgroundLoad {
+    /// Creates a background load record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share fractions fall outside `[0, 1]` or the storage
+    /// amount is negative (or any argument is non-finite).
+    pub fn new(phi_p: f64, phi_c: f64, storage: f64) -> Self {
+        for (name, v) in [("phi_p", phi_p), ("phi_c", phi_c)] {
+            assert!(
+                v.is_finite() && (0.0..=1.0).contains(&v),
+                "{name} must lie in [0,1], got {v}"
+            );
+        }
+        assert!(
+            storage.is_finite() && storage >= 0.0,
+            "storage must be non-negative and finite, got {storage}"
+        );
+        Self { phi_p, phi_c, storage }
+    }
+
+    /// True when the server carries no background load at all.
+    pub fn is_empty(&self) -> bool {
+        self.phi_p == 0.0 && self.phi_c == 0.0 && self.storage == 0.0
+    }
+}
+
+/// A cluster: a set of servers behind one request dispatcher.
+///
+/// Server membership is maintained by [`crate::CloudSystem::add_server`];
+/// the ids recorded here always refer to servers whose
+/// [`crate::Server::cluster`] equals this cluster's id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Identifier of this cluster.
+    pub id: ClusterId,
+    /// Global ids of the servers this cluster owns, in insertion order.
+    pub servers: Vec<ServerId>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new(id: ClusterId) -> Self {
+        Self { id, servers: Vec::new() }
+    }
+
+    /// Number of servers in the cluster.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the cluster owns no servers.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_load_default_is_empty() {
+        assert!(BackgroundLoad::default().is_empty());
+        assert!(!BackgroundLoad::new(0.1, 0.0, 0.0).is_empty());
+        assert!(!BackgroundLoad::new(0.0, 0.0, 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "phi_p must lie in [0,1]")]
+    fn background_load_rejects_over_unity_share() {
+        let _ = BackgroundLoad::new(1.5, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "storage must be non-negative")]
+    fn background_load_rejects_negative_storage() {
+        let _ = BackgroundLoad::new(0.0, 0.0, -1.0);
+    }
+
+    #[test]
+    fn cluster_starts_empty() {
+        let c = Cluster::new(ClusterId(2));
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.id, ClusterId(2));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = Cluster::new(ClusterId(0));
+        c.servers.push(ServerId(4));
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Cluster>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type shared by the model crate's fallible operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or validating model entities from
+/// untrusted (e.g. deserialized) data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An id referenced an entity that does not exist.
+    UnknownEntity {
+        /// Which kind of entity ("server", "cluster", ...).
+        kind: &'static str,
+        /// The raw index that failed to resolve.
+        index: usize,
+    },
+    /// A numeric field fell outside its documented domain.
+    OutOfRange {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownEntity { kind, index } => {
+                write!(f, "unknown {kind} index {index}")
+            }
+            Self::OutOfRange { field, value } => {
+                write!(f, "field {field} out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ModelError::UnknownEntity { kind: "server", index: 3 };
+        assert_eq!(e.to_string(), "unknown server index 3");
+        let e = ModelError::OutOfRange { field: "alpha", value: 1.5 };
+        assert_eq!(e.to_string(), "field alpha out of range: 1.5");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

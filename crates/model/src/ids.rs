@@ -1,0 +1,110 @@
+//! Strongly-typed identifiers for the entities of the cloud model.
+//!
+//! Every entity is addressed by a dense `usize` index wrapped in a newtype
+//! so that a client index can never be confused with a server index
+//! (C-NEWTYPE). All ids are assigned by [`crate::CloudSystem`] in insertion
+//! order and are valid as direct indices into the system's entity vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the raw dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(value: usize) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(value: $name) -> usize {
+                value.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a client (an application workload with an SLA).
+    ClientId,
+    "c"
+);
+define_id!(
+    /// Identifier of a physical server inside the datacenter.
+    ///
+    /// Server ids are global across clusters; [`crate::Server::cluster`]
+    /// records which cluster owns the machine.
+    ServerId,
+    "s"
+);
+define_id!(
+    /// Identifier of a cluster (a group of servers behind one dispatcher).
+    ClusterId,
+    "k"
+);
+define_id!(
+    /// Identifier of a server *class* (hardware model in the catalog).
+    ServerClassId,
+    "sc"
+);
+define_id!(
+    /// Identifier of a utility (SLA) class shared by many clients.
+    UtilityClassId,
+    "u"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_short_prefixes() {
+        assert_eq!(ClientId(3).to_string(), "c3");
+        assert_eq!(ServerId(0).to_string(), "s0");
+        assert_eq!(ClusterId(7).to_string(), "k7");
+        assert_eq!(ServerClassId(1).to_string(), "sc1");
+        assert_eq!(UtilityClassId(4).to_string(), "u4");
+    }
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let id = ServerId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ClientId(1) < ClientId(2));
+        assert_eq!(ClusterId(5), ClusterId(5));
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        let json = serde_json::to_string(&ClientId(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: ClientId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ClientId(9));
+    }
+}

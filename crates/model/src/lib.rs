@@ -1,0 +1,79 @@
+//! Domain model for SLA-driven, profit-maximizing cloud resource allocation.
+//!
+//! This crate defines the entities of the system studied in *"Maximizing
+//! Profit in Cloud Computing System via Resource Allocation"* (Goudarzi &
+//! Pedram, 2011):
+//!
+//! * a [`CloudSystem`] made of [`Cluster`]s of heterogeneous [`Server`]s
+//!   drawn from a catalog of [`ServerClass`]es,
+//! * [`Client`]s with Poisson request streams and per-class SLA
+//!   [`UtilityFunction`]s of mean response time,
+//! * an [`Allocation`] mapping clients to clusters (`x`), dispersing their
+//!   requests over servers (`α`) and granting GPS resource shares (`φ`),
+//! * and an evaluator ([`evaluate`], [`check_feasibility`]) computing the
+//!   total profit `Σ_i λ̃_i·U_i(R_i) − Σ_j y_j·(P0_j + P1_j·ρ_j)` together
+//!   with every constraint of the paper's optimization problem (2).
+//!
+//! The model is deliberately independent of any solver: optimizers
+//! (`cloudalloc-core`, `cloudalloc-baselines`) and the discrete-event
+//! simulator (`cloudalloc-simulator`) all consume these types.
+//!
+//! # Example
+//!
+//! ```
+//! use cloudalloc_model::{
+//!     Allocation, Client, ClientId, CloudSystem, Cluster, ClusterId, Placement,
+//!     Server, ServerClass, ServerClassId, UtilityClass, UtilityClassId,
+//!     UtilityFunction,
+//! };
+//!
+//! // One cluster with one server, one client taking all of it.
+//! let class = ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5);
+//! let utility = UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5));
+//! let mut system = CloudSystem::new(vec![class], vec![utility]);
+//! let cluster = system.add_cluster(Cluster::new(ClusterId(0)));
+//! let server = system.add_server(Server::new(ServerClassId(0), cluster));
+//! system.add_client(Client::new(ClientId(0), UtilityClassId(0), 1.0, 1.0, 0.5, 0.5, 0.4));
+//!
+//! let mut alloc = Allocation::new(&system);
+//! alloc.assign_cluster(ClientId(0), cluster);
+//! alloc.place(&system, ClientId(0), server, Placement { alpha: 1.0, phi_p: 1.0, phi_c: 1.0 });
+//!
+//! let report = cloudalloc_model::evaluate(&system, &alloc);
+//! assert!(report.profit.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocation;
+mod builder;
+mod client;
+mod cluster;
+mod error;
+mod eval;
+mod ids;
+mod server;
+mod system;
+mod utility;
+
+pub use allocation::{Allocation, Placement, ServerLoad};
+pub use builder::SystemBuilder;
+pub use client::Client;
+pub use cluster::{BackgroundLoad, Cluster};
+pub use error::ModelError;
+pub use eval::{
+    check_feasibility, evaluate, evaluate_client, is_stable, placement_response_time,
+    ClientOutcome, ProfitReport, Violation, FEASIBILITY_TOL,
+};
+pub use ids::{ClientId, ClusterId, ServerClassId, ServerId, UtilityClassId};
+pub use server::{Server, ServerClass};
+pub use system::CloudSystem;
+pub use utility::{UtilityClass, UtilityFunction};
+
+/// Smallest resource share a client with positive traffic may hold on a
+/// server (the paper's `ε` in constraint (7)).
+///
+/// Shares below this are treated as "no allocation"; solvers use it as a
+/// lower clamp so that M/M/1 service rates stay bounded away from zero.
+pub const MIN_SHARE: f64 = 1e-6;

@@ -1,0 +1,159 @@
+//! Server classes (the hardware catalog) and server instances.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClusterId, ServerClassId, ServerId};
+
+/// A hardware model in the datacenter catalog.
+///
+/// The paper models each server class by its processing capacity `C^p`
+/// (normalized by a defined unit), local data-storage capacity `C^m`,
+/// communication capacity `C^c`, and an operation cost that is a constant
+/// `P0` plus a term `P1 · ρ` linear in the processing-domain utilization
+/// `ρ` of the machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerClass {
+    /// Identifier within the [`crate::CloudSystem`] catalog.
+    pub id: ServerClassId,
+    /// Processing capacity `C^p` in normalized units (`> 0`).
+    pub cap_processing: f64,
+    /// Data-storage capacity `C^m` in normalized units (`> 0`).
+    pub cap_storage: f64,
+    /// Communication capacity `C^c` in normalized units (`> 0`).
+    pub cap_communication: f64,
+    /// Constant operation cost `P0` paid while the server is ON (`>= 0`).
+    pub cost_fixed: f64,
+    /// Cost `P1` per unit of processing utilization (`>= 0`).
+    pub cost_per_utilization: f64,
+}
+
+impl ServerClass {
+    /// Creates a server class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is not strictly positive or any cost is
+    /// negative (or any argument is non-finite).
+    pub fn new(
+        id: ServerClassId,
+        cap_processing: f64,
+        cap_storage: f64,
+        cap_communication: f64,
+        cost_fixed: f64,
+        cost_per_utilization: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("cap_processing", cap_processing),
+            ("cap_storage", cap_storage),
+            ("cap_communication", cap_communication),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
+        }
+        for (name, v) in [
+            ("cost_fixed", cost_fixed),
+            ("cost_per_utilization", cost_per_utilization),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be non-negative and finite, got {v}");
+        }
+        Self {
+            id,
+            cap_processing,
+            cap_storage,
+            cap_communication,
+            cost_fixed,
+            cost_per_utilization,
+        }
+    }
+
+    /// Operation cost of an ON server of this class running at processing
+    /// utilization `rho ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is NaN or negative. Values slightly above 1 are
+    /// accepted (they can arise from feasibility tolerances) and charged
+    /// linearly.
+    pub fn operation_cost(&self, rho: f64) -> f64 {
+        assert!(!rho.is_nan() && rho >= 0.0, "utilization must be >= 0, got {rho}");
+        self.cost_fixed + self.cost_per_utilization * rho
+    }
+}
+
+/// A physical server: an instance of a [`ServerClass`] owned by a cluster.
+///
+/// The global [`ServerId`] is assigned by [`crate::CloudSystem::add_server`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Server {
+    /// Hardware model of this machine.
+    pub class: ServerClassId,
+    /// Cluster that owns this machine.
+    pub cluster: ClusterId,
+}
+
+impl Server {
+    /// Creates a server of class `class` inside cluster `cluster`.
+    pub fn new(class: ServerClassId, cluster: ClusterId) -> Self {
+        Self { class, cluster }
+    }
+}
+
+/// A server together with its resolved id; convenience view returned by
+/// iteration helpers on [`crate::CloudSystem`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerRef<'a> {
+    /// Global id of the server.
+    pub id: ServerId,
+    /// The server record.
+    pub server: &'a Server,
+    /// Its resolved hardware class.
+    pub class: &'a ServerClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class() -> ServerClass {
+        ServerClass::new(ServerClassId(0), 4.0, 3.0, 5.0, 2.0, 1.5)
+    }
+
+    #[test]
+    fn operation_cost_is_affine_in_utilization() {
+        let c = class();
+        assert_eq!(c.operation_cost(0.0), 2.0);
+        assert_eq!(c.operation_cost(1.0), 3.5);
+        assert!((c.operation_cost(0.5) - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap_processing must be positive")]
+    fn rejects_zero_processing_capacity() {
+        let _ = ServerClass::new(ServerClassId(0), 0.0, 1.0, 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost_fixed must be non-negative")]
+    fn rejects_negative_fixed_cost() {
+        let _ = ServerClass::new(ServerClassId(0), 1.0, 1.0, 1.0, -1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be >= 0")]
+    fn cost_rejects_nan_utilization() {
+        let _ = class().operation_cost(f64::NAN);
+    }
+
+    #[test]
+    fn server_records_class_and_cluster() {
+        let s = Server::new(ServerClassId(3), ClusterId(1));
+        assert_eq!(s.class, ServerClassId(3));
+        assert_eq!(s.cluster, ClusterId(1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = class();
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<ServerClass>(&json).unwrap(), c);
+    }
+}

@@ -1,0 +1,390 @@
+//! The [`CloudSystem`]: the full static description of one decision epoch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::client::Client;
+use crate::cluster::{BackgroundLoad, Cluster};
+use crate::ids::{ClientId, ClusterId, ServerClassId, ServerId, UtilityClassId};
+use crate::server::{Server, ServerClass, ServerRef};
+use crate::utility::{UtilityClass, UtilityFunction};
+
+/// Everything the resource manager knows at the start of a decision epoch:
+/// the hardware catalog, the cluster topology, the pre-existing background
+/// load, and the client population with its SLAs.
+///
+/// `CloudSystem` is immutable during optimization; all decisions live in a
+/// separate [`crate::Allocation`]. Entities are stored densely and addressed
+/// by their typed ids, which double as indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudSystem {
+    server_classes: Vec<ServerClass>,
+    utility_classes: Vec<UtilityClass>,
+    clusters: Vec<Cluster>,
+    servers: Vec<Server>,
+    background: Vec<BackgroundLoad>,
+    clients: Vec<Client>,
+}
+
+impl CloudSystem {
+    /// Creates a system from a hardware catalog and an SLA catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any catalog entry's id does not match its position.
+    pub fn new(server_classes: Vec<ServerClass>, utility_classes: Vec<UtilityClass>) -> Self {
+        for (pos, sc) in server_classes.iter().enumerate() {
+            assert_eq!(sc.id.index(), pos, "server class id must match its catalog position");
+        }
+        for (pos, uc) in utility_classes.iter().enumerate() {
+            assert_eq!(uc.id.index(), pos, "utility class id must match its catalog position");
+        }
+        Self {
+            server_classes,
+            utility_classes,
+            clusters: Vec::new(),
+            servers: Vec::new(),
+            background: Vec::new(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// Adds a cluster, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster's declared id does not match its position or
+    /// it already lists servers (servers are attached via [`add_server`]).
+    ///
+    /// [`add_server`]: CloudSystem::add_server
+    pub fn add_cluster(&mut self, cluster: Cluster) -> ClusterId {
+        assert_eq!(
+            cluster.id.index(),
+            self.clusters.len(),
+            "cluster id must match its insertion position"
+        );
+        assert!(cluster.is_empty(), "attach servers via CloudSystem::add_server");
+        let id = cluster.id;
+        self.clusters.push(cluster);
+        id
+    }
+
+    /// Adds a server with no background load, returning its global id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server references an unknown class or cluster.
+    pub fn add_server(&mut self, server: Server) -> ServerId {
+        self.add_server_with_background(server, BackgroundLoad::default())
+    }
+
+    /// Adds a server that already carries background load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server references an unknown class or cluster, or the
+    /// background storage exceeds the class's storage capacity.
+    pub fn add_server_with_background(
+        &mut self,
+        server: Server,
+        background: BackgroundLoad,
+    ) -> ServerId {
+        let class = self
+            .server_classes
+            .get(server.class.index())
+            .unwrap_or_else(|| panic!("unknown server class {}", server.class));
+        assert!(
+            background.storage <= class.cap_storage,
+            "background storage {} exceeds class capacity {}",
+            background.storage,
+            class.cap_storage
+        );
+        assert!(
+            server.cluster.index() < self.clusters.len(),
+            "unknown cluster {}",
+            server.cluster
+        );
+        let id = ServerId(self.servers.len());
+        self.clusters[server.cluster.index()].servers.push(id);
+        self.servers.push(server);
+        self.background.push(background);
+        id
+    }
+
+    /// Adds a client, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client's declared id does not match its position or it
+    /// references an unknown utility class.
+    pub fn add_client(&mut self, client: Client) -> ClientId {
+        assert_eq!(
+            client.id.index(),
+            self.clients.len(),
+            "client id must match its insertion position"
+        );
+        assert!(
+            client.utility_class.index() < self.utility_classes.len(),
+            "unknown utility class {}",
+            client.utility_class
+        );
+        let id = client.id;
+        self.clients.push(client);
+        id
+    }
+
+    /// The hardware catalog.
+    pub fn server_classes(&self) -> &[ServerClass] {
+        &self.server_classes
+    }
+
+    /// The SLA catalog.
+    pub fn utility_classes(&self) -> &[UtilityClass] {
+        &self.utility_classes
+    }
+
+    /// All clusters in id order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// All servers in global-id order.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// All clients in id order.
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of servers across all clusters.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Looks up a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// Looks up a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.index()]
+    }
+
+    /// Looks up a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn client(&self, id: ClientId) -> &Client {
+        &self.clients[id.index()]
+    }
+
+    /// Looks up a server class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn server_class(&self, id: ServerClassId) -> &ServerClass {
+        &self.server_classes[id.index()]
+    }
+
+    /// Looks up a utility class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn utility_class(&self, id: UtilityClassId) -> &UtilityClass {
+        &self.utility_classes[id.index()]
+    }
+
+    /// Resolved hardware class of server `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn class_of(&self, id: ServerId) -> &ServerClass {
+        self.server_class(self.server(id).class)
+    }
+
+    /// Utility function of client `id`'s SLA class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn utility_of(&self, id: ClientId) -> &UtilityFunction {
+        &self.utility_class(self.client(id).utility_class).function
+    }
+
+    /// Background load of server `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn background(&self, id: ServerId) -> BackgroundLoad {
+        self.background[id.index()]
+    }
+
+    /// Iterates over the servers of cluster `cluster` with resolved classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn servers_in(&self, cluster: ClusterId) -> impl Iterator<Item = ServerRef<'_>> + '_ {
+        self.clusters[cluster.index()].servers.iter().map(move |&id| ServerRef {
+            id,
+            server: self.server(id),
+            class: self.class_of(id),
+        })
+    }
+
+    /// Iterates over every server in the system with resolved classes.
+    pub fn all_servers(&self) -> impl Iterator<Item = ServerRef<'_>> + '_ {
+        self.servers.iter().enumerate().map(move |(idx, server)| ServerRef {
+            id: ServerId(idx),
+            server,
+            class: self.server_class(server.class),
+        })
+    }
+
+    /// Total raw processing capacity of the datacenter (sum of `C^p` over
+    /// all servers), a quick sizing aid for workload generators.
+    pub fn total_processing_capacity(&self) -> f64 {
+        self.servers.iter().map(|s| self.server_class(s.class).cap_processing).sum()
+    }
+
+    /// Total predicted processing demand `Σ_i λ_i t̄^p_i` of all clients.
+    pub fn total_processing_demand(&self) -> f64 {
+        self.clients.iter().map(Client::min_processing_capacity).sum()
+    }
+
+    /// A copy of the system with every client's *predicted* arrival rate
+    /// replaced (contract/agreed rates unchanged) — how a new decision
+    /// epoch re-parameterizes the allocation problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` does not hold one positive rate per client.
+    pub fn with_predicted_rates(&self, rates: &[f64]) -> CloudSystem {
+        assert_eq!(rates.len(), self.clients.len(), "one rate per client required");
+        let mut next = self.clone();
+        for (client, &rate) in next.clients.iter_mut().zip(rates) {
+            assert!(rate.is_finite() && rate > 0.0, "rates must be positive, got {rate}");
+            client.rate_predicted = rate;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_system() -> CloudSystem {
+        let classes = vec![
+            ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5),
+            ServerClass::new(ServerClassId(1), 2.0, 6.0, 3.0, 2.0, 1.0),
+        ];
+        let utils = vec![UtilityClass::new(
+            UtilityClassId(0),
+            UtilityFunction::linear(2.0, 0.5),
+        )];
+        let mut sys = CloudSystem::new(classes, utils);
+        let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
+        let k1 = sys.add_cluster(Cluster::new(ClusterId(1)));
+        sys.add_server(Server::new(ServerClassId(0), k0));
+        sys.add_server(Server::new(ServerClassId(1), k0));
+        sys.add_server(Server::new(ServerClassId(0), k1));
+        sys.add_client(Client::new(ClientId(0), UtilityClassId(0), 1.0, 1.0, 0.5, 0.5, 1.0));
+        sys
+    }
+
+    #[test]
+    fn servers_are_attached_to_their_clusters() {
+        let sys = two_cluster_system();
+        assert_eq!(sys.num_servers(), 3);
+        assert_eq!(sys.cluster(ClusterId(0)).servers, vec![ServerId(0), ServerId(1)]);
+        assert_eq!(sys.cluster(ClusterId(1)).servers, vec![ServerId(2)]);
+        assert_eq!(sys.server(ServerId(2)).cluster, ClusterId(1));
+    }
+
+    #[test]
+    fn servers_in_resolves_classes() {
+        let sys = two_cluster_system();
+        let caps: Vec<f64> = sys.servers_in(ClusterId(0)).map(|s| s.class.cap_processing).collect();
+        assert_eq!(caps, vec![4.0, 2.0]);
+        assert_eq!(sys.all_servers().count(), 3);
+    }
+
+    #[test]
+    fn capacity_and_demand_totals() {
+        let sys = two_cluster_system();
+        assert!((sys.total_processing_capacity() - 10.0).abs() < 1e-12);
+        assert!((sys.total_processing_demand() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookups_resolve_client_utility() {
+        let sys = two_cluster_system();
+        assert_eq!(sys.utility_of(ClientId(0)).value(0.0), 2.0);
+        assert_eq!(sys.class_of(ServerId(1)).cap_storage, 6.0);
+        assert!(sys.background(ServerId(0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "client id must match")]
+    fn rejects_out_of_order_client_ids() {
+        let mut sys = two_cluster_system();
+        sys.add_client(Client::new(ClientId(5), UtilityClassId(0), 1.0, 1.0, 1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown server class")]
+    fn rejects_unknown_server_class() {
+        let mut sys = two_cluster_system();
+        sys.add_server(Server::new(ServerClassId(9), ClusterId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn rejects_unknown_cluster() {
+        let mut sys = two_cluster_system();
+        sys.add_server(Server::new(ServerClassId(0), ClusterId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "background storage")]
+    fn rejects_oversized_background_storage() {
+        let mut sys = two_cluster_system();
+        sys.add_server_with_background(
+            Server::new(ServerClassId(0), ClusterId(0)),
+            BackgroundLoad::new(0.0, 0.0, 100.0),
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let sys = two_cluster_system();
+        let json = serde_json::to_string(&sys).unwrap();
+        assert_eq!(serde_json::from_str::<CloudSystem>(&json).unwrap(), sys);
+    }
+}

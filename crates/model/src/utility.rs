@@ -1,0 +1,340 @@
+//! SLA utility functions: non-increasing maps from mean response time to the
+//! per-request price a client pays.
+//!
+//! The paper defines each client class by "a pre-defined utility function
+//! based on their response time requirements" and later linearizes it for
+//! the greedy construction phase. We provide the linear form as the default
+//! plus a discrete step form (the paper's "discrete utility functions") and
+//! a smooth exponential form used in ablations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::UtilityClassId;
+
+/// A non-increasing utility (price) function of mean response time.
+///
+/// All variants guarantee `value(r) >= 0` and monotone non-increase in `r`;
+/// [`UtilityFunction::value`] returns the price earned *per request* when
+/// the client's average response time is `r`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UtilityFunction {
+    /// `max(0, u0 − slope·r)` — the linearized utility used by the paper's
+    /// greedy phase and the default for generated scenarios.
+    Linear {
+        /// Price per request at zero response time (`u0 > 0`).
+        intercept: f64,
+        /// Price lost per unit of response time (`slope >= 0`).
+        slope: f64,
+    },
+    /// A right-continuous step function: pays `levels[n].1` for the first
+    /// threshold `levels[n].0 >= r`, and `0` beyond the last threshold.
+    ///
+    /// Thresholds must be strictly increasing and values non-increasing —
+    /// the paper's "discrete utility functions" (citing Zhang & Ardagna).
+    Step {
+        /// `(response-time threshold, price)` pairs, thresholds increasing.
+        levels: Vec<(f64, f64)>,
+    },
+    /// `u0 · exp(−r / tau)` — smooth strictly-decreasing utility used to
+    /// exercise the solvers on non-linear SLAs.
+    Exponential {
+        /// Price per request at zero response time.
+        intercept: f64,
+        /// Decay time constant (`tau > 0`).
+        tau: f64,
+    },
+}
+
+impl UtilityFunction {
+    /// Creates the linear utility `max(0, intercept − slope·r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intercept <= 0`, `slope < 0`, or either is non-finite.
+    pub fn linear(intercept: f64, slope: f64) -> Self {
+        assert!(
+            intercept.is_finite() && intercept > 0.0,
+            "utility intercept must be positive and finite, got {intercept}"
+        );
+        assert!(
+            slope.is_finite() && slope >= 0.0,
+            "utility slope must be non-negative and finite, got {slope}"
+        );
+        Self::Linear { intercept, slope }
+    }
+
+    /// Creates a discrete step utility from `(threshold, price)` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty, thresholds are not strictly increasing
+    /// and positive, or prices are negative or increasing.
+    pub fn step(levels: Vec<(f64, f64)>) -> Self {
+        assert!(!levels.is_empty(), "step utility needs at least one level");
+        let mut prev_t = 0.0;
+        let mut prev_v = f64::INFINITY;
+        for &(t, v) in &levels {
+            assert!(
+                t.is_finite() && t > prev_t,
+                "step thresholds must be positive and strictly increasing"
+            );
+            assert!(
+                v.is_finite() && v >= 0.0 && v <= prev_v,
+                "step prices must be non-negative and non-increasing"
+            );
+            prev_t = t;
+            prev_v = v;
+        }
+        Self::Step { levels }
+    }
+
+    /// Creates the exponential utility `intercept · exp(−r/tau)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intercept <= 0` or `tau <= 0`, or either is non-finite.
+    pub fn exponential(intercept: f64, tau: f64) -> Self {
+        assert!(
+            intercept.is_finite() && intercept > 0.0,
+            "utility intercept must be positive and finite, got {intercept}"
+        );
+        assert!(
+            tau.is_finite() && tau > 0.0,
+            "utility tau must be positive and finite, got {tau}"
+        );
+        Self::Exponential { intercept, tau }
+    }
+
+    /// Price earned per request at mean response time `r`.
+    ///
+    /// Returns `0.0` for infinite `r` (an unserved client earns nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is negative or NaN.
+    pub fn value(&self, r: f64) -> f64 {
+        assert!(!r.is_nan() && r >= 0.0, "response time must be >= 0, got {r}");
+        if r == f64::INFINITY {
+            return 0.0;
+        }
+        match self {
+            Self::Linear { intercept, slope } => (intercept - slope * r).max(0.0),
+            Self::Step { levels } => levels
+                .iter()
+                .find(|&&(t, _)| r <= t)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0),
+            Self::Exponential { intercept, tau } => intercept * (-r / tau).exp(),
+        }
+    }
+
+    /// Price at zero response time — the most a request of this class can
+    /// ever earn.
+    pub fn max_value(&self) -> f64 {
+        self.value(0.0)
+    }
+
+    /// Magnitude of the local decrease rate `−dU/dr` at response time `r`.
+    ///
+    /// For the step form this is the *average* slope of the surrounding
+    /// step, which is what the paper's linearization needs; beyond the last
+    /// threshold it is `0`.
+    pub fn slope_at(&self, r: f64) -> f64 {
+        assert!(!r.is_nan() && r >= 0.0, "response time must be >= 0, got {r}");
+        match self {
+            Self::Linear { intercept, slope } => {
+                if *slope * r >= *intercept {
+                    0.0
+                } else {
+                    *slope
+                }
+            }
+            Self::Step { levels } => {
+                let mut prev_t = 0.0;
+                let mut prev_v = self.max_value();
+                for &(t, v) in levels {
+                    if r <= t {
+                        let drop = prev_v - v;
+                        let width = t - prev_t;
+                        // First step: charge its own drop over its width so
+                        // tight SLAs look steep to the linearization.
+                        let own = (self.max_value() - v).max(drop);
+                        return if width > 0.0 { own / width } else { 0.0 };
+                    }
+                    prev_t = t;
+                    prev_v = v;
+                }
+                0.0
+            }
+            Self::Exponential { intercept, tau } => intercept / tau * (-r / tau).exp(),
+        }
+    }
+
+    /// The "reference" slope: the utility's average decrease rate over its
+    /// active range, `U(0)/horizon`, falling back to the initial local
+    /// slope for functions that never reach zero.
+    ///
+    /// This is the linearization scale solvers use before a response time
+    /// is known. A purely local `slope_at(0)` would be wrong for step
+    /// utilities (flat inside the first band, so a fully-satisfied *and* a
+    /// hopelessly-starved client would both look weightless); the secant
+    /// over the whole range is positive whenever the SLA pays anything.
+    pub fn reference_slope(&self) -> f64 {
+        let horizon = self.horizon();
+        if horizon.is_finite() && horizon > 0.0 {
+            self.max_value() / horizon
+        } else {
+            self.slope_at(0.0)
+        }
+    }
+
+    /// Largest response time at which the utility is still positive, or
+    /// `f64::INFINITY` if it never reaches zero (exponential form).
+    pub fn horizon(&self) -> f64 {
+        match self {
+            Self::Linear { intercept, slope } => {
+                if *slope == 0.0 {
+                    f64::INFINITY
+                } else {
+                    intercept / slope
+                }
+            }
+            Self::Step { levels } => levels
+                .iter()
+                .rev()
+                .find(|&&(_, v)| v > 0.0)
+                .map(|&(t, _)| t)
+                .unwrap_or(0.0),
+            Self::Exponential { .. } => f64::INFINITY,
+        }
+    }
+}
+
+/// A utility (SLA) class: an id plus the utility function every client of
+/// the class shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilityClass {
+    /// Identifier of this class within the [`crate::CloudSystem`] catalog.
+    pub id: UtilityClassId,
+    /// The price function of mean response time.
+    pub function: UtilityFunction,
+}
+
+impl UtilityClass {
+    /// Creates a utility class.
+    pub fn new(id: UtilityClassId, function: UtilityFunction) -> Self {
+        Self { id, function }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_clamps_to_zero() {
+        let u = UtilityFunction::linear(2.0, 0.5);
+        assert_eq!(u.value(0.0), 2.0);
+        assert_eq!(u.value(2.0), 1.0);
+        assert_eq!(u.value(4.0), 0.0);
+        assert_eq!(u.value(100.0), 0.0);
+        assert_eq!(u.value(f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn linear_slope_vanishes_past_horizon() {
+        let u = UtilityFunction::linear(2.0, 0.5);
+        assert_eq!(u.slope_at(1.0), 0.5);
+        assert_eq!(u.slope_at(10.0), 0.0);
+        assert_eq!(u.horizon(), 4.0);
+    }
+
+    #[test]
+    fn step_lookup_is_right_continuous() {
+        let u = UtilityFunction::step(vec![(1.0, 3.0), (2.0, 1.0), (5.0, 0.5)]);
+        assert_eq!(u.value(0.0), 3.0);
+        assert_eq!(u.value(1.0), 3.0);
+        assert_eq!(u.value(1.5), 1.0);
+        assert_eq!(u.value(4.9), 0.5);
+        assert_eq!(u.value(5.1), 0.0);
+        assert_eq!(u.horizon(), 5.0);
+    }
+
+    #[test]
+    fn exponential_decays_smoothly() {
+        let u = UtilityFunction::exponential(1.0, 2.0);
+        assert!((u.value(2.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert_eq!(u.horizon(), f64::INFINITY);
+        assert!(u.slope_at(0.0) > u.slope_at(5.0));
+    }
+
+    #[test]
+    fn all_forms_are_non_increasing() {
+        let funcs = [
+            UtilityFunction::linear(2.0, 0.7),
+            UtilityFunction::step(vec![(0.5, 2.0), (1.5, 1.0)]),
+            UtilityFunction::exponential(2.0, 1.0),
+        ];
+        for f in &funcs {
+            let mut prev = f.value(0.0);
+            for step in 1..200 {
+                let r = step as f64 * 0.05;
+                let v = f.value(r);
+                assert!(v <= prev + 1e-12, "{f:?} increased at r={r}");
+                assert!(v >= 0.0);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn max_value_is_value_at_zero() {
+        let u = UtilityFunction::step(vec![(1.0, 4.0)]);
+        assert_eq!(u.max_value(), 4.0);
+    }
+
+    #[test]
+    fn reference_slope_is_the_average_decrease() {
+        // Step: max value over the horizon.
+        let u = UtilityFunction::step(vec![(1.0, 4.0), (2.0, 1.0)]);
+        assert_eq!(u.reference_slope(), 4.0 / 2.0);
+        // Linear: recovers the literal slope.
+        let u = UtilityFunction::linear(2.0, 0.5);
+        assert!((u.reference_slope() - 0.5).abs() < 1e-12);
+        // Exponential never hits zero: the initial local slope.
+        let u = UtilityFunction::exponential(2.0, 4.0);
+        assert_eq!(u.reference_slope(), u.slope_at(0.0));
+        // Flat linear (slope 0) has an infinite horizon: local slope 0.
+        let u = UtilityFunction::linear(2.0, 0.0);
+        assert_eq!(u.reference_slope(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intercept must be positive")]
+    fn linear_rejects_zero_intercept() {
+        let _ = UtilityFunction::linear(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn step_rejects_unsorted_thresholds() {
+        let _ = UtilityFunction::step(vec![(2.0, 1.0), (1.0, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "response time must be >= 0")]
+    fn value_rejects_negative_response_time() {
+        let _ = UtilityFunction::linear(1.0, 1.0).value(-1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let u = UtilityClass::new(
+            UtilityClassId(2),
+            UtilityFunction::step(vec![(1.0, 2.0), (2.0, 1.0)]),
+        );
+        let json = serde_json::to_string(&u).unwrap();
+        let back: UtilityClass = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, u);
+    }
+}

@@ -1,0 +1,131 @@
+//! Multi-tier application descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use cloudalloc_model::UtilityFunction;
+
+/// One tier of an application (e.g. web, application logic, database).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tier {
+    /// Mean visits to this tier per application request (`> 0`); the
+    /// tier's arrival rate is `visits · λ_app`.
+    pub visits: f64,
+    /// Mean processing time per tier request on a unit of processing
+    /// capacity (`> 0`).
+    pub exec_processing: f64,
+    /// Mean communication time per tier request on a unit of
+    /// communication capacity (`> 0`).
+    pub exec_communication: f64,
+    /// Storage footprint the tier needs on every hosting server (`>= 0`).
+    pub storage: f64,
+}
+
+impl Tier {
+    /// Creates a tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain arguments.
+    pub fn new(visits: f64, exec_processing: f64, exec_communication: f64, storage: f64) -> Self {
+        for (name, v) in [
+            ("visits", visits),
+            ("exec_processing", exec_processing),
+            ("exec_communication", exec_communication),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
+        }
+        assert!(storage.is_finite() && storage >= 0.0, "storage must be non-negative");
+        Self { visits, exec_processing, exec_communication, storage }
+    }
+}
+
+/// A multi-tier application with one end-to-end SLA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Tier chain, front to back (`>= 1` tier).
+    pub tiers: Vec<Tier>,
+    /// Predicted application request rate `λ` (`> 0`).
+    pub rate_predicted: f64,
+    /// Agreed (contract) rate `λ̃` used for revenue (`> 0`).
+    pub rate_agreed: f64,
+    /// End-to-end utility of the visit-weighted total response time.
+    pub utility: UtilityFunction,
+}
+
+impl Application {
+    /// Creates an application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty or the rates are not positive.
+    pub fn new(
+        name: impl Into<String>,
+        tiers: Vec<Tier>,
+        rate_predicted: f64,
+        rate_agreed: f64,
+        utility: UtilityFunction,
+    ) -> Self {
+        assert!(!tiers.is_empty(), "an application needs at least one tier");
+        assert!(
+            rate_predicted.is_finite() && rate_predicted > 0.0,
+            "rate_predicted must be positive"
+        );
+        assert!(rate_agreed.is_finite() && rate_agreed > 0.0, "rate_agreed must be positive");
+        Self { name: name.into(), tiers, rate_predicted, rate_agreed, utility }
+    }
+
+    /// Total predicted processing demand of the application:
+    /// `λ·Σ_t v_t·t̄^p_t`.
+    pub fn processing_demand(&self) -> f64 {
+        self.rate_predicted
+            * self.tiers.iter().map(|t| t.visits * t.exec_processing).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_tier() -> Application {
+        Application::new(
+            "shop",
+            vec![
+                Tier::new(1.0, 0.3, 0.4, 0.5),
+                Tier::new(1.5, 0.6, 0.3, 1.0),
+                Tier::new(0.4, 0.9, 0.2, 2.0),
+            ],
+            2.0,
+            2.0,
+            UtilityFunction::linear(3.0, 0.5),
+        )
+    }
+
+    #[test]
+    fn demand_weights_by_visits() {
+        let app = three_tier();
+        let expect = 2.0 * (0.3 + 1.5 * 0.6 + 0.4 * 0.9);
+        assert!((app.processing_demand() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn rejects_empty_tier_chain() {
+        let _ = Application::new("x", vec![], 1.0, 1.0, UtilityFunction::linear(1.0, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "visits must be positive")]
+    fn rejects_zero_visits() {
+        let _ = Tier::new(0.0, 1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let app = three_tier();
+        let json = serde_json::to_string(&app).unwrap();
+        let back: Application = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, app);
+    }
+}

@@ -1,0 +1,269 @@
+//! Compiling applications into the single-tier model and recomposing
+//! end-to-end outcomes.
+
+use serde::{Deserialize, Serialize};
+
+use cloudalloc_model::{
+    evaluate_client, Allocation, Client, ClientId, CloudSystem, Cluster, UtilityClass,
+    UtilityClassId, UtilityFunction,
+};
+
+use crate::app::Application;
+
+/// The mapping produced by [`compile`]: which compiled client implements
+/// which application tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledApps {
+    /// The applications, in input order.
+    pub apps: Vec<Application>,
+    /// For every compiled client (by id order): `(app index, tier index)`.
+    pub tier_of_client: Vec<(usize, usize)>,
+}
+
+impl CompiledApps {
+    /// Compiled client ids implementing application `app`.
+    pub fn clients_of(&self, app: usize) -> Vec<ClientId> {
+        self.tier_of_client
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(a, _))| a == app)
+            .map(|(i, _)| ClientId(i))
+            .collect()
+    }
+}
+
+/// End-to-end outcome of one application under an allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppOutcome {
+    /// Application index.
+    pub app: usize,
+    /// Visit-weighted end-to-end response `R = Σ_t v_t·R_t`;
+    /// `∞` if any tier is unserved or unstable.
+    pub response_time: f64,
+    /// True end-to-end revenue `λ̃·U(R)`.
+    pub revenue: f64,
+    /// Revenue the compiled (per-tier linearized) utilities report; for
+    /// linear SLAs with all tiers in the linear region this equals
+    /// [`AppOutcome::revenue`] exactly.
+    pub compiled_revenue: f64,
+}
+
+/// Compiles `apps` onto `infrastructure` (whose clusters, servers and
+/// background loads are copied verbatim; its clients and SLA catalog are
+/// ignored), producing a single-tier [`CloudSystem`] ready for any solver
+/// in `cloudalloc-core`.
+///
+/// Each tier becomes one client with rate `v_t·λ`, the tier's execution
+/// profile, and a linear utility `c_t − b·R_t` where `b` is the
+/// application's (reference) slope and the intercepts split the
+/// end-to-end intercept per the crate-level docs.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty.
+pub fn compile(apps: &[Application], infrastructure: &CloudSystem) -> (CloudSystem, CompiledApps) {
+    assert!(!apps.is_empty(), "need at least one application");
+
+    // One utility class per (app, tier).
+    let mut utility_classes = Vec::new();
+    let mut tier_of_client = Vec::new();
+    for (a, app) in apps.iter().enumerate() {
+        let b = app.utility.reference_slope().max(1e-9);
+        let u0 = app.utility.max_value();
+        let num_tiers = app.tiers.len() as f64;
+        for (t, tier) in app.tiers.iter().enumerate() {
+            // Σ_t v_t·c_t = u0 with equal per-tier value share.
+            let intercept = u0 / (tier.visits * num_tiers);
+            utility_classes.push(UtilityClass::new(
+                UtilityClassId(utility_classes.len()),
+                UtilityFunction::linear(intercept, b),
+            ));
+            tier_of_client.push((a, t));
+        }
+    }
+
+    let mut system = CloudSystem::new(infrastructure.server_classes().to_vec(), utility_classes);
+    for cluster in infrastructure.clusters() {
+        system.add_cluster(Cluster::new(cluster.id));
+    }
+    for server in infrastructure.all_servers() {
+        system.add_server_with_background(
+            server.server.clone(),
+            infrastructure.background(server.id),
+        );
+    }
+
+    let mut class_idx = 0;
+    for app in apps {
+        for tier in &app.tiers {
+            let id = ClientId(system.num_clients());
+            system.add_client(Client::new(
+                id,
+                UtilityClassId(class_idx),
+                tier.visits * app.rate_predicted,
+                tier.visits * app.rate_agreed,
+                tier.exec_processing,
+                tier.exec_communication,
+                tier.storage,
+            ));
+            class_idx += 1;
+        }
+    }
+
+    (system, CompiledApps { apps: apps.to_vec(), tier_of_client })
+}
+
+/// Recomposes true end-to-end outcomes from an allocation of the compiled
+/// system.
+pub fn evaluate_apps(
+    system: &CloudSystem,
+    alloc: &Allocation,
+    compiled: &CompiledApps,
+) -> Vec<AppOutcome> {
+    compiled
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(a, app)| {
+            let mut response = 0.0;
+            let mut compiled_revenue = 0.0;
+            for client in compiled.clients_of(a) {
+                let (_, t) = compiled.tier_of_client[client.index()];
+                let outcome = evaluate_client(system, alloc, client);
+                compiled_revenue += outcome.revenue;
+                response += app.tiers[t].visits * outcome.response_time;
+            }
+            let revenue = if response.is_finite() {
+                app.rate_agreed * app.utility.value(response)
+            } else {
+                0.0
+            };
+            AppOutcome { app: a, response_time: response, revenue, compiled_revenue }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Tier;
+    use cloudalloc_core::{solve, SolverConfig};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    fn infrastructure() -> CloudSystem {
+        generate(&ScenarioConfig::small(1), 7)
+    }
+
+    fn shop() -> Application {
+        Application::new(
+            "shop",
+            vec![
+                Tier::new(1.0, 0.3, 0.3, 0.4),
+                Tier::new(2.0, 0.5, 0.3, 0.8),
+                Tier::new(0.5, 0.8, 0.2, 1.5),
+            ],
+            1.2,
+            1.2,
+            UtilityFunction::linear(3.0, 0.4),
+        )
+    }
+
+    #[test]
+    fn compilation_preserves_infrastructure() {
+        let infra = infrastructure();
+        let (system, compiled) = compile(&[shop()], &infra);
+        assert_eq!(system.num_servers(), infra.num_servers());
+        assert_eq!(system.num_clusters(), infra.num_clusters());
+        assert_eq!(system.num_clients(), 3);
+        assert_eq!(compiled.tier_of_client, vec![(0, 0), (0, 1), (0, 2)]);
+        assert_eq!(compiled.clients_of(0).len(), 3);
+    }
+
+    #[test]
+    fn tier_rates_scale_by_visits() {
+        let (system, _) = compile(&[shop()], &infrastructure());
+        let rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+        assert!((rates[0] - 1.2).abs() < 1e-12);
+        assert!((rates[1] - 2.4).abs() < 1e-12);
+        assert!((rates[2] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intercept_split_preserves_the_end_to_end_intercept() {
+        let app = shop();
+        let (system, _) = compile(&[app.clone()], &infrastructure());
+        // Σ_t v_t·c_t = u0.
+        let total: f64 = system
+            .clients()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let v = app.tiers[i].visits;
+                v * system.utility_of(c.id).max_value()
+            })
+            .sum();
+        assert!((total - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_decomposition_is_exact_in_the_linear_region() {
+        let apps = vec![shop()];
+        let (system, compiled) = compile(&apps, &infrastructure());
+        // Tiers must be served all-or-nothing: an app earns nothing when
+        // any tier is missing, so solve under strict service.
+        let config = SolverConfig { require_service: true, ..Default::default() };
+        let result = solve(&system, &config, 3);
+        let outcomes = evaluate_apps(&system, &result.allocation, &compiled);
+        let o = &outcomes[0];
+        assert!(o.response_time.is_finite(), "all tiers must be served");
+        // All tiers in the linear region ⇒ exact decomposition.
+        let in_linear_region = compiled.clients_of(0).iter().all(|&c| {
+            let outcome = evaluate_client(&system, &result.allocation, c);
+            system.utility_of(c).value(outcome.response_time) > 0.0
+        });
+        if in_linear_region {
+            assert!(
+                (o.revenue - o.compiled_revenue).abs() < 1e-6,
+                "decomposition drifted: true {} vs compiled {}",
+                o.revenue,
+                o.compiled_revenue
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_apps_solve_feasibly() {
+        let apps = vec![
+            shop(),
+            Application::new(
+                "analytics",
+                vec![Tier::new(1.0, 0.6, 0.5, 1.0), Tier::new(3.0, 0.4, 0.4, 0.5)],
+                0.8,
+                0.8,
+                UtilityFunction::step(vec![(2.0, 2.0), (5.0, 0.5)]),
+            ),
+        ];
+        let (system, compiled) = compile(&apps, &infrastructure());
+        assert_eq!(system.num_clients(), 5);
+        let result = solve(
+            &system,
+            &SolverConfig { require_service: true, ..Default::default() },
+            1,
+        );
+        let violations = cloudalloc_model::check_feasibility(&system, &result.allocation);
+        assert!(violations
+            .iter()
+            .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })));
+        let outcomes = evaluate_apps(&system, &result.allocation, &compiled);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.revenue >= 0.0 && o.revenue.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_apps_panic() {
+        let _ = compile(&[], &infrastructure());
+    }
+}

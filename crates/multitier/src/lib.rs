@@ -1,0 +1,50 @@
+//! Multi-tier applications on the single-tier allocation model.
+//!
+//! The paper closes with: *"In future works, the model will be expanded
+//! to deployment of complex multi-tier applications in a cloud computing
+//! infrastructure."* This crate implements that extension by
+//! **compilation**: a tiered application (web → app → db, say) with one
+//! end-to-end SLA becomes a set of coupled single-tier clients whose
+//! linearized utilities decompose the end-to-end utility, so the existing
+//! `Resource_Alloc` solver applies unchanged.
+//!
+//! # Model
+//!
+//! An [`Application`] issues requests at rate `λ`; a request visits tier
+//! `t` an average of `v_t` times ([`Tier::visits`], the fan-out factor),
+//! so tier `t` sees a Poisson stream of rate `v_t·λ`. End-to-end response
+//! is the visit-weighted sum of tier responses, `R = Σ_t v_t·R_t`
+//! (tandem pipelining, exactly the assumption of the paper's Eq. (1)),
+//! and revenue is `λ̃·U(R)` for a non-increasing end-to-end utility `U`.
+//!
+//! # Compilation
+//!
+//! For a *linear* end-to-end utility `U(R) = u0 − b·R`,
+//!
+//! ```text
+//! λ̃·U(R) = λ̃·u0 − b·λ̃·Σ_t v_t·R_t = Σ_t (v_t λ̃)·(c_t − b·R_t)
+//! ```
+//!
+//! with any split `Σ_t v_t·c_t = u0`: the app's revenue decomposes
+//! **exactly** into per-tier linear utilities with the *same* slope `b`
+//! and tier rates `v_t·λ̃`. [`compile`] materializes those per-tier
+//! clients ([`CompiledApps`] keeps the mapping); [`evaluate_apps`]
+//! recomposes true end-to-end responses and revenues from any allocation
+//! of the compiled system. Non-linear utilities are linearized the same
+//! way the paper linearizes discrete ones; the recomposition always
+//! reports the true utility.
+//!
+//! Solve compiled systems with
+//! [`SolverConfig::require_service`](cloudalloc_core::SolverConfig) set:
+//! an application earns nothing while *any* tier is unserved, so the
+//! solver's per-client economic admission (which only sees one tier's
+//! marginal value) must be disabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod compile;
+
+pub use app::{Application, Tier};
+pub use compile::{compile, evaluate_apps, AppOutcome, CompiledApps};

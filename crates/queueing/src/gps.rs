@@ -1,0 +1,191 @@
+//! Generalized Processor Sharing (GPS) share algebra.
+//!
+//! Under GPS, a resource of capacity `C` is divided among clients by
+//! weights; a client with share `φ` receives a guaranteed service capacity
+//! `φ·C` regardless of the other clients' backlogs. The paper uses the
+//! standard result (Zhang–Towsley–Kurose) that each client's sub-queue can
+//! then be analyzed as an isolated M/M/1 queue with service rate
+//! `φ·C / t̄`, where `t̄` is the client's mean per-unit-capacity service
+//! time.
+
+use crate::MM1;
+
+/// Effective exponential service rate seen by a client holding share
+/// `share` of a resource of capacity `capacity`, when one request costs
+/// `exec_time` on a unit of capacity: `share·capacity/exec_time`.
+///
+/// # Panics
+///
+/// Panics if `share ∉ [0,1]`, `capacity <= 0`, or `exec_time <= 0`
+/// (or any argument is non-finite).
+pub fn effective_rate(share: f64, capacity: f64, exec_time: f64) -> f64 {
+    assert!(
+        share.is_finite() && (0.0..=1.0).contains(&share),
+        "share must lie in [0,1], got {share}"
+    );
+    assert!(
+        capacity.is_finite() && capacity > 0.0,
+        "capacity must be positive and finite, got {capacity}"
+    );
+    assert!(
+        exec_time.is_finite() && exec_time > 0.0,
+        "exec_time must be positive and finite, got {exec_time}"
+    );
+    share * capacity / exec_time
+}
+
+/// Minimum share keeping the client's GPS sub-queue strictly stable at
+/// arrival rate `arrival`, i.e. the smallest `φ` with
+/// `φ·capacity/exec_time > arrival`. Returns a value in `(0, ∞)`; values
+/// above 1 mean no share of this resource can stabilize the queue.
+///
+/// # Panics
+///
+/// Panics if `arrival < 0`, `capacity <= 0`, or `exec_time <= 0`.
+pub fn min_stable_share(arrival: f64, capacity: f64, exec_time: f64) -> f64 {
+    assert!(
+        arrival.is_finite() && arrival >= 0.0,
+        "arrival must be non-negative and finite, got {arrival}"
+    );
+    assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive, got {capacity}");
+    assert!(exec_time.is_finite() && exec_time > 0.0, "exec_time must be positive, got {exec_time}");
+    arrival * exec_time / capacity
+}
+
+/// Builds the isolated M/M/1 queue a GPS client sees: arrivals `arrival`,
+/// service `share·capacity/exec_time`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`effective_rate`], or if the
+/// resulting service rate is zero (a positive-traffic client must hold a
+/// positive share).
+pub fn client_queue(arrival: f64, share: f64, capacity: f64, exec_time: f64) -> MM1 {
+    let rate = effective_rate(share, capacity, exec_time);
+    MM1::new(arrival, rate)
+}
+
+/// Converts absolute GPS shares into the weight vector of a weighted-fair
+/// queueing (WFQ) scheduler serving the same clients: weights are the
+/// shares normalized to sum to 1.
+///
+/// The paper notes GPS "can be implemented by weighted fair queuing if the
+/// service times for packets are not too large"; the simulator uses these
+/// weights for its WFQ mode.
+///
+/// # Panics
+///
+/// Panics if `shares` is empty, any share is outside `[0,1]`, or all
+/// shares are zero.
+pub fn wfq_weights(shares: &[f64]) -> Vec<f64> {
+    assert!(!shares.is_empty(), "need at least one share");
+    let total: f64 = shares
+        .iter()
+        .map(|&s| {
+            assert!(
+                s.is_finite() && (0.0..=1.0).contains(&s),
+                "share must lie in [0,1], got {s}"
+            );
+            s
+        })
+        .sum();
+    assert!(total > 0.0, "at least one share must be positive");
+    shares.iter().map(|&s| s / total).collect()
+}
+
+/// True when a set of GPS shares fits the unit budget within `tol`.
+pub fn shares_fit(shares: &[f64], tol: f64) -> bool {
+    shares.iter().sum::<f64>() <= 1.0 + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn effective_rate_scales_linearly_in_share() {
+        assert_eq!(effective_rate(0.5, 4.0, 0.5), 4.0);
+        assert_eq!(effective_rate(1.0, 4.0, 0.5), 8.0);
+        assert_eq!(effective_rate(0.0, 4.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn min_stable_share_is_tight() {
+        let phi = min_stable_share(2.0, 4.0, 0.5);
+        assert!((phi - 0.25).abs() < 1e-12);
+        // Just above the bound the queue is stable, at the bound it is not.
+        assert!(client_queue(2.0, phi + 1e-6, 4.0, 0.5).is_stable());
+        assert!(!client_queue(2.0, phi, 4.0, 0.5).is_stable());
+    }
+
+    #[test]
+    fn min_stable_share_can_exceed_one() {
+        // Demand larger than the whole resource.
+        assert!(min_stable_share(10.0, 2.0, 0.5) > 1.0);
+    }
+
+    #[test]
+    fn client_queue_composes_rate_and_arrival() {
+        let q = client_queue(1.0, 0.5, 4.0, 0.5);
+        assert_eq!(q.arrival_rate(), 1.0);
+        assert_eq!(q.service_rate(), 4.0);
+        assert!((q.mean_response_time() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wfq_weights_normalize() {
+        let w = wfq_weights(&[0.2, 0.2, 0.6]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[2] - 0.6).abs() < 1e-12);
+        // Shares that do not fill the budget still normalize.
+        let w = wfq_weights(&[0.1, 0.3]);
+        assert!((w[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one share must be positive")]
+    fn wfq_rejects_all_zero() {
+        let _ = wfq_weights(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shares_fit_respects_tolerance() {
+        assert!(shares_fit(&[0.5, 0.5], 0.0));
+        assert!(shares_fit(&[0.5, 0.5 + 1e-9], 1e-6));
+        assert!(!shares_fit(&[0.7, 0.5], 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "share must lie in [0,1]")]
+    fn effective_rate_rejects_oversized_share() {
+        let _ = effective_rate(1.5, 1.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn stability_threshold_is_consistent(
+            arrival in 0.01f64..5.0,
+            capacity in 0.5f64..8.0,
+            exec in 0.05f64..2.0,
+        ) {
+            let phi = min_stable_share(arrival, capacity, exec);
+            if phi < 1.0 {
+                let eps = 1e-9 + phi * 1e-9;
+                prop_assert!(client_queue(arrival, (phi + 1e-3).min(1.0), capacity, exec).is_stable());
+                let at = effective_rate(phi.min(1.0), capacity, exec);
+                prop_assert!(at <= arrival + eps.max(1e-9) * 10.0 + 1e-9 + arrival * 1e-12 + at * 1e-12);
+            }
+        }
+
+        #[test]
+        fn wfq_weights_always_sum_to_one(shares in proptest::collection::vec(0.0f64..1.0, 1..10)) {
+            prop_assume!(shares.iter().sum::<f64>() > 1e-6);
+            let w = wfq_weights(&shares);
+            prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (wi, si) in w.iter().zip(&shares) {
+                prop_assert!((wi * shares.iter().sum::<f64>() - si).abs() < 1e-9);
+            }
+        }
+    }
+}

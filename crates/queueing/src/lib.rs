@@ -1,0 +1,35 @@
+//! Analytic queueing substrate for the cloud resource-allocation model.
+//!
+//! The paper models every (client, server, resource) triple as an
+//! independent **M/M/1** queue obtained from **Generalized Processor
+//! Sharing** (GPS): a client holding share `φ` of a resource with capacity
+//! `C` and mean per-unit-capacity service time `t̄` sees an exponential
+//! server of rate `φ·C/t̄`. Poisson request streams split probabilistically
+//! across servers (dispersion `α`), and the processing and communication
+//! stages of a request form a pipelined tandem whose mean response times
+//! are assumed additive.
+//!
+//! This crate provides exactly that algebra, plus the sampling primitives
+//! used by the discrete-event simulator to generate the same stochastic
+//! processes:
+//!
+//! * [`MM1`] — closed-form M/M/1 metrics,
+//! * [`MG1`] — Pollaczek–Khinchine M/G/1 metrics for general service,
+//! * [`gps`] — GPS share bookkeeping and effective rates,
+//! * [`split`] — Poisson splitting/merging of request streams,
+//! * [`tandem`] — the paper's Eq. (1) response-time composition,
+//! * [`sampling`] — inverse-CDF exponential sampling for simulators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gps;
+pub mod sampling;
+pub mod split;
+pub mod tandem;
+
+mod mg1;
+mod mm1;
+
+pub use mg1::MG1;
+pub use mm1::MM1;

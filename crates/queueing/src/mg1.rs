@@ -1,0 +1,149 @@
+//! The M/G/1 queue (Pollaczek–Khinchine): general service distributions.
+//!
+//! The allocation model assumes exponential service (M/M/1); real
+//! workloads differ. P–K gives the exact mean waiting time for *any*
+//! service distribution from just its mean and squared coefficient of
+//! variation, which is what the robustness experiments use to predict
+//! how far reality drifts from the plan.
+
+use serde::{Deserialize, Serialize};
+
+/// An M/G/1 queue: Poisson arrivals, one server, FIFO, general service
+/// with known mean rate and squared coefficient of variation.
+///
+/// # Example
+///
+/// ```
+/// use cloudalloc_queueing::{MG1, MM1};
+///
+/// // With CV² = 1 (exponential service), M/G/1 reduces to M/M/1.
+/// let mg1 = MG1::new(1.0, 3.0, 1.0);
+/// let mm1 = MM1::new(1.0, 3.0);
+/// assert!((mg1.mean_response_time() - mm1.mean_response_time()).abs() < 1e-12);
+///
+/// // Deterministic service (CV² = 0) halves the waiting time.
+/// let md1 = MG1::new(1.0, 3.0, 0.0);
+/// assert!((md1.mean_waiting_time() - mm1.mean_waiting_time() / 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MG1 {
+    arrival: f64,
+    service: f64,
+    cv2: f64,
+}
+
+impl MG1 {
+    /// Creates a queue with arrival rate `arrival`, mean service rate
+    /// `service` and squared coefficient of variation `cv2` of the
+    /// service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival < 0`, `service <= 0` or `cv2 < 0` (or any
+    /// argument is non-finite).
+    pub fn new(arrival: f64, service: f64, cv2: f64) -> Self {
+        assert!(
+            arrival.is_finite() && arrival >= 0.0,
+            "arrival rate must be non-negative and finite, got {arrival}"
+        );
+        assert!(
+            service.is_finite() && service > 0.0,
+            "service rate must be positive and finite, got {service}"
+        );
+        assert!(cv2.is_finite() && cv2 >= 0.0, "cv2 must be non-negative and finite, got {cv2}");
+        Self { arrival, service, cv2 }
+    }
+
+    /// Traffic intensity `ρ = λ/μ`.
+    pub fn utilization(&self) -> f64 {
+        self.arrival / self.service
+    }
+
+    /// True when strictly stable (`ρ < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Pollaczek–Khinchine mean waiting time
+    /// `ρ·(1 + CV²) / (2·μ·(1 − ρ))`; `∞` when unstable.
+    pub fn mean_waiting_time(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        let rho = self.utilization();
+        rho * (1.0 + self.cv2) / (2.0 * self.service * (1.0 - rho))
+    }
+
+    /// Mean sojourn time `1/μ + W`; `∞` when unstable.
+    pub fn mean_response_time(&self) -> f64 {
+        1.0 / self.service + self.mean_waiting_time()
+    }
+
+    /// Mean number in the system (Little's law).
+    pub fn mean_in_system(&self) -> f64 {
+        self.arrival * self.mean_response_time()
+    }
+
+    /// The response-time inflation of this queue relative to the
+    /// exponential-service (M/M/1) model at the same rates:
+    /// `T_{M/G/1} / T_{M/M/1}`. Used by the robustness analysis to
+    /// predict how much a bursty workload degrades a plan.
+    pub fn inflation_vs_mm1(&self) -> f64 {
+        let mm1 = MG1::new(self.arrival, self.service, 1.0);
+        self.mean_response_time() / mm1.mean_response_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MM1;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduces_to_mm1_at_unit_cv2() {
+        let mg1 = MG1::new(2.0, 5.0, 1.0);
+        let mm1 = MM1::new(2.0, 5.0);
+        assert!((mg1.mean_response_time() - mm1.mean_response_time()).abs() < 1e-12);
+        assert!((mg1.mean_waiting_time() - mm1.mean_waiting_time()).abs() < 1e-12);
+        assert!((mg1.inflation_vs_mm1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_waits_half_of_mm1() {
+        let md1 = MG1::new(2.0, 5.0, 0.0);
+        let mm1 = MM1::new(2.0, 5.0);
+        assert!((md1.mean_waiting_time() - mm1.mean_waiting_time() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_queues_return_infinity() {
+        let q = MG1::new(5.0, 5.0, 1.0);
+        assert!(!q.is_stable());
+        assert_eq!(q.mean_waiting_time(), f64::INFINITY);
+        assert_eq!(q.mean_response_time(), f64::INFINITY);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        // L = λ·T by construction; check the numbers line up.
+        let q = MG1::new(1.0, 4.0, 3.0);
+        assert!((q.mean_in_system() - 1.0 * q.mean_response_time()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn waiting_grows_linearly_in_cv2(
+            arrival in 0.1f64..2.0,
+            service in 2.5f64..6.0,
+            cv2 in 0.0f64..8.0,
+        ) {
+            let q = MG1::new(arrival, service, cv2);
+            let base = MG1::new(arrival, service, 0.0);
+            // W(cv2) = W(0)·(1 + cv2).
+            prop_assert!((q.mean_waiting_time() - base.mean_waiting_time() * (1.0 + cv2)).abs() < 1e-9);
+            // More variance never helps.
+            prop_assert!(q.mean_response_time() >= base.mean_response_time() - 1e-12);
+        }
+    }
+}

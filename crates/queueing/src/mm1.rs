@@ -1,0 +1,227 @@
+//! Closed-form metrics of the M/M/1 queue.
+
+use serde::{Deserialize, Serialize};
+
+/// An M/M/1 queue: Poisson arrivals at rate `λ`, exponential service at
+/// rate `μ`, one server, FIFO, infinite buffer.
+///
+/// All formulas require strict stability `λ < μ`; metrics on an unstable
+/// queue return `f64::INFINITY` rather than negative nonsense, matching the
+/// convention of the profit evaluator.
+///
+/// # Example
+///
+/// ```
+/// use cloudalloc_queueing::MM1;
+///
+/// let q = MM1::new(1.0, 3.0);
+/// assert!((q.mean_response_time() - 0.5).abs() < 1e-12);
+/// assert!((q.utilization() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MM1 {
+    arrival: f64,
+    service: f64,
+}
+
+impl MM1 {
+    /// Creates a queue with Poisson arrival rate `arrival` and exponential
+    /// service rate `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival < 0`, `service <= 0`, or either is non-finite.
+    pub fn new(arrival: f64, service: f64) -> Self {
+        assert!(
+            arrival.is_finite() && arrival >= 0.0,
+            "arrival rate must be non-negative and finite, got {arrival}"
+        );
+        assert!(
+            service.is_finite() && service > 0.0,
+            "service rate must be positive and finite, got {service}"
+        );
+        Self { arrival, service }
+    }
+
+    /// Arrival rate `λ`.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival
+    }
+
+    /// Service rate `μ`.
+    pub fn service_rate(&self) -> f64 {
+        self.service
+    }
+
+    /// Traffic intensity `ρ = λ/μ`.
+    pub fn utilization(&self) -> f64 {
+        self.arrival / self.service
+    }
+
+    /// True when the queue is strictly stable (`λ < μ`).
+    pub fn is_stable(&self) -> bool {
+        self.arrival < self.service
+    }
+
+    /// Mean sojourn (response) time `1/(μ − λ)`, the quantity the paper's
+    /// Eq. (1) sums over resources; `∞` when unstable.
+    pub fn mean_response_time(&self) -> f64 {
+        if self.is_stable() {
+            1.0 / (self.service - self.arrival)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean waiting time in queue `ρ/(μ − λ)`; `∞` when unstable.
+    pub fn mean_waiting_time(&self) -> f64 {
+        if self.is_stable() {
+            self.utilization() / (self.service - self.arrival)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean number of requests in the system `ρ/(1 − ρ)` (Little's law
+    /// applied to the response time); `∞` when unstable.
+    pub fn mean_in_system(&self) -> f64 {
+        if self.is_stable() {
+            let rho = self.utilization();
+            rho / (1.0 - rho)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Steady-state probability of exactly `n` requests in the system:
+    /// `(1 − ρ)·ρⁿ`; `0` when unstable (no steady state exists; callers
+    /// should check [`MM1::is_stable`]).
+    pub fn prob_in_system(&self, n: u32) -> f64 {
+        if self.is_stable() {
+            let rho = self.utilization();
+            (1.0 - rho) * rho.powi(n as i32)
+        } else {
+            0.0
+        }
+    }
+
+    /// Probability a request's sojourn time exceeds `t`:
+    /// `exp(−(μ−λ)·t)`; `1` when unstable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or NaN.
+    pub fn prob_response_exceeds(&self, t: f64) -> f64 {
+        assert!(!t.is_nan() && t >= 0.0, "time must be >= 0, got {t}");
+        if self.is_stable() {
+            (-(self.service - self.arrival) * t).exp()
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn textbook_values() {
+        let q = MM1::new(2.0, 5.0);
+        assert!((q.utilization() - 0.4).abs() < 1e-12);
+        assert!((q.mean_response_time() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((q.mean_waiting_time() - 0.4 / 3.0).abs() < 1e-12);
+        assert!((q.mean_in_system() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = MM1::new(1.5, 4.0);
+        // L = λ·W
+        assert!((q.mean_in_system() - q.arrival_rate() * q.mean_response_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_is_wait_plus_service() {
+        let q = MM1::new(1.0, 2.5);
+        assert!(
+            (q.mean_response_time() - (q.mean_waiting_time() + 1.0 / q.service_rate())).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn unstable_queue_returns_infinity() {
+        let q = MM1::new(5.0, 2.0);
+        assert!(!q.is_stable());
+        assert_eq!(q.mean_response_time(), f64::INFINITY);
+        assert_eq!(q.mean_waiting_time(), f64::INFINITY);
+        assert_eq!(q.mean_in_system(), f64::INFINITY);
+        assert_eq!(q.prob_in_system(3), 0.0);
+        assert_eq!(q.prob_response_exceeds(1.0), 1.0);
+    }
+
+    #[test]
+    fn boundary_rate_is_unstable() {
+        let q = MM1::new(2.0, 2.0);
+        assert!(!q.is_stable());
+    }
+
+    #[test]
+    fn zero_arrivals_mean_pure_service() {
+        let q = MM1::new(0.0, 2.0);
+        assert!((q.mean_response_time() - 0.5).abs() < 1e-12);
+        assert_eq!(q.mean_waiting_time(), 0.0);
+        assert_eq!(q.prob_in_system(0), 1.0);
+    }
+
+    #[test]
+    fn tail_probability_decays() {
+        let q = MM1::new(1.0, 2.0);
+        assert_eq!(q.prob_response_exceeds(0.0), 1.0);
+        assert!(q.prob_response_exceeds(1.0) > q.prob_response_exceeds(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "service rate must be positive")]
+    fn rejects_zero_service_rate() {
+        let _ = MM1::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be non-negative")]
+    fn rejects_negative_arrival_rate() {
+        let _ = MM1::new(-1.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn state_probabilities_sum_to_one(arrival in 0.01f64..4.9, service in 5.0f64..10.0) {
+            let q = MM1::new(arrival, service);
+            let total: f64 = (0..2000).map(|n| q.prob_in_system(n)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "sum was {total}");
+        }
+
+        #[test]
+        fn response_time_decreases_with_service_rate(
+            arrival in 0.1f64..2.0,
+            service in 2.1f64..8.0,
+            bump in 0.1f64..2.0,
+        ) {
+            let slow = MM1::new(arrival, service);
+            let fast = MM1::new(arrival, service + bump);
+            prop_assert!(fast.mean_response_time() < slow.mean_response_time());
+        }
+
+        #[test]
+        fn expected_in_system_matches_distribution_mean(
+            arrival in 0.1f64..3.0,
+            service in 3.5f64..9.0,
+        ) {
+            let q = MM1::new(arrival, service);
+            let mean: f64 = (0..4000).map(|n| n as f64 * q.prob_in_system(n)).sum();
+            prop_assert!((mean - q.mean_in_system()).abs() < 1e-4);
+        }
+    }
+}

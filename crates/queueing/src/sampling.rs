@@ -1,0 +1,132 @@
+//! Inverse-CDF sampling primitives for the stochastic processes of the
+//! model, kept free of any RNG dependency: callers supply uniforms in
+//! `(0, 1]` (e.g. from `rand`), these functions turn them into samples.
+//!
+//! The discrete-event simulator drives Poisson arrivals and exponential
+//! service times exclusively through this module so that its distributions
+//! provably match the analytic model.
+
+/// Transforms a uniform sample `u ∈ (0, 1]` into an `Exp(rate)` sample via
+/// the inverse CDF: `−ln(u)/rate`.
+///
+/// # Panics
+///
+/// Panics if `u ∉ (0, 1]` or `rate <= 0`.
+pub fn exponential(u: f64, rate: f64) -> f64 {
+    assert!(u > 0.0 && u <= 1.0, "uniform sample must lie in (0,1], got {u}");
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive and finite, got {rate}");
+    -u.ln() / rate
+}
+
+/// Inter-arrival time of a Poisson process of rate `rate`: an alias of
+/// [`exponential`] named for call-site clarity.
+///
+/// # Panics
+///
+/// Same as [`exponential`].
+pub fn poisson_interarrival(u: f64, rate: f64) -> f64 {
+    exponential(u, rate)
+}
+
+/// Routes a request using a uniform sample `u ∈ [0, 1)` and a dispersion
+/// vector: returns the index of the chosen branch, or `None` when `u`
+/// falls past the cumulative sum (dropped traffic for `Σα < 1`).
+///
+/// # Panics
+///
+/// Panics if `u ∉ [0, 1)` or any probability is outside `[0, 1]`.
+pub fn route(u: f64, probs: &[f64]) -> Option<usize> {
+    assert!((0.0..1.0).contains(&u), "uniform sample must lie in [0,1), got {u}");
+    let mut acc = 0.0;
+    for (idx, &p) in probs.iter().enumerate() {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "routing probability must lie in [0,1], got {p}"
+        );
+        acc += p;
+        if u < acc {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exponential_hits_known_quantiles() {
+        // Median of Exp(1) is ln 2: u = 0.5 → −ln(0.5) = ln 2.
+        assert!((exponential(0.5, 1.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        // u = 1 maps to zero (the infimum of the support).
+        assert_eq!(exponential(1.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_scales_inversely_with_rate() {
+        let slow = exponential(0.3, 1.0);
+        let fast = exponential(0.3, 2.0);
+        assert!((slow / fast - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform sample")]
+    fn exponential_rejects_zero_uniform() {
+        let _ = exponential(0.0, 1.0);
+    }
+
+    #[test]
+    fn route_partitions_the_unit_interval() {
+        let probs = [0.25, 0.25, 0.5];
+        assert_eq!(route(0.0, &probs), Some(0));
+        assert_eq!(route(0.24, &probs), Some(0));
+        assert_eq!(route(0.25, &probs), Some(1));
+        assert_eq!(route(0.49, &probs), Some(1));
+        assert_eq!(route(0.5, &probs), Some(2));
+        assert_eq!(route(0.999, &probs), Some(2));
+    }
+
+    #[test]
+    fn route_drops_past_cumulative_mass() {
+        let probs = [0.3, 0.3];
+        assert_eq!(route(0.61, &probs), None);
+        assert_eq!(route(0.59, &probs), Some(1));
+    }
+
+    #[test]
+    fn route_with_empty_probs_always_drops() {
+        assert_eq!(route(0.5, &[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn exponential_is_positive_and_finite(u in 1e-12f64..=1.0, rate in 0.01f64..100.0) {
+            let x = exponential(u, rate);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+
+        #[test]
+        fn empirical_mean_tracks_rate(rate in 0.5f64..4.0) {
+            // Deterministic uniform grid → Riemann sum of the inverse CDF,
+            // which converges to the true mean 1/rate.
+            let n = 20_000;
+            let mean: f64 = (1..=n)
+                .map(|i| exponential(i as f64 / n as f64, rate))
+                .sum::<f64>()
+                / n as f64;
+            prop_assert!((mean - 1.0 / rate).abs() < 0.01 / rate);
+        }
+
+        #[test]
+        fn route_frequencies_match_probabilities(p0 in 0.1f64..0.8) {
+            let probs = [p0, 1.0 - p0];
+            let n = 10_000;
+            let hits0 = (0..n)
+                .filter(|&i| route(i as f64 / n as f64, &probs) == Some(0))
+                .count();
+            prop_assert!((hits0 as f64 / n as f64 - p0).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Probabilistic splitting and merging of Poisson streams.
+//!
+//! The cluster dispatcher routes each arriving request of client *i* to
+//! server *j* with probability `α_{ij}`. By the splitting property of the
+//! Poisson process, each output is again Poisson with rate `α_{ij}·λ_i`,
+//! which is what justifies analyzing every placement as an independent
+//! M/M/1 queue. This module encodes that algebra and validates dispersion
+//! vectors.
+
+/// Rates of the sub-streams produced by splitting a Poisson stream of rate
+/// `rate` with routing probabilities `probs`.
+///
+/// # Panics
+///
+/// Panics if `rate < 0`, any probability is outside `[0,1]`, or the
+/// probabilities sum to more than `1 + 1e-9` (a sum below 1 models dropped
+/// traffic and is allowed).
+pub fn split_rates(rate: f64, probs: &[f64]) -> Vec<f64> {
+    assert!(rate.is_finite() && rate >= 0.0, "rate must be non-negative and finite, got {rate}");
+    let mut total = 0.0;
+    for &p in probs {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "routing probability must lie in [0,1], got {p}"
+        );
+        total += p;
+    }
+    assert!(total <= 1.0 + 1e-9, "routing probabilities sum to {total} > 1");
+    probs.iter().map(|&p| p * rate).collect()
+}
+
+/// Rate of the superposition (merge) of independent Poisson streams.
+///
+/// # Panics
+///
+/// Panics if any rate is negative or non-finite.
+pub fn merge_rates(rates: &[f64]) -> f64 {
+    rates
+        .iter()
+        .map(|&r| {
+            assert!(r.is_finite() && r >= 0.0, "rate must be non-negative and finite, got {r}");
+            r
+        })
+        .sum()
+}
+
+/// Validates a dispersion vector `α_i·`: entries in `[0,1]` summing to 1
+/// within `tol`. Returns the exact sum on success.
+///
+/// # Errors
+///
+/// Returns the offending sum when it is not within `tol` of 1, or `NaN`
+/// entries are present.
+pub fn validate_dispersion(alphas: &[f64], tol: f64) -> Result<f64, f64> {
+    let mut total = 0.0;
+    for &a in alphas {
+        if !a.is_finite() || !(0.0..=1.0).contains(&a) {
+            return Err(f64::NAN);
+        }
+        total += a;
+    }
+    if (total - 1.0).abs() <= tol {
+        Ok(total)
+    } else {
+        Err(total)
+    }
+}
+
+/// Renormalizes a non-negative weight vector into a valid dispersion vector
+/// (summing to exactly 1). Useful after local-search perturbations.
+///
+/// # Panics
+///
+/// Panics if any weight is negative/non-finite or all weights are zero.
+pub fn renormalize(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w.is_finite() && w >= 0.0, "weight must be non-negative and finite, got {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "at least one weight must be positive");
+    weights.iter().map(|&w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splitting_preserves_total_rate() {
+        let rates = split_rates(4.0, &[0.25, 0.25, 0.5]);
+        assert_eq!(rates, vec![1.0, 1.0, 2.0]);
+        assert!((merge_rates(&rates) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_split_models_dropped_traffic() {
+        let rates = split_rates(2.0, &[0.25, 0.25]);
+        assert!((merge_rates(&rates) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn oversubscribed_split_panics() {
+        let _ = split_rates(1.0, &[0.7, 0.7]);
+    }
+
+    #[test]
+    fn dispersion_validation() {
+        assert_eq!(validate_dispersion(&[0.5, 0.5], 1e-9), Ok(1.0));
+        assert!(validate_dispersion(&[0.5, 0.4], 1e-9).is_err());
+        assert_eq!(validate_dispersion(&[0.5, 0.4], 0.2), Ok(0.9));
+        assert!(validate_dispersion(&[f64::NAN], 1e-9).unwrap_err().is_nan());
+        assert!(validate_dispersion(&[1.5], 1.0).unwrap_err().is_nan());
+    }
+
+    #[test]
+    fn renormalize_produces_valid_dispersion() {
+        let alphas = renormalize(&[1.0, 3.0]);
+        assert_eq!(alphas, vec![0.25, 0.75]);
+        assert!(validate_dispersion(&alphas, 1e-12).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn renormalize_rejects_all_zero() {
+        let _ = renormalize(&[0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn split_then_merge_is_identity(
+            rate in 0.0f64..10.0,
+            raw in proptest::collection::vec(0.01f64..1.0, 1..8),
+        ) {
+            let probs = renormalize(&raw);
+            let rates = split_rates(rate, &probs);
+            prop_assert!((merge_rates(&rates) - rate).abs() < 1e-9);
+        }
+
+        #[test]
+        fn renormalized_vectors_always_validate(
+            raw in proptest::collection::vec(0.0f64..5.0, 1..8),
+        ) {
+            prop_assume!(raw.iter().sum::<f64>() > 1e-9);
+            let alphas = renormalize(&raw);
+            prop_assert!(validate_dispersion(&alphas, 1e-9).is_ok());
+        }
+    }
+}

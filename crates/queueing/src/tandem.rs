@@ -1,0 +1,158 @@
+//! Tandem composition of the processing and communication stages.
+//!
+//! A request first occupies the processing queue, then the communication
+//! queue of the same server (the output of an M/M/1 queue is Poisson by
+//! Burke's theorem, so the second stage is again M/M/1). The paper assumes
+//! the two stage response times are independent and **additive** —
+//! pipelining makes the concatenated-service alternative pessimistic — and
+//! averages over the dispersion vector, giving Eq. (1):
+//!
+//! ```text
+//! R_i = Σ_j α_{ij} · ( 1/(μ^p_{ij} − α_{ij}λ_i) + 1/(μ^c_{ij} − α_{ij}λ_i) )
+//! ```
+
+use crate::MM1;
+
+/// Mean response time of one request through the two pipelined stages of a
+/// single server: the sum of the two M/M/1 sojourn times. `∞` when either
+/// stage is unstable.
+pub fn stage_response(processing: MM1, communication: MM1) -> f64 {
+    processing.mean_response_time() + communication.mean_response_time()
+}
+
+/// The paper's Eq. (1): mean response time of a client whose traffic is
+/// dispersed over several servers, given per-server `(α, t)` pairs where
+/// `t` is the stage response on that server.
+///
+/// Entries with `α = 0` are ignored (their `t` may be `∞`). Returns `∞`
+/// when any positive-α entry is `∞`, or when the vector is empty.
+///
+/// # Panics
+///
+/// Panics if any `α` is outside `[0,1]` or NaN.
+pub fn dispersed_response(terms: &[(f64, f64)]) -> f64 {
+    if terms.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut r = 0.0;
+    for &(alpha, t) in terms {
+        assert!(
+            !alpha.is_nan() && (0.0..=1.0).contains(&alpha),
+            "alpha must lie in [0,1], got {alpha}"
+        );
+        if alpha == 0.0 {
+            continue;
+        }
+        if !t.is_finite() {
+            return f64::INFINITY;
+        }
+        r += alpha * t;
+    }
+    r
+}
+
+/// End-to-end mean response of a client on one server, from raw shares:
+/// convenience wrapper building both GPS stage queues and composing them.
+///
+/// * `arrival` — the sub-stream rate `α·λ` routed to this server;
+/// * `(share, capacity, exec_time)` per stage.
+///
+/// # Panics
+///
+/// Propagates the panics of [`crate::gps::client_queue`] for out-of-domain
+/// arguments. Zero shares yield `∞` instead of panicking, since "no
+/// capacity" is a legitimate transient solver state.
+pub fn server_response(
+    arrival: f64,
+    processing: (f64, f64, f64),
+    communication: (f64, f64, f64),
+) -> f64 {
+    let (phi_p, cap_p, exec_p) = processing;
+    let (phi_c, cap_c, exec_c) = communication;
+    if phi_p == 0.0 || phi_c == 0.0 {
+        return f64::INFINITY;
+    }
+    let qp = crate::gps::client_queue(arrival, phi_p, cap_p, exec_p);
+    let qc = crate::gps::client_queue(arrival, phi_c, cap_c, exec_c);
+    stage_response(qp, qc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stage_response_adds_sojourns() {
+        let p = MM1::new(1.0, 3.0);
+        let c = MM1::new(1.0, 2.0);
+        assert!((stage_response(p, c) - (0.5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_stage_poisons_the_tandem() {
+        let p = MM1::new(1.0, 3.0);
+        let c = MM1::new(3.0, 2.0);
+        assert_eq!(stage_response(p, c), f64::INFINITY);
+    }
+
+    #[test]
+    fn dispersed_response_weights_by_alpha() {
+        let r = dispersed_response(&[(0.5, 1.0), (0.5, 3.0)]);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_alpha_entries_are_ignored_even_if_infinite() {
+        let r = dispersed_response(&[(1.0, 2.0), (0.0, f64::INFINITY)]);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_alpha_infinite_term_dominates() {
+        assert_eq!(dispersed_response(&[(0.9, 1.0), (0.1, f64::INFINITY)]), f64::INFINITY);
+        assert_eq!(dispersed_response(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn server_response_matches_manual_composition() {
+        // arrival 1, processing: 0.5 share of cap 4, exec 0.5 → μ=4
+        // communication: 0.5 share of cap 2, exec 0.25 → μ=4
+        let r = server_response(1.0, (0.5, 4.0, 0.5), (0.5, 2.0, 0.25));
+        assert!((r - (1.0 / 3.0 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_share_gives_infinite_response() {
+        assert_eq!(server_response(1.0, (0.0, 4.0, 0.5), (0.5, 2.0, 0.25)), f64::INFINITY);
+        assert_eq!(server_response(1.0, (0.5, 4.0, 0.5), (0.0, 2.0, 0.25)), f64::INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn dispersed_response_is_monotone_in_terms(
+            alphas in proptest::collection::vec(0.01f64..1.0, 2..6),
+            times in proptest::collection::vec(0.01f64..10.0, 6),
+        ) {
+            let n = alphas.len();
+            let total: f64 = alphas.iter().sum();
+            let alphas: Vec<f64> = alphas.iter().map(|a| a / total).collect();
+            let base: Vec<(f64, f64)> =
+                alphas.iter().zip(&times).map(|(&a, &t)| (a, t)).collect();
+            let mut worse = base.clone();
+            worse[n - 1].1 += 1.0;
+            prop_assert!(dispersed_response(&worse) > dispersed_response(&base));
+        }
+
+        #[test]
+        fn more_share_never_hurts(
+            arrival in 0.05f64..1.5,
+            phi in 0.3f64..0.9,
+            extra in 0.01f64..0.1,
+        ) {
+            let base = server_response(arrival, (phi, 4.0, 0.5), (phi, 4.0, 0.5));
+            let better = server_response(arrival, (phi + extra, 4.0, 0.5), (phi + extra, 4.0, 0.5));
+            prop_assert!(better <= base);
+        }
+    }
+}

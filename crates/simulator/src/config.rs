@@ -1,0 +1,147 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::failures::FailureConfig;
+use crate::routing::RoutingPolicy;
+use crate::service::ServiceDistribution;
+
+/// Service discipline of the simulated servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpsMode {
+    /// Independent M/M/1 queues per (client, server, resource) — the
+    /// analytic model's exact assumption.
+    Isolated,
+    /// Work-conserving fluid GPS: backlogged clients split the capacity
+    /// proportionally to their shares.
+    Shared,
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated time horizon (model time units).
+    pub horizon: f64,
+    /// Initial transient discarded from the statistics.
+    pub warmup: f64,
+    /// RNG seed; identical seeds reproduce identical sample paths.
+    pub seed: u64,
+    /// Service discipline.
+    pub mode: GpsMode,
+    /// Service-requirement distribution (the analytic model assumes
+    /// [`ServiceDistribution::Exponential`]; other shapes quantify the
+    /// model's robustness).
+    pub service: ServiceDistribution,
+    /// Optional server failure injection. Only supported by the
+    /// isolated-queues engine.
+    pub failures: Option<FailureConfig>,
+    /// Dispatcher routing policy. [`RoutingPolicy::LeastWork`] is only
+    /// supported by the isolated-queues engine.
+    pub routing: RoutingPolicy,
+}
+
+impl SimConfig {
+    /// A quick run for tests: short horizon, isolated queues.
+    pub fn quick(seed: u64) -> Self {
+        Self { horizon: 500.0, warmup: 50.0, seed, ..Default::default() }
+    }
+
+    /// A long validation run: enough samples to pin means within a few
+    /// percent for typical rates.
+    pub fn validation(seed: u64) -> Self {
+        Self { horizon: 20_000.0, warmup: 1_000.0, seed, ..Default::default() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is not positive, the warmup does not fit
+    /// inside it, the service distribution is malformed, or failure
+    /// injection is requested together with the shared-GPS engine.
+    pub fn validate(&self) {
+        assert!(
+            self.horizon.is_finite() && self.horizon > 0.0,
+            "horizon must be positive, got {}",
+            self.horizon
+        );
+        assert!(
+            self.warmup.is_finite() && (0.0..self.horizon).contains(&self.warmup),
+            "warmup must lie in [0, horizon), got {}",
+            self.warmup
+        );
+        self.service.validate();
+        if let Some(failures) = &self.failures {
+            failures.validate();
+            assert!(
+                self.mode == GpsMode::Isolated,
+                "failure injection is only supported by the isolated-queues engine"
+            );
+        }
+        if self.routing == RoutingPolicy::LeastWork {
+            assert!(
+                self.mode == GpsMode::Isolated,
+                "least-work routing is only supported by the isolated-queues engine"
+            );
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 5_000.0,
+            warmup: 500.0,
+            seed: 0,
+            mode: GpsMode::Isolated,
+            service: ServiceDistribution::Exponential,
+            failures: None,
+            routing: RoutingPolicy::Static,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SimConfig::default().validate();
+        SimConfig::quick(1).validate();
+        SimConfig::validation(2).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_beyond_horizon_panics() {
+        SimConfig { horizon: 10.0, warmup: 10.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        SimConfig { horizon: 0.0, warmup: 0.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "only supported by the isolated")]
+    fn shared_mode_rejects_failures() {
+        SimConfig {
+            mode: GpsMode::Shared,
+            failures: Some(FailureConfig::new(10.0, 1.0)),
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn isolated_mode_accepts_failures_and_service_shapes() {
+        SimConfig {
+            failures: Some(FailureConfig::new(100.0, 5.0)),
+            service: ServiceDistribution::HyperExponential { cv2: 4.0 },
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,140 @@
+//! A time-ordered event queue with deterministic FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry.
+#[derive(Debug, Clone, Copy)]
+struct Entry<K> {
+    time: f64,
+    seq: u64,
+    key: K,
+}
+
+impl<K> PartialEq for Entry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<K> Eq for Entry<K> {}
+
+impl<K> Ord for Entry<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first, ties
+        // broken by insertion order.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<K> PartialOrd for Entry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list: `push(time, key)`, `pop()` returns events in
+/// non-decreasing time order; simultaneous events come out in insertion
+/// order, making runs fully deterministic.
+///
+/// # Example
+///
+/// ```
+/// use cloudalloc_simulator::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(2.0, "late");
+/// q.push(1.0, "early");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<K> {
+    heap: BinaryHeap<Entry<K>>,
+    seq: u64,
+}
+
+impl<K> EventQueue<K> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `key` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite times.
+    pub fn push(&mut self, time: f64, key: K) {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        self.heap.push(Entry { time, seq: self.seq, key });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, K)> {
+        self.heap.pop().map(|e| (e.time, e.key))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 'c');
+        q.push(1.0, 'a');
+        q.push(2.0, 'b');
+        assert_eq!(q.pop(), Some((1.0, 'a')));
+        assert_eq!(q.pop(), Some((2.0, 'b')));
+        assert_eq!(q.pop(), Some((3.0, 'c')));
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        q.push(1.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_and_len_track_state() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(5.0, ());
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_times_are_rejected() {
+        EventQueue::new().push(f64::INFINITY, ());
+    }
+}

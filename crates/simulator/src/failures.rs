@@ -1,0 +1,72 @@
+//! Server failure injection.
+//!
+//! Servers alternate between up and down states with exponential times to
+//! failure and repair. While a server is down its queues stop serving
+//! (in-flight requests restart on repair — the memoryless service makes
+//! the restart exact for exponential service, an approximation
+//! otherwise); requests keep queueing, so outages surface as response
+//! time spikes and, through the utility functions, as lost revenue.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponential up/down failure process parameters, shared by all servers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureConfig {
+    /// Mean time between failures (time from repair to next failure,
+    /// `> 0`).
+    pub mtbf: f64,
+    /// Mean time to repair (`> 0`).
+    pub mttr: f64,
+}
+
+impl FailureConfig {
+    /// Creates a failure process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time is not strictly positive and finite.
+    pub fn new(mtbf: f64, mttr: f64) -> Self {
+        let config = Self { mtbf, mttr };
+        config.validate();
+        config
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time is not strictly positive and finite.
+    pub fn validate(&self) {
+        assert!(self.mtbf.is_finite() && self.mtbf > 0.0, "mtbf must be positive, got {}", self.mtbf);
+        assert!(self.mttr.is_finite() && self.mttr > 0.0, "mttr must be positive, got {}", self.mttr);
+    }
+
+    /// Long-run fraction of time a server is available:
+    /// `mtbf / (mtbf + mttr)`.
+    pub fn availability(&self) -> f64 {
+        self.mtbf / (self.mtbf + self.mttr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_is_the_uptime_fraction() {
+        let f = FailureConfig::new(90.0, 10.0);
+        assert!((f.availability() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mtbf must be positive")]
+    fn rejects_zero_mtbf() {
+        let _ = FailureConfig::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mttr must be positive")]
+    fn rejects_negative_mttr() {
+        let _ = FailureConfig::new(1.0, -1.0);
+    }
+}

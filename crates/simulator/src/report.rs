@@ -1,0 +1,93 @@
+//! Simulation output types.
+
+use cloudalloc_metrics::Sample;
+
+/// Measured statistics of one client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSimStats {
+    /// Requests generated inside the measurement window.
+    pub arrivals: u64,
+    /// Requests completed inside the measurement window.
+    pub completed: u64,
+    /// Requests routed nowhere because the dispersion summed below one
+    /// (should stay zero for feasible allocations, modulo float dust).
+    pub dropped: u64,
+    /// End-to-end response times of completed requests.
+    pub responses: Sample,
+}
+
+impl ClientSimStats {
+    /// Mean measured response time; `f64::INFINITY` when no request
+    /// completed (an unserved client).
+    pub fn mean_response(&self) -> f64 {
+        if self.responses.is_empty() {
+            f64::INFINITY
+        } else {
+            self.responses.mean()
+        }
+    }
+}
+
+/// Output of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-client statistics, indexed by client id.
+    pub clients: Vec<ClientSimStats>,
+    /// Total events processed (a determinism/effort indicator).
+    pub events: u64,
+    /// Measurement window `[warmup, horizon]` length.
+    pub measured_time: f64,
+}
+
+impl SimReport {
+    /// Total completed requests across all clients.
+    pub fn total_completed(&self) -> u64 {
+        self.clients.iter().map(|c| c.completed).sum()
+    }
+
+    /// Measured revenue under the system's utility functions: each
+    /// client's agreed rate times the utility of its *measured* mean
+    /// response. The analog of the analytic revenue term.
+    pub fn measured_revenue(&self, system: &cloudalloc_model::CloudSystem) -> f64 {
+        self.clients
+            .iter()
+            .enumerate()
+            .map(|(i, stats)| {
+                let client = system.client(cloudalloc_model::ClientId(i));
+                client.rate_agreed
+                    * system
+                        .utility_of(client.id)
+                        .value(stats.mean_response().min(f64::MAX))
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_clients_report_infinite_response() {
+        let stats = ClientSimStats {
+            arrivals: 0,
+            completed: 0,
+            dropped: 0,
+            responses: Sample::new(),
+        };
+        assert_eq!(stats.mean_response(), f64::INFINITY);
+    }
+
+    #[test]
+    fn totals_sum_over_clients() {
+        let mk = |n: u64| ClientSimStats {
+            arrivals: n,
+            completed: n,
+            dropped: 0,
+            responses: (0..n).map(|i| i as f64).collect(),
+        };
+        let report =
+            SimReport { clients: vec![mk(2), mk(3)], events: 10, measured_time: 100.0 };
+        assert_eq!(report.total_completed(), 5);
+    }
+}

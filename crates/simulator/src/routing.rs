@@ -1,0 +1,93 @@
+//! Dispatcher routing policies.
+//!
+//! Between decision epochs the allocation's dispersion vector `α` is
+//! fixed, but the paper notes that "some small changes in the parameters
+//! can be effectively tracked and responded to by proper reaction of
+//! request dispatchers in the clusters". These policies model that
+//! reaction inside the simulator:
+//!
+//! * [`RoutingPolicy::Static`] — route each request independently with
+//!   probabilities `α` (the analytic model's Bernoulli splitting);
+//! * [`RoutingPolicy::LeastWork`] — among the client's allocated
+//!   branches, send the request to the one with the smallest expected
+//!   wait, breaking ties toward the static probabilities. A work-aware
+//!   dispatcher smooths the sampling noise of Bernoulli splitting and
+//!   absorbs small drifts without a new epoch decision.
+
+use serde::{Deserialize, Serialize};
+
+/// How the cluster dispatcher maps one arriving request to a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RoutingPolicy {
+    /// Independent probabilistic splitting by `α` — the model's exact
+    /// assumption (Poisson splitting keeps every branch Poisson).
+    #[default]
+    Static,
+    /// Join-least-expected-wait across the client's allocated branches.
+    /// Only branches with `α > 0` participate; their GPS shares are
+    /// untouched, so the allocation's guarantees still hold.
+    LeastWork,
+}
+
+/// Picks the branch with the smallest expected wait, ties broken by the
+/// largest static probability, then the lowest index (deterministic).
+///
+/// Branches with non-finite wait or `prob ≤ 0` are excluded. Returns
+/// `None` when nothing is eligible.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn least_work_choice(waits: &[f64], probs: &[f64]) -> Option<usize> {
+    assert_eq!(waits.len(), probs.len(), "one wait per branch required");
+    let mut best: Option<usize> = None;
+    for idx in 0..waits.len() {
+        if !waits[idx].is_finite() || probs[idx] <= 0.0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => {
+                waits[idx] < waits[b]
+                    || (waits[idx] == waits[b] && probs[idx] > probs[b])
+            }
+        };
+        if better {
+            best = Some(idx);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_smallest_wait() {
+        assert_eq!(least_work_choice(&[2.0, 1.0, 3.0], &[0.4, 0.2, 0.4]), Some(1));
+    }
+
+    #[test]
+    fn ties_break_toward_the_static_probabilities_then_index() {
+        assert_eq!(
+            least_work_choice(&[1.0, 1.0], &[0.3, 0.7]),
+            Some(1),
+            "equal waits must defer to α"
+        );
+        assert_eq!(least_work_choice(&[1.0, 1.0], &[0.5, 0.5]), Some(0));
+    }
+
+    #[test]
+    fn infinite_waits_and_zero_probs_are_excluded() {
+        assert_eq!(least_work_choice(&[f64::INFINITY, 9.0], &[0.9, 0.1]), Some(1));
+        assert_eq!(least_work_choice(&[1.0, 9.0], &[0.0, 0.1]), Some(1));
+        assert_eq!(least_work_choice(&[], &[]), None);
+        assert_eq!(least_work_choice(&[f64::INFINITY], &[1.0]), None);
+    }
+
+    #[test]
+    fn default_policy_is_static() {
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::Static);
+    }
+}

@@ -1,0 +1,87 @@
+//! Analytic-vs-measured validation: the end-to-end check that the
+//! closed-form response times driving the optimizer describe the actual
+//! stochastic system (experiment E3).
+
+use cloudalloc_model::{evaluate, Allocation, CloudSystem};
+
+use crate::config::SimConfig;
+use crate::simulate;
+
+/// One client's analytic-vs-measured comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationRow {
+    /// Client index.
+    pub client: usize,
+    /// Closed-form mean response (paper Eq. (1)).
+    pub analytic: f64,
+    /// Simulated mean response.
+    pub measured: f64,
+    /// 95% confidence half-width of the measurement.
+    pub ci95: f64,
+    /// Completed requests behind the measurement.
+    pub samples: u64,
+}
+
+impl ValidationRow {
+    /// Relative error `|measured − analytic| / analytic`; `NaN` when the
+    /// analytic value is not finite and positive.
+    pub fn relative_error(&self) -> f64 {
+        (self.measured - self.analytic).abs() / self.analytic
+    }
+}
+
+/// Simulates `alloc` and compares each served client's measured mean
+/// response against the analytic prediction. Unserved clients (infinite
+/// analytic response) are skipped.
+pub fn validate(system: &CloudSystem, alloc: &Allocation, config: &SimConfig) -> Vec<ValidationRow> {
+    let analytic = evaluate(system, alloc);
+    let report = simulate(system, alloc, config);
+    analytic
+        .clients
+        .iter()
+        .enumerate()
+        .filter(|(_, outcome)| outcome.response_time.is_finite())
+        .map(|(i, outcome)| {
+            let stats = &report.clients[i];
+            ValidationRow {
+                client: i,
+                analytic: outcome.response_time,
+                measured: stats.mean_response(),
+                ci95: stats.responses.stats().ci95(),
+                samples: stats.completed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudalloc_core::{solve, SolverConfig};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn solver_allocations_validate_against_the_simulator() {
+        let system = generate(&ScenarioConfig::small(6), 101);
+        let result = solve(&system, &SolverConfig::fast(), 1);
+        let config = SimConfig { horizon: 8_000.0, warmup: 500.0, seed: 2, ..Default::default() };
+        let rows = validate(&system, &result.allocation, &config);
+        assert!(!rows.is_empty());
+        // Aggregate error must be small; individual clients with few
+        // samples may wobble more.
+        let mean_err: f64 =
+            rows.iter().map(ValidationRow::relative_error).sum::<f64>() / rows.len() as f64;
+        assert!(mean_err < 0.15, "mean relative error {mean_err}; rows: {rows:?}");
+        for row in &rows {
+            assert!(row.samples > 100, "client {} undersampled", row.client);
+        }
+    }
+
+    #[test]
+    fn unserved_clients_are_skipped() {
+        let system = generate(&ScenarioConfig::small(3), 103);
+        let alloc = Allocation::new(&system); // nobody served
+        let rows = validate(&system, &alloc, &SimConfig::quick(1));
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! A named catalog of hardware generations and SLA templates, for
+//! hand-built scenarios that should read like infrastructure descriptions
+//! rather than number soup. Capacities are in the paper's normalized
+//! units (a mid-range 2010 server ≈ 4 processing units).
+
+use cloudalloc_model::{ServerClassId, SystemBuilder, UtilityClassId, UtilityFunction};
+use serde::{Deserialize, Serialize};
+
+/// A named server-hardware template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerTemplate {
+    /// Catalog name.
+    pub name: &'static str,
+    /// Processing capacity `C^p`.
+    pub cap_processing: f64,
+    /// Storage capacity `C^m`.
+    pub cap_storage: f64,
+    /// Communication capacity `C^c`.
+    pub cap_communication: f64,
+    /// Constant operation cost `P0`.
+    pub cost_fixed: f64,
+    /// Utilization-linear cost `P1`.
+    pub cost_per_utilization: f64,
+}
+
+impl ServerTemplate {
+    /// Registers this template with a builder, returning the class id.
+    pub fn register(&self, builder: &mut SystemBuilder) -> ServerClassId {
+        builder.server_class(
+            self.cap_processing,
+            self.cap_storage,
+            self.cap_communication,
+            self.cost_fixed,
+            self.cost_per_utilization,
+        )
+    }
+}
+
+/// A named SLA template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaTemplate {
+    /// Catalog name.
+    pub name: &'static str,
+    /// The utility function.
+    pub utility: UtilityFunction,
+}
+
+impl SlaTemplate {
+    /// Registers this template with a builder, returning the class id.
+    pub fn register(&self, builder: &mut SystemBuilder) -> UtilityClassId {
+        builder.utility_class(self.utility.clone())
+    }
+}
+
+/// Previous-generation commodity machine: cheap, slow, power-hungry per
+/// unit of work.
+pub fn legacy_server() -> ServerTemplate {
+    ServerTemplate {
+        name: "legacy",
+        cap_processing: 2.5,
+        cap_storage: 3.0,
+        cap_communication: 2.5,
+        cost_fixed: 1.0,
+        cost_per_utilization: 1.4,
+    }
+}
+
+/// Current-generation balanced machine.
+pub fn standard_server() -> ServerTemplate {
+    ServerTemplate {
+        name: "standard",
+        cap_processing: 4.0,
+        cap_storage: 4.0,
+        cap_communication: 4.0,
+        cost_fixed: 1.6,
+        cost_per_utilization: 1.2,
+    }
+}
+
+/// High-density compute machine: the best performance per watt, highest
+/// idle draw.
+pub fn highend_server() -> ServerTemplate {
+    ServerTemplate {
+        name: "highend",
+        cap_processing: 6.0,
+        cap_storage: 5.0,
+        cap_communication: 6.0,
+        cost_fixed: 2.4,
+        cost_per_utilization: 1.0,
+    }
+}
+
+/// Storage-heavy machine for data-bound tenants.
+pub fn storage_server() -> ServerTemplate {
+    ServerTemplate {
+        name: "storage",
+        cap_processing: 3.0,
+        cap_storage: 6.0,
+        cap_communication: 3.5,
+        cost_fixed: 1.8,
+        cost_per_utilization: 1.1,
+    }
+}
+
+/// Interactive premium SLA: pays a lot for sub-half-second responses,
+/// collapses quickly beyond.
+pub fn interactive_gold() -> SlaTemplate {
+    SlaTemplate {
+        name: "interactive-gold",
+        utility: UtilityFunction::step(vec![(0.5, 3.0), (1.0, 1.2), (2.0, 0.3)]),
+    }
+}
+
+/// Interactive standard SLA: linear decay, tolerant to ~3 time units.
+pub fn interactive_silver() -> SlaTemplate {
+    SlaTemplate {
+        name: "interactive-silver",
+        utility: UtilityFunction::linear(1.8, 0.6),
+    }
+}
+
+/// Batch SLA: low price, very tolerant (smooth exponential decay).
+pub fn batch() -> SlaTemplate {
+    SlaTemplate { name: "batch", utility: UtilityFunction::exponential(0.8, 6.0) }
+}
+
+/// Every hardware template in the catalog.
+pub fn all_servers() -> Vec<ServerTemplate> {
+    vec![legacy_server(), standard_server(), highend_server(), storage_server()]
+}
+
+/// Every SLA template in the catalog.
+pub fn all_slas() -> Vec<SlaTemplate> {
+    vec![interactive_gold(), interactive_silver(), batch()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudalloc_model::ClientId;
+
+    #[test]
+    fn templates_register_and_build() {
+        let mut b = SystemBuilder::new();
+        let std_class = standard_server().register(&mut b);
+        let gold = interactive_gold().register(&mut b);
+        let k = b.cluster();
+        b.servers(k, std_class, 3);
+        b.client(gold, 1.0, 0.5, 0.4, 1.0);
+        let system = b.build();
+        assert_eq!(system.num_servers(), 3);
+        assert_eq!(system.class_of(cloudalloc_model::ServerId(0)).cap_processing, 4.0);
+        assert_eq!(system.utility_of(ClientId(0)).max_value(), 3.0);
+    }
+
+    #[test]
+    fn catalog_is_internally_consistent() {
+        for t in all_servers() {
+            assert!(t.cap_processing > 0.0 && t.cost_fixed > 0.0, "{}", t.name);
+        }
+        // Newer generations are more efficient at full utilization:
+        // cost per unit of fully-utilized capacity decreases.
+        let eff = |t: &ServerTemplate| (t.cost_fixed + t.cost_per_utilization) / t.cap_processing;
+        assert!(eff(&highend_server()) < eff(&standard_server()));
+        assert!(eff(&standard_server()) < eff(&legacy_server()));
+        for sla in all_slas() {
+            assert!(sla.utility.max_value() > 0.0, "{}", sla.name);
+        }
+        // Gold pays more than silver pays more than batch, at the front.
+        assert!(interactive_gold().utility.max_value() > interactive_silver().utility.max_value());
+        assert!(interactive_silver().utility.max_value() > batch().utility.max_value());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = all_servers().iter().map(|t| t.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

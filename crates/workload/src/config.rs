@@ -1,0 +1,239 @@
+//! Scenario configuration: every knob of the paper's synthetic workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// An inclusive uniform sampling range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Range {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound (`>= lo`).
+    pub hi: f64,
+}
+
+impl Range {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are non-finite or `hi < lo`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && hi >= lo, "invalid range [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Maps a uniform sample `u ∈ [0,1)` into the range.
+    pub fn sample(&self, u: f64) -> f64 {
+        assert!((0.0..1.0).contains(&u), "uniform sample must lie in [0,1), got {u}");
+        self.lo + (self.hi - self.lo) * u
+    }
+
+    /// True when `v` lies within the range (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// Shape of the generated utility functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UtilityShape {
+    /// `max(0, u0 − b·r)` — the paper's linearized SLA (default).
+    Linear,
+    /// A 3-level discrete step approximating the linear SLA — the paper's
+    /// "discrete utility functions".
+    Step,
+    /// `u0·exp(−r/τ)` — a smooth non-linear SLA used in ablations.
+    Exponential,
+}
+
+/// Full description of a synthetic scenario family; a concrete
+/// [`cloudalloc_model::CloudSystem`] is drawn from it with
+/// [`crate::generate`] and a seed.
+///
+/// Defaults ([`ScenarioConfig::paper`]) follow §VI of the paper; every
+/// range is exposed so ablations can stress individual dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of clusters (paper: 5).
+    pub num_clusters: usize,
+    /// Number of server classes in the catalog (paper: 10).
+    pub num_server_classes: usize,
+    /// Number of utility (SLA) classes (paper: 5).
+    pub num_utility_classes: usize,
+    /// Number of clients to generate.
+    pub num_clients: usize,
+    /// Servers of each class in each cluster, drawn uniformly as an
+    /// integer from this range (paper: `U(2,6)`).
+    pub servers_per_class: Range,
+    /// Processing capacity `C^p` per server class (paper: `U(2,6)`).
+    pub cap_processing: Range,
+    /// Storage capacity `C^m` per server class (paper: `U(2,6)`).
+    pub cap_storage: Range,
+    /// Communication capacity `C^c` per server class (paper: `U(2,6)`).
+    pub cap_communication: Range,
+    /// Constant operation cost `P0` per server class (paper: `U(1,3)`).
+    pub cost_fixed: Range,
+    /// Utilization-linear cost `P1` per server class (paper groups it with
+    /// the `U(1,3)` draw; see DESIGN.md).
+    pub cost_per_utilization: Range,
+    /// Mean per-unit-capacity execution times per utility class
+    /// (paper: `U(0.4,1)` for both processing and communication).
+    pub exec_time: Range,
+    /// Utility slope per utility class (paper: `U(0.4,1)`).
+    pub utility_slope: Range,
+    /// Utility intercept `u0` per utility class (implicit in the paper;
+    /// default `U(1,3)`).
+    pub utility_intercept: Range,
+    /// Predicted arrival rate `λ` per client (paper: `U(0.5,4.5)`).
+    pub arrival_rate: Range,
+    /// Storage need `m_i` per client (paper: `U(0.2,2)`).
+    pub client_storage: Range,
+    /// Agreed rate `λ̃ = factor · λ` (paper prices with the agreed rate but
+    /// allocates with the predicted one; 1.0 makes them equal).
+    pub agreed_rate_factor: f64,
+    /// Shape of the generated utility functions.
+    pub utility_shape: UtilityShape,
+    /// Fraction of servers carrying background load (paper's "initial
+    /// state ... of previously assigned and running clients"); 0 disables.
+    pub background_fraction: f64,
+    /// Background processing/communication share range for loaded servers.
+    pub background_share: Range,
+}
+
+impl ScenarioConfig {
+    /// The paper's §VI configuration for `num_clients` clients.
+    pub fn paper(num_clients: usize) -> Self {
+        Self {
+            num_clusters: 5,
+            num_server_classes: 10,
+            num_utility_classes: 5,
+            num_clients,
+            servers_per_class: Range::new(2.0, 6.0),
+            cap_processing: Range::new(2.0, 6.0),
+            cap_storage: Range::new(2.0, 6.0),
+            cap_communication: Range::new(2.0, 6.0),
+            cost_fixed: Range::new(1.0, 3.0),
+            cost_per_utilization: Range::new(1.0, 3.0),
+            exec_time: Range::new(0.4, 1.0),
+            utility_slope: Range::new(0.4, 1.0),
+            utility_intercept: Range::new(1.0, 3.0),
+            arrival_rate: Range::new(0.5, 4.5),
+            client_storage: Range::new(0.2, 2.0),
+            agreed_rate_factor: 1.0,
+            utility_shape: UtilityShape::Linear,
+            background_fraction: 0.0,
+            background_share: Range::new(0.05, 0.3),
+        }
+    }
+
+    /// A small scenario (2 clusters, 3 server classes, 2 utility classes)
+    /// for fast unit and integration tests.
+    pub fn small(num_clients: usize) -> Self {
+        Self {
+            num_clusters: 2,
+            num_server_classes: 3,
+            num_utility_classes: 2,
+            servers_per_class: Range::new(1.0, 3.0),
+            ..Self::paper(num_clients)
+        }
+    }
+
+    /// A deliberately over-subscribed scenario: client demand far exceeds
+    /// capacity, exercising the solvers' handling of saturation.
+    pub fn overloaded(num_clients: usize) -> Self {
+        Self {
+            servers_per_class: Range::new(1.0, 1.0),
+            num_server_classes: 2,
+            arrival_rate: Range::new(3.0, 4.5),
+            ..Self::small(num_clients)
+        }
+    }
+
+    /// Validates internal consistency (positive counts, sane ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first inconsistency.
+    pub fn validate(&self) {
+        assert!(self.num_clusters > 0, "need at least one cluster");
+        assert!(self.num_server_classes > 0, "need at least one server class");
+        assert!(self.num_utility_classes > 0, "need at least one utility class");
+        assert!(self.servers_per_class.lo >= 1.0, "each class needs >= 1 server per cluster");
+        for (name, r) in [
+            ("cap_processing", self.cap_processing),
+            ("cap_storage", self.cap_storage),
+            ("cap_communication", self.cap_communication),
+            ("exec_time", self.exec_time),
+            ("utility_slope", self.utility_slope),
+            ("utility_intercept", self.utility_intercept),
+            ("arrival_rate", self.arrival_rate),
+        ] {
+            assert!(r.lo > 0.0, "{name} range must be strictly positive, got [{}, {}]", r.lo, r.hi);
+        }
+        assert!(self.client_storage.lo >= 0.0, "client storage cannot be negative");
+        assert!(self.cost_fixed.lo >= 0.0 && self.cost_per_utilization.lo >= 0.0);
+        assert!(
+            self.agreed_rate_factor > 0.0 && self.agreed_rate_factor.is_finite(),
+            "agreed_rate_factor must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.background_fraction),
+            "background_fraction must lie in [0,1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let r = Range::new(2.0, 6.0);
+        assert_eq!(r.sample(0.0), 2.0);
+        assert!((r.sample(0.5) - 4.0).abs() < 1e-12);
+        assert!(r.contains(r.sample(0.999999)));
+        assert!(!r.contains(6.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn range_rejects_inverted_bounds() {
+        let _ = Range::new(3.0, 1.0);
+    }
+
+    #[test]
+    fn paper_preset_matches_section_vi() {
+        let c = ScenarioConfig::paper(100);
+        c.validate();
+        assert_eq!(c.num_clusters, 5);
+        assert_eq!(c.num_server_classes, 10);
+        assert_eq!(c.num_utility_classes, 5);
+        assert_eq!(c.cap_processing, Range::new(2.0, 6.0));
+        assert_eq!(c.arrival_rate, Range::new(0.5, 4.5));
+        assert_eq!(c.client_storage, Range::new(0.2, 2.0));
+        assert_eq!(c.exec_time, Range::new(0.4, 1.0));
+        assert_eq!(c.utility_shape, UtilityShape::Linear);
+    }
+
+    #[test]
+    fn presets_validate() {
+        ScenarioConfig::small(10).validate();
+        ScenarioConfig::overloaded(50).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn validate_rejects_zero_clusters() {
+        let mut c = ScenarioConfig::paper(10);
+        c.num_clusters = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ScenarioConfig::paper(20);
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<ScenarioConfig>(&json).unwrap(), c);
+    }
+}

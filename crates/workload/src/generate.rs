@@ -1,0 +1,256 @@
+//! Drawing a concrete [`CloudSystem`] from a [`ScenarioConfig`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cloudalloc_model::{
+    BackgroundLoad, Client, ClientId, CloudSystem, Cluster, ClusterId, Server, ServerClass,
+    ServerClassId, UtilityClass, UtilityClassId, UtilityFunction,
+};
+
+use crate::config::{ScenarioConfig, UtilityShape};
+
+/// Per-utility-class draws shared by all clients of the class.
+struct UtilityDraw {
+    function: UtilityFunction,
+    exec_processing: f64,
+    exec_communication: f64,
+}
+
+fn sample(rng: &mut StdRng, range: crate::Range) -> f64 {
+    range.sample(rng.gen::<f64>())
+}
+
+fn utility_function(rng: &mut StdRng, config: &ScenarioConfig) -> UtilityFunction {
+    let intercept = sample(rng, config.utility_intercept);
+    let slope = sample(rng, config.utility_slope);
+    match config.utility_shape {
+        UtilityShape::Linear => UtilityFunction::linear(intercept, slope),
+        UtilityShape::Step => {
+            // A 3-level staircase under the same linear envelope: the
+            // horizon of the linear SLA is split into thirds and each step
+            // pays the envelope's value at the *left* edge of the band.
+            let horizon = intercept / slope;
+            let levels = (1..=3)
+                .map(|n| {
+                    let t = horizon * n as f64 / 3.0;
+                    let left = horizon * (n - 1) as f64 / 3.0;
+                    (t, (intercept - slope * left).max(0.0))
+                })
+                .collect();
+            UtilityFunction::step(levels)
+        }
+        UtilityShape::Exponential => {
+            // Match the initial decrease rate of the linear SLA:
+            // −dU/dr|0 = intercept/τ = slope ⇒ τ = intercept/slope.
+            UtilityFunction::exponential(intercept, intercept / slope)
+        }
+    }
+}
+
+/// Draws a complete [`CloudSystem`] from `config` using the deterministic
+/// RNG stream seeded by `seed`. Same `(config, seed)` → identical system.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ScenarioConfig::validate`].
+pub fn generate(config: &ScenarioConfig, seed: u64) -> CloudSystem {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Hardware catalog.
+    let server_classes: Vec<ServerClass> = (0..config.num_server_classes)
+        .map(|idx| {
+            ServerClass::new(
+                ServerClassId(idx),
+                sample(&mut rng, config.cap_processing),
+                sample(&mut rng, config.cap_storage),
+                sample(&mut rng, config.cap_communication),
+                sample(&mut rng, config.cost_fixed),
+                sample(&mut rng, config.cost_per_utilization),
+            )
+        })
+        .collect();
+
+    // SLA catalog plus the per-class execution-time draws.
+    let mut utility_draws = Vec::with_capacity(config.num_utility_classes);
+    let utility_classes: Vec<UtilityClass> = (0..config.num_utility_classes)
+        .map(|idx| {
+            let function = utility_function(&mut rng, config);
+            let draw = UtilityDraw {
+                function: function.clone(),
+                exec_processing: sample(&mut rng, config.exec_time),
+                exec_communication: sample(&mut rng, config.exec_time),
+            };
+            utility_draws.push(draw);
+            UtilityClass::new(UtilityClassId(idx), function)
+        })
+        .collect();
+
+    let mut system = CloudSystem::new(server_classes, utility_classes);
+
+    // Topology: every cluster holds an integer U(lo, hi) count of servers
+    // of every class.
+    for k in 0..config.num_clusters {
+        system.add_cluster(Cluster::new(ClusterId(k)));
+    }
+    for k in 0..config.num_clusters {
+        for class in 0..config.num_server_classes {
+            let count =
+                rng.gen_range(config.servers_per_class.lo as usize..=config.servers_per_class.hi as usize);
+            for _ in 0..count {
+                let server = Server::new(ServerClassId(class), ClusterId(k));
+                if config.background_fraction > 0.0
+                    && rng.gen::<f64>() < config.background_fraction
+                {
+                    let storage_cap = system.server_classes()[class].cap_storage;
+                    let bg = BackgroundLoad::new(
+                        sample(&mut rng, config.background_share),
+                        sample(&mut rng, config.background_share),
+                        rng.gen::<f64>() * 0.5 * storage_cap,
+                    );
+                    system.add_server_with_background(server, bg);
+                } else {
+                    system.add_server(server);
+                }
+            }
+        }
+    }
+
+    // Client population.
+    for i in 0..config.num_clients {
+        let class_idx = rng.gen_range(0..config.num_utility_classes);
+        let draw = &utility_draws[class_idx];
+        debug_assert_eq!(
+            &system.utility_classes()[class_idx].function,
+            &draw.function,
+            "utility draw bookkeeping out of sync"
+        );
+        let rate = sample(&mut rng, config.arrival_rate);
+        system.add_client(Client::new(
+            ClientId(i),
+            UtilityClassId(class_idx),
+            rate,
+            rate * config.agreed_rate_factor,
+            draw.exec_processing,
+            draw.exec_communication,
+            sample(&mut rng, config.client_storage),
+        ));
+    }
+
+    system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = ScenarioConfig::paper(40);
+        assert_eq!(generate(&config, 7), generate(&config, 7));
+        assert_ne!(generate(&config, 7), generate(&config, 8));
+    }
+
+    #[test]
+    fn paper_config_produces_expected_shape() {
+        let config = ScenarioConfig::paper(100);
+        let sys = generate(&config, 1);
+        assert_eq!(sys.num_clients(), 100);
+        assert_eq!(sys.num_clusters(), 5);
+        assert_eq!(sys.server_classes().len(), 10);
+        assert_eq!(sys.utility_classes().len(), 5);
+        // 5 clusters × 10 classes × [2,6] servers each.
+        assert!(sys.num_servers() >= 100 && sys.num_servers() <= 300);
+    }
+
+    #[test]
+    fn drawn_values_respect_ranges() {
+        let config = ScenarioConfig::paper(200);
+        let sys = generate(&config, 3);
+        for sc in sys.server_classes() {
+            assert!(config.cap_processing.contains(sc.cap_processing));
+            assert!(config.cap_storage.contains(sc.cap_storage));
+            assert!(config.cap_communication.contains(sc.cap_communication));
+            assert!(config.cost_fixed.contains(sc.cost_fixed));
+            assert!(config.cost_per_utilization.contains(sc.cost_per_utilization));
+        }
+        for c in sys.clients() {
+            assert!(config.arrival_rate.contains(c.rate_predicted));
+            assert!(config.client_storage.contains(c.storage));
+            assert!(config.exec_time.contains(c.exec_processing));
+            assert!(config.exec_time.contains(c.exec_communication));
+            assert_eq!(c.rate_agreed, c.rate_predicted);
+        }
+    }
+
+    #[test]
+    fn clients_of_one_class_share_exec_times() {
+        let sys = generate(&ScenarioConfig::paper(120), 5);
+        for a in sys.clients() {
+            for b in sys.clients() {
+                if a.utility_class == b.utility_class {
+                    assert_eq!(a.exec_processing, b.exec_processing);
+                    assert_eq!(a.exec_communication, b.exec_communication);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agreed_rate_factor_scales_contract_rates() {
+        let mut config = ScenarioConfig::small(10);
+        config.agreed_rate_factor = 1.5;
+        let sys = generate(&config, 2);
+        for c in sys.clients() {
+            assert!((c.rate_agreed - 1.5 * c.rate_predicted).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn background_fraction_marks_servers() {
+        let mut config = ScenarioConfig::small(5);
+        config.background_fraction = 1.0;
+        let sys = generate(&config, 9);
+        let loaded = sys
+            .all_servers()
+            .filter(|s| !sys.background(s.id).is_empty())
+            .count();
+        assert_eq!(loaded, sys.num_servers());
+
+        let sys = generate(&ScenarioConfig::small(5), 9);
+        assert!(sys.all_servers().all(|s| sys.background(s.id).is_empty()));
+    }
+
+    #[test]
+    fn step_and_exponential_shapes_generate() {
+        for shape in [UtilityShape::Step, UtilityShape::Exponential] {
+            let mut config = ScenarioConfig::small(8);
+            config.utility_shape = shape;
+            let sys = generate(&config, 11);
+            for uc in sys.utility_classes() {
+                assert!(uc.function.max_value() > 0.0);
+                assert!(uc.function.value(1000.0) < uc.function.max_value());
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn any_seed_yields_a_consistent_system(seed in any::<u64>(), n in 1usize..40) {
+            let sys = generate(&ScenarioConfig::small(n), seed);
+            prop_assert_eq!(sys.num_clients(), n);
+            // Every server belongs to the cluster that lists it.
+            for k in sys.clusters() {
+                for &sid in &k.servers {
+                    prop_assert_eq!(sys.server(sid).cluster, k.id);
+                }
+            }
+            // Demand and capacity are positive and finite.
+            prop_assert!(sys.total_processing_capacity() > 0.0);
+            prop_assert!(sys.total_processing_demand() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Diurnal load traces: the day/night demand cycles that motivate
+//! epoch-based re-allocation (offices wake up, shops close, batch jobs
+//! run overnight). A synthetic stand-in for production traces per the
+//! reproduction's substitution rule.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A sinusoidal day/night pattern with per-client phase and multiplicative
+/// noise.
+///
+/// At epoch `e` the rate multiplier of client `i` is
+///
+/// ```text
+/// m_i(e) = 1 + amplitude·sin(2π·(e/period + phase_i)) , scaled by noise
+/// ```
+///
+/// clamped to stay positive. Clients get uniformly random phases, so the
+/// aggregate demand also oscillates but never collapses to zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalTrace {
+    period: f64,
+    amplitude: f64,
+    noise: f64,
+    phases: Vec<f64>,
+    seed: u64,
+}
+
+impl DiurnalTrace {
+    /// Creates a trace for `num_clients` clients.
+    ///
+    /// * `period` — epochs per day (`> 0`);
+    /// * `amplitude` — peak-to-mean swing (`0 ≤ a < 1`);
+    /// * `noise` — multiplicative lognormal-ish noise sigma (`>= 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain parameters.
+    pub fn new(num_clients: usize, period: f64, amplitude: f64, noise: f64, seed: u64) -> Self {
+        assert!(period.is_finite() && period > 0.0, "period must be positive, got {period}");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must lie in [0,1), got {amplitude}"
+        );
+        assert!(noise.is_finite() && noise >= 0.0, "noise must be non-negative, got {noise}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phases = (0..num_clients).map(|_| rng.gen::<f64>()).collect();
+        Self { period, amplitude, noise, phases, seed }
+    }
+
+    /// Rate multipliers for epoch `epoch` applied to base rates; always
+    /// strictly positive. Noise is deterministic per `(seed, epoch)`.
+    pub fn multipliers(&self, epoch: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
+        self.phases
+            .iter()
+            .map(|&phase| {
+                // Reduce the epoch modulo the period first so the cycle
+                // repeats bit-exactly (sin(x) vs sin(x + 2π) differ in
+                // the last ulp otherwise).
+                let angle =
+                    std::f64::consts::TAU * ((epoch as f64 % self.period) / self.period + phase);
+                let seasonal = 1.0 + self.amplitude * angle.sin();
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (seasonal * (self.noise * z).exp()).max(1e-3)
+            })
+            .collect()
+    }
+
+    /// Applies the epoch's multipliers to base rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not hold one rate per client.
+    pub fn rates_at(&self, epoch: usize, base: &[f64]) -> Vec<f64> {
+        assert_eq!(base.len(), self.phases.len(), "one base rate per client required");
+        self.multipliers(epoch).iter().zip(base).map(|(m, b)| m * b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipliers_are_positive_and_seasonal() {
+        let trace = DiurnalTrace::new(50, 24.0, 0.6, 0.0, 1);
+        for epoch in 0..48 {
+            for &m in &trace.multipliers(epoch) {
+                assert!(m > 0.0 && m.is_finite());
+                assert!((0.4 - 1e-9..=1.6 + 1e-9).contains(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn the_cycle_repeats_with_the_period() {
+        let trace = DiurnalTrace::new(10, 12.0, 0.5, 0.0, 2);
+        assert_eq!(trace.multipliers(0), trace.multipliers(12));
+        assert_ne!(trace.multipliers(0), trace.multipliers(6));
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_epoch() {
+        let trace = DiurnalTrace::new(8, 24.0, 0.3, 0.2, 3);
+        assert_eq!(trace.multipliers(5), trace.multipliers(5));
+        assert_ne!(trace.multipliers(5), trace.multipliers(6));
+    }
+
+    #[test]
+    fn rates_scale_base_values() {
+        let trace = DiurnalTrace::new(2, 24.0, 0.0, 0.0, 4);
+        let rates = trace.rates_at(3, &[2.0, 4.0]);
+        assert!((rates[0] - 2.0).abs() < 1e-12);
+        assert!((rates[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude must lie in [0,1)")]
+    fn rejects_full_amplitude() {
+        let _ = DiurnalTrace::new(1, 24.0, 1.0, 0.0, 5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Capacity planning: sweep a demand multiplier over one datacenter and
+//! watch profit, server usage and SLA quality respond — then double-check
+//! the chosen operating point against the discrete-event simulator rather
+//! than trusting the closed-form model alone.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use cloudalloc::core::{solve, SolverConfig};
+use cloudalloc::metrics::Table;
+use cloudalloc::simulator::{validate, SimConfig};
+use cloudalloc::workload::{generate, Range, ScenarioConfig};
+
+fn main() {
+    let base_rate = Range::new(0.5, 4.5);
+    let mut table = Table::new(vec![
+        "demand".into(),
+        "profit".into(),
+        "revenue".into(),
+        "cost".into(),
+        "active".into(),
+        "served".into(),
+        "mean_resp".into(),
+    ]);
+    let mut knee: Option<(f64, f64)> = None;
+    for step in 0..=6 {
+        let multiplier = 0.4 + 0.4 * step as f64;
+        let scenario = ScenarioConfig {
+            arrival_rate: Range::new(base_rate.lo * multiplier, base_rate.hi * multiplier),
+            ..ScenarioConfig::paper(50)
+        };
+        let system = generate(&scenario, 4242);
+        let result = solve(&system, &SolverConfig::default(), 0);
+        let served: Vec<f64> = result
+            .report
+            .clients
+            .iter()
+            .filter(|c| c.response_time.is_finite())
+            .map(|c| c.response_time)
+            .collect();
+        let mean_resp = served.iter().sum::<f64>() / served.len().max(1) as f64;
+        table.row(vec![
+            format!("{multiplier:.1}x"),
+            format!("{:.1}", result.report.profit),
+            format!("{:.1}", result.report.revenue),
+            format!("{:.1}", result.report.cost),
+            result.report.active_servers.to_string(),
+            format!("{}/{}", served.len(), system.num_clients()),
+            format!("{mean_resp:.3}"),
+        ]);
+        if knee.is_none_or(|(_, p)| result.report.profit > p) {
+            knee = Some((multiplier, result.report.profit));
+        }
+    }
+    println!("capacity sweep (50 clients, demand scaled on the paper's U(0.5,4.5) rates)");
+    println!("{table}");
+    let (best_mult, best_profit) = knee.expect("sweep is non-empty");
+    println!("most profitable demand point: {best_mult:.1}x (profit {best_profit:.1})\n");
+
+    // Re-check the chosen operating point end-to-end: does the simulated
+    // datacenter actually deliver the response times the optimizer
+    // promised?
+    let scenario = ScenarioConfig {
+        arrival_rate: Range::new(base_rate.lo * best_mult, base_rate.hi * best_mult),
+        ..ScenarioConfig::paper(50)
+    };
+    let system = generate(&scenario, 4242);
+    let result = solve(&system, &SolverConfig::default(), 0);
+    let rows = validate(
+        &system,
+        &result.allocation,
+        &SimConfig { horizon: 5_000.0, warmup: 500.0, seed: 1, ..Default::default() },
+    );
+    let mean_err = rows
+        .iter()
+        .map(|r| r.relative_error())
+        .sum::<f64>()
+        / rows.len().max(1) as f64;
+    println!(
+        "simulator check at {best_mult:.1}x: {} clients measured, mean |analytic − simulated| = {:.1}%",
+        rows.len(),
+        mean_err * 100.0
+    );
+}

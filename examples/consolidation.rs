@@ -1,0 +1,81 @@
+//! Server consolidation under light load — the energy story of the paper
+//! (and of Srikantaiah et al., which it builds on): when demand is low,
+//! profit maximization automatically packs clients onto few machines and
+//! powers the rest down, because every active server pays its constant
+//! cost `P0`.
+//!
+//! The example compares the greedy construction (which already avoids
+//! *opening* servers needlessly) against the full local search (whose
+//! `TurnOFF_servers` operator also *closes* servers opened too eagerly),
+//! then prints a utilization map of the surviving machines.
+//!
+//! ```text
+//! cargo run --release --example consolidation
+//! ```
+
+use cloudalloc::core::{best_initial, improve, SolverConfig, SolverCtx};
+use cloudalloc::model::{evaluate, ServerId};
+use cloudalloc::workload::{generate, Range, ScenarioConfig};
+
+fn main() {
+    // Light traffic: rates at the bottom of the paper's range.
+    let scenario = ScenarioConfig {
+        arrival_rate: Range::new(0.5, 1.2),
+        num_clients: 24,
+        ..ScenarioConfig::paper(24)
+    };
+    let system = generate(&scenario, 99);
+    let config = SolverConfig::default();
+    let ctx = SolverCtx::new(&system, &config);
+
+    let (mut alloc, greedy_profit) = best_initial(&ctx, 1);
+    let greedy_active = alloc.num_active_servers();
+    println!(
+        "greedy construction: profit {:.2}, {} / {} servers active",
+        greedy_profit,
+        greedy_active,
+        system.num_servers()
+    );
+
+    let stats = improve(&ctx, &mut alloc, 1);
+    let report = evaluate(&system, &alloc);
+    println!(
+        "after local search:  profit {:.2}, {} servers active ({} rounds)",
+        report.profit,
+        report.active_servers,
+        stats.rounds
+    );
+    println!(
+        "consolidation: {} fewer machines powered, {:+.2} profit\n",
+        greedy_active as i64 - report.active_servers as i64,
+        report.profit - greedy_profit
+    );
+
+    println!("surviving servers (processing-share and utilization view):");
+    println!("server  cluster  class  residents  phi_p  util_p  cost");
+    for j in 0..system.num_servers() {
+        let sid = ServerId(j);
+        let load = alloc.load(sid);
+        if !load.is_on() {
+            continue;
+        }
+        let class = system.class_of(sid);
+        let rho = load.work_processing / class.cap_processing;
+        println!(
+            "{:>6}  {:>7}  {:>5}  {:>9}  {:>5.2}  {:>6.2}  {:>4.2}",
+            j,
+            system.server(sid).cluster.index(),
+            system.server(sid).class.index(),
+            load.placements,
+            load.phi_p,
+            rho,
+            class.operation_cost(rho)
+        );
+    }
+
+    // Sanity: consolidation never un-serves anyone.
+    let served = (0..system.num_clients())
+        .filter(|&i| !alloc.placements(cloudalloc::model::ClientId(i)).is_empty())
+        .count();
+    println!("\nserved clients: {served} / {}", system.num_clients());
+}

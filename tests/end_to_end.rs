@@ -1,0 +1,94 @@
+//! Cross-crate integration: generate → solve → verify feasibility →
+//! simulate → check the analytic model end to end.
+
+use cloudalloc::core::{solve, SolverConfig};
+use cloudalloc::model::{check_feasibility, evaluate, ClientId, Violation};
+use cloudalloc::simulator::{simulate, validate, GpsMode, SimConfig};
+use cloudalloc::workload::{generate, ScenarioConfig};
+
+#[test]
+fn generate_solve_verify_simulate() {
+    let system = generate(&ScenarioConfig::paper(25), 1001);
+    // Strict constraint (6): serve every client (the default economic
+    // policy may decline unprofitable ones).
+    let config = SolverConfig { require_service: true, ..Default::default() };
+    let result = solve(&system, &config, 1);
+
+    // The solver's report must agree with a fresh evaluation.
+    let fresh = evaluate(&system, &result.allocation);
+    assert_eq!(fresh, result.report);
+    assert!(result.report.profit.is_finite());
+    assert!(result.report.profit >= result.initial_profit - 1e-9);
+
+    // Feasible (paper-scale scenarios are well provisioned).
+    let violations = check_feasibility(&system, &result.allocation);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    assert!(result.allocation.is_complete(1e-6));
+    result.allocation.assert_consistent(&system);
+
+    // The simulated datacenter delivers the promised response times.
+    let config = SimConfig { horizon: 6_000.0, warmup: 500.0, seed: 2, ..Default::default() };
+    let rows = validate(&system, &result.allocation, &config);
+    assert_eq!(rows.len(), 25, "every client must be served and measured");
+    let mean_err: f64 =
+        rows.iter().map(|r| r.relative_error()).sum::<f64>() / rows.len() as f64;
+    assert!(mean_err < 0.15, "analytic model off by {:.1}% on average", mean_err * 100.0);
+}
+
+#[test]
+fn simulated_revenue_tracks_analytic_revenue() {
+    let system = generate(&ScenarioConfig::paper(20), 1002);
+    let result = solve(&system, &SolverConfig::fast(), 2);
+    let config = SimConfig { horizon: 8_000.0, warmup: 500.0, seed: 3, ..Default::default() };
+    let report = simulate(&system, &result.allocation, &config);
+    let measured = report.measured_revenue(&system);
+    let analytic = result.report.revenue;
+    assert!(
+        (measured - analytic).abs() / analytic < 0.1,
+        "measured revenue {measured} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn shared_gps_is_a_conservative_refinement() {
+    // Work-conserving GPS can only improve on the isolated-queue model:
+    // aggregate measured response must not exceed the aggregate analytic
+    // prediction by more than noise.
+    let system = generate(&ScenarioConfig::paper(15), 1003);
+    let result = solve(&system, &SolverConfig::fast(), 3);
+    let config = SimConfig { horizon: 6_000.0, warmup: 500.0, seed: 4, mode: GpsMode::Shared, ..Default::default() };
+    let report = simulate(&system, &result.allocation, &config);
+    let analytic_total: f64 = result
+        .report
+        .clients
+        .iter()
+        .filter(|c| c.response_time.is_finite())
+        .map(|c| c.response_time)
+        .sum();
+    let measured_total: f64 = (0..system.num_clients())
+        .filter(|&i| result.report.clients[i].response_time.is_finite())
+        .map(|i| report.clients[i].mean_response())
+        .sum();
+    assert!(
+        measured_total <= analytic_total * 1.05,
+        "GPS total {measured_total} vs analytic {analytic_total}"
+    );
+}
+
+#[test]
+fn overloaded_systems_stay_sane_end_to_end() {
+    let system = generate(&ScenarioConfig::overloaded(40), 1004);
+    let result = solve(&system, &SolverConfig::fast(), 4);
+    // No capacity violations; unassigned clients allowed under overload.
+    let violations = check_feasibility(&system, &result.allocation);
+    assert!(violations.iter().all(|v| matches!(v, Violation::Unassigned { .. })));
+    // Served clients disperse fully.
+    for i in 0..system.num_clients() {
+        if !result.allocation.placements(ClientId(i)).is_empty() {
+            assert!((result.allocation.total_alpha(ClientId(i)) - 1.0).abs() < 1e-6);
+        }
+    }
+    // The simulator copes with whatever the solver produced.
+    let report = simulate(&system, &result.allocation, &SimConfig::quick(5));
+    assert!(report.events > 0);
+}

@@ -1,0 +1,106 @@
+//! Integration: the extension layers — epoch operations over a diurnal
+//! trace, and multi-tier applications — compose with the core pipeline.
+
+use cloudalloc::core::{solve, SolverConfig};
+use cloudalloc::epoch::{EpochConfig, EpochManager, EwmaPredictor};
+use cloudalloc::model::UtilityFunction;
+use cloudalloc::multitier::{compile, evaluate_apps, Application, Tier};
+use cloudalloc::workload::{generate, DiurnalTrace, ScenarioConfig};
+
+#[test]
+fn diurnal_operations_survive_a_full_day() {
+    let system = generate(&ScenarioConfig::paper(20), 2101);
+    let base: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+    let trace = DiurnalTrace::new(base.len(), 8.0, 0.4, 0.05, 3);
+
+    let predictor = EwmaPredictor::new(0.5, &base);
+    let config = EpochConfig { solver: SolverConfig::fast(), resolve_threshold: 0.10 };
+    let mut manager = EpochManager::new(system, predictor, config, 1);
+
+    let mut total_profit = 0.0;
+    let mut worst_unstable = 0;
+    for epoch in 0..8 {
+        let actual = trace.rates_at(epoch, &base);
+        let report = manager.step(&actual);
+        total_profit += report.actual_profit;
+        worst_unstable = worst_unstable.max(report.unstable_clients);
+        assert!(report.actual_profit.is_finite());
+        assert!(report.prediction_error >= 0.0);
+    }
+    // Random per-client phases largely cancel in the aggregate, so warm
+    // starts are expected to carry most epochs (full re-solves are
+    // legitimate but not required); the day must stay profitable overall
+    // with bounded SLA damage.
+    assert!(total_profit > 0.0, "the day lost money: {total_profit}");
+    assert!(worst_unstable <= 20 / 2, "more than half the clients destabilized");
+}
+
+#[test]
+fn multitier_apps_ride_the_standard_pipeline() {
+    let infrastructure = generate(&ScenarioConfig::small(1), 2102);
+    let apps = vec![
+        Application::new(
+            "frontend-backend",
+            vec![Tier::new(1.0, 0.3, 0.3, 0.5), Tier::new(1.4, 0.5, 0.3, 1.0)],
+            1.2,
+            1.2,
+            UtilityFunction::linear(3.5, 0.5),
+        ),
+        Application::new(
+            "pipeline",
+            vec![
+                Tier::new(1.0, 0.4, 0.4, 0.4),
+                Tier::new(1.0, 0.6, 0.3, 0.7),
+                Tier::new(0.8, 0.7, 0.3, 1.2),
+            ],
+            0.9,
+            0.9,
+            UtilityFunction::linear(2.5, 0.3),
+        ),
+    ];
+    let (system, compiled) = compile(&apps, &infrastructure);
+    let config = SolverConfig { require_service: true, ..Default::default() };
+    let result = solve(&system, &config, 9);
+    let outcomes = evaluate_apps(&system, &result.allocation, &compiled);
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        assert!(
+            o.response_time.is_finite(),
+            "app {} not fully served: {o:?}",
+            compiled.apps[o.app].name
+        );
+        assert!(o.revenue > 0.0, "app {} earns nothing", compiled.apps[o.app].name);
+        // The per-tier (compiled) view must not wildly misprice the app:
+        // in the linear region they agree exactly; clamping can only
+        // make the compiled view optimistic by a bounded amount.
+        assert!(o.compiled_revenue >= o.revenue - 1e-9);
+    }
+    // The infrastructure profit accounts for the same servers either way.
+    assert!(result.report.cost > 0.0);
+}
+
+#[test]
+fn epoch_manager_composes_with_multitier_systems() {
+    // Compile apps, then operate the compiled system across epochs.
+    let infrastructure = generate(&ScenarioConfig::small(1), 2103);
+    let apps = vec![Application::new(
+        "svc",
+        vec![Tier::new(1.0, 0.4, 0.4, 0.6), Tier::new(1.2, 0.5, 0.4, 0.8)],
+        1.0,
+        1.0,
+        UtilityFunction::linear(3.0, 0.5),
+    )];
+    let (system, _compiled) = compile(&apps, &infrastructure);
+    let base: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+    let predictor = EwmaPredictor::new(0.4, &base);
+    let config = EpochConfig {
+        solver: SolverConfig { require_service: true, ..SolverConfig::fast() },
+        resolve_threshold: 0.2,
+    };
+    let mut manager = EpochManager::new(system, predictor, config, 4);
+    for scale in [1.0, 1.1, 0.9] {
+        let actual: Vec<f64> = base.iter().map(|r| r * scale).collect();
+        let report = manager.step(&actual);
+        assert!(report.actual_profit.is_finite());
+    }
+}

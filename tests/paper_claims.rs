@@ -1,0 +1,98 @@
+//! The paper's headline claims, asserted end-to-end at test scale. These
+//! are the statements EXPERIMENTS.md records at full scale; keeping them
+//! under `cargo test` guards the reproduction against regressions.
+
+use cloudalloc::baselines::{modified_ps, monte_carlo, original_ps_profit, McConfig, PsConfig};
+use cloudalloc::core::{profit_upper_bound, solve, SolverConfig};
+use cloudalloc::model::evaluate;
+use cloudalloc::workload::{generate, scenario_seeds, ScenarioConfig};
+
+fn strict() -> SolverConfig {
+    SolverConfig { require_service: true, ..Default::default() }
+}
+
+/// Abstract: "the proposed heuristic algorithm ... produces solutions very
+/// close to the optimum (best solution found by Monte Carlo simulation)".
+#[test]
+fn claim_close_to_best_found() {
+    for seed in scenario_seeds(41, 30, 2) {
+        let system = generate(&ScenarioConfig::paper(30), seed);
+        let proposed = solve(&system, &strict(), seed).report.profit;
+        let mc = monte_carlo(
+            &system,
+            &McConfig { iterations: 80, solver: strict(), polish_best: true },
+            seed,
+        );
+        let best = proposed.max(mc.best_profit);
+        assert!(best > 0.0);
+        assert!(
+            proposed / best > 0.91,
+            "seed {seed}: proposed at {:.1}% of best (paper: within 9%)",
+            proposed / best * 100.0
+        );
+    }
+}
+
+/// §VI: "the performance of the modified PS is not comparable to the
+/// proposed solution", and the modified PS itself is "much better than
+/// the original PS".
+#[test]
+fn claim_baseline_ordering() {
+    let mut proposed_wins = 0;
+    let mut modified_wins = 0;
+    let seeds = scenario_seeds(43, 25, 3);
+    for &seed in &seeds {
+        let system = generate(&ScenarioConfig::paper(25), seed);
+        let proposed = solve(&system, &strict(), seed).report.profit;
+        let modified = evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
+        let original = original_ps_profit(&system);
+        if proposed > modified {
+            proposed_wins += 1;
+        }
+        if modified > original {
+            modified_wins += 1;
+        }
+    }
+    assert_eq!(proposed_wins, seeds.len(), "proposed must dominate modified PS");
+    assert!(modified_wins >= seeds.len() - 1, "modified PS must dominate original PS");
+}
+
+/// Abstract: "robust (produces high quality solutions independent of the
+/// initial solution provided)" — every polished random start lands much
+/// closer to the best than where it began.
+#[test]
+fn claim_robust_to_initial_solutions() {
+    let system = generate(&ScenarioConfig::paper(25), 4242);
+    let mc = monte_carlo(
+        &system,
+        &McConfig { iterations: 30, solver: strict(), polish_best: false },
+        7,
+    );
+    let span = mc.best_profit - mc.worst_raw_profit;
+    assert!(span > 0.0);
+    let recovered = (mc.worst_polished_profit - mc.worst_raw_profit) / span;
+    assert!(
+        recovered > 0.25,
+        "local search recovered only {:.0}% of the worst-case gap",
+        recovered * 100.0
+    );
+}
+
+/// Our certificate (extension): the heuristic's profit sits inside the
+/// relaxation bound, and not absurdly far from it on healthy scenarios.
+#[test]
+fn claim_certified_by_the_relaxation_bound() {
+    for seed in scenario_seeds(47, 30, 3) {
+        let system = generate(&ScenarioConfig::paper(30), seed);
+        let proposed = solve(&system, &SolverConfig::default(), seed).report.profit;
+        let bound = profit_upper_bound(&system);
+        assert!(proposed <= bound + 1e-9, "seed {seed}: {proposed} above bound {bound}");
+        if bound > 10.0 {
+            assert!(
+                proposed / bound > 0.4,
+                "seed {seed}: only {:.0}% of the (loose) bound",
+                proposed / bound * 100.0
+            );
+        }
+    }
+}

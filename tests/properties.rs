@@ -1,0 +1,116 @@
+//! Cross-crate property tests: the whole pipeline holds its invariants on
+//! randomized scenarios, not just hand-picked seeds.
+
+use proptest::prelude::*;
+
+use cloudalloc::core::{solve, SolverConfig};
+use cloudalloc::model::{check_feasibility, evaluate, ClientId, Violation};
+use cloudalloc::simulator::{simulate, SimConfig};
+use cloudalloc::workload::{generate, Range, ScenarioConfig};
+
+fn arbitrary_scenario() -> impl Strategy<Value = (ScenarioConfig, u64)> {
+    (
+        2usize..14,              // clients
+        1usize..4,               // clusters
+        1usize..4,               // server classes
+        0.5f64..3.5,             // arrival hi
+        any::<u64>(),            // seed
+    )
+        .prop_map(|(clients, clusters, classes, rate_hi, seed)| {
+            let config = ScenarioConfig {
+                num_clusters: clusters,
+                num_server_classes: classes,
+                num_utility_classes: 2,
+                num_clients: clients,
+                arrival_rate: Range::new(0.4, rate_hi.max(0.5)),
+                ..ScenarioConfig::small(clients)
+            };
+            (config, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the scenario, the solver returns a capacity-feasible
+    /// allocation with a finite profit, fully-dispersed served clients,
+    /// consistent bookkeeping and a monotone profit history.
+    #[test]
+    fn solver_invariants_hold_on_random_scenarios((config, seed) in arbitrary_scenario()) {
+        let system = generate(&config, seed);
+        let result = solve(&system, &SolverConfig::fast(), seed);
+        prop_assert!(result.report.profit.is_finite());
+        prop_assert!(result.report.profit >= result.initial_profit - 1e-9);
+        let violations = check_feasibility(&system, &result.allocation);
+        prop_assert!(
+            violations.iter().all(|v| matches!(v, Violation::Unassigned { .. })),
+            "non-admission violations: {violations:?}"
+        );
+        for i in 0..system.num_clients() {
+            let held = result.allocation.placements(ClientId(i));
+            if !held.is_empty() {
+                prop_assert!((result.allocation.total_alpha(ClientId(i)) - 1.0).abs() < 1e-6);
+            }
+        }
+        result.allocation.assert_consistent(&system);
+        for pair in result.stats.history.windows(2) {
+            prop_assert!(pair[1] >= pair[0] - 1e-9);
+        }
+        // Declining service is always weakly better than serving nobody.
+        prop_assert!(result.report.profit >= -1e-9 || config.num_clients == 0);
+    }
+
+    /// Re-evaluating the solver's own report reproduces it bit-for-bit,
+    /// and serde round-trips preserve the evaluation.
+    #[test]
+    fn evaluation_is_pure_and_portable((config, seed) in arbitrary_scenario()) {
+        let system = generate(&config, seed);
+        let result = solve(&system, &SolverConfig::fast(), seed);
+        let fresh = evaluate(&system, &result.allocation);
+        prop_assert_eq!(&fresh, &result.report);
+        let json = serde_json::to_string(&result.allocation).unwrap();
+        let back: cloudalloc::model::Allocation = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&evaluate(&system, &back), &fresh);
+    }
+
+    /// The simulator accepts any solver output and conserves requests:
+    /// arrivals = completions + drops + in-flight (bounded backlog for
+    /// stable queues).
+    #[test]
+    fn simulator_conserves_requests((config, seed) in arbitrary_scenario()) {
+        let system = generate(&config, seed);
+        let result = solve(&system, &SolverConfig::fast(), seed);
+        let report = simulate(&system, &result.allocation, &SimConfig::quick(seed ^ 1));
+        for (i, c) in report.clients.iter().enumerate() {
+            prop_assert!(c.completed + c.dropped <= c.arrivals + 1);
+            let served = !result.allocation.placements(ClientId(i)).is_empty();
+            if !served {
+                prop_assert_eq!(c.completed, 0);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Raising every utility intercept can only raise the optimal profit:
+    /// the same allocations earn more, and the solver only improves on
+    /// them. (A coarse monotonicity check of the whole pipeline.)
+    #[test]
+    fn profit_is_monotone_in_utility_levels(seed in any::<u64>()) {
+        let mut low_cfg = ScenarioConfig::small(8);
+        low_cfg.utility_intercept = Range::new(1.0, 1.5);
+        let mut high_cfg = low_cfg.clone();
+        high_cfg.utility_intercept = Range::new(2.5, 3.0);
+        // Same seed: identical topology and clients except the intercepts.
+        let low = solve(&generate(&low_cfg, seed), &SolverConfig::fast(), seed);
+        let high = solve(&generate(&high_cfg, seed), &SolverConfig::fast(), seed);
+        prop_assert!(
+            high.report.profit >= low.report.profit - 1e-6,
+            "higher prices lowered profit: {} -> {}",
+            low.report.profit,
+            high.report.profit
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration: the headline comparisons of the paper's evaluation, run
+//! at test scale — the proposed heuristic beats modified PS, tracks the
+//! Monte-Carlo best within a single-digit gap, and random initial
+//! solutions improve dramatically under local search.
+
+use cloudalloc::baselines::{modified_ps, monte_carlo, McConfig, PsConfig};
+use cloudalloc::core::{solve, SolverConfig};
+use cloudalloc::model::evaluate;
+use cloudalloc::workload::{generate, scenario_seeds, ScenarioConfig};
+
+/// Proposed vs modified PS over several paper-scale scenarios: the
+/// proposed heuristic must win every time with a wide margin (Figure 4's
+/// "not comparable").
+#[test]
+fn proposed_dominates_modified_ps() {
+    for seed in scenario_seeds(7, 30, 3) {
+        let system = generate(&ScenarioConfig::paper(30), seed);
+        let proposed = solve(&system, &SolverConfig::default(), seed).report.profit;
+        let ps = evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
+        assert!(
+            proposed > ps,
+            "seed {seed}: proposed {proposed} did not beat PS {ps}"
+        );
+    }
+}
+
+/// The proposed heuristic stays close to the Monte-Carlo best (the paper
+/// reports within 9%; we allow 12% at this reduced MC budget).
+#[test]
+fn proposed_tracks_the_best_found() {
+    let mut worst_gap: f64 = 0.0;
+    for seed in scenario_seeds(11, 25, 3) {
+        let system = generate(&ScenarioConfig::paper(25), seed);
+        let solver = SolverConfig::default();
+        let proposed = solve(&system, &solver, seed).report.profit;
+        let mc = monte_carlo(
+            &system,
+            &McConfig { iterations: 60, solver: solver.clone(), polish_best: true },
+            seed,
+        );
+        let best = mc.best_profit.max(proposed);
+        assert!(best > 0.0, "scenario must be profitable");
+        worst_gap = worst_gap.max(1.0 - proposed / best);
+    }
+    assert!(worst_gap < 0.12, "proposed fell {:.1}% below best found", worst_gap * 100.0);
+}
+
+/// Figure 5's message: the local search lifts even the worst random
+/// start close to the best found.
+#[test]
+fn local_search_rescues_random_starts() {
+    let system = generate(&ScenarioConfig::paper(25), 2024);
+    let mc = monte_carlo(
+        &system,
+        &McConfig {
+            iterations: 40,
+            solver: SolverConfig::default(),
+            polish_best: false,
+        },
+        9,
+    );
+    assert!(
+        mc.worst_polished_profit > mc.worst_raw_profit,
+        "polish did not improve the worst start: {} vs {}",
+        mc.worst_polished_profit,
+        mc.worst_raw_profit
+    );
+    // The improvement is substantial (paper: "dramatically").
+    let span = mc.best_profit - mc.worst_raw_profit;
+    let recovered = (mc.worst_polished_profit - mc.worst_raw_profit) / span;
+    assert!(
+        recovered > 0.3,
+        "local search recovered only {:.0}% of the gap",
+        recovered * 100.0
+    );
+}
+
+/// The greedy construction alone already beats modified PS — local search
+/// widens the gap (ablation cross-check).
+#[test]
+fn even_the_initial_solution_beats_ps() {
+    let system = generate(&ScenarioConfig::paper(30), 77);
+    let result = solve(&system, &SolverConfig::default(), 77);
+    let ps = evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
+    assert!(result.initial_profit > ps);
+    assert!(result.report.profit >= result.initial_profit);
+}
