@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use cloudalloc_core::{improve, random_assignment, SolverConfig, SolverCtx};
-use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem};
+use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem, ScoredAllocation};
 
 /// Configuration of the Monte-Carlo search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,12 +54,13 @@ pub struct McOutcome {
 
 /// Repeats the reassignment local search until no client moves (the
 /// paper's "this repeats until no further reassignment is possible").
-fn reassign_until_stable(ctx: &SolverCtx<'_>, alloc: &mut Allocation) {
+fn reassign_until_stable(ctx: &SolverCtx<'_>, scored: &mut ScoredAllocation<'_>) {
     let order: Vec<ClientId> = (0..ctx.system.num_clients()).map(ClientId).collect();
     for _ in 0..ctx.config.max_rounds {
-        if !cloudalloc_core::ops::reassign_clients(ctx, alloc, &order) {
+        if !cloudalloc_core::ops::reassign_clients(ctx, scored, &order) {
             break;
         }
+        scored.commit();
     }
 }
 
@@ -79,18 +80,17 @@ pub fn monte_carlo(system: &CloudSystem, config: &McConfig, seed: u64) -> McOutc
     let mut worst_raw = f64::INFINITY;
     let mut worst_polished = f64::INFINITY;
     for _ in 0..config.iterations {
-        let mut alloc = random_assignment(&ctx, &mut rng);
-        let raw = evaluate(system, &alloc).profit;
+        let mut scored = ScoredAllocation::new(system, random_assignment(&ctx, &mut rng));
+        let raw = scored.profit();
         worst_raw = worst_raw.min(raw);
-        reassign_until_stable(&ctx, &mut alloc);
-        let polished = evaluate(system, &alloc).profit;
+        reassign_until_stable(&ctx, &mut scored);
+        let polished = scored.profit();
         worst_polished = worst_polished.min(polished);
         if best.as_ref().is_none_or(|(p, _)| polished > *p) {
-            best = Some((polished, alloc));
+            best = Some((polished, scored.into_allocation()));
         }
     }
-    let (mut best_profit, mut best_allocation) =
-        best.map(|(p, a)| (p, a)).expect("iterations >= 1");
+    let (mut best_profit, mut best_allocation) = best.expect("iterations >= 1");
 
     if config.polish_best {
         improve(&ctx, &mut best_allocation, seed.wrapping_add(0xBE57));
@@ -160,11 +160,7 @@ mod tests {
     fn polishing_the_best_never_hurts() {
         let system = generate(&ScenarioConfig::small(8), 95);
         let raw = monte_carlo(&system, &quick_config(5), 3);
-        let polished = monte_carlo(
-            &system,
-            &McConfig { polish_best: true, ..quick_config(5) },
-            3,
-        );
+        let polished = monte_carlo(&system, &McConfig { polish_best: true, ..quick_config(5) }, 3);
         assert!(polished.best_profit >= raw.best_profit - 1e-9);
     }
 

@@ -38,39 +38,30 @@ pub fn original_ps(system: &CloudSystem) -> Allocation {
             continue;
         }
         let servers: Vec<ServerId> = system.servers_in(cluster).map(|s| s.id).collect();
-        let total_cap: f64 =
-            servers.iter().map(|&j| system.class_of(j).cap_processing).sum();
+        let total_cap: f64 = servers.iter().map(|&j| system.class_of(j).cap_processing).sum();
         if total_cap <= 0.0 {
             continue;
         }
         // Dispersion by capacity, identical for every client.
-        let alphas: Vec<f64> = servers
-            .iter()
-            .map(|&j| system.class_of(j).cap_processing / total_cap)
-            .collect();
+        let alphas: Vec<f64> =
+            servers.iter().map(|&j| system.class_of(j).cap_processing / total_cap).collect();
 
         // Per-server proportional split of the share budget by demand.
         for (&server, &alpha) in servers.iter().zip(&alphas) {
             let class = system.class_of(server);
             let bg = system.background(server);
-            let total_demand_p: f64 = clients
-                .iter()
-                .map(|&i| system.client(i).min_processing_capacity())
-                .sum();
-            let total_demand_c: f64 = clients
-                .iter()
-                .map(|&i| system.client(i).min_communication_capacity())
-                .sum();
+            let total_demand_p: f64 =
+                clients.iter().map(|&i| system.client(i).min_processing_capacity()).sum();
+            let total_demand_c: f64 =
+                clients.iter().map(|&i| system.client(i).min_communication_capacity()).sum();
             for &client in clients {
                 let c = system.client(client);
                 let phi_p = ((1.0 - bg.phi_p) * c.min_processing_capacity()
                     / total_demand_p.max(1e-12))
-                .max(MIN_SHARE)
-                .min(1.0);
+                .clamp(MIN_SHARE, 1.0);
                 let phi_c = ((1.0 - bg.phi_c) * c.min_communication_capacity()
                     / total_demand_c.max(1e-12))
-                .max(MIN_SHARE)
-                .min(1.0);
+                .clamp(MIN_SHARE, 1.0);
                 // Disk: the original scheduler ignores it; skip servers
                 // that physically cannot hold the client so the result
                 // stays model-feasible.
@@ -145,8 +136,7 @@ mod tests {
         for seed in 0..3 {
             let system = generate(&ScenarioConfig::paper(25), 700 + seed);
             let original = original_ps_profit(&system);
-            let modified =
-                evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
+            let modified = evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
             if modified > original {
                 wins += 1;
             }

@@ -6,8 +6,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cloudalloc_core::{
-    best_cluster, dispersion::{optimal_dispersion, DispersionBranch},
-    greedy_pass, kkt::{optimal_shares, ShareDemand}, solve, SolverConfig, SolverCtx,
+    best_cluster,
+    dispersion::{optimal_dispersion, DispersionBranch},
+    greedy_pass,
+    kkt::{optimal_shares, ShareDemand},
+    solve, SolverConfig, SolverCtx,
 };
 use cloudalloc_model::{Allocation, ClientId};
 use cloudalloc_workload::{generate, ScenarioConfig};

@@ -3,6 +3,9 @@ use cloudalloc_workload::scenario_seeds;
 fn main() {
     for seed in scenario_seeds(1, 80, 5) {
         let p = run_scenario(80, seed, 40);
-        println!("seed {seed}: proposed {:.3} initial {:.3} ps {:.3} mc_best {:.3}", p.proposed, p.initial, p.modified_ps, p.mc_best);
+        println!(
+            "seed {seed}: proposed {:.3} initial {:.3} ps {:.3} mc_best {:.3}",
+            p.proposed, p.initial, p.modified_ps, p.mc_best
+        );
     }
 }

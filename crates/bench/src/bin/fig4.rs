@@ -38,10 +38,7 @@ fn main() {
     }
     println!("Figure 4 — normalized total profit vs number of clients");
     println!("{table}");
-    let worst_gap = rows
-        .iter()
-        .map(|r| 1.0 - r.proposed)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let worst_gap = rows.iter().map(|r| 1.0 - r.proposed).fold(f64::NEG_INFINITY, f64::max);
     println!("max gap of proposed vs best found: {:.1}% (paper reports <= 9%)", worst_gap * 100.0);
 
     if let Some(path) = &args.json {

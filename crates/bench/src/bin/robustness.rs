@@ -16,7 +16,9 @@
 
 use cloudalloc_core::{solve, SolverConfig};
 use cloudalloc_metrics::{OnlineStats, Table};
-use cloudalloc_simulator::{simulate, FailureConfig, RoutingPolicy, ServiceDistribution, SimConfig};
+use cloudalloc_simulator::{
+    simulate, FailureConfig, RoutingPolicy, ServiceDistribution, SimConfig,
+};
 use cloudalloc_workload::{generate, ScenarioConfig};
 
 fn main() {
@@ -32,7 +34,12 @@ fn main() {
         result.report.profit,
         served.len()
     );
-    let base = SimConfig { horizon: 10_000.0, warmup: 1_000.0, seed: args.seed ^ 0xE7, ..Default::default() };
+    let base = SimConfig {
+        horizon: 10_000.0,
+        warmup: 1_000.0,
+        seed: args.seed ^ 0xE7,
+        ..Default::default()
+    };
 
     let measure = |config: &SimConfig| -> (f64, f64) {
         let report = simulate(&system, &result.allocation, config);
@@ -97,10 +104,7 @@ fn main() {
         let (drift, revenue) = measure(&config);
         table.row(vec![
             format!("{:.1}%", availability * 100.0),
-            config
-                .failures
-                .map(|f| format!("{:.0}", f.mtbf))
-                .unwrap_or_else(|| "-".into()),
+            config.failures.map(|f| format!("{:.0}", f.mtbf)).unwrap_or_else(|| "-".into()),
             format!("{:+.1}%", drift * 100.0),
             format!("{revenue:.2}"),
             format!("{:+.1}%", (revenue / analytic_revenue - 1.0) * 100.0),
@@ -123,8 +127,7 @@ fn main() {
     for drift in [1.0f64, 1.1, 1.2, 1.3] {
         // The epoch's allocation stays fixed while reality drifts: the
         // simulator replays the same placements at scaled arrival rates.
-        let rates: Vec<f64> =
-            system.clients().iter().map(|c| c.rate_predicted * drift).collect();
+        let rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted * drift).collect();
         let drifted = system.with_predicted_rates(&rates);
         let mean_of = |config: &SimConfig| -> (f64, f64) {
             let report = simulate(&drifted, &result.allocation, config);
@@ -138,8 +141,7 @@ fn main() {
             (resp.mean(), report.measured_revenue(&drifted))
         };
         let (static_r, static_rev) = mean_of(&base);
-        let (lw_r, lw_rev) =
-            mean_of(&SimConfig { routing: RoutingPolicy::LeastWork, ..base });
+        let (lw_r, lw_rev) = mean_of(&SimConfig { routing: RoutingPolicy::LeastWork, ..base });
         table.row(vec![
             format!("{:.0}%", drift * 100.0),
             format!("{static_r:.3}"),

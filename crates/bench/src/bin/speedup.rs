@@ -1,32 +1,192 @@
-//! Experiment **E5**: distributed decision-making speedup. The paper
-//! argues the per-cluster agents cut the decision time by roughly the
-//! number of clusters. This binary measures the greedy construction
-//! phase, sequential vs distributed, as the cluster count grows (total
-//! server count held fixed).
+//! Experiment **E5**: decision-time speedups, in three parts.
 //!
-//! Wall-clock speedup requires physical cores; on constrained machines
-//! (CI containers often expose a single CPU) we additionally report the
-//! **critical path** — the busiest agent's compute time — which is the
-//! decision time on ideal parallel hardware and the quantity behind the
-//! paper's ÷K claim.
+//! * **E5a — distributed greedy.** The paper argues the per-cluster agents
+//!   cut the decision time by roughly the number of clusters. This section
+//!   measures the greedy construction phase, sequential vs distributed, as
+//!   the cluster count grows (total server count held fixed). Wall-clock
+//!   speedup requires physical cores; on constrained machines (CI
+//!   containers often expose a single CPU) we additionally report the
+//!   **critical path** — the busiest agent's compute time — which is the
+//!   decision time on ideal parallel hardware and the quantity behind the
+//!   paper's ÷K claim.
+//! * **E5b — incremental scoring.** Replays an identical trace of local
+//!   moves through the journaled [`ScoredAllocation`] evaluator and
+//!   through from-scratch [`evaluate`] calls (the pre-incremental scoring
+//!   discipline), asserting the final profits agree to 1e-6 and reporting
+//!   the wall-clock ratio.
+//! * **E5c — parallel construction.** Times `solve` with one worker
+//!   thread vs all available cores on a best-of-N configuration; the
+//!   per-pass RNG streams make the result identical for any thread count.
 //!
 //! ```text
-//! cargo run -p cloudalloc-bench --release --bin speedup [--seed N]
+//! cargo run -p cloudalloc-bench --release --bin speedup [--seed N] [--json PATH]
 //! ```
+//!
+//! The per-seed records of E5b/E5c are always written as JSON
+//! (default `BENCH_speedup.json`, override with `--json`).
 
 use std::time::Instant;
 
-use cloudalloc_core::{greedy_pass, SolverConfig, SolverCtx};
+use serde::Serialize;
+
+use cloudalloc_core::{greedy_pass, solve, SolverConfig, SolverCtx};
 use cloudalloc_distributed::greedy_distributed_timed;
 use cloudalloc_metrics::Table;
-use cloudalloc_model::{evaluate, ClientId};
+use cloudalloc_model::{
+    evaluate, Allocation, ClientId, ClusterId, Placement, ScoredAllocation, ServerId,
+};
 use cloudalloc_workload::{generate, Range, ScenarioConfig};
 
 const NUM_CLIENTS: usize = 200;
+const SCORING_CLIENTS: usize = 80;
+const SCORING_STEPS: usize = 4_000;
+const SCORING_SEEDS: usize = 3;
 const REPS: usize = 3;
 
-fn main() {
-    let args = cloudalloc_bench::HarnessArgs::from_env();
+/// One local-search move of the scoring trace, pre-resolved so both
+/// engines replay bit-identical mutations.
+enum TraceOp {
+    Clear(ClientId),
+    Move { client: ClientId, cluster: ClusterId, server: ServerId, placement: Placement },
+}
+
+/// SplitMix64 step for the trace generator.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a deterministic trace of churn resembling the solver's local
+/// search: clients clear out, hop clusters and resize their shares. The
+/// trace is resolved against a scratch allocation so every op is valid
+/// regardless of which engine replays it.
+fn build_trace(
+    system: &cloudalloc_model::CloudSystem,
+    start: &Allocation,
+    seed: u64,
+    steps: usize,
+) -> Vec<TraceOp> {
+    let mut scratch = start.clone();
+    let mut state = seed;
+    let mut trace = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let client = ClientId(mix(&mut state) as usize % system.num_clients());
+        if mix(&mut state).is_multiple_of(8) {
+            scratch.clear_client(system, client);
+            trace.push(TraceOp::Clear(client));
+            continue;
+        }
+        let cluster = ClusterId(mix(&mut state) as usize % system.num_clusters());
+        let servers: Vec<ServerId> = system.servers_in(cluster).map(|s| s.id).collect();
+        if servers.is_empty() {
+            continue;
+        }
+        if scratch.cluster_of(client) != Some(cluster) {
+            scratch.clear_client(system, client);
+            trace.push(TraceOp::Clear(client));
+        }
+        let server = servers[mix(&mut state) as usize % servers.len()];
+        let unit = |state: &mut u64| (mix(state) % 1_000) as f64 / 1_000.0;
+        let placement = Placement {
+            alpha: 0.05 + 0.95 * unit(&mut state),
+            phi_p: 0.05 + 0.45 * unit(&mut state),
+            phi_c: 0.05 + 0.45 * unit(&mut state),
+        };
+        scratch.assign_cluster(client, cluster);
+        scratch.place(system, client, server, placement);
+        trace.push(TraceOp::Move { client, cluster, server, placement });
+    }
+    trace
+}
+
+/// Replays the trace with from-scratch scoring: every move is followed by
+/// a full [`evaluate`] pass, exactly how the solver scored candidates
+/// before the incremental engine.
+fn replay_full(
+    system: &cloudalloc_model::CloudSystem,
+    start: &Allocation,
+    trace: &[TraceOp],
+) -> (f64, f64) {
+    let mut alloc = start.clone();
+    let begin = Instant::now();
+    let mut profit = 0.0;
+    for op in trace {
+        match *op {
+            TraceOp::Clear(client) => {
+                alloc.clear_client(system, client);
+            }
+            TraceOp::Move { client, cluster, server, placement } => {
+                alloc.assign_cluster(client, cluster);
+                alloc.place(system, client, server, placement);
+            }
+        }
+        profit = evaluate(system, &alloc).profit;
+    }
+    (begin.elapsed().as_secs_f64(), profit)
+}
+
+/// Replays the trace through the journaled incremental evaluator, querying
+/// the cached score after every move.
+fn replay_incremental(
+    system: &cloudalloc_model::CloudSystem,
+    start: &Allocation,
+    trace: &[TraceOp],
+) -> (f64, f64) {
+    let mut scored = ScoredAllocation::new(system, start.clone());
+    let begin = Instant::now();
+    let mut profit = 0.0;
+    for op in trace {
+        match *op {
+            TraceOp::Clear(client) => {
+                scored.clear_client(client);
+            }
+            TraceOp::Move { client, cluster, server, placement } => {
+                scored.assign_cluster(client, cluster);
+                scored.place(client, server, placement);
+            }
+        }
+        profit = scored.profit();
+    }
+    (begin.elapsed().as_secs_f64(), profit)
+}
+
+/// Per-seed record of the incremental-vs-full scoring comparison (E5b).
+#[derive(Debug, Serialize)]
+struct ScoringRecord {
+    seed: u64,
+    clients: usize,
+    servers: usize,
+    steps: usize,
+    full_seconds: f64,
+    incremental_seconds: f64,
+    speedup: f64,
+    full_profit: f64,
+    incremental_profit: f64,
+}
+
+/// Per-seed record of the one-thread-vs-all-cores solve comparison (E5c).
+#[derive(Debug, Serialize)]
+struct ParallelRecord {
+    seed: u64,
+    clients: usize,
+    threads: usize,
+    single_seconds: f64,
+    parallel_seconds: f64,
+    speedup: f64,
+    single_profit: f64,
+    parallel_profit: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SpeedupReport {
+    scoring: Vec<ScoringRecord>,
+    parallel: Vec<ParallelRecord>,
+}
+
+fn bench_distributed_greedy(seed: u64) {
     // A fine dispersion grid makes each Assign_Distribute call expensive
     // enough that the division of work dominates protocol overhead (the
     // regime the paper's complexity analysis addresses).
@@ -42,7 +202,7 @@ fn main() {
         "profit_dist".into(),
     ]);
     println!(
-        "E5 — greedy-phase decision time, sequential vs per-cluster agents \
+        "E5a — greedy-phase decision time, sequential vs per-cluster agents \
          (N={NUM_CLIENTS}, ~constant total servers, {REPS} reps, {} cores)",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
@@ -55,7 +215,7 @@ fn main() {
             servers_per_class: Range::new(per_class, per_class),
             ..ScenarioConfig::paper(NUM_CLIENTS)
         };
-        let system = generate(&config, args.seed);
+        let system = generate(&config, seed);
         let ctx = SolverCtx::new(&system, &solver);
         let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
 
@@ -93,6 +253,164 @@ fn main() {
     println!(
         "expected shape: ideal_speedup grows roughly linearly with the cluster count\n\
          (paper: ÷K with K clusters, minus communication overhead); dist_wall only\n\
-         tracks it when the machine has as many free cores as clusters"
+         tracks it when the machine has as many free cores as clusters\n"
     );
+}
+
+fn bench_incremental_scoring(base_seed: u64) -> Vec<ScoringRecord> {
+    let mut table = Table::new(vec![
+        "seed".into(),
+        "servers".into(),
+        "full".into(),
+        "incremental".into(),
+        "speedup".into(),
+        "profit_full".into(),
+        "profit_incr".into(),
+    ]);
+    println!(
+        "E5b — scoring a trace of {SCORING_STEPS} local moves \
+         (N={SCORING_CLIENTS}, best of {REPS} reps per engine)"
+    );
+    let mut records = Vec::new();
+    for offset in 0..SCORING_SEEDS as u64 {
+        let seed = base_seed.wrapping_add(offset);
+        let system = generate(&ScenarioConfig::paper(SCORING_CLIENTS), seed);
+        let solver = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &solver);
+        let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
+        let start = greedy_pass(&ctx, &order);
+        let trace = build_trace(&system, &start, seed ^ 0xE5B, SCORING_STEPS);
+
+        let mut full = (f64::INFINITY, 0.0);
+        let mut incremental = (f64::INFINITY, 0.0);
+        for _ in 0..REPS {
+            let (t, p) = replay_full(&system, &start, &trace);
+            if t < full.0 {
+                full = (t, p);
+            }
+            let (t, p) = replay_incremental(&system, &start, &trace);
+            if t < incremental.0 {
+                incremental = (t, p);
+            }
+        }
+        assert!(
+            (full.1 - incremental.1).abs() <= 1e-6 * (1.0 + full.1.abs()),
+            "seed {seed}: engines disagree on the final profit: \
+             full {} vs incremental {}",
+            full.1,
+            incremental.1
+        );
+        let speedup = full.0 / incremental.0;
+        table.row(vec![
+            seed.to_string(),
+            system.num_servers().to_string(),
+            format!("{:.4}s", full.0),
+            format!("{:.4}s", incremental.0),
+            format!("{speedup:.1}x"),
+            format!("{:.4}", full.1),
+            format!("{:.4}", incremental.1),
+        ]);
+        records.push(ScoringRecord {
+            seed,
+            clients: SCORING_CLIENTS,
+            servers: system.num_servers(),
+            steps: SCORING_STEPS,
+            full_seconds: full.0,
+            incremental_seconds: incremental.0,
+            speedup,
+            full_profit: full.1,
+            incremental_profit: incremental.1,
+        });
+    }
+    println!("{table}");
+    println!(
+        "expected shape: the incremental engine rescores only the clients and\n\
+         servers a move touched, so the ratio grows with the system size\n"
+    );
+    records
+}
+
+fn bench_parallel_construction(base_seed: u64) -> Vec<ParallelRecord> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut table = Table::new(vec![
+        "seed".into(),
+        "1 thread".into(),
+        format!("{threads} threads"),
+        "speedup".into(),
+        "profit_1".into(),
+        format!("profit_{threads}"),
+    ]);
+    println!(
+        "E5c — best-of-8 construction + local search, 1 worker vs {threads} \
+         (N={SCORING_CLIENTS}, best of {REPS} reps)"
+    );
+    let mut records = Vec::new();
+    for offset in 0..SCORING_SEEDS as u64 {
+        let seed = base_seed.wrapping_add(offset);
+        let system = generate(&ScenarioConfig::paper(SCORING_CLIENTS), seed);
+        let single_cfg =
+            SolverConfig { num_init_solns: 8, num_threads: Some(1), ..SolverConfig::default() };
+        let parallel_cfg =
+            SolverConfig { num_init_solns: 8, num_threads: Some(threads), ..single_cfg.clone() };
+
+        let mut single = (f64::INFINITY, 0.0);
+        let mut parallel = (f64::INFINITY, 0.0);
+        for _ in 0..REPS {
+            let begin = Instant::now();
+            let result = solve(&system, &single_cfg, seed);
+            let t = begin.elapsed().as_secs_f64();
+            if t < single.0 {
+                single = (t, result.report.profit);
+            }
+            let begin = Instant::now();
+            let result = solve(&system, &parallel_cfg, seed);
+            let t = begin.elapsed().as_secs_f64();
+            if t < parallel.0 {
+                parallel = (t, result.report.profit);
+            }
+        }
+        assert!(
+            (single.1 - parallel.1).abs() <= 1e-6 * (1.0 + single.1.abs()),
+            "seed {seed}: thread count changed the result: {} vs {}",
+            single.1,
+            parallel.1
+        );
+        table.row(vec![
+            seed.to_string(),
+            format!("{:.3}s", single.0),
+            format!("{:.3}s", parallel.0),
+            format!("{:.2}x", single.0 / parallel.0),
+            format!("{:.4}", single.1),
+            format!("{:.4}", parallel.1),
+        ]);
+        records.push(ParallelRecord {
+            seed,
+            clients: SCORING_CLIENTS,
+            threads,
+            single_seconds: single.0,
+            parallel_seconds: parallel.0,
+            speedup: single.0 / parallel.0,
+            single_profit: single.1,
+            parallel_profit: parallel.1,
+        });
+    }
+    println!("{table}");
+    println!(
+        "expected shape: identical profits per seed for every thread count;\n\
+         wall-clock speedup bounded by min(8 passes, physical cores)\n"
+    );
+    records
+}
+
+fn main() {
+    let args = cloudalloc_bench::HarnessArgs::from_env();
+    bench_distributed_greedy(args.seed);
+    let scoring = bench_incremental_scoring(args.seed);
+    let parallel = bench_parallel_construction(args.seed);
+
+    let report = SpeedupReport { scoring, parallel };
+    let path = args.json.clone().unwrap_or_else(|| "BENCH_speedup.json".into());
+    std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
+        .expect("writable json path");
+    eprintln!("wrote {path}");
 }

@@ -48,9 +48,8 @@ impl Parsed {
             if SWITCHES.contains(&word.as_str()) {
                 parsed.switches.push(word);
             } else {
-                let value = it
-                    .next()
-                    .ok_or_else(|| ArgError(format!("flag {word} requires a value")))?;
+                let value =
+                    it.next().ok_or_else(|| ArgError(format!("flag {word} requires a value")))?;
                 parsed.options.insert(word, value);
             }
         }
@@ -68,9 +67,7 @@ impl Parsed {
     ///
     /// Returns [`ArgError`] when absent.
     pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
-        self.get(flag).ok_or_else(|| {
-            ArgError(format!("{} requires {flag} <value>", self.command))
-        })
+        self.get(flag).ok_or_else(|| ArgError(format!("{} requires {flag} <value>", self.command)))
     }
 
     /// Returns a numeric option with a default.
@@ -81,9 +78,9 @@ impl Parsed {
     pub fn num<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
         match self.get(flag) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| ArgError(format!("{flag} got an invalid value {raw:?}"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| ArgError(format!("{flag} got an invalid value {raw:?}")))
+            }
         }
     }
 
@@ -109,8 +106,8 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_switches() {
-        let p = parse(&["solve", "--system", "s.json", "--seed", "7", "--require-service"])
-            .unwrap();
+        let p =
+            parse(&["solve", "--system", "s.json", "--seed", "7", "--require-service"]).unwrap();
         assert_eq!(p.command, "solve");
         assert_eq!(p.get("--system"), Some("s.json"));
         assert_eq!(p.num("--seed", 0u64).unwrap(), 7);

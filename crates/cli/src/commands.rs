@@ -7,9 +7,7 @@ use std::fs;
 use cloudalloc_baselines::{modified_ps, monte_carlo, McConfig, PsConfig};
 use cloudalloc_core::{solve, SolverConfig};
 use cloudalloc_metrics::Table;
-use cloudalloc_model::{
-    check_feasibility, evaluate, Allocation, CloudSystem, Violation,
-};
+use cloudalloc_model::{check_feasibility, evaluate, Allocation, CloudSystem, Violation};
 use cloudalloc_simulator::{
     simulate, validate, FailureConfig, GpsMode, RoutingPolicy, ServiceDistribution, SimConfig,
 };
@@ -65,10 +63,21 @@ fn load_allocation(parsed: &Parsed) -> Result<Allocation, CliError> {
 }
 
 fn solver_config(parsed: &Parsed) -> Result<SolverConfig, CliError> {
+    // `--threads 0` would trip the config validator's assert; surface it
+    // as a CLI error instead. Absent flag → `None`, which defers to the
+    // CLOUDALLOC_THREADS environment variable and then all cores.
+    let num_threads = match parsed.get("--threads") {
+        None => None,
+        Some(_) => match parsed.num("--threads", 1usize)? {
+            0 => return Err(ArgError("--threads needs at least 1".into()).into()),
+            t => Some(t),
+        },
+    };
     Ok(SolverConfig {
         alpha_granularity: parsed.num("--granularity", 10usize)?,
         num_init_solns: parsed.num("--init", 3usize)?,
         require_service: parsed.switch("--require-service"),
+        num_threads,
         ..Default::default()
     })
 }
@@ -99,10 +108,7 @@ fn cmd_generate(parsed: &Parsed) -> Result<String, CliError> {
 fn render_report(system: &CloudSystem, alloc: &Allocation) -> String {
     let report = evaluate(system, alloc);
     let violations = check_feasibility(system, alloc);
-    let declined = violations
-        .iter()
-        .filter(|v| matches!(v, Violation::Unassigned { .. }))
-        .count();
+    let declined = violations.iter().filter(|v| matches!(v, Violation::Unassigned { .. })).count();
     let hard = violations.len() - declined;
     let mut out = String::new();
     out.push_str(&format!(
@@ -126,10 +132,7 @@ fn cmd_solve(parsed: &Parsed) -> Result<String, CliError> {
     let result = solve(&system, &config, seed);
     let mut out = format!(
         "initial {:.4} → final {:.4} in {} rounds (converged: {})\n",
-        result.initial_profit,
-        result.report.profit,
-        result.stats.rounds,
-        result.stats.converged
+        result.initial_profit, result.report.profit, result.stats.rounds, result.stats.converged
     );
     out.push_str(&render_report(&system, &result.allocation));
     if let Some(path) = parsed.get("--out") {
@@ -168,8 +171,7 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, CliError> {
         ..Default::default()
     };
     if let Some(cv2) = parsed.get("--cv2") {
-        let cv2: f64 =
-            cv2.parse().map_err(|_| ArgError(format!("--cv2 got {cv2:?}")))?;
+        let cv2: f64 = cv2.parse().map_err(|_| ArgError(format!("--cv2 got {cv2:?}")))?;
         config.service = ServiceDistribution::HyperExponential { cv2 };
     }
     if let Some(avail) = parsed.get("--availability") {
@@ -226,11 +228,8 @@ fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
     let predictor = EwmaPredictor::new(0.4, &base);
     let config = EpochConfig { solver: solver_config(parsed)?, resolve_threshold: 0.15 };
     let mut manager = EpochManager::new(system, predictor, config, seed);
-    let mut drift = WorkloadDrift::new(
-        DriftConfig { volatility, ..Default::default() },
-        &base,
-        seed ^ 0xD21F,
-    );
+    let mut drift =
+        WorkloadDrift::new(DriftConfig { volatility, ..Default::default() }, &base, seed ^ 0xD21F);
     let mut log = OperationsLog::new();
     let mut table = Table::new(vec![
         "epoch".into(),
@@ -273,11 +272,7 @@ fn cmd_baseline(parsed: &Parsed) -> Result<String, CliError> {
     let ps = evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
     let mc = monte_carlo(
         &system,
-        &McConfig {
-            iterations: parsed.num("--mc", 120usize)?,
-            solver: config,
-            polish_best: true,
-        },
+        &McConfig { iterations: parsed.num("--mc", 120usize)?, solver: config, polish_best: true },
         seed,
     );
     let bound = cloudalloc_core::profit_upper_bound(&system);
@@ -307,7 +302,7 @@ USAGE: cloudalloc <command> [--flag value] [--switch]
 COMMANDS
   generate  --clients N [--preset paper|small|overloaded] [--seed S] [--out FILE]
   solve     --system FILE [--seed S] [--granularity G] [--init N]
-            [--require-service] [--out FILE]
+            [--threads T] [--require-service] [--out FILE]
   evaluate  --system FILE --allocation FILE
   explain   --system FILE --allocation FILE
   simulate  --system FILE --allocation FILE [--horizon H] [--seed S]
@@ -315,6 +310,10 @@ COMMANDS
   baseline  --system FILE [--mc N] [--seed S]
   epochs    --system FILE [--epochs N] [--volatility V] [--seed S]
   help
+
+The solver parallelizes best-of-N construction; worker count comes from
+--threads, else the CLOUDALLOC_THREADS environment variable, else all
+cores. Results are identical for every thread count.
 ";
 
 /// Dispatches one parsed command and returns its rendered output.
@@ -368,23 +367,90 @@ mod tests {
         let sys_path = temp_path("sys.json");
         let alloc_path = temp_path("alloc.json");
         let out = run(&parse(&[
-            "generate", "--clients", "6", "--preset", "small", "--seed", "3", "--out", &sys_path,
+            "generate",
+            "--clients",
+            "6",
+            "--preset",
+            "small",
+            "--seed",
+            "3",
+            "--out",
+            &sys_path,
         ]))
         .unwrap();
         assert!(out.contains("generated 6 clients"));
 
-        let out = run(&parse(&[
-            "solve", "--system", &sys_path, "--seed", "1", "--out", &alloc_path,
-        ]))
-        .unwrap();
+        let out =
+            run(&parse(&["solve", "--system", &sys_path, "--seed", "1", "--out", &alloc_path]))
+                .unwrap();
         assert!(out.contains("final"));
         assert!(out.contains("wrote"));
 
         let out =
-            run(&parse(&["evaluate", "--system", &sys_path, "--allocation", &alloc_path]))
-                .unwrap();
+            run(&parse(&["evaluate", "--system", &sys_path, "--allocation", &alloc_path])).unwrap();
         assert!(out.contains("profit"));
         assert!(out.contains("0 hard violations"));
+    }
+
+    #[test]
+    fn solve_output_is_identical_for_any_thread_count() {
+        let sys_path = temp_path("sys_threads.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "6",
+            "--preset",
+            "small",
+            "--seed",
+            "13",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        let one = run(&parse(&[
+            "solve",
+            "--system",
+            &sys_path,
+            "--seed",
+            "2",
+            "--init",
+            "4",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let four = run(&parse(&[
+            "solve",
+            "--system",
+            &sys_path,
+            "--seed",
+            "2",
+            "--init",
+            "4",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let sys_path = temp_path("sys_threads0.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "4",
+            "--preset",
+            "small",
+            "--seed",
+            "13",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        let err = run(&parse(&["solve", "--system", &sys_path, "--threads", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
     }
 
     #[test]
@@ -392,7 +458,15 @@ mod tests {
         let sys_path = temp_path("sys2.json");
         let alloc_path = temp_path("alloc2.json");
         run(&parse(&[
-            "generate", "--clients", "4", "--preset", "small", "--seed", "5", "--out", &sys_path,
+            "generate",
+            "--clients",
+            "4",
+            "--preset",
+            "small",
+            "--seed",
+            "5",
+            "--out",
+            &sys_path,
         ]))
         .unwrap();
         run(&parse(&["solve", "--system", &sys_path, "--out", &alloc_path])).unwrap();
@@ -415,13 +489,20 @@ mod tests {
         let sys_path = temp_path("sys4.json");
         let alloc_path = temp_path("alloc4.json");
         run(&parse(&[
-            "generate", "--clients", "5", "--preset", "small", "--seed", "9", "--out", &sys_path,
+            "generate",
+            "--clients",
+            "5",
+            "--preset",
+            "small",
+            "--seed",
+            "9",
+            "--out",
+            &sys_path,
         ]))
         .unwrap();
         run(&parse(&["solve", "--system", &sys_path, "--out", &alloc_path])).unwrap();
         let out =
-            run(&parse(&["explain", "--system", &sys_path, "--allocation", &alloc_path]))
-                .unwrap();
+            run(&parse(&["explain", "--system", &sys_path, "--allocation", &alloc_path])).unwrap();
         assert!(out.contains("clusters:"));
         assert!(out.contains("busiest servers:"));
     }
@@ -430,7 +511,15 @@ mod tests {
     fn baseline_renders_the_comparison_table() {
         let sys_path = temp_path("sys3.json");
         run(&parse(&[
-            "generate", "--clients", "6", "--preset", "small", "--seed", "8", "--out", &sys_path,
+            "generate",
+            "--clients",
+            "6",
+            "--preset",
+            "small",
+            "--seed",
+            "8",
+            "--out",
+            &sys_path,
         ]))
         .unwrap();
         let out = run(&parse(&["baseline", "--system", &sys_path, "--mc", "5"])).unwrap();
@@ -444,13 +533,19 @@ mod tests {
     fn epochs_runs_the_operational_loop() {
         let sys_path = temp_path("sys5.json");
         run(&parse(&[
-            "generate", "--clients", "6", "--preset", "small", "--seed", "11", "--out", &sys_path,
+            "generate",
+            "--clients",
+            "6",
+            "--preset",
+            "small",
+            "--seed",
+            "11",
+            "--out",
+            &sys_path,
         ]))
         .unwrap();
-        let out = run(&parse(&[
-            "epochs", "--system", &sys_path, "--epochs", "3", "--init", "1",
-        ]))
-        .unwrap();
+        let out = run(&parse(&["epochs", "--system", &sys_path, "--epochs", "3", "--init", "1"]))
+            .unwrap();
         assert!(out.contains("total realized profit"));
         assert!(out.lines().count() >= 5, "missing table rows:\n{out}");
     }

@@ -18,7 +18,8 @@
 //! clusters does not depend on the linearization.
 
 use cloudalloc_model::{
-    placement_response_time, Allocation, ClientId, ClusterId, Placement, ServerId, MIN_SHARE,
+    placement_response_time, Allocation, ClientId, ClusterId, Placement, ScoredAllocation,
+    ServerId, MIN_SHARE,
 };
 
 use crate::ctx::SolverCtx;
@@ -96,10 +97,10 @@ fn server_curve(
         }
         // Closed-form share against the shadow price, clamped into the
         // feasible band (the "parentheses with two limits" of Eq. (16)).
-        let phi_p = (a / m_p + (w * alpha / (psi * m_p)).sqrt())
-            .clamp(sigma_p.max(MIN_SHARE), free_p);
-        let phi_c = (a / m_c + (w * alpha / (psi * m_c)).sqrt())
-            .clamp(sigma_c.max(MIN_SHARE), free_c);
+        let phi_p =
+            (a / m_p + (w * alpha / (psi * m_p)).sqrt()).clamp(sigma_p.max(MIN_SHARE), free_p);
+        let phi_c =
+            (a / m_c + (w * alpha / (psi * m_c)).sqrt()).clamp(sigma_c.max(MIN_SHARE), free_c);
         let placement = Placement { alpha, phi_p, phi_c };
         let sojourn = placement_response_time(class, c, placement);
         if !sojourn.is_finite() {
@@ -162,8 +163,8 @@ pub fn assign_distribute_excluding(
     let mut choice = vec![vec![0usize; granularity + 1]; servers.len()];
     for (t, curve) in curves.iter().enumerate() {
         let mut next = vec![NEG; granularity + 1];
-        for u in 0..=granularity {
-            if dp[u] == NEG {
+        for (u, &du) in dp.iter().enumerate() {
+            if du == NEG {
                 continue;
             }
             for (g, level) in curve.iter().enumerate() {
@@ -172,7 +173,7 @@ pub fn assign_distribute_excluding(
                 if target > granularity {
                     break;
                 }
-                let v = dp[u] + level.value;
+                let v = du + level.value;
                 if v > next[target] {
                     next[target] = v;
                     choice[t][target] = g;
@@ -220,7 +221,11 @@ pub fn assign_distribute_excluding(
 /// Runs [`assign_distribute`] against every cluster and returns the best
 /// candidate (the greedy step `k_opt = argmax_k` of the pseudo-code), or
 /// `None` when no cluster can host the client.
-pub fn best_cluster(ctx: &SolverCtx<'_>, alloc: &Allocation, client: ClientId) -> Option<Candidate> {
+pub fn best_cluster(
+    ctx: &SolverCtx<'_>,
+    alloc: &Allocation,
+    client: ClientId,
+) -> Option<Candidate> {
     // Ties break toward the lowest cluster id so the sequential and
     // distributed solvers make identical choices.
     (0..ctx.system.num_clusters())
@@ -237,10 +242,24 @@ pub fn best_cluster(ctx: &SolverCtx<'_>, alloc: &Allocation, client: ClientId) -
 /// # Panics
 ///
 /// Panics if the client still holds placements in a different cluster.
-pub fn commit(ctx: &SolverCtx<'_>, alloc: &mut Allocation, client: ClientId, candidate: &Candidate) {
+pub fn commit(
+    ctx: &SolverCtx<'_>,
+    alloc: &mut Allocation,
+    client: ClientId,
+    candidate: &Candidate,
+) {
     alloc.assign_cluster(client, candidate.cluster);
     for &(server, placement) in &candidate.placements {
         alloc.place(ctx.system, client, server, placement);
+    }
+}
+
+/// [`commit`] against the incremental evaluator: the same mutation,
+/// journaled and scored through the caches.
+pub fn commit_scored(scored: &mut ScoredAllocation<'_>, client: ClientId, candidate: &Candidate) {
+    scored.assign_cluster(client, candidate.cluster);
+    for &(server, placement) in &candidate.placements {
+        scored.place(client, server, placement);
     }
 }
 
@@ -251,10 +270,7 @@ mod tests {
     use cloudalloc_model::{check_feasibility, evaluate, Violation};
     use cloudalloc_workload::{generate, ScenarioConfig};
 
-    fn ctx_fixture(
-        n: usize,
-        seed: u64,
-    ) -> (cloudalloc_model::CloudSystem, SolverConfig) {
+    fn ctx_fixture(n: usize, seed: u64) -> (cloudalloc_model::CloudSystem, SolverConfig) {
         (generate(&ScenarioConfig::small(n), seed), SolverConfig::default())
     }
 
@@ -359,39 +375,36 @@ mod tests {
         // model evaluation after committing — the DP may be approximate
         // in *choice*, never in *accounting*.
         use proptest::prelude::*;
-        let mut runner = proptest::test_runner::TestRunner::new(
-            proptest::test_runner::Config { cases: 12, ..Default::default() },
-        );
+        let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+            cases: 12,
+            ..Default::default()
+        });
         runner
-            .run(
-                &(2usize..12, 2usize..24, proptest::num::u64::ANY),
-                |(n, granularity, seed)| {
-                    let system = generate(&ScenarioConfig::small(n), seed);
-                    let config =
-                        SolverConfig { alpha_granularity: granularity, ..Default::default() };
-                    let ctx = SolverCtx::new(&system, &config);
-                    let mut alloc = Allocation::new(&system);
-                    for i in 0..n {
-                        let Some(cand) = best_cluster(&ctx, &alloc, ClientId(i)) else {
-                            continue;
-                        };
-                        let before = evaluate(&system, &alloc).profit;
-                        commit(&ctx, &mut alloc, ClientId(i), &cand);
-                        let after = evaluate(&system, &alloc);
-                        prop_assert!(
-                            (after.profit - before - cand.score).abs() < 1e-6,
-                            "score {} vs delta {}",
-                            cand.score,
-                            after.profit - before
-                        );
-                        prop_assert!(
-                            (after.clients[i].response_time - cand.response_time).abs() < 1e-6
-                        );
-                    }
-                    alloc.assert_consistent(&system);
-                    Ok(())
-                },
-            )
+            .run(&(2usize..12, 2usize..24, proptest::num::u64::ANY), |(n, granularity, seed)| {
+                let system = generate(&ScenarioConfig::small(n), seed);
+                let config = SolverConfig { alpha_granularity: granularity, ..Default::default() };
+                let ctx = SolverCtx::new(&system, &config);
+                let mut alloc = Allocation::new(&system);
+                for i in 0..n {
+                    let Some(cand) = best_cluster(&ctx, &alloc, ClientId(i)) else {
+                        continue;
+                    };
+                    let before = evaluate(&system, &alloc).profit;
+                    commit(&ctx, &mut alloc, ClientId(i), &cand);
+                    let after = evaluate(&system, &alloc);
+                    prop_assert!(
+                        (after.profit - before - cand.score).abs() < 1e-6,
+                        "score {} vs delta {}",
+                        cand.score,
+                        after.profit - before
+                    );
+                    prop_assert!(
+                        (after.clients[i].response_time - cand.response_time).abs() < 1e-6
+                    );
+                }
+                alloc.assert_consistent(&system);
+                Ok(())
+            })
             .unwrap();
     }
 

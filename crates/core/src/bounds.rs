@@ -58,13 +58,11 @@ pub fn client_bounds(system: &CloudSystem) -> Vec<ClientBound> {
                     && service_c > c.rate_predicted
                     && class.cap_storage >= c.storage
                 {
-                    let t = 1.0 / (service_p - c.rate_predicted)
-                        + 1.0 / (service_c - c.rate_predicted);
+                    let t =
+                        1.0 / (service_p - c.rate_predicted) + 1.0 / (service_c - c.rate_predicted);
                     best_response = best_response.min(t);
                 }
-                let marginal = class.cost_per_utilization
-                    * c.rate_predicted
-                    * c.exec_processing
+                let marginal = class.cost_per_utilization * c.rate_predicted * c.exec_processing
                     / class.cap_processing;
                 cost_floor = cost_floor.min(marginal);
             }

@@ -48,6 +48,12 @@ pub struct SolverConfig {
     /// profit contribution; the reassignment operator keeps re-testing
     /// them each round and admits them as soon as they turn profitable.
     pub require_service: bool,
+    /// Worker threads for the parallel best-of-N construction and
+    /// multi-seed restarts. `None` (default) consults the
+    /// `CLOUDALLOC_THREADS` environment variable, then falls back to all
+    /// available cores. Results are identical for every thread count —
+    /// each greedy pass owns an independent seeded RNG stream.
+    pub num_threads: Option<usize>,
 }
 
 impl SolverConfig {
@@ -75,17 +81,27 @@ impl SolverConfig {
             self.stability_margin.is_finite() && self.stability_margin > 0.0,
             "stability margin must be positive"
         );
+        if let Some(t) = self.num_threads {
+            assert!(t >= 1, "need at least one worker thread");
+        }
+    }
+
+    /// Resolves the worker-thread count: the explicit config value, else
+    /// the `CLOUDALLOC_THREADS` environment variable, else every
+    /// available core.
+    pub fn effective_threads(&self) -> usize {
+        self.num_threads
+            .or_else(|| {
+                std::env::var("CLOUDALLOC_THREADS").ok().and_then(|v| v.trim().parse().ok())
+            })
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     }
 
     /// A fast configuration for tests: one initial solution, coarse grid,
     /// few rounds.
     pub fn fast() -> Self {
-        Self {
-            num_init_solns: 1,
-            alpha_granularity: 4,
-            max_rounds: 3,
-            ..Self::default()
-        }
+        Self { num_init_solns: 1, alpha_granularity: 4, max_rounds: 3, ..Self::default() }
     }
 }
 
@@ -105,6 +121,7 @@ impl Default for SolverConfig {
             swap: false,
             stability_margin: 1e-3,
             require_service: false,
+            num_threads: None,
         }
     }
 }

@@ -126,10 +126,8 @@ pub fn optimal_dispersion(
 
     // Bracket η: at η_lo no branch takes traffic; at η_hi every branch is
     // at α_max, so the total is `capacity ≥ 1`.
-    let mut eta_lo = branches
-        .iter()
-        .map(|b| b.marginal(weight, lambda, 0.0))
-        .fold(f64::INFINITY, f64::min);
+    let mut eta_lo =
+        branches.iter().map(|b| b.marginal(weight, lambda, 0.0)).fold(f64::INFINITY, f64::min);
     let mut eta_hi = branches
         .iter()
         .zip(&alpha_maxes)
@@ -186,13 +184,15 @@ pub fn dispersion_objective(
     branches
         .iter()
         .zip(alphas)
-        .map(|(b, &a)| {
-            if a == 0.0 {
-                0.0
-            } else {
-                weight * a * b.sojourn(lambda, a) + b.cost_slope * a
-            }
-        })
+        .map(
+            |(b, &a)| {
+                if a == 0.0 {
+                    0.0
+                } else {
+                    weight * a * b.sojourn(lambda, a) + b.cost_slope * a
+                }
+            },
+        )
         .sum()
 }
 
@@ -232,20 +232,12 @@ mod tests {
 
     #[test]
     fn expensive_branch_is_penalized() {
-        let free = optimal_dispersion(
-            1.0,
-            1.0,
-            &[branch(4.0, 4.0, 0.0), branch(4.0, 4.0, 0.0)],
-            1e-3,
-        )
-        .unwrap();
-        let costly = optimal_dispersion(
-            1.0,
-            1.0,
-            &[branch(4.0, 4.0, 0.0), branch(4.0, 4.0, 5.0)],
-            1e-3,
-        )
-        .unwrap();
+        let free =
+            optimal_dispersion(1.0, 1.0, &[branch(4.0, 4.0, 0.0), branch(4.0, 4.0, 0.0)], 1e-3)
+                .unwrap();
+        let costly =
+            optimal_dispersion(1.0, 1.0, &[branch(4.0, 4.0, 0.0), branch(4.0, 4.0, 5.0)], 1e-3)
+                .unwrap();
         assert!(costly[1] < free[1]);
         assert!(costly[0] > costly[1]);
     }
@@ -261,13 +253,9 @@ mod tests {
 
     #[test]
     fn slow_branch_gets_zero_when_alternatives_abound() {
-        let alphas = optimal_dispersion(
-            0.5,
-            1.0,
-            &[branch(10.0, 10.0, 0.0), branch(0.6, 0.6, 3.0)],
-            1e-3,
-        )
-        .unwrap();
+        let alphas =
+            optimal_dispersion(0.5, 1.0, &[branch(10.0, 10.0, 0.0), branch(0.6, 0.6, 3.0)], 1e-3)
+                .unwrap();
         assert!(alphas[1] < 0.05, "slow costly branch got {}", alphas[1]);
     }
 
@@ -301,7 +289,7 @@ mod tests {
             if let Some(alphas) = optimal_dispersion(lambda, weight, &branches, 1e-3) {
                 prop_assert!((alphas.iter().sum::<f64>() - 1.0).abs() < 1e-8);
                 for (b, &a) in branches.iter().zip(&alphas) {
-                    prop_assert!(a >= 0.0 && a <= 1.0 + 1e-12);
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
                     if a > 0.0 {
                         prop_assert!(a * lambda < b.service_p.min(b.service_c));
                     }

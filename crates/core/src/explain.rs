@@ -140,9 +140,8 @@ pub fn explain(system: &CloudSystem, alloc: &Allocation) -> String {
             alloc.placements(i).len()
         );
     }
-    let declined = (0..system.num_clients())
-        .filter(|&i| alloc.placements(ClientId(i)).is_empty())
-        .count();
+    let declined =
+        (0..system.num_clients()).filter(|&i| alloc.placements(ClientId(i)).is_empty()).count();
     if declined > 0 {
         let _ = writeln!(out, "\n{declined} clients declined (no profitable placement)");
     }

@@ -1,5 +1,12 @@
 //! Initial-solution construction (paper §V-A): repeated randomized greedy
-//! insertion, keeping the best of `num_init_solns` passes.
+//! insertion, keeping the best of `num_init_solns` passes. Passes are
+//! independent and run on a thread pool sized by
+//! [`SolverConfig::effective_threads`](crate::config::SolverConfig::effective_threads);
+//! each pass owns a seeded RNG stream, so results are identical for every
+//! thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -29,22 +36,74 @@ pub fn greedy_pass(ctx: &SolverCtx<'_>, order: &[ClientId]) -> Allocation {
     alloc
 }
 
-/// Builds `num_init_solns` randomized greedy solutions and returns the
-/// most profitable one together with its profit (the paper's
-/// "Select the best initial solution").
+/// Decorrelates per-pass RNG streams (SplitMix64 finalizer over the
+/// golden-ratio-striped pass index). Pass 0 keeps the raw seed so a
+/// single-pass run and the first pass of a multi-pass run draw the same
+/// ordering.
+pub(crate) fn pass_seed(seed: u64, pass: u64) -> u64 {
+    if pass == 0 {
+        return seed;
+    }
+    let mut z = seed ^ pass.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `jobs` independent tasks on up to `threads` scoped workers and
+/// returns the results in job order. Falls back to the calling thread
+/// when one worker suffices. Used for greedy passes and multi-seed
+/// restarts; `f` must be deterministic per job index for the solver's
+/// reproducibility guarantee.
+pub(crate) fn run_parallel<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(jobs).max(1);
+    if threads == 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = next.fetch_add(1, Ordering::Relaxed);
+                if job >= jobs {
+                    break;
+                }
+                let result = f(job);
+                slots.lock().expect("worker panicked")[job] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker panicked")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Builds `num_init_solns` randomized greedy solutions in parallel and
+/// returns the most profitable one together with its profit (the paper's
+/// "Select the best initial solution"). Ties go to the lowest pass index,
+/// matching the sequential selection order.
 pub fn best_initial(ctx: &SolverCtx<'_>, seed: u64) -> (Allocation, f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut order: Vec<ClientId> = (0..ctx.system.num_clients()).map(ClientId).collect();
-    let mut best: Option<(Allocation, f64)> = None;
-    for _ in 0..ctx.config.num_init_solns {
+    let passes = ctx.config.num_init_solns;
+    let results = run_parallel(passes, ctx.config.effective_threads(), |pass| {
+        let mut rng = StdRng::seed_from_u64(pass_seed(seed, pass as u64));
+        let mut order: Vec<ClientId> = (0..ctx.system.num_clients()).map(ClientId).collect();
         order.shuffle(&mut rng);
         let alloc = greedy_pass(ctx, &order);
         let profit = evaluate(ctx.system, &alloc).profit;
-        if best.as_ref().is_none_or(|(_, p)| profit > *p) {
-            best = Some((alloc, profit));
-        }
-    }
-    best.expect("num_init_solns >= 1 is enforced by SolverConfig::validate")
+        (alloc, profit)
+    });
+    results
+        .into_iter()
+        .reduce(|best, cand| if cand.1 > best.1 { cand } else { best })
+        .expect("num_init_solns >= 1 is enforced by SolverConfig::validate")
 }
 
 /// A *uniformly random* complete assignment: every client lands in a
@@ -98,8 +157,9 @@ mod tests {
             let ctx = SolverCtx::new(&system, &three);
             best_initial(&ctx, 99).1
         };
-        // The three-pass run sees the one-pass ordering first (same seed
-        // stream), so it can only match or beat it.
+        // The three-pass run sees the one-pass ordering as its pass 0
+        // (pass_seed keeps the raw seed there), so it can only match or
+        // beat it.
         assert!(p3 >= p1 - 1e-9);
     }
 
@@ -112,6 +172,18 @@ mod tests {
         let (a2, p2) = best_initial(&ctx, 7);
         assert_eq!(a1, a2);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn best_initial_is_identical_across_thread_counts() {
+        let system = generate(&ScenarioConfig::small(10), 6);
+        let serial = SolverConfig { num_threads: Some(1), num_init_solns: 4, ..Default::default() };
+        let threaded =
+            SolverConfig { num_threads: Some(4), num_init_solns: 4, ..Default::default() };
+        let (a1, p1) = best_initial(&SolverCtx::new(&system, &serial), 11);
+        let (a4, p4) = best_initial(&SolverCtx::new(&system, &threaded), 11);
+        assert_eq!(a1, a4);
+        assert_eq!(p1, p4);
     }
 
     #[test]

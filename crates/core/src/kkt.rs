@@ -61,7 +61,10 @@ pub fn optimal_shares(
     min_share: f64,
     margin: f64,
 ) -> Option<Vec<f64>> {
-    assert!(budget.is_finite() && budget > 0.0 && budget <= 1.0, "budget must lie in (0,1], got {budget}");
+    assert!(
+        budget.is_finite() && budget > 0.0 && budget <= 1.0,
+        "budget must lie in (0,1], got {budget}"
+    );
     assert!(margin.is_finite() && margin > 0.0, "margin must be positive, got {margin}");
     assert!(min_share >= 0.0, "min_share must be non-negative, got {min_share}");
     if demands.is_empty() {
@@ -103,9 +106,7 @@ pub fn optimal_shares(
         }
         if sum_sqrt == 0.0 {
             // Everyone pinned: the floors are the answer.
-            for i in 0..n {
-                shares[i] = floors[i];
-            }
+            shares[..n].copy_from_slice(&floors[..n]);
             break;
         }
         let slack = free_budget - sum_crit;
@@ -187,13 +188,9 @@ mod tests {
 
     #[test]
     fn heavier_weight_gets_more_share() {
-        let shares = optimal_shares(
-            1.0,
-            &[demand(0.5, 4.0, 4.0), demand(0.5, 4.0, 1.0)],
-            1e-6,
-            1e-3,
-        )
-        .unwrap();
+        let shares =
+            optimal_shares(1.0, &[demand(0.5, 4.0, 4.0), demand(0.5, 4.0, 1.0)], 1e-6, 1e-3)
+                .unwrap();
         assert!(shares[0] > shares[1]);
         // Surplus above the (margin-free) critical share a/M scales with
         // √weight: ratio √4/√1 = 2.
@@ -218,13 +215,9 @@ mod tests {
     #[test]
     fn min_share_floor_is_respected() {
         // One nearly weightless idle client still receives MIN_SHARE.
-        let shares = optimal_shares(
-            1.0,
-            &[demand(1.0, 4.0, 10.0), demand(1e-9, 4.0, 1e-9)],
-            0.01,
-            1e-3,
-        )
-        .unwrap();
+        let shares =
+            optimal_shares(1.0, &[demand(1.0, 4.0, 10.0), demand(1e-9, 4.0, 1e-9)], 0.01, 1e-3)
+                .unwrap();
         assert!(shares[1] >= 0.01 - 1e-12);
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }

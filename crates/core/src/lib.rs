@@ -49,10 +49,12 @@ pub mod dispersion;
 pub mod kkt;
 pub mod ops;
 
-pub use assign::{assign_distribute, assign_distribute_excluding, best_cluster, commit, Candidate};
+pub use assign::{
+    assign_distribute, assign_distribute_excluding, best_cluster, commit, commit_scored, Candidate,
+};
 pub use bounds::{client_bounds, profit_upper_bound, ClientBound};
 pub use config::SolverConfig;
-pub use explain::{cluster_digests, explain, ClusterDigest};
 pub use ctx::SolverCtx;
+pub use explain::{cluster_digests, explain, ClusterDigest};
 pub use initial::{best_initial, greedy_pass, random_assignment};
-pub use solve::{improve, solve, SearchStats, SolveResult};
+pub use solve::{improve, improve_scored, solve, solve_restarts, SearchStats, SolveResult};

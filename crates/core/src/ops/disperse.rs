@@ -2,7 +2,7 @@
 //! its current servers with the shares fixed (paper §V-B.2, the dual of
 //! the share problem).
 
-use cloudalloc_model::{evaluate_client, Allocation, ClientId, Placement};
+use cloudalloc_model::{ClientId, Placement, ScoredAllocation};
 
 use crate::ctx::SolverCtx;
 use crate::dispersion::{optimal_dispersion, DispersionBranch};
@@ -16,17 +16,17 @@ use crate::dispersion::{optimal_dispersion, DispersionBranch};
 /// Returns `true` when the allocation changed.
 pub fn adjust_dispersion_rates(
     ctx: &SolverCtx<'_>,
-    alloc: &mut Allocation,
+    scored: &mut ScoredAllocation<'_>,
     client: ClientId,
 ) -> bool {
     let system = ctx.system;
-    let held = alloc.placements(client).to_vec();
+    let held = scored.alloc().placements(client).to_vec();
     if held.len() < 2 {
         // Nothing to re-balance with zero or one branch.
         return false;
     }
     let c = system.client(client);
-    let outcome = evaluate_client(system, alloc, client);
+    let outcome = scored.outcome(client);
     let weight = ctx.aspiration_weight(client, outcome.response_time);
 
     let branches: Vec<DispersionBranch> = held
@@ -42,17 +42,16 @@ pub fn adjust_dispersion_rates(
         })
         .collect();
 
-    let Some(alphas) = optimal_dispersion(
-        c.rate_predicted,
-        weight,
-        &branches,
-        ctx.config.stability_margin,
-    ) else {
+    let Some(alphas) =
+        optimal_dispersion(c.rate_predicted, weight, &branches, ctx.config.stability_margin)
+    else {
         return false;
     };
 
-    let utilization_cost = |a: &Allocation| -> f64 {
-        a.placements(client)
+    let utilization_cost = |scored: &ScoredAllocation<'_>| -> f64 {
+        scored
+            .alloc()
+            .placements(client)
             .iter()
             .map(|&(server, p)| {
                 let class = system.class_of(server);
@@ -61,25 +60,23 @@ pub fn adjust_dispersion_rates(
             })
             .sum()
     };
-    let old_value = outcome.revenue - utilization_cost(alloc);
+    let old_value = outcome.revenue - utilization_cost(scored);
 
     // Apply tentatively. Zeroed branches are dropped entirely, freeing
     // their shares and possibly powering a server down (constraint (9)).
+    let mark = scored.savepoint();
     for (&(server, p), &a) in held.iter().zip(&alphas) {
         if a < 1e-9 {
-            alloc.remove(system, client, server);
+            scored.remove(client, server);
         } else {
-            alloc.place(system, client, server, Placement { alpha: a, ..p });
+            scored.place(client, server, Placement { alpha: a, ..p });
         }
     }
-    let new_outcome = evaluate_client(system, alloc, client);
-    let new_value = new_outcome.revenue - utilization_cost(alloc);
+    let new_outcome = scored.outcome(client);
+    let new_value = new_outcome.revenue - utilization_cost(scored);
 
     if new_value + 1e-12 < old_value {
-        // Roll back to the original placements.
-        for &(server, p) in &held {
-            alloc.place(system, client, server, p);
-        }
+        scored.rollback_to(mark);
         return false;
     }
     held.iter().zip(&alphas).any(|(&(_, p), &a)| (p.alpha - a).abs() > 1e-12)
@@ -88,33 +85,40 @@ pub fn adjust_dispersion_rates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::assign::{best_cluster, commit};
+    use crate::assign::{best_cluster, commit_scored};
     use crate::config::SolverConfig;
     use cloudalloc_model::{check_feasibility, evaluate};
     use cloudalloc_workload::{generate, ScenarioConfig};
 
-    fn greedy_system(
-        n: usize,
-        seed: u64,
-    ) -> (cloudalloc_model::CloudSystem, SolverConfig) {
+    fn greedy_system(n: usize, seed: u64) -> (cloudalloc_model::CloudSystem, SolverConfig) {
         (generate(&ScenarioConfig::small(n), seed), SolverConfig::default())
+    }
+
+    fn greedy_scored<'a>(
+        ctx: &SolverCtx<'_>,
+        system: &'a cloudalloc_model::CloudSystem,
+    ) -> ScoredAllocation<'a> {
+        let mut scored = ScoredAllocation::fresh(system);
+        for i in 0..system.num_clients() {
+            let cand = best_cluster(ctx, scored.alloc(), ClientId(i)).expect("fits");
+            commit_scored(&mut scored, ClientId(i), &cand);
+        }
+        scored
     }
 
     #[test]
     fn dispersion_pass_never_decreases_profit() {
         let (system, config) = greedy_system(10, 31);
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = Allocation::new(&system);
+        let mut scored = greedy_scored(&ctx, &system);
+        let before = scored.profit();
         for i in 0..system.num_clients() {
-            let cand = best_cluster(&ctx, &alloc, ClientId(i)).expect("fits");
-            commit(&ctx, &mut alloc, ClientId(i), &cand);
+            adjust_dispersion_rates(&ctx, &mut scored, ClientId(i));
         }
-        let before = evaluate(&system, &alloc).profit;
-        for i in 0..system.num_clients() {
-            adjust_dispersion_rates(&ctx, &mut alloc, ClientId(i));
-        }
-        let after = evaluate(&system, &alloc).profit;
+        let after = scored.profit();
         assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        let alloc = scored.into_allocation();
+        assert!((evaluate(&system, &alloc).profit - after).abs() <= 1e-6 * (1.0 + after.abs()));
         assert!(check_feasibility(&system, &alloc).is_empty());
         alloc.assert_consistent(&system);
     }
@@ -123,16 +127,12 @@ mod tests {
     fn single_branch_clients_are_untouched() {
         let (system, config) = greedy_system(4, 5);
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = Allocation::new(&system);
+        let mut scored = greedy_scored(&ctx, &system);
         for i in 0..system.num_clients() {
-            let cand = best_cluster(&ctx, &alloc, ClientId(i)).expect("fits");
-            commit(&ctx, &mut alloc, ClientId(i), &cand);
-        }
-        for i in 0..system.num_clients() {
-            let held = alloc.placements(ClientId(i)).to_vec();
+            let held = scored.alloc().placements(ClientId(i)).to_vec();
             if held.len() == 1 {
-                assert!(!adjust_dispersion_rates(&ctx, &mut alloc, ClientId(i)));
-                assert_eq!(alloc.placements(ClientId(i)), held.as_slice());
+                assert!(!adjust_dispersion_rates(&ctx, &mut scored, ClientId(i)));
+                assert_eq!(scored.alloc().placements(ClientId(i)), held.as_slice());
             }
         }
     }
@@ -141,14 +141,10 @@ mod tests {
     fn dispersion_totals_stay_at_one() {
         let (system, config) = greedy_system(12, 13);
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = Allocation::new(&system);
+        let mut scored = greedy_scored(&ctx, &system);
         for i in 0..system.num_clients() {
-            let cand = best_cluster(&ctx, &alloc, ClientId(i)).expect("fits");
-            commit(&ctx, &mut alloc, ClientId(i), &cand);
-        }
-        for i in 0..system.num_clients() {
-            adjust_dispersion_rates(&ctx, &mut alloc, ClientId(i));
-            assert!((alloc.total_alpha(ClientId(i)) - 1.0).abs() < 1e-8);
+            adjust_dispersion_rates(&ctx, &mut scored, ClientId(i));
+            assert!((scored.alloc().total_alpha(ClientId(i)) - 1.0).abs() < 1e-8);
         }
     }
 
@@ -158,10 +154,10 @@ mod tests {
         // nearly all traffic on the weaker one.
         let (system, config) = greedy_system(1, 17);
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = Allocation::new(&system);
-        let cand = best_cluster(&ctx, &alloc, ClientId(0)).expect("fits");
-        commit(&ctx, &mut alloc, ClientId(0), &cand);
-        let held = alloc.placements(ClientId(0)).to_vec();
+        let mut scored = ScoredAllocation::fresh(&system);
+        let cand = best_cluster(&ctx, scored.alloc(), ClientId(0)).expect("fits");
+        commit_scored(&mut scored, ClientId(0), &cand);
+        let held = scored.alloc().placements(ClientId(0)).to_vec();
         if held.len() >= 2 {
             // Skew: 0.9 on the first branch, the rest spread evenly.
             let n = held.len();
@@ -175,12 +171,12 @@ mod tests {
                     < (p.phi_p * class.cap_processing / c.exec_processing)
                         .min(p.phi_c * class.cap_communication / c.exec_communication)
                 {
-                    alloc.place(&system, ClientId(0), server, Placement { alpha, ..p });
+                    scored.place(ClientId(0), server, Placement { alpha, ..p });
                 }
             }
-            let before = evaluate(&system, &alloc).profit;
-            adjust_dispersion_rates(&ctx, &mut alloc, ClientId(0));
-            let after = evaluate(&system, &alloc).profit;
+            let before = scored.profit();
+            adjust_dispersion_rates(&ctx, &mut scored, ClientId(0));
+            let after = scored.profit();
             assert!(after >= before - 1e-9);
         }
     }

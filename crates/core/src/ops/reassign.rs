@@ -4,41 +4,38 @@
 //! clusters ... and to combine the clients to decrease the number of
 //! active servers").
 
-use cloudalloc_model::{evaluate, Allocation, ClientId};
+use cloudalloc_model::{ClientId, ScoredAllocation};
 
-use crate::assign::{best_cluster, commit};
+use crate::assign::{best_cluster, commit_scored};
 use crate::ctx::SolverCtx;
 
 /// One pass over `order`: each client is tentatively removed and
 /// re-inserted into its best cluster given the rest of the system; the
-/// move commits only when the total profit improves. Unassigned clients
-/// (left over from an infeasible greedy pass) get a placement attempt too.
+/// move commits only when the total profit improves, otherwise the
+/// journal rolls it back exactly. Unassigned clients (left over from an
+/// infeasible greedy pass) get a placement attempt too.
 ///
 /// Returns `true` when any client moved.
-pub fn reassign_clients(ctx: &SolverCtx<'_>, alloc: &mut Allocation, order: &[ClientId]) -> bool {
-    let system = ctx.system;
-    let mut current_profit = evaluate(system, alloc).profit;
+pub fn reassign_clients(
+    ctx: &SolverCtx<'_>,
+    scored: &mut ScoredAllocation<'_>,
+    order: &[ClientId],
+) -> bool {
+    let mut current_profit = scored.profit();
     let mut changed = false;
     for &client in order {
-        let old_cluster = alloc.cluster_of(client);
-        let held = alloc.clear_client(system, client);
-        if let Some(candidate) = best_cluster(ctx, alloc, client) {
-            commit(ctx, alloc, client, &candidate);
-            let new_profit = evaluate(system, alloc).profit;
+        let mark = scored.savepoint();
+        scored.clear_client(client);
+        if let Some(candidate) = best_cluster(ctx, scored.alloc(), client) {
+            commit_scored(scored, client, &candidate);
+            let new_profit = scored.profit();
             if new_profit > current_profit + 1e-9 {
                 current_profit = new_profit;
                 changed = true;
                 continue;
             }
         }
-        // Roll back: restore the exact previous placements.
-        alloc.clear_client(system, client);
-        if let Some(k) = old_cluster {
-            alloc.assign_cluster(client, k);
-            for &(server, placement) in &held {
-                alloc.place(system, client, server, placement);
-            }
-        }
+        scored.rollback_to(mark);
     }
     changed
 }
@@ -48,7 +45,7 @@ mod tests {
     use super::*;
     use crate::config::SolverConfig;
     use crate::initial::random_assignment;
-    use cloudalloc_model::check_feasibility;
+    use cloudalloc_model::{check_feasibility, evaluate};
     use cloudalloc_workload::{generate, ScenarioConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -59,12 +56,14 @@ mod tests {
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut alloc = random_assignment(&ctx, &mut rng);
-        let before = evaluate(&system, &alloc).profit;
+        let mut scored = ScoredAllocation::new(&system, random_assignment(&ctx, &mut rng));
+        let before = scored.profit();
         let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
-        reassign_clients(&ctx, &mut alloc, &order);
-        let after = evaluate(&system, &alloc).profit;
+        reassign_clients(&ctx, &mut scored, &order);
+        let after = scored.profit();
         assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        let alloc = scored.into_allocation();
+        assert!((evaluate(&system, &alloc).profit - after).abs() <= 1e-6 * (1.0 + after.abs()));
         // Reassignment keeps every placed client feasible; clients no
         // cluster can profitably host may stay unassigned.
         assert!(check_feasibility(&system, &alloc)
@@ -83,11 +82,11 @@ mod tests {
             let config = SolverConfig::default();
             let ctx = SolverCtx::new(&system, &config);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut alloc = random_assignment(&ctx, &mut rng);
-            let before = evaluate(&system, &alloc).profit;
+            let mut scored = ScoredAllocation::new(&system, random_assignment(&ctx, &mut rng));
+            let before = scored.profit();
             let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
-            reassign_clients(&ctx, &mut alloc, &order);
-            if evaluate(&system, &alloc).profit > before + 1e-9 {
+            reassign_clients(&ctx, &mut scored, &order);
+            if scored.profit() > before + 1e-9 {
                 improved = true;
                 break;
             }
@@ -102,9 +101,10 @@ mod tests {
         let ctx = SolverCtx::new(&system, &config);
         let mut rng = StdRng::seed_from_u64(5);
         let alloc_before = random_assignment(&ctx, &mut rng);
-        let mut alloc = alloc_before.clone();
+        let mut scored = ScoredAllocation::new(&system, alloc_before.clone());
         let order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
-        let changed = reassign_clients(&ctx, &mut alloc, &order);
+        let changed = reassign_clients(&ctx, &mut scored, &order);
+        let alloc = scored.into_allocation();
         if !changed {
             assert_eq!(alloc, alloc_before, "no-op pass must leave the allocation intact");
         } else {

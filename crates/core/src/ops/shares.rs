@@ -1,7 +1,7 @@
 //! `Adjust_ResourceShares(j)` — re-optimize the GPS shares of one server
 //! with the dispersion fixed (paper §V-B.1).
 
-use cloudalloc_model::{evaluate_client, Allocation, ClientId, Placement, ServerId};
+use cloudalloc_model::{ClientId, Placement, ScoredAllocation, ServerId};
 
 use crate::ctx::SolverCtx;
 use crate::kkt::{optimal_shares, ShareDemand};
@@ -9,16 +9,16 @@ use crate::kkt::{optimal_shares, ShareDemand};
 /// Re-optimizes the shares of `server` and applies the KKT solution
 /// *unconditionally* (no revenue check). Used by operators that must
 /// restore share feasibility after force-inserting a client at its
-/// stability floor; such callers hold their own rollback snapshot.
+/// stability floor; such callers hold their own rollback savepoint.
 ///
 /// Returns `false` when the resident mix cannot be stably re-balanced
 /// within the budget, leaving the allocation untouched.
 pub fn rebalance_server_shares(
     ctx: &SolverCtx<'_>,
-    alloc: &mut Allocation,
+    scored: &mut ScoredAllocation<'_>,
     server: ServerId,
 ) -> bool {
-    adjust_shares_inner(ctx, alloc, server, false)
+    adjust_shares_inner(ctx, scored, server, false)
 }
 
 /// Re-optimizes the processing and communication shares of `server` among
@@ -29,20 +29,20 @@ pub fn rebalance_server_shares(
 /// Returns `true` when the allocation changed.
 pub fn adjust_resource_shares(
     ctx: &SolverCtx<'_>,
-    alloc: &mut Allocation,
+    scored: &mut ScoredAllocation<'_>,
     server: ServerId,
 ) -> bool {
-    adjust_shares_inner(ctx, alloc, server, true)
+    adjust_shares_inner(ctx, scored, server, true)
 }
 
 fn adjust_shares_inner(
     ctx: &SolverCtx<'_>,
-    alloc: &mut Allocation,
+    scored: &mut ScoredAllocation<'_>,
     server: ServerId,
     require_improvement: bool,
 ) -> bool {
     let system = ctx.system;
-    let residents: Vec<ClientId> = alloc.residents(server).to_vec();
+    let residents: Vec<ClientId> = scored.alloc().residents(server).to_vec();
     if residents.is_empty() {
         return false;
     }
@@ -50,16 +50,17 @@ fn adjust_shares_inner(
     let bg = system.background(server);
 
     // Weights use the utility slope at the client's *current* response
-    // time — the linearization point of the paper's Eq. (17).
+    // time — the linearization point of the paper's Eq. (17). Outcomes
+    // come from the incremental cache.
     let mut demands_p = Vec::with_capacity(residents.len());
     let mut demands_c = Vec::with_capacity(residents.len());
     let mut old_revenue = 0.0;
     let mut old_placements = Vec::with_capacity(residents.len());
     for &client in &residents {
-        let outcome = evaluate_client(system, alloc, client);
+        let outcome = scored.outcome(client);
         old_revenue += outcome.revenue;
         let c = system.client(client);
-        let p = alloc.placement(client, server).expect("resident must hold a placement");
+        let p = scored.alloc().placement(client, server).expect("resident must hold a placement");
         old_placements.push(p);
         let weight = ctx.aspiration_weight(client, outcome.response_time) * p.alpha.max(1e-9);
         demands_p.push(ShareDemand {
@@ -86,24 +87,20 @@ fn adjust_shares_inner(
 
     // Apply tentatively, then verify the revenue actually improved — the
     // KKT step optimizes the *linearized* utility, which can differ from
-    // the true one for step/exponential SLAs.
+    // the true one for step/exponential SLAs. Only this server's residents
+    // are rescored; everything else stays cached.
+    let mark = scored.savepoint();
     for (idx, &client) in residents.iter().enumerate() {
         let p = old_placements[idx];
-        alloc.place(
-            system,
+        scored.place(
             client,
             server,
             Placement { alpha: p.alpha, phi_p: shares_p[idx], phi_c: shares_c[idx] },
         );
     }
-    let new_revenue: f64 = residents
-        .iter()
-        .map(|&client| evaluate_client(system, alloc, client).revenue)
-        .sum();
+    let new_revenue: f64 = residents.iter().map(|&client| scored.outcome(client).revenue).sum();
     if require_improvement && new_revenue + 1e-12 < old_revenue {
-        for (idx, &client) in residents.iter().enumerate() {
-            alloc.place(system, client, server, old_placements[idx]);
-        }
+        scored.rollback_to(mark);
         return false;
     }
     new_revenue > old_revenue + 1e-12
@@ -117,16 +114,14 @@ mod tests {
     use super::*;
     use crate::assign::{best_cluster, commit};
     use crate::config::SolverConfig;
-    use cloudalloc_model::{check_feasibility, evaluate};
+    use cloudalloc_model::{check_feasibility, evaluate, Allocation};
     use cloudalloc_workload::{generate, ScenarioConfig};
 
     fn seeded(n: usize, seed: u64) -> (cloudalloc_model::CloudSystem, SolverConfig) {
         (generate(&ScenarioConfig::small(n), seed), SolverConfig::default())
     }
 
-    fn greedy_alloc(
-        ctx: &SolverCtx<'_>,
-    ) -> Allocation {
+    fn greedy_alloc(ctx: &SolverCtx<'_>) -> Allocation {
         let mut alloc = Allocation::new(ctx.system);
         for i in 0..ctx.system.num_clients() {
             // Overloaded fixtures may not fit every client; skip those.
@@ -141,14 +136,16 @@ mod tests {
     fn adjusting_never_decreases_profit() {
         let (system, config) = seeded(10, 21);
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = greedy_alloc(&ctx);
-        let before = evaluate(&system, &alloc).profit;
-        let servers: Vec<ServerId> = alloc.active_servers().collect();
+        let mut scored = ScoredAllocation::new(&system, greedy_alloc(&ctx));
+        let before = scored.profit();
+        let servers: Vec<ServerId> = scored.alloc().active_servers().collect();
         for server in servers {
-            adjust_resource_shares(&ctx, &mut alloc, server);
+            adjust_resource_shares(&ctx, &mut scored, server);
         }
-        let after = evaluate(&system, &alloc).profit;
+        let after = scored.profit();
         assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        let alloc = scored.into_allocation();
+        assert!((evaluate(&system, &alloc).profit - after).abs() <= 1e-6 * (1.0 + after.abs()));
         // Best-effort greedy may leave unplaceable clients unassigned;
         // everything else must be feasible.
         assert!(check_feasibility(&system, &alloc)
@@ -166,13 +163,13 @@ mod tests {
         for seed in 0..5 {
             let (system, config) = seeded(12, 100 + seed);
             let ctx = SolverCtx::new(&system, &config);
-            let mut alloc = greedy_alloc(&ctx);
-            let before = evaluate(&system, &alloc).profit;
-            let servers: Vec<ServerId> = alloc.active_servers().collect();
+            let mut scored = ScoredAllocation::new(&system, greedy_alloc(&ctx));
+            let before = scored.profit();
+            let servers: Vec<ServerId> = scored.alloc().active_servers().collect();
             for server in servers {
-                adjust_resource_shares(&ctx, &mut alloc, server);
+                adjust_resource_shares(&ctx, &mut scored, server);
             }
-            if evaluate(&system, &alloc).profit > before + 1e-9 {
+            if scored.profit() > before + 1e-9 {
                 improved = true;
                 break;
             }
@@ -184,10 +181,10 @@ mod tests {
     fn empty_server_is_a_noop() {
         let (system, config) = seeded(2, 3);
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = Allocation::new(&system);
+        let mut scored = ScoredAllocation::fresh(&system);
         // No residents anywhere yet.
         let any_changed = (0..system.num_servers())
-            .any(|j| adjust_resource_shares(&ctx, &mut alloc, ServerId(j)));
+            .any(|j| adjust_resource_shares(&ctx, &mut scored, ServerId(j)));
         assert!(!any_changed);
     }
 
@@ -195,11 +192,11 @@ mod tests {
     fn shares_fill_the_budget_after_adjustment() {
         let (system, config) = seeded(8, 9);
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = greedy_alloc(&ctx);
-        let servers: Vec<ServerId> = alloc.active_servers().collect();
+        let mut scored = ScoredAllocation::new(&system, greedy_alloc(&ctx));
+        let servers: Vec<ServerId> = scored.alloc().active_servers().collect();
         for server in servers {
-            if adjust_resource_shares(&ctx, &mut alloc, server) {
-                let load = alloc.load(server);
+            if adjust_resource_shares(&ctx, &mut scored, server) {
+                let load = scored.alloc().load(server);
                 // The KKT solution exhausts the share budget.
                 assert!(load.phi_p <= 1.0 + 1e-9);
                 assert!((load.phi_p - 1.0).abs() < 1e-6 || load.phi_p < 1.0);

@@ -12,16 +12,16 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use cloudalloc_model::{evaluate, Allocation, ClientId};
+use cloudalloc_model::{ClientId, ScoredAllocation};
 
-use crate::assign::{assign_distribute, commit};
+use crate::assign::{assign_distribute, commit_scored};
 use crate::ctx::SolverCtx;
 
 /// Attempts up to `budget` random cross-cluster swaps; returns `true`
 /// when any swap committed.
 pub fn swap_clients(
     ctx: &SolverCtx<'_>,
-    alloc: &mut Allocation,
+    scored: &mut ScoredAllocation<'_>,
     budget: usize,
     rng: &mut StdRng,
 ) -> bool {
@@ -31,13 +31,13 @@ pub fn swap_clients(
     }
     let assigned: Vec<ClientId> = (0..system.num_clients())
         .map(ClientId)
-        .filter(|&c| alloc.cluster_of(c).is_some())
+        .filter(|&c| scored.alloc().cluster_of(c).is_some())
         .collect();
     if assigned.len() < 2 {
         return false;
     }
 
-    let mut current_profit = evaluate(system, alloc).profit;
+    let mut current_profit = scored.profit();
     let mut changed = false;
     for _ in 0..budget {
         // Draw a cross-cluster pair (retry a few times on same-cluster
@@ -46,18 +46,18 @@ pub fn swap_clients(
         for _ in 0..8 {
             let a = *assigned.choose(rng).expect("non-empty");
             let b = *assigned.choose(rng).expect("non-empty");
-            if a != b && alloc.cluster_of(a) != alloc.cluster_of(b) {
+            if a != b && scored.alloc().cluster_of(a) != scored.alloc().cluster_of(b) {
                 pair = Some((a, b));
                 break;
             }
         }
         let Some((a, b)) = pair else { continue };
-        let cluster_a = alloc.cluster_of(a).expect("assigned");
-        let cluster_b = alloc.cluster_of(b).expect("assigned");
+        let cluster_a = scored.alloc().cluster_of(a).expect("assigned");
+        let cluster_b = scored.alloc().cluster_of(b).expect("assigned");
 
-        let snapshot = alloc.clone();
-        alloc.clear_client(system, a);
-        alloc.clear_client(system, b);
+        let mark = scored.savepoint();
+        scored.clear_client(a);
+        scored.clear_client(b);
         // Insert in random order — both orders are legitimate greedy
         // sequences and explore slightly different placements.
         let (first, first_dst, second, second_dst) = if rng.gen::<bool>() {
@@ -65,24 +65,24 @@ pub fn swap_clients(
         } else {
             (b, cluster_a, a, cluster_b)
         };
-        let ok = [(first, first_dst), (second, second_dst)].into_iter().all(
-            |(client, cluster)| match assign_distribute(ctx, alloc, client, cluster) {
+        let ok = [(first, first_dst), (second, second_dst)].into_iter().all(|(client, cluster)| {
+            match assign_distribute(ctx, scored.alloc(), client, cluster) {
                 Some(cand) => {
-                    commit(ctx, alloc, client, &cand);
+                    commit_scored(scored, client, &cand);
                     true
                 }
                 None => false,
-            },
-        );
+            }
+        });
         if ok {
-            let new_profit = evaluate(system, alloc).profit;
+            let new_profit = scored.profit();
             if new_profit > current_profit + 1e-9 {
                 current_profit = new_profit;
                 changed = true;
                 continue;
             }
         }
-        *alloc = snapshot;
+        scored.rollback_to(mark);
     }
     changed
 }
@@ -92,7 +92,7 @@ mod tests {
     use super::*;
     use crate::config::SolverConfig;
     use crate::initial::random_assignment;
-    use cloudalloc_model::check_feasibility;
+    use cloudalloc_model::{check_feasibility, evaluate};
     use cloudalloc_workload::{generate, ScenarioConfig};
     use rand::SeedableRng;
 
@@ -102,11 +102,13 @@ mod tests {
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut alloc = random_assignment(&ctx, &mut rng);
-        let before = evaluate(&system, &alloc).profit;
-        swap_clients(&ctx, &mut alloc, 30, &mut rng);
-        let after = evaluate(&system, &alloc).profit;
+        let mut scored = ScoredAllocation::new(&system, random_assignment(&ctx, &mut rng));
+        let before = scored.profit();
+        swap_clients(&ctx, &mut scored, 30, &mut rng);
+        let after = scored.profit();
         assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        let alloc = scored.into_allocation();
+        assert!((evaluate(&system, &alloc).profit - after).abs() <= 1e-6 * (1.0 + after.abs()));
         assert!(check_feasibility(&system, &alloc)
             .iter()
             .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })));
@@ -121,8 +123,8 @@ mod tests {
             let config = SolverConfig::default();
             let ctx = SolverCtx::new(&system, &config);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut alloc = random_assignment(&ctx, &mut rng);
-            if swap_clients(&ctx, &mut alloc, 40, &mut rng) {
+            let mut scored = ScoredAllocation::new(&system, random_assignment(&ctx, &mut rng));
+            if swap_clients(&ctx, &mut scored, 40, &mut rng) {
                 improved = true;
                 break;
             }
@@ -138,10 +140,11 @@ mod tests {
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut alloc = random_assignment(&ctx, &mut rng);
+        let alloc = random_assignment(&ctx, &mut rng);
         let before = alloc.clone();
-        assert!(!swap_clients(&ctx, &mut alloc, 10, &mut rng));
-        assert_eq!(alloc, before);
+        let mut scored = ScoredAllocation::new(&system, alloc);
+        assert!(!swap_clients(&ctx, &mut scored, 10, &mut rng));
+        assert_eq!(scored.into_allocation(), before);
     }
 
     #[test]
@@ -150,10 +153,11 @@ mod tests {
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut alloc = random_assignment(&ctx, &mut rng);
+        let alloc = random_assignment(&ctx, &mut rng);
         let before = alloc.clone();
+        let mut scored = ScoredAllocation::new(&system, alloc);
         // Zero budget: must be a perfect no-op.
-        assert!(!swap_clients(&ctx, &mut alloc, 0, &mut rng));
-        assert_eq!(alloc, before);
+        assert!(!swap_clients(&ctx, &mut scored, 0, &mut rng));
+        assert_eq!(scored.into_allocation(), before);
     }
 }

@@ -6,31 +6,30 @@
 //! re-disperses each resident over its remaining branches (or fully
 //! re-assigns single-branch residents inside the cluster, excluding the
 //! dying server); the whole move commits only when the evaluated profit
-//! improves, otherwise the candidate is skipped — exactly the paper's
+//! improves, otherwise the candidate is rolled back — exactly the paper's
 //! "otherwise the selected server is removed from the candidate set".
 
-use cloudalloc_model::{
-    evaluate, evaluate_client, Allocation, ClientId, ClusterId, Placement, ServerId,
-};
+use cloudalloc_model::{ClientId, ClusterId, Placement, ScoredAllocation, ServerId};
 
-use crate::assign::{assign_distribute_excluding, commit};
+use crate::assign::{assign_distribute_excluding, commit_scored};
 use crate::ctx::SolverCtx;
 use crate::dispersion::{optimal_dispersion, DispersionBranch};
 
 /// Approximated utility of a server: revenue attributable to the traffic
 /// it carries minus its operation cost. Low values make good shutdown
 /// candidates.
-fn server_value(ctx: &SolverCtx<'_>, alloc: &Allocation, server: ServerId) -> f64 {
+fn server_value(ctx: &SolverCtx<'_>, scored: &mut ScoredAllocation<'_>, server: ServerId) -> f64 {
     let system = ctx.system;
+    let residents = scored.alloc().residents(server).to_vec();
     let mut revenue_share = 0.0;
-    for &client in alloc.residents(server) {
-        let outcome = evaluate_client(system, alloc, client);
-        if let Some(p) = alloc.placement(client, server) {
+    for client in residents {
+        let outcome = scored.outcome(client);
+        if let Some(p) = scored.alloc().placement(client, server) {
             revenue_share += outcome.revenue * p.alpha;
         }
     }
     let class = system.class_of(server);
-    let rho = alloc.load(server).work_processing / class.cap_processing;
+    let rho = scored.alloc().load(server).work_processing / class.cap_processing;
     revenue_share - class.operation_cost(rho)
 }
 
@@ -40,9 +39,11 @@ fn server_value(ctx: &SolverCtx<'_>, alloc: &Allocation, server: ServerId) -> f6
 /// redistributes the server's whole budget among all residents. Used when
 /// no *free* capacity exists anywhere (active servers run at `Σφ = 1`),
 /// which is exactly the situation consolidation must break through.
+/// Rolls itself back and returns `false` when no server can absorb the
+/// stream.
 fn squeeze_insert(
     ctx: &SolverCtx<'_>,
-    alloc: &mut Allocation,
+    scored: &mut ScoredAllocation<'_>,
     cluster: ClusterId,
     client: ClientId,
     exclude: ServerId,
@@ -54,10 +55,10 @@ fn squeeze_insert(
     // the newcomer's full stream.
     let mut best: Option<(f64, ServerId)> = None;
     for server in system.servers_in(cluster) {
-        if server.id == exclude || !alloc.is_on(server.id) {
+        if server.id == exclude || !scored.alloc().is_on(server.id) {
             continue;
         }
-        let load = alloc.load(server.id);
+        let load = scored.alloc().load(server.id);
         if load.storage + c.storage > server.class.cap_storage {
             continue;
         }
@@ -68,11 +69,11 @@ fn squeeze_insert(
         // must leave room under both budgets.
         let mut crit_p = sigma_new_p;
         let mut crit_c = sigma_new_c;
-        for &resident in alloc.residents(server.id) {
+        for &resident in scored.alloc().residents(server.id) {
             let rc = system.client(resident);
-            let p = alloc.placement(resident, server.id).expect("resident");
-            crit_p += p.alpha * rc.rate_predicted * rc.exec_processing
-                / server.class.cap_processing;
+            let p = scored.alloc().placement(resident, server.id).expect("resident");
+            crit_p +=
+                p.alpha * rc.rate_predicted * rc.exec_processing / server.class.cap_processing;
             crit_c += p.alpha * rc.rate_predicted * rc.exec_communication
                 / server.class.cap_communication;
         }
@@ -88,28 +89,26 @@ fn squeeze_insert(
     // Enter at the stability floor, then let the KKT pass re-balance the
     // whole server.
     let class = system.class_of(target);
-    let sigma_p = (c.rate_predicted * c.exec_processing / class.cap_processing)
-        * (1.0 + margin)
-        + 1e-9;
-    let sigma_c = (c.rate_predicted * c.exec_communication / class.cap_communication)
-        * (1.0 + margin)
-        + 1e-9;
-    alloc.assign_cluster(client, cluster);
-    alloc.place(
-        system,
+    let sigma_p =
+        (c.rate_predicted * c.exec_processing / class.cap_processing) * (1.0 + margin) + 1e-9;
+    let sigma_c =
+        (c.rate_predicted * c.exec_communication / class.cap_communication) * (1.0 + margin) + 1e-9;
+    let mark = scored.savepoint();
+    scored.assign_cluster(client, cluster);
+    scored.place(
         client,
         target,
         Placement {
             alpha: 1.0,
-            phi_p: sigma_p.max(cloudalloc_model::MIN_SHARE).min(1.0),
-            phi_c: sigma_c.max(cloudalloc_model::MIN_SHARE).min(1.0),
+            phi_p: sigma_p.clamp(cloudalloc_model::MIN_SHARE, 1.0),
+            phi_c: sigma_c.clamp(cloudalloc_model::MIN_SHARE, 1.0),
         },
     );
     // Unconditional re-balance: the floor insert transiently overflows the
     // share budget, and the KKT pass restores Σφ = budget. If the mix is
     // not stably re-balanceable after all, undo the insert.
-    if !crate::ops::rebalance_server_shares(ctx, alloc, target) {
-        alloc.remove(system, client, target);
+    if !crate::ops::rebalance_server_shares(ctx, scored, target) {
+        scored.rollback_to(mark);
         return false;
     }
     true
@@ -120,71 +119,74 @@ fn squeeze_insert(
 /// best re-assignment would *open* a new server (which defeats the
 /// shutdown), it is compared against squeezing the client into an active
 /// server's re-balanced share budget, and the more profitable option
-/// wins. Returns `false` when the client cannot be re-homed at all.
+/// wins. Both options are tried tentatively against the incremental score
+/// — no full evaluations, no allocation clones. Returns `false` when the
+/// client cannot be re-homed at all.
 fn rehome_client(
     ctx: &SolverCtx<'_>,
-    alloc: &mut Allocation,
+    scored: &mut ScoredAllocation<'_>,
     cluster: ClusterId,
     client: ClientId,
     server: ServerId,
 ) -> bool {
-    let system = ctx.system;
-    let candidate = assign_distribute_excluding(ctx, alloc, client, cluster, Some(server));
+    let candidate = assign_distribute_excluding(ctx, scored.alloc(), client, cluster, Some(server));
     if let Some(cand) = &candidate {
-        let opens_new = cand.placements.iter().any(|&(s, _)| !alloc.is_on(s));
+        let opens_new = cand.placements.iter().any(|&(s, _)| !scored.alloc().is_on(s));
         if !opens_new {
-            commit(ctx, alloc, client, cand);
+            commit_scored(scored, client, cand);
             return true;
         }
     }
     // The re-assignment would power a fresh machine (or failed): try the
-    // squeeze and keep whichever outcome is more profitable.
-    let mut squeezed = alloc.clone();
-    let squeeze_ok = squeeze_insert(ctx, &mut squeezed, cluster, client, server);
-    match (candidate, squeeze_ok) {
-        (Some(cand), true) => {
-            let mut assigned = alloc.clone();
-            commit(ctx, &mut assigned, client, &cand);
-            if evaluate(system, &squeezed).profit >= evaluate(system, &assigned).profit {
-                *alloc = squeezed;
-            } else {
-                *alloc = assigned;
-            }
-            true
+    // squeeze and keep whichever outcome scores higher.
+    let Some(cand) = candidate else {
+        return squeeze_insert(ctx, scored, cluster, client, server);
+    };
+    let mark = scored.savepoint();
+    let squeeze_profit = if squeeze_insert(ctx, scored, cluster, client, server) {
+        let p = scored.profit();
+        scored.rollback_to(mark);
+        Some(p)
+    } else {
+        None
+    };
+    commit_scored(scored, client, &cand);
+    if let Some(sq) = squeeze_profit {
+        // Ties favour the squeeze: it keeps the machine count down.
+        if sq >= scored.profit() {
+            scored.rollback_to(mark);
+            let reapplied = squeeze_insert(ctx, scored, cluster, client, server);
+            debug_assert!(reapplied, "squeeze must re-apply deterministically");
         }
-        (Some(cand), false) => {
-            commit(ctx, alloc, client, &cand);
-            true
-        }
-        (None, true) => {
-            *alloc = squeezed;
-            true
-        }
-        (None, false) => false,
     }
+    true
 }
 
 /// Moves every resident of `server` onto other machines; returns `false`
-/// (leaving `alloc` partially modified — callers hold a snapshot) when
+/// (leaving the score partially modified — callers hold a savepoint) when
 /// some resident cannot be absorbed.
-fn evacuate(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId, server: ServerId) -> bool {
+fn evacuate(
+    ctx: &SolverCtx<'_>,
+    scored: &mut ScoredAllocation<'_>,
+    cluster: ClusterId,
+    server: ServerId,
+) -> bool {
     let system = ctx.system;
-    let residents: Vec<ClientId> = alloc.residents(server).to_vec();
+    let residents: Vec<ClientId> = scored.alloc().residents(server).to_vec();
     for client in residents {
         let c = system.client(client);
-        alloc.remove(system, client, server);
-        let held = alloc.placements(client).to_vec();
+        scored.remove(client, server);
+        let held = scored.alloc().placements(client).to_vec();
         if held.is_empty() {
             // Sole-branch resident: full re-homing inside the cluster,
             // never touching the dying server.
-            alloc.clear_client(system, client);
-            if !rehome_client(ctx, alloc, cluster, client, server) {
+            scored.clear_client(client);
+            if !rehome_client(ctx, scored, cluster, client, server) {
                 return false;
             }
         } else {
             // Re-disperse the full stream over the remaining branches.
-            let weight =
-                ctx.aspiration_weight(client, evaluate_client(system, alloc, client).response_time);
+            let weight = ctx.aspiration_weight(client, scored.outcome(client).response_time);
             let branches: Vec<DispersionBranch> = held
                 .iter()
                 .map(|&(sid, p)| {
@@ -207,52 +209,55 @@ fn evacuate(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId, ser
             ) else {
                 // Remaining branches cannot absorb the stream: fall back
                 // to a full re-homing.
-                alloc.clear_client(system, client);
-                if !rehome_client(ctx, alloc, cluster, client, server) {
+                scored.clear_client(client);
+                if !rehome_client(ctx, scored, cluster, client, server) {
                     return false;
                 }
                 continue;
             };
             for (&(sid, p), &a) in held.iter().zip(&alphas) {
                 if a < 1e-9 {
-                    alloc.remove(system, client, sid);
+                    scored.remove(client, sid);
                 } else {
-                    alloc.place(system, client, sid, Placement { alpha: a, ..p });
+                    scored.place(client, sid, Placement { alpha: a, ..p });
                 }
             }
         }
     }
-    debug_assert!(!alloc.is_on(server), "evacuated server must be off");
+    debug_assert!(!scored.alloc().is_on(server), "evacuated server must be off");
     true
 }
 
 /// Runs the operator over `cluster`. Returns `true` when at least one
 /// server was profitably powered down.
-pub fn turn_off_servers(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId) -> bool {
+pub fn turn_off_servers(
+    ctx: &SolverCtx<'_>,
+    scored: &mut ScoredAllocation<'_>,
+    cluster: ClusterId,
+) -> bool {
     let system = ctx.system;
-    let mut candidates: Vec<(f64, ServerId)> = system
-        .servers_in(cluster)
-        .filter(|s| alloc.is_on(s.id))
-        .map(|s| (server_value(ctx, alloc, s.id), s.id))
-        .collect();
+    let servers: Vec<ServerId> =
+        system.servers_in(cluster).filter(|s| scored.alloc().is_on(s.id)).map(|s| s.id).collect();
+    let mut candidates: Vec<(f64, ServerId)> =
+        servers.into_iter().map(|id| (server_value(ctx, scored, id), id)).collect();
     candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut changed = false;
-    let mut current_profit = evaluate(system, alloc).profit;
+    let mut current_profit = scored.profit();
     for (_, server) in candidates {
-        if !alloc.is_on(server) {
+        if !scored.alloc().is_on(server) {
             continue; // may have emptied while evacuating an earlier one
         }
-        let snapshot = alloc.clone();
-        if evacuate(ctx, alloc, cluster, server) {
-            let new_profit = evaluate(system, alloc).profit;
+        let mark = scored.savepoint();
+        if evacuate(ctx, scored, cluster, server) {
+            let new_profit = scored.profit();
             if new_profit > current_profit + 1e-9 {
                 current_profit = new_profit;
                 changed = true;
                 continue;
             }
         }
-        *alloc = snapshot;
+        scored.rollback_to(mark);
     }
     changed
 }
@@ -262,21 +267,21 @@ mod tests {
     use super::*;
     use crate::assign::best_cluster;
     use crate::config::SolverConfig;
-    use cloudalloc_model::check_feasibility;
+    use cloudalloc_model::{check_feasibility, evaluate};
     use cloudalloc_workload::{generate, Range, ScenarioConfig};
 
-    fn greedy(
-        system: &cloudalloc_model::CloudSystem,
+    fn greedy<'a>(
+        system: &'a cloudalloc_model::CloudSystem,
         config: &SolverConfig,
-    ) -> Allocation {
+    ) -> ScoredAllocation<'a> {
         let ctx = SolverCtx::new(system, config);
-        let mut alloc = Allocation::new(system);
+        let mut scored = ScoredAllocation::fresh(system);
         for i in 0..system.num_clients() {
-            if let Some(cand) = best_cluster(&ctx, &alloc, ClientId(i)) {
-                commit(&ctx, &mut alloc, ClientId(i), &cand);
+            if let Some(cand) = best_cluster(&ctx, scored.alloc(), ClientId(i)) {
+                commit_scored(&mut scored, ClientId(i), &cand);
             }
         }
-        alloc
+        scored
     }
 
     #[test]
@@ -284,13 +289,15 @@ mod tests {
         let system = generate(&ScenarioConfig::small(10), 51);
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = greedy(&system, &config);
-        let before = evaluate(&system, &alloc).profit;
+        let mut scored = greedy(&system, &config);
+        let before = scored.profit();
         for k in 0..system.num_clusters() {
-            turn_off_servers(&ctx, &mut alloc, ClusterId(k));
+            turn_off_servers(&ctx, &mut scored, ClusterId(k));
         }
-        let after = evaluate(&system, &alloc).profit;
+        let after = scored.profit();
         assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        let alloc = scored.into_allocation();
+        assert!((evaluate(&system, &alloc).profit - after).abs() <= 1e-6 * (1.0 + after.abs()));
         assert!(check_feasibility(&system, &alloc).is_empty());
         alloc.assert_consistent(&system);
     }
@@ -307,12 +314,12 @@ mod tests {
             let system = generate(&cfg, 300 + seed);
             let config = SolverConfig::default();
             let ctx = SolverCtx::new(&system, &config);
-            let mut alloc = greedy(&system, &config);
-            let before = alloc.num_active_servers();
+            let mut scored = greedy(&system, &config);
+            let before = scored.alloc().num_active_servers();
             for k in 0..system.num_clusters() {
-                turn_off_servers(&ctx, &mut alloc, ClusterId(k));
+                turn_off_servers(&ctx, &mut scored, ClusterId(k));
             }
-            if alloc.num_active_servers() < before {
+            if scored.alloc().num_active_servers() < before {
                 any_shutdown = true;
                 break;
             }
@@ -325,13 +332,13 @@ mod tests {
         let system = generate(&ScenarioConfig::small(9), 53);
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = greedy(&system, &config);
+        let mut scored = greedy(&system, &config);
         for k in 0..system.num_clusters() {
-            turn_off_servers(&ctx, &mut alloc, ClusterId(k));
+            turn_off_servers(&ctx, &mut scored, ClusterId(k));
         }
         for i in 0..system.num_clients() {
-            if alloc.cluster_of(ClientId(i)).is_some() {
-                assert!((alloc.total_alpha(ClientId(i)) - 1.0).abs() < 1e-8, "client {i}");
+            if scored.alloc().cluster_of(ClientId(i)).is_some() {
+                assert!((scored.alloc().total_alpha(ClientId(i)) - 1.0).abs() < 1e-8, "client {i}");
             }
         }
     }
@@ -341,7 +348,7 @@ mod tests {
         let system = generate(&ScenarioConfig::small(3), 54);
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = Allocation::new(&system);
-        assert!(!turn_off_servers(&ctx, &mut alloc, ClusterId(0)));
+        let mut scored = ScoredAllocation::fresh(&system);
+        assert!(!turn_off_servers(&ctx, &mut scored, ClusterId(0)));
     }
 }

@@ -10,7 +10,8 @@
 //! operator is monotone and needs no rollback.
 
 use cloudalloc_model::{
-    evaluate_client, Allocation, ClientId, ClusterId, Placement, ServerId, MIN_SHARE,
+    Allocation, ClientId, ClientOutcome, ClusterId, Placement, ScoredAllocation, ServerId,
+    MIN_SHARE,
 };
 
 use crate::ctx::SolverCtx;
@@ -27,12 +28,13 @@ struct Move {
 }
 
 /// Evaluates the exact profit delta of offloading `beta` of `client`'s
-/// traffic onto `target` (currently holding `free_p/free_c` share budget),
-/// charging `activation` if the server is still off.
+/// traffic onto `target`, charging `activation` if the server is still
+/// off. `old` is the client's current (cached) outcome.
 fn eval_move(
     ctx: &SolverCtx<'_>,
     alloc: &Allocation,
     client: ClientId,
+    old: ClientOutcome,
     target: ServerId,
     beta: f64,
     activation: f64,
@@ -54,7 +56,7 @@ fn eval_move(
     if sigma_p.max(MIN_SHARE) > free_p || sigma_c.max(MIN_SHARE) > free_c {
         return None;
     }
-    let w = ctx.aspiration_weight(client, evaluate_client(system, alloc, client).response_time);
+    let w = ctx.aspiration_weight(client, old.response_time);
     let psi = ctx.shadow_price;
     let phi_p = (a / m_p + (w * beta / (psi * m_p)).sqrt()).clamp(sigma_p.max(MIN_SHARE), free_p);
     let phi_c = (a / m_c + (w * beta / (psi * m_c)).sqrt()).clamp(sigma_c.max(MIN_SHARE), free_c);
@@ -87,58 +89,57 @@ fn eval_move(
     }
     response += beta * t0;
 
-    let old = evaluate_client(system, alloc, client);
     let new_revenue = c.rate_agreed * system.utility_of(client).value(response);
-    let p1_added =
-        class.cost_per_utilization * a * c.exec_processing / class.cap_processing;
+    let p1_added = class.cost_per_utilization * a * c.exec_processing / class.cap_processing;
     let delta = (new_revenue - old.revenue) - (p1_added - p1_saved) - activation;
     Some(Move { client, beta, phi_p, phi_c, delta })
 }
 
 /// Applies a move: scales the client's existing placements by `1 − β` and
 /// adds the new branch on `target`.
-fn apply_move(ctx: &SolverCtx<'_>, alloc: &mut Allocation, target: ServerId, mv: Move) {
-    let system = ctx.system;
-    let held = alloc.placements(mv.client).to_vec();
+fn apply_move(scored: &mut ScoredAllocation<'_>, target: ServerId, mv: Move) {
+    let held = scored.alloc().placements(mv.client).to_vec();
     for (server, p) in held {
-        alloc.place(
-            system,
-            mv.client,
-            server,
-            Placement { alpha: p.alpha * (1.0 - mv.beta), ..p },
-        );
+        scored.place(mv.client, server, Placement { alpha: p.alpha * (1.0 - mv.beta), ..p });
     }
-    alloc.place(
-        system,
-        mv.client,
-        target,
-        Placement { alpha: mv.beta, phi_p: mv.phi_p, phi_c: mv.phi_c },
-    );
+    scored.place(mv.client, target, Placement { alpha: mv.beta, phi_p: mv.phi_p, phi_c: mv.phi_c });
 }
 
 /// Tries to profitably fill one idle server; returns `true` when at least
 /// one offload move was committed (the server is then active).
-fn try_fill(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId, target: ServerId) -> bool {
+fn try_fill(
+    ctx: &SolverCtx<'_>,
+    scored: &mut ScoredAllocation<'_>,
+    cluster: ClusterId,
+    target: ServerId,
+) -> bool {
     let system = ctx.system;
     let granularity = ctx.config.alpha_granularity;
     let mut changed = false;
     // Bounded greedy: each iteration commits the single best positive
     // move; capacity strictly shrinks, so few iterations suffice.
     for _ in 0..32 {
-        let activation =
-            if alloc.load(target).is_on() { 0.0 } else { system.class_of(target).cost_fixed };
+        let activation = if scored.alloc().load(target).is_on() {
+            0.0
+        } else {
+            system.class_of(target).cost_fixed
+        };
         let mut best: Option<Move> = None;
         for i in 0..system.num_clients() {
             let client = ClientId(i);
-            if alloc.cluster_of(client) != Some(cluster)
-                || alloc.placements(client).is_empty()
-                || alloc.placement(client, target).is_some()
+            if scored.alloc().cluster_of(client) != Some(cluster)
+                || scored.alloc().placements(client).is_empty()
+                || scored.alloc().placement(client, target).is_some()
             {
                 continue;
             }
+            // One cached outcome per client serves every grid level.
+            let old = scored.outcome(client);
             for g in 1..=granularity {
                 let beta = g as f64 / granularity as f64;
-                if let Some(mv) = eval_move(ctx, alloc, client, target, beta, activation) {
+                if let Some(mv) =
+                    eval_move(ctx, scored.alloc(), client, old, target, beta, activation)
+                {
                     if best.as_ref().is_none_or(|b| mv.delta > b.delta) {
                         best = Some(mv);
                     }
@@ -147,7 +148,7 @@ fn try_fill(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId, tar
         }
         match best {
             Some(mv) if mv.delta > 1e-9 => {
-                apply_move(ctx, alloc, target, mv);
+                apply_move(scored, target, mv);
                 changed = true;
             }
             _ => break,
@@ -160,7 +161,11 @@ fn try_fill(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId, tar
 /// unit, attempt to profitably activate one machine of that class.
 ///
 /// Returns `true` when the allocation changed.
-pub fn turn_on_servers(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: ClusterId) -> bool {
+pub fn turn_on_servers(
+    ctx: &SolverCtx<'_>,
+    scored: &mut ScoredAllocation<'_>,
+    cluster: ClusterId,
+) -> bool {
     let system = ctx.system;
     // One idle representative per class: idle empty servers of a class
     // are interchangeable (the paper solves the activation problem once
@@ -169,14 +174,14 @@ pub fn turn_on_servers(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: Clu
     let mut targets = Vec::new();
     for server in system.servers_in(cluster) {
         let class_idx = server.server.class.index();
-        if !alloc.is_on(server.id) && !seen_class[class_idx] {
+        if !scored.alloc().is_on(server.id) && !seen_class[class_idx] {
             seen_class[class_idx] = true;
             targets.push(server.id);
         }
     }
     let mut changed = false;
     for target in targets {
-        if try_fill(ctx, alloc, cluster, target) {
+        if try_fill(ctx, scored, cluster, target) {
             changed = true;
         }
     }
@@ -186,23 +191,23 @@ pub fn turn_on_servers(ctx: &SolverCtx<'_>, alloc: &mut Allocation, cluster: Clu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::assign::{best_cluster, commit};
+    use crate::assign::{best_cluster, commit_scored};
     use crate::config::SolverConfig;
     use cloudalloc_model::{check_feasibility, evaluate};
     use cloudalloc_workload::{generate, ScenarioConfig};
 
-    fn greedy(
-        system: &cloudalloc_model::CloudSystem,
+    fn greedy<'a>(
+        system: &'a cloudalloc_model::CloudSystem,
         config: &SolverConfig,
-    ) -> Allocation {
+    ) -> ScoredAllocation<'a> {
         let ctx = SolverCtx::new(system, config);
-        let mut alloc = Allocation::new(system);
+        let mut scored = ScoredAllocation::fresh(system);
         for i in 0..system.num_clients() {
-            if let Some(cand) = best_cluster(&ctx, &alloc, ClientId(i)) {
-                commit(&ctx, &mut alloc, ClientId(i), &cand);
+            if let Some(cand) = best_cluster(&ctx, scored.alloc(), ClientId(i)) {
+                commit_scored(&mut scored, ClientId(i), &cand);
             }
         }
-        alloc
+        scored
     }
 
     #[test]
@@ -210,13 +215,15 @@ mod tests {
         let system = generate(&ScenarioConfig::small(10), 41);
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = greedy(&system, &config);
-        let before = evaluate(&system, &alloc).profit;
+        let mut scored = greedy(&system, &config);
+        let before = scored.profit();
         for k in 0..system.num_clusters() {
-            turn_on_servers(&ctx, &mut alloc, ClusterId(k));
+            turn_on_servers(&ctx, &mut scored, ClusterId(k));
         }
-        let after = evaluate(&system, &alloc).profit;
+        let after = scored.profit();
         assert!(after >= before - 1e-9, "profit dropped: {before} -> {after}");
+        let alloc = scored.into_allocation();
+        assert!((evaluate(&system, &alloc).profit - after).abs() <= 1e-6 * (1.0 + after.abs()));
         assert!(check_feasibility(&system, &alloc).is_empty());
         alloc.assert_consistent(&system);
     }
@@ -231,43 +238,27 @@ mod tests {
             UtilityClassId, UtilityFunction,
         };
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 0.1, 0.1)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(3.0, 1.0),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(3.0, 1.0))];
         let mut system = CloudSystem::new(classes, utils);
         let k0 = system.add_cluster(Cluster::new(ClusterId(0)));
         let s0 = system.add_server(cloudalloc_model::Server::new(ServerClassId(0), k0));
         let s1 = system.add_server(cloudalloc_model::Server::new(ServerClassId(0), k0));
         for i in 0..2 {
-            system.add_client(Client::new(
-                ClientId(i),
-                UtilityClassId(0),
-                1.5,
-                1.5,
-                0.5,
-                0.5,
-                0.5,
-            ));
+            system.add_client(Client::new(ClientId(i), UtilityClassId(0), 1.5, 1.5, 0.5, 0.5, 0.5));
         }
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = Allocation::new(&system);
+        let mut scored = ScoredAllocation::fresh(&system);
         for i in 0..2 {
-            alloc.assign_cluster(ClientId(i), k0);
-            alloc.place(
-                &system,
-                ClientId(i),
-                s0,
-                Placement { alpha: 1.0, phi_p: 0.45, phi_c: 0.45 },
-            );
+            scored.assign_cluster(ClientId(i), k0);
+            scored.place(ClientId(i), s0, Placement { alpha: 1.0, phi_p: 0.45, phi_c: 0.45 });
         }
-        let before = evaluate(&system, &alloc).profit;
-        assert!(!alloc.is_on(s1));
-        assert!(turn_on_servers(&ctx, &mut alloc, k0), "activation must fire");
-        assert!(alloc.is_on(s1));
-        assert!(evaluate(&system, &alloc).profit > before);
-        assert!(check_feasibility(&system, &alloc).is_empty());
+        let before = scored.profit();
+        assert!(!scored.alloc().is_on(s1));
+        assert!(turn_on_servers(&ctx, &mut scored, k0), "activation must fire");
+        assert!(scored.alloc().is_on(s1));
+        assert!(scored.profit() > before);
+        assert!(check_feasibility(&system, scored.alloc()).is_empty());
     }
 
     #[test]
@@ -275,13 +266,13 @@ mod tests {
         let system = generate(&ScenarioConfig::small(8), 43);
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = greedy(&system, &config);
+        let mut scored = greedy(&system, &config);
         for k in 0..system.num_clusters() {
-            turn_on_servers(&ctx, &mut alloc, ClusterId(k));
+            turn_on_servers(&ctx, &mut scored, ClusterId(k));
         }
         for i in 0..system.num_clients() {
-            if !alloc.placements(ClientId(i)).is_empty() {
-                assert!((alloc.total_alpha(ClientId(i)) - 1.0).abs() < 1e-8);
+            if !scored.alloc().placements(ClientId(i)).is_empty() {
+                assert!((scored.alloc().total_alpha(ClientId(i)) - 1.0).abs() < 1e-8);
             }
         }
     }
@@ -291,8 +282,8 @@ mod tests {
         let system = generate(&ScenarioConfig::small(3), 44);
         let config = SolverConfig::default();
         let ctx = SolverCtx::new(&system, &config);
-        let mut alloc = Allocation::new(&system);
+        let mut scored = ScoredAllocation::fresh(&system);
         // No clients assigned: no moves exist.
-        assert!(!turn_on_servers(&ctx, &mut alloc, ClusterId(0)));
+        assert!(!turn_on_servers(&ctx, &mut scored, ClusterId(0)));
     }
 }

@@ -6,11 +6,14 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem, ClusterId, ProfitReport, ServerId};
+use cloudalloc_model::{
+    evaluate, Allocation, ClientId, CloudSystem, ClusterId, ProfitReport, ScoredAllocation,
+    ServerId,
+};
 
 use crate::config::SolverConfig;
 use crate::ctx::SolverCtx;
-use crate::initial::best_initial;
+use crate::initial::{best_initial, pass_seed, run_parallel};
 use crate::ops::{
     adjust_dispersion_rates, adjust_resource_shares, reassign_clients, swap_clients,
     turn_off_servers, turn_on_servers,
@@ -40,48 +43,58 @@ pub struct SearchStats {
     pub converged: bool,
 }
 
-/// Runs the local-search phase in place until the profit is steady:
-/// `Adjust_ResourceShares` → `Adjust_DispersionRates` → `TurnON` →
-/// `TurnOFF` → `Reassign_Clients`, repeated. Every operator commits only
-/// improving changes, so the profit trace is non-decreasing.
-pub fn improve(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u64) -> SearchStats {
+/// Runs the local-search phase on an incrementally-scored allocation
+/// until the profit is steady: `Adjust_ResourceShares` →
+/// `Adjust_DispersionRates` → `TurnON` → `TurnOFF` → `Reassign_Clients`,
+/// repeated. Every operator commits only improving changes, so the
+/// profit trace is non-decreasing. The round-level profit comes straight
+/// from the incremental caches — no full re-evaluation anywhere in the
+/// loop.
+pub fn improve_scored(
+    ctx: &SolverCtx<'_>,
+    scored: &mut ScoredAllocation<'_>,
+    seed: u64,
+) -> SearchStats {
     let system = ctx.system;
     let config = ctx.config;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut profit = evaluate(system, alloc).profit;
+    let mut profit = scored.profit();
     let mut stats = SearchStats { history: vec![profit], ..Default::default() };
 
     let mut order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
     for round in 0..config.max_rounds {
         if config.adjust_shares {
-            let servers: Vec<ServerId> = alloc.active_servers().collect();
+            let servers: Vec<ServerId> = scored.alloc().active_servers().collect();
             for server in servers {
-                adjust_resource_shares(ctx, alloc, server);
+                adjust_resource_shares(ctx, scored, server);
             }
         }
         if config.adjust_dispersion {
             for i in 0..system.num_clients() {
-                adjust_dispersion_rates(ctx, alloc, ClientId(i));
+                adjust_dispersion_rates(ctx, scored, ClientId(i));
             }
         }
         if config.turn_on {
             for k in 0..system.num_clusters() {
-                turn_on_servers(ctx, alloc, ClusterId(k));
+                turn_on_servers(ctx, scored, ClusterId(k));
             }
         }
         if config.turn_off {
             for k in 0..system.num_clusters() {
-                turn_off_servers(ctx, alloc, ClusterId(k));
+                turn_off_servers(ctx, scored, ClusterId(k));
             }
         }
         if config.reassign {
             order.shuffle(&mut rng);
-            reassign_clients(ctx, alloc, &order);
+            reassign_clients(ctx, scored, &order);
         }
         if config.swap {
-            swap_clients(ctx, alloc, system.num_clients(), &mut rng);
+            swap_clients(ctx, scored, system.num_clients(), &mut rng);
         }
-        let new_profit = evaluate(system, alloc).profit;
+        // Everything in this round is final: drop the undo journal so it
+        // cannot grow across rounds.
+        scored.commit();
+        let new_profit = scored.profit();
         stats.rounds = round + 1;
         stats.history.push(new_profit);
         let scale = profit.abs().max(1.0);
@@ -94,20 +107,63 @@ pub fn improve(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u64) -> Search
     stats
 }
 
+/// Runs the local-search phase in place on a plain allocation. Wraps it
+/// in a [`ScoredAllocation`] internally; callers holding one already
+/// should use [`improve_scored`] to keep their caches warm.
+pub fn improve(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u64) -> SearchStats {
+    let owned = std::mem::replace(alloc, Allocation::new(ctx.system));
+    let mut scored = ScoredAllocation::new(ctx.system, owned);
+    let stats = improve_scored(ctx, &mut scored, seed);
+    *alloc = scored.into_allocation();
+    stats
+}
+
 /// Runs the complete `Resource_Alloc` heuristic on `system`.
 ///
 /// `seed` drives every randomized choice (client orderings); identical
-/// `(system, config, seed)` triples produce identical results.
+/// `(system, config, seed)` triples produce identical results regardless
+/// of the thread count.
 ///
 /// # Panics
 ///
 /// Panics if `config` fails [`SolverConfig::validate`].
 pub fn solve(system: &CloudSystem, config: &SolverConfig, seed: u64) -> SolveResult {
     let ctx = SolverCtx::new(system, config);
-    let (mut allocation, initial_profit) = best_initial(&ctx, seed);
-    let stats = improve(&ctx, &mut allocation, seed.wrapping_add(0x5EED));
+    let (allocation, initial_profit) = best_initial(&ctx, seed);
+    let mut scored = ScoredAllocation::new(system, allocation);
+    let stats = improve_scored(&ctx, &mut scored, seed.wrapping_add(0x5EED));
+    let allocation = scored.into_allocation();
     let report = evaluate(system, &allocation);
     SolveResult { allocation, report, initial_profit, stats }
+}
+
+/// Multi-seed restarts: runs [`solve`] once per derived seed on the
+/// solver's thread pool and keeps the most profitable result (ties go to
+/// the lowest restart index). Restart 0 reproduces `solve(system,
+/// config, seed)` exactly; the others perturb the seed through the same
+/// stream-splitting mix used for greedy passes.
+///
+/// # Panics
+///
+/// Panics if `restarts` is zero or `config` fails
+/// [`SolverConfig::validate`].
+pub fn solve_restarts(
+    system: &CloudSystem,
+    config: &SolverConfig,
+    seed: u64,
+    restarts: usize,
+) -> SolveResult {
+    assert!(restarts >= 1, "need at least one restart");
+    // The restarts run concurrently, so each solve must not fan out
+    // again: pin the inner thread count to one.
+    let inner = SolverConfig { num_threads: Some(1), ..config.clone() };
+    let results = run_parallel(restarts, config.effective_threads(), |restart| {
+        solve(system, &inner, pass_seed(seed, restart as u64))
+    });
+    results
+        .into_iter()
+        .reduce(|best, cand| if cand.report.profit > best.report.profit { cand } else { best })
+        .expect("restarts >= 1")
 }
 
 #[cfg(test)]
@@ -158,6 +214,28 @@ mod tests {
     }
 
     #[test]
+    fn solve_is_identical_across_thread_counts() {
+        let system = generate(&ScenarioConfig::small(10), 74);
+        let serial = SolverConfig { num_threads: Some(1), ..Default::default() };
+        let threaded = SolverConfig { num_threads: Some(4), ..Default::default() };
+        let a = solve(&system, &serial, 9);
+        let b = solve(&system, &threaded, 9);
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.report.profit, b.report.profit);
+    }
+
+    #[test]
+    fn restarts_never_lose_to_the_base_seed() {
+        let system = generate(&ScenarioConfig::small(10), 76);
+        let config = SolverConfig::fast();
+        let single = solve(&system, &config, 3);
+        let multi = solve_restarts(&system, &config, 3, 4);
+        // Restart 0 *is* the base run, so the best-of-4 can only match or
+        // beat it.
+        assert!(multi.report.profit >= single.report.profit - 1e-9);
+    }
+
+    #[test]
     fn local_search_beats_the_initial_solution_on_some_seed() {
         let mut improved = false;
         for seed in 0..4 {
@@ -195,8 +273,7 @@ mod tests {
     fn swap_extension_never_hurts() {
         let system = generate(&ScenarioConfig::paper(20), 79);
         let plain = solve(&system, &SolverConfig::fast(), 5);
-        let with_swap =
-            solve(&system, &SolverConfig { swap: true, ..SolverConfig::fast() }, 5);
+        let with_swap = solve(&system, &SolverConfig { swap: true, ..SolverConfig::fast() }, 5);
         // Same greedy start (the swap flag does not perturb the shared
         // RNG stream until after reassign), monotone operators on top.
         assert!(with_swap.report.profit >= plain.initial_profit - 1e-9);
@@ -223,9 +300,7 @@ mod tests {
         let strict_result = solve(&system, &strict, 3);
         let relaxed_result = solve(&system, &relaxed, 3);
         let served = |r: &SolveResult| {
-            (0..25)
-                .filter(|&i| !r.allocation.placements(ClientId(i)).is_empty())
-                .count()
+            (0..25).filter(|&i| !r.allocation.placements(ClientId(i)).is_empty()).count()
         };
         assert!(served(&strict_result) >= served(&relaxed_result));
         // Declining clients can only help profit.

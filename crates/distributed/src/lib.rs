@@ -31,6 +31,5 @@ mod protocol;
 pub use merge::merge_cluster_allocations;
 pub use parallel_mc::{monte_carlo_parallel, ParallelMcOutcome};
 pub use protocol::{
-    greedy_distributed, greedy_distributed_timed, improve_distributed, solve_distributed,
-    DistStats,
+    greedy_distributed, greedy_distributed_timed, improve_distributed, solve_distributed, DistStats,
 };

@@ -22,10 +22,7 @@ pub fn merge_cluster_allocations(system: &CloudSystem, parts: &[Allocation]) -> 
             if part.cluster_of(client) != Some(cluster) {
                 continue;
             }
-            assert!(
-                merged.cluster_of(client).is_none(),
-                "{client} claimed by two clusters"
-            );
+            assert!(merged.cluster_of(client).is_none(), "{client} claimed by two clusters");
             merged.assign_cluster(client, cluster);
             for &(server, placement) in part.placements(client) {
                 merged.place(system, client, server, placement);

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use cloudalloc_core::{improve, random_assignment, SolverConfig, SolverCtx};
-use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem};
+use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem, ScoredAllocation};
 
 /// Outcome of the parallel search (mirrors the sequential
 /// `cloudalloc_baselines::McOutcome`, with the iteration index of the
@@ -34,26 +34,23 @@ pub struct ParallelMcOutcome {
 
 /// One deterministic iteration: a random assignment polished by the
 /// reassignment local search.
-fn run_iteration(
-    ctx: &SolverCtx<'_>,
-    seed: u64,
-    iteration: usize,
-) -> (Allocation, f64, f64) {
+fn run_iteration(ctx: &SolverCtx<'_>, seed: u64, iteration: usize) -> (Allocation, f64, f64) {
     // SplitMix spreading keeps per-iteration streams independent.
     let mut z = seed ^ (iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
-    let mut alloc = random_assignment(ctx, &mut rng);
-    let raw = evaluate(ctx.system, &alloc).profit;
+    let mut scored = ScoredAllocation::new(ctx.system, random_assignment(ctx, &mut rng));
+    let raw = scored.profit();
     let order: Vec<ClientId> = (0..ctx.system.num_clients()).map(ClientId).collect();
     for _ in 0..ctx.config.max_rounds {
-        if !cloudalloc_core::ops::reassign_clients(ctx, &mut alloc, &order) {
+        if !cloudalloc_core::ops::reassign_clients(ctx, &mut scored, &order) {
             break;
         }
+        scored.commit();
     }
-    let polished = evaluate(ctx.system, &alloc).profit;
-    (alloc, raw, polished)
+    let polished = scored.profit();
+    (scored.into_allocation(), raw, polished)
 }
 
 /// Runs `iterations` Monte-Carlo draws across `threads` workers.
@@ -87,7 +84,6 @@ pub fn monte_carlo_parallel(
     let shards: Vec<Shard> = thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
-                let ctx = ctx;
                 scope.spawn(move || {
                     let mut shard = Shard {
                         best: None,
@@ -101,9 +97,7 @@ pub fn monte_carlo_parallel(
                         shard.worst_polished = shard.worst_polished.min(polished);
                         let better = match &shard.best {
                             None => true,
-                            Some((p, i, _)) => {
-                                polished > *p || (polished == *p && idx < *i)
-                            }
+                            Some((p, i, _)) => polished > *p || (polished == *p && idx < *i),
                         };
                         if better {
                             shard.best = Some((polished, idx, alloc));
@@ -133,8 +127,7 @@ pub fn monte_carlo_parallel(
             }
         }
     }
-    let (mut best_profit, best_iteration, mut best_allocation) =
-        best.expect("iterations >= 1");
+    let (mut best_profit, best_iteration, mut best_allocation) = best.expect("iterations >= 1");
 
     if polish_best {
         improve(&ctx, &mut best_allocation, seed.wrapping_add(0xBE57));

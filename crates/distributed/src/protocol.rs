@@ -10,10 +10,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use cloudalloc_core::{
-    assign_distribute, commit, ops, Candidate, SolverConfig, SolverCtx,
+use cloudalloc_core::{assign_distribute, commit, ops, Candidate, SolverConfig, SolverCtx};
+use cloudalloc_model::{
+    evaluate, Allocation, ClientId, CloudSystem, ClusterId, ScoredAllocation, ServerId,
 };
-use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem, ClusterId, ServerId};
 
 use crate::merge::merge_cluster_allocations;
 
@@ -163,14 +163,14 @@ fn parallel_round(ctx: &SolverCtx<'_>, alloc: &Allocation) -> Allocation {
                 let agent_ctx = *ctx;
                 let base = alloc.clone();
                 scope.spawn(move || {
-                    let mut local = base;
+                    let mut local = ScoredAllocation::new(agent_ctx.system, base);
                     let config = agent_ctx.config;
                     if config.adjust_shares {
                         let servers: Vec<ServerId> = agent_ctx
                             .system
                             .servers_in(cluster)
                             .map(|s| s.id)
-                            .filter(|&s| local.is_on(s))
+                            .filter(|&s| local.alloc().is_on(s))
                             .collect();
                         for server in servers {
                             ops::adjust_resource_shares(&agent_ctx, &mut local, server);
@@ -178,7 +178,7 @@ fn parallel_round(ctx: &SolverCtx<'_>, alloc: &Allocation) -> Allocation {
                     }
                     if config.adjust_dispersion {
                         for i in 0..agent_ctx.system.num_clients() {
-                            if local.cluster_of(ClientId(i)) == Some(cluster) {
+                            if local.alloc().cluster_of(ClientId(i)) == Some(cluster) {
                                 ops::adjust_dispersion_rates(&agent_ctx, &mut local, ClientId(i));
                             }
                         }
@@ -189,7 +189,7 @@ fn parallel_round(ctx: &SolverCtx<'_>, alloc: &Allocation) -> Allocation {
                     if config.turn_off {
                         ops::turn_off_servers(&agent_ctx, &mut local, cluster);
                     }
-                    local
+                    local.into_allocation()
                 })
             })
             .collect();
@@ -210,7 +210,10 @@ pub fn improve_distributed(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u6
         *alloc = parallel_round(ctx, alloc);
         if config.reassign {
             order.shuffle(&mut rng);
-            ops::reassign_clients(ctx, alloc, &order);
+            let owned = std::mem::replace(alloc, Allocation::new(system));
+            let mut scored = ScoredAllocation::new(system, owned);
+            ops::reassign_clients(ctx, &mut scored, &order);
+            *alloc = scored.into_allocation();
         }
         rounds += 1;
         let new_profit = evaluate(system, alloc).profit;
@@ -250,10 +253,7 @@ pub fn solve_distributed(
     let rounds = improve_distributed(&ctx, &mut alloc, seed.wrapping_add(0x5EED));
     let search_wall = search_start.elapsed();
 
-    (
-        alloc,
-        DistStats { agents: system.num_clusters(), greedy_wall, search_wall, rounds },
-    )
+    (alloc, DistStats { agents: system.num_clusters(), greedy_wall, search_wall, rounds })
 }
 
 #[cfg(test)]
@@ -285,9 +285,7 @@ mod tests {
         assert!(stats.rounds >= 1);
         let violations = check_feasibility(&system, &alloc);
         assert!(
-            violations
-                .iter()
-                .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })),
+            violations.iter().all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })),
             "unexpected violations: {violations:?}"
         );
         alloc.assert_consistent(&system);

@@ -25,12 +25,7 @@ pub struct DriftConfig {
 
 impl Default for DriftConfig {
     fn default() -> Self {
-        Self {
-            volatility: 0.08,
-            surge_probability: 0.02,
-            surge_factor: 2.5,
-            clamp: (0.25, 4.0),
-        }
+        Self { volatility: 0.08, surge_probability: 0.02, surge_factor: 2.5, clamp: (0.25, 4.0) }
     }
 }
 
@@ -137,11 +132,7 @@ mod tests {
 
     #[test]
     fn zero_volatility_without_surges_is_constant() {
-        let config = DriftConfig {
-            volatility: 0.0,
-            surge_probability: 0.0,
-            ..Default::default()
-        };
+        let config = DriftConfig { volatility: 0.0, surge_probability: 0.0, ..Default::default() };
         let base = vec![2.0, 3.0];
         let mut drift = WorkloadDrift::new(config, &base, 3);
         for _ in 0..5 {

@@ -73,8 +73,7 @@ impl OperationsLog {
             .map(|r| (r.predicted_profit - r.actual_profit) / r.predicted_profit.abs().max(1e-9))
             .sum::<f64>()
             / n;
-        let replan_rate =
-            self.reports.iter().filter(|r| r.resolved_fully).count() as f64 / n;
+        let replan_rate = self.reports.iter().filter(|r| r.resolved_fully).count() as f64 / n;
         let instability_rate = self
             .reports
             .iter()
@@ -119,10 +118,7 @@ mod tests {
     #[test]
     fn summary_aggregates_the_span() {
         let mut log = OperationsLog::new();
-        log.extend([
-            report(0, 10.0, 8.0, 1, false),
-            report(1, 10.0, 12.0, 0, true),
-        ]);
+        log.extend([report(0, 10.0, 8.0, 1, false), report(1, 10.0, 12.0, 0, true)]);
         let s = log.summary(10);
         assert_eq!(s.epochs, 2);
         assert!((s.total_profit - 20.0).abs() < 1e-12);

@@ -86,15 +86,7 @@ impl<P: RatePredictor> EpochManager<P> {
         let predicted = predictor.predict();
         let system = base.with_predicted_rates(&predicted);
         let result = solve(&system, &config.solver, seed);
-        Self {
-            base,
-            predictor,
-            config,
-            allocation: result.allocation,
-            predicted,
-            epoch: 0,
-            seed,
-        }
+        Self { base, predictor, config, allocation: result.allocation, predicted, epoch: 0, seed }
     }
 
     /// The allocation currently in force (computed against the predicted
@@ -131,13 +123,9 @@ impl<P: RatePredictor> EpochManager<P> {
                     && !outcome.response_time.is_finite()
             })
             .count();
-        let prediction_error = self
-            .predicted
-            .iter()
-            .zip(actual_rates)
-            .map(|(p, a)| (p - a).abs() / a)
-            .sum::<f64>()
-            / actual_rates.len().max(1) as f64;
+        let prediction_error =
+            self.predicted.iter().zip(actual_rates).map(|(p, a)| (p - a).abs() / a).sum::<f64>()
+                / actual_rates.len().max(1) as f64;
 
         let report = EpochReport {
             epoch: self.epoch,
@@ -247,14 +235,12 @@ mod tests {
             let _ = mgr.step(&actual);
             // The standing allocation is always feasible for its
             // *predicted* system.
-            let predicted_system =
-                mgr.base.with_predicted_rates(mgr.predicted_rates());
+            let predicted_system = mgr.base.with_predicted_rates(mgr.predicted_rates());
             let violations = check_feasibility(&predicted_system, mgr.allocation());
             assert!(
-                violations.iter().all(|v| matches!(
-                    v,
-                    cloudalloc_model::Violation::Unassigned { .. }
-                )),
+                violations
+                    .iter()
+                    .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })),
                 "violations: {violations:?}"
             );
         }

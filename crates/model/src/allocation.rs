@@ -26,10 +26,7 @@ impl Placement {
     /// Validates the placement fields, panicking on out-of-range values.
     fn validate(&self) {
         for (name, v) in [("alpha", self.alpha), ("phi_p", self.phi_p), ("phi_c", self.phi_c)] {
-            assert!(
-                v.is_finite() && (0.0..=1.0).contains(&v),
-                "{name} must lie in [0,1], got {v}"
-            );
+            assert!(v.is_finite() && (0.0..=1.0).contains(&v), "{name} must lie in [0,1], got {v}");
         }
     }
 }
@@ -192,11 +189,7 @@ impl Allocation {
 
     /// Ids of all servers currently ON.
     pub fn active_servers(&self) -> impl Iterator<Item = ServerId> + '_ {
-        self.loads
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.is_on())
-            .map(|(j, _)| ServerId(j))
+        self.loads.iter().enumerate().filter(|(_, l)| l.is_on()).map(|(j, _)| ServerId(j))
     }
 
     /// Number of servers currently ON.
@@ -238,9 +231,8 @@ impl Allocation {
                 let old = list[pos].1;
                 load.phi_p += placement.phi_p - old.phi_p;
                 load.phi_c += placement.phi_c - old.phi_c;
-                load.work_processing += (placement.alpha - old.alpha)
-                    * c.rate_predicted
-                    * c.exec_processing;
+                load.work_processing +=
+                    (placement.alpha - old.alpha) * c.rate_predicted * c.exec_processing;
                 list[pos].1 = placement;
             }
             Err(pos) => {
@@ -301,12 +293,32 @@ impl Allocation {
         held
     }
 
+    /// Unconditionally writes the cluster slot of `client`, bypassing the
+    /// placement guard of [`Allocation::assign_cluster`]. Used by the
+    /// incremental evaluator's journal rollback, which replays inverse
+    /// mutations in reverse order and therefore restores the cluster slot
+    /// while placements from before the transaction are still being
+    /// re-attached.
+    pub(crate) fn set_cluster_raw(&mut self, client: ClientId, cluster: Option<ClusterId>) {
+        self.cluster_of[client.index()] = cluster;
+    }
+
+    /// Overwrites the aggregate load of `server` with a snapshot taken
+    /// earlier. Inverse `place`/`remove` replays restore the placement
+    /// *lists* exactly but leave ± float drift in the aggregates (removal
+    /// clamps negatives at zero); rolling the snapshot back on top makes
+    /// the restore bit-exact.
+    pub(crate) fn restore_load(&mut self, server: ServerId, load: ServerLoad) {
+        self.loads[server.index()] = load;
+    }
+
     /// True when every client is assigned to a cluster and disperses all of
     /// its traffic (`Σ_j α_{ij} = 1` within `tol`).
     pub fn is_complete(&self, tol: f64) -> bool {
-        self.cluster_of.iter().enumerate().all(|(i, k)| {
-            k.is_some() && (self.total_alpha(ClientId(i)) - 1.0).abs() <= tol
-        })
+        self.cluster_of
+            .iter()
+            .enumerate()
+            .all(|(i, k)| k.is_some() && (self.total_alpha(ClientId(i)) - 1.0).abs() <= tol)
     }
 
     /// Recomputes every aggregate from scratch and asserts it matches the
@@ -357,18 +369,14 @@ impl Allocation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        Client, Cluster, ServerClass, ServerClassId, UtilityClass, UtilityClassId,
-        UtilityFunction,
-    };
     use crate::server::Server;
+    use crate::{
+        Client, Cluster, ServerClass, ServerClassId, UtilityClass, UtilityClassId, UtilityFunction,
+    };
 
     fn system() -> CloudSystem {
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         let k1 = sys.add_cluster(Cluster::new(ClusterId(1)));
@@ -376,15 +384,7 @@ mod tests {
         sys.add_server(Server::new(ServerClassId(0), k0));
         sys.add_server(Server::new(ServerClassId(0), k1));
         for i in 0..2 {
-            sys.add_client(Client::new(
-                ClientId(i),
-                UtilityClassId(0),
-                2.0,
-                2.0,
-                0.5,
-                0.4,
-                1.0,
-            ));
+            sys.add_client(Client::new(ClientId(i), UtilityClassId(0), 2.0, 2.0, 0.5, 0.4, 1.0));
         }
         sys
     }
@@ -393,8 +393,18 @@ mod tests {
         let sys = system();
         let mut alloc = Allocation::new(&sys);
         alloc.assign_cluster(ClientId(0), ClusterId(0));
-        alloc.place(&sys, ClientId(0), ServerId(0), Placement { alpha: 0.6, phi_p: 0.5, phi_c: 0.4 });
-        alloc.place(&sys, ClientId(0), ServerId(1), Placement { alpha: 0.4, phi_p: 0.3, phi_c: 0.3 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(0),
+            Placement { alpha: 0.6, phi_p: 0.5, phi_c: 0.4 },
+        );
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(1),
+            Placement { alpha: 0.4, phi_p: 0.3, phi_c: 0.3 },
+        );
         (sys, alloc)
     }
 
@@ -414,7 +424,12 @@ mod tests {
     #[test]
     fn replacing_a_placement_adjusts_not_duplicates() {
         let (sys, mut alloc) = placed();
-        alloc.place(&sys, ClientId(0), ServerId(0), Placement { alpha: 0.2, phi_p: 0.1, phi_c: 0.1 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(0),
+            Placement { alpha: 0.2, phi_p: 0.1, phi_c: 0.1 },
+        );
         let l0 = alloc.load(ServerId(0));
         assert_eq!(l0.placements, 1);
         assert!((l0.phi_p - 0.1).abs() < 1e-12);
@@ -425,7 +440,12 @@ mod tests {
     #[test]
     fn zero_alpha_placement_removes_pair() {
         let (sys, mut alloc) = placed();
-        alloc.place(&sys, ClientId(0), ServerId(1), Placement { alpha: 0.0, phi_p: 0.0, phi_c: 0.0 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(1),
+            Placement { alpha: 0.0, phi_p: 0.0, phi_c: 0.0 },
+        );
         assert_eq!(alloc.placements(ClientId(0)).len(), 1);
         assert_eq!(alloc.residents(ServerId(1)), &[] as &[ClientId]);
         assert!(!alloc.is_on(ServerId(1)));
@@ -456,7 +476,12 @@ mod tests {
         assert!(!alloc.is_complete(1e-9)); // client 1 unassigned
         alloc.assign_cluster(ClientId(1), ClusterId(1));
         assert!(!alloc.is_complete(1e-9)); // client 1 has no traffic placed
-        alloc.place(&sys, ClientId(1), ServerId(2), Placement { alpha: 1.0, phi_p: 0.9, phi_c: 0.9 });
+        alloc.place(
+            &sys,
+            ClientId(1),
+            ServerId(2),
+            Placement { alpha: 1.0, phi_p: 0.9, phi_c: 0.9 },
+        );
         assert!(alloc.is_complete(1e-9));
     }
 
@@ -464,7 +489,12 @@ mod tests {
     #[should_panic(expected = "must be assigned")]
     fn placing_in_wrong_cluster_panics() {
         let (sys, mut alloc) = placed();
-        alloc.place(&sys, ClientId(0), ServerId(2), Placement { alpha: 0.1, phi_p: 0.1, phi_c: 0.1 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(2),
+            Placement { alpha: 0.1, phi_p: 0.1, phi_c: 0.1 },
+        );
     }
 
     #[test]
@@ -478,7 +508,12 @@ mod tests {
     #[should_panic(expected = "alpha must lie in [0,1]")]
     fn rejects_out_of_range_alpha() {
         let (sys, mut alloc) = placed();
-        alloc.place(&sys, ClientId(0), ServerId(0), Placement { alpha: 1.2, phi_p: 0.1, phi_c: 0.1 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(0),
+            Placement { alpha: 1.2, phi_p: 0.1, phi_c: 0.1 },
+        );
     }
 
     #[test]
@@ -503,12 +538,7 @@ mod tests {
                 0 => {
                     let alpha = 0.05 + 0.9 * next();
                     let phi = 0.05 + 0.9 * next();
-                    alloc.place(
-                        &sys,
-                        client,
-                        server,
-                        Placement { alpha, phi_p: phi, phi_c: phi },
-                    );
+                    alloc.place(&sys, client, server, Placement { alpha, phi_p: phi, phi_c: phi });
                 }
                 1 => alloc.remove(&sys, client, server),
                 _ => {
@@ -526,10 +556,7 @@ mod tests {
     #[test]
     fn background_load_seeds_server_load() {
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         sys.add_server_with_background(

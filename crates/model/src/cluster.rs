@@ -29,10 +29,7 @@ impl BackgroundLoad {
     /// amount is negative (or any argument is non-finite).
     pub fn new(phi_p: f64, phi_c: f64, storage: f64) -> Self {
         for (name, v) in [("phi_p", phi_p), ("phi_c", phi_c)] {
-            assert!(
-                v.is_finite() && (0.0..=1.0).contains(&v),
-                "{name} must lie in [0,1], got {v}"
-            );
+            assert!(v.is_finite() && (0.0..=1.0).contains(&v), "{name} must lie in [0,1], got {v}");
         }
         assert!(
             storage.is_finite() && storage >= 0.0,

@@ -53,7 +53,11 @@ pub struct ClientOutcome {
 /// A client with no placements (or `Σα < 1`, i.e. traffic that is dropped)
 /// is charged an infinite response time and earns zero revenue; partial
 /// allocations therefore never look better than complete ones.
-pub fn evaluate_client(system: &CloudSystem, alloc: &Allocation, client: ClientId) -> ClientOutcome {
+pub fn evaluate_client(
+    system: &CloudSystem,
+    alloc: &Allocation,
+    client: ClientId,
+) -> ClientOutcome {
     let c = system.client(client);
     let placements = alloc.placements(client);
     let total_alpha: f64 = placements.iter().map(|&(_, p)| p.alpha).sum();
@@ -269,10 +273,7 @@ mod tests {
 
     fn system() -> CloudSystem {
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 2.0, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         let k1 = sys.add_cluster(Cluster::new(ClusterId(1)));
@@ -322,7 +323,12 @@ mod tests {
         let mut alloc = Allocation::new(&sys);
         alloc.assign_cluster(ClientId(0), ClusterId(0));
         // service_p = 0.1*4/0.5 = 0.8 < arrival 1.0 → unstable.
-        alloc.place(&sys, ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.1, phi_c: 0.5 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(0),
+            Placement { alpha: 1.0, phi_p: 0.1, phi_c: 0.5 },
+        );
         let outcome = evaluate_client(&sys, &alloc, ClientId(0));
         assert_eq!(outcome.response_time, f64::INFINITY);
         assert_eq!(outcome.revenue, 0.0);
@@ -347,7 +353,12 @@ mod tests {
 
         let mut alloc = Allocation::new(&sys);
         alloc.assign_cluster(ClientId(0), ClusterId(0));
-        alloc.place(&sys, ClientId(0), ServerId(0), Placement { alpha: 0.5, phi_p: 0.5, phi_c: 0.5 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(0),
+            Placement { alpha: 0.5, phi_p: 0.5, phi_c: 0.5 },
+        );
         assert_eq!(evaluate_client(&sys, &alloc, ClientId(0)).revenue, 0.0);
         assert!(check_feasibility(&sys, &alloc)
             .iter()
@@ -359,10 +370,7 @@ mod tests {
         // Background load of 0.5 plus a client share of 0.8 overflows both
         // the processing and communication share budgets.
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 2.0, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         sys.add_server_with_background(
@@ -372,11 +380,14 @@ mod tests {
         sys.add_client(Client::new(ClientId(0), UtilityClassId(0), 1.0, 1.0, 0.5, 0.5, 1.0));
         let mut alloc = Allocation::new(&sys);
         alloc.assign_cluster(ClientId(0), ClusterId(0));
-        alloc.place(&sys, ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.8, phi_c: 0.8 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(0),
+            Placement { alpha: 1.0, phi_p: 0.8, phi_c: 0.8 },
+        );
         let violations = check_feasibility(&sys, &alloc);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, Violation::ProcessingShareOverflow { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::ProcessingShareOverflow { .. })));
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::CommunicationShareOverflow { .. })));
@@ -385,10 +396,7 @@ mod tests {
     #[test]
     fn storage_overflow_is_reported() {
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 0.5, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         sys.add_server(Server::new(ServerClassId(0), k0));

@@ -1,0 +1,579 @@
+//! Incremental profit evaluation (the solver's hot path).
+//!
+//! [`evaluate`] walks every client and every server; local-search
+//! operators that probe thousands of small moves per round turn that into
+//! an `O(n·moves)` bill. This module exploits the model's locality —
+//! [`evaluate_client`] depends only on that client's own placements, and a
+//! server's operation cost only on its own aggregate load — to rescore a
+//! move in time proportional to what the move *touched*.
+//!
+//! [`ScoredAllocation`] wraps an [`Allocation`] together with cached
+//! per-client outcomes, per-server costs, and compensated running totals.
+//! Mutations mirror the `Allocation` API (`place`, `remove`,
+//! `clear_client`, `assign_cluster`) and mark the touched clients/servers
+//! dirty; [`ScoredAllocation::profit`] flushes the dirty sets and returns
+//! the running total.
+//!
+//! Every mutation — and every cache write a flush performs — is journaled,
+//! so a tentative move can be un-done exactly: [`ScoredAllocation::savepoint`]
+//! marks a point, [`ScoredAllocation::rollback_to`] restores the
+//! allocation *and* the score caches bit-for-bit (inverse `place`/`remove`
+//! replays fix the placement lists, then a [`ServerLoad`] snapshot erases
+//! the float drift those replays leave behind). [`ScoredAllocation::commit`]
+//! forgets the journal once a sequence of moves is accepted.
+//!
+//! With the `check-incremental` feature enabled, every `profit()` call
+//! re-derives the profit from scratch and asserts the caches agree within
+//! `1e-6` — the correctness anchor the property tests and the test suite
+//! lean on.
+
+use crate::allocation::{Allocation, Placement, ServerLoad};
+use crate::eval::{evaluate_client, ClientOutcome};
+use crate::ids::{ClientId, ClusterId, ServerId};
+use crate::CloudSystem;
+
+/// A journal mark; rolling back to it restores the exact state the
+/// evaluator had when the mark was taken.
+///
+/// Savepoints are invalidated by [`ScoredAllocation::commit`] — only roll
+/// back to marks taken after the most recent commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Savepoint(usize);
+
+/// One reversible step, recorded before the corresponding state change.
+#[derive(Debug, Clone)]
+enum Undo {
+    /// A placement changed on `server`: restore `prev` (re-place or
+    /// remove), then overwrite the server's aggregate load with the
+    /// pre-change snapshot so float drift from the replay cancels.
+    Placement { client: ClientId, server: ServerId, prev: Option<Placement>, prev_load: ServerLoad },
+    /// The cluster slot of `client` changed.
+    Cluster { client: ClientId, prev: Option<ClusterId> },
+    /// A flush overwrote the cached outcome of `client`.
+    ClientCache { client: ClientId, prev: ClientOutcome, prev_dirty: bool },
+    /// A flush overwrote the cached cost/on-state of `server`.
+    ServerCache { server: ServerId, prev_cost: f64, prev_on: bool, prev_dirty: bool },
+    /// A flush was about to adjust the running totals.
+    Totals { revenue: f64, revenue_comp: f64, cost: f64, cost_comp: f64, active: usize },
+}
+
+/// Neumaier-compensated add: keeps the running totals accurate to a few
+/// ulps across arbitrarily long mutate/flush sequences, so the cached
+/// profit tracks a from-scratch [`evaluate`] within `1e-6` indefinitely.
+///
+/// [`evaluate`]: crate::evaluate
+fn compensated_add(sum: &mut f64, comp: &mut f64, x: f64) {
+    let t = *sum + x;
+    if sum.abs() >= x.abs() {
+        *comp += (*sum - t) + x;
+    } else {
+        *comp += (x - t) + *sum;
+    }
+    *sum = t;
+}
+
+/// An [`Allocation`] bundled with incrementally maintained score caches.
+#[derive(Debug)]
+pub struct ScoredAllocation<'a> {
+    system: &'a CloudSystem,
+    alloc: Allocation,
+    /// Cached `evaluate_client` result per client; stale iff dirty.
+    outcomes: Vec<ClientOutcome>,
+    client_dirty: Vec<bool>,
+    dirty_clients: Vec<ClientId>,
+    /// Cached operation cost per server (0 when OFF); stale iff dirty.
+    server_cost: Vec<f64>,
+    server_on: Vec<bool>,
+    server_dirty: Vec<bool>,
+    dirty_servers: Vec<ServerId>,
+    revenue: f64,
+    revenue_comp: f64,
+    cost: f64,
+    cost_comp: f64,
+    active: usize,
+    journal: Vec<Undo>,
+}
+
+impl<'a> ScoredAllocation<'a> {
+    /// Wraps `alloc`, seeding every cache with a from-scratch evaluation.
+    pub fn new(system: &'a CloudSystem, alloc: Allocation) -> Self {
+        let n = system.num_clients();
+        let m = system.num_servers();
+        let mut this = Self {
+            system,
+            alloc,
+            outcomes: vec![ClientOutcome { response_time: f64::INFINITY, revenue: 0.0 }; n],
+            client_dirty: vec![false; n],
+            dirty_clients: Vec::new(),
+            server_cost: vec![0.0; m],
+            server_on: vec![false; m],
+            server_dirty: vec![false; m],
+            dirty_servers: Vec::new(),
+            revenue: 0.0,
+            revenue_comp: 0.0,
+            cost: 0.0,
+            cost_comp: 0.0,
+            active: 0,
+            journal: Vec::new(),
+        };
+        for i in 0..n {
+            let outcome = evaluate_client(system, &this.alloc, ClientId(i));
+            compensated_add(&mut this.revenue, &mut this.revenue_comp, outcome.revenue);
+            this.outcomes[i] = outcome;
+        }
+        for j in 0..m {
+            let load = this.alloc.load(ServerId(j));
+            if load.is_on() {
+                let class = system.class_of(ServerId(j));
+                let c = class.operation_cost(load.work_processing / class.cap_processing);
+                compensated_add(&mut this.cost, &mut this.cost_comp, c);
+                this.server_cost[j] = c;
+                this.server_on[j] = true;
+                this.active += 1;
+            }
+        }
+        this
+    }
+
+    /// Wraps a fresh empty allocation for `system`.
+    pub fn fresh(system: &'a CloudSystem) -> Self {
+        Self::new(system, Allocation::new(system))
+    }
+
+    /// The system this evaluator scores against.
+    pub fn system(&self) -> &'a CloudSystem {
+        self.system
+    }
+
+    /// Read access to the wrapped allocation.
+    pub fn alloc(&self) -> &Allocation {
+        &self.alloc
+    }
+
+    /// Unwraps the allocation, dropping the caches.
+    pub fn into_allocation(self) -> Allocation {
+        self.alloc
+    }
+
+    /// Number of servers currently ON, from the cache.
+    pub fn num_active_servers(&mut self) -> usize {
+        self.flush();
+        self.active
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (mirror the `Allocation` API, journaled)
+    // ------------------------------------------------------------------
+
+    /// Sets (or replaces) the placement of `client` on `server`; an
+    /// `alpha == 0` placement removes the pair. Same panics as
+    /// [`Allocation::place`].
+    pub fn place(&mut self, client: ClientId, server: ServerId, placement: Placement) {
+        if placement.alpha == 0.0 {
+            self.remove(client, server);
+            return;
+        }
+        self.journal.push(Undo::Placement {
+            client,
+            server,
+            prev: self.alloc.placement(client, server),
+            prev_load: self.alloc.load(server),
+        });
+        self.alloc.place(self.system, client, server, placement);
+        self.touch_client(client);
+        self.touch_server(server);
+    }
+
+    /// Removes the placement of `client` on `server`, if present.
+    pub fn remove(&mut self, client: ClientId, server: ServerId) {
+        let Some(prev) = self.alloc.placement(client, server) else {
+            return;
+        };
+        self.journal.push(Undo::Placement {
+            client,
+            server,
+            prev: Some(prev),
+            prev_load: self.alloc.load(server),
+        });
+        self.alloc.remove(self.system, client, server);
+        self.touch_client(client);
+        self.touch_server(server);
+    }
+
+    /// Removes every placement of `client` and its cluster assignment,
+    /// returning the placements it held.
+    pub fn clear_client(&mut self, client: ClientId) -> Vec<(ServerId, Placement)> {
+        let held = self.alloc.placements(client).to_vec();
+        for &(server, _) in &held {
+            self.remove(client, server);
+        }
+        let prev = self.alloc.cluster_of(client);
+        if prev.is_some() {
+            self.journal.push(Undo::Cluster { client, prev });
+            self.alloc.set_cluster_raw(client, None);
+        }
+        held
+    }
+
+    /// Assigns `client` to `cluster`. Same panics as
+    /// [`Allocation::assign_cluster`].
+    pub fn assign_cluster(&mut self, client: ClientId, cluster: ClusterId) {
+        let prev = self.alloc.cluster_of(client);
+        if prev == Some(cluster) {
+            return;
+        }
+        self.journal.push(Undo::Cluster { client, prev });
+        self.alloc.assign_cluster(client, cluster);
+    }
+
+    // ------------------------------------------------------------------
+    // Scoring
+    // ------------------------------------------------------------------
+
+    /// Current profit: flushes the dirty sets (rescoring only what recent
+    /// mutations touched) and returns the running total.
+    pub fn profit(&mut self) -> f64 {
+        self.flush();
+        let profit = (self.revenue + self.revenue_comp) - (self.cost + self.cost_comp);
+        #[cfg(feature = "check-incremental")]
+        self.check_against_full_evaluation(profit);
+        profit
+    }
+
+    /// The (up-to-date) outcome of one client, rescoring it if dirty.
+    pub fn outcome(&mut self, client: ClientId) -> ClientOutcome {
+        let i = client.index();
+        if self.client_dirty[i] {
+            self.journal.push(Undo::Totals {
+                revenue: self.revenue,
+                revenue_comp: self.revenue_comp,
+                cost: self.cost,
+                cost_comp: self.cost_comp,
+                active: self.active,
+            });
+            self.refresh_client(client);
+        }
+        self.outcomes[i]
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Marks the current state; see [`ScoredAllocation::rollback_to`].
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint(self.journal.len())
+    }
+
+    /// Restores the exact state (allocation *and* caches, bit-for-bit) the
+    /// evaluator had when `mark` was taken.
+    pub fn rollback_to(&mut self, mark: Savepoint) {
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().expect("journal entry above the savepoint") {
+                Undo::Placement { client, server, prev, prev_load } => {
+                    match prev {
+                        Some(p) => self.alloc.place(self.system, client, server, p),
+                        None => self.alloc.remove(self.system, client, server),
+                    }
+                    self.alloc.restore_load(server, prev_load);
+                }
+                Undo::Cluster { client, prev } => {
+                    self.alloc.set_cluster_raw(client, prev);
+                }
+                Undo::ClientCache { client, prev, prev_dirty } => {
+                    self.outcomes[client.index()] = prev;
+                    if prev_dirty && !self.client_dirty[client.index()] {
+                        self.dirty_clients.push(client);
+                    }
+                    self.client_dirty[client.index()] = prev_dirty;
+                }
+                Undo::ServerCache { server, prev_cost, prev_on, prev_dirty } => {
+                    self.server_cost[server.index()] = prev_cost;
+                    self.server_on[server.index()] = prev_on;
+                    if prev_dirty && !self.server_dirty[server.index()] {
+                        self.dirty_servers.push(server);
+                    }
+                    self.server_dirty[server.index()] = prev_dirty;
+                }
+                Undo::Totals { revenue, revenue_comp, cost, cost_comp, active } => {
+                    self.revenue = revenue;
+                    self.revenue_comp = revenue_comp;
+                    self.cost = cost;
+                    self.cost_comp = cost_comp;
+                    self.active = active;
+                }
+            }
+        }
+    }
+
+    /// Accepts everything since the last commit (or construction): drops
+    /// the journal, invalidating outstanding savepoints. Mutations touched
+    /// by rolled-back flush records stay correctly marked dirty, so
+    /// committing never desynchronizes the caches.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn touch_client(&mut self, client: ClientId) {
+        if !self.client_dirty[client.index()] {
+            self.client_dirty[client.index()] = true;
+            self.dirty_clients.push(client);
+        }
+    }
+
+    fn touch_server(&mut self, server: ServerId) {
+        if !self.server_dirty[server.index()] {
+            self.server_dirty[server.index()] = true;
+            self.dirty_servers.push(server);
+        }
+    }
+
+    /// Rescores every dirty client/server, folding the deltas into the
+    /// running totals. Cache writes are journaled so rollbacks restore
+    /// them exactly.
+    fn flush(&mut self) {
+        if self.dirty_clients.is_empty() && self.dirty_servers.is_empty() {
+            return;
+        }
+        self.journal.push(Undo::Totals {
+            revenue: self.revenue,
+            revenue_comp: self.revenue_comp,
+            cost: self.cost,
+            cost_comp: self.cost_comp,
+            active: self.active,
+        });
+        while let Some(client) = self.dirty_clients.pop() {
+            // Entries may go stale when a rollback clears the flag of a
+            // still-queued client; skip those.
+            if self.client_dirty[client.index()] {
+                self.refresh_client(client);
+            }
+        }
+        while let Some(server) = self.dirty_servers.pop() {
+            if self.server_dirty[server.index()] {
+                self.refresh_server(server);
+            }
+        }
+    }
+
+    /// Rescores one client (flag must be dirty; a totals record must
+    /// already be journaled by the caller).
+    fn refresh_client(&mut self, client: ClientId) {
+        let i = client.index();
+        self.client_dirty[i] = false;
+        let prev = self.outcomes[i];
+        self.journal.push(Undo::ClientCache { client, prev, prev_dirty: true });
+        let new = evaluate_client(self.system, &self.alloc, client);
+        compensated_add(&mut self.revenue, &mut self.revenue_comp, new.revenue - prev.revenue);
+        self.outcomes[i] = new;
+    }
+
+    /// Rescores one server's cost/on-state (flag must be dirty).
+    fn refresh_server(&mut self, server: ServerId) {
+        let j = server.index();
+        self.server_dirty[j] = false;
+        let prev_cost = self.server_cost[j];
+        let prev_on = self.server_on[j];
+        self.journal.push(Undo::ServerCache { server, prev_cost, prev_on, prev_dirty: true });
+        let load = self.alloc.load(server);
+        let on = load.is_on();
+        let new_cost = if on {
+            let class = self.system.class_of(server);
+            class.operation_cost(load.work_processing / class.cap_processing)
+        } else {
+            0.0
+        };
+        compensated_add(&mut self.cost, &mut self.cost_comp, new_cost - prev_cost);
+        self.server_cost[j] = new_cost;
+        self.server_on[j] = on;
+        match (prev_on, on) {
+            (false, true) => self.active += 1,
+            (true, false) => self.active -= 1,
+            _ => {}
+        }
+    }
+
+    /// `check-incremental` anchor: the cached score must match a
+    /// from-scratch evaluation within `1e-6` (and every clean per-client
+    /// cache must match exactly up to float noise).
+    #[cfg(feature = "check-incremental")]
+    fn check_against_full_evaluation(&self, cached_profit: f64) {
+        let full = crate::eval::evaluate(self.system, &self.alloc);
+        let tol = 1e-6 * (1.0 + full.profit.abs());
+        assert!(
+            (full.profit - cached_profit).abs() <= tol,
+            "incremental profit {cached_profit} drifted from full evaluation {}",
+            full.profit
+        );
+        for (i, fresh) in full.clients.iter().enumerate() {
+            let cached = self.outcomes[i];
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + b.abs()) || (a == b);
+            assert!(
+                close(cached.revenue, fresh.revenue)
+                    && (close(cached.response_time, fresh.response_time)
+                        || (cached.response_time.is_infinite()
+                            && fresh.response_time.is_infinite())),
+                "client {i}: cached outcome {cached:?} != fresh {fresh:?}"
+            );
+        }
+        assert_eq!(self.active, full.active_servers, "active-server cache out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::ids::{ServerClassId, UtilityClassId};
+    use crate::{Client, Cluster, Server, ServerClass, UtilityClass, UtilityFunction};
+
+    /// Two clusters × two servers each, three clients, linear SLAs.
+    fn fixture() -> CloudSystem {
+        let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 0.2, 0.1)];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(3.0, 1.0))];
+        let mut system = CloudSystem::new(classes, utils);
+        let k0 = system.add_cluster(Cluster::new(ClusterId(0)));
+        let k1 = system.add_cluster(Cluster::new(ClusterId(1)));
+        for &k in &[k0, k0, k1, k1] {
+            system.add_server(Server::new(ServerClassId(0), k));
+        }
+        for i in 0..3 {
+            system.add_client(Client::new(ClientId(i), UtilityClassId(0), 1.0, 1.0, 0.4, 0.4, 0.5));
+        }
+        system
+    }
+
+    fn agrees_with_full(scored: &mut ScoredAllocation<'_>) {
+        let full = evaluate(scored.system(), scored.alloc()).profit;
+        let cached = scored.profit();
+        assert!(
+            (full - cached).abs() <= 1e-9 * (1.0 + full.abs()),
+            "cached {cached} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn empty_allocation_scores_zero_revenue() {
+        let system = fixture();
+        let mut scored = ScoredAllocation::fresh(&system);
+        assert_eq!(scored.profit(), 0.0);
+        assert_eq!(scored.num_active_servers(), 0);
+    }
+
+    #[test]
+    fn scores_track_mutations() {
+        let system = fixture();
+        let mut scored = ScoredAllocation::fresh(&system);
+        scored.assign_cluster(ClientId(0), ClusterId(0));
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        agrees_with_full(&mut scored);
+        assert_eq!(scored.num_active_servers(), 1);
+
+        scored.assign_cluster(ClientId(1), ClusterId(0));
+        scored.place(ClientId(1), ServerId(1), Placement { alpha: 0.6, phi_p: 0.4, phi_c: 0.4 });
+        scored.place(ClientId(1), ServerId(0), Placement { alpha: 0.4, phi_p: 0.3, phi_c: 0.3 });
+        agrees_with_full(&mut scored);
+        assert_eq!(scored.num_active_servers(), 2);
+
+        scored.remove(ClientId(1), ServerId(1));
+        agrees_with_full(&mut scored);
+        scored.clear_client(ClientId(0));
+        agrees_with_full(&mut scored);
+        assert_eq!(scored.alloc().cluster_of(ClientId(0)), None);
+    }
+
+    #[test]
+    fn rollback_restores_allocation_and_score_exactly() {
+        let system = fixture();
+        let mut scored = ScoredAllocation::fresh(&system);
+        scored.assign_cluster(ClientId(0), ClusterId(0));
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 0.7, phi_p: 0.5, phi_c: 0.5 });
+        scored.place(ClientId(0), ServerId(1), Placement { alpha: 0.3, phi_p: 0.2, phi_c: 0.2 });
+        scored.commit();
+        let profit_before = scored.profit();
+        let alloc_before = scored.alloc().clone();
+
+        let mark = scored.savepoint();
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 0.5, phi_p: 0.45, phi_c: 0.4 });
+        scored.clear_client(ClientId(0));
+        scored.assign_cluster(ClientId(1), ClusterId(1));
+        scored.place(ClientId(1), ServerId(2), Placement { alpha: 1.0, phi_p: 0.6, phi_c: 0.6 });
+        assert_ne!(scored.profit(), profit_before);
+
+        scored.rollback_to(mark);
+        assert_eq!(scored.alloc(), &alloc_before, "allocation must restore bit-exactly");
+        assert_eq!(scored.profit(), profit_before, "score must restore bit-exactly");
+        agrees_with_full(&mut scored);
+    }
+
+    #[test]
+    fn nested_savepoints_unwind_independently() {
+        let system = fixture();
+        let mut scored = ScoredAllocation::fresh(&system);
+        scored.assign_cluster(ClientId(0), ClusterId(0));
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        let outer_profit = scored.profit();
+        let outer = scored.savepoint();
+
+        scored.place(ClientId(0), ServerId(1), Placement { alpha: 0.2, phi_p: 0.2, phi_c: 0.2 });
+        let mid_profit = scored.profit();
+        let inner = scored.savepoint();
+
+        scored.assign_cluster(ClientId(2), ClusterId(0));
+        scored.place(ClientId(2), ServerId(1), Placement { alpha: 1.0, phi_p: 0.3, phi_c: 0.3 });
+        scored.profit();
+
+        scored.rollback_to(inner);
+        assert_eq!(scored.profit(), mid_profit);
+        scored.rollback_to(outer);
+        assert_eq!(scored.profit(), outer_profit);
+        agrees_with_full(&mut scored);
+    }
+
+    #[test]
+    fn rollback_preserves_pre_transaction_dirtiness() {
+        // A client left dirty before the savepoint must be rescored
+        // correctly after a mid-transaction flush is rolled back.
+        let system = fixture();
+        let mut scored = ScoredAllocation::fresh(&system);
+        scored.assign_cluster(ClientId(0), ClusterId(0));
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        // No flush: client 0 is dirty going into the transaction.
+        let mark = scored.savepoint();
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.6, phi_c: 0.6 });
+        scored.profit(); // flush inside the transaction
+        scored.rollback_to(mark);
+        agrees_with_full(&mut scored);
+    }
+
+    #[test]
+    fn outcome_rescores_single_clients() {
+        let system = fixture();
+        let mut scored = ScoredAllocation::fresh(&system);
+        scored.assign_cluster(ClientId(0), ClusterId(0));
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        let outcome = scored.outcome(ClientId(0));
+        let fresh = evaluate_client(&system, scored.alloc(), ClientId(0));
+        assert_eq!(outcome.revenue, fresh.revenue);
+        assert_eq!(outcome.response_time, fresh.response_time);
+        // Unplaced clients keep the zero outcome.
+        assert_eq!(scored.outcome(ClientId(2)).revenue, 0.0);
+        agrees_with_full(&mut scored);
+    }
+
+    #[test]
+    fn zero_alpha_place_removes() {
+        let system = fixture();
+        let mut scored = ScoredAllocation::fresh(&system);
+        scored.assign_cluster(ClientId(0), ClusterId(0));
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        scored.place(ClientId(0), ServerId(0), Placement { alpha: 0.0, phi_p: 0.0, phi_c: 0.0 });
+        assert!(scored.alloc().placements(ClientId(0)).is_empty());
+        assert_eq!(scored.num_active_servers(), 0);
+        agrees_with_full(&mut scored);
+    }
+}

@@ -53,6 +53,7 @@ mod cluster;
 mod error;
 mod eval;
 mod ids;
+mod incremental;
 mod server;
 mod system;
 mod utility;
@@ -67,6 +68,7 @@ pub use eval::{
     ClientOutcome, ProfitReport, Violation, FEASIBILITY_TOL,
 };
 pub use ids::{ClientId, ClusterId, ServerClassId, ServerId, UtilityClassId};
+pub use incremental::{Savepoint, ScoredAllocation};
 pub use server::{Server, ServerClass};
 pub use system::CloudSystem;
 pub use utility::{UtilityClass, UtilityFunction};

@@ -49,10 +49,9 @@ impl ServerClass {
         ] {
             assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
         }
-        for (name, v) in [
-            ("cost_fixed", cost_fixed),
-            ("cost_per_utilization", cost_per_utilization),
-        ] {
+        for (name, v) in
+            [("cost_fixed", cost_fixed), ("cost_per_utilization", cost_per_utilization)]
+        {
             assert!(v.is_finite() && v >= 0.0, "{name} must be non-negative and finite, got {v}");
         }
         Self {

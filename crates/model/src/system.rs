@@ -98,11 +98,7 @@ impl CloudSystem {
             background.storage,
             class.cap_storage
         );
-        assert!(
-            server.cluster.index() < self.clusters.len(),
-            "unknown cluster {}",
-            server.cluster
-        );
+        assert!(server.cluster.index() < self.clusters.len(), "unknown cluster {}", server.cluster);
         let id = ServerId(self.servers.len());
         self.clusters[server.cluster.index()].servers.push(id);
         self.servers.push(server);
@@ -304,10 +300,7 @@ mod tests {
             ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5),
             ServerClass::new(ServerClassId(1), 2.0, 6.0, 3.0, 2.0, 1.0),
         ];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         let k1 = sys.add_cluster(Cluster::new(ClusterId(1)));

@@ -98,10 +98,7 @@ impl UtilityFunction {
             intercept.is_finite() && intercept > 0.0,
             "utility intercept must be positive and finite, got {intercept}"
         );
-        assert!(
-            tau.is_finite() && tau > 0.0,
-            "utility tau must be positive and finite, got {tau}"
-        );
+        assert!(tau.is_finite() && tau > 0.0, "utility tau must be positive and finite, got {tau}");
         Self::Exponential { intercept, tau }
     }
 
@@ -119,11 +116,9 @@ impl UtilityFunction {
         }
         match self {
             Self::Linear { intercept, slope } => (intercept - slope * r).max(0.0),
-            Self::Step { levels } => levels
-                .iter()
-                .find(|&&(t, _)| r <= t)
-                .map(|&(_, v)| v)
-                .unwrap_or(0.0),
+            Self::Step { levels } => {
+                levels.iter().find(|&&(t, _)| r <= t).map(|&(_, v)| v).unwrap_or(0.0)
+            }
             Self::Exponential { intercept, tau } => intercept * (-r / tau).exp(),
         }
     }
@@ -199,12 +194,9 @@ impl UtilityFunction {
                     intercept / slope
                 }
             }
-            Self::Step { levels } => levels
-                .iter()
-                .rev()
-                .find(|&&(_, v)| v > 0.0)
-                .map(|&(t, _)| t)
-                .unwrap_or(0.0),
+            Self::Step { levels } => {
+                levels.iter().rev().find(|&&(_, v)| v > 0.0).map(|&(t, _)| t).unwrap_or(0.0)
+            }
             Self::Exponential { .. } => f64::INFINITY,
         }
     }

@@ -79,8 +79,7 @@ impl Application {
     /// Total predicted processing demand of the application:
     /// `λ·Σ_t v_t·t̄^p_t`.
     pub fn processing_demand(&self) -> f64 {
-        self.rate_predicted
-            * self.tiers.iter().map(|t| t.visits * t.exec_processing).sum::<f64>()
+        self.rate_predicted * self.tiers.iter().map(|t| t.visits * t.exec_processing).sum::<f64>()
     }
 }
 

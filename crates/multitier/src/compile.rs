@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn intercept_split_preserves_the_end_to_end_intercept() {
         let app = shop();
-        let (system, _) = compile(&[app.clone()], &infrastructure());
+        let (system, _) = compile(std::slice::from_ref(&app), &infrastructure());
         // Σ_t v_t·c_t = u0.
         let total: f64 = system
             .clients()
@@ -245,11 +245,8 @@ mod tests {
         ];
         let (system, compiled) = compile(&apps, &infrastructure());
         assert_eq!(system.num_clients(), 5);
-        let result = solve(
-            &system,
-            &SolverConfig { require_service: true, ..Default::default() },
-            1,
-        );
+        let result =
+            solve(&system, &SolverConfig { require_service: true, ..Default::default() }, 1);
         let violations = cloudalloc_model::check_feasibility(&system, &result.allocation);
         assert!(violations
             .iter()

@@ -48,7 +48,10 @@ pub fn min_stable_share(arrival: f64, capacity: f64, exec_time: f64) -> f64 {
         "arrival must be non-negative and finite, got {arrival}"
     );
     assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive, got {capacity}");
-    assert!(exec_time.is_finite() && exec_time > 0.0, "exec_time must be positive, got {exec_time}");
+    assert!(
+        exec_time.is_finite() && exec_time > 0.0,
+        "exec_time must be positive, got {exec_time}"
+    );
     arrival * exec_time / capacity
 }
 
@@ -82,10 +85,7 @@ pub fn wfq_weights(shares: &[f64]) -> Vec<f64> {
     let total: f64 = shares
         .iter()
         .map(|&s| {
-            assert!(
-                s.is_finite() && (0.0..=1.0).contains(&s),
-                "share must lie in [0,1], got {s}"
-            );
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s), "share must lie in [0,1], got {s}");
             s
         })
         .sum();

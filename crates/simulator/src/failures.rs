@@ -37,8 +37,16 @@ impl FailureConfig {
     ///
     /// Panics if either time is not strictly positive and finite.
     pub fn validate(&self) {
-        assert!(self.mtbf.is_finite() && self.mtbf > 0.0, "mtbf must be positive, got {}", self.mtbf);
-        assert!(self.mttr.is_finite() && self.mttr > 0.0, "mttr must be positive, got {}", self.mttr);
+        assert!(
+            self.mtbf.is_finite() && self.mtbf > 0.0,
+            "mtbf must be positive, got {}",
+            self.mtbf
+        );
+        assert!(
+            self.mttr.is_finite() && self.mttr > 0.0,
+            "mttr must be positive, got {}",
+            self.mttr
+        );
     }
 
     /// Long-run fraction of time a server is available:

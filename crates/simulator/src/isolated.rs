@@ -115,10 +115,7 @@ pub fn run(system: &CloudSystem, alloc: &Allocation, config: &SimConfig) -> SimR
     }
     if let Some(failures) = &config.failures {
         for slot in 0..servers.len() {
-            events.push(
-                sampling::exponential(u01(&mut rng), 1.0 / failures.mtbf),
-                Ev::Fail(slot),
-            );
+            events.push(sampling::exponential(u01(&mut rng), 1.0 / failures.mtbf), Ev::Fail(slot));
         }
     }
 
@@ -272,11 +269,7 @@ pub fn run(system: &CloudSystem, alloc: &Allocation, config: &SimConfig) -> SimR
         }
     }
 
-    SimReport {
-        clients: stats,
-        events: processed,
-        measured_time: config.horizon - config.warmup,
-    }
+    SimReport { clients: stats, events: processed, measured_time: config.horizon - config.warmup }
 }
 
 #[cfg(test)]
@@ -288,25 +281,25 @@ mod tests {
 
     /// One client, one server, generous shares: the measured mean response
     /// must match the M/M/1 tandem formula within Monte-Carlo error.
-    fn single_client_system(
-        phi: f64,
-    ) -> (CloudSystem, Allocation) {
+    fn single_client_system(phi: f64) -> (CloudSystem, Allocation) {
         use cloudalloc_model::{
             Client, Cluster, ClusterId, Server, ServerClass, ServerClassId, UtilityClass,
             UtilityClassId, UtilityFunction,
         };
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         sys.add_server(Server::new(ServerClassId(0), k0));
         sys.add_client(Client::new(ClientId(0), UtilityClassId(0), 1.0, 1.0, 0.5, 0.5, 0.5));
         let mut alloc = Allocation::new(&sys);
         alloc.assign_cluster(ClientId(0), k0);
-        alloc.place(&sys, ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: phi, phi_c: phi });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(0),
+            Placement { alpha: 1.0, phi_p: phi, phi_c: phi },
+        );
         (sys, alloc)
     }
 
@@ -315,7 +308,8 @@ mod tests {
         let (sys, alloc) = single_client_system(0.5);
         // service rate = 0.5*4/0.5 = 4 per stage, arrival 1 → R = 2/(4−1).
         let expected = 2.0 / 3.0;
-        let config = SimConfig { horizon: 40_000.0, warmup: 2_000.0, seed: 7, ..Default::default() };
+        let config =
+            SimConfig { horizon: 40_000.0, warmup: 2_000.0, seed: 7, ..Default::default() };
         let report = run(&sys, &alloc, &config);
         let measured = report.clients[0].mean_response();
         assert!(
@@ -366,13 +360,10 @@ mod tests {
         let (sys, alloc) = single_client_system(0.5);
         let base = SimConfig { horizon: 30_000.0, warmup: 1_000.0, seed: 9, ..Default::default() };
         let exp = run(&sys, &alloc, &base).clients[0].mean_response();
-        let det = run(
-            &sys,
-            &alloc,
-            &SimConfig { service: ServiceDistribution::Deterministic, ..base },
-        )
-        .clients[0]
-            .mean_response();
+        let det =
+            run(&sys, &alloc, &SimConfig { service: ServiceDistribution::Deterministic, ..base })
+                .clients[0]
+                .mean_response();
         assert!(det < exp, "M/D/1 {det} should beat M/M/1 {exp}");
         // And the P-K prediction for the mean response of one stage:
         // R = 1/μ + ρ/(2μ(1−ρ)) with μ=4, ρ=0.25 → per stage ≈ 0.2917.
@@ -411,10 +402,7 @@ mod tests {
         let bursty = run(
             &sys,
             &alloc,
-            &SimConfig {
-                service: ServiceDistribution::HyperExponential { cv2: 6.0 },
-                ..base
-            },
+            &SimConfig { service: ServiceDistribution::HyperExponential { cv2: 6.0 }, ..base },
         )
         .clients[0]
             .mean_response();
@@ -451,10 +439,7 @@ mod tests {
             UtilityClassId, UtilityFunction,
         };
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         let s0 = sys.add_server(Server::new(ServerClassId(0), k0));
@@ -474,19 +459,14 @@ mod tests {
         let static_r = run(&sys, &alloc, &base).clients[0].mean_response();
         let lw = SimConfig { routing: crate::routing::RoutingPolicy::LeastWork, ..base };
         let least_work_r = run(&sys, &alloc, &lw).clients[0].mean_response();
-        assert!(
-            least_work_r < static_r,
-            "least-work {least_work_r} should beat static {static_r}"
-        );
+        assert!(least_work_r < static_r, "least-work {least_work_r} should beat static {static_r}");
     }
 
     #[test]
     fn failure_runs_are_deterministic() {
         let (sys, alloc) = single_client_system(0.8);
-        let config = SimConfig {
-            failures: Some(FailureConfig::new(50.0, 10.0)),
-            ..SimConfig::quick(21)
-        };
+        let config =
+            SimConfig { failures: Some(FailureConfig::new(50.0, 10.0)), ..SimConfig::quick(21) };
         let a = run(&sys, &alloc, &config);
         let b = run(&sys, &alloc, &config);
         assert_eq!(a.events, b.events);

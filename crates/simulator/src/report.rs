@@ -55,9 +55,7 @@ impl SimReport {
             .map(|(i, stats)| {
                 let client = system.client(cloudalloc_model::ClientId(i));
                 client.rate_agreed
-                    * system
-                        .utility_of(client.id)
-                        .value(stats.mean_response().min(f64::MAX))
+                    * system.utility_of(client.id).value(stats.mean_response().min(f64::MAX))
             })
             .sum()
     }
@@ -69,12 +67,8 @@ mod tests {
 
     #[test]
     fn empty_clients_report_infinite_response() {
-        let stats = ClientSimStats {
-            arrivals: 0,
-            completed: 0,
-            dropped: 0,
-            responses: Sample::new(),
-        };
+        let stats =
+            ClientSimStats { arrivals: 0, completed: 0, dropped: 0, responses: Sample::new() };
         assert_eq!(stats.mean_response(), f64::INFINITY);
     }
 
@@ -86,8 +80,7 @@ mod tests {
             dropped: 0,
             responses: (0..n).map(|i| i as f64).collect(),
         };
-        let report =
-            SimReport { clients: vec![mk(2), mk(3)], events: 10, measured_time: 100.0 };
+        let report = SimReport { clients: vec![mk(2), mk(3)], events: 10, measured_time: 100.0 };
         assert_eq!(report.total_completed(), 5);
     }
 }

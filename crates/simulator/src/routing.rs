@@ -47,10 +47,7 @@ pub fn least_work_choice(waits: &[f64], probs: &[f64]) -> Option<usize> {
         }
         let better = match best {
             None => true,
-            Some(b) => {
-                waits[idx] < waits[b]
-                    || (waits[idx] == waits[b] && probs[idx] > probs[b])
-            }
+            Some(b) => waits[idx] < waits[b] || (waits[idx] == waits[b] && probs[idx] > probs[b]),
         };
         if better {
             best = Some(idx);

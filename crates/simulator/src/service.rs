@@ -9,9 +9,10 @@ use serde::{Deserialize, Serialize};
 
 /// Distribution of one request's service requirement (mean fixed by the
 /// queue; the distribution sets the shape).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ServiceDistribution {
     /// Exponential — the analytic model's assumption (CV² = 1).
+    #[default]
     Exponential,
     /// Two-phase balanced hyperexponential with squared coefficient of
     /// variation `cv2 > 1` — bursty service.
@@ -21,12 +22,6 @@ pub enum ServiceDistribution {
     },
     /// Deterministic service (CV² = 0) — the M/D/1 regime.
     Deterministic,
-}
-
-impl Default for ServiceDistribution {
-    fn default() -> Self {
-        Self::Exponential
-    }
 }
 
 impl ServiceDistribution {
@@ -66,8 +61,11 @@ impl ServiceDistribution {
                 // p = (1 + √((cv²−1)/(cv²+1)))/2, rates μ_i = 2p_i/mean,
                 // giving mean `mean` and the requested cv².
                 let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
-                let (prob, rate) =
-                    if u_choice <= p { (p, 2.0 * p / mean) } else { (1.0 - p, 2.0 * (1.0 - p) / mean) };
+                let (prob, rate) = if u_choice <= p {
+                    (p, 2.0 * p / mean)
+                } else {
+                    (1.0 - p, 2.0 * (1.0 - p) / mean)
+                };
                 debug_assert!(prob > 0.0);
                 cloudalloc_queueing::sampling::exponential(u_value, rate)
             }

@@ -108,7 +108,10 @@ enum Ev {
     Arrive(usize),
     /// A processor's predicted earliest completion; stale when the
     /// version no longer matches.
-    Complete { pid: usize, version: u64 },
+    Complete {
+        pid: usize,
+        version: u64,
+    },
 }
 
 fn u01(rng: &mut StdRng) -> f64 {
@@ -271,11 +274,7 @@ pub fn run(system: &CloudSystem, alloc: &Allocation, config: &SimConfig) -> SimR
         }
     }
 
-    SimReport {
-        clients: stats,
-        events: processed,
-        measured_time: config.horizon - config.warmup,
-    }
+    SimReport { clients: stats, events: processed, measured_time: config.horizon - config.warmup }
 }
 
 #[cfg(test)]
@@ -290,10 +289,7 @@ mod tests {
             UtilityClassId, UtilityFunction,
         };
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         sys.add_server(Server::new(ServerClassId(0), k0));
@@ -338,17 +334,19 @@ mod tests {
             UtilityClassId, UtilityFunction,
         };
         let classes = vec![ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5)];
-        let utils = vec![UtilityClass::new(
-            UtilityClassId(0),
-            UtilityFunction::linear(2.0, 0.5),
-        )];
+        let utils = vec![UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5))];
         let mut sys = CloudSystem::new(classes, utils);
         let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
         sys.add_server(Server::new(ServerClassId(0), k0));
         sys.add_client(Client::new(ClientId(0), UtilityClassId(0), 1.0, 1.0, 0.5, 0.5, 0.5));
         let mut alloc = Allocation::new(&sys);
         alloc.assign_cluster(ClientId(0), k0);
-        alloc.place(&sys, ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        alloc.place(
+            &sys,
+            ClientId(0),
+            ServerId(0),
+            Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 },
+        );
         let config = SimConfig {
             horizon: 40_000.0,
             warmup: 2_000.0,

@@ -33,7 +33,11 @@ impl ValidationRow {
 /// Simulates `alloc` and compares each served client's measured mean
 /// response against the analytic prediction. Unserved clients (infinite
 /// analytic response) are skipped.
-pub fn validate(system: &CloudSystem, alloc: &Allocation, config: &SimConfig) -> Vec<ValidationRow> {
+pub fn validate(
+    system: &CloudSystem,
+    alloc: &Allocation,
+    config: &SimConfig,
+) -> Vec<ValidationRow> {
     let analytic = evaluate(system, alloc);
     let report = simulate(system, alloc, config);
     analytic

@@ -113,10 +113,7 @@ pub fn interactive_gold() -> SlaTemplate {
 
 /// Interactive standard SLA: linear decay, tolerant to ~3 time units.
 pub fn interactive_silver() -> SlaTemplate {
-    SlaTemplate {
-        name: "interactive-silver",
-        utility: UtilityFunction::linear(1.8, 0.6),
-    }
+    SlaTemplate { name: "interactive-silver", utility: UtilityFunction::linear(1.8, 0.6) }
 }
 
 /// Batch SLA: low price, very tolerant (smooth exponential decay).

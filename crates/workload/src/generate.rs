@@ -96,12 +96,12 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> CloudSystem {
     }
     for k in 0..config.num_clusters {
         for class in 0..config.num_server_classes {
-            let count =
-                rng.gen_range(config.servers_per_class.lo as usize..=config.servers_per_class.hi as usize);
+            let count = rng.gen_range(
+                config.servers_per_class.lo as usize..=config.servers_per_class.hi as usize,
+            );
             for _ in 0..count {
                 let server = Server::new(ServerClassId(class), ClusterId(k));
-                if config.background_fraction > 0.0
-                    && rng.gen::<f64>() < config.background_fraction
+                if config.background_fraction > 0.0 && rng.gen::<f64>() < config.background_fraction
                 {
                     let storage_cap = system.server_classes()[class].cap_storage;
                     let bg = BackgroundLoad::new(
@@ -213,10 +213,7 @@ mod tests {
         let mut config = ScenarioConfig::small(5);
         config.background_fraction = 1.0;
         let sys = generate(&config, 9);
-        let loaded = sys
-            .all_servers()
-            .filter(|s| !sys.background(s.id).is_empty())
-            .count();
+        let loaded = sys.all_servers().filter(|s| !sys.background(s.id).is_empty()).count();
         assert_eq!(loaded, sys.num_servers());
 
         let sys = generate(&ScenarioConfig::small(5), 9);

@@ -39,10 +39,7 @@ impl DiurnalTrace {
     /// Panics on out-of-domain parameters.
     pub fn new(num_clients: usize, period: f64, amplitude: f64, noise: f64, seed: u64) -> Self {
         assert!(period.is_finite() && period > 0.0, "period must be positive, got {period}");
-        assert!(
-            (0.0..1.0).contains(&amplitude),
-            "amplitude must lie in [0,1), got {amplitude}"
-        );
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must lie in [0,1), got {amplitude}");
         assert!(noise.is_finite() && noise >= 0.0, "noise must be non-negative, got {noise}");
         let mut rng = StdRng::seed_from_u64(seed);
         let phases = (0..num_clients).map(|_| rng.gen::<f64>()).collect();

@@ -27,27 +27,17 @@ fn main() {
     ]);
     // Degrade the utility intercepts: premium contracts pay up to 3 money
     // units per request, junk contracts barely above zero.
-    for (label, lo, hi) in [
-        ("premium", 2.0, 3.0),
-        ("standard", 1.0, 3.0),
-        ("thin", 0.5, 1.5),
-        ("junk", 0.1, 0.6),
-    ] {
-        let scenario = ScenarioConfig {
-            utility_intercept: Range::new(lo, hi),
-            ..ScenarioConfig::paper(30)
-        };
+    for (label, lo, hi) in
+        [("premium", 2.0, 3.0), ("standard", 1.0, 3.0), ("thin", 0.5, 1.5), ("junk", 0.1, 0.6)]
+    {
+        let scenario =
+            ScenarioConfig { utility_intercept: Range::new(lo, hi), ..ScenarioConfig::paper(30) };
         let system = generate(&scenario, 777);
         let decline = solve(&system, &SolverConfig::default(), 1);
-        let serve_all = solve(
-            &system,
-            &SolverConfig { require_service: true, ..Default::default() },
-            1,
-        );
+        let serve_all =
+            solve(&system, &SolverConfig { require_service: true, ..Default::default() }, 1);
         let served = |r: &cloudalloc::core::SolveResult| {
-            (0..30)
-                .filter(|&i| !r.allocation.placements(ClientId(i)).is_empty())
-                .count()
+            (0..30).filter(|&i| !r.allocation.placements(ClientId(i)).is_empty()).count()
         };
         table.row(vec![
             label.into(),

@@ -72,11 +72,7 @@ fn main() {
         &result.allocation,
         &SimConfig { horizon: 5_000.0, warmup: 500.0, seed: 1, ..Default::default() },
     );
-    let mean_err = rows
-        .iter()
-        .map(|r| r.relative_error())
-        .sum::<f64>()
-        / rows.len().max(1) as f64;
+    let mean_err = rows.iter().map(|r| r.relative_error()).sum::<f64>() / rows.len().max(1) as f64;
     println!(
         "simulator check at {best_mult:.1}x: {} clients measured, mean |analytic − simulated| = {:.1}%",
         rows.len(),

@@ -41,9 +41,7 @@ fn main() {
     let report = evaluate(&system, &alloc);
     println!(
         "after local search:  profit {:.2}, {} servers active ({} rounds)",
-        report.profit,
-        report.active_servers,
-        stats.rounds
+        report.profit, report.active_servers, stats.rounds
     );
     println!(
         "consolidation: {} fewer machines powered, {:+.2} profit\n",

@@ -14,8 +14,7 @@ use cloudalloc::workload::{generate, ScenarioConfig};
 
 fn main() {
     let system = generate(&ScenarioConfig::paper(30), 11);
-    let base_rates: Vec<f64> =
-        system.clients().iter().map(|c| c.rate_predicted).collect();
+    let base_rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
 
     let predictor = EwmaPredictor::new(0.35, &base_rates);
     let config = EpochConfig { solver: SolverConfig::default(), resolve_threshold: 0.12 };
@@ -62,8 +61,7 @@ fn main() {
     // Close the loop: replay the final epoch's allocation against the
     // discrete-event simulator at the *realized* rates.
     let final_rates = drift.current().to_vec();
-    let final_system = generate(&ScenarioConfig::paper(30), 11)
-        .with_predicted_rates(&final_rates);
+    let final_system = generate(&ScenarioConfig::paper(30), 11).with_predicted_rates(&final_rates);
     let sim = simulate(
         &final_system,
         manager.allocation(),

@@ -33,10 +33,7 @@ fn main() {
         // A 2-tier API service with a strict step SLA.
         Application::new(
             "partner-api",
-            vec![
-                Tier::new(1.0, 0.35, 0.40, 0.5),
-                Tier::new(1.2, 0.55, 0.30, 0.8),
-            ],
+            vec![Tier::new(1.0, 0.35, 0.40, 0.5), Tier::new(1.2, 0.55, 0.30, 0.8)],
             1.0,
             1.0,
             UtilityFunction::step(vec![(1.0, 3.0), (2.5, 1.0)]),

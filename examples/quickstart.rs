@@ -39,10 +39,7 @@ fn main() {
     );
     println!(
         "local search: initial {:.2} → final {:.2} in {} rounds (converged: {})",
-        result.initial_profit,
-        result.report.profit,
-        result.stats.rounds,
-        result.stats.converged
+        result.initial_profit, result.report.profit, result.stats.rounds, result.stats.converged
     );
 
     // Every constraint of the optimization problem holds.

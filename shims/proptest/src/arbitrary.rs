@@ -1,0 +1,71 @@
+//! `any::<T>()`: full-range generation for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore as _};
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` — adequate for the workspace's uses, and free
+    /// of the NaN/infinity cases full bit-pattern generation would need
+    /// special treatment for.
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,21 @@
+//! Named full-range strategies (`proptest::num::u64::ANY`, ...).
+
+/// Strategies for `u64`.
+pub mod u64 {
+    use std::marker::PhantomData;
+
+    use crate::arbitrary::Any;
+
+    /// Any `u64`, uniformly.
+    pub const ANY: Any<u64> = Any(PhantomData);
+}
+
+/// Strategies for `u32`.
+pub mod u32 {
+    use std::marker::PhantomData;
+
+    use crate::arbitrary::Any;
+
+    /// Any `u32`, uniformly.
+    pub const ANY: Any<u32> = Any(PhantomData);
+}

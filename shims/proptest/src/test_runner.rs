@@ -1,0 +1,124 @@
+//! The case-driving loop behind `proptest!` and explicit runner usage.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of cases to generate and run.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; fails the whole test.
+    Fail(String),
+    /// The case's precondition did not hold; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "property failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "case rejected: {msg}"),
+        }
+    }
+}
+
+/// A failed run: the message and the input that triggered it.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TestError {
+    msg: String,
+}
+
+impl fmt::Debug for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Drives a property over `Config::cases` generated inputs.
+pub struct TestRunner {
+    config: Config,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Builds a runner with a fixed internal seed (runs are deterministic).
+    pub fn new(config: Config) -> Self {
+        TestRunner { config, rng: StdRng::seed_from_u64(0x5EED_CAFE_F00D_D00D) }
+    }
+
+    /// Runs `test` over generated inputs; the first failure aborts with an
+    /// error naming the offending input. Rejected cases are skipped, with
+    /// a cap on consecutive rejections to surface vacuous properties.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) -> Result<(), TestError> {
+        let mut executed = 0u32;
+        let mut rejected = 0u32;
+        while executed < self.config.cases {
+            if rejected > 16 * self.config.cases.max(1) {
+                return Err(TestError {
+                    msg: format!("too many rejected cases ({rejected}) for {} executed", executed),
+                });
+            }
+            let value = strategy.generate(&mut self.rng);
+            let shown = format!("{value:?}");
+            match test(value) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(TestError {
+                        msg: format!("{msg}; input: {shown} (case {executed})"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's zero-copy visitor architecture, this shim funnels
+//! everything through a self-describing [`value::Value`] tree:
+//! [`Serialize`] renders a type *to* a `Value`, [`Deserialize`] rebuilds it
+//! *from* one. `serde_json` (the sibling shim) converts between `Value`
+//! and JSON text. The `derive` feature re-exports the `serde_derive` shim
+//! proc-macros, which generate impls of these two traits for plain
+//! structs and enums (the only shapes this workspace derives).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a tree of [`Value`]s.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a tree of [`Value`]s.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 => *x as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range")))?,
+                    Value::F64(x) if x.fract() == 0.0 => *x as i64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            // Non-finite floats serialize as null (JSON has no literal
+            // for them); NaN is the honest reconstruction.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Exists so derives on types with `&'static str` fields compile;
+    /// borrowed deserialization has no owned backing store in the value
+    /// model, so actually invoking it is an error.
+    fn from_value(_: &Value) -> Result<Self, Error> {
+        Err(Error::custom("cannot deserialize into borrowed &'static str"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq()?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, found sequence of {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = u64::from_value(v.field("secs")?)?;
+        let nanos = u32::from_value(v.field("nanos")?)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![(1.0f64, 2.0f64), (3.5, -0.0)];
+        let back: Vec<(f64, f64)> = Deserialize::from_value(&xs.to_value()).unwrap();
+        assert_eq!(back, xs);
+        let opt: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&opt.to_value()).unwrap(), None);
+        let dur = std::time::Duration::new(3, 450);
+        assert_eq!(std::time::Duration::from_value(&dur.to_value()).unwrap(), dur);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(<(f64, f64)>::from_value(&Value::Seq(vec![Value::F64(1.0)])).is_err());
+    }
+}

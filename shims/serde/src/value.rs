@@ -1,0 +1,85 @@
+//! The self-describing data model all (de)serialization funnels through.
+
+use crate::Error;
+
+/// A JSON-shaped value tree.
+///
+/// Maps preserve insertion order (they are association lists, not hash
+/// maps), so serialization output is deterministic and mirrors field
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by name.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => {
+                Err(Error::custom(format!("expected object with field `{name}`, found {other:?}")))
+            }
+        }
+    }
+
+    /// Looks up a field of an object by name, treating a missing key as
+    /// `null`. Derived struct deserialization goes through this so that
+    /// `Option` fields added after data was written decode as `None`
+    /// instead of failing (non-`Option` fields still error, on the
+    /// `Null`).
+    pub fn field_or_null(&self, name: &str) -> Result<&Value, Error> {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Map(entries) => {
+                Ok(entries.iter().find(|(k, _)| k == name).map_or(&NULL, |(_, v)| v))
+            }
+            other => {
+                Err(Error::custom(format!("expected object with field `{name}`, found {other:?}")))
+            }
+        }
+    }
+
+    /// Views the value as a sequence.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::custom(format!("expected sequence, found {other:?}"))),
+        }
+    }
+
+    /// Views the value as an object (association list).
+    pub fn as_map(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(Error::custom(format!("expected object, found {other:?}"))),
+        }
+    }
+
+    /// Views the value as a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the serde *shim*'s `Serialize`/`Deserialize` traits
+//! (a `Value`-tree data model) for the item shapes this workspace
+//! actually derives: non-generic structs (named, tuple, unit) and enums
+//! with unit / named / tuple variants. The input is parsed directly from
+//! the `proc_macro` token stream — no `syn`/`quote`, so the shim has no
+//! dependencies of its own.
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one the
+//! workspace uses is `#[serde(transparent)]` on newtype id wrappers,
+//! and single-field tuple structs are emitted transparently anyway
+//! (matching upstream serde's newtype-struct JSON encoding).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives the serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser { toks: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                other => panic!("expected attribute brackets after `#`, found {other:?}"),
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skips tokens up to (and including) the next comma at angle-bracket
+    /// depth zero. Returns false when the stream ended instead.
+    fn skip_until_top_level_comma(&mut self) -> bool {
+        let mut angle_depth: i32 = 0;
+        while let Some(tok) = self.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut p = Parser::new(input);
+    p.skip_attrs();
+    p.skip_visibility();
+    let keyword = p.expect_ident();
+    let name = p.expect_ident();
+    if let Some(TokenTree::Punct(pu)) = p.peek() {
+        if pu.as_char() == '<' {
+            panic!("the serde shim derive does not support generic types (on `{name}`)");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(pu)) if pu.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive supports structs and enums, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut p = Parser::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        p.skip_attrs();
+        if p.peek().is_none() {
+            break;
+        }
+        p.skip_visibility();
+        let field = p.expect_ident();
+        match p.next() {
+            Some(TokenTree::Punct(pu)) if pu.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        if !p.skip_until_top_level_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut p = Parser::new(stream);
+    let mut count = 0;
+    loop {
+        p.skip_attrs();
+        if p.peek().is_none() {
+            break;
+        }
+        p.skip_visibility();
+        count += 1;
+        if !p.skip_until_top_level_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut p = Parser::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        p.skip_attrs();
+        if p.peek().is_none() {
+            break;
+        }
+        let name = p.expect_ident();
+        let fields = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                p.pos += 1;
+                VariantFields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                p.pos += 1;
+                VariantFields::Tuple(count_tuple_fields(inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a possible explicit discriminant, then the separating comma.
+        if !p.skip_until_top_level_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => format!(
+            "{VALUE}::Map(::std::vec![{}])",
+            fields
+                .iter()
+                .map(|f| format!(
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}))"
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => format!(
+            "{VALUE}::Seq(::std::vec![{}])",
+            (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Kind::UnitStruct => format!("{VALUE}::Null"),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = format!("::std::string::String::from(\"{vname}\")");
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(arms, "{name}::{vname} => {VALUE}::Str({tag}),");
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {binds} }} => {VALUE}::Map(::std::vec![({tag}, \
+                             {VALUE}::Map(::std::vec![{entries}]))]),"
+                        );
+                    }
+                    VariantFields::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(__f0) => {VALUE}::Map(::std::vec![({tag}, \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds =
+                            (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>().join(", ");
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({binds}) => {VALUE}::Map(::std::vec![({tag}, \
+                             {VALUE}::Seq(::std::vec![{items}]))]),"
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {VALUE} {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => format!(
+            "::std::result::Result::Ok({name} {{ {} }})",
+            fields
+                .iter()
+                .map(|f| format!(
+                    "{f}: ::serde::Deserialize::from_value(__v.field_or_null(\"{f}\")?)?"
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => format!(
+            "{{ let __seq = __v.as_seq()?; \
+               if __seq.len() != {n} {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                       \"expected {n} fields for {name}, found {{}}\", __seq.len()))); }} \
+               ::std::result::Result::Ok({name}({fields})) }}",
+            fields = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: ::serde::Deserialize::from_value(__inner.field_or_null(\"{f}\")?)?"
+                            ))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                        );
+                    }
+                    VariantFields::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let inits = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => {{ let __seq = __inner.as_seq()?; \
+                             if __seq.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong tuple variant arity for {name}::{vname}\")); }} \
+                             ::std::result::Result::Ok({name}::{vname}({inits})) }},"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     {VALUE}::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     {VALUE}::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"invalid value for enum {name}: {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &{VALUE}) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Converts between JSON text and the serde shim's `Value` data model.
+//! Floats are printed with Rust's shortest-roundtrip formatting, so every
+//! finite `f64` survives `to_string` → `from_str` bit-exactly (the
+//! property the workspace's serialization tests rely on). Non-finite
+//! floats serialize as `null` and deserialize back as `NaN`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is shortest-roundtrip: parsing it back yields the
+                // identical bits, and it always contains `.` or `e` so the
+                // reader keeps it a float.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i, indent, depth| {
+                write_value(out, &items[i], indent, depth);
+            })
+        }
+        Value::Map(entries) => {
+            write_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i, indent, depth| {
+                write_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &entries[i].1, indent, depth);
+            })
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, usize, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(out, i, indent, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = JsonParser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => {
+                Err(Error::new(format!("unexpected `{}` at offset {}", b as char, self.pos)))
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::new("unterminated escape sequence"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1, 1.0 / 3.0, 1e-300, -2.5e17, 0.0, -0.0f64, f64::MAX, f64::MIN_POSITIVE] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "json was {json}");
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs: Vec<(f64, u64)> = vec![(1.5, 2), (-0.25, 9)];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<(f64, u64)> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let xs = vec![vec![1u64, 2], vec![3]];
+        let pretty = to_string_pretty(&xs).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<Vec<u64>> = from_str(&pretty).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<u64>("[1").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<u64>("\"x\"").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}

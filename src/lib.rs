@@ -25,8 +25,8 @@ pub use cloudalloc_core as core;
 pub use cloudalloc_distributed as distributed;
 pub use cloudalloc_epoch as epoch;
 pub use cloudalloc_metrics as metrics;
-pub use cloudalloc_multitier as multitier;
 pub use cloudalloc_model as model;
+pub use cloudalloc_multitier as multitier;
 pub use cloudalloc_queueing as queueing;
 pub use cloudalloc_simulator as simulator;
 pub use cloudalloc_workload as workload;

@@ -30,8 +30,7 @@ fn generate_solve_verify_simulate() {
     let config = SimConfig { horizon: 6_000.0, warmup: 500.0, seed: 2, ..Default::default() };
     let rows = validate(&system, &result.allocation, &config);
     assert_eq!(rows.len(), 25, "every client must be served and measured");
-    let mean_err: f64 =
-        rows.iter().map(|r| r.relative_error()).sum::<f64>() / rows.len() as f64;
+    let mean_err: f64 = rows.iter().map(|r| r.relative_error()).sum::<f64>() / rows.len() as f64;
     assert!(mean_err < 0.15, "analytic model off by {:.1}% on average", mean_err * 100.0);
 }
 
@@ -56,7 +55,13 @@ fn shared_gps_is_a_conservative_refinement() {
     // prediction by more than noise.
     let system = generate(&ScenarioConfig::paper(15), 1003);
     let result = solve(&system, &SolverConfig::fast(), 3);
-    let config = SimConfig { horizon: 6_000.0, warmup: 500.0, seed: 4, mode: GpsMode::Shared, ..Default::default() };
+    let config = SimConfig {
+        horizon: 6_000.0,
+        warmup: 500.0,
+        seed: 4,
+        mode: GpsMode::Shared,
+        ..Default::default()
+    };
     let report = simulate(&system, &result.allocation, &config);
     let analytic_total: f64 = result
         .report

@@ -10,11 +10,11 @@ use cloudalloc::workload::{generate, Range, ScenarioConfig};
 
 fn arbitrary_scenario() -> impl Strategy<Value = (ScenarioConfig, u64)> {
     (
-        2usize..14,              // clients
-        1usize..4,               // clusters
-        1usize..4,               // server classes
-        0.5f64..3.5,             // arrival hi
-        any::<u64>(),            // seed
+        2usize..14,   // clients
+        1usize..4,    // clusters
+        1usize..4,    // server classes
+        0.5f64..3.5,  // arrival hi
+        any::<u64>(), // seed
     )
         .prop_map(|(clients, clusters, classes, rate_hi, seed)| {
             let config = ScenarioConfig {
@@ -111,6 +111,128 @@ proptest! {
             "higher prices lowered profit: {} -> {}",
             low.report.profit,
             high.report.profit
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental evaluator properties
+// ---------------------------------------------------------------------------
+
+use cloudalloc::model::{ClusterId, Placement, ScoredAllocation, ServerId};
+
+/// SplitMix64 step: cheap deterministic decisions for the mutation driver
+/// without consuming proptest entropy per choice.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Applies one pseudo-random journaled mutation: clear a client, or move it
+/// into a random cluster and (re)place it on a random server there. Every
+/// path exercises the journal, including no-op removes and replacements.
+fn random_mutation(scored: &mut ScoredAllocation<'_>, state: &mut u64) {
+    let system = scored.system();
+    let client = ClientId(mix(state) as usize % system.num_clients());
+    if mix(state).is_multiple_of(4) {
+        scored.clear_client(client);
+        return;
+    }
+    let cluster = ClusterId(mix(state) as usize % system.num_clusters());
+    let servers: Vec<ServerId> = system.servers_in(cluster).map(|s| s.id).collect();
+    if servers.is_empty() {
+        return;
+    }
+    if scored.alloc().cluster_of(client) != Some(cluster) {
+        scored.clear_client(client);
+        scored.assign_cluster(client, cluster);
+    }
+    let server = servers[mix(state) as usize % servers.len()];
+    let unit = |state: &mut u64| (mix(state) % 1_000) as f64 / 1_000.0;
+    let placement = Placement {
+        alpha: 0.05 + 0.95 * unit(state),
+        phi_p: 0.05 + 0.45 * unit(state),
+        phi_c: 0.05 + 0.45 * unit(state),
+    };
+    scored.place(client, server, placement);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The incremental evaluator's cached profit equals a from-scratch
+    /// `evaluate()` after any sequence of journaled mutations — including
+    /// overloaded, partially-served and otherwise infeasible states the
+    /// solver would never visit.
+    #[test]
+    fn incremental_profit_matches_full_evaluation(
+        (config, seed) in arbitrary_scenario(),
+        mutation_seed in any::<u64>(),
+        steps in 1usize..24,
+    ) {
+        let system = generate(&config, seed);
+        // Start from a realistic solver state, not just an empty allocation.
+        let start = solve(&system, &SolverConfig::fast(), seed).allocation;
+        let mut scored = ScoredAllocation::new(&system, start);
+        let mut state = mutation_seed;
+        for step in 0..steps {
+            random_mutation(&mut scored, &mut state);
+            if step % 3 == 2 {
+                scored.commit();
+            }
+            let cached = scored.profit();
+            let fresh = evaluate(&system, scored.alloc()).profit;
+            prop_assert!(
+                (cached - fresh).abs() <= 1e-6 * (1.0 + fresh.abs()),
+                "step {step}: cached {cached} vs fresh {fresh}"
+            );
+        }
+    }
+
+    /// Rolling back to a savepoint restores the allocation *and* the cached
+    /// score exactly, even across nested savepoints and interleaved flushes.
+    #[test]
+    fn rollback_restores_allocation_and_score_exactly(
+        (config, seed) in arbitrary_scenario(),
+        mutation_seed in any::<u64>(),
+        steps in 1usize..16,
+    ) {
+        let system = generate(&config, seed);
+        let start = solve(&system, &SolverConfig::fast(), seed).allocation;
+        let mut scored = ScoredAllocation::new(&system, start);
+        let profit_before = scored.profit();
+        let alloc_before = scored.alloc().clone();
+
+        let mark = scored.savepoint();
+        let mut state = mutation_seed;
+        for step in 0..steps {
+            random_mutation(&mut scored, &mut state);
+            if step == steps / 2 {
+                // A nested savepoint that is itself rolled back first.
+                let inner = scored.savepoint();
+                random_mutation(&mut scored, &mut state);
+                let _ = scored.profit(); // force a flush inside the window
+                scored.rollback_to(inner);
+            }
+        }
+        let _ = scored.profit();
+        scored.rollback_to(mark);
+
+        prop_assert_eq!(scored.alloc(), &alloc_before);
+        let profit_after = scored.profit();
+        prop_assert_eq!(
+            profit_after.to_bits(),
+            profit_before.to_bits(),
+            "rollback changed the score: {} -> {}",
+            profit_before,
+            profit_after
+        );
+        prop_assert_eq!(
+            &evaluate(&system, scored.alloc()),
+            &evaluate(&system, &alloc_before)
         );
     }
 }

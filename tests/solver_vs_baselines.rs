@@ -17,10 +17,7 @@ fn proposed_dominates_modified_ps() {
         let system = generate(&ScenarioConfig::paper(30), seed);
         let proposed = solve(&system, &SolverConfig::default(), seed).report.profit;
         let ps = evaluate(&system, &modified_ps(&system, &PsConfig::default())).profit;
-        assert!(
-            proposed > ps,
-            "seed {seed}: proposed {proposed} did not beat PS {ps}"
-        );
+        assert!(proposed > ps, "seed {seed}: proposed {proposed} did not beat PS {ps}");
     }
 }
 
@@ -52,11 +49,7 @@ fn local_search_rescues_random_starts() {
     let system = generate(&ScenarioConfig::paper(25), 2024);
     let mc = monte_carlo(
         &system,
-        &McConfig {
-            iterations: 40,
-            solver: SolverConfig::default(),
-            polish_best: false,
-        },
+        &McConfig { iterations: 40, solver: SolverConfig::default(), polish_best: false },
         9,
     );
     assert!(
@@ -68,11 +61,7 @@ fn local_search_rescues_random_starts() {
     // The improvement is substantial (paper: "dramatically").
     let span = mc.best_profit - mc.worst_raw_profit;
     let recovered = (mc.worst_polished_profit - mc.worst_raw_profit) / span;
-    assert!(
-        recovered > 0.3,
-        "local search recovered only {:.0}% of the gap",
-        recovered * 100.0
-    );
+    assert!(recovered > 0.3, "local search recovered only {:.0}% of the gap", recovered * 100.0);
 }
 
 /// The greedy construction alone already beats modified PS — local search
