@@ -12,7 +12,9 @@
 /// * `--quick` — tiny sweep (three points, 2 scenarios, 40 MC draws) for
 ///   smoke runs;
 /// * `--seed N` — base seed (default 1);
-/// * `--json PATH` — also write the aggregated rows as JSON.
+/// * `--json PATH` — also write the aggregated rows as JSON;
+/// * `--smoke` — CI smoke mode: a single tiny configuration exercising the
+///   equivalence assertions (currently honoured by the `speedup` binary).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {
     /// Scenarios per sweep point.
@@ -25,6 +27,8 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// CI smoke mode: tiny config, correctness assertions only.
+    pub smoke: bool,
 }
 
 impl Default for HarnessArgs {
@@ -35,6 +39,7 @@ impl Default for HarnessArgs {
             client_counts: cloudalloc_workload::paper_client_counts(),
             seed: 1,
             json: None,
+            smoke: false,
         }
     }
 }
@@ -66,9 +71,10 @@ impl HarnessArgs {
                     out.mc_iterations = 40;
                     out.client_counts = vec![20, 60, 100];
                 }
+                "--smoke" => out.smoke = true,
                 other => panic!(
                     "unknown flag {other}; supported: --scenarios N, --mc N, --seed N, \
-                     --json PATH, --paper-scale, --quick"
+                     --json PATH, --paper-scale, --quick, --smoke"
                 ),
             }
         }
@@ -117,6 +123,12 @@ mod tests {
         assert_eq!(a.scenarios, 9);
         assert_eq!(a.seed, 7);
         assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert!(!a.smoke);
+    }
+
+    #[test]
+    fn smoke_flag_is_recognized() {
+        assert!(parse(&["--smoke"]).smoke);
     }
 
     #[test]

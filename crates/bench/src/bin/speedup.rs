@@ -17,19 +17,30 @@
 //! * **E5c — parallel construction.** Times `solve` with one worker
 //!   thread vs all available cores on a best-of-N configuration; the
 //!   per-pass RNG streams make the result identical for any thread count.
+//! * **E5d — candidate search.** The allocation-free, run-deduplicated,
+//!   slack-pruned `assign_distribute` path vs the retained exhaustive
+//!   reference. An untimed verification pass first asserts every candidate
+//!   is **bit-for-bit** identical (placements, score, response time) on a
+//!   greedy construction plus a loaded-state re-search sweep; then each
+//!   path is timed separately on identical inputs.
 //!
 //! ```text
-//! cargo run -p cloudalloc-bench --release --bin speedup [--seed N] [--json PATH]
+//! cargo run -p cloudalloc-bench --release --bin speedup [--seed N] [--json PATH] [--smoke]
 //! ```
 //!
-//! The per-seed records of E5b/E5c are always written as JSON
-//! (default `BENCH_speedup.json`, override with `--json`).
+//! The per-seed records of E5b/E5c/E5d are always written as JSON
+//! (default `BENCH_speedup.json`, override with `--json`). `--smoke` runs
+//! only the E5d equivalence assertions on a tiny configuration — the CI
+//! gate: the process exits non-zero when old and new paths disagree.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
-use cloudalloc_core::{greedy_pass, solve, SolverConfig, SolverCtx};
+use cloudalloc_core::{
+    best_cluster, best_cluster_reference, commit, greedy_pass, solve, Candidate, SolverConfig,
+    SolverCtx,
+};
 use cloudalloc_distributed::greedy_distributed_timed;
 use cloudalloc_metrics::Table;
 use cloudalloc_model::{
@@ -42,6 +53,8 @@ const SCORING_CLIENTS: usize = 80;
 const SCORING_STEPS: usize = 4_000;
 const SCORING_SEEDS: usize = 3;
 const REPS: usize = 3;
+/// E5d runs are only milliseconds long; extra reps tame timer noise.
+const SEARCH_REPS: usize = 7;
 
 /// One local-search move of the scoring trace, pre-resolved so both
 /// engines replay bit-identical mutations.
@@ -180,10 +193,26 @@ struct ParallelRecord {
     parallel_profit: f64,
 }
 
+/// Per-seed record of the deduplicated-vs-reference candidate search
+/// comparison (E5d).
+#[derive(Debug, Serialize)]
+struct CandidateSearchRecord {
+    seed: u64,
+    clients: usize,
+    servers: usize,
+    searches: usize,
+    old_seconds: f64,
+    new_seconds: f64,
+    speedup: f64,
+    old_profit: f64,
+    new_profit: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct SpeedupReport {
     scoring: Vec<ScoringRecord>,
     parallel: Vec<ParallelRecord>,
+    candidate_search: Vec<CandidateSearchRecord>,
 }
 
 fn bench_distributed_greedy(seed: u64) {
@@ -402,14 +431,212 @@ fn bench_parallel_construction(base_seed: u64) -> Vec<ParallelRecord> {
     records
 }
 
+/// Panics (non-zero exit — the CI gate) unless two search results are
+/// bit-for-bit identical: same servers, same placement bits, same score
+/// and response-time bits.
+fn assert_candidates_identical(
+    fast: &Option<Candidate>,
+    reference: &Option<Candidate>,
+    what: &str,
+) {
+    match (fast, reference) {
+        (None, None) => {}
+        (Some(f), Some(r)) => {
+            assert_eq!(f.cluster, r.cluster, "{what}: cluster");
+            assert_eq!(f.placements.len(), r.placements.len(), "{what}: placement count");
+            for (a, b) in f.placements.iter().zip(r.placements.iter()) {
+                assert_eq!(a.0, b.0, "{what}: server id");
+                assert_eq!(a.1.alpha.to_bits(), b.1.alpha.to_bits(), "{what}: alpha bits");
+                assert_eq!(a.1.phi_p.to_bits(), b.1.phi_p.to_bits(), "{what}: phi_p bits");
+                assert_eq!(a.1.phi_c.to_bits(), b.1.phi_c.to_bits(), "{what}: phi_c bits");
+            }
+            assert_eq!(f.score.to_bits(), r.score.to_bits(), "{what}: score bits");
+            assert_eq!(
+                f.response_time.to_bits(),
+                r.response_time.to_bits(),
+                "{what}: response-time bits"
+            );
+        }
+        _ => panic!("{what}: fast = {fast:?} but reference = {reference:?}"),
+    }
+}
+
+/// The E5d workload: a full greedy construction followed by a clear +
+/// re-search sweep against the loaded allocation. Both paths see identical
+/// allocation states (the committed candidates are bitwise equal, as the
+/// verification pass proves), so timing each alone is a fair comparison.
+/// The timer covers only the searches and commits — not the final
+/// from-scratch profit evaluation, which is identical for both paths.
+/// Returns the final profit, the number of `best_cluster` searches, and
+/// the elapsed search time in seconds.
+fn run_candidate_searches(
+    system: &cloudalloc_model::CloudSystem,
+    ctx: &SolverCtx<'_>,
+    use_reference: bool,
+) -> (f64, usize, f64) {
+    let search = |alloc: &Allocation, client: ClientId| {
+        if use_reference {
+            best_cluster_reference(ctx, alloc, client)
+        } else {
+            best_cluster(ctx, alloc, client)
+        }
+    };
+    let mut alloc = Allocation::new(system);
+    let mut searches = 0;
+    let begin = Instant::now();
+    for i in 0..system.num_clients() {
+        searches += 1;
+        if let Some(cand) = search(&alloc, ClientId(i)) {
+            commit(ctx, &mut alloc, ClientId(i), &cand);
+        }
+    }
+    for i in 0..system.num_clients() {
+        if alloc.cluster_of(ClientId(i)).is_none() {
+            continue;
+        }
+        alloc.clear_client(system, ClientId(i));
+        searches += 1;
+        if let Some(cand) = search(&alloc, ClientId(i)) {
+            commit(ctx, &mut alloc, ClientId(i), &cand);
+        }
+    }
+    let seconds = begin.elapsed().as_secs_f64();
+    (evaluate(system, &alloc).profit, searches, seconds)
+}
+
+/// Untimed verification: walks the same workload once with both paths in
+/// lock-step, asserting every candidate bitwise identical. Returns the
+/// profits of both final allocations (asserted bit-equal too).
+fn verify_candidate_searches(
+    system: &cloudalloc_model::CloudSystem,
+    ctx: &SolverCtx<'_>,
+) -> (f64, f64) {
+    let mut fast_alloc = Allocation::new(system);
+    let mut ref_alloc = Allocation::new(system);
+    let step = |fast_alloc: &mut Allocation, ref_alloc: &mut Allocation, i: usize| {
+        let fast = best_cluster(ctx, fast_alloc, ClientId(i));
+        let reference = best_cluster_reference(ctx, ref_alloc, ClientId(i));
+        assert_candidates_identical(&fast, &reference, &format!("client {i}"));
+        if let Some(cand) = fast {
+            commit(ctx, fast_alloc, ClientId(i), &cand);
+            commit(ctx, ref_alloc, ClientId(i), &cand);
+        }
+    };
+    for i in 0..system.num_clients() {
+        step(&mut fast_alloc, &mut ref_alloc, i);
+    }
+    for i in 0..system.num_clients() {
+        if fast_alloc.cluster_of(ClientId(i)).is_none() {
+            continue;
+        }
+        fast_alloc.clear_client(system, ClientId(i));
+        ref_alloc.clear_client(system, ClientId(i));
+        step(&mut fast_alloc, &mut ref_alloc, i);
+    }
+    let new_profit = evaluate(system, &fast_alloc).profit;
+    let old_profit = evaluate(system, &ref_alloc).profit;
+    assert_eq!(
+        new_profit.to_bits(),
+        old_profit.to_bits(),
+        "old/new candidate-search profits must be bit-identical"
+    );
+    (old_profit, new_profit)
+}
+
+fn bench_candidate_search(base_seed: u64, smoke: bool) -> Vec<CandidateSearchRecord> {
+    let mut table = Table::new(vec![
+        "seed".into(),
+        "servers".into(),
+        "searches".into(),
+        "old".into(),
+        "new".into(),
+        "speedup".into(),
+        "profit_old".into(),
+        "profit_new".into(),
+    ]);
+    let (clients, seeds) = if smoke { (16, 1) } else { (SCORING_CLIENTS, SCORING_SEEDS as u64) };
+    println!(
+        "E5d — candidate search, deduplicated/indexed vs exhaustive reference \
+         (N={clients}, best of {SEARCH_REPS} reps per path)"
+    );
+    let mut records = Vec::new();
+    for offset in 0..seeds {
+        let seed = base_seed.wrapping_add(offset);
+        let scenario = if smoke {
+            let mut cfg = ScenarioConfig::small(clients);
+            cfg.servers_per_class = Range::new(1.0, 2.0);
+            cfg
+        } else {
+            ScenarioConfig::paper(clients)
+        };
+        let system = generate(&scenario, seed);
+        let solver = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &solver);
+
+        // Correctness first, untimed: every candidate bit-for-bit equal.
+        let (old_profit, new_profit) = verify_candidate_searches(&system, &ctx);
+
+        let mut old_seconds = f64::INFINITY;
+        let mut new_seconds = f64::INFINITY;
+        let mut searches = 0;
+        for _ in 0..SEARCH_REPS {
+            let (_, n, t) = run_candidate_searches(&system, &ctx, true);
+            old_seconds = old_seconds.min(t);
+            let (_, n2, t) = run_candidate_searches(&system, &ctx, false);
+            new_seconds = new_seconds.min(t);
+            assert_eq!(n, n2, "both paths must perform the same searches");
+            searches = n;
+        }
+        let speedup = old_seconds / new_seconds;
+        table.row(vec![
+            seed.to_string(),
+            system.num_servers().to_string(),
+            searches.to_string(),
+            format!("{old_seconds:.4}s"),
+            format!("{new_seconds:.4}s"),
+            format!("{speedup:.1}x"),
+            format!("{old_profit:.4}"),
+            format!("{new_profit:.4}"),
+        ]);
+        records.push(CandidateSearchRecord {
+            seed,
+            clients,
+            servers: system.num_servers(),
+            searches,
+            old_seconds,
+            new_seconds,
+            speedup,
+            old_profit,
+            new_profit,
+        });
+    }
+    println!("{table}");
+    println!(
+        "expected shape: identical profits by construction (asserted bitwise);\n\
+         server-class run dedup and slack pruning give a multi-x speedup that\n\
+         grows with servers-per-class\n"
+    );
+    records
+}
+
 fn main() {
     let args = cloudalloc_bench::HarnessArgs::from_env();
+    let path = args.json.clone().unwrap_or_else(|| "BENCH_speedup.json".into());
+    if args.smoke {
+        // CI smoke gate: only the E5d equivalence assertions, tiny config.
+        let candidate_search = bench_candidate_search(args.seed, true);
+        let report = SpeedupReport { scoring: Vec::new(), parallel: Vec::new(), candidate_search };
+        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
+            .expect("writable json path");
+        eprintln!("wrote {path}");
+        return;
+    }
     bench_distributed_greedy(args.seed);
     let scoring = bench_incremental_scoring(args.seed);
     let parallel = bench_parallel_construction(args.seed);
+    let candidate_search = bench_candidate_search(args.seed, false);
 
-    let report = SpeedupReport { scoring, parallel };
-    let path = args.json.clone().unwrap_or_else(|| "BENCH_speedup.json".into());
+    let report = SpeedupReport { scoring, parallel, candidate_search };
     std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
         .expect("writable json path");
     eprintln!("wrote {path}");

@@ -191,6 +191,7 @@ mod tests {
             client_counts: vec![10],
             seed: 5,
             json: None,
+            smoke: false,
         }
     }
 

@@ -16,13 +16,35 @@
 //! The returned [`Candidate`] carries an *exact* score — true utility of
 //! the resulting response time minus true cost deltas — so comparing
 //! clusters does not depend on the linearization.
+//!
+//! # The fast path
+//!
+//! [`assign_distribute_excluding`] is allocation-free and sub-linear in
+//! cluster size while staying **bit-for-bit identical** to the exhaustive
+//! per-server DP (retained as [`assign_distribute_reference`]):
+//!
+//! - **Scratch arenas** — curves, DP rows and the choice matrix live in a
+//!   pooled [`crate::scratch::CandidateScratch`], cleared not reallocated.
+//! - **Curve dedup over runs** — consecutive feasible servers with the
+//!   same signature `(class, on/off, free φ_p bits, free φ_c bits)` share
+//!   one value curve, and the DP transition is iterated per member only
+//!   until it reaches a bitwise fixpoint (identical same-signature servers
+//!   saturate after a few copies); restricting dedup to *consecutive* runs
+//!   keeps every float addition in the original order, and the generator
+//!   lays same-class servers out consecutively so runs are long.
+//! - **Slack pruning** — per-cluster free-capacity upper bounds
+//!   ([`cloudalloc_model::ClusterSlack`]) skip clusters that provably
+//!   cannot host the client, and servers whose curve has no feasible
+//!   positive level (their DP transition is exactly the identity) are
+//!   dropped.
 
 use cloudalloc_model::{
     placement_response_time, Allocation, ClientId, ClusterId, Placement, ScoredAllocation,
-    ServerId, MIN_SHARE,
+    ServerClass, ServerId, ServerLoad, MIN_SHARE,
 };
 
 use crate::ctx::SolverCtx;
+use crate::scratch::Run;
 
 /// A fully-specified way to host one client in one cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,15 +63,77 @@ pub struct Candidate {
 /// Per-server curve entry: the best placement at grid level `g` and its
 /// approximate (DP) value.
 #[derive(Debug, Clone, Copy)]
-struct Level {
-    placement: Placement,
-    value: f64,
-    sojourn: f64,
+pub(crate) struct Level {
+    pub(crate) placement: Placement,
+    pub(crate) value: f64,
+    pub(crate) sojourn: f64,
 }
 
-/// Builds the value curve of one server for `client`: index `g` holds the
-/// best placement carrying `g/G` of the client's traffic, or `None` when
-/// that level is infeasible on the server's free capacity.
+/// Appends the `granularity + 1` value-curve entries of one
+/// storage-feasible server to `out`: index `g` holds the best placement
+/// carrying `g/G` of the client's traffic, or `None` when that level is
+/// infeasible on the free capacity. Returns whether any *positive* level
+/// is feasible.
+///
+/// The curve depends on the server only through `(class, load)`, which is
+/// what makes run deduplication sound; both the fast and the reference
+/// path come through here, so their curves are bitwise identical by
+/// construction.
+fn push_curve(
+    ctx: &SolverCtx<'_>,
+    client: ClientId,
+    class: &ServerClass,
+    load: ServerLoad,
+    granularity: usize,
+    out: &mut Vec<Option<Level>>,
+) -> bool {
+    let c = ctx.system.client(client);
+    let margin = ctx.config.stability_margin;
+    let w = ctx.reference_weight(client);
+    let psi = ctx.shadow_price;
+    let m_p = class.cap_processing / c.exec_processing;
+    let m_c = class.cap_communication / c.exec_communication;
+    let free_p = load.free_phi_p();
+    let free_c = load.free_phi_c();
+    let activation = if load.is_on() { 0.0 } else { class.cost_fixed };
+
+    out.push(Some(Level {
+        placement: Placement { alpha: 0.0, phi_p: 0.0, phi_c: 0.0 },
+        value: 0.0,
+        sojourn: 0.0,
+    }));
+    let mut has_positive = false;
+    for g in 1..=granularity {
+        let alpha = g as f64 / granularity as f64;
+        let a = alpha * c.rate_predicted;
+        let sigma_p = (a / m_p) * (1.0 + margin);
+        let sigma_c = (a / m_c) * (1.0 + margin);
+        if sigma_p.max(MIN_SHARE) > free_p || sigma_c.max(MIN_SHARE) > free_c {
+            out.push(None);
+            continue;
+        }
+        // Closed-form share against the shadow price, clamped into the
+        // feasible band (the "parentheses with two limits" of Eq. (16)).
+        let phi_p =
+            (a / m_p + (w * alpha / (psi * m_p)).sqrt()).clamp(sigma_p.max(MIN_SHARE), free_p);
+        let phi_c =
+            (a / m_c + (w * alpha / (psi * m_c)).sqrt()).clamp(sigma_c.max(MIN_SHARE), free_c);
+        let placement = Placement { alpha, phi_p, phi_c };
+        let sojourn = placement_response_time(class, c, placement);
+        if !sojourn.is_finite() {
+            out.push(None);
+            continue;
+        }
+        let power = class.cost_per_utilization * a * c.exec_processing / class.cap_processing;
+        let value = -w * alpha * sojourn - psi * (phi_p + phi_c) - power - activation;
+        out.push(Some(Level { placement, value, sojourn }));
+        has_positive = true;
+    }
+    has_positive
+}
+
+/// Builds the value curve of one server for `client` (reference path):
+/// `None` when the server cannot fit the client's disk.
 fn server_curve(
     ctx: &SolverCtx<'_>,
     alloc: &Allocation,
@@ -71,46 +155,8 @@ fn server_curve(
     // first clearing it; the greedy path only sees fresh clients.
     debug_assert!(alloc.placement(client, server).is_none());
 
-    let margin = ctx.config.stability_margin;
-    let w = ctx.reference_weight(client);
-    let psi = ctx.shadow_price;
-    let m_p = class.cap_processing / c.exec_processing;
-    let m_c = class.cap_communication / c.exec_communication;
-    let free_p = load.free_phi_p();
-    let free_c = load.free_phi_c();
-    let activation = if load.is_on() { 0.0 } else { class.cost_fixed };
-
     let mut curve = Vec::with_capacity(granularity + 1);
-    curve.push(Some(Level {
-        placement: Placement { alpha: 0.0, phi_p: 0.0, phi_c: 0.0 },
-        value: 0.0,
-        sojourn: 0.0,
-    }));
-    for g in 1..=granularity {
-        let alpha = g as f64 / granularity as f64;
-        let a = alpha * c.rate_predicted;
-        let sigma_p = (a / m_p) * (1.0 + margin);
-        let sigma_c = (a / m_c) * (1.0 + margin);
-        if sigma_p.max(MIN_SHARE) > free_p || sigma_c.max(MIN_SHARE) > free_c {
-            curve.push(None);
-            continue;
-        }
-        // Closed-form share against the shadow price, clamped into the
-        // feasible band (the "parentheses with two limits" of Eq. (16)).
-        let phi_p =
-            (a / m_p + (w * alpha / (psi * m_p)).sqrt()).clamp(sigma_p.max(MIN_SHARE), free_p);
-        let phi_c =
-            (a / m_c + (w * alpha / (psi * m_c)).sqrt()).clamp(sigma_c.max(MIN_SHARE), free_c);
-        let placement = Placement { alpha, phi_p, phi_c };
-        let sojourn = placement_response_time(class, c, placement);
-        if !sojourn.is_finite() {
-            curve.push(None);
-            continue;
-        }
-        let power = class.cost_per_utilization * a * c.exec_processing / class.cap_processing;
-        let value = -w * alpha * sojourn - psi * (phi_p + phi_c) - power - activation;
-        curve.push(Some(Level { placement, value, sojourn }));
-    }
+    push_curve(ctx, client, class, load, granularity, &mut curve);
     Some(curve)
 }
 
@@ -130,7 +176,208 @@ pub fn assign_distribute(
 
 /// Like [`assign_distribute`] but never places traffic on `exclude`; used
 /// by `TurnOFF_servers` to evacuate a machine being powered down.
+///
+/// This is the fast path: allocation-free (pooled scratch arenas), with
+/// per-cluster slack pruning and run-deduplicated curves/DP. Its output is
+/// bit-for-bit identical to [`assign_distribute_reference`] — see the
+/// module docs for why each shortcut is exact.
 pub fn assign_distribute_excluding(
+    ctx: &SolverCtx<'_>,
+    alloc: &Allocation,
+    client: ClientId,
+    cluster: ClusterId,
+    exclude: Option<ServerId>,
+) -> Option<Candidate> {
+    let system = ctx.system;
+    let granularity = ctx.config.alpha_granularity;
+    let width = granularity + 1;
+    let c = system.client(client);
+
+    // Slack pruning: when no single server of the cluster can fit the
+    // client's disk or grant even the minimum stability share, every
+    // per-server curve would be empty or g0-only and the reference path
+    // would return None. The bounds are *upper* bounds, so only provably
+    // hopeless clusters are skipped.
+    if let Some(slack) = alloc.cluster_slack(cluster) {
+        if slack.storage < c.storage || slack.phi_p < MIN_SHARE || slack.phi_c < MIN_SHARE {
+            return None;
+        }
+    }
+
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.servers.clear();
+    s.runs.clear();
+    s.curves.clear();
+
+    // Group the cluster's feasible servers into runs of consecutive
+    // entries sharing a curve signature, computing one curve per run.
+    // Storage-infeasible and excluded servers do not break adjacency:
+    // only the feasible subsequence enters the DP, in cluster order, so
+    // merging its consecutive equal-signature entries preserves the exact
+    // order of float operations of the per-server DP.
+    let mut prev_sig: Option<(usize, bool, u64, u64)> = None;
+    let mut prev_kept = false;
+    for server in system.servers_in(cluster) {
+        if exclude == Some(server.id) {
+            continue;
+        }
+        let load = alloc.load(server.id);
+        // Disk is allocated by constant need: no fit, no server.
+        if load.storage + c.storage > server.class.cap_storage {
+            continue;
+        }
+        // Re-placing a client that already sits on this server is handled
+        // by first clearing it; the search only sees fresh clients.
+        debug_assert!(alloc.placement(client, server.id).is_none());
+        let sig = (
+            server.server.class.index(),
+            load.is_on(),
+            load.free_phi_p().to_bits(),
+            load.free_phi_c().to_bits(),
+        );
+        if prev_sig == Some(sig) {
+            if prev_kept {
+                let run = s.runs.last_mut().expect("kept run exists");
+                run.members_len += 1;
+                s.servers.push(server.id);
+            }
+            continue;
+        }
+        prev_sig = Some(sig);
+        let curve_start = s.curves.len();
+        let has_positive = push_curve(ctx, client, server.class, load, granularity, &mut s.curves);
+        if !has_positive {
+            // A g0-only curve contributes the exact identity transition
+            // (its only value is 0.0, and reachable DP states are never
+            // −0.0, so `du + 0.0` is bitwise `du`) and an all-zero choice
+            // row; dropping the server changes nothing.
+            s.curves.truncate(curve_start);
+            prev_kept = false;
+            continue;
+        }
+        prev_kept = true;
+        s.runs.push(Run {
+            members_start: s.servers.len(),
+            members_len: 1,
+            curve_start,
+            rows_start: 0,
+            rows_len: 0,
+        });
+        s.servers.push(server.id);
+    }
+    if s.runs.is_empty() {
+        return None;
+    }
+
+    // DP over runs: dp[u] = best value dispatching u grid units so far.
+    // Within a run every member applies the same transition; rows stop
+    // being stored at the first bitwise fixpoint `dp_{t+1} == dp_t`, after
+    // which every further member provably reproduces the last stored row.
+    const NEG: f64 = f64::NEG_INFINITY;
+    s.dp.clear();
+    s.dp.resize(width, NEG);
+    s.dp[0] = 0.0;
+    s.choice.clear();
+    for r in 0..s.runs.len() {
+        let run = s.runs[r];
+        let curve = &s.curves[run.curve_start..run.curve_start + width];
+        let rows_start = s.choice.len();
+        let mut rows_len = 0usize;
+        for _member in 0..run.members_len {
+            let row_start = rows_start + rows_len * width;
+            s.choice.resize(row_start + width, 0);
+            s.next.clear();
+            s.next.resize(width, NEG);
+            let row = &mut s.choice[row_start..row_start + width];
+            for (u, &du) in s.dp.iter().enumerate() {
+                if du == NEG {
+                    continue;
+                }
+                for (g, level) in curve.iter().enumerate() {
+                    let Some(level) = level else { continue };
+                    let target = u + g;
+                    if target > granularity {
+                        break;
+                    }
+                    let v = du + level.value;
+                    if v > s.next[target] {
+                        s.next[target] = v;
+                        row[target] = g;
+                    }
+                }
+            }
+            rows_len += 1;
+            let fixpoint = s.dp.iter().zip(s.next.iter()).all(|(a, b)| a.to_bits() == b.to_bits());
+            std::mem::swap(&mut s.dp, &mut s.next);
+            if fixpoint {
+                break;
+            }
+        }
+        s.runs[r].rows_start = rows_start;
+        s.runs[r].rows_len = rows_len;
+    }
+    if s.dp[granularity] == NEG {
+        return None;
+    }
+
+    // Reconstruct the chosen grid levels in exact reverse server order.
+    let mut placements = Vec::new();
+    let mut response_time = 0.0;
+    let mut units = granularity;
+    for r in (0..s.runs.len()).rev() {
+        let run = s.runs[r];
+        for t in (0..run.members_len).rev() {
+            // Member t replays stored row min(t, rows_len − 1): past the
+            // fixpoint every row equals the last stored one.
+            let row = run.rows_start + t.min(run.rows_len - 1) * width;
+            let g = s.choice[row + units];
+            units -= g;
+            if g == 0 {
+                continue;
+            }
+            let level = s.curves[run.curve_start + g].expect("chosen level must be feasible");
+            response_time += level.placement.alpha * level.sojourn;
+            placements.push((s.servers[run.members_start + t], level.placement));
+        }
+    }
+    debug_assert_eq!(units, 0, "DP reconstruction must consume all grid units");
+    placements.reverse();
+
+    Some(finish_candidate(ctx, alloc, client, cluster, placements, response_time))
+}
+
+/// Exact score: true utility minus true cost deltas. Shared by the fast
+/// and reference paths.
+fn finish_candidate(
+    ctx: &SolverCtx<'_>,
+    alloc: &Allocation,
+    client: ClientId,
+    cluster: ClusterId,
+    placements: Vec<(ServerId, Placement)>,
+    response_time: f64,
+) -> Candidate {
+    let system = ctx.system;
+    let c = system.client(client);
+    let revenue = c.rate_agreed * system.utility_of(client).value(response_time);
+    let mut cost = 0.0;
+    for &(server, p) in &placements {
+        let class = system.class_of(server);
+        if !alloc.load(server).is_on() {
+            cost += class.cost_fixed;
+        }
+        cost += class.cost_per_utilization * p.alpha * c.rate_predicted * c.exec_processing
+            / class.cap_processing;
+    }
+    Candidate { cluster, placements, score: revenue - cost, response_time }
+}
+
+/// The retained exhaustive reference implementation of
+/// [`assign_distribute_excluding`]: one freshly allocated curve and choice
+/// row per server, no dedup, no pruning. Kept (and exported) so property
+/// tests and the speedup bench can assert the fast path returns bit-for-bit
+/// identical candidates.
+pub fn assign_distribute_reference(
     ctx: &SolverCtx<'_>,
     alloc: &Allocation,
     client: ClientId,
@@ -203,19 +450,7 @@ pub fn assign_distribute_excluding(
     debug_assert_eq!(units, 0, "DP reconstruction must consume all grid units");
     placements.reverse();
 
-    // Exact score: true utility minus true cost deltas.
-    let c = system.client(client);
-    let revenue = c.rate_agreed * system.utility_of(client).value(response_time);
-    let mut cost = 0.0;
-    for &(server, p) in &placements {
-        let class = system.class_of(server);
-        if !alloc.load(server).is_on() {
-            cost += class.cost_fixed;
-        }
-        cost += class.cost_per_utilization * p.alpha * c.rate_predicted * c.exec_processing
-            / class.cap_processing;
-    }
-    Some(Candidate { cluster, placements, score: revenue - cost, response_time })
+    Some(finish_candidate(ctx, alloc, client, cluster, placements, response_time))
 }
 
 /// Runs [`assign_distribute`] against every cluster and returns the best
@@ -230,6 +465,21 @@ pub fn best_cluster(
     // distributed solvers make identical choices.
     (0..ctx.system.num_clusters())
         .filter_map(|k| assign_distribute(ctx, alloc, client, ClusterId(k)))
+        .fold(None, |best: Option<Candidate>, cand| match best {
+            Some(b) if b.score >= cand.score => Some(b),
+            _ => Some(cand),
+        })
+}
+
+/// [`best_cluster`] over the reference search path; exported alongside
+/// [`assign_distribute_reference`] for equivalence checks and benchmarks.
+pub fn best_cluster_reference(
+    ctx: &SolverCtx<'_>,
+    alloc: &Allocation,
+    client: ClientId,
+) -> Option<Candidate> {
+    (0..ctx.system.num_clusters())
+        .filter_map(|k| assign_distribute_reference(ctx, alloc, client, ClusterId(k), None))
         .fold(None, |best: Option<Candidate>, cand| match best {
             Some(b) if b.score >= cand.score => Some(b),
             _ => Some(cand),

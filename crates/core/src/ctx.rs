@@ -60,6 +60,14 @@ impl<'a> SolverCtx<'a> {
         (c.rate_agreed * self.system.utility_of(client).reference_slope()).max(1e-9)
     }
 
+    /// Borrows a pooled scratch arena for a candidate search or operator
+    /// call. `SolverCtx` is `Copy` and shared across the construction
+    /// threads, so the arenas live in a thread-local pool behind this
+    /// accessor rather than in the context itself; see [`crate::scratch`].
+    pub(crate) fn scratch(&self) -> crate::scratch::ScratchGuard {
+        crate::scratch::acquire()
+    }
+
     /// Weight used by the *local-search* operators: the local slope, or
     /// the reference slope whenever the client currently earns less than
     /// its maximum.

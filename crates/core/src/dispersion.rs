@@ -83,6 +83,8 @@ impl DispersionBranch {
 /// with `branches`, or `None` when the branches cannot stably absorb the
 /// whole stream (`Σ_j α_max < 1`).
 ///
+/// Thin allocating wrapper around [`optimal_dispersion_into`].
+///
 /// # Panics
 ///
 /// Panics if `lambda <= 0`, `weight <= 0`, `margin <= 0`, or any branch
@@ -93,30 +95,51 @@ pub fn optimal_dispersion(
     branches: &[DispersionBranch],
     margin: f64,
 ) -> Option<Vec<f64>> {
+    let mut alpha_maxes = Vec::new();
+    let mut alphas = Vec::new();
+    optimal_dispersion_into(lambda, weight, branches, margin, &mut alpha_maxes, &mut alphas)
+        .then_some(alphas)
+}
+
+/// Allocation-free form of [`optimal_dispersion`]: writes the optimal `α`
+/// vector into `alphas` (using `alpha_maxes` as a work area) and returns
+/// whether the branches can stably absorb the whole stream. On `false` the
+/// contents of both buffers are unspecified. The arithmetic is identical
+/// to the original allocating path, so results are bit-for-bit equal.
+///
+/// # Panics
+///
+/// Same domain checks as [`optimal_dispersion`].
+pub fn optimal_dispersion_into(
+    lambda: f64,
+    weight: f64,
+    branches: &[DispersionBranch],
+    margin: f64,
+    alpha_maxes: &mut Vec<f64>,
+    alphas: &mut Vec<f64>,
+) -> bool {
     assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive, got {lambda}");
     assert!(weight.is_finite() && weight > 0.0, "weight must be positive, got {weight}");
     assert!(margin.is_finite() && margin > 0.0, "margin must be positive, got {margin}");
     if branches.is_empty() {
-        return None;
+        return false;
     }
-    let alpha_maxes: Vec<f64> = branches
-        .iter()
-        .map(|b| {
-            assert!(b.service_p.is_finite() && b.service_p > 0.0, "service_p must be > 0");
-            assert!(b.service_c.is_finite() && b.service_c > 0.0, "service_c must be > 0");
-            assert!(b.cost_slope.is_finite() && b.cost_slope >= 0.0, "cost_slope must be >= 0");
-            b.alpha_max(lambda, margin)
-        })
-        .collect();
+    alpha_maxes.clear();
+    alpha_maxes.extend(branches.iter().map(|b| {
+        assert!(b.service_p.is_finite() && b.service_p > 0.0, "service_p must be > 0");
+        assert!(b.service_c.is_finite() && b.service_c > 0.0, "service_c must be > 0");
+        assert!(b.cost_slope.is_finite() && b.cost_slope >= 0.0, "cost_slope must be >= 0");
+        b.alpha_max(lambda, margin)
+    }));
     let capacity: f64 = alpha_maxes.iter().sum();
     if capacity < 1.0 {
-        return None;
+        return false;
     }
 
     let total_alpha = |eta: f64, out: &mut Vec<f64>| -> f64 {
         out.clear();
         let mut total = 0.0;
-        for (b, &amax) in branches.iter().zip(&alpha_maxes) {
+        for (b, &amax) in branches.iter().zip(alpha_maxes.iter()) {
             let a = b.alpha_for_marginal(weight, lambda, eta, amax);
             out.push(a);
             total += a;
@@ -130,28 +153,27 @@ pub fn optimal_dispersion(
         branches.iter().map(|b| b.marginal(weight, lambda, 0.0)).fold(f64::INFINITY, f64::min);
     let mut eta_hi = branches
         .iter()
-        .zip(&alpha_maxes)
+        .zip(alpha_maxes.iter())
         .map(|(b, &amax)| b.marginal(weight, lambda, amax))
         .fold(0.0f64, f64::max)
         .max(eta_lo * 2.0 + 1.0);
-    let mut alphas = Vec::with_capacity(branches.len());
     for _ in 0..100 {
         let eta = 0.5 * (eta_lo + eta_hi);
-        let total = total_alpha(eta, &mut alphas);
+        let total = total_alpha(eta, alphas);
         if total < 1.0 {
             eta_lo = eta;
         } else {
             eta_hi = eta;
         }
     }
-    let total = total_alpha(eta_hi, &mut alphas);
+    let total = total_alpha(eta_hi, alphas);
     debug_assert!(total >= 1.0 - 1e-6, "bisection failed to cover the stream: {total}");
 
     // Remove the residual |Σα − 1| by shaving the branches with headroom,
     // never pushing any branch past its stability cap.
     let mut excess = total - 1.0;
     if excess.abs() > 0.0 {
-        for (a, &amax) in alphas.iter_mut().zip(&alpha_maxes) {
+        for (a, &amax) in alphas.iter_mut().zip(alpha_maxes.iter()) {
             if excess > 0.0 {
                 let cut = excess.min(*a);
                 *a -= cut;
@@ -166,10 +188,7 @@ pub fn optimal_dispersion(
             }
         }
     }
-    if excess.abs() > 1e-9 {
-        return None;
-    }
-    Some(alphas)
+    excess.abs() <= 1e-9
 }
 
 /// Objective value `Σ_j [w·α_j·sojourn_j(α_j) + c_j·α_j]`; exposed for

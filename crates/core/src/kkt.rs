@@ -55,12 +55,40 @@ impl ShareDemand {
 /// # Panics
 ///
 /// Panics if any demand field is out of domain, or `budget ∉ (0, 1]`.
+///
+/// Thin allocating wrapper around [`optimal_shares_into`].
 pub fn optimal_shares(
     budget: f64,
     demands: &[ShareDemand],
     min_share: f64,
     margin: f64,
 ) -> Option<Vec<f64>> {
+    let mut floors = Vec::new();
+    let mut pinned = Vec::new();
+    let mut shares = Vec::new();
+    optimal_shares_into(budget, demands, min_share, margin, &mut floors, &mut pinned, &mut shares)
+        .then_some(shares)
+}
+
+/// Allocation-free form of [`optimal_shares`]: writes the optimal share
+/// vector into `out` (using `floors` and `pinned` as work areas) and
+/// returns whether the mix is stably hostable. On `false` the buffer
+/// contents are unspecified. The arithmetic is identical to the original
+/// allocating path, so results are bit-for-bit equal. An empty demand
+/// slice yields an empty `out` and `true`.
+///
+/// # Panics
+///
+/// Same domain checks as [`optimal_shares`].
+pub fn optimal_shares_into(
+    budget: f64,
+    demands: &[ShareDemand],
+    min_share: f64,
+    margin: f64,
+    floors: &mut Vec<f64>,
+    pinned: &mut Vec<bool>,
+    out: &mut Vec<f64>,
+) -> bool {
     assert!(
         budget.is_finite() && budget > 0.0 && budget <= 1.0,
         "budget must lie in (0,1], got {budget}"
@@ -68,30 +96,32 @@ pub fn optimal_shares(
     assert!(margin.is_finite() && margin > 0.0, "margin must be positive, got {margin}");
     assert!(min_share >= 0.0, "min_share must be non-negative, got {min_share}");
     if demands.is_empty() {
-        return Some(Vec::new());
+        out.clear();
+        return true;
     }
-    let floors: Vec<f64> = demands
-        .iter()
-        .map(|d| {
-            assert!(d.arrival.is_finite() && d.arrival >= 0.0, "arrival must be >= 0");
-            assert!(
-                d.rate_per_share.is_finite() && d.rate_per_share > 0.0,
-                "rate_per_share must be > 0"
-            );
-            assert!(d.weight.is_finite() && d.weight > 0.0, "weight must be > 0");
-            (d.critical_share() * (1.0 + margin)).max(min_share)
-        })
-        .collect();
+    floors.clear();
+    floors.extend(demands.iter().map(|d| {
+        assert!(d.arrival.is_finite() && d.arrival >= 0.0, "arrival must be >= 0");
+        assert!(
+            d.rate_per_share.is_finite() && d.rate_per_share > 0.0,
+            "rate_per_share must be > 0"
+        );
+        assert!(d.weight.is_finite() && d.weight > 0.0, "weight must be > 0");
+        (d.critical_share() * (1.0 + margin)).max(min_share)
+    }));
     if floors.iter().sum::<f64>() >= budget {
-        return None;
+        return false;
     }
 
     // Active-set iteration: start with every client interior, pin those
     // whose KKT share falls below the floor, repeat. Each pass pins at
     // least one client, so at most n passes run.
     let n = demands.len();
-    let mut pinned = vec![false; n];
-    let mut shares = vec![0.0; n];
+    pinned.clear();
+    pinned.resize(n, false);
+    out.clear();
+    out.resize(n, 0.0);
+    let shares = out;
     loop {
         let mut free_budget = budget;
         let mut sum_crit = 0.0;
@@ -112,7 +142,7 @@ pub fn optimal_shares(
         let slack = free_budget - sum_crit;
         if slack <= 0.0 {
             // The unpinned criticals no longer fit; infeasible mix.
-            return None;
+            return false;
         }
         let scale = slack / sum_sqrt; // = 1/√η
         let mut newly_pinned = false;
@@ -138,10 +168,10 @@ pub fn optimal_shares(
     debug_assert!((shares.iter().sum::<f64>() - budget).abs() < 1e-9 * budget.max(1.0) * 10.0);
     // Guard against one-ulp overshoot past the budget from the closed-form
     // arithmetic (a single interior client gets exactly `budget`).
-    for s in &mut shares {
+    for s in shares.iter_mut() {
         *s = s.min(budget);
     }
-    Some(shares)
+    true
 }
 
 /// Total weighted delay `Σ_i c_i/(φ_i·M_i − a_i)` of a share vector — the

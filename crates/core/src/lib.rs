@@ -43,6 +43,7 @@ mod config;
 mod ctx;
 mod explain;
 mod initial;
+mod scratch;
 mod solve;
 
 pub mod dispersion;
@@ -50,7 +51,8 @@ pub mod kkt;
 pub mod ops;
 
 pub use assign::{
-    assign_distribute, assign_distribute_excluding, best_cluster, commit, commit_scored, Candidate,
+    assign_distribute, assign_distribute_excluding, assign_distribute_reference, best_cluster,
+    best_cluster_reference, commit, commit_scored, Candidate,
 };
 pub use bounds::{client_bounds, profit_upper_bound, ClientBound};
 pub use config::SolverConfig;

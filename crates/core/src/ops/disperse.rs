@@ -5,7 +5,7 @@
 use cloudalloc_model::{ClientId, Placement, ScoredAllocation};
 
 use crate::ctx::SolverCtx;
-use crate::dispersion::{optimal_dispersion, DispersionBranch};
+use crate::dispersion::{optimal_dispersion_into, DispersionBranch};
 
 /// Re-balances `client`'s dispersion `α` across the servers it already
 /// occupies, keeping every `φ` fixed. Commits only when the client's
@@ -20,8 +20,11 @@ pub fn adjust_dispersion_rates(
     client: ClientId,
 ) -> bool {
     let system = ctx.system;
-    let held = scored.alloc().placements(client).to_vec();
-    if held.len() < 2 {
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.held.clear();
+    s.held.extend_from_slice(scored.alloc().placements(client));
+    if s.held.len() < 2 {
         // Nothing to re-balance with zero or one branch.
         return false;
     }
@@ -29,24 +32,27 @@ pub fn adjust_dispersion_rates(
     let outcome = scored.outcome(client);
     let weight = ctx.aspiration_weight(client, outcome.response_time);
 
-    let branches: Vec<DispersionBranch> = held
-        .iter()
-        .map(|&(server, p)| {
-            let class = system.class_of(server);
-            DispersionBranch {
-                service_p: p.phi_p * class.cap_processing / c.exec_processing,
-                service_c: p.phi_c * class.cap_communication / c.exec_communication,
-                cost_slope: class.cost_per_utilization * c.rate_predicted * c.exec_processing
-                    / class.cap_processing,
-            }
-        })
-        .collect();
+    s.branches.clear();
+    s.branches.extend(s.held.iter().map(|&(server, p)| {
+        let class = system.class_of(server);
+        DispersionBranch {
+            service_p: p.phi_p * class.cap_processing / c.exec_processing,
+            service_c: p.phi_c * class.cap_communication / c.exec_communication,
+            cost_slope: class.cost_per_utilization * c.rate_predicted * c.exec_processing
+                / class.cap_processing,
+        }
+    }));
 
-    let Some(alphas) =
-        optimal_dispersion(c.rate_predicted, weight, &branches, ctx.config.stability_margin)
-    else {
+    if !optimal_dispersion_into(
+        c.rate_predicted,
+        weight,
+        &s.branches,
+        ctx.config.stability_margin,
+        &mut s.alpha_maxes,
+        &mut s.alphas,
+    ) {
         return false;
-    };
+    }
 
     let utilization_cost = |scored: &ScoredAllocation<'_>| -> f64 {
         scored
@@ -65,7 +71,7 @@ pub fn adjust_dispersion_rates(
     // Apply tentatively. Zeroed branches are dropped entirely, freeing
     // their shares and possibly powering a server down (constraint (9)).
     let mark = scored.savepoint();
-    for (&(server, p), &a) in held.iter().zip(&alphas) {
+    for (&(server, p), &a) in s.held.iter().zip(&s.alphas) {
         if a < 1e-9 {
             scored.remove(client, server);
         } else {
@@ -79,7 +85,7 @@ pub fn adjust_dispersion_rates(
         scored.rollback_to(mark);
         return false;
     }
-    held.iter().zip(&alphas).any(|(&(_, p), &a)| (p.alpha - a).abs() > 1e-12)
+    s.held.iter().zip(&s.alphas).any(|(&(_, p), &a)| (p.alpha - a).abs() > 1e-12)
 }
 
 #[cfg(test)]

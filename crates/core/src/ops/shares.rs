@@ -1,10 +1,10 @@
 //! `Adjust_ResourceShares(j)` — re-optimize the GPS shares of one server
 //! with the dispersion fixed (paper §V-B.1).
 
-use cloudalloc_model::{ClientId, Placement, ScoredAllocation, ServerId};
+use cloudalloc_model::{Placement, ScoredAllocation, ServerId};
 
 use crate::ctx::SolverCtx;
-use crate::kkt::{optimal_shares, ShareDemand};
+use crate::kkt::{optimal_shares_into, ShareDemand};
 
 /// Re-optimizes the shares of `server` and applies the KKT solution
 /// *unconditionally* (no revenue check). Used by operators that must
@@ -42,8 +42,11 @@ fn adjust_shares_inner(
     require_improvement: bool,
 ) -> bool {
     let system = ctx.system;
-    let residents: Vec<ClientId> = scored.alloc().residents(server).to_vec();
-    if residents.is_empty() {
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.residents.clear();
+    s.residents.extend_from_slice(scored.alloc().residents(server));
+    if s.residents.is_empty() {
         return false;
     }
     let class = system.class_of(server);
@@ -52,60 +55,80 @@ fn adjust_shares_inner(
     // Weights use the utility slope at the client's *current* response
     // time — the linearization point of the paper's Eq. (17). Outcomes
     // come from the incremental cache.
-    let mut demands_p = Vec::with_capacity(residents.len());
-    let mut demands_c = Vec::with_capacity(residents.len());
+    s.demands_p.clear();
+    s.demands_c.clear();
+    s.old_placements.clear();
     let mut old_revenue = 0.0;
-    let mut old_placements = Vec::with_capacity(residents.len());
-    for &client in &residents {
+    for &client in &s.residents {
         let outcome = scored.outcome(client);
         old_revenue += outcome.revenue;
         let c = system.client(client);
         let p = scored.alloc().placement(client, server).expect("resident must hold a placement");
-        old_placements.push(p);
+        s.old_placements.push(p);
         let weight = ctx.aspiration_weight(client, outcome.response_time) * p.alpha.max(1e-9);
-        demands_p.push(ShareDemand {
+        s.demands_p.push(ShareDemand {
             arrival: p.alpha * c.rate_predicted,
             rate_per_share: class.cap_processing / c.exec_processing,
             weight,
         });
-        demands_c.push(ShareDemand {
+        s.demands_c.push(ShareDemand {
             arrival: p.alpha * c.rate_predicted,
             rate_per_share: class.cap_communication / c.exec_communication,
             weight,
         });
     }
 
+    // The two solves reuse the same floor/pin work areas sequentially;
+    // evaluating the second only after the first succeeds short-circuits
+    // exactly like the old `(Some, Some)` match (neither has side effects).
     let margin = ctx.config.stability_margin;
-    let (Some(shares_p), Some(shares_c)) = (
-        optimal_shares(1.0 - bg.phi_p, &demands_p, cloudalloc_model::MIN_SHARE, margin),
-        optimal_shares(1.0 - bg.phi_c, &demands_c, cloudalloc_model::MIN_SHARE, margin),
-    ) else {
+    let min_share = cloudalloc_model::MIN_SHARE;
+    let ok_p = optimal_shares_into(
+        1.0 - bg.phi_p,
+        &s.demands_p,
+        min_share,
+        margin,
+        &mut s.floors,
+        &mut s.pinned,
+        &mut s.shares_p,
+    );
+    if !ok_p
+        || !optimal_shares_into(
+            1.0 - bg.phi_c,
+            &s.demands_c,
+            min_share,
+            margin,
+            &mut s.floors,
+            &mut s.pinned,
+            &mut s.shares_c,
+        )
+    {
         // The current mix cannot be re-balanced (e.g. critical shares eat
         // the budget); keep the existing feasible shares.
         return false;
-    };
+    }
 
     // Apply tentatively, then verify the revenue actually improved — the
     // KKT step optimizes the *linearized* utility, which can differ from
     // the true one for step/exponential SLAs. Only this server's residents
     // are rescored; everything else stays cached.
     let mark = scored.savepoint();
-    for (idx, &client) in residents.iter().enumerate() {
-        let p = old_placements[idx];
+    for (idx, &client) in s.residents.iter().enumerate() {
+        let p = s.old_placements[idx];
         scored.place(
             client,
             server,
-            Placement { alpha: p.alpha, phi_p: shares_p[idx], phi_c: shares_c[idx] },
+            Placement { alpha: p.alpha, phi_p: s.shares_p[idx], phi_c: s.shares_c[idx] },
         );
     }
-    let new_revenue: f64 = residents.iter().map(|&client| scored.outcome(client).revenue).sum();
+    let new_revenue: f64 = s.residents.iter().map(|&client| scored.outcome(client).revenue).sum();
     if require_improvement && new_revenue + 1e-12 < old_revenue {
         scored.rollback_to(mark);
         return false;
     }
     new_revenue > old_revenue + 1e-12
-        || old_placements.iter().enumerate().any(|(idx, p)| {
-            (p.phi_p - shares_p[idx]).abs() > 1e-12 || (p.phi_c - shares_c[idx]).abs() > 1e-12
+        || s.old_placements.iter().enumerate().any(|(idx, p)| {
+            (p.phi_p - s.shares_p[idx]).abs() > 1e-12 || (p.phi_c - s.shares_c[idx]).abs() > 1e-12
         })
 }
 
@@ -114,7 +137,7 @@ mod tests {
     use super::*;
     use crate::assign::{best_cluster, commit};
     use crate::config::SolverConfig;
-    use cloudalloc_model::{check_feasibility, evaluate, Allocation};
+    use cloudalloc_model::{check_feasibility, evaluate, Allocation, ClientId};
     use cloudalloc_workload::{generate, ScenarioConfig};
 
     fn seeded(n: usize, seed: u64) -> (cloudalloc_model::CloudSystem, SolverConfig) {

@@ -13,16 +13,19 @@ use cloudalloc_model::{ClientId, ClusterId, Placement, ScoredAllocation, ServerI
 
 use crate::assign::{assign_distribute_excluding, commit_scored};
 use crate::ctx::SolverCtx;
-use crate::dispersion::{optimal_dispersion, DispersionBranch};
+use crate::dispersion::{optimal_dispersion_into, DispersionBranch};
 
 /// Approximated utility of a server: revenue attributable to the traffic
 /// it carries minus its operation cost. Low values make good shutdown
 /// candidates.
 fn server_value(ctx: &SolverCtx<'_>, scored: &mut ScoredAllocation<'_>, server: ServerId) -> f64 {
     let system = ctx.system;
-    let residents = scored.alloc().residents(server).to_vec();
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.residents.clear();
+    s.residents.extend_from_slice(scored.alloc().residents(server));
     let mut revenue_share = 0.0;
-    for client in residents {
+    for &client in &s.residents {
         let outcome = scored.outcome(client);
         if let Some(p) = scored.alloc().placement(client, server) {
             revenue_share += outcome.revenue * p.alpha;
@@ -172,12 +175,18 @@ fn evacuate(
     server: ServerId,
 ) -> bool {
     let system = ctx.system;
-    let residents: Vec<ClientId> = scored.alloc().residents(server).to_vec();
-    for client in residents {
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.residents.clear();
+    s.residents.extend_from_slice(scored.alloc().residents(server));
+    for idx in 0..s.residents.len() {
+        let client = s.residents[idx];
         let c = system.client(client);
         scored.remove(client, server);
-        let held = scored.alloc().placements(client).to_vec();
-        if held.is_empty() {
+        // Snapshot the remaining branches (after the removal) in scratch.
+        s.held.clear();
+        s.held.extend_from_slice(scored.alloc().placements(client));
+        if s.held.is_empty() {
             // Sole-branch resident: full re-homing inside the cluster,
             // never touching the dying server.
             scored.clear_client(client);
@@ -187,26 +196,24 @@ fn evacuate(
         } else {
             // Re-disperse the full stream over the remaining branches.
             let weight = ctx.aspiration_weight(client, scored.outcome(client).response_time);
-            let branches: Vec<DispersionBranch> = held
-                .iter()
-                .map(|&(sid, p)| {
-                    let class = system.class_of(sid);
-                    DispersionBranch {
-                        service_p: p.phi_p * class.cap_processing / c.exec_processing,
-                        service_c: p.phi_c * class.cap_communication / c.exec_communication,
-                        cost_slope: class.cost_per_utilization
-                            * c.rate_predicted
-                            * c.exec_processing
-                            / class.cap_processing,
-                    }
-                })
-                .collect();
-            let Some(alphas) = optimal_dispersion(
+            s.branches.clear();
+            s.branches.extend(s.held.iter().map(|&(sid, p)| {
+                let class = system.class_of(sid);
+                DispersionBranch {
+                    service_p: p.phi_p * class.cap_processing / c.exec_processing,
+                    service_c: p.phi_c * class.cap_communication / c.exec_communication,
+                    cost_slope: class.cost_per_utilization * c.rate_predicted * c.exec_processing
+                        / class.cap_processing,
+                }
+            }));
+            if !optimal_dispersion_into(
                 c.rate_predicted,
                 weight,
-                &branches,
+                &s.branches,
                 ctx.config.stability_margin,
-            ) else {
+                &mut s.alpha_maxes,
+                &mut s.alphas,
+            ) {
                 // Remaining branches cannot absorb the stream: fall back
                 // to a full re-homing.
                 scored.clear_client(client);
@@ -214,8 +221,8 @@ fn evacuate(
                     return false;
                 }
                 continue;
-            };
-            for (&(sid, p), &a) in held.iter().zip(&alphas) {
+            }
+            for (&(sid, p), &a) in s.held.iter().zip(&s.alphas) {
                 if a < 1e-9 {
                     scored.remove(client, sid);
                 } else {
@@ -236,15 +243,22 @@ pub fn turn_off_servers(
     cluster: ClusterId,
 ) -> bool {
     let system = ctx.system;
-    let servers: Vec<ServerId> =
-        system.servers_in(cluster).filter(|s| scored.alloc().is_on(s.id)).map(|s| s.id).collect();
-    let mut candidates: Vec<(f64, ServerId)> =
-        servers.into_iter().map(|id| (server_value(ctx, scored, id), id)).collect();
-    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.server_ids.clear();
+    s.server_ids
+        .extend(system.servers_in(cluster).filter(|s| scored.alloc().is_on(s.id)).map(|s| s.id));
+    s.ranked.clear();
+    for idx in 0..s.server_ids.len() {
+        let id = s.server_ids[idx];
+        let value = server_value(ctx, scored, id);
+        s.ranked.push((value, id));
+    }
+    s.ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut changed = false;
     let mut current_profit = scored.profit();
-    for (_, server) in candidates {
+    for &(_, server) in &s.ranked {
         if !scored.alloc().is_on(server) {
             continue; // may have emptied while evacuating an earlier one
         }

@@ -96,10 +96,14 @@ fn eval_move(
 }
 
 /// Applies a move: scales the client's existing placements by `1 − β` and
-/// adds the new branch on `target`.
-fn apply_move(scored: &mut ScoredAllocation<'_>, target: ServerId, mv: Move) {
-    let held = scored.alloc().placements(mv.client).to_vec();
-    for (server, p) in held {
+/// adds the new branch on `target`. The placement snapshot lives in a
+/// scratch arena instead of a per-call `Vec`.
+fn apply_move(ctx: &SolverCtx<'_>, scored: &mut ScoredAllocation<'_>, target: ServerId, mv: Move) {
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.held.clear();
+    s.held.extend_from_slice(scored.alloc().placements(mv.client));
+    for &(server, p) in &s.held {
         scored.place(mv.client, server, Placement { alpha: p.alpha * (1.0 - mv.beta), ..p });
     }
     scored.place(mv.client, target, Placement { alpha: mv.beta, phi_p: mv.phi_p, phi_c: mv.phi_c });
@@ -148,7 +152,7 @@ fn try_fill(
         }
         match best {
             Some(mv) if mv.delta > 1e-9 => {
-                apply_move(scored, target, mv);
+                apply_move(ctx, scored, target, mv);
                 changed = true;
             }
             _ => break,
@@ -170,17 +174,20 @@ pub fn turn_on_servers(
     // One idle representative per class: idle empty servers of a class
     // are interchangeable (the paper solves the activation problem once
     // per class for exactly this reason).
-    let mut seen_class = vec![false; system.server_classes().len()];
-    let mut targets = Vec::new();
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.seen_class.clear();
+    s.seen_class.resize(system.server_classes().len(), false);
+    s.server_ids.clear();
     for server in system.servers_in(cluster) {
         let class_idx = server.server.class.index();
-        if !scored.alloc().is_on(server.id) && !seen_class[class_idx] {
-            seen_class[class_idx] = true;
-            targets.push(server.id);
+        if !scored.alloc().is_on(server.id) && !s.seen_class[class_idx] {
+            s.seen_class[class_idx] = true;
+            s.server_ids.push(server.id);
         }
     }
     let mut changed = false;
-    for target in targets {
+    for &target in &s.server_ids {
         if try_fill(ctx, scored, cluster, target) {
             changed = true;
         }

@@ -1,0 +1,173 @@
+//! Reusable scratch arenas for the candidate search and the local-search
+//! operators.
+//!
+//! The inner loop of the solver — `assign_distribute` and the operators in
+//! [`crate::ops`] — used to allocate a handful of `Vec`s per call (value
+//! curves, the DP `choice` matrix, snapshot copies of placements and
+//! resident lists). [`CandidateScratch`] owns all of those buffers as flat
+//! arrays that are *cleared, never reallocated*, so after warm-up a search
+//! performs zero heap allocations.
+//!
+//! # Lifecycle
+//!
+//! `SolverCtx` is `Copy` and is shared by reference across the scoped
+//! threads of the parallel best-of-N construction, so the scratch cannot
+//! live inside it. Instead each thread keeps a pool of boxed arenas:
+//! [`acquire`] (reached via [`crate::ctx::SolverCtx::scratch`]) pops one —
+//! or creates one on first use — and the returned [`ScratchGuard`] pushes
+//! it back on drop. Nested acquisitions (e.g. `turn_off_servers` →
+//! `evacuate` → `assign_distribute_excluding`) simply pop distinct arenas,
+//! so re-entrancy is safe by construction and no state leaks between
+//! concurrent users. Thread-locality also keeps results bit-identical and
+//! thread-count-invariant: an arena never carries data across threads,
+//! only capacity.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+use cloudalloc_model::{ClientId, Placement, ServerId};
+
+use crate::assign::Level;
+use crate::dispersion::DispersionBranch;
+use crate::kkt::ShareDemand;
+
+/// One run of consecutive feasible servers sharing a curve signature; the
+/// unit the deduplicated DP iterates over (see `assign.rs`).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Run {
+    /// Index of the first member in [`CandidateScratch::servers`].
+    pub members_start: usize,
+    /// Number of consecutive same-signature servers in the run.
+    pub members_len: usize,
+    /// Offset of the run's shared value curve in
+    /// [`CandidateScratch::curves`] (length `granularity + 1`).
+    pub curve_start: usize,
+    /// Offset of the run's first stored DP choice row in
+    /// [`CandidateScratch::choice`].
+    pub rows_start: usize,
+    /// Number of stored choice rows (`≤ members_len`; the DP stops storing
+    /// rows once it reaches a fixpoint, later members reuse the last row).
+    pub rows_len: usize,
+}
+
+/// The flat, reusable buffers of one candidate search / operator call.
+#[derive(Debug, Default)]
+pub(crate) struct CandidateScratch {
+    // --- assign_distribute: run-deduplicated DP ---
+    /// Feasible servers of the cluster, in cluster order, grouped in runs.
+    pub servers: Vec<ServerId>,
+    /// Run descriptors, in cluster order.
+    pub runs: Vec<Run>,
+    /// Value curves, one `granularity + 1` block per run.
+    pub curves: Vec<Option<Level>>,
+    /// DP state `dp[u]` = best value dispatching `u` grid units so far.
+    pub dp: Vec<f64>,
+    /// DP state being built for the next server.
+    pub next: Vec<f64>,
+    /// Stored choice rows, `granularity + 1` entries each.
+    pub choice: Vec<usize>,
+    // --- operators: snapshots and KKT/dispersion work areas ---
+    /// Snapshot of one client's `(server, placement)` list.
+    pub held: Vec<(ServerId, Placement)>,
+    /// Snapshot of one server's resident clients.
+    pub residents: Vec<ClientId>,
+    /// Dispersion branches handed to `optimal_dispersion_into`.
+    pub branches: Vec<DispersionBranch>,
+    /// Output α vector of `optimal_dispersion_into`.
+    pub alphas: Vec<f64>,
+    /// Per-branch α upper bounds (internal to the dispersion solver).
+    pub alpha_maxes: Vec<f64>,
+    /// Processing-share demands handed to `optimal_shares_into`.
+    pub demands_p: Vec<ShareDemand>,
+    /// Communication-share demands handed to `optimal_shares_into`.
+    pub demands_c: Vec<ShareDemand>,
+    /// Output processing shares.
+    pub shares_p: Vec<f64>,
+    /// Output communication shares.
+    pub shares_c: Vec<f64>,
+    /// Stability floors (internal to the shares solver).
+    pub floors: Vec<f64>,
+    /// Active-set pin flags (internal to the shares solver).
+    pub pinned: Vec<bool>,
+    /// Placement snapshot for tentative share rewrites.
+    pub old_placements: Vec<Placement>,
+    /// Generic server-id work list (candidate targets, active servers).
+    pub server_ids: Vec<ServerId>,
+    /// Servers ranked by a score, for deterministic ordering.
+    pub ranked: Vec<(f64, ServerId)>,
+    /// Per-server-class "already tried" flags.
+    pub seen_class: Vec<bool>,
+}
+
+thread_local! {
+    /// Per-thread arena pool; depth equals the maximum nesting of live
+    /// searches (≤ 4 in practice), so the pool stays tiny. Boxing keeps
+    /// acquire/release a pointer move instead of copying ~20 `Vec`
+    /// headers per candidate search.
+    #[allow(clippy::vec_box)]
+    static POOL: RefCell<Vec<Box<CandidateScratch>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Borrows an arena from the current thread's pool (allocating one only on
+/// first use at each nesting depth). Buffers may hold stale data from the
+/// previous user — callers clear what they use.
+pub(crate) fn acquire() -> ScratchGuard {
+    let inner = POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_default();
+    ScratchGuard { inner: Some(inner) }
+}
+
+/// Owning handle to a pooled [`CandidateScratch`]; returns it on drop.
+#[derive(Debug)]
+pub(crate) struct ScratchGuard {
+    inner: Option<Box<CandidateScratch>>,
+}
+
+impl Deref for ScratchGuard {
+    type Target = CandidateScratch;
+
+    fn deref(&self) -> &CandidateScratch {
+        self.inner.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for ScratchGuard {
+    fn deref_mut(&mut self) -> &mut CandidateScratch {
+        self.inner.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            POOL.with(|pool| pool.borrow_mut().push(inner));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_acquisitions_hand_out_distinct_arenas() {
+        let mut outer = acquire();
+        outer.servers.push(ServerId(7));
+        {
+            let inner = acquire();
+            assert!(inner.servers.is_empty() || inner.servers != outer.servers);
+        }
+        assert_eq!(outer.servers, vec![ServerId(7)]);
+    }
+
+    #[test]
+    fn arenas_keep_capacity_across_reuse() {
+        {
+            let mut g = acquire();
+            g.dp.clear();
+            g.dp.resize(64, 0.0);
+        }
+        let g = acquire();
+        // Same thread: the pooled arena comes back with its capacity.
+        assert!(g.dp.capacity() >= 64);
+    }
+}

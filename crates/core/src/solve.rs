@@ -62,10 +62,14 @@ pub fn improve_scored(
     let mut stats = SearchStats { history: vec![profit], ..Default::default() };
 
     let mut order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
+    // Active-server work list owned by the loop: re-filled each round, its
+    // allocation amortized away instead of re-collected per pass.
+    let mut active: Vec<ServerId> = Vec::new();
     for round in 0..config.max_rounds {
         if config.adjust_shares {
-            let servers: Vec<ServerId> = scored.alloc().active_servers().collect();
-            for server in servers {
+            active.clear();
+            active.extend(scored.alloc().active_servers());
+            for &server in &active {
                 adjust_resource_shares(ctx, scored, server);
             }
         }

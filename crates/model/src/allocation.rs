@@ -69,6 +69,27 @@ impl ServerLoad {
     }
 }
 
+/// Per-cluster upper bounds on the best free capacity any single server in
+/// the cluster still offers. Maintained *monotonically* between exact
+/// refreshes: every load mutation can only raise a bound, so the invariant
+/// `bound ≥ max_j free_j` holds through arbitrary mutate/rollback
+/// sequences, and a candidate search may safely skip a cluster whose bound
+/// already rules every server out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSlack {
+    /// Upper bound on `max_j (cap_storage_j − storage_j)`.
+    pub storage: f64,
+    /// Upper bound on `max_j free φ^p_j`.
+    pub phi_p: f64,
+    /// Upper bound on `max_j free φ^c_j`.
+    pub phi_c: f64,
+}
+
+impl ClusterSlack {
+    const EMPTY: Self =
+        Self { storage: f64::NEG_INFINITY, phi_p: f64::NEG_INFINITY, phi_c: f64::NEG_INFINITY };
+}
+
 /// The complete decision state for one epoch: client→cluster assignment,
 /// per-(client, server) placements, and per-server aggregate loads.
 ///
@@ -76,7 +97,7 @@ impl ServerLoad {
 /// and server→clients) consistent, but do *not* enforce capacity
 /// feasibility — solvers may pass through transiently infeasible states and
 /// call [`crate::check_feasibility`] on the final answer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Allocation {
     cluster_of: Vec<Option<ClusterId>>,
     /// Per client: `(server, placement)` pairs sorted by server id.
@@ -84,6 +105,31 @@ pub struct Allocation {
     /// Per server: clients with a positive placement, sorted by client id.
     residents: Vec<Vec<ClientId>>,
     loads: Vec<ServerLoad>,
+    /// Derived search index (cluster of each server), cached here because
+    /// `restore_load` has no system handle. Not semantic state: skipped by
+    /// serde and equality; rebuilt via [`Allocation::build_slack_index`].
+    #[serde(skip)]
+    server_cluster: Vec<ClusterId>,
+    /// Storage capacity of each server's class (same caching rationale).
+    #[serde(skip)]
+    server_cap_storage: Vec<f64>,
+    /// Per-cluster slack bounds; empty when the index is absent (e.g. on a
+    /// deserialized allocation), which disables slack-based pruning.
+    #[serde(skip)]
+    slack: Vec<ClusterSlack>,
+}
+
+/// Equality compares only the semantic decision state. The slack index is
+/// excluded deliberately: bounds are *upper* bounds that legitimately
+/// diverge between two semantically identical allocations (e.g. after a
+/// savepoint rollback), and rollback exactness is asserted via `==`.
+impl PartialEq for Allocation {
+    fn eq(&self, other: &Self) -> bool {
+        self.cluster_of == other.cluster_of
+            && self.placements == other.placements
+            && self.residents == other.residents
+            && self.loads == other.loads
+    }
 }
 
 impl Allocation {
@@ -102,12 +148,66 @@ impl Allocation {
                 }
             })
             .collect();
-        Self {
+        let mut this = Self {
             cluster_of: vec![None; system.num_clients()],
             placements: vec![Vec::new(); system.num_clients()],
             residents: vec![Vec::new(); system.num_servers()],
             loads,
+            server_cluster: Vec::new(),
+            server_cap_storage: Vec::new(),
+            slack: Vec::new(),
+        };
+        this.build_slack_index(system);
+        this
+    }
+
+    /// (Re)builds the per-cluster slack index from `system`. Needed only
+    /// for allocations that did not come out of [`Allocation::new`] (e.g.
+    /// deserialized ones, where serde leaves the index empty and slack
+    /// pruning disabled).
+    pub fn build_slack_index(&mut self, system: &CloudSystem) {
+        self.server_cluster =
+            (0..self.loads.len()).map(|j| system.server(ServerId(j)).cluster).collect();
+        self.server_cap_storage =
+            (0..self.loads.len()).map(|j| system.class_of(ServerId(j)).cap_storage).collect();
+        self.slack = vec![ClusterSlack::EMPTY; system.num_clusters()];
+        self.refresh_slack();
+    }
+
+    /// Tightens every cluster's slack bounds back to the exact per-cluster
+    /// maxima. Called at commit points; between refreshes the bounds only
+    /// grow (see [`ClusterSlack`]), preserving soundness without having to
+    /// journal them through savepoint rollbacks. No-op when the index was
+    /// never built.
+    pub fn refresh_slack(&mut self) {
+        if self.server_cluster.is_empty() {
+            return;
         }
+        self.slack.fill(ClusterSlack::EMPTY);
+        for j in 0..self.loads.len() {
+            self.bump_slack(j);
+        }
+    }
+
+    /// The slack bounds of `cluster`, or `None` when the index is absent
+    /// (callers must then fall back to scanning every server).
+    pub fn cluster_slack(&self, cluster: ClusterId) -> Option<ClusterSlack> {
+        self.slack.get(cluster.index()).copied()
+    }
+
+    /// Raises the slack bounds of server `j`'s cluster to cover its current
+    /// free capacity. Must run after *every* load mutation — including ones
+    /// that add load, because a placement replacement can shrink shares and
+    /// thereby free capacity.
+    fn bump_slack(&mut self, j: usize) {
+        let Some(&cluster) = self.server_cluster.get(j) else {
+            return;
+        };
+        let load = self.loads[j];
+        let slack = &mut self.slack[cluster.index()];
+        slack.storage = slack.storage.max(self.server_cap_storage[j] - load.storage);
+        slack.phi_p = slack.phi_p.max(load.free_phi_p());
+        slack.phi_c = slack.phi_c.max(load.free_phi_c());
     }
 
     /// Cluster the client is assigned to, if any (`x_{ik}`).
@@ -247,6 +347,7 @@ impl Allocation {
                 residents.insert(rpos, client);
             }
         }
+        self.bump_slack(server.index());
     }
 
     /// Removes the placement of `client` on `server`, if present.
@@ -274,6 +375,7 @@ impl Allocation {
             if let Ok(rpos) = residents.binary_search(&client) {
                 residents.remove(rpos);
             }
+            self.bump_slack(server.index());
         }
     }
 
@@ -310,6 +412,7 @@ impl Allocation {
     /// the restore bit-exact.
     pub(crate) fn restore_load(&mut self, server: ServerId, load: ServerLoad) {
         self.loads[server.index()] = load;
+        self.bump_slack(server.index());
     }
 
     /// True when every client is assigned to a cluster and disperses all of
@@ -551,6 +654,87 @@ mod tests {
             }
         }
         alloc.assert_consistent(&sys);
+    }
+
+    /// Exact per-cluster maxima recomputed from scratch, for comparison
+    /// against the monotone bounds.
+    fn exact_slack(sys: &CloudSystem, alloc: &Allocation, cluster: ClusterId) -> ClusterSlack {
+        let mut exact = ClusterSlack::EMPTY;
+        for j in 0..sys.num_servers() {
+            if sys.server(ServerId(j)).cluster != cluster {
+                continue;
+            }
+            let load = alloc.load(ServerId(j));
+            exact.storage = exact.storage.max(sys.class_of(ServerId(j)).cap_storage - load.storage);
+            exact.phi_p = exact.phi_p.max(load.free_phi_p());
+            exact.phi_c = exact.phi_c.max(load.free_phi_c());
+        }
+        exact
+    }
+
+    #[test]
+    fn slack_bounds_stay_sound_and_refresh_makes_them_exact() {
+        // Same pseudo-random walk as above: after every mutation the bound
+        // must dominate the true maximum, and refresh_slack must land on
+        // it exactly.
+        let sys = system();
+        let mut alloc = Allocation::new(&sys);
+        alloc.assign_cluster(ClientId(0), ClusterId(0));
+        alloc.assign_cluster(ClientId(1), ClusterId(0));
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for step in 0..300 {
+            let client = ClientId((next() * 2.0) as usize % 2);
+            let server = ServerId((next() * 2.0) as usize % 2);
+            match (next() * 3.0) as usize {
+                0 => {
+                    let alpha = 0.05 + 0.9 * next();
+                    let phi = 0.05 + 0.9 * next();
+                    alloc.place(&sys, client, server, Placement { alpha, phi_p: phi, phi_c: phi });
+                }
+                1 => alloc.remove(&sys, client, server),
+                _ => {
+                    alloc.clear_client(&sys, client);
+                    alloc.assign_cluster(client, ClusterId(0));
+                }
+            }
+            for k in 0..2 {
+                let bound = alloc.cluster_slack(ClusterId(k)).unwrap();
+                let exact = exact_slack(&sys, &alloc, ClusterId(k));
+                assert!(
+                    bound.storage >= exact.storage
+                        && bound.phi_p >= exact.phi_p
+                        && bound.phi_c >= exact.phi_c,
+                    "step {step}: slack bound {bound:?} fell below exact {exact:?}"
+                );
+            }
+            if step % 29 == 0 {
+                alloc.refresh_slack();
+                for k in 0..2 {
+                    let bound = alloc.cluster_slack(ClusterId(k)).unwrap();
+                    assert_eq!(bound, exact_slack(&sys, &alloc, ClusterId(k)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slack_index_absent_without_build() {
+        // serde skips the index; a round-tripped allocation reports None
+        // until build_slack_index is called.
+        let (sys, mut alloc) = placed();
+        let json = serde_json::to_string(&alloc).unwrap();
+        let mut back: Allocation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, alloc, "semantic equality ignores the index");
+        assert_eq!(back.cluster_slack(ClusterId(0)), None);
+        back.build_slack_index(&sys);
+        // A rebuilt index is exact; compare against refreshed (exact)
+        // bounds, since the original's are only monotone upper bounds.
+        alloc.refresh_slack();
+        assert_eq!(back.cluster_slack(ClusterId(0)), alloc.cluster_slack(ClusterId(0)));
     }
 
     #[test]

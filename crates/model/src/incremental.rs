@@ -96,7 +96,10 @@ pub struct ScoredAllocation<'a> {
 
 impl<'a> ScoredAllocation<'a> {
     /// Wraps `alloc`, seeding every cache with a from-scratch evaluation.
-    pub fn new(system: &'a CloudSystem, alloc: Allocation) -> Self {
+    pub fn new(system: &'a CloudSystem, mut alloc: Allocation) -> Self {
+        // Candidate searches prune clusters via the slack index; make sure
+        // it exists (deserialized allocations arrive without one).
+        alloc.build_slack_index(system);
         let n = system.num_clients();
         let m = system.num_servers();
         let mut this = Self {
@@ -309,9 +312,12 @@ impl<'a> ScoredAllocation<'a> {
     /// Accepts everything since the last commit (or construction): drops
     /// the journal, invalidating outstanding savepoints. Mutations touched
     /// by rolled-back flush records stay correctly marked dirty, so
-    /// committing never desynchronizes the caches.
+    /// committing never desynchronizes the caches. Also tightens the
+    /// cluster slack bounds back to exact, so pruning stays effective
+    /// across long mutate/rollback sequences.
     pub fn commit(&mut self) {
         self.journal.clear();
+        self.alloc.refresh_slack();
     }
 
     // ------------------------------------------------------------------

@@ -58,7 +58,7 @@ mod server;
 mod system;
 mod utility;
 
-pub use allocation::{Allocation, Placement, ServerLoad};
+pub use allocation::{Allocation, ClusterSlack, Placement, ServerLoad};
 pub use builder::SystemBuilder;
 pub use client::Client;
 pub use cluster::{BackgroundLoad, Cluster};

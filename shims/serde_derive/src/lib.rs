@@ -7,10 +7,13 @@
 //! the `proc_macro` token stream — no `syn`/`quote`, so the shim has no
 //! dependencies of its own.
 //!
-//! `#[serde(...)]` attributes are accepted and ignored; the only one the
-//! workspace uses is `#[serde(transparent)]` on newtype id wrappers,
-//! and single-field tuple structs are emitted transparently anyway
-//! (matching upstream serde's newtype-struct JSON encoding).
+//! `#[serde(...)]` attributes are accepted and, with one exception,
+//! ignored. `#[serde(transparent)]` on newtype id wrappers needs no
+//! handling because single-field tuple structs are emitted transparently
+//! anyway (matching upstream serde's newtype-struct JSON encoding).
+//! `#[serde(skip)]` on a named field *is* honored like upstream: the
+//! field is omitted from the serialized form and filled with
+//! `Default::default()` on deserialization.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
@@ -39,10 +42,16 @@ struct Item {
 }
 
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// Marked `#[serde(skip)]`: not serialized, defaulted on deserialize.
+    skip: bool,
 }
 
 struct Variant {
@@ -52,7 +61,7 @@ struct Variant {
 
 enum VariantFields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -83,6 +92,14 @@ impl Parser {
     }
 
     fn skip_attrs(&mut self) {
+        self.consume_attrs();
+    }
+
+    /// Consumes leading attributes, reporting whether any of them was
+    /// `#[serde(skip)]` (as a top-level argument, so e.g.
+    /// `skip_serializing_if` does not match).
+    fn consume_attrs(&mut self) -> bool {
+        let mut skip = false;
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
@@ -90,11 +107,13 @@ impl Parser {
             self.pos += 1; // '#'
             match self.peek() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    skip |= attr_is_serde_skip(g.stream());
                     self.pos += 1;
                 }
                 other => panic!("expected attribute brackets after `#`, found {other:?}"),
             }
         }
+        skip
     }
 
     fn skip_visibility(&mut self) {
@@ -168,11 +187,26 @@ fn parse_item(input: TokenStream) -> Item {
     Item { name, kind }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// True for the bracket-interior of exactly `serde(..., skip, ...)`.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match &toks[..] {
+        [TokenTree::Ident(id), TokenTree::Group(args)]
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut p = Parser::new(stream);
     let mut fields = Vec::new();
     loop {
-        p.skip_attrs();
+        let skip = p.consume_attrs();
         if p.peek().is_none() {
             break;
         }
@@ -182,7 +216,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(pu)) if pu.as_char() == ':' => {}
             other => panic!("expected `:` after field `{field}`, found {other:?}"),
         }
-        fields.push(field);
+        fields.push(Field { name: field, skip });
         if !p.skip_until_top_level_comma() {
             break;
         }
@@ -251,10 +285,14 @@ fn gen_serialize(item: &Item) -> String {
             "{VALUE}::Map(::std::vec![{}])",
             fields
                 .iter()
-                .map(|f| format!(
-                    "(::std::string::String::from(\"{f}\"), \
-                     ::serde::Serialize::to_value(&self.{f}))"
-                ))
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    let f = &f.name;
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(", ")
         ),
@@ -277,10 +315,23 @@ fn gen_serialize(item: &Item) -> String {
                         let _ = write!(arms, "{name}::{vname} => {VALUE}::Str({tag}),");
                     }
                     VariantFields::Named(fields) => {
-                        let binds = fields.join(", ");
-                        let entries = fields
+                        let binds = fields
                             .iter()
                             .map(|f| {
+                                let name = &f.name;
+                                if f.skip {
+                                    format!("{name}: _")
+                                } else {
+                                    name.clone()
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let entries = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
                                  ::serde::Serialize::to_value({f}))"
@@ -334,9 +385,17 @@ fn gen_deserialize(item: &Item) -> String {
             "::std::result::Result::Ok({name} {{ {} }})",
             fields
                 .iter()
-                .map(|f| format!(
-                    "{f}: ::serde::Deserialize::from_value(__v.field_or_null(\"{f}\")?)?"
-                ))
+                .map(|f| {
+                    let name = &f.name;
+                    if f.skip {
+                        format!("{name}: ::std::default::Default::default()")
+                    } else {
+                        format!(
+                            "{name}: ::serde::Deserialize::from_value(\
+                             __v.field_or_null(\"{name}\")?)?"
+                        )
+                    }
+                })
                 .collect::<Vec<_>>()
                 .join(", ")
         ),
@@ -370,9 +429,17 @@ fn gen_deserialize(item: &Item) -> String {
                     VariantFields::Named(fields) => {
                         let inits = fields
                             .iter()
-                            .map(|f| format!(
-                                "{f}: ::serde::Deserialize::from_value(__inner.field_or_null(\"{f}\")?)?"
-                            ))
+                            .map(|f| {
+                                let name = &f.name;
+                                if f.skip {
+                                    format!("{name}: ::std::default::Default::default()")
+                                } else {
+                                    format!(
+                                        "{name}: ::serde::Deserialize::from_value(\
+                                         __inner.field_or_null(\"{name}\")?)?"
+                                    )
+                                }
+                            })
                             .collect::<Vec<_>>()
                             .join(", ");
                         let _ = write!(
