@@ -14,7 +14,10 @@
 /// * `--seed N` — base seed (default 1);
 /// * `--json PATH` — also write the aggregated rows as JSON;
 /// * `--smoke` — CI smoke mode: a single tiny configuration exercising the
-///   equivalence assertions (currently honoured by the `speedup` binary).
+///   equivalence assertions (currently honoured by the `speedup` binary);
+/// * `--telemetry-out PATH` — stream solver telemetry (spans, counters,
+///   events) to `PATH` as JSONL. Requires a build with the `telemetry`
+///   feature; otherwise the flag is accepted and a note is printed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {
     /// Scenarios per sweep point.
@@ -29,6 +32,8 @@ pub struct HarnessArgs {
     pub json: Option<String>,
     /// CI smoke mode: tiny config, correctness assertions only.
     pub smoke: bool,
+    /// Optional telemetry JSONL output path.
+    pub telemetry_out: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -40,6 +45,7 @@ impl Default for HarnessArgs {
             seed: 1,
             json: None,
             smoke: false,
+            telemetry_out: None,
         }
     }
 }
@@ -72,9 +78,10 @@ impl HarnessArgs {
                     out.client_counts = vec![20, 60, 100];
                 }
                 "--smoke" => out.smoke = true,
+                "--telemetry-out" => out.telemetry_out = Some(grab("--telemetry-out")),
                 other => panic!(
                     "unknown flag {other}; supported: --scenarios N, --mc N, --seed N, \
-                     --json PATH, --paper-scale, --quick, --smoke"
+                     --json PATH, --paper-scale, --quick, --smoke, --telemetry-out PATH"
                 ),
             }
         }
@@ -84,6 +91,34 @@ impl HarnessArgs {
     /// Parses the process arguments (skipping the binary name).
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// Arms the telemetry JSONL sink when `--telemetry-out` was passed.
+    /// On builds without the `telemetry` feature, prints a note instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sink file cannot be created.
+    pub fn init_telemetry(&self) {
+        let Some(path) = &self.telemetry_out else { return };
+        if cloudalloc_telemetry::ENABLED {
+            cloudalloc_telemetry::init_jsonl(path).expect("writable telemetry path");
+        } else {
+            eprintln!(
+                "telemetry disabled at build time; rebuild with --features telemetry \
+                 to capture {path}"
+            );
+        }
+    }
+
+    /// Flushes accumulated counters/histograms and closes the sink.
+    pub fn finish_telemetry(&self) {
+        let Some(path) = &self.telemetry_out else { return };
+        if cloudalloc_telemetry::ENABLED {
+            cloudalloc_telemetry::flush_metrics();
+            cloudalloc_telemetry::close_sink();
+            eprintln!("telemetry written to {path}");
+        }
     }
 }
 
@@ -129,6 +164,13 @@ mod tests {
     #[test]
     fn smoke_flag_is_recognized() {
         assert!(parse(&["--smoke"]).smoke);
+    }
+
+    #[test]
+    fn telemetry_out_takes_a_path() {
+        let a = parse(&["--telemetry-out", "spans.jsonl"]);
+        assert_eq!(a.telemetry_out.as_deref(), Some("spans.jsonl"));
+        assert_eq!(parse(&[]).telemetry_out, None);
     }
 
     #[test]

@@ -9,10 +9,12 @@
 
 use cloudalloc_bench::{figure4, HarnessArgs};
 use cloudalloc_metrics::Table;
+use cloudalloc_telemetry as telemetry;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    eprintln!(
+    args.init_telemetry();
+    telemetry::progress!(
         "fig4: {} points x {} scenarios, {} MC iterations each (paper: >=20 scenarios, >=10000 MC)",
         args.client_counts.len(),
         args.scenarios,
@@ -44,6 +46,7 @@ fn main() {
     if let Some(path) = &args.json {
         std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serializable"))
             .expect("writable json path");
-        eprintln!("wrote {path}");
+        telemetry::progress!("wrote {path}");
     }
+    args.finish_telemetry();
 }

@@ -19,17 +19,19 @@ use cloudalloc_metrics::{OnlineStats, Table};
 use cloudalloc_simulator::{
     simulate, FailureConfig, RoutingPolicy, ServiceDistribution, SimConfig,
 };
+use cloudalloc_telemetry as telemetry;
 use cloudalloc_workload::{generate, ScenarioConfig};
 
 fn main() {
     let args = cloudalloc_bench::HarnessArgs::from_env();
+    args.init_telemetry();
     let system = generate(&ScenarioConfig::paper(40), args.seed);
     let result = solve(&system, &SolverConfig::default(), args.seed);
     let analytic_revenue = result.report.revenue;
     let served: Vec<usize> = (0..system.num_clients())
         .filter(|&i| result.report.clients[i].response_time.is_finite())
         .collect();
-    eprintln!(
+    telemetry::progress!(
         "solved 40 clients: profit {:.2}, revenue {analytic_revenue:.2}, {} served",
         result.report.profit,
         served.len()
@@ -155,4 +157,5 @@ fn main() {
         "expected shape: the work-aware dispatcher (the paper's \"proper reaction of\n\
          request dispatchers\") absorbs small drifts that static splitting cannot"
     );
+    args.finish_telemetry();
 }

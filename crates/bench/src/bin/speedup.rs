@@ -23,6 +23,11 @@
 //!   is **bit-for-bit** identical (placements, score, response time) on a
 //!   greedy construction plus a loaded-state re-search sweep; then each
 //!   path is timed separately on identical inputs.
+//! * **E5e — telemetry overhead.** On builds with the `telemetry` feature,
+//!   times identical solves with recording enabled vs suppressed (the
+//!   runtime gate) and asserts the profits **bit-identical** — telemetry
+//!   observes the solver but never steers it. Without the feature the
+//!   layer compiles to no-ops and the section reports itself skipped.
 //!
 //! ```text
 //! cargo run -p cloudalloc-bench --release --bin speedup [--seed N] [--json PATH] [--smoke]
@@ -208,11 +213,26 @@ struct CandidateSearchRecord {
     new_profit: f64,
 }
 
+/// Per-seed record of the recording-on vs recording-suppressed solve
+/// comparison (E5e). Empty on builds without the `telemetry` feature.
+#[derive(Debug, Serialize)]
+struct TelemetryOverheadRecord {
+    seed: u64,
+    clients: usize,
+    recording_seconds: f64,
+    suppressed_seconds: f64,
+    /// `(recording − suppressed) / suppressed`; noise can make it negative.
+    overhead: f64,
+    recording_profit: f64,
+    suppressed_profit: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct SpeedupReport {
     scoring: Vec<ScoringRecord>,
     parallel: Vec<ParallelRecord>,
     candidate_search: Vec<CandidateSearchRecord>,
+    telemetry_overhead: Vec<TelemetryOverheadRecord>,
 }
 
 fn bench_distributed_greedy(seed: u64) {
@@ -619,25 +639,129 @@ fn bench_candidate_search(base_seed: u64, smoke: bool) -> Vec<CandidateSearchRec
     records
 }
 
+/// E5e with the `telemetry` feature: identical solves with recording on vs
+/// suppressed via the runtime gate, profits asserted bit-identical. The
+/// single-binary comparison isolates exactly the per-event atomics cost
+/// (both runs carry the same code, only the gate differs).
+#[cfg(feature = "telemetry")]
+fn bench_telemetry_overhead(base_seed: u64, smoke: bool) -> Vec<TelemetryOverheadRecord> {
+    use cloudalloc_telemetry as telemetry;
+    let (clients, seeds) = if smoke { (16, 1) } else { (SCORING_CLIENTS, SCORING_SEEDS as u64) };
+    let mut table = Table::new(vec![
+        "seed".into(),
+        "recording".into(),
+        "suppressed".into(),
+        "overhead".into(),
+        "profit_rec".into(),
+        "profit_sup".into(),
+    ]);
+    println!(
+        "E5e — telemetry overhead, recording on vs suppressed \
+         (N={clients}, best of {REPS} reps per mode)"
+    );
+    let mut records = Vec::new();
+    for offset in 0..seeds {
+        let seed = base_seed.wrapping_add(offset);
+        let scenario =
+            if smoke { ScenarioConfig::small(clients) } else { ScenarioConfig::paper(clients) };
+        let system = generate(&scenario, seed);
+        let config = SolverConfig::default();
+
+        let mut recording = (f64::INFINITY, 0.0);
+        let mut suppressed = (f64::INFINITY, 0.0);
+        for _ in 0..REPS {
+            telemetry::set_recording(true);
+            let begin = Instant::now();
+            let result = solve(&system, &config, seed);
+            let t = begin.elapsed().as_secs_f64();
+            if t < recording.0 {
+                recording = (t, result.report.profit);
+            }
+            telemetry::set_recording(false);
+            let begin = Instant::now();
+            let result = solve(&system, &config, seed);
+            let t = begin.elapsed().as_secs_f64();
+            if t < suppressed.0 {
+                suppressed = (t, result.report.profit);
+            }
+            telemetry::set_recording(true);
+        }
+        assert_eq!(
+            recording.1.to_bits(),
+            suppressed.1.to_bits(),
+            "seed {seed}: telemetry recording changed the solver result: \
+             {} vs {}",
+            recording.1,
+            suppressed.1
+        );
+        let overhead = (recording.0 - suppressed.0) / suppressed.0;
+        table.row(vec![
+            seed.to_string(),
+            format!("{:.4}s", recording.0),
+            format!("{:.4}s", suppressed.0),
+            format!("{:+.2}%", overhead * 100.0),
+            format!("{:.4}", recording.1),
+            format!("{:.4}", suppressed.1),
+        ]);
+        records.push(TelemetryOverheadRecord {
+            seed,
+            clients,
+            recording_seconds: recording.0,
+            suppressed_seconds: suppressed.0,
+            overhead,
+            recording_profit: recording.1,
+            suppressed_profit: suppressed.1,
+        });
+    }
+    println!("{table}");
+    println!(
+        "expected shape: profits bit-identical (asserted); overhead within a\n\
+         couple percent — the hot paths touch only per-site atomics\n"
+    );
+    records
+}
+
+/// E5e without the feature: nothing to measure — every telemetry call is
+/// an empty inline function, so the cost is zero by construction.
+#[cfg(not(feature = "telemetry"))]
+fn bench_telemetry_overhead(_base_seed: u64, _smoke: bool) -> Vec<TelemetryOverheadRecord> {
+    println!(
+        "E5e — telemetry overhead: skipped (built without the `telemetry`\n\
+         feature; the layer compiles to no-ops and costs nothing)\n"
+    );
+    Vec::new()
+}
+
 fn main() {
     let args = cloudalloc_bench::HarnessArgs::from_env();
+    args.init_telemetry();
     let path = args.json.clone().unwrap_or_else(|| "BENCH_speedup.json".into());
     if args.smoke {
-        // CI smoke gate: only the E5d equivalence assertions, tiny config.
+        // CI smoke gate: the E5d equivalence assertions plus the E5e
+        // telemetry bit-identity assertion, tiny configs.
         let candidate_search = bench_candidate_search(args.seed, true);
-        let report = SpeedupReport { scoring: Vec::new(), parallel: Vec::new(), candidate_search };
+        let telemetry_overhead = bench_telemetry_overhead(args.seed, true);
+        let report = SpeedupReport {
+            scoring: Vec::new(),
+            parallel: Vec::new(),
+            candidate_search,
+            telemetry_overhead,
+        };
         std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
             .expect("writable json path");
-        eprintln!("wrote {path}");
+        cloudalloc_telemetry::progress!("wrote {path}");
+        args.finish_telemetry();
         return;
     }
     bench_distributed_greedy(args.seed);
     let scoring = bench_incremental_scoring(args.seed);
     let parallel = bench_parallel_construction(args.seed);
     let candidate_search = bench_candidate_search(args.seed, false);
+    let telemetry_overhead = bench_telemetry_overhead(args.seed, false);
 
-    let report = SpeedupReport { scoring, parallel, candidate_search };
+    let report = SpeedupReport { scoring, parallel, candidate_search, telemetry_overhead };
     std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
         .expect("writable json path");
-    eprintln!("wrote {path}");
+    cloudalloc_telemetry::progress!("wrote {path}");
+    args.finish_telemetry();
 }

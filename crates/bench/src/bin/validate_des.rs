@@ -13,13 +13,14 @@ use cloudalloc_workload::{generate, ScenarioConfig};
 
 fn main() {
     let args = cloudalloc_bench::HarnessArgs::from_env();
+    args.init_telemetry();
     let num_clients = 60;
     let system = generate(&ScenarioConfig::paper(num_clients), args.seed);
     // Strict constraint (6): validating the model wants every client
     // served and measured.
     let config = SolverConfig { require_service: true, ..Default::default() };
     let result = solve(&system, &config, args.seed);
-    eprintln!(
+    cloudalloc_telemetry::progress!(
         "solved {} clients over {} servers: profit {:.3}, {} active servers",
         num_clients,
         system.num_servers(),
@@ -77,4 +78,5 @@ fn main() {
         gps_wins,
         rows.len()
     );
+    args.finish_telemetry();
 }

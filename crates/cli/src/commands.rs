@@ -1,5 +1,6 @@
 //! The subcommand implementations.
 
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -11,7 +12,9 @@ use cloudalloc_model::{check_feasibility, evaluate, Allocation, CloudSystem, Vio
 use cloudalloc_simulator::{
     simulate, validate, FailureConfig, GpsMode, RoutingPolicy, ServiceDistribution, SimConfig,
 };
+use cloudalloc_telemetry as telemetry;
 use cloudalloc_workload::{generate, ScenarioConfig};
+use serde::{Deserialize, Value};
 
 use crate::args::{ArgError, Parsed};
 
@@ -82,6 +85,35 @@ fn solver_config(parsed: &Parsed) -> Result<SolverConfig, CliError> {
     })
 }
 
+/// Arms the JSONL telemetry sink when `--telemetry-out` was passed.
+/// Returns the target path so [`telemetry_finish`] can report it.
+fn telemetry_begin(parsed: &Parsed) -> Result<Option<&str>, CliError> {
+    match parsed.get("--telemetry-out") {
+        None => Ok(None),
+        Some(path) => {
+            if telemetry::ENABLED {
+                telemetry::init_jsonl(path)?;
+            }
+            Ok(Some(path))
+        }
+    }
+}
+
+/// Flushes accumulated metrics, closes the sink and appends a note about
+/// where the telemetry went (or why it didn't).
+fn telemetry_finish(path: Option<&str>, out: &mut String) {
+    let Some(path) = path else { return };
+    if telemetry::ENABLED {
+        telemetry::flush_metrics();
+        telemetry::close_sink();
+        out.push_str(&format!("telemetry written to {path}\n"));
+    } else {
+        out.push_str(
+            "telemetry disabled at build time; rebuild with --features telemetry to capture it\n",
+        );
+    }
+}
+
 fn cmd_generate(parsed: &Parsed) -> Result<String, CliError> {
     let clients = parsed.num("--clients", 40usize)?;
     let seed = parsed.num("--seed", 1u64)?;
@@ -129,6 +161,7 @@ fn cmd_solve(parsed: &Parsed) -> Result<String, CliError> {
     let system = load_system(parsed)?;
     let seed = parsed.num("--seed", 0u64)?;
     let config = solver_config(parsed)?;
+    let telemetry_path = telemetry_begin(parsed)?;
     let result = solve(&system, &config, seed);
     let mut out = format!(
         "initial {:.4} → final {:.4} in {} rounds (converged: {})\n",
@@ -139,6 +172,7 @@ fn cmd_solve(parsed: &Parsed) -> Result<String, CliError> {
         fs::write(path, serde_json::to_string_pretty(&result.allocation)?)?;
         out.push_str(&format!("wrote {path}\n"));
     }
+    telemetry_finish(telemetry_path, &mut out);
     Ok(out)
 }
 
@@ -223,6 +257,7 @@ fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
         return Err(ArgError("--epochs must be at least 1".into()).into());
     }
     let volatility = parsed.num("--volatility", 0.08f64)?;
+    let telemetry_path = telemetry_begin(parsed)?;
     let base: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
     let num_clients = system.num_clients();
     let predictor = EwmaPredictor::new(0.4, &base);
@@ -261,6 +296,7 @@ fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
         summary.instability_rate * 100.0,
         summary.mean_prediction_error * 100.0
     ));
+    telemetry_finish(telemetry_path, &mut out);
     Ok(out)
 }
 
@@ -294,6 +330,135 @@ fn cmd_baseline(parsed: &Parsed) -> Result<String, CliError> {
     Ok(table.to_string())
 }
 
+/// Per-span-name aggregate built from `"span"` JSONL records.
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+fn jerr(e: serde::Error) -> CliError {
+    CliError::Json(e.into())
+}
+
+/// Summarizes a telemetry JSONL file (as produced by `--telemetry-out`):
+/// span timing aggregates, final counter values, histogram quantiles and
+/// a tally of every other event type. Works in every build — the report
+/// only *reads* JSONL, so it needs no telemetry feature.
+fn cmd_telemetry_report(parsed: &Parsed) -> Result<String, CliError> {
+    let path = parsed.require("--in")?;
+    let text = fs::read_to_string(path)?;
+
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    // Counters keep their *last* flushed value: a run may flush more than
+    // once and each flush writes the cumulative total.
+    let mut counters: BTreeMap<String, String> = BTreeMap::new();
+    let mut hists: BTreeMap<String, [u64; 5]> = BTreeMap::new();
+    let mut events: BTreeMap<String, u64> = BTreeMap::new();
+    let mut lines = 0u64;
+
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        let v: Value = serde_json::from_str(line).map_err(|e| {
+            CliError::Json(serde_json::Error::from(serde::Error::custom(format!(
+                "{path}:{}: {e}",
+                idx + 1
+            ))))
+        })?;
+        let ty = v.field("t").and_then(Value::as_str).map_err(jerr)?;
+        match ty {
+            "span" => {
+                let name = v.field("name").and_then(Value::as_str).map_err(jerr)?;
+                let ns = u64::from_value(v.field("ns").map_err(jerr)?).map_err(jerr)?;
+                let agg = spans.entry(name.to_string()).or_default();
+                agg.count += 1;
+                agg.total_ns += ns;
+                agg.max_ns = agg.max_ns.max(ns);
+            }
+            "counter" => {
+                let name = v.field("name").and_then(Value::as_str).map_err(jerr)?;
+                let value = u64::from_value(v.field("value").map_err(jerr)?).map_err(jerr)?;
+                counters.insert(name.to_string(), value.to_string());
+            }
+            "fcounter" => {
+                let name = v.field("name").and_then(Value::as_str).map_err(jerr)?;
+                let value = f64::from_value(v.field("value").map_err(jerr)?).map_err(jerr)?;
+                counters.insert(name.to_string(), format!("{value:.4}"));
+            }
+            "hist" => {
+                let name = v.field("name").and_then(Value::as_str).map_err(jerr)?;
+                let mut row = [0u64; 5];
+                for (slot, field) in row.iter_mut().zip(["count", "p50", "p90", "p99", "max"]) {
+                    *slot = u64::from_value(v.field(field).map_err(jerr)?).map_err(jerr)?;
+                }
+                hists.insert(name.to_string(), row);
+            }
+            other => *events.entry(other.to_string()).or_insert(0) += 1,
+        }
+    }
+
+    let mut out = format!("telemetry report for {path} ({lines} lines)\n");
+    if !spans.is_empty() {
+        let mut table = Table::new(vec![
+            "span".into(),
+            "count".into(),
+            "total_ms".into(),
+            "mean_us".into(),
+            "max_us".into(),
+        ]);
+        for (name, agg) in &spans {
+            table.row(vec![
+                name.clone(),
+                agg.count.to_string(),
+                format!("{:.3}", agg.total_ns as f64 / 1e6),
+                format!("{:.1}", agg.total_ns as f64 / agg.count.max(1) as f64 / 1e3),
+                format!("{:.1}", agg.max_ns as f64 / 1e3),
+            ]);
+        }
+        out.push_str("\nspans\n");
+        out.push_str(&table.to_string());
+    }
+    if !counters.is_empty() {
+        let mut table = Table::new(vec!["counter".into(), "value".into()]);
+        for (name, value) in &counters {
+            table.row(vec![name.clone(), value.clone()]);
+        }
+        out.push_str("\ncounters\n");
+        out.push_str(&table.to_string());
+    }
+    if !hists.is_empty() {
+        let mut table = Table::new(vec![
+            "histogram".into(),
+            "count".into(),
+            "p50".into(),
+            "p90".into(),
+            "p99".into(),
+            "max".into(),
+        ]);
+        for (name, row) in &hists {
+            let mut cells = vec![name.clone()];
+            cells.extend(row.iter().map(u64::to_string));
+            table.row(cells);
+        }
+        out.push_str("\nhistograms\n");
+        out.push_str(&table.to_string());
+    }
+    if !events.is_empty() {
+        let mut table = Table::new(vec!["event".into(), "count".into()]);
+        for (name, count) in &events {
+            table.row(vec![name.clone(), count.to_string()]);
+        }
+        out.push_str("\nevents\n");
+        out.push_str(&table.to_string());
+    }
+    Ok(out)
+}
+
 /// The help text.
 pub const HELP: &str = "cloudalloc — SLA-driven profit-maximizing cloud resource allocation
 
@@ -303,17 +468,25 @@ COMMANDS
   generate  --clients N [--preset paper|small|overloaded] [--seed S] [--out FILE]
   solve     --system FILE [--seed S] [--granularity G] [--init N]
             [--threads T] [--require-service] [--out FILE]
+            [--telemetry-out FILE]
   evaluate  --system FILE --allocation FILE
   explain   --system FILE --allocation FILE
   simulate  --system FILE --allocation FILE [--horizon H] [--seed S]
             [--shared] [--least-work] [--cv2 X] [--availability A]
   baseline  --system FILE [--mc N] [--seed S]
   epochs    --system FILE [--epochs N] [--volatility V] [--seed S]
+            [--telemetry-out FILE]
+  telemetry-report  --in FILE
   help
 
 The solver parallelizes best-of-N construction; worker count comes from
 --threads, else the CLOUDALLOC_THREADS environment variable, else all
 cores. Results are identical for every thread count.
+
+Builds with the `telemetry` feature stream solver spans, counters and
+events to --telemetry-out as JSONL; `telemetry-report` summarizes such a
+file. Telemetry never changes results: allocations are bit-identical
+with the feature on, off, or recording suppressed.
 ";
 
 /// Dispatches one parsed command and returns its rendered output.
@@ -331,6 +504,7 @@ pub fn run(parsed: &Parsed) -> Result<String, CliError> {
         "simulate" => cmd_simulate(parsed),
         "baseline" => cmd_baseline(parsed),
         "epochs" => cmd_epochs(parsed),
+        "telemetry-report" => cmd_telemetry_report(parsed),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(ArgError(format!("unknown command {other:?}; try `cloudalloc help`")).into()),
     }
@@ -551,6 +725,87 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_report_summarizes_a_jsonl_file() {
+        let path = temp_path("telemetry_sample.jsonl");
+        fs::write(
+            &path,
+            concat!(
+                "{\"t\":\"meta\",\"ts\":0,\"version\":1}\n",
+                "{\"t\":\"span\",\"ts\":10,\"name\":\"solve.round\",\"depth\":0,\"ns\":1500}\n",
+                "{\"t\":\"span\",\"ts\":20,\"name\":\"solve.round\",\"depth\":0,\"ns\":2500}\n",
+                "{\"t\":\"progress\",\"ts\":30,\"msg\":\"working\"}\n",
+                "{\"t\":\"counter\",\"ts\":40,\"name\":\"op.swap.tried\",\"value\":12}\n",
+                "{\"t\":\"fcounter\",\"ts\":50,\"name\":\"op.swap.gain\",\"value\":1.5}\n",
+                "{\"t\":\"hist\",\"ts\":60,\"name\":\"incr.rollback_depth\",\"count\":4,\
+                 \"sum\":10,\"p50\":2,\"p90\":3,\"p99\":3,\"max\":4}\n",
+                "{\"t\":\"solve\",\"ts\":70,\"seed\":0,\"profit\":12.5}\n",
+            ),
+        )
+        .unwrap();
+        let out = run(&parse(&["telemetry-report", "--in", &path])).unwrap();
+        assert!(out.contains("8 lines"), "line count missing:\n{out}");
+        assert!(out.contains("solve.round"));
+        assert!(out.contains("op.swap.tried"));
+        assert!(out.contains("op.swap.gain"));
+        assert!(out.contains("incr.rollback_depth"));
+        // Two span records of 1500 + 2500 ns → mean 2.0 µs.
+        assert!(out.contains("2.0"), "span mean missing:\n{out}");
+        // meta / progress / solve all land in the event tally.
+        for ev in ["meta", "progress", "solve"] {
+            assert!(out.contains(ev), "event {ev} missing:\n{out}");
+        }
+    }
+
+    #[test]
+    fn telemetry_report_rejects_malformed_lines() {
+        let path = temp_path("telemetry_bad.jsonl");
+        fs::write(&path, "{\"t\":\"meta\",\"ts\":0,\"version\":1}\nnot json\n").unwrap();
+        let err = run(&parse(&["telemetry-report", "--in", &path])).unwrap_err();
+        assert!(err.to_string().contains(":2:"), "no line number in: {err}");
+    }
+
+    #[test]
+    fn solve_telemetry_out_matches_the_build_mode() {
+        let sys_path = temp_path("sys_telemetry.json");
+        let jsonl_path = temp_path("solve_telemetry.jsonl");
+        let _ = fs::remove_file(&jsonl_path);
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "5",
+            "--preset",
+            "small",
+            "--seed",
+            "21",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        let out = run(&parse(&[
+            "solve",
+            "--system",
+            &sys_path,
+            "--seed",
+            "1",
+            "--telemetry-out",
+            &jsonl_path,
+        ]))
+        .unwrap();
+        if cloudalloc_telemetry::ENABLED {
+            assert!(out.contains("telemetry written to"), "missing note:\n{out}");
+            let text = fs::read_to_string(&jsonl_path).unwrap();
+            assert!(text.starts_with("{\"t\":\"meta\""), "no meta header:\n{text}");
+            assert!(text.contains("\"t\":\"span\""), "no spans captured");
+            // The summary command digests what the solve just wrote.
+            let report = run(&parse(&["telemetry-report", "--in", &jsonl_path])).unwrap();
+            assert!(report.contains("solve.total"), "report misses spans:\n{report}");
+        } else {
+            assert!(out.contains("disabled at build time"), "missing note:\n{out}");
+            assert!(!std::path::Path::new(&jsonl_path).exists(), "no-op build wrote a file");
+        }
+    }
+
+    #[test]
     fn unknown_command_and_missing_files_error_cleanly() {
         assert!(run(&parse(&["frobnicate"])).is_err());
         let err = run(&parse(&["solve", "--system", "/nonexistent.json"])).unwrap_err();
@@ -560,7 +815,16 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let out = run(&parse(&["help"])).unwrap();
-        for cmd in ["generate", "solve", "evaluate", "explain", "simulate", "baseline", "epochs"] {
+        for cmd in [
+            "generate",
+            "solve",
+            "evaluate",
+            "explain",
+            "simulate",
+            "baseline",
+            "epochs",
+            "telemetry-report",
+        ] {
             assert!(out.contains(cmd), "help misses {cmd}");
         }
     }

@@ -42,6 +42,7 @@ use cloudalloc_model::{
     placement_response_time, Allocation, ClientId, ClusterId, Placement, ScoredAllocation,
     ServerClass, ServerId, ServerLoad, MIN_SHARE,
 };
+use cloudalloc_telemetry as telemetry;
 
 use crate::ctx::SolverCtx;
 use crate::scratch::Run;
@@ -192,6 +193,7 @@ pub fn assign_distribute_excluding(
     let granularity = ctx.config.alpha_granularity;
     let width = granularity + 1;
     let c = system.client(client);
+    telemetry::counter!("search.calls").incr();
 
     // Slack pruning: when no single server of the cluster can fit the
     // client's disk or grant even the minimum stability share, every
@@ -200,6 +202,7 @@ pub fn assign_distribute_excluding(
     // hopeless clusters are skipped.
     if let Some(slack) = alloc.cluster_slack(cluster) {
         if slack.storage < c.storage || slack.phi_p < MIN_SHARE || slack.phi_c < MIN_SHARE {
+            telemetry::counter!("search.slack_pruned").incr();
             return None;
         }
     }
@@ -237,6 +240,7 @@ pub fn assign_distribute_excluding(
             load.free_phi_c().to_bits(),
         );
         if prev_sig == Some(sig) {
+            telemetry::counter!("search.dedup_merged").incr();
             if prev_kept {
                 let run = s.runs.last_mut().expect("kept run exists");
                 run.members_len += 1;
@@ -316,6 +320,8 @@ pub fn assign_distribute_excluding(
         }
         s.runs[r].rows_start = rows_start;
         s.runs[r].rows_len = rows_len;
+        telemetry::counter!("search.dp_rows_stored").add(rows_len as u64);
+        telemetry::counter!("search.dp_rows_elided").add((run.members_len - rows_len) as u64);
     }
     if s.dp[granularity] == NEG {
         return None;

@@ -88,14 +88,29 @@ impl SolverConfig {
 
     /// Resolves the worker-thread count: the explicit config value, else
     /// the `CLOUDALLOC_THREADS` environment variable, else every
-    /// available core.
+    /// available core. An unparsable or zero environment value falls
+    /// back to all cores *with a warning* (once per process) — silently
+    /// eating a typo like `CLOUDALLOC_THREADS=two` used to hide that the
+    /// run was not pinned at all.
     pub fn effective_threads(&self) -> usize {
-        self.num_threads
-            .or_else(|| {
-                std::env::var("CLOUDALLOC_THREADS").ok().and_then(|v| v.trim().parse().ok())
-            })
-            .filter(|&t| t >= 1)
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        let all_cores = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if let Some(t) = self.num_threads.filter(|&t| t >= 1) {
+            return t;
+        }
+        match std::env::var("CLOUDALLOC_THREADS") {
+            Err(std::env::VarError::NotPresent) => all_cores(),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                warn_threads_once("CLOUDALLOC_THREADS is not valid unicode");
+                all_cores()
+            }
+            Ok(raw) => match parse_threads_var(&raw) {
+                Ok(t) => t,
+                Err(msg) => {
+                    warn_threads_once(&msg);
+                    all_cores()
+                }
+            },
+        }
     }
 
     /// A fast configuration for tests: one initial solution, coarse grid,
@@ -103,6 +118,26 @@ impl SolverConfig {
     pub fn fast() -> Self {
         Self { num_init_solns: 1, alpha_granularity: 4, max_rounds: 3, ..Self::default() }
     }
+}
+
+/// Validates one `CLOUDALLOC_THREADS` value: the worker count on
+/// success, a diagnostic for garbage text or the invalid `0`.
+pub(crate) fn parse_threads_var(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("CLOUDALLOC_THREADS=0 requests zero worker threads (need >= 1)".to_owned()),
+        Ok(t) => Ok(t),
+        Err(_) => Err(format!("CLOUDALLOC_THREADS={raw:?} is not a thread count")),
+    }
+}
+
+/// Prints one `warning:` line per process for a bad `CLOUDALLOC_THREADS`
+/// value; `effective_threads` is called on every solve, so repeating it
+/// would swamp stderr.
+fn warn_threads_once(msg: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!("warning: {msg}; falling back to all available cores");
+    });
 }
 
 impl Default for SolverConfig {
@@ -156,5 +191,33 @@ mod tests {
     fn rejects_non_positive_shadow_price() {
         let c = SolverConfig { shadow_price: Some(0.0), ..Default::default() };
         c.validate();
+    }
+
+    #[test]
+    fn threads_var_parses_counts_with_whitespace() {
+        assert_eq!(parse_threads_var("4"), Ok(4));
+        assert_eq!(parse_threads_var("  16\n"), Ok(16));
+    }
+
+    #[test]
+    fn threads_var_rejects_zero_with_a_diagnostic() {
+        let err = parse_threads_var("0").unwrap_err();
+        assert!(err.contains("zero worker threads"), "unhelpful diagnostic: {err}");
+    }
+
+    #[test]
+    fn threads_var_rejects_garbage_with_a_diagnostic() {
+        for bad in ["two", "", "4.5", "-2", "4x"] {
+            let err = parse_threads_var(bad).expect_err("garbage thread counts must not parse");
+            assert!(err.contains("CLOUDALLOC_THREADS"), "diagnostic lacks the var name: {err}");
+        }
+    }
+
+    #[test]
+    fn explicit_config_thread_count_wins_over_environment() {
+        // CI pins CLOUDALLOC_THREADS=2; an explicit config value must
+        // override whatever the environment says, without warnings.
+        let c = SolverConfig { num_threads: Some(3), ..Default::default() };
+        assert_eq!(c.effective_threads(), 3);
     }
 }

@@ -3,6 +3,7 @@
 //! the share problem).
 
 use cloudalloc_model::{ClientId, Placement, ScoredAllocation};
+use cloudalloc_telemetry as telemetry;
 
 use crate::ctx::SolverCtx;
 use crate::dispersion::{optimal_dispersion_into, DispersionBranch};
@@ -28,6 +29,7 @@ pub fn adjust_dispersion_rates(
         // Nothing to re-balance with zero or one branch.
         return false;
     }
+    telemetry::counter!("op.dispersion.tried").incr();
     let c = system.client(client);
     let outcome = scored.outcome(client);
     let weight = ctx.aspiration_weight(client, outcome.response_time);
@@ -85,7 +87,12 @@ pub fn adjust_dispersion_rates(
         scored.rollback_to(mark);
         return false;
     }
-    s.held.iter().zip(&s.alphas).any(|(&(_, p), &a)| (p.alpha - a).abs() > 1e-12)
+    let changed = s.held.iter().zip(&s.alphas).any(|(&(_, p), &a)| (p.alpha - a).abs() > 1e-12);
+    if changed {
+        telemetry::counter!("op.dispersion.accepted").incr();
+        telemetry::float_counter!("op.dispersion.gain").add(new_value - old_value);
+    }
+    changed
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! active servers").
 
 use cloudalloc_model::{ClientId, ScoredAllocation};
+use cloudalloc_telemetry as telemetry;
 
 use crate::assign::{best_cluster, commit_scored};
 use crate::ctx::SolverCtx;
@@ -24,12 +25,15 @@ pub fn reassign_clients(
     let mut current_profit = scored.profit();
     let mut changed = false;
     for &client in order {
+        telemetry::counter!("op.reassign.tried").incr();
         let mark = scored.savepoint();
         scored.clear_client(client);
         if let Some(candidate) = best_cluster(ctx, scored.alloc(), client) {
             commit_scored(scored, client, &candidate);
             let new_profit = scored.profit();
             if new_profit > current_profit + 1e-9 {
+                telemetry::counter!("op.reassign.accepted").incr();
+                telemetry::float_counter!("op.reassign.gain").add(new_profit - current_profit);
                 current_profit = new_profit;
                 changed = true;
                 continue;

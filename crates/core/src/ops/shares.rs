@@ -2,6 +2,7 @@
 //! with the dispersion fixed (paper §V-B.1).
 
 use cloudalloc_model::{Placement, ScoredAllocation, ServerId};
+use cloudalloc_telemetry as telemetry;
 
 use crate::ctx::SolverCtx;
 use crate::kkt::{optimal_shares_into, ShareDemand};
@@ -48,6 +49,12 @@ fn adjust_shares_inner(
     s.residents.extend_from_slice(scored.alloc().residents(server));
     if s.residents.is_empty() {
         return false;
+    }
+    // Only the improvement-gated path is the `Adjust_ResourceShares`
+    // operator proper; the unconditional re-balance is a sub-step of
+    // other operators and would double-count.
+    if require_improvement {
+        telemetry::counter!("op.shares.tried").incr();
     }
     let class = system.class_of(server);
     let bg = system.background(server);
@@ -125,6 +132,10 @@ fn adjust_shares_inner(
     if require_improvement && new_revenue + 1e-12 < old_revenue {
         scored.rollback_to(mark);
         return false;
+    }
+    if require_improvement && new_revenue > old_revenue + 1e-12 {
+        telemetry::counter!("op.shares.accepted").incr();
+        telemetry::float_counter!("op.shares.gain").add(new_revenue - old_revenue);
     }
     new_revenue > old_revenue + 1e-12
         || s.old_placements.iter().enumerate().any(|(idx, p)| {

@@ -13,6 +13,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use cloudalloc_model::{ClientId, ScoredAllocation};
+use cloudalloc_telemetry as telemetry;
 
 use crate::assign::{assign_distribute, commit_scored};
 use crate::ctx::SolverCtx;
@@ -52,6 +53,7 @@ pub fn swap_clients(
             }
         }
         let Some((a, b)) = pair else { continue };
+        telemetry::counter!("op.swap.tried").incr();
         let cluster_a = scored.alloc().cluster_of(a).expect("assigned");
         let cluster_b = scored.alloc().cluster_of(b).expect("assigned");
 
@@ -77,6 +79,8 @@ pub fn swap_clients(
         if ok {
             let new_profit = scored.profit();
             if new_profit > current_profit + 1e-9 {
+                telemetry::counter!("op.swap.accepted").incr();
+                telemetry::float_counter!("op.swap.gain").add(new_profit - current_profit);
                 current_profit = new_profit;
                 changed = true;
                 continue;

@@ -10,6 +10,7 @@
 //! "otherwise the selected server is removed from the candidate set".
 
 use cloudalloc_model::{ClientId, ClusterId, Placement, ScoredAllocation, ServerId};
+use cloudalloc_telemetry as telemetry;
 
 use crate::assign::{assign_distribute_excluding, commit_scored};
 use crate::ctx::SolverCtx;
@@ -262,10 +263,13 @@ pub fn turn_off_servers(
         if !scored.alloc().is_on(server) {
             continue; // may have emptied while evacuating an earlier one
         }
+        telemetry::counter!("op.turn_off.tried").incr();
         let mark = scored.savepoint();
         if evacuate(ctx, scored, cluster, server) {
             let new_profit = scored.profit();
             if new_profit > current_profit + 1e-9 {
+                telemetry::counter!("op.turn_off.accepted").incr();
+                telemetry::float_counter!("op.turn_off.gain").add(new_profit - current_profit);
                 current_profit = new_profit;
                 changed = true;
                 continue;

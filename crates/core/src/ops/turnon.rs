@@ -13,6 +13,7 @@ use cloudalloc_model::{
     Allocation, ClientId, ClientOutcome, ClusterId, Placement, ScoredAllocation, ServerId,
     MIN_SHARE,
 };
+use cloudalloc_telemetry as telemetry;
 
 use crate::ctx::SolverCtx;
 
@@ -152,6 +153,7 @@ fn try_fill(
         }
         match best {
             Some(mv) if mv.delta > 1e-9 => {
+                telemetry::float_counter!("op.turn_on.gain").add(mv.delta);
                 apply_move(ctx, scored, target, mv);
                 changed = true;
             }
@@ -188,7 +190,9 @@ pub fn turn_on_servers(
     }
     let mut changed = false;
     for &target in &s.server_ids {
+        telemetry::counter!("op.turn_on.tried").incr();
         if try_fill(ctx, scored, cluster, target) {
+            telemetry::counter!("op.turn_on.accepted").incr();
             changed = true;
         }
     }

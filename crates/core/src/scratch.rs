@@ -112,7 +112,13 @@ thread_local! {
 /// first use at each nesting depth). Buffers may hold stale data from the
 /// previous user — callers clear what they use.
 pub(crate) fn acquire() -> ScratchGuard {
-    let inner = POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_default();
+    cloudalloc_telemetry::counter!("scratch.acquires").incr();
+    let inner = POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_else(|| {
+        // A miss means a fresh heap allocation; the acquires/allocs ratio
+        // is the pool's reuse rate.
+        cloudalloc_telemetry::counter!("scratch.allocs").incr();
+        Box::default()
+    });
     ScratchGuard { inner: Some(inner) }
 }
 

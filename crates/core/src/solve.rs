@@ -1,6 +1,7 @@
 //! The full `Resource_Alloc` pipeline: best-of-N greedy construction
 //! followed by the local-search loop until steady (paper Fig. 3).
 
+use cloudalloc_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -66,7 +67,9 @@ pub fn improve_scored(
     // allocation amortized away instead of re-collected per pass.
     let mut active: Vec<ServerId> = Vec::new();
     for round in 0..config.max_rounds {
+        let _round_span = telemetry::span!("solve.round");
         if config.adjust_shares {
+            let _span = telemetry::span!("solve.phase.shares");
             active.clear();
             active.extend(scored.alloc().active_servers());
             for &server in &active {
@@ -74,25 +77,30 @@ pub fn improve_scored(
             }
         }
         if config.adjust_dispersion {
+            let _span = telemetry::span!("solve.phase.dispersion");
             for i in 0..system.num_clients() {
                 adjust_dispersion_rates(ctx, scored, ClientId(i));
             }
         }
         if config.turn_on {
+            let _span = telemetry::span!("solve.phase.turn_on");
             for k in 0..system.num_clusters() {
                 turn_on_servers(ctx, scored, ClusterId(k));
             }
         }
         if config.turn_off {
+            let _span = telemetry::span!("solve.phase.turn_off");
             for k in 0..system.num_clusters() {
                 turn_off_servers(ctx, scored, ClusterId(k));
             }
         }
         if config.reassign {
+            let _span = telemetry::span!("solve.phase.reassign");
             order.shuffle(&mut rng);
             reassign_clients(ctx, scored, &order);
         }
         if config.swap {
+            let _span = telemetry::span!("solve.phase.swap");
             swap_clients(ctx, scored, system.num_clients(), &mut rng);
         }
         // Everything in this round is final: drop the undo journal so it
@@ -101,6 +109,11 @@ pub fn improve_scored(
         let new_profit = scored.profit();
         stats.rounds = round + 1;
         stats.history.push(new_profit);
+        telemetry::Event::new("round")
+            .field_u64("round", round as u64)
+            .field_f64("profit", new_profit)
+            .field_f64("gain", new_profit - profit)
+            .emit();
         let scale = profit.abs().max(1.0);
         if new_profit - profit <= config.steady_tol * scale {
             stats.converged = true;
@@ -132,12 +145,26 @@ pub fn improve(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u64) -> Search
 ///
 /// Panics if `config` fails [`SolverConfig::validate`].
 pub fn solve(system: &CloudSystem, config: &SolverConfig, seed: u64) -> SolveResult {
+    let _span = telemetry::span!("solve.total");
     let ctx = SolverCtx::new(system, config);
-    let (allocation, initial_profit) = best_initial(&ctx, seed);
+    let (allocation, initial_profit) = {
+        let _span = telemetry::span!("solve.greedy");
+        best_initial(&ctx, seed)
+    };
     let mut scored = ScoredAllocation::new(system, allocation);
-    let stats = improve_scored(&ctx, &mut scored, seed.wrapping_add(0x5EED));
+    let stats = {
+        let _span = telemetry::span!("solve.local_search");
+        improve_scored(&ctx, &mut scored, seed.wrapping_add(0x5EED))
+    };
     let allocation = scored.into_allocation();
     let report = evaluate(system, &allocation);
+    telemetry::Event::new("solve")
+        .field_u64("seed", seed)
+        .field_f64("initial_profit", initial_profit)
+        .field_f64("profit", report.profit)
+        .field_u64("rounds", stats.rounds as u64)
+        .field_bool("converged", stats.converged)
+        .emit();
     SolveResult { allocation, report, initial_profit, stats }
 }
 

@@ -14,6 +14,7 @@ use rand::SeedableRng;
 
 use cloudalloc_core::{improve, random_assignment, SolverConfig, SolverCtx};
 use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem, ScoredAllocation};
+use cloudalloc_telemetry as telemetry;
 
 /// Outcome of the parallel search (mirrors the sequential
 /// `cloudalloc_baselines::McOutcome`, with the iteration index of the
@@ -85,13 +86,19 @@ pub fn monte_carlo_parallel(
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 scope.spawn(move || {
+                    // Per-thread pass timing: one span per shard, plus a
+                    // JSONL record tying the worker index to its share.
+                    let _span = telemetry::span!("mc.shard");
                     let mut shard = Shard {
                         best: None,
                         worst_raw: f64::INFINITY,
                         worst_polished: f64::INFINITY,
                     };
+                    let mut done = 0u64;
                     let mut idx = w;
                     while idx < iterations {
+                        let _iter_span = telemetry::span!("mc.iteration");
+                        telemetry::counter!("mc.iterations").incr();
                         let (alloc, raw, polished) = run_iteration(&ctx, seed, idx);
                         shard.worst_raw = shard.worst_raw.min(raw);
                         shard.worst_polished = shard.worst_polished.min(polished);
@@ -102,8 +109,17 @@ pub fn monte_carlo_parallel(
                         if better {
                             shard.best = Some((polished, idx, alloc));
                         }
+                        done += 1;
                         idx += threads;
                     }
+                    telemetry::Event::new("mc_shard")
+                        .field_u64("worker", w as u64)
+                        .field_u64("iterations", done)
+                        .field_f64(
+                            "best_profit",
+                            shard.best.as_ref().map_or(f64::NEG_INFINITY, |(p, _, _)| *p),
+                        )
+                        .emit();
                     shard
                 })
             })

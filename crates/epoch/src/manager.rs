@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use cloudalloc_core::{improve, solve, SolverConfig, SolverCtx};
 use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem};
+use cloudalloc_telemetry as telemetry;
 
 use crate::predictor::RatePredictor;
 
@@ -150,17 +151,33 @@ impl<P: RatePredictor> EpochManager<P> {
         let mut resolved_fully = false;
         if shift > self.config.resolve_threshold {
             // Large change: full re-solve at the cloud level.
+            telemetry::counter!("epoch.full_resolves").incr();
             resolved_fully = true;
+            let _span = telemetry::span!("epoch.resolve");
             self.allocation = solve(&next_system, &self.config.solver, self.seed).allocation;
         } else {
             // Small change: keep the assignment, re-run the local search
             // from the previous epoch's state (the paper's warm start).
+            telemetry::counter!("epoch.warm_starts").incr();
+            let _span = telemetry::span!("epoch.warm_start");
             let ctx = SolverCtx::new(&next_system, &self.config.solver);
             let mut warm = rebuild(&next_system, &self.allocation);
             improve(&ctx, &mut warm, self.seed);
             self.allocation = warm;
         }
         self.predicted = next_predicted;
+
+        // Plan-vs-realized record, mirroring the fields `OperationsLog`
+        // aggregates, so offline telemetry analysis sees the same signal.
+        telemetry::Event::new("epoch")
+            .field_u64("epoch", report.epoch as u64)
+            .field_bool("resolved_fully", resolved_fully)
+            .field_f64("predicted_profit", report.predicted_profit)
+            .field_f64("actual_profit", report.actual_profit)
+            .field_f64("prediction_error", report.prediction_error)
+            .field_u64("unstable_clients", report.unstable_clients as u64)
+            .field_u64("active_servers", report.active_servers as u64)
+            .emit();
 
         EpochReport { resolved_fully, ..report }
     }

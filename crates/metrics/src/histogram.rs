@@ -154,6 +154,23 @@ mod tests {
     }
 
     #[test]
+    fn serde_round_trip_preserves_bins_and_counters() {
+        let mut h = Histogram::new(-1.0, 1.0, 5);
+        h.extend([-2.0, -0.9, 0.0, 0.5, 0.99, 1.0, 7.0]);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.underflow(), 1);
+        assert_eq!(back.overflow(), 2);
+        // The range survives too: recording continues into the same bins.
+        let mut a = h.clone();
+        let mut b = back;
+        a.record(-0.95);
+        b.record(-0.95);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     #[should_panic(expected = "invalid range")]
     fn inverted_range_panics() {
         let _ = Histogram::new(1.0, 0.0, 2);

@@ -137,6 +137,33 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quantiles_are_the_value() {
+        let s: Sample = [42.5].into_iter().collect();
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(s.quantile(q), 42.5, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn all_equal_samples_have_no_spread() {
+        let s: Sample = std::iter::repeat_n(7.0, 9).collect();
+        assert_eq!(s.quantile(0.01), 7.0);
+        assert_eq!(s.median(), 7.0);
+        assert_eq!(s.quantile(0.99), 7.0);
+        assert_eq!(s.stats().variance(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_values_and_moments() {
+        let s: Sample = [3.25, -1.5, 0.125, 9.75].into_iter().collect();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.median(), s.median());
+        assert_eq!(back.values(), s.values());
+    }
+
+    #[test]
     #[should_panic(expected = "must lie in [0,1]")]
     fn out_of_range_quantile_panics() {
         let s: Sample = [1.0].into_iter().collect();

@@ -182,6 +182,53 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_associative() {
+        let chunks = [[1.0, 7.0, 2.0], [9.5, -3.0, 0.5], [4.0, 4.0, 11.0]];
+        let accs: Vec<OnlineStats> = chunks
+            .iter()
+            .map(|chunk| {
+                let mut s = OnlineStats::new();
+                for &x in chunk {
+                    s.push(x);
+                }
+                s
+            })
+            .collect();
+        // (a ⊔ b) ⊔ c
+        let mut left = accs[0];
+        left.merge(&accs[1]);
+        left.merge(&accs[2]);
+        // a ⊔ (b ⊔ c)
+        let mut bc = accs[1];
+        bc.merge(&accs[2]);
+        let mut right = accs[0];
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        assert!((left.mean() - right.mean()).abs() < 1e-12);
+        assert!((left.variance() - right.variance()).abs() < 1e-12);
+        assert_eq!(left.min(), right.min());
+        assert_eq!(left.max(), right.max());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_moments() {
+        let mut s = OnlineStats::new();
+        for x in [0.1, 2.7, -9.25, 1e-3] {
+            s.push(x);
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: OnlineStats = serde_json::from_str(&json).unwrap();
+        // Shortest-roundtrip float formatting makes this exact, so pushes
+        // after the round trip continue from identical state.
+        assert_eq!(back, s);
+        let mut a = s;
+        let mut b = back;
+        a.push(5.5);
+        b.push(5.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn merge_with_empty_is_identity() {
         let mut s = OnlineStats::new();
         s.push(1.0);

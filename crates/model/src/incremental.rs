@@ -27,6 +27,8 @@
 //! `1e-6` — the correctness anchor the property tests and the test suite
 //! lean on.
 
+use cloudalloc_telemetry as telemetry;
+
 use crate::allocation::{Allocation, Placement, ServerLoad};
 use crate::eval::{evaluate_client, ClientOutcome};
 use crate::ids::{ClientId, ClusterId, ServerId};
@@ -265,12 +267,16 @@ impl<'a> ScoredAllocation<'a> {
 
     /// Marks the current state; see [`ScoredAllocation::rollback_to`].
     pub fn savepoint(&self) -> Savepoint {
+        telemetry::counter!("incr.savepoints").incr();
         Savepoint(self.journal.len())
     }
 
     /// Restores the exact state (allocation *and* caches, bit-for-bit) the
     /// evaluator had when `mark` was taken.
     pub fn rollback_to(&mut self, mark: Savepoint) {
+        telemetry::counter!("incr.rollbacks").incr();
+        telemetry::histogram!("incr.rollback_depth")
+            .record(self.journal.len().saturating_sub(mark.0) as u64);
         while self.journal.len() > mark.0 {
             match self.journal.pop().expect("journal entry above the savepoint") {
                 Undo::Placement { client, server, prev, prev_load } => {
@@ -316,6 +322,7 @@ impl<'a> ScoredAllocation<'a> {
     /// cluster slack bounds back to exact, so pruning stays effective
     /// across long mutate/rollback sequences.
     pub fn commit(&mut self) {
+        telemetry::counter!("incr.commits").incr();
         self.journal.clear();
         self.alloc.refresh_slack();
     }
@@ -345,6 +352,8 @@ impl<'a> ScoredAllocation<'a> {
         if self.dirty_clients.is_empty() && self.dirty_servers.is_empty() {
             return;
         }
+        telemetry::histogram!("incr.flush_clients").record(self.dirty_clients.len() as u64);
+        telemetry::histogram!("incr.flush_servers").record(self.dirty_servers.len() as u64);
         self.journal.push(Undo::Totals {
             revenue: self.revenue,
             revenue_comp: self.revenue_comp,
@@ -369,6 +378,7 @@ impl<'a> ScoredAllocation<'a> {
     /// Rescores one client (flag must be dirty; a totals record must
     /// already be journaled by the caller).
     fn refresh_client(&mut self, client: ClientId) {
+        telemetry::counter!("incr.rescore_clients").incr();
         let i = client.index();
         self.client_dirty[i] = false;
         let prev = self.outcomes[i];
@@ -380,6 +390,7 @@ impl<'a> ScoredAllocation<'a> {
 
     /// Rescores one server's cost/on-state (flag must be dirty).
     fn refresh_server(&mut self, server: ServerId) {
+        telemetry::counter!("incr.rescore_servers").incr();
         let j = server.index();
         self.server_dirty[j] = false;
         let prev_cost = self.server_cost[j];

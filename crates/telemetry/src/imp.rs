@@ -1,0 +1,543 @@
+//! The real instrumentation, compiled under `feature = "enabled"`.
+//!
+//! Everything funnels through three globals, all const-initialized so
+//! metric statics can live at their call sites with no lazy-init
+//! machinery: a registry of every metric touched so far, a recording
+//! flag, and an optional JSONL sink. Hot-path operations are a relaxed
+//! atomic load (the recording gate) plus one relaxed RMW.
+
+use std::cell::Cell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::{HistogramSnapshot, MetricSnapshot, MetricValue};
+
+// --- global state -------------------------------------------------------
+
+/// Runtime gate: when false, metrics and events are skipped even though
+/// the instrumentation is compiled in. Defaults to on.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Every metric static that has been touched at least once, in first-touch
+/// order. Snapshots sort by name, so registration order never leaks into
+/// output.
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+/// The JSONL sink, if [`init_jsonl`] opened one. A plain `Mutex` (not a
+/// `OnceLock`) so tests and multi-phase harnesses can re-target it.
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// Fast-path mirror of `SINK.is_some()`, checked before taking the lock.
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Process start reference for event timestamps (monotonic, ns).
+static START: OnceLock<Instant> = OnceLock::new();
+
+#[derive(Clone, Copy)]
+enum MetricRef {
+    Counter(&'static Counter),
+    Float(&'static FloatCounter),
+    Hist(&'static LogHistogram),
+}
+
+fn ts_ns() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+fn register(metric: MetricRef) {
+    REGISTRY.lock().expect("telemetry registry poisoned").push(metric);
+}
+
+/// Enables or disables recording at runtime (compiled-in builds only).
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Relaxed);
+}
+
+/// Whether metric/event recording is currently active.
+#[inline]
+pub fn is_recording() -> bool {
+    RECORDING.load(Relaxed)
+}
+
+// --- JSON formatting helpers -------------------------------------------
+
+fn push_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn push_json_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        // `Display` for f64 is shortest-roundtrip decimal — valid JSON.
+        buf.push_str(&format!("{v}"));
+    } else {
+        // JSON has no NaN/Inf; null keeps the line parseable.
+        buf.push_str("null");
+    }
+}
+
+fn write_line(line: &str) {
+    let mut guard = SINK.lock().expect("telemetry sink poisoned");
+    if let Some(w) = guard.as_mut() {
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+// --- counters -----------------------------------------------------------
+
+/// Monotonic `u64` counter; declare via [`crate::counter!`].
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Const constructor for use in statics.
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Adds `n` (no-op while recording is off).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !RECORDING.load(Relaxed) {
+            return;
+        }
+        if !self.registered.load(Relaxed) && !self.registered.swap(true, Relaxed) {
+            register(MetricRef::Counter(self));
+        }
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// Accumulating `f64` counter (atomic bit-CAS); declare via
+/// [`crate::float_counter!`]. Used for summed profit deltas where an
+/// integer counter loses the signal.
+pub struct FloatCounter {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl FloatCounter {
+    /// Const constructor for use in statics.
+    pub const fn new(name: &'static str) -> Self {
+        FloatCounter {
+            name,
+            bits: AtomicU64::new(0), // 0u64 == 0.0f64 bit pattern
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `v` (no-op while recording is off).
+    #[inline]
+    pub fn add(&'static self, v: f64) {
+        if !RECORDING.load(Relaxed) {
+            return;
+        }
+        if !self.registered.load(Relaxed) && !self.registered.swap(true, Relaxed) {
+            register(MetricRef::Float(self));
+        }
+        let mut cur = self.bits.load(Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Relaxed))
+    }
+}
+
+// --- log-scale histogram ------------------------------------------------
+
+/// Power-of-two-bucket histogram for `u64` samples (latencies in ns,
+/// set sizes, depths); declare via [`crate::histogram!`]. Bucket `i`
+/// holds samples in `[2^(i-1), 2^i)` (bucket 0 holds exactly 0), so 64
+/// buckets cover the full range with ~2x relative quantile error —
+/// plenty for "where does the time go" profiling.
+pub struct LogHistogram {
+    name: &'static str,
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(63)
+}
+
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        return 0;
+    }
+    let lo = 1u64 << (i - 1);
+    let hi = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+    lo + (hi - lo) / 2
+}
+
+impl LogHistogram {
+    /// Const constructor for use in statics.
+    pub const fn new(name: &'static str) -> Self {
+        LogHistogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; 64],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one sample (no-op while recording is off).
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !RECORDING.load(Relaxed) {
+            return;
+        }
+        if !self.registered.load(Relaxed) && !self.registered.swap(true, Relaxed) {
+            register(MetricRef::Hist(self));
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        // Saturating sum: fetch_add wraps, but ns sums would need ~584
+        // years of recorded time to do so; clamp on read instead.
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Point-in-time summary with approximate quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_mid(i);
+                }
+            }
+            bucket_mid(63)
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+// --- spans --------------------------------------------------------------
+
+thread_local! {
+    /// Current span nesting depth on this thread; the "span stack" is
+    /// implicit in the RAII guards, only its depth needs tracking.
+    static SPAN_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// RAII span timer; open via [`crate::span!`], which pairs each site
+/// with a dedicated [`LogHistogram`]. On drop it records the elapsed
+/// nanoseconds and, when a sink is active, writes a
+/// `{"t":"span","name":…,"depth":…,"ns":…}` record.
+#[must_use = "a span measures nothing unless bound to a live guard"]
+pub struct Span {
+    name: &'static str,
+    hist: &'static LogHistogram,
+    start: Option<Instant>,
+    depth: usize,
+}
+
+impl Span {
+    /// Opens the span (records nothing while recording is off).
+    #[inline]
+    pub fn enter(name: &'static str, hist: &'static LogHistogram) -> Span {
+        if !RECORDING.load(Relaxed) {
+            return Span { name, hist, start: None, depth: 0 };
+        }
+        let depth = SPAN_DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span { name, hist, start: Some(Instant::now()), depth }
+    }
+
+    /// Nesting depth at entry (0 = top level) — test/report hook.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        self.hist.record(ns);
+        if SINK_ACTIVE.load(Relaxed) {
+            let mut buf = String::with_capacity(96);
+            buf.push_str("{\"t\":\"span\",\"ts\":");
+            buf.push_str(&ts_ns().to_string());
+            buf.push_str(",\"name\":");
+            push_json_str(&mut buf, self.name);
+            buf.push_str(",\"depth\":");
+            buf.push_str(&self.depth.to_string());
+            buf.push_str(",\"ns\":");
+            buf.push_str(&ns.to_string());
+            buf.push('}');
+            write_line(&buf);
+        }
+    }
+}
+
+// --- events -------------------------------------------------------------
+
+/// Builder for one structured JSONL record. Cheap when no sink is
+/// active: `new` returns an inert builder and the field methods do
+/// nothing.
+pub struct Event {
+    buf: Option<String>,
+}
+
+impl Event {
+    /// Starts a record of type `ty` (the `"t"` field).
+    #[inline]
+    pub fn new(ty: &str) -> Event {
+        if !SINK_ACTIVE.load(Relaxed) || !RECORDING.load(Relaxed) {
+            return Event { buf: None };
+        }
+        let mut buf = String::with_capacity(96);
+        buf.push_str("{\"t\":");
+        push_json_str(&mut buf, ty);
+        buf.push_str(",\"ts\":");
+        buf.push_str(&ts_ns().to_string());
+        Event { buf: Some(buf) }
+    }
+
+    fn key(&mut self, k: &str) -> Option<&mut String> {
+        let buf = self.buf.as_mut()?;
+        buf.push(',');
+        push_json_str(buf, k);
+        buf.push(':');
+        Some(buf)
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn field_u64(mut self, k: &str, v: u64) -> Self {
+        if let Some(buf) = self.key(k) {
+            buf.push_str(&v.to_string());
+        }
+        self
+    }
+
+    /// Appends a signed integer field.
+    pub fn field_i64(mut self, k: &str, v: i64) -> Self {
+        if let Some(buf) = self.key(k) {
+            buf.push_str(&v.to_string());
+        }
+        self
+    }
+
+    /// Appends a float field (`null` for non-finite values).
+    pub fn field_f64(mut self, k: &str, v: f64) -> Self {
+        if let Some(buf) = self.key(k) {
+            push_json_f64(buf, v);
+        }
+        self
+    }
+
+    /// Appends a string field.
+    pub fn field_str(mut self, k: &str, v: &str) -> Self {
+        if let Some(buf) = self.key(k) {
+            push_json_str(buf, v);
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn field_bool(mut self, k: &str, v: bool) -> Self {
+        if let Some(buf) = self.key(k) {
+            buf.push_str(if v { "true" } else { "false" });
+        }
+        self
+    }
+
+    /// Writes the record to the sink (drops it silently if none).
+    pub fn emit(self) {
+        if let Some(mut buf) = self.buf {
+            buf.push('}');
+            write_line(&buf);
+        }
+    }
+}
+
+/// Backing call of the [`crate::progress!`] macro: the stderr mirror has
+/// already been printed; this adds the JSONL record when a sink exists.
+pub fn emit_progress(msg: &str) {
+    Event::new("progress").field_str("msg", msg).emit();
+}
+
+// --- sink lifecycle -----------------------------------------------------
+
+/// Opens (or re-targets) the JSONL sink at `path`, truncating any
+/// existing file, and writes a `{"t":"meta",…}` header line.
+pub fn init_jsonl<P: AsRef<Path>>(path: P) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut guard = SINK.lock().expect("telemetry sink poisoned");
+    *guard = Some(BufWriter::new(file));
+    SINK_ACTIVE.store(true, Relaxed);
+    drop(guard);
+    ts_ns(); // pin the timestamp origin no later than sink creation
+    let mut buf = String::with_capacity(64);
+    buf.push_str("{\"t\":\"meta\",\"ts\":");
+    buf.push_str(&ts_ns().to_string());
+    buf.push_str(",\"version\":1}");
+    write_line(&buf);
+    Ok(())
+}
+
+/// Whether a JSONL sink is currently open.
+#[inline]
+pub fn sink_active() -> bool {
+    SINK_ACTIVE.load(Relaxed)
+}
+
+/// Writes one JSONL record per registered metric (`"counter"`,
+/// `"fcounter"` and `"hist"` types), sorted by name. No-op without a
+/// sink.
+pub fn flush_metrics() {
+    if !SINK_ACTIVE.load(Relaxed) {
+        return;
+    }
+    for m in snapshot() {
+        let mut buf = String::with_capacity(96);
+        match m.value {
+            MetricValue::Counter(v) => {
+                buf.push_str("{\"t\":\"counter\",\"ts\":");
+                buf.push_str(&ts_ns().to_string());
+                buf.push_str(",\"name\":");
+                push_json_str(&mut buf, m.name);
+                buf.push_str(",\"value\":");
+                buf.push_str(&v.to_string());
+            }
+            MetricValue::Float(v) => {
+                buf.push_str("{\"t\":\"fcounter\",\"ts\":");
+                buf.push_str(&ts_ns().to_string());
+                buf.push_str(",\"name\":");
+                push_json_str(&mut buf, m.name);
+                buf.push_str(",\"value\":");
+                push_json_f64(&mut buf, v);
+            }
+            MetricValue::Histogram(h) => {
+                buf.push_str("{\"t\":\"hist\",\"ts\":");
+                buf.push_str(&ts_ns().to_string());
+                buf.push_str(",\"name\":");
+                push_json_str(&mut buf, m.name);
+                buf.push_str(&format!(
+                    ",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
+                    h.count, h.sum, h.p50, h.p90, h.p99, h.max
+                ));
+            }
+        }
+        buf.push('}');
+        write_line(&buf);
+    }
+}
+
+/// Flushes and closes the sink (idempotent).
+pub fn close_sink() {
+    let mut guard = SINK.lock().expect("telemetry sink poisoned");
+    if let Some(mut w) = guard.take() {
+        let _ = w.flush();
+    }
+    SINK_ACTIVE.store(false, Relaxed);
+}
+
+// --- in-process introspection ------------------------------------------
+
+/// Snapshots every registered metric, sorted by name.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let metrics: Vec<MetricRef> = REGISTRY.lock().expect("telemetry registry poisoned").clone();
+    let mut out: Vec<MetricSnapshot> = metrics
+        .into_iter()
+        .map(|m| match m {
+            MetricRef::Counter(c) => {
+                MetricSnapshot { name: c.name, value: MetricValue::Counter(c.get()) }
+            }
+            MetricRef::Float(f) => {
+                MetricSnapshot { name: f.name, value: MetricValue::Float(f.get()) }
+            }
+            MetricRef::Hist(h) => {
+                MetricSnapshot { name: h.name, value: MetricValue::Histogram(h.snapshot()) }
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(b.name));
+    out
+}
+
+/// Zeroes every registered metric (counters, floats and histograms)
+/// without unregistering them. Used by the bench overhead section to
+/// isolate phases.
+pub fn reset_metrics() {
+    let metrics: Vec<MetricRef> = REGISTRY.lock().expect("telemetry registry poisoned").clone();
+    for m in metrics {
+        match m {
+            MetricRef::Counter(c) => c.value.store(0, Relaxed),
+            MetricRef::Float(f) => f.bits.store(0, Relaxed),
+            MetricRef::Hist(h) => {
+                for b in &h.buckets {
+                    b.store(0, Relaxed);
+                }
+                h.count.store(0, Relaxed);
+                h.sum.store(0, Relaxed);
+                h.max.store(0, Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Zero-dependency, feature-gated instrumentation for the cloudalloc
+//! solver: RAII span timers over a thread-local span stack, a
+//! process-wide registry of atomic counters and log-scale histograms,
+//! and a structured JSONL event sink.
+//!
+//! # Two compilation modes
+//!
+//! With the `enabled` cargo feature **off** (the default) every type in
+//! this crate is a zero-sized unit and every function an
+//! `#[inline(always)]` empty body. Call sites — `counter!`, `span!`,
+//! [`Event`] chains — compile away entirely, so solver binaries carry
+//! no telemetry work and produce bit-identical results to a build that
+//! never heard of this crate. With it **on**, metrics record through
+//! relaxed atomics and events stream to an optional JSONL file.
+//!
+//! Instrumentation must never influence solver control flow: it only
+//! ever *observes* values, which is what makes the bit-identical
+//! guarantee trivial rather than something to re-verify per call site.
+//!
+//! # Usage
+//!
+//! ```
+//! use cloudalloc_telemetry as telemetry;
+//!
+//! fn search_round() {
+//!     let _span = telemetry::span!("solve.round");
+//!     telemetry::counter!("op.reassign.tried").incr();
+//!     telemetry::float_counter!("op.reassign.gain").add(0.25);
+//!     telemetry::histogram!("incr.flush_clients").record(12);
+//!     telemetry::Event::new("round").field_u64("round", 3).emit();
+//! }
+//! search_round();
+//! ```
+//!
+//! Metric statics register themselves in a global registry on first
+//! touch; [`flush_metrics`] writes a snapshot of all of them to the
+//! sink and [`snapshot`] exposes the same data in-process.
+//!
+//! # Recording gate
+//!
+//! Even when compiled in, recording can be switched off at runtime via
+//! [`set_recording`]. The speedup bench uses this to measure overhead
+//! (recording on vs. off) inside one binary, since an enabled and a
+//! disabled build cannot be compared within a single process.
+
+/// `true` when this build carries real instrumentation (`enabled`
+/// feature), `false` when everything is a no-op.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Point snapshot of one registered metric (name + current value).
+/// Returned by [`snapshot`]; always empty with the feature off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// The metric's registration name, e.g. `"op.swap.accepted"`.
+    pub name: &'static str,
+    /// Its current value.
+    pub value: MetricValue,
+}
+
+/// The value half of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic integer counter.
+    Counter(u64),
+    /// Accumulating floating-point counter (e.g. summed profit deltas).
+    Float(f64),
+    /// Log-scale histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// Summary of a [`LogHistogram`]: exact count/sum/max, quantiles
+/// approximated from power-of-two bucket midpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Approximate median sample.
+    pub p50: u64,
+    /// Approximate 90th-percentile sample.
+    pub p90: u64,
+    /// Approximate 99th-percentile sample.
+    pub p99: u64,
+    /// Largest recorded sample (exact).
+    pub max: u64,
+}
+
+/// Declares (once, at the call site) and returns a `&'static` [`Counter`].
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __COUNTER: $crate::Counter = $crate::Counter::new($name);
+        &__COUNTER
+    }};
+}
+
+/// Declares (once, at the call site) and returns a `&'static`
+/// [`FloatCounter`].
+#[macro_export]
+macro_rules! float_counter {
+    ($name:expr) => {{
+        static __FLOAT_COUNTER: $crate::FloatCounter = $crate::FloatCounter::new($name);
+        &__FLOAT_COUNTER
+    }};
+}
+
+/// Declares (once, at the call site) and returns a `&'static`
+/// [`LogHistogram`].
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __HISTOGRAM: $crate::LogHistogram = $crate::LogHistogram::new($name);
+        &__HISTOGRAM
+    }};
+}
+
+/// Opens an RAII timing span: bind the result (`let _span = span!(…);`)
+/// and the elapsed nanoseconds are recorded into a per-site
+/// [`LogHistogram`] named after the span — and streamed to the sink
+/// with the current thread-local nesting depth — when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __SPAN_HIST: $crate::LogHistogram = $crate::LogHistogram::new($name);
+        $crate::Span::enter($name, &__SPAN_HIST)
+    }};
+}
+
+/// Progress line for long-running harnesses: always mirrors the
+/// formatted message to stderr (like the `eprintln!` it replaces), and
+/// additionally writes a `{"t":"progress",…}` JSONL record when a
+/// telemetry sink is active.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {{
+        let __msg = ::std::format!($($arg)*);
+        ::std::eprintln!("{}", __msg);
+        $crate::emit_progress(&__msg);
+    }};
+}
+
+#[cfg(feature = "enabled")]
+mod imp;
+#[cfg(feature = "enabled")]
+pub use imp::*;
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::*;
+
+#[cfg(test)]
+mod tests;

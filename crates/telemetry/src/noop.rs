@@ -1,0 +1,178 @@
+//! The no-op surface, compiled when `feature = "enabled"` is off.
+//!
+//! Every type here is zero-sized and every method an `#[inline(always)]`
+//! empty body, so instrumented call sites vanish entirely from release
+//! binaries: the statics declared by `counter!`/`span!` occupy no data,
+//! the guards have no `Drop`, and the optimizer deletes the calls. This
+//! is what guarantees bit-identical solver output and zero measurable
+//! overhead for un-instrumented builds.
+
+use std::path::Path;
+
+use crate::MetricSnapshot;
+
+/// No-op counter stand-in (see `imp::Counter` for the real one).
+pub struct Counter;
+
+impl Counter {
+    /// Const constructor for use in statics.
+    pub const fn new(_name: &'static str) -> Self {
+        Counter
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn incr(&self) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op float counter stand-in.
+pub struct FloatCounter;
+
+impl FloatCounter {
+    /// Const constructor for use in statics.
+    pub const fn new(_name: &'static str) -> Self {
+        FloatCounter
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _v: f64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram stand-in.
+pub struct LogHistogram;
+
+impl LogHistogram {
+    /// Const constructor for use in statics.
+    pub const fn new(_name: &'static str) -> Self {
+        LogHistogram
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+}
+
+/// No-op span guard: zero-sized, no `Drop`, nothing to time.
+#[must_use = "a span measures nothing unless bound to a live guard"]
+pub struct Span;
+
+impl Span {
+    /// Returns the inert guard.
+    #[inline(always)]
+    pub fn enter(_name: &'static str, _hist: &'static LogHistogram) -> Span {
+        Span
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn depth(&self) -> usize {
+        0
+    }
+}
+
+/// No-op event builder: the field chain evaluates its arguments (they
+/// must stay cheap at call sites) but builds nothing.
+pub struct Event;
+
+impl Event {
+    /// Returns the inert builder.
+    #[inline(always)]
+    pub fn new(_ty: &str) -> Event {
+        Event
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn field_u64(self, _k: &str, _v: u64) -> Self {
+        self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn field_i64(self, _k: &str, _v: i64) -> Self {
+        self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn field_f64(self, _k: &str, _v: f64) -> Self {
+        self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn field_str(self, _k: &str, _v: &str) -> Self {
+        self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn field_bool(self, _k: &str, _v: bool) -> Self {
+        self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn emit(self) {}
+}
+
+/// Does nothing (the `progress!` stderr mirror already printed).
+#[inline(always)]
+pub fn emit_progress(_msg: &str) {}
+
+/// Accepted but ignored: reports success so callers need no cfg.
+#[inline(always)]
+pub fn init_jsonl<P: AsRef<Path>>(_path: P) -> std::io::Result<()> {
+    Ok(())
+}
+
+/// Always false.
+#[inline(always)]
+pub fn sink_active() -> bool {
+    false
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn flush_metrics() {}
+
+/// Does nothing.
+#[inline(always)]
+pub fn close_sink() {}
+
+/// Does nothing.
+#[inline(always)]
+pub fn set_recording(_on: bool) {}
+
+/// Always false.
+#[inline(always)]
+pub fn is_recording() -> bool {
+    false
+}
+
+/// Always empty.
+#[inline(always)]
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    Vec::new()
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn reset_metrics() {}

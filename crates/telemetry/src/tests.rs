@@ -1,0 +1,198 @@
+//! Unit tests for the instrumentation layer.
+//!
+//! The cross-mode tests at the top compile and run under both feature
+//! configurations — they pin the API contract that lets call sites stay
+//! cfg-free. The `enabled_behavior` module needs real recording and only
+//! builds with `--features enabled` (exercised by the CI telemetry job).
+
+use super::*;
+
+#[test]
+fn api_is_callable_in_every_mode() {
+    let c = counter!("test.api.counter");
+    c.add(2);
+    c.incr();
+    float_counter!("test.api.float").add(1.5);
+    histogram!("test.api.hist").record(7);
+    {
+        let _span = span!("test.api.span");
+    }
+    Event::new("test")
+        .field_u64("u", 1)
+        .field_i64("i", -1)
+        .field_f64("f", 0.5)
+        .field_str("s", "x")
+        .field_bool("b", true)
+        .emit();
+    flush_metrics();
+    close_sink();
+    assert_eq!(ENABLED, cfg!(feature = "enabled"));
+}
+
+#[test]
+fn disabled_mode_observes_nothing() {
+    if ENABLED {
+        return;
+    }
+    let c = counter!("test.noop.counter");
+    c.add(41);
+    c.incr();
+    assert_eq!(c.get(), 0);
+    assert!(!is_recording());
+    assert!(!sink_active());
+    assert!(snapshot().is_empty());
+    // The sink claims success but never creates the file.
+    let path = std::env::temp_dir().join("cloudalloc-telemetry-noop.jsonl");
+    let _ = std::fs::remove_file(&path);
+    init_jsonl(&path).expect("noop init reports success");
+    assert!(!path.exists(), "disabled build must not touch the filesystem");
+}
+
+#[cfg(feature = "enabled")]
+mod enabled_behavior {
+    use std::sync::{Mutex, MutexGuard};
+
+    use super::*;
+
+    /// Recording/sink state is process-global; serialize the tests that
+    /// mutate it (cargo runs tests on multiple threads).
+    static GLOBALS: Mutex<()> = Mutex::new(());
+
+    fn lock_globals() -> MutexGuard<'static, ()> {
+        let guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        set_recording(true);
+        close_sink();
+        guard
+    }
+
+    fn metric(name: &str) -> Option<MetricValue> {
+        snapshot().into_iter().find(|m| m.name == name).map(|m| m.value)
+    }
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let _g = lock_globals();
+        let c = counter!("test.reg.counter");
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), 4);
+        assert_eq!(metric("test.reg.counter"), Some(MetricValue::Counter(4)));
+
+        // One call site per metric name: the macro declares a static per
+        // site, so reusing a name elsewhere would register a second metric.
+        let f = float_counter!("test.reg.float");
+        f.add(0.25);
+        f.add(0.5);
+        match metric("test.reg.float") {
+            Some(MetricValue::Float(v)) => assert!((v - 0.75).abs() < 1e-12),
+            other => panic!("expected float metric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recording_gate_suppresses_increments() {
+        let _g = lock_globals();
+        let c = counter!("test.gate.counter");
+        c.add(5);
+        set_recording(false);
+        c.add(100);
+        set_recording(true);
+        c.incr();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_of_magnitude_correct() {
+        let _g = lock_globals();
+        let h = histogram!("test.hist.quantiles");
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 90 * 100 + 10 * 100_000);
+        assert_eq!(snap.max, 100_000);
+        // Log-bucketed: within a factor of 2 of the true quantile.
+        assert!(snap.p50 >= 64 && snap.p50 <= 200, "p50 = {}", snap.p50);
+        assert!(snap.p99 >= 65_536 && snap.p99 <= 200_000, "p99 = {}", snap.p99);
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge_samples() {
+        let _g = lock_globals();
+        let h = histogram!("test.hist.extremes");
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.p50, 0);
+    }
+
+    #[test]
+    fn span_depth_tracks_nesting() {
+        let _g = lock_globals();
+        let outer = span!("test.span.outer");
+        let inner = span!("test.span.inner");
+        assert_eq!(outer.depth(), inner.depth().saturating_sub(1));
+        drop(inner);
+        let sibling = span!("test.span.sibling");
+        assert_eq!(sibling.depth(), outer.depth() + 1);
+    }
+
+    #[test]
+    fn sink_writes_parseable_jsonl() {
+        let _g = lock_globals();
+        let path = std::env::temp_dir().join("cloudalloc-telemetry-sink.jsonl");
+        init_jsonl(&path).expect("sink opens");
+        assert!(sink_active());
+
+        counter!("test.sink.counter").add(9);
+        {
+            let _span = span!("test.sink.span");
+        }
+        Event::new("custom")
+            .field_str("msg", "quote \" backslash \\ newline \n done")
+            .field_f64("nan", f64::NAN)
+            .field_bool("ok", true)
+            .emit();
+        emit_progress("phase 1/2");
+        flush_metrics();
+        close_sink();
+        assert!(!sink_active());
+
+        let body = std::fs::read_to_string(&path).expect("sink file exists");
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines.len() >= 5, "expected several records, got {body:?}");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line:?}");
+            assert!(line.contains("\"t\":"), "line lacks a type tag: {line:?}");
+            assert!(line.contains("\"ts\":"), "line lacks a timestamp: {line:?}");
+        }
+        assert!(lines[0].contains("\"t\":\"meta\""));
+        assert!(body.contains("\"t\":\"span\"") && body.contains("\"name\":\"test.sink.span\""));
+        assert!(body.contains("\"t\":\"progress\"") && body.contains("phase 1/2"));
+        assert!(body.contains("\"name\":\"test.sink.counter\""));
+        // Escapes applied, raw specials absent.
+        assert!(body.contains("quote \\\" backslash \\\\ newline \\n done"));
+        // Non-finite floats become null.
+        assert!(body.contains("\"nan\":null"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reset_metrics_zeroes_without_unregistering() {
+        let _g = lock_globals();
+        let c = counter!("test.reset.counter");
+        c.add(7);
+        reset_metrics();
+        assert_eq!(c.get(), 0);
+        assert_eq!(metric("test.reset.counter"), Some(MetricValue::Counter(0)));
+        c.incr();
+        assert_eq!(c.get(), 1);
+    }
+}

@@ -56,6 +56,21 @@ pub trait Deserialize: Sized {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+// `Value` is its own data model: (de)serializing it is the identity. This
+// lets callers parse arbitrary JSON (e.g. telemetry JSONL lines) into a
+// `Value` tree and walk it with `field`/`as_str` without a schema.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -14,6 +14,7 @@
 //! * [`metrics`] — statistics and figure/table rendering.
 //! * [`epoch`] — decision-epoch management: prediction, drift, warm starts.
 //! * [`multitier`] — multi-tier applications compiled onto the model.
+//! * [`telemetry`] — feature-gated spans, counters and JSONL event export.
 //!
 //! See the `examples/` directory for runnable entry points, starting with
 //! `quickstart.rs`.
@@ -29,4 +30,5 @@ pub use cloudalloc_model as model;
 pub use cloudalloc_multitier as multitier;
 pub use cloudalloc_queueing as queueing;
 pub use cloudalloc_simulator as simulator;
+pub use cloudalloc_telemetry as telemetry;
 pub use cloudalloc_workload as workload;
