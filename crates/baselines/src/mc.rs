@@ -80,7 +80,8 @@ pub fn monte_carlo(system: &CloudSystem, config: &McConfig, seed: u64) -> McOutc
     let mut worst_raw = f64::INFINITY;
     let mut worst_polished = f64::INFINITY;
     for _ in 0..config.iterations {
-        let mut scored = ScoredAllocation::new(system, random_assignment(&ctx, &mut rng));
+        let mut scored =
+            ScoredAllocation::lowered(&ctx.compiled, random_assignment(&ctx, &mut rng));
         let raw = scored.profit();
         worst_raw = worst_raw.min(raw);
         reassign_until_stable(&ctx, &mut scored);

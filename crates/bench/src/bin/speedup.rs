@@ -28,6 +28,16 @@
 //!   runtime gate) and asserts the profits **bit-identical** — telemetry
 //!   observes the solver but never steers it. Without the feature the
 //!   layer compiles to no-ops and the section reports itself skipped.
+//! * **E5f — compiled lowering.** The structure-of-arrays fast path
+//!   (per-server capacity/cost arrays, cached `cap/exec` inverse-service
+//!   tables, per-(class, client) level-constant tables) vs the retained
+//!   array-of-structs path that resolves every field through the frontend
+//!   model mid-search. Both run the same dedup/pruning machinery, so the
+//!   ratio isolates exactly what the lowering buys. An untimed pass first
+//!   asserts every candidate bit-for-bit identical; the timed workload
+//!   gives every server a distinct background load, which defeats the
+//!   signature dedup — one curve per server, the regime where per-curve
+//!   constant reuse (vs per-curve recomputation) dominates the search.
 //!
 //! ```text
 //! cargo run -p cloudalloc-bench --release --bin speedup [--seed N] [--json PATH] [--smoke]
@@ -43,8 +53,8 @@ use std::time::Instant;
 use serde::Serialize;
 
 use cloudalloc_core::{
-    best_cluster, best_cluster_reference, commit, greedy_pass, solve, Candidate, SolverConfig,
-    SolverCtx,
+    best_cluster, best_cluster_aos, best_cluster_reference, commit, greedy_pass, solve, Candidate,
+    SolverConfig, SolverCtx,
 };
 use cloudalloc_distributed::greedy_distributed_timed;
 use cloudalloc_metrics::Table;
@@ -227,12 +237,29 @@ struct TelemetryOverheadRecord {
     suppressed_profit: f64,
 }
 
+/// Per-seed record of the compiled (structure-of-arrays) vs retained
+/// array-of-structs search comparison (E5f).
+#[derive(Debug, Serialize)]
+struct LoweringRecord {
+    seed: u64,
+    clients: usize,
+    servers: usize,
+    granularity: usize,
+    searches: usize,
+    aos_seconds: f64,
+    compiled_seconds: f64,
+    speedup: f64,
+    aos_profit: f64,
+    compiled_profit: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct SpeedupReport {
     scoring: Vec<ScoringRecord>,
     parallel: Vec<ParallelRecord>,
     candidate_search: Vec<CandidateSearchRecord>,
     telemetry_overhead: Vec<TelemetryOverheadRecord>,
+    lowering: Vec<LoweringRecord>,
 }
 
 fn bench_distributed_greedy(seed: u64) {
@@ -639,6 +666,162 @@ fn bench_candidate_search(base_seed: u64, smoke: bool) -> Vec<CandidateSearchRec
     records
 }
 
+/// The E5f workload: the same construction + re-search sweep as E5d, but
+/// with the search routine injected so the compiled and AoS paths run the
+/// identical dedup/pruning machinery on identical allocation states.
+fn run_lowering_searches(
+    system: &cloudalloc_model::CloudSystem,
+    ctx: &SolverCtx<'_>,
+    search: &dyn Fn(&SolverCtx<'_>, &Allocation, ClientId) -> Option<Candidate>,
+) -> (f64, usize, f64) {
+    let mut alloc = Allocation::new(system);
+    let mut searches = 0;
+    let begin = Instant::now();
+    for i in 0..system.num_clients() {
+        searches += 1;
+        if let Some(cand) = search(ctx, &alloc, ClientId(i)) {
+            commit(ctx, &mut alloc, ClientId(i), &cand);
+        }
+    }
+    for i in 0..system.num_clients() {
+        if alloc.cluster_of(ClientId(i)).is_none() {
+            continue;
+        }
+        alloc.clear_client(system, ClientId(i));
+        searches += 1;
+        if let Some(cand) = search(ctx, &alloc, ClientId(i)) {
+            commit(ctx, &mut alloc, ClientId(i), &cand);
+        }
+    }
+    let seconds = begin.elapsed().as_secs_f64();
+    (evaluate(system, &alloc).profit, searches, seconds)
+}
+
+/// Untimed E5f verification: both paths in lock-step, every candidate
+/// asserted bitwise identical, final profits asserted bit-equal.
+fn verify_lowering_searches(
+    system: &cloudalloc_model::CloudSystem,
+    ctx: &SolverCtx<'_>,
+) -> (f64, f64) {
+    let mut compiled_alloc = Allocation::new(system);
+    let mut aos_alloc = Allocation::new(system);
+    let step = |compiled_alloc: &mut Allocation, aos_alloc: &mut Allocation, i: usize| {
+        let compiled = best_cluster(ctx, compiled_alloc, ClientId(i));
+        let aos = best_cluster_aos(ctx, aos_alloc, ClientId(i));
+        assert_candidates_identical(&compiled, &aos, &format!("client {i} (compiled vs aos)"));
+        if let Some(cand) = compiled {
+            commit(ctx, compiled_alloc, ClientId(i), &cand);
+            commit(ctx, aos_alloc, ClientId(i), &cand);
+        }
+    };
+    for i in 0..system.num_clients() {
+        step(&mut compiled_alloc, &mut aos_alloc, i);
+    }
+    for i in 0..system.num_clients() {
+        if compiled_alloc.cluster_of(ClientId(i)).is_none() {
+            continue;
+        }
+        compiled_alloc.clear_client(system, ClientId(i));
+        aos_alloc.clear_client(system, ClientId(i));
+        step(&mut compiled_alloc, &mut aos_alloc, i);
+    }
+    let compiled_profit = evaluate(system, &compiled_alloc).profit;
+    let aos_profit = evaluate(system, &aos_alloc).profit;
+    assert_eq!(
+        compiled_profit.to_bits(),
+        aos_profit.to_bits(),
+        "compiled/aos candidate-search profits must be bit-identical"
+    );
+    (aos_profit, compiled_profit)
+}
+
+fn bench_lowering(base_seed: u64, smoke: bool) -> Vec<LoweringRecord> {
+    let mut table = Table::new(vec![
+        "seed".into(),
+        "servers".into(),
+        "searches".into(),
+        "aos".into(),
+        "compiled".into(),
+        "speedup".into(),
+        "profit_aos".into(),
+        "profit_compiled".into(),
+    ]);
+    let (clients, seeds) = if smoke { (16, 1) } else { (SCORING_CLIENTS, SCORING_SEEDS as u64) };
+    // Heterogeneous residual loads (every server carries a distinct
+    // background load) defeat the signature dedup, so the search builds
+    // one curve per server — the regime the lowering targets: the AoS
+    // path recomputes the per-level service-rate divisions and sqrt terms
+    // for every curve, while the compiled path derives each curve from
+    // the per-class constant table it built once.
+    let granularity = SolverConfig::default().alpha_granularity;
+    println!(
+        "E5f — candidate search, compiled structure-of-arrays vs retained \
+         array-of-structs (N={clients}, all servers background-loaded, \
+         granularity {granularity}, best of {SEARCH_REPS} reps per path)"
+    );
+    let mut records = Vec::new();
+    for offset in 0..seeds {
+        let seed = base_seed.wrapping_add(offset);
+        let mut scenario = if smoke {
+            let mut cfg = ScenarioConfig::small(clients);
+            cfg.servers_per_class = Range::new(1.0, 2.0);
+            cfg
+        } else {
+            ScenarioConfig::paper(clients)
+        };
+        scenario.background_fraction = 1.0;
+        let system = generate(&scenario, seed);
+        let solver = SolverConfig { alpha_granularity: granularity, ..SolverConfig::default() };
+        let ctx = SolverCtx::new(&system, &solver);
+
+        // Correctness first, untimed: every candidate bit-for-bit equal.
+        let (aos_profit, compiled_profit) = verify_lowering_searches(&system, &ctx);
+
+        let mut aos_seconds = f64::INFINITY;
+        let mut compiled_seconds = f64::INFINITY;
+        let mut searches = 0;
+        for _ in 0..SEARCH_REPS {
+            let (_, n, t) = run_lowering_searches(&system, &ctx, &best_cluster_aos);
+            aos_seconds = aos_seconds.min(t);
+            let (_, n2, t) = run_lowering_searches(&system, &ctx, &best_cluster);
+            compiled_seconds = compiled_seconds.min(t);
+            assert_eq!(n, n2, "both paths must perform the same searches");
+            searches = n;
+        }
+        let speedup = aos_seconds / compiled_seconds;
+        table.row(vec![
+            seed.to_string(),
+            system.num_servers().to_string(),
+            searches.to_string(),
+            format!("{aos_seconds:.4}s"),
+            format!("{compiled_seconds:.4}s"),
+            format!("{speedup:.2}x"),
+            format!("{aos_profit:.4}"),
+            format!("{compiled_profit:.4}"),
+        ]);
+        records.push(LoweringRecord {
+            seed,
+            clients,
+            servers: system.num_servers(),
+            granularity,
+            searches,
+            aos_seconds,
+            compiled_seconds,
+            speedup,
+            aos_profit,
+            compiled_profit,
+        });
+    }
+    println!("{table}");
+    println!(
+        "expected shape: identical profits by construction (asserted bitwise);\n\
+         the structure-of-arrays lowering and per-class level-constant tables\n\
+         beat per-curve recomputation, more so the less the signature dedup\n\
+         can merge (heterogeneous loads, as here)\n"
+    );
+    records
+}
+
 /// E5e with the `telemetry` feature: identical solves with recording on vs
 /// suppressed via the runtime gate, profits asserted bit-identical. The
 /// single-binary comparison isolates exactly the per-event atomics cost
@@ -737,15 +920,17 @@ fn main() {
     args.init_telemetry();
     let path = args.json.clone().unwrap_or_else(|| "BENCH_speedup.json".into());
     if args.smoke {
-        // CI smoke gate: the E5d equivalence assertions plus the E5e
-        // telemetry bit-identity assertion, tiny configs.
+        // CI smoke gate: the E5d and E5f equivalence assertions plus the
+        // E5e telemetry bit-identity assertion, tiny configs.
         let candidate_search = bench_candidate_search(args.seed, true);
         let telemetry_overhead = bench_telemetry_overhead(args.seed, true);
+        let lowering = bench_lowering(args.seed, true);
         let report = SpeedupReport {
             scoring: Vec::new(),
             parallel: Vec::new(),
             candidate_search,
             telemetry_overhead,
+            lowering,
         };
         std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
             .expect("writable json path");
@@ -758,8 +943,10 @@ fn main() {
     let parallel = bench_parallel_construction(args.seed);
     let candidate_search = bench_candidate_search(args.seed, false);
     let telemetry_overhead = bench_telemetry_overhead(args.seed, false);
+    let lowering = bench_lowering(args.seed, false);
 
-    let report = SpeedupReport { scoring, parallel, candidate_search, telemetry_overhead };
+    let report =
+        SpeedupReport { scoring, parallel, candidate_search, telemetry_overhead, lowering };
     std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
         .expect("writable json path");
     cloudalloc_telemetry::progress!("wrote {path}");

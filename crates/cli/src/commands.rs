@@ -27,6 +27,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// Malformed JSON artifact.
     Json(serde_json::Error),
+    /// A scenario parsed as JSON but violates a model invariant (bad ids,
+    /// out-of-range numbers, inconsistent structures).
+    Model(cloudalloc_model::ModelError),
 }
 
 impl fmt::Display for CliError {
@@ -35,6 +38,7 @@ impl fmt::Display for CliError {
             Self::Args(e) => write!(f, "{e}"),
             Self::Io(e) => write!(f, "io error: {e}"),
             Self::Json(e) => write!(f, "json error: {e}"),
+            Self::Model(e) => write!(f, "invalid system: {e}"),
         }
     }
 }
@@ -54,10 +58,20 @@ impl From<serde_json::Error> for CliError {
         Self::Json(e)
     }
 }
+impl From<cloudalloc_model::ModelError> for CliError {
+    fn from(e: cloudalloc_model::ModelError) -> Self {
+        Self::Model(e)
+    }
+}
 
 fn load_system(parsed: &Parsed) -> Result<CloudSystem, CliError> {
     let path = parsed.require("--system")?;
-    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+    let system: CloudSystem = serde_json::from_str(&fs::read_to_string(path)?)?;
+    // Deserialization only checks shape; a hand-edited or corrupted file
+    // can still break model invariants the solver would otherwise trip
+    // over as panics deep in the lowering. Surface those as typed errors.
+    system.validate()?;
+    Ok(system)
 }
 
 fn load_allocation(parsed: &Parsed) -> Result<Allocation, CliError> {
@@ -810,6 +824,36 @@ mod tests {
         assert!(run(&parse(&["frobnicate"])).is_err());
         let err = run(&parse(&["solve", "--system", "/nonexistent.json"])).unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn invalid_system_is_rejected_with_a_typed_error() {
+        // A hand-corrupted scenario that still parses as JSON but breaks a
+        // model invariant must surface as CliError::Model, not a panic
+        // deep inside the solver.
+        let sys_path = temp_path("sys_invalid.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "4",
+            "--preset",
+            "small",
+            "--seed",
+            "7",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        let text = fs::read_to_string(&sys_path).unwrap();
+        let field = "\"rate_predicted\":";
+        let at = text.find(field).expect("serialized client field");
+        let rest = &text[at + field.len()..];
+        let end = rest.find(',').expect("field separator");
+        let corrupted = format!("{}{field}-1.0{}", &text[..at], &rest[end..]);
+        fs::write(&sys_path, corrupted).unwrap();
+        let err = run(&parse(&["solve", "--system", &sys_path])).unwrap_err();
+        assert!(matches!(err, CliError::Model(_)), "got {err:?}");
+        assert!(err.to_string().contains("rate_predicted"), "unhelpful message: {err}");
     }
 
     #[test]

@@ -23,6 +23,19 @@
 //! cluster size while staying **bit-for-bit identical** to the exhaustive
 //! per-server DP (retained as [`assign_distribute_reference`]):
 //!
+//! - **Compiled reads** — every system fact comes from the
+//!   [`cloudalloc_model::CompiledSystem`] lowering owned by the context
+//!   (flat per-server capacity/cost arrays, the dense cluster-major
+//!   server permutation, precomputed per-(class, client) service rates),
+//!   never from the AoS frontend model. The pre-lowering AoS fast path is
+//!   retained verbatim in [`crate::assign_aos`] for triangulation.
+//! - **Per-class level tables** — the load-independent constants of every
+//!   grid level (stability floors, closed-form share terms, power cost)
+//!   are computed once per hardware class per search and reused by every
+//!   curve of that class; each floor is weakly nondecreasing in `g`, so a
+//!   curve stops at its first infeasible level (all higher levels are
+//!   provably infeasible too) — both shortcuts reuse the exact original
+//!   expressions, so curves stay bitwise identical.
 //! - **Scratch arenas** — curves, DP rows and the choice matrix live in a
 //!   pooled [`crate::scratch::CandidateScratch`], cleared not reallocated.
 //! - **Curve dedup over runs** — consecutive feasible servers with the
@@ -39,13 +52,13 @@
 //!   dropped.
 
 use cloudalloc_model::{
-    placement_response_time, Allocation, ClientId, ClusterId, Placement, ScoredAllocation,
+    placement_response_time, Allocation, Client, ClientId, ClusterId, Placement, ScoredAllocation,
     ServerClass, ServerId, ServerLoad, MIN_SHARE,
 };
 use cloudalloc_telemetry as telemetry;
 
 use crate::ctx::SolverCtx;
-use crate::scratch::Run;
+use crate::scratch::{LevelConst, Run};
 
 /// A fully-specified way to host one client in one cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,10 +90,11 @@ pub(crate) struct Level {
 /// is feasible.
 ///
 /// The curve depends on the server only through `(class, load)`, which is
-/// what makes run deduplication sound; both the fast and the reference
-/// path come through here, so their curves are bitwise identical by
-/// construction.
-fn push_curve(
+/// what makes run deduplication sound. This is the AoS evaluator, shared
+/// by the exhaustive reference path and the retained
+/// [`crate::assign_aos`] fast path; the compiled fast path produces
+/// bitwise-identical curves from precomputed [`LevelConst`] tables.
+pub(crate) fn push_curve(
     ctx: &SolverCtx<'_>,
     client: ClientId,
     class: &ServerClass,
@@ -133,6 +147,99 @@ fn push_curve(
     has_positive
 }
 
+/// Fills the per-(class, level) constant table for `client` against
+/// hardware class `class_idx`: everything [`push_curve`] computes per
+/// level that does not depend on the server's load. Each field uses the
+/// exact expression of the AoS evaluator (service rates come from the
+/// compiled `m^p`/`m^c` tables, themselves cached from the identical
+/// division), so curves assembled from the table are bitwise identical.
+///
+/// `out` has `granularity + 1` entries; index 0 is unused (level 0 is the
+/// constant zero placement).
+fn build_level_consts(
+    ctx: &SolverCtx<'_>,
+    client: ClientId,
+    class_idx: usize,
+    granularity: usize,
+    out: &mut [LevelConst],
+) {
+    let compiled = &ctx.compiled;
+    let class = compiled.class_at(class_idx);
+    let c = compiled.client(client);
+    let margin = ctx.config.stability_margin;
+    let w = ctx.reference_weight(client);
+    let psi = ctx.shadow_price;
+    let m_p = compiled.m_p(class_idx, client);
+    let m_c = compiled.m_c(class_idx, client);
+    for (g, slot) in out.iter_mut().enumerate().skip(1) {
+        let alpha = g as f64 / granularity as f64;
+        let a = alpha * c.rate_predicted;
+        *slot = LevelConst {
+            alpha,
+            lo_p: ((a / m_p) * (1.0 + margin)).max(MIN_SHARE),
+            lo_c: ((a / m_c) * (1.0 + margin)).max(MIN_SHARE),
+            base_p: a / m_p,
+            base_c: a / m_c,
+            sqrt_p: (w * alpha / (psi * m_p)).sqrt(),
+            sqrt_c: (w * alpha / (psi * m_c)).sqrt(),
+            power: class.cost_per_utilization * a * c.exec_processing / class.cap_processing,
+            neg_weight: -w * alpha,
+        };
+    }
+}
+
+/// The compiled twin of [`push_curve`]: assembles one server's value
+/// curve from the class's precomputed [`LevelConst`] table plus the
+/// server's load. Bitwise identical to the AoS evaluator because every
+/// load-independent term is read back from the identical expression, and
+/// the remaining arithmetic keeps the original shape.
+///
+/// The stability floors `lo_p`/`lo_c` are weakly nondecreasing in `g`
+/// (each is a chain of IEEE-monotone operations on a nondecreasing
+/// `α·λ`), so the first level failing the floor-vs-free test makes every
+/// higher level fail it too: the loop emits `None` for the rest and
+/// stops, exactly reproducing the per-level checks.
+fn push_curve_compiled(
+    consts: &[LevelConst],
+    class: &ServerClass,
+    c: &Client,
+    load: ServerLoad,
+    granularity: usize,
+    psi: f64,
+    out: &mut Vec<Option<Level>>,
+) -> bool {
+    let free_p = load.free_phi_p();
+    let free_c = load.free_phi_c();
+    let activation = if load.is_on() { 0.0 } else { class.cost_fixed };
+
+    out.push(Some(Level {
+        placement: Placement { alpha: 0.0, phi_p: 0.0, phi_c: 0.0 },
+        value: 0.0,
+        sojourn: 0.0,
+    }));
+    let mut has_positive = false;
+    for (g, lc) in consts.iter().enumerate().take(granularity + 1).skip(1) {
+        if lc.lo_p > free_p || lc.lo_c > free_c {
+            // Monotone floors: infeasible here ⇒ infeasible at every
+            // higher level. Pad and stop.
+            out.extend((g..=granularity).map(|_| None));
+            break;
+        }
+        let phi_p = (lc.base_p + lc.sqrt_p).clamp(lc.lo_p, free_p);
+        let phi_c = (lc.base_c + lc.sqrt_c).clamp(lc.lo_c, free_c);
+        let placement = Placement { alpha: lc.alpha, phi_p, phi_c };
+        let sojourn = placement_response_time(class, c, placement);
+        if !sojourn.is_finite() {
+            out.push(None);
+            continue;
+        }
+        let value = lc.neg_weight * sojourn - psi * (phi_p + phi_c) - lc.power - activation;
+        out.push(Some(Level { placement, value, sojourn }));
+        has_positive = true;
+    }
+    has_positive
+}
+
 /// Builds the value curve of one server for `client` (reference path):
 /// `None` when the server cannot fit the client's disk.
 fn server_curve(
@@ -179,9 +286,12 @@ pub fn assign_distribute(
 /// by `TurnOFF_servers` to evacuate a machine being powered down.
 ///
 /// This is the fast path: allocation-free (pooled scratch arenas), with
-/// per-cluster slack pruning and run-deduplicated curves/DP. Its output is
-/// bit-for-bit identical to [`assign_distribute_reference`] — see the
-/// module docs for why each shortcut is exact.
+/// per-cluster slack pruning, run-deduplicated curves/DP, and all system
+/// facts read from the [`cloudalloc_model::CompiledSystem`] lowering
+/// through per-class level-constant tables. Its output is bit-for-bit
+/// identical to [`assign_distribute_reference`] (and to the retained AoS
+/// path in [`crate::assign_aos`]) — see the module docs for why each
+/// shortcut is exact.
 pub fn assign_distribute_excluding(
     ctx: &SolverCtx<'_>,
     alloc: &Allocation,
@@ -189,10 +299,11 @@ pub fn assign_distribute_excluding(
     cluster: ClusterId,
     exclude: Option<ServerId>,
 ) -> Option<Candidate> {
-    let system = ctx.system;
+    let compiled = &ctx.compiled;
     let granularity = ctx.config.alpha_granularity;
     let width = granularity + 1;
-    let c = system.client(client);
+    let c = compiled.client(client);
+    let need_storage = compiled.client_storage(client);
     telemetry::counter!("search.calls").incr();
 
     // Slack pruning: when no single server of the cluster can fit the
@@ -201,7 +312,7 @@ pub fn assign_distribute_excluding(
     // would return None. The bounds are *upper* bounds, so only provably
     // hopeless clusters are skipped.
     if let Some(slack) = alloc.cluster_slack(cluster) {
-        if slack.storage < c.storage || slack.phi_p < MIN_SHARE || slack.phi_c < MIN_SHARE {
+        if slack.storage < need_storage || slack.phi_p < MIN_SHARE || slack.phi_c < MIN_SHARE {
             telemetry::counter!("search.slack_pruned").incr();
             return None;
         }
@@ -212,6 +323,20 @@ pub fn assign_distribute_excluding(
     s.servers.clear();
     s.runs.clear();
     s.curves.clear();
+    // Per-class level tables, built lazily for the classes the searched
+    // clusters actually contain. The tables are load-independent, so an
+    // arena revisited for the same (context, client) — the per-cluster
+    // calls of one `best_cluster` sweep — keeps them; any other key
+    // invalidates them wholesale.
+    let num_classes = compiled.server_classes().len();
+    let level_key = (ctx.token, client.index());
+    if s.level_key != Some(level_key) {
+        s.level_key = Some(level_key);
+        s.level_built.clear();
+        s.level_built.resize(num_classes, false);
+        s.level_consts.clear();
+        s.level_consts.resize(num_classes * width, LevelConst::default());
+    }
 
     // Group the cluster's feasible servers into runs of consecutive
     // entries sharing a curve signature, computing one curve per run.
@@ -221,36 +346,51 @@ pub fn assign_distribute_excluding(
     // order of float operations of the per-server DP.
     let mut prev_sig: Option<(usize, bool, u64, u64)> = None;
     let mut prev_kept = false;
-    for server in system.servers_in(cluster) {
-        if exclude == Some(server.id) {
+    for &server in compiled.cluster_servers(cluster) {
+        if exclude == Some(server) {
             continue;
         }
-        let load = alloc.load(server.id);
+        let load = alloc.load(server);
         // Disk is allocated by constant need: no fit, no server.
-        if load.storage + c.storage > server.class.cap_storage {
+        if load.storage + need_storage > compiled.cap_storage(server) {
             continue;
         }
         // Re-placing a client that already sits on this server is handled
         // by first clearing it; the search only sees fresh clients.
-        debug_assert!(alloc.placement(client, server.id).is_none());
-        let sig = (
-            server.server.class.index(),
-            load.is_on(),
-            load.free_phi_p().to_bits(),
-            load.free_phi_c().to_bits(),
-        );
+        debug_assert!(alloc.placement(client, server).is_none());
+        let class_idx = compiled.class_index(server);
+        let sig =
+            (class_idx, load.is_on(), load.free_phi_p().to_bits(), load.free_phi_c().to_bits());
         if prev_sig == Some(sig) {
             telemetry::counter!("search.dedup_merged").incr();
             if prev_kept {
                 let run = s.runs.last_mut().expect("kept run exists");
                 run.members_len += 1;
-                s.servers.push(server.id);
+                s.servers.push(server);
             }
             continue;
         }
         prev_sig = Some(sig);
+        if !s.level_built[class_idx] {
+            s.level_built[class_idx] = true;
+            build_level_consts(
+                ctx,
+                client,
+                class_idx,
+                granularity,
+                &mut s.level_consts[class_idx * width..(class_idx + 1) * width],
+            );
+        }
         let curve_start = s.curves.len();
-        let has_positive = push_curve(ctx, client, server.class, load, granularity, &mut s.curves);
+        let has_positive = push_curve_compiled(
+            &s.level_consts[class_idx * width..(class_idx + 1) * width],
+            compiled.class_at(class_idx),
+            c,
+            load,
+            granularity,
+            ctx.shadow_price,
+            &mut s.curves,
+        );
         if !has_positive {
             // A g0-only curve contributes the exact identity transition
             // (its only value is 0.0, and reachable DP states are never
@@ -268,7 +408,7 @@ pub fn assign_distribute_excluding(
             rows_start: 0,
             rows_len: 0,
         });
-        s.servers.push(server.id);
+        s.servers.push(server);
     }
     if s.runs.is_empty() {
         return None;
@@ -354,7 +494,9 @@ pub fn assign_distribute_excluding(
 }
 
 /// Exact score: true utility minus true cost deltas. Shared by the fast
-/// and reference paths.
+/// and reference paths; reads every fact from the compiled lowering (the
+/// values are copies of the frontend fields, so the arithmetic is
+/// bit-identical to the AoS scorer in [`crate::assign_aos`]).
 fn finish_candidate(
     ctx: &SolverCtx<'_>,
     alloc: &Allocation,
@@ -363,17 +505,17 @@ fn finish_candidate(
     placements: Vec<(ServerId, Placement)>,
     response_time: f64,
 ) -> Candidate {
-    let system = ctx.system;
-    let c = system.client(client);
-    let revenue = c.rate_agreed * system.utility_of(client).value(response_time);
+    let compiled = &ctx.compiled;
+    let rate = compiled.rate_predicted(client);
+    let exec_p = compiled.exec_processing(client);
+    let revenue = compiled.rate_agreed(client) * compiled.utility(client).value(response_time);
     let mut cost = 0.0;
     for &(server, p) in &placements {
-        let class = system.class_of(server);
+        let class = compiled.class_of(server);
         if !alloc.load(server).is_on() {
             cost += class.cost_fixed;
         }
-        cost += class.cost_per_utilization * p.alpha * c.rate_predicted * c.exec_processing
-            / class.cap_processing;
+        cost += class.cost_per_utilization * p.alpha * rate * exec_p / class.cap_processing;
     }
     Candidate { cluster, placements, score: revenue - cost, response_time }
 }

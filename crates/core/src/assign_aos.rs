@@ -1,0 +1,253 @@
+//! The retained AoS (frontend-model) fast candidate search.
+//!
+//! This is the pre-lowering `assign_distribute_excluding` verbatim: the
+//! allocation-free, run-deduplicated, slack-pruned search of PR 2, reading
+//! every system fact through the [`cloudalloc_model::CloudSystem`]
+//! accessors (id → struct indirection, per-curve service-rate divisions).
+//! The production path in [`crate::assign`] now reads the
+//! [`cloudalloc_model::CompiledSystem`] lowering instead; this module is
+//! kept — and exported — so the equivalence suites can triangulate
+//! (compiled vs AoS vs exhaustive reference) and the speedup bench can
+//! measure what the lowering bought on identical inputs.
+//!
+//! Outputs are bit-for-bit identical to both the compiled path and
+//! [`crate::assign_distribute_reference`].
+
+use cloudalloc_model::{Allocation, ClientId, ClusterId, Placement, ServerId, MIN_SHARE};
+use cloudalloc_telemetry as telemetry;
+
+use crate::assign::{push_curve, Candidate};
+use crate::ctx::SolverCtx;
+use crate::scratch::Run;
+
+/// The retained AoS fast path of [`crate::assign_distribute_excluding`]:
+/// identical pruning, dedup and DP, but every system fact is read through
+/// the frontend model accessors. Returns bit-identical candidates.
+pub fn assign_distribute_aos(
+    ctx: &SolverCtx<'_>,
+    alloc: &Allocation,
+    client: ClientId,
+    cluster: ClusterId,
+    exclude: Option<ServerId>,
+) -> Option<Candidate> {
+    let system = ctx.system;
+    let granularity = ctx.config.alpha_granularity;
+    let width = granularity + 1;
+    let c = system.client(client);
+    telemetry::counter!("search.calls").incr();
+
+    // Slack pruning: when no single server of the cluster can fit the
+    // client's disk or grant even the minimum stability share, every
+    // per-server curve would be empty or g0-only and the reference path
+    // would return None. The bounds are *upper* bounds, so only provably
+    // hopeless clusters are skipped.
+    if let Some(slack) = alloc.cluster_slack(cluster) {
+        if slack.storage < c.storage || slack.phi_p < MIN_SHARE || slack.phi_c < MIN_SHARE {
+            telemetry::counter!("search.slack_pruned").incr();
+            return None;
+        }
+    }
+
+    let mut guard = ctx.scratch();
+    let s = &mut *guard;
+    s.servers.clear();
+    s.runs.clear();
+    s.curves.clear();
+
+    // Group the cluster's feasible servers into runs of consecutive
+    // entries sharing a curve signature, computing one curve per run.
+    let mut prev_sig: Option<(usize, bool, u64, u64)> = None;
+    let mut prev_kept = false;
+    for server in system.servers_in(cluster) {
+        if exclude == Some(server.id) {
+            continue;
+        }
+        let load = alloc.load(server.id);
+        // Disk is allocated by constant need: no fit, no server.
+        if load.storage + c.storage > server.class.cap_storage {
+            continue;
+        }
+        debug_assert!(alloc.placement(client, server.id).is_none());
+        let sig = (
+            server.server.class.index(),
+            load.is_on(),
+            load.free_phi_p().to_bits(),
+            load.free_phi_c().to_bits(),
+        );
+        if prev_sig == Some(sig) {
+            telemetry::counter!("search.dedup_merged").incr();
+            if prev_kept {
+                let run = s.runs.last_mut().expect("kept run exists");
+                run.members_len += 1;
+                s.servers.push(server.id);
+            }
+            continue;
+        }
+        prev_sig = Some(sig);
+        let curve_start = s.curves.len();
+        let has_positive = push_curve(ctx, client, server.class, load, granularity, &mut s.curves);
+        if !has_positive {
+            s.curves.truncate(curve_start);
+            prev_kept = false;
+            continue;
+        }
+        prev_kept = true;
+        s.runs.push(Run {
+            members_start: s.servers.len(),
+            members_len: 1,
+            curve_start,
+            rows_start: 0,
+            rows_len: 0,
+        });
+        s.servers.push(server.id);
+    }
+    if s.runs.is_empty() {
+        return None;
+    }
+
+    // DP over runs: dp[u] = best value dispatching u grid units so far.
+    const NEG: f64 = f64::NEG_INFINITY;
+    s.dp.clear();
+    s.dp.resize(width, NEG);
+    s.dp[0] = 0.0;
+    s.choice.clear();
+    for r in 0..s.runs.len() {
+        let run = s.runs[r];
+        let curve = &s.curves[run.curve_start..run.curve_start + width];
+        let rows_start = s.choice.len();
+        let mut rows_len = 0usize;
+        for _member in 0..run.members_len {
+            let row_start = rows_start + rows_len * width;
+            s.choice.resize(row_start + width, 0);
+            s.next.clear();
+            s.next.resize(width, NEG);
+            let row = &mut s.choice[row_start..row_start + width];
+            for (u, &du) in s.dp.iter().enumerate() {
+                if du == NEG {
+                    continue;
+                }
+                for (g, level) in curve.iter().enumerate() {
+                    let Some(level) = level else { continue };
+                    let target = u + g;
+                    if target > granularity {
+                        break;
+                    }
+                    let v = du + level.value;
+                    if v > s.next[target] {
+                        s.next[target] = v;
+                        row[target] = g;
+                    }
+                }
+            }
+            rows_len += 1;
+            let fixpoint = s.dp.iter().zip(s.next.iter()).all(|(a, b)| a.to_bits() == b.to_bits());
+            std::mem::swap(&mut s.dp, &mut s.next);
+            if fixpoint {
+                break;
+            }
+        }
+        s.runs[r].rows_start = rows_start;
+        s.runs[r].rows_len = rows_len;
+        telemetry::counter!("search.dp_rows_stored").add(rows_len as u64);
+        telemetry::counter!("search.dp_rows_elided").add((run.members_len - rows_len) as u64);
+    }
+    if s.dp[granularity] == NEG {
+        return None;
+    }
+
+    // Reconstruct the chosen grid levels in exact reverse server order.
+    let mut placements = Vec::new();
+    let mut response_time = 0.0;
+    let mut units = granularity;
+    for r in (0..s.runs.len()).rev() {
+        let run = s.runs[r];
+        for t in (0..run.members_len).rev() {
+            let row = run.rows_start + t.min(run.rows_len - 1) * width;
+            let g = s.choice[row + units];
+            units -= g;
+            if g == 0 {
+                continue;
+            }
+            let level = s.curves[run.curve_start + g].expect("chosen level must be feasible");
+            response_time += level.placement.alpha * level.sojourn;
+            placements.push((s.servers[run.members_start + t], level.placement));
+        }
+    }
+    debug_assert_eq!(units, 0, "DP reconstruction must consume all grid units");
+    placements.reverse();
+
+    Some(finish_candidate_aos(ctx, alloc, client, cluster, placements, response_time))
+}
+
+/// Exact score through the frontend accessors (the pre-lowering
+/// `finish_candidate` verbatim); bit-identical to the compiled scorer.
+fn finish_candidate_aos(
+    ctx: &SolverCtx<'_>,
+    alloc: &Allocation,
+    client: ClientId,
+    cluster: ClusterId,
+    placements: Vec<(ServerId, Placement)>,
+    response_time: f64,
+) -> Candidate {
+    let system = ctx.system;
+    let c = system.client(client);
+    let revenue = c.rate_agreed * system.utility_of(client).value(response_time);
+    let mut cost = 0.0;
+    for &(server, p) in &placements {
+        let class = system.class_of(server);
+        if !alloc.load(server).is_on() {
+            cost += class.cost_fixed;
+        }
+        cost += class.cost_per_utilization * p.alpha * c.rate_predicted * c.exec_processing
+            / class.cap_processing;
+    }
+    Candidate { cluster, placements, score: revenue - cost, response_time }
+}
+
+/// [`crate::best_cluster`] over the retained AoS fast path; same argmax
+/// and tie-break, exported for equivalence checks and the speedup bench.
+pub fn best_cluster_aos(
+    ctx: &SolverCtx<'_>,
+    alloc: &Allocation,
+    client: ClientId,
+) -> Option<Candidate> {
+    (0..ctx.system.num_clusters())
+        .filter_map(|k| assign_distribute_aos(ctx, alloc, client, ClusterId(k), None))
+        .fold(None, |best: Option<Candidate>, cand| match best {
+            Some(b) if b.score >= cand.score => Some(b),
+            _ => Some(cand),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{best_cluster, commit};
+    use crate::config::SolverConfig;
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn aos_path_matches_compiled_path_bitwise() {
+        let system = generate(&ScenarioConfig::small(8), 17);
+        let config = SolverConfig::default();
+        let ctx = SolverCtx::new(&system, &config);
+        let mut alloc = Allocation::new(&system);
+        for i in 0..system.num_clients() {
+            let compiled = best_cluster(&ctx, &alloc, ClientId(i));
+            let aos = best_cluster_aos(&ctx, &alloc, ClientId(i));
+            match (&compiled, &aos) {
+                (None, None) => {}
+                (Some(f), Some(r)) => {
+                    assert_eq!(f.cluster, r.cluster);
+                    assert_eq!(f.placements, r.placements);
+                    assert_eq!(f.score.to_bits(), r.score.to_bits());
+                    assert_eq!(f.response_time.to_bits(), r.response_time.to_bits());
+                }
+                _ => panic!("client {i}: compiled {compiled:?} vs aos {aos:?}"),
+            }
+            if let Some(cand) = compiled {
+                commit(&ctx, &mut alloc, ClientId(i), &cand);
+            }
+        }
+    }
+}

@@ -1,24 +1,48 @@
 //! Shared solver context: the system, the configuration, and derived
 //! constants used by every operator.
 
-use cloudalloc_model::{ClientId, CloudSystem};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cloudalloc_model::{ClientId, CloudSystem, CompiledSystem};
 
 use crate::config::SolverConfig;
 
+/// Process-wide source of context identity tokens; see
+/// [`SolverCtx::token`].
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(0);
+
 /// Immutable context threaded through all heuristic stages.
-#[derive(Debug, Clone, Copy)]
+///
+/// Owns the [`CompiledSystem`] lowering of the system — the
+/// structure-of-arrays runtime view every hot path reads instead of the
+/// serde-facing AoS model. Building the context *is* the one explicit
+/// lowering step per solve. The context is cheap to clone (the lowering
+/// is a flat-array view) but no longer `Copy`; share it by reference.
+#[derive(Debug, Clone)]
 pub struct SolverCtx<'a> {
-    /// The system being allocated.
+    /// The system being allocated (frontend model; construction and
+    /// serialization surface only).
     pub system: &'a CloudSystem,
     /// Heuristic configuration.
     pub config: &'a SolverConfig,
     /// Resolved shadow price `ψ` (auto-calibrated when the config leaves
     /// it unset).
     pub shadow_price: f64,
+    /// The structure-of-arrays lowering of [`Self::system`], built once
+    /// here and read by every candidate search and operator.
+    pub compiled: CompiledSystem<'a>,
+    /// Process-unique identity of this lowering. Pooled scratch arenas
+    /// tag their cached per-(class, client) level-constant tables with
+    /// `(token, client)` so the tables survive across the per-cluster
+    /// searches of one `best_cluster` sweep but can never be mistaken
+    /// for another context's (clones share the token — and the identical
+    /// system, configuration and shadow price the tables derive from).
+    pub(crate) token: u64,
 }
 
 impl<'a> SolverCtx<'a> {
-    /// Builds a context, auto-calibrating the shadow price to the mean
+    /// Builds a context, lowering the system into its compiled runtime
+    /// view and auto-calibrating the shadow price to the mean
     /// `λ̃_i · slope_i(0)` over all clients when the config does not pin
     /// it. That quantity is the average marginal revenue of saving one
     /// unit of response time, which is the natural price scale for
@@ -29,39 +53,39 @@ impl<'a> SolverCtx<'a> {
     /// Panics if the configuration fails [`SolverConfig::validate`].
     pub fn new(system: &'a CloudSystem, config: &'a SolverConfig) -> Self {
         config.validate();
+        let compiled = CompiledSystem::new(system);
         let shadow_price = config.shadow_price.unwrap_or_else(|| {
             let n = system.num_clients();
             if n == 0 {
                 return 1.0;
             }
-            let total: f64 = system
-                .clients()
-                .iter()
-                .map(|c| c.rate_agreed * system.utility_of(c.id).reference_slope())
-                .sum();
+            // Same per-client expression and summation order as the
+            // pre-lowering calibration (the compiled array caches
+            // `λ̃·U'(ref)` verbatim), so the price is bit-identical.
+            let total: f64 = (0..n).map(|i| compiled.ref_marginal(ClientId(i))).sum();
             (total / n as f64).max(1e-9)
         });
-        Self { system, config, shadow_price }
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        Self { system, config, shadow_price, compiled, token }
     }
 
     /// Revenue-sensitivity weight of a client at response time `r`:
     /// `λ̃_i · |dU/dr|(r)`, floored at a tiny positive value so clients in
     /// a flat utility region still receive stability shares.
     pub fn weight_at(&self, client: ClientId, r: f64) -> f64 {
-        let c = self.system.client(client);
-        let slope = self.system.utility_of(client).slope_at(r.min(1e12));
-        (c.rate_agreed * slope).max(1e-9)
+        let slope = self.compiled.utility(client).slope_at(r.min(1e12));
+        (self.compiled.rate_agreed(client) * slope).max(1e-9)
     }
 
     /// Weight at the steepest point of the utility (used when no response
-    /// time is known yet, e.g. during greedy insertion).
+    /// time is known yet, e.g. during greedy insertion). Served from the
+    /// compiled per-client cache.
     pub fn reference_weight(&self, client: ClientId) -> f64 {
-        let c = self.system.client(client);
-        (c.rate_agreed * self.system.utility_of(client).reference_slope()).max(1e-9)
+        self.compiled.ref_weight(client)
     }
 
     /// Borrows a pooled scratch arena for a candidate search or operator
-    /// call. `SolverCtx` is `Copy` and shared across the construction
+    /// call. The context is shared by reference across the construction
     /// threads, so the arenas live in a thread-local pool behind this
     /// accessor rather than in the context itself; see [`crate::scratch`].
     pub(crate) fn scratch(&self) -> crate::scratch::ScratchGuard {
@@ -80,7 +104,7 @@ impl<'a> SolverCtx<'a> {
     /// aspiration can only unlock improvements, not cause regressions.
     pub fn aspiration_weight(&self, client: ClientId, r: f64) -> f64 {
         let local = self.weight_at(client, r);
-        let u = self.system.utility_of(client);
+        let u = self.compiled.utility(client);
         if u.value(r.min(1e12)) < u.max_value() {
             local.max(self.reference_weight(client))
         } else {

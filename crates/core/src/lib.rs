@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod assign;
+mod assign_aos;
 mod bounds;
 mod config;
 mod ctx;
@@ -54,6 +55,7 @@ pub use assign::{
     assign_distribute, assign_distribute_excluding, assign_distribute_reference, best_cluster,
     best_cluster_reference, commit, commit_scored, Candidate,
 };
+pub use assign_aos::{assign_distribute_aos, best_cluster_aos};
 pub use bounds::{client_bounds, profit_upper_bound, ClientBound};
 pub use config::SolverConfig;
 pub use ctx::SolverCtx;

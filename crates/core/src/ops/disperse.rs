@@ -20,7 +20,7 @@ pub fn adjust_dispersion_rates(
     scored: &mut ScoredAllocation<'_>,
     client: ClientId,
 ) -> bool {
-    let system = ctx.system;
+    let compiled = &ctx.compiled;
     let mut guard = ctx.scratch();
     let s = &mut *guard;
     s.held.clear();
@@ -30,13 +30,13 @@ pub fn adjust_dispersion_rates(
         return false;
     }
     telemetry::counter!("op.dispersion.tried").incr();
-    let c = system.client(client);
+    let c = compiled.client(client);
     let outcome = scored.outcome(client);
     let weight = ctx.aspiration_weight(client, outcome.response_time);
 
     s.branches.clear();
     s.branches.extend(s.held.iter().map(|&(server, p)| {
-        let class = system.class_of(server);
+        let class = compiled.class_of(server);
         DispersionBranch {
             service_p: p.phi_p * class.cap_processing / c.exec_processing,
             service_c: p.phi_c * class.cap_communication / c.exec_communication,
@@ -62,7 +62,7 @@ pub fn adjust_dispersion_rates(
             .placements(client)
             .iter()
             .map(|&(server, p)| {
-                let class = system.class_of(server);
+                let class = compiled.class_of(server);
                 class.cost_per_utilization * p.alpha * c.rate_predicted * c.exec_processing
                     / class.cap_processing
             })

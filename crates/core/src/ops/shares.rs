@@ -42,7 +42,7 @@ fn adjust_shares_inner(
     server: ServerId,
     require_improvement: bool,
 ) -> bool {
-    let system = ctx.system;
+    let compiled = &ctx.compiled;
     let mut guard = ctx.scratch();
     let s = &mut *guard;
     s.residents.clear();
@@ -56,8 +56,8 @@ fn adjust_shares_inner(
     if require_improvement {
         telemetry::counter!("op.shares.tried").incr();
     }
-    let class = system.class_of(server);
-    let bg = system.background(server);
+    let class_idx = compiled.class_index(server);
+    let bg = compiled.background(server);
 
     // Weights use the utility slope at the client's *current* response
     // time — the linearization point of the paper's Eq. (17). Outcomes
@@ -69,18 +69,20 @@ fn adjust_shares_inner(
     for &client in &s.residents {
         let outcome = scored.outcome(client);
         old_revenue += outcome.revenue;
-        let c = system.client(client);
+        let c = compiled.client(client);
         let p = scored.alloc().placement(client, server).expect("resident must hold a placement");
         s.old_placements.push(p);
         let weight = ctx.aspiration_weight(client, outcome.response_time) * p.alpha.max(1e-9);
+        // The compiled `m` tables cache `cap / exec` verbatim, so the
+        // demands are bit-identical to recomputing the divisions here.
         s.demands_p.push(ShareDemand {
             arrival: p.alpha * c.rate_predicted,
-            rate_per_share: class.cap_processing / c.exec_processing,
+            rate_per_share: compiled.m_p(class_idx, client),
             weight,
         });
         s.demands_c.push(ShareDemand {
             arrival: p.alpha * c.rate_predicted,
-            rate_per_share: class.cap_communication / c.exec_communication,
+            rate_per_share: compiled.m_c(class_idx, client),
             weight,
         });
     }

@@ -20,7 +20,6 @@ use crate::dispersion::{optimal_dispersion_into, DispersionBranch};
 /// it carries minus its operation cost. Low values make good shutdown
 /// candidates.
 fn server_value(ctx: &SolverCtx<'_>, scored: &mut ScoredAllocation<'_>, server: ServerId) -> f64 {
-    let system = ctx.system;
     let mut guard = ctx.scratch();
     let s = &mut *guard;
     s.residents.clear();
@@ -32,7 +31,7 @@ fn server_value(ctx: &SolverCtx<'_>, scored: &mut ScoredAllocation<'_>, server: 
             revenue_share += outcome.revenue * p.alpha;
         }
     }
-    let class = system.class_of(server);
+    let class = ctx.compiled.class_of(server);
     let rho = scored.alloc().load(server).work_processing / class.cap_processing;
     revenue_share - class.operation_cost(rho)
 }
@@ -52,13 +51,13 @@ fn squeeze_insert(
     client: ClientId,
     exclude: ServerId,
 ) -> bool {
-    let system = ctx.system;
-    let c = system.client(client);
+    let compiled = &ctx.compiled;
+    let c = compiled.client(client);
     let margin = ctx.config.stability_margin;
     // Pick the active server with the most stability slack after taking
     // the newcomer's full stream.
     let mut best: Option<(f64, ServerId)> = None;
-    for server in system.servers_in(cluster) {
+    for server in compiled.servers_in(cluster) {
         if server.id == exclude || !scored.alloc().is_on(server.id) {
             continue;
         }
@@ -66,7 +65,7 @@ fn squeeze_insert(
         if load.storage + c.storage > server.class.cap_storage {
             continue;
         }
-        let bg = system.background(server.id);
+        let bg = compiled.background(server.id);
         let sigma_new_p = c.rate_predicted * c.exec_processing / server.class.cap_processing;
         let sigma_new_c = c.rate_predicted * c.exec_communication / server.class.cap_communication;
         // Total critical shares of current residents plus the newcomer
@@ -74,7 +73,7 @@ fn squeeze_insert(
         let mut crit_p = sigma_new_p;
         let mut crit_c = sigma_new_c;
         for &resident in scored.alloc().residents(server.id) {
-            let rc = system.client(resident);
+            let rc = compiled.client(resident);
             let p = scored.alloc().placement(resident, server.id).expect("resident");
             crit_p +=
                 p.alpha * rc.rate_predicted * rc.exec_processing / server.class.cap_processing;
@@ -92,7 +91,7 @@ fn squeeze_insert(
     };
     // Enter at the stability floor, then let the KKT pass re-balance the
     // whole server.
-    let class = system.class_of(target);
+    let class = compiled.class_of(target);
     let sigma_p =
         (c.rate_predicted * c.exec_processing / class.cap_processing) * (1.0 + margin) + 1e-9;
     let sigma_c =
@@ -175,14 +174,14 @@ fn evacuate(
     cluster: ClusterId,
     server: ServerId,
 ) -> bool {
-    let system = ctx.system;
+    let compiled = &ctx.compiled;
     let mut guard = ctx.scratch();
     let s = &mut *guard;
     s.residents.clear();
     s.residents.extend_from_slice(scored.alloc().residents(server));
     for idx in 0..s.residents.len() {
         let client = s.residents[idx];
-        let c = system.client(client);
+        let c = compiled.client(client);
         scored.remove(client, server);
         // Snapshot the remaining branches (after the removal) in scratch.
         s.held.clear();
@@ -199,7 +198,7 @@ fn evacuate(
             let weight = ctx.aspiration_weight(client, scored.outcome(client).response_time);
             s.branches.clear();
             s.branches.extend(s.held.iter().map(|&(sid, p)| {
-                let class = system.class_of(sid);
+                let class = compiled.class_of(sid);
                 DispersionBranch {
                     service_p: p.phi_p * class.cap_processing / c.exec_processing,
                     service_c: p.phi_c * class.cap_communication / c.exec_communication,
@@ -243,12 +242,12 @@ pub fn turn_off_servers(
     scored: &mut ScoredAllocation<'_>,
     cluster: ClusterId,
 ) -> bool {
-    let system = ctx.system;
+    let compiled = &ctx.compiled;
     let mut guard = ctx.scratch();
     let s = &mut *guard;
     s.server_ids.clear();
     s.server_ids
-        .extend(system.servers_in(cluster).filter(|s| scored.alloc().is_on(s.id)).map(|s| s.id));
+        .extend(compiled.cluster_servers(cluster).iter().filter(|&&id| scored.alloc().is_on(id)));
     s.ranked.clear();
     for idx in 0..s.server_ids.len() {
         let id = s.server_ids[idx];

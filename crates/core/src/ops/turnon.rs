@@ -40,17 +40,18 @@ fn eval_move(
     beta: f64,
     activation: f64,
 ) -> Option<Move> {
-    let system = ctx.system;
-    let c = system.client(client);
-    let class = system.class_of(target);
+    let compiled = &ctx.compiled;
+    let c = compiled.client(client);
+    let class_idx = compiled.class_index(target);
+    let class = compiled.class_at(class_idx);
     let load = alloc.load(target);
     if load.storage + c.storage > class.cap_storage {
         return None;
     }
     let margin = ctx.config.stability_margin;
     let a = beta * c.rate_predicted;
-    let m_p = class.cap_processing / c.exec_processing;
-    let m_c = class.cap_communication / c.exec_communication;
+    let m_p = compiled.m_p(class_idx, client);
+    let m_c = compiled.m_c(class_idx, client);
     let sigma_p = (a / m_p) * (1.0 + margin);
     let sigma_c = (a / m_c) * (1.0 + margin);
     let (free_p, free_c) = (load.free_phi_p(), load.free_phi_c());
@@ -68,7 +69,7 @@ fn eval_move(
     let mut response = 0.0;
     let mut p1_saved = 0.0;
     for &(server, p) in held {
-        let srv_class = system.class_of(server);
+        let srv_class = compiled.class_of(server);
         let scaled = Placement { alpha: p.alpha * (1.0 - beta), ..p };
         if scaled.alpha > 0.0 {
             let t = cloudalloc_model::placement_response_time(srv_class, c, scaled);
@@ -90,7 +91,7 @@ fn eval_move(
     }
     response += beta * t0;
 
-    let new_revenue = c.rate_agreed * system.utility_of(client).value(response);
+    let new_revenue = c.rate_agreed * compiled.utility(client).value(response);
     let p1_added = class.cost_per_utilization * a * c.exec_processing / class.cap_processing;
     let delta = (new_revenue - old.revenue) - (p1_added - p1_saved) - activation;
     Some(Move { client, beta, phi_p, phi_c, delta })
@@ -118,19 +119,16 @@ fn try_fill(
     cluster: ClusterId,
     target: ServerId,
 ) -> bool {
-    let system = ctx.system;
+    let compiled = &ctx.compiled;
     let granularity = ctx.config.alpha_granularity;
     let mut changed = false;
     // Bounded greedy: each iteration commits the single best positive
     // move; capacity strictly shrinks, so few iterations suffice.
     for _ in 0..32 {
-        let activation = if scored.alloc().load(target).is_on() {
-            0.0
-        } else {
-            system.class_of(target).cost_fixed
-        };
+        let activation =
+            if scored.alloc().load(target).is_on() { 0.0 } else { compiled.cost_fixed(target) };
         let mut best: Option<Move> = None;
-        for i in 0..system.num_clients() {
+        for i in 0..compiled.num_clients() {
             let client = ClientId(i);
             if scored.alloc().cluster_of(client) != Some(cluster)
                 || scored.alloc().placements(client).is_empty()
@@ -172,20 +170,20 @@ pub fn turn_on_servers(
     scored: &mut ScoredAllocation<'_>,
     cluster: ClusterId,
 ) -> bool {
-    let system = ctx.system;
+    let compiled = &ctx.compiled;
     // One idle representative per class: idle empty servers of a class
     // are interchangeable (the paper solves the activation problem once
     // per class for exactly this reason).
     let mut guard = ctx.scratch();
     let s = &mut *guard;
     s.seen_class.clear();
-    s.seen_class.resize(system.server_classes().len(), false);
+    s.seen_class.resize(compiled.server_classes().len(), false);
     s.server_ids.clear();
-    for server in system.servers_in(cluster) {
-        let class_idx = server.server.class.index();
-        if !scored.alloc().is_on(server.id) && !s.seen_class[class_idx] {
+    for &server in compiled.cluster_servers(cluster) {
+        let class_idx = compiled.class_index(server);
+        if !scored.alloc().is_on(server) && !s.seen_class[class_idx] {
             s.seen_class[class_idx] = true;
-            s.server_ids.push(server.id);
+            s.server_ids.push(server);
         }
     }
     let mut changed = false;

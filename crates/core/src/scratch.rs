@@ -10,9 +10,9 @@
 //!
 //! # Lifecycle
 //!
-//! `SolverCtx` is `Copy` and is shared by reference across the scoped
-//! threads of the parallel best-of-N construction, so the scratch cannot
-//! live inside it. Instead each thread keeps a pool of boxed arenas:
+//! `SolverCtx` is shared by reference across the scoped threads of the
+//! parallel best-of-N construction, so the scratch cannot live inside it.
+//! Instead each thread keeps a pool of boxed arenas:
 //! [`acquire`] (reached via [`crate::ctx::SolverCtx::scratch`]) pops one —
 //! or creates one on first use — and the returned [`ScratchGuard`] pushes
 //! it back on drop. Nested acquisitions (e.g. `turn_off_servers` →
@@ -50,12 +50,53 @@ pub(crate) struct Run {
     pub rows_len: usize,
 }
 
+/// Load-independent per-(class, grid-level) constants of one candidate
+/// search, precomputed once per hardware class and reused by every curve
+/// of that class (see `assign.rs`). All fields are produced by the exact
+/// floating-point expressions the per-server curve used to evaluate, so
+/// reading them back is bit-identical to recomputation.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LevelConst {
+    /// Grid fraction `g/G`.
+    pub alpha: f64,
+    /// Processing stability floor `max(σ^p, MIN_SHARE)` — weakly
+    /// nondecreasing in `g`, which powers the monotone infeasibility
+    /// early-exit.
+    pub lo_p: f64,
+    /// Communication stability floor `max(σ^c, MIN_SHARE)`.
+    pub lo_c: f64,
+    /// Critical share `a/m^p` (first term of the closed-form share).
+    pub base_p: f64,
+    /// Critical share `a/m^c`.
+    pub base_c: f64,
+    /// Shadow-priced term `√(w·α/(ψ·m^p))`.
+    pub sqrt_p: f64,
+    /// Shadow-priced term `√(w·α/(ψ·m^c))`.
+    pub sqrt_c: f64,
+    /// Utilization power cost `P1·a·t̄^p/C^p` of carrying this level.
+    pub power: f64,
+    /// Delay-cost slope `−w·α` multiplying the sojourn time.
+    pub neg_weight: f64,
+}
+
 /// The flat, reusable buffers of one candidate search / operator call.
 #[derive(Debug, Default)]
 pub(crate) struct CandidateScratch {
     // --- assign_distribute: run-deduplicated DP ---
     /// Feasible servers of the cluster, in cluster order, grouped in runs.
     pub servers: Vec<ServerId>,
+    /// Per-(class, level) constant tables, `granularity + 1` entries per
+    /// hardware class, built lazily per class (see [`LevelConst`]).
+    pub level_consts: Vec<LevelConst>,
+    /// Which classes' [`Self::level_consts`] blocks are built for the
+    /// current [`Self::level_key`].
+    pub level_built: Vec<bool>,
+    /// `(context token, client index)` the cached level tables belong to.
+    /// The tables are load-independent, so they stay valid across the
+    /// per-cluster searches of one `best_cluster` sweep; a key mismatch
+    /// (different client, or an arena reused under another context)
+    /// invalidates them wholesale.
+    pub level_key: Option<(u64, usize)>,
     /// Run descriptors, in cluster order.
     pub runs: Vec<Run>,
     /// Value curves, one `granularity + 1` block per run.

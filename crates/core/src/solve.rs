@@ -129,7 +129,7 @@ pub fn improve_scored(
 /// should use [`improve_scored`] to keep their caches warm.
 pub fn improve(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u64) -> SearchStats {
     let owned = std::mem::replace(alloc, Allocation::new(ctx.system));
-    let mut scored = ScoredAllocation::new(ctx.system, owned);
+    let mut scored = ScoredAllocation::lowered(&ctx.compiled, owned);
     let stats = improve_scored(ctx, &mut scored, seed);
     *alloc = scored.into_allocation();
     stats
@@ -151,7 +151,7 @@ pub fn solve(system: &CloudSystem, config: &SolverConfig, seed: u64) -> SolveRes
         let _span = telemetry::span!("solve.greedy");
         best_initial(&ctx, seed)
     };
-    let mut scored = ScoredAllocation::new(system, allocation);
+    let mut scored = ScoredAllocation::lowered(&ctx.compiled, allocation);
     let stats = {
         let _span = telemetry::span!("solve.local_search");
         improve_scored(&ctx, &mut scored, seed.wrapping_add(0x5EED))

@@ -1,0 +1,126 @@
+//! The lowered incremental scorer (`ScoredAllocation::lowered`, reading
+//! through [`cloudalloc_model::CompiledSystem`]) must produce **bit-for-bit**
+//! the same profits and outcomes as the frontend-backed scorer
+//! (`ScoredAllocation::new`) on identical mutation traces, and the full
+//! solver — which now lowers once at `SolverCtx::new` and reads only the
+//! compiled view — must reproduce the frontend evaluation exactly at
+//! paper scale.
+
+use cloudalloc_core::{best_cluster, commit_scored, solve, SolverConfig, SolverCtx};
+use cloudalloc_model::{
+    evaluate, ClientId, ClusterId, CompiledSystem, Placement, ScoredAllocation,
+};
+use cloudalloc_workload::{generate, Range, ScenarioConfig};
+use proptest::prelude::*;
+
+/// Drives the same greedy-build + perturb + rollback trace through both
+/// scorers, asserting bitwise profit/outcome agreement after every step.
+fn compare_traces(system: &cloudalloc_model::CloudSystem, config: &SolverConfig) {
+    let ctx = SolverCtx::new(system, config);
+    let compiled = CompiledSystem::new(system);
+    let mut plain = ScoredAllocation::new(system, cloudalloc_model::Allocation::new(system));
+    let mut lowered =
+        ScoredAllocation::lowered(&compiled, cloudalloc_model::Allocation::new(system));
+
+    let check = |plain: &mut ScoredAllocation<'_>, lowered: &mut ScoredAllocation<'_>, at: &str| {
+        assert_eq!(plain.profit().to_bits(), lowered.profit().to_bits(), "{at}: profit bits");
+        for i in 0..system.num_clients() {
+            let a = plain.outcome(ClientId(i));
+            let b = lowered.outcome(ClientId(i));
+            assert_eq!(a.response_time.to_bits(), b.response_time.to_bits(), "{at}: client {i} R");
+            assert_eq!(a.revenue.to_bits(), b.revenue.to_bits(), "{at}: client {i} revenue");
+        }
+    };
+
+    // Greedy build, mirrored into both scorers.
+    for i in 0..system.num_clients() {
+        if let Some(cand) = best_cluster(&ctx, plain.alloc(), ClientId(i)) {
+            commit_scored(&mut plain, ClientId(i), &cand);
+            commit_scored(&mut lowered, ClientId(i), &cand);
+        }
+        check(&mut plain, &mut lowered, &format!("after greedy insert {i}"));
+    }
+
+    // Perturb: scale one client's first branch, remove another's, roll back.
+    for i in 0..system.num_clients() {
+        let held = plain.alloc().placements(ClientId(i)).to_vec();
+        let Some(&(server, p)) = held.first() else { continue };
+        let mark_plain = plain.savepoint();
+        let mark_lowered = lowered.savepoint();
+        let bumped = Placement { phi_p: (p.phi_p * 0.5).max(1e-6), ..p };
+        plain.place(ClientId(i), server, bumped);
+        lowered.place(ClientId(i), server, bumped);
+        check(&mut plain, &mut lowered, &format!("after perturb {i}"));
+        if held.len() > 1 {
+            plain.remove(ClientId(i), server);
+            lowered.remove(ClientId(i), server);
+            check(&mut plain, &mut lowered, &format!("after remove {i}"));
+        }
+        plain.rollback_to(mark_plain);
+        lowered.rollback_to(mark_lowered);
+        check(&mut plain, &mut lowered, &format!("after rollback {i}"));
+    }
+
+    assert_eq!(plain.into_allocation(), lowered.into_allocation());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized scenarios: both scorers stay bitwise-identical through
+    /// identical mutation traces.
+    #[test]
+    fn lowered_scorer_matches_frontend_scorer_bitwise(
+        n in 2usize..10,
+        clusters in 1usize..4,
+        classes in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut scenario = ScenarioConfig::small(n);
+        scenario.num_clusters = clusters;
+        scenario.num_server_classes = classes;
+        scenario.servers_per_class = Range::new(1.0, 3.0);
+        let system = generate(&scenario, seed);
+        compare_traces(&system, &SolverConfig::default());
+    }
+}
+
+/// Full paper-scale solve: the compiled-path solver's reported profit must
+/// equal the frontend evaluation of its own allocation, and the solve is
+/// deterministic across repeated lowerings.
+#[test]
+fn paper_scale_solve_matches_frontend_evaluation() {
+    let system = generate(&ScenarioConfig::paper(30), 99);
+    let config = SolverConfig::fast();
+    let first = solve(&system, &config, 7);
+    let frontend_profit = evaluate(&system, &first.allocation).profit;
+    assert!(
+        (first.report.profit - frontend_profit).abs() <= 1e-6 * (1.0 + frontend_profit.abs()),
+        "solver profit {} vs frontend evaluation {}",
+        first.report.profit,
+        frontend_profit
+    );
+    let second = solve(&system, &config, 7);
+    assert_eq!(first.allocation, second.allocation, "re-lowering changed the solve");
+    assert_eq!(first.report.profit.to_bits(), second.report.profit.to_bits());
+}
+
+/// A context borrowed across clusters keeps serving the same compiled
+/// view: search results through `ctx.compiled` equal a freshly-lowered
+/// view's facts (guards against stale lowerings if callers ever mutate
+/// and forget to rebuild the context).
+#[test]
+fn context_lowering_matches_fresh_lowering() {
+    let system = generate(&ScenarioConfig::small(8), 5);
+    let config = SolverConfig::default();
+    let ctx = SolverCtx::new(&system, &config);
+    let fresh = CompiledSystem::new(&system);
+    for k in 0..system.num_clusters() {
+        assert_eq!(ctx.compiled.cluster_servers(ClusterId(k)), fresh.cluster_servers(ClusterId(k)));
+    }
+    for i in 0..system.num_clients() {
+        let id = ClientId(i);
+        assert_eq!(ctx.compiled.ref_weight(id).to_bits(), fresh.ref_weight(id).to_bits());
+        assert_eq!(ctx.compiled.rate_predicted(id).to_bits(), fresh.rate_predicted(id).to_bits());
+    }
+}

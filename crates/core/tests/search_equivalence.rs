@@ -1,8 +1,11 @@
-//! The deduplicated, slack-pruned candidate search must return candidates
-//! **bit-for-bit** equal — placements, score, response time — to the
-//! retained exhaustive reference path, on randomized systems (varied
-//! server-class mixes, background loads, granularities, excluded servers)
-//! and through evolving allocation states including savepoint rollbacks.
+//! The compiled (structure-of-arrays) candidate search must return
+//! candidates **bit-for-bit** equal — placements, score, response time —
+//! to both the retained AoS fast path and the exhaustive reference path,
+//! on randomized systems (varied server-class mixes, background loads,
+//! granularities, excluded servers) and through evolving allocation
+//! states including savepoint rollbacks. The triangle (compiled vs AoS vs
+//! reference) localizes any divergence: compiled≠AoS blames the lowering,
+//! AoS≠reference blames the dedup/pruning machinery.
 //!
 //! This suite runs under the default features *and* under
 //! `check-incremental` (the CI job builds the whole workspace with that
@@ -10,8 +13,9 @@
 //! incremental-scoring cross-checks.
 
 use cloudalloc_core::{
-    assign_distribute_excluding, assign_distribute_reference, best_cluster, best_cluster_reference,
-    commit, commit_scored, Candidate, SolverConfig, SolverCtx,
+    assign_distribute_aos, assign_distribute_excluding, assign_distribute_reference, best_cluster,
+    best_cluster_aos, best_cluster_reference, commit, commit_scored, Candidate, SolverConfig,
+    SolverCtx,
 };
 use cloudalloc_model::{Allocation, ClientId, ClusterId, ScoredAllocation, ServerId};
 use cloudalloc_workload::{generate, Range, ScenarioConfig};
@@ -42,8 +46,9 @@ fn assert_bitwise_equal(fast: &Option<Candidate>, reference: &Option<Candidate>,
     }
 }
 
-/// Compares fast vs reference for every cluster of one client (including a
-/// possible excluded server), then for the argmax, and returns the argmax.
+/// Triple-compares compiled vs AoS vs reference for every cluster of one
+/// client (including a possible excluded server), then for the argmax,
+/// and returns the argmax.
 fn compare_all_searches(
     ctx: &SolverCtx<'_>,
     alloc: &Allocation,
@@ -51,14 +56,18 @@ fn compare_all_searches(
     exclude: Option<ServerId>,
 ) -> Option<Candidate> {
     for k in 0..ctx.system.num_clusters() {
-        let fast = assign_distribute_excluding(ctx, alloc, client, ClusterId(k), exclude);
+        let compiled = assign_distribute_excluding(ctx, alloc, client, ClusterId(k), exclude);
+        let aos = assign_distribute_aos(ctx, alloc, client, ClusterId(k), exclude);
         let reference = assign_distribute_reference(ctx, alloc, client, ClusterId(k), exclude);
-        assert_bitwise_equal(&fast, &reference, &format!("{client} cluster {k}"));
+        assert_bitwise_equal(&compiled, &aos, &format!("{client} cluster {k} (vs aos)"));
+        assert_bitwise_equal(&compiled, &reference, &format!("{client} cluster {k}"));
     }
-    let fast = best_cluster(ctx, alloc, client);
+    let compiled = best_cluster(ctx, alloc, client);
+    let aos = best_cluster_aos(ctx, alloc, client);
     let reference = best_cluster_reference(ctx, alloc, client);
-    assert_bitwise_equal(&fast, &reference, &format!("{client} best_cluster"));
-    fast
+    assert_bitwise_equal(&compiled, &aos, &format!("{client} best_cluster (vs aos)"));
+    assert_bitwise_equal(&compiled, &reference, &format!("{client} best_cluster"));
+    compiled
 }
 
 proptest! {
@@ -92,8 +101,10 @@ proptest! {
             let exclude = Some(ServerId(i % system.num_servers()));
             let cluster = ClusterId(i % system.num_clusters());
             let fast = assign_distribute_excluding(&ctx, &alloc, ClientId(i), cluster, exclude);
+            let aos = assign_distribute_aos(&ctx, &alloc, ClientId(i), cluster, exclude);
             let reference =
                 assign_distribute_reference(&ctx, &alloc, ClientId(i), cluster, exclude);
+            assert_bitwise_equal(&fast, &aos, &format!("client {i} excluding (vs aos)"));
             assert_bitwise_equal(&fast, &reference, &format!("client {i} excluding"));
 
             if let Some(cand) = compare_all_searches(&ctx, &alloc, ClientId(i), None) {
@@ -176,7 +187,9 @@ fn paper_scale_greedy_is_bitwise_identical() {
     let mut ref_alloc = Allocation::new(&system);
     for i in 0..system.num_clients() {
         let fast = best_cluster(&ctx, &fast_alloc, ClientId(i));
+        let aos = best_cluster_aos(&ctx, &fast_alloc, ClientId(i));
         let reference = best_cluster_reference(&ctx, &ref_alloc, ClientId(i));
+        assert_bitwise_equal(&fast, &aos, &format!("client {i} (vs aos)"));
         assert_bitwise_equal(&fast, &reference, &format!("client {i}"));
         if let Some(cand) = fast {
             commit(&ctx, &mut fast_alloc, ClientId(i), &cand);

@@ -41,7 +41,7 @@ fn run_iteration(ctx: &SolverCtx<'_>, seed: u64, iteration: usize) -> (Allocatio
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
-    let mut scored = ScoredAllocation::new(ctx.system, random_assignment(ctx, &mut rng));
+    let mut scored = ScoredAllocation::lowered(&ctx.compiled, random_assignment(ctx, &mut rng));
     let raw = scored.profit();
     let order: Vec<ClientId> = (0..ctx.system.num_clients()).map(ClientId).collect();
     for _ in 0..ctx.config.max_rounds {
@@ -83,6 +83,8 @@ pub fn monte_carlo_parallel(
         worst_polished: f64,
     }
     let shards: Vec<Shard> = thread::scope(|scope| {
+        // Workers share the context (and its lowering) by reference.
+        let ctx = &ctx;
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 scope.spawn(move || {
@@ -99,7 +101,7 @@ pub fn monte_carlo_parallel(
                     while idx < iterations {
                         let _iter_span = telemetry::span!("mc.iteration");
                         telemetry::counter!("mc.iterations").incr();
-                        let (alloc, raw, polished) = run_iteration(&ctx, seed, idx);
+                        let (alloc, raw, polished) = run_iteration(ctx, seed, idx);
                         shard.worst_raw = shard.worst_raw.min(raw);
                         shard.worst_polished = shard.worst_polished.min(polished);
                         let better = match &shard.best {

@@ -51,7 +51,7 @@ pub struct DistStats {
 /// One cluster agent: answers `Evaluate` with its best candidate score and
 /// commits on request, owning the partial allocation of its cluster.
 fn agent_loop(
-    ctx: SolverCtx<'_>,
+    ctx: &SolverCtx<'_>,
     cluster: ClusterId,
     rx: Receiver<ToAgent>,
     tx: Sender<FromAgent>,
@@ -63,7 +63,7 @@ fn agent_loop(
         match msg {
             ToAgent::Evaluate(client) => {
                 let start = Instant::now();
-                let candidate = assign_distribute(&ctx, &alloc, client, cluster);
+                let candidate = assign_distribute(ctx, &alloc, client, cluster);
                 busy += start.elapsed();
                 let score = candidate.as_ref().map(|c| c.score);
                 cached = candidate.map(|c| (client, c));
@@ -74,7 +74,7 @@ fn agent_loop(
                 let (cached_client, candidate) =
                     cached.take().expect("commit must follow an evaluate");
                 assert_eq!(cached_client, client, "commit/evaluate mismatch");
-                commit(&ctx, &mut alloc, client, &candidate);
+                commit(ctx, &mut alloc, client, &candidate);
                 busy += start.elapsed();
             }
             ToAgent::Finish => {
@@ -110,7 +110,9 @@ pub fn greedy_distributed_timed(
         for cluster in 0..k {
             let (tx_cmd, rx_cmd) = unbounded::<ToAgent>();
             let (tx_res, rx_res) = unbounded::<FromAgent>();
-            let agent_ctx = *ctx;
+            // Agents share the manager's context (and its lowering) by
+            // reference; the scope guarantees it outlives them.
+            let agent_ctx = ctx;
             scope.spawn(move || agent_loop(agent_ctx, ClusterId(cluster), rx_cmd, tx_res));
             to_agents.push(tx_cmd);
             from_agents.push(rx_res);
@@ -160,34 +162,35 @@ fn parallel_round(ctx: &SolverCtx<'_>, alloc: &Allocation) -> Allocation {
         let handles: Vec<_> = (0..system.num_clusters())
             .map(|k| {
                 let cluster = ClusterId(k);
-                let agent_ctx = *ctx;
+                let agent_ctx = ctx;
                 let base = alloc.clone();
                 scope.spawn(move || {
-                    let mut local = ScoredAllocation::new(agent_ctx.system, base);
+                    let mut local = ScoredAllocation::lowered(&agent_ctx.compiled, base);
                     let config = agent_ctx.config;
                     if config.adjust_shares {
                         let servers: Vec<ServerId> = agent_ctx
-                            .system
-                            .servers_in(cluster)
-                            .map(|s| s.id)
+                            .compiled
+                            .cluster_servers(cluster)
+                            .iter()
+                            .copied()
                             .filter(|&s| local.alloc().is_on(s))
                             .collect();
                         for server in servers {
-                            ops::adjust_resource_shares(&agent_ctx, &mut local, server);
+                            ops::adjust_resource_shares(agent_ctx, &mut local, server);
                         }
                     }
                     if config.adjust_dispersion {
                         for i in 0..agent_ctx.system.num_clients() {
                             if local.alloc().cluster_of(ClientId(i)) == Some(cluster) {
-                                ops::adjust_dispersion_rates(&agent_ctx, &mut local, ClientId(i));
+                                ops::adjust_dispersion_rates(agent_ctx, &mut local, ClientId(i));
                             }
                         }
                     }
                     if config.turn_on {
-                        ops::turn_on_servers(&agent_ctx, &mut local, cluster);
+                        ops::turn_on_servers(agent_ctx, &mut local, cluster);
                     }
                     if config.turn_off {
-                        ops::turn_off_servers(&agent_ctx, &mut local, cluster);
+                        ops::turn_off_servers(agent_ctx, &mut local, cluster);
                     }
                     local.into_allocation()
                 })
@@ -211,7 +214,7 @@ pub fn improve_distributed(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u6
         if config.reassign {
             order.shuffle(&mut rng);
             let owned = std::mem::replace(alloc, Allocation::new(system));
-            let mut scored = ScoredAllocation::new(system, owned);
+            let mut scored = ScoredAllocation::lowered(&ctx.compiled, owned);
             ops::reassign_clients(ctx, &mut scored, &order);
             *alloc = scored.into_allocation();
         }

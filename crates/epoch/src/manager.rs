@@ -158,6 +158,8 @@ impl<P: RatePredictor> EpochManager<P> {
         } else {
             // Small change: keep the assignment, re-run the local search
             // from the previous epoch's state (the paper's warm start).
+            // Building the context re-lowers the mutated system into its
+            // compiled runtime view — the one lowering step of this epoch.
             telemetry::counter!("epoch.warm_starts").incr();
             let _span = telemetry::span!("epoch.warm_start");
             let ctx = SolverCtx::new(&next_system, &self.config.solver);

@@ -21,8 +21,8 @@
 //! ```
 
 use crate::{
-    BackgroundLoad, Client, ClientId, CloudSystem, Cluster, ClusterId, Server, ServerClass,
-    ServerClassId, UtilityClass, UtilityClassId, UtilityFunction,
+    BackgroundLoad, Client, ClientId, CloudSystem, Cluster, ClusterId, ModelError, Server,
+    ServerClass, ServerClassId, UtilityClass, UtilityClassId, UtilityFunction,
 };
 
 /// Incrementally assembles a [`CloudSystem`].
@@ -138,6 +138,36 @@ impl SystemBuilder {
         id
     }
 
+    /// Materializes the [`CloudSystem`], reporting dangling references or
+    /// out-of-domain client parameters as typed errors.
+    pub fn try_build(self) -> Result<CloudSystem, ModelError> {
+        let mut system = CloudSystem::try_new(self.server_classes, self.utility_classes)?;
+        for k in 0..self.clusters {
+            system.try_add_cluster(Cluster::new(ClusterId(k)))?;
+        }
+        for (class, cluster, background) in self.servers {
+            system.try_add_server_with_background(Server::new(class, cluster), background)?;
+        }
+        for (idx, (utility, pred, agreed, exec_p, exec_c, storage)) in
+            self.clients.into_iter().enumerate()
+        {
+            // Construct literally (not via `Client::new`) so out-of-domain
+            // parameters surface as errors instead of panics.
+            let client = Client {
+                id: ClientId(idx),
+                utility_class: utility,
+                rate_predicted: pred,
+                rate_agreed: agreed,
+                exec_processing: exec_p,
+                exec_communication: exec_c,
+                storage,
+            };
+            client.validate()?;
+            system.try_add_client(client)?;
+        }
+        Ok(system)
+    }
+
     /// Materializes the [`CloudSystem`].
     ///
     /// # Panics
@@ -145,27 +175,7 @@ impl SystemBuilder {
     /// Panics if any referenced class or cluster does not exist, or any
     /// client parameter is out of domain (delegated validation).
     pub fn build(self) -> CloudSystem {
-        let mut system = CloudSystem::new(self.server_classes, self.utility_classes);
-        for k in 0..self.clusters {
-            system.add_cluster(Cluster::new(ClusterId(k)));
-        }
-        for (class, cluster, background) in self.servers {
-            system.add_server_with_background(Server::new(class, cluster), background);
-        }
-        for (idx, (utility, pred, agreed, exec_p, exec_c, storage)) in
-            self.clients.into_iter().enumerate()
-        {
-            system.add_client(Client::new(
-                ClientId(idx),
-                utility,
-                pred,
-                agreed,
-                exec_p,
-                exec_c,
-                storage,
-            ));
-        }
-        system
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -228,5 +238,26 @@ mod tests {
         let mut b = minimal();
         b.servers(ClusterId(9), ServerClassId(0), 1);
         let _ = b.build();
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let mut b = minimal();
+        b.servers(ClusterId(9), ServerClassId(0), 1);
+        assert!(matches!(b.try_build(), Err(ModelError::UnknownEntity { kind: "cluster", .. })));
+
+        let mut b = minimal();
+        b.client(UtilityClassId(9), 1.0, 0.5, 0.5, 0.5);
+        assert!(matches!(
+            b.try_build(),
+            Err(ModelError::UnknownEntity { kind: "utility class", .. })
+        ));
+
+        let mut b = minimal();
+        b.client(UtilityClassId(0), -1.0, 0.5, 0.5, 0.5);
+        assert!(matches!(
+            b.try_build(),
+            Err(ModelError::OutOfRange { field: "rate_predicted", .. })
+        ));
     }
 }

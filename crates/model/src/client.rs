@@ -72,6 +72,24 @@ impl Client {
         }
     }
 
+    /// Domain check for deserialized clients, which bypass [`Self::new`].
+    pub(crate) fn validate(&self) -> Result<(), crate::ModelError> {
+        for (field, v) in [
+            ("rate_predicted", self.rate_predicted),
+            ("rate_agreed", self.rate_agreed),
+            ("exec_processing", self.exec_processing),
+            ("exec_communication", self.exec_communication),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(crate::ModelError::OutOfRange { field, value: v });
+            }
+        }
+        if !(self.storage.is_finite() && self.storage >= 0.0) {
+            return Err(crate::ModelError::OutOfRange { field: "storage", value: self.storage });
+        }
+        Ok(())
+    }
+
     /// Minimum total processing capacity (in normalized units) needed to
     /// serve this client's predicted traffic with a stable queue:
     /// `λ_i · t̄^p_i`.

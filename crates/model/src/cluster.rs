@@ -42,6 +42,22 @@ impl BackgroundLoad {
     pub fn is_empty(&self) -> bool {
         self.phi_p == 0.0 && self.phi_c == 0.0 && self.storage == 0.0
     }
+
+    /// Domain check for deserialized loads, which bypass [`Self::new`].
+    pub(crate) fn validate(&self) -> Result<(), crate::ModelError> {
+        for (field, v) in [("background phi_p", self.phi_p), ("background phi_c", self.phi_c)] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(crate::ModelError::OutOfRange { field, value: v });
+            }
+        }
+        if !(self.storage.is_finite() && self.storage >= 0.0) {
+            return Err(crate::ModelError::OutOfRange {
+                field: "background storage",
+                value: self.storage,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A cluster: a set of servers behind one request dispatcher.

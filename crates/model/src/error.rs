@@ -21,6 +21,33 @@ pub enum ModelError {
         /// The offending value.
         value: f64,
     },
+    /// An entity declared an id that does not match the position it was
+    /// inserted (or cataloged) at.
+    IdMismatch {
+        /// Which kind of entity ("server class", "cluster", ...).
+        kind: &'static str,
+        /// "catalog" for class catalogs, "insertion" for dense entities.
+        slot: &'static str,
+        /// The id the entity declared.
+        declared: usize,
+        /// The position it actually occupies.
+        position: usize,
+    },
+    /// A cluster arrived at `add_cluster` already listing servers.
+    NonEmptyCluster,
+    /// A server's background storage does not fit its class.
+    BackgroundStorageOverflow {
+        /// Background storage the server carries.
+        used: f64,
+        /// The class's storage capacity.
+        capacity: f64,
+    },
+    /// A deserialized system's parallel structures disagree (lengths,
+    /// cluster membership lists, ...).
+    Inconsistent {
+        /// What disagreed.
+        what: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -32,6 +59,22 @@ impl fmt::Display for ModelError {
             Self::OutOfRange { field, value } => {
                 write!(f, "field {field} out of range: {value}")
             }
+            Self::IdMismatch { kind, slot, declared, position } => {
+                write!(
+                    f,
+                    "{kind} id must match its {slot} position (declared {declared}, at {position})"
+                )
+            }
+            Self::NonEmptyCluster => {
+                write!(
+                    f,
+                    "cluster already lists servers; attach servers via CloudSystem::add_server"
+                )
+            }
+            Self::BackgroundStorageOverflow { used, capacity } => {
+                write!(f, "background storage {used} exceeds class capacity {capacity}")
+            }
+            Self::Inconsistent { what } => write!(f, "inconsistent system: {what}"),
         }
     }
 }
@@ -48,6 +91,30 @@ mod tests {
         assert_eq!(e.to_string(), "unknown server index 3");
         let e = ModelError::OutOfRange { field: "alpha", value: 1.5 };
         assert_eq!(e.to_string(), "field alpha out of range: 1.5");
+    }
+
+    #[test]
+    fn new_variants_render_legibly() {
+        let e = ModelError::IdMismatch {
+            kind: "server class",
+            slot: "catalog",
+            declared: 4,
+            position: 2,
+        };
+        assert!(e.to_string().contains("server class id must match its catalog position"));
+        assert!(ModelError::NonEmptyCluster
+            .to_string()
+            .contains("attach servers via CloudSystem::add_server"));
+        let e = ModelError::BackgroundStorageOverflow { used: 5.0, capacity: 2.0 };
+        assert!(e.to_string().contains("background storage 5 exceeds class capacity 2"));
+        let e = ModelError::Inconsistent { what: "3 background entries for 4 servers".into() };
+        assert!(e.to_string().starts_with("inconsistent system:"));
+        for e in [
+            ModelError::NonEmptyCluster.to_string(),
+            ModelError::BackgroundStorageOverflow { used: 1.0, capacity: 0.5 }.to_string(),
+        ] {
+            assert!(!e.ends_with('.'));
+        }
     }
 
     #[test]

@@ -30,8 +30,10 @@
 use cloudalloc_telemetry as telemetry;
 
 use crate::allocation::{Allocation, Placement, ServerLoad};
+use crate::compiled::CompiledSystem;
 use crate::eval::{evaluate_client, ClientOutcome};
 use crate::ids::{ClientId, ClusterId, ServerId};
+use crate::server::ServerClass;
 use crate::CloudSystem;
 
 /// A journal mark; rolling back to it restores the exact state the
@@ -78,6 +80,11 @@ fn compensated_add(sum: &mut f64, comp: &mut f64, x: f64) {
 #[derive(Debug)]
 pub struct ScoredAllocation<'a> {
     system: &'a CloudSystem,
+    /// Lowered runtime view, when the caller went through
+    /// [`ScoredAllocation::lowered`]; rescoring then reads system facts
+    /// from the flat arrays instead of the AoS model. `None` keeps the
+    /// frontend path as the retained reference.
+    compiled: Option<&'a CompiledSystem<'a>>,
     alloc: Allocation,
     /// Cached `evaluate_client` result per client; stale iff dirty.
     outcomes: Vec<ClientOutcome>,
@@ -98,7 +105,23 @@ pub struct ScoredAllocation<'a> {
 
 impl<'a> ScoredAllocation<'a> {
     /// Wraps `alloc`, seeding every cache with a from-scratch evaluation.
-    pub fn new(system: &'a CloudSystem, mut alloc: Allocation) -> Self {
+    pub fn new(system: &'a CloudSystem, alloc: Allocation) -> Self {
+        Self::with_compiled(system, None, alloc)
+    }
+
+    /// Wraps `alloc` against a lowered [`CompiledSystem`]: the solver's
+    /// production constructor. Behaves bit-for-bit like
+    /// [`ScoredAllocation::new`] on the same system, but every rescore
+    /// reads the structure-of-arrays view.
+    pub fn lowered(compiled: &'a CompiledSystem<'a>, alloc: Allocation) -> Self {
+        Self::with_compiled(compiled.system(), Some(compiled), alloc)
+    }
+
+    fn with_compiled(
+        system: &'a CloudSystem,
+        compiled: Option<&'a CompiledSystem<'a>>,
+        mut alloc: Allocation,
+    ) -> Self {
         // Candidate searches prune clusters via the slack index; make sure
         // it exists (deserialized allocations arrive without one).
         alloc.build_slack_index(system);
@@ -106,6 +129,7 @@ impl<'a> ScoredAllocation<'a> {
         let m = system.num_servers();
         let mut this = Self {
             system,
+            compiled,
             alloc,
             outcomes: vec![ClientOutcome { response_time: f64::INFINITY, revenue: 0.0 }; n],
             client_dirty: vec![false; n],
@@ -122,14 +146,14 @@ impl<'a> ScoredAllocation<'a> {
             journal: Vec::new(),
         };
         for i in 0..n {
-            let outcome = evaluate_client(system, &this.alloc, ClientId(i));
+            let outcome = this.score_client(ClientId(i));
             compensated_add(&mut this.revenue, &mut this.revenue_comp, outcome.revenue);
             this.outcomes[i] = outcome;
         }
         for j in 0..m {
             let load = this.alloc.load(ServerId(j));
             if load.is_on() {
-                let class = system.class_of(ServerId(j));
+                let class = this.resolved_class(ServerId(j));
                 let c = class.operation_cost(load.work_processing / class.cap_processing);
                 compensated_add(&mut this.cost, &mut this.cost_comp, c);
                 this.server_cost[j] = c;
@@ -138,6 +162,24 @@ impl<'a> ScoredAllocation<'a> {
             }
         }
         this
+    }
+
+    /// Rescores one client through the compiled view when lowered, the
+    /// frontend model otherwise; identical results either way.
+    fn score_client(&self, client: ClientId) -> ClientOutcome {
+        match self.compiled {
+            Some(cs) => cs.evaluate_client(&self.alloc, client),
+            None => evaluate_client(self.system, &self.alloc, client),
+        }
+    }
+
+    /// Hardware class of `server`, read through the compiled arrays when
+    /// lowered.
+    fn resolved_class(&self, server: ServerId) -> &'a ServerClass {
+        match self.compiled {
+            Some(cs) => cs.class_of(server),
+            None => self.system.class_of(server),
+        }
     }
 
     /// Wraps a fresh empty allocation for `system`.
@@ -383,7 +425,7 @@ impl<'a> ScoredAllocation<'a> {
         self.client_dirty[i] = false;
         let prev = self.outcomes[i];
         self.journal.push(Undo::ClientCache { client, prev, prev_dirty: true });
-        let new = evaluate_client(self.system, &self.alloc, client);
+        let new = self.score_client(client);
         compensated_add(&mut self.revenue, &mut self.revenue_comp, new.revenue - prev.revenue);
         self.outcomes[i] = new;
     }
@@ -399,7 +441,7 @@ impl<'a> ScoredAllocation<'a> {
         let load = self.alloc.load(server);
         let on = load.is_on();
         let new_cost = if on {
-            let class = self.system.class_of(server);
+            let class = self.resolved_class(server);
             class.operation_cost(load.work_processing / class.cap_processing)
         } else {
             0.0
@@ -580,6 +622,35 @@ mod tests {
         // Unplaced clients keep the zero outcome.
         assert_eq!(scored.outcome(ClientId(2)).revenue, 0.0);
         agrees_with_full(&mut scored);
+    }
+
+    #[test]
+    fn lowered_scorer_matches_plain_bitwise() {
+        let system = fixture();
+        let compiled = CompiledSystem::new(&system);
+        let mut plain = ScoredAllocation::fresh(&system);
+        let mut low = ScoredAllocation::lowered(&compiled, Allocation::new(&system));
+        let step = |s: &mut ScoredAllocation<'_>| {
+            s.assign_cluster(ClientId(0), ClusterId(0));
+            s.place(ClientId(0), ServerId(0), Placement { alpha: 0.7, phi_p: 0.5, phi_c: 0.5 });
+            s.place(ClientId(0), ServerId(1), Placement { alpha: 0.3, phi_p: 0.2, phi_c: 0.2 });
+            s.assign_cluster(ClientId(1), ClusterId(1));
+            s.place(ClientId(1), ServerId(2), Placement { alpha: 1.0, phi_p: 0.6, phi_c: 0.6 });
+            let mark = s.savepoint();
+            s.clear_client(ClientId(0));
+            s.rollback_to(mark);
+            s.remove(ClientId(1), ServerId(2));
+        };
+        step(&mut plain);
+        step(&mut low);
+        assert_eq!(plain.profit().to_bits(), low.profit().to_bits());
+        for i in 0..system.num_clients() {
+            let a = plain.outcome(ClientId(i));
+            let b = low.outcome(ClientId(i));
+            assert_eq!(a.revenue.to_bits(), b.revenue.to_bits());
+            assert_eq!(a.response_time.to_bits(), b.response_time.to_bits());
+        }
+        assert_eq!(plain.num_active_servers(), low.num_active_servers());
     }
 
     #[test]

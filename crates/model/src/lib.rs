@@ -50,6 +50,7 @@ mod allocation;
 mod builder;
 mod client;
 mod cluster;
+mod compiled;
 mod error;
 mod eval;
 mod ids;
@@ -62,6 +63,7 @@ pub use allocation::{Allocation, ClusterSlack, Placement, ServerLoad};
 pub use builder::SystemBuilder;
 pub use client::Client;
 pub use cluster::{BackgroundLoad, Cluster};
+pub use compiled::CompiledSystem;
 pub use error::ModelError;
 pub use eval::{
     check_feasibility, evaluate, evaluate_client, is_stable, placement_response_time,
@@ -69,7 +71,7 @@ pub use eval::{
 };
 pub use ids::{ClientId, ClusterId, ServerClassId, ServerId, UtilityClassId};
 pub use incremental::{Savepoint, ScoredAllocation};
-pub use server::{Server, ServerClass};
+pub use server::{Server, ServerClass, ServerRef};
 pub use system::CloudSystem;
 pub use utility::{UtilityClass, UtilityFunction};
 

@@ -64,6 +64,27 @@ impl ServerClass {
         }
     }
 
+    /// Domain check for deserialized classes, which bypass [`Self::new`].
+    pub(crate) fn validate(&self) -> Result<(), crate::ModelError> {
+        for (field, v) in [
+            ("cap_processing", self.cap_processing),
+            ("cap_storage", self.cap_storage),
+            ("cap_communication", self.cap_communication),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(crate::ModelError::OutOfRange { field, value: v });
+            }
+        }
+        for (field, v) in
+            [("cost_fixed", self.cost_fixed), ("cost_per_utilization", self.cost_per_utilization)]
+        {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(crate::ModelError::OutOfRange { field, value: v });
+            }
+        }
+        Ok(())
+    }
+
     /// Operation cost of an ON server of this class running at processing
     /// utilization `rho ∈ [0, 1]`.
     ///

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::client::Client;
 use crate::cluster::{BackgroundLoad, Cluster};
+use crate::error::ModelError;
 use crate::ids::{ClientId, ClusterId, ServerClassId, ServerId, UtilityClassId};
 use crate::server::{Server, ServerClass, ServerRef};
 use crate::utility::{UtilityClass, UtilityFunction};
@@ -26,26 +27,69 @@ pub struct CloudSystem {
 }
 
 impl CloudSystem {
-    /// Creates a system from a hardware catalog and an SLA catalog.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any catalog entry's id does not match its position.
-    pub fn new(server_classes: Vec<ServerClass>, utility_classes: Vec<UtilityClass>) -> Self {
+    /// Creates a system from a hardware catalog and an SLA catalog,
+    /// reporting catalog-position mismatches as typed errors.
+    pub fn try_new(
+        server_classes: Vec<ServerClass>,
+        utility_classes: Vec<UtilityClass>,
+    ) -> Result<Self, ModelError> {
         for (pos, sc) in server_classes.iter().enumerate() {
-            assert_eq!(sc.id.index(), pos, "server class id must match its catalog position");
+            if sc.id.index() != pos {
+                return Err(ModelError::IdMismatch {
+                    kind: "server class",
+                    slot: "catalog",
+                    declared: sc.id.index(),
+                    position: pos,
+                });
+            }
         }
         for (pos, uc) in utility_classes.iter().enumerate() {
-            assert_eq!(uc.id.index(), pos, "utility class id must match its catalog position");
+            if uc.id.index() != pos {
+                return Err(ModelError::IdMismatch {
+                    kind: "utility class",
+                    slot: "catalog",
+                    declared: uc.id.index(),
+                    position: pos,
+                });
+            }
         }
-        Self {
+        Ok(Self {
             server_classes,
             utility_classes,
             clusters: Vec::new(),
             servers: Vec::new(),
             background: Vec::new(),
             clients: Vec::new(),
+        })
+    }
+
+    /// Creates a system from a hardware catalog and an SLA catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any catalog entry's id does not match its position.
+    pub fn new(server_classes: Vec<ServerClass>, utility_classes: Vec<UtilityClass>) -> Self {
+        Self::try_new(server_classes, utility_classes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a cluster, returning its id, or a typed error when the
+    /// declared id does not match its position or the cluster already
+    /// lists servers (servers are attached via [`CloudSystem::add_server`]).
+    pub fn try_add_cluster(&mut self, cluster: Cluster) -> Result<ClusterId, ModelError> {
+        if cluster.id.index() != self.clusters.len() {
+            return Err(ModelError::IdMismatch {
+                kind: "cluster",
+                slot: "insertion",
+                declared: cluster.id.index(),
+                position: self.clusters.len(),
+            });
         }
+        if !cluster.is_empty() {
+            return Err(ModelError::NonEmptyCluster);
+        }
+        let id = cluster.id;
+        self.clusters.push(cluster);
+        Ok(id)
     }
 
     /// Adds a cluster, returning its id.
@@ -57,15 +101,13 @@ impl CloudSystem {
     ///
     /// [`add_server`]: CloudSystem::add_server
     pub fn add_cluster(&mut self, cluster: Cluster) -> ClusterId {
-        assert_eq!(
-            cluster.id.index(),
-            self.clusters.len(),
-            "cluster id must match its insertion position"
-        );
-        assert!(cluster.is_empty(), "attach servers via CloudSystem::add_server");
-        let id = cluster.id;
-        self.clusters.push(cluster);
-        id
+        self.try_add_cluster(cluster).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a server with no background load, returning its global id or
+    /// a typed error for unknown class/cluster references.
+    pub fn try_add_server(&mut self, server: Server) -> Result<ServerId, ModelError> {
+        self.try_add_server_with_background(server, BackgroundLoad::default())
     }
 
     /// Adds a server with no background load, returning its global id.
@@ -74,7 +116,39 @@ impl CloudSystem {
     ///
     /// Panics if the server references an unknown class or cluster.
     pub fn add_server(&mut self, server: Server) -> ServerId {
-        self.add_server_with_background(server, BackgroundLoad::default())
+        self.try_add_server(server).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a server that already carries background load, returning a
+    /// typed error for unknown references or background storage that does
+    /// not fit the class.
+    pub fn try_add_server_with_background(
+        &mut self,
+        server: Server,
+        background: BackgroundLoad,
+    ) -> Result<ServerId, ModelError> {
+        let class =
+            self.server_classes.get(server.class.index()).ok_or(ModelError::UnknownEntity {
+                kind: "server class",
+                index: server.class.index(),
+            })?;
+        if background.storage > class.cap_storage {
+            return Err(ModelError::BackgroundStorageOverflow {
+                used: background.storage,
+                capacity: class.cap_storage,
+            });
+        }
+        if server.cluster.index() >= self.clusters.len() {
+            return Err(ModelError::UnknownEntity {
+                kind: "cluster",
+                index: server.cluster.index(),
+            });
+        }
+        let id = ServerId(self.servers.len());
+        self.clusters[server.cluster.index()].servers.push(id);
+        self.servers.push(server);
+        self.background.push(background);
+        Ok(id)
     }
 
     /// Adds a server that already carries background load.
@@ -88,22 +162,29 @@ impl CloudSystem {
         server: Server,
         background: BackgroundLoad,
     ) -> ServerId {
-        let class = self
-            .server_classes
-            .get(server.class.index())
-            .unwrap_or_else(|| panic!("unknown server class {}", server.class));
-        assert!(
-            background.storage <= class.cap_storage,
-            "background storage {} exceeds class capacity {}",
-            background.storage,
-            class.cap_storage
-        );
-        assert!(server.cluster.index() < self.clusters.len(), "unknown cluster {}", server.cluster);
-        let id = ServerId(self.servers.len());
-        self.clusters[server.cluster.index()].servers.push(id);
-        self.servers.push(server);
-        self.background.push(background);
-        id
+        self.try_add_server_with_background(server, background).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a client, returning its id or a typed error when the declared
+    /// id does not match its position or the utility class is unknown.
+    pub fn try_add_client(&mut self, client: Client) -> Result<ClientId, ModelError> {
+        if client.id.index() != self.clients.len() {
+            return Err(ModelError::IdMismatch {
+                kind: "client",
+                slot: "insertion",
+                declared: client.id.index(),
+                position: self.clients.len(),
+            });
+        }
+        if client.utility_class.index() >= self.utility_classes.len() {
+            return Err(ModelError::UnknownEntity {
+                kind: "utility class",
+                index: client.utility_class.index(),
+            });
+        }
+        let id = client.id;
+        self.clients.push(client);
+        Ok(id)
     }
 
     /// Adds a client, returning its id.
@@ -113,19 +194,124 @@ impl CloudSystem {
     /// Panics if the client's declared id does not match its position or it
     /// references an unknown utility class.
     pub fn add_client(&mut self, client: Client) -> ClientId {
-        assert_eq!(
-            client.id.index(),
-            self.clients.len(),
-            "client id must match its insertion position"
-        );
-        assert!(
-            client.utility_class.index() < self.utility_classes.len(),
-            "unknown utility class {}",
-            client.utility_class
-        );
-        let id = client.id;
-        self.clients.push(client);
-        id
+        self.try_add_client(client).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Full consistency check for systems that *bypassed* the fallible
+    /// constructors — serde derives on the private fields mean a
+    /// deserialized JSON scenario never went through `try_add_*`. The CLI
+    /// calls this right after loading untrusted input.
+    ///
+    /// Verifies the structural invariants (ids match positions, every
+    /// reference resolves, cluster membership lists agree with the server
+    /// records) and the numeric domains every panicking constructor
+    /// enforces.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (pos, sc) in self.server_classes.iter().enumerate() {
+            if sc.id.index() != pos {
+                return Err(ModelError::IdMismatch {
+                    kind: "server class",
+                    slot: "catalog",
+                    declared: sc.id.index(),
+                    position: pos,
+                });
+            }
+            sc.validate()?;
+        }
+        for (pos, uc) in self.utility_classes.iter().enumerate() {
+            if uc.id.index() != pos {
+                return Err(ModelError::IdMismatch {
+                    kind: "utility class",
+                    slot: "catalog",
+                    declared: uc.id.index(),
+                    position: pos,
+                });
+            }
+            uc.function.validate()?;
+        }
+        if self.background.len() != self.servers.len() {
+            return Err(ModelError::Inconsistent {
+                what: format!(
+                    "{} background entries for {} servers",
+                    self.background.len(),
+                    self.servers.len()
+                ),
+            });
+        }
+        for (pos, cluster) in self.clusters.iter().enumerate() {
+            if cluster.id.index() != pos {
+                return Err(ModelError::IdMismatch {
+                    kind: "cluster",
+                    slot: "insertion",
+                    declared: cluster.id.index(),
+                    position: pos,
+                });
+            }
+        }
+        let mut listed = vec![false; self.servers.len()];
+        for cluster in &self.clusters {
+            for &sid in &cluster.servers {
+                let Some(server) = self.servers.get(sid.index()) else {
+                    return Err(ModelError::UnknownEntity { kind: "server", index: sid.index() });
+                };
+                if server.cluster != cluster.id {
+                    return Err(ModelError::Inconsistent {
+                        what: format!(
+                            "{sid} is listed by {} but records {}",
+                            cluster.id, server.cluster
+                        ),
+                    });
+                }
+                if std::mem::replace(&mut listed[sid.index()], true) {
+                    return Err(ModelError::Inconsistent {
+                        what: format!("{sid} appears twice in cluster membership lists"),
+                    });
+                }
+            }
+        }
+        if let Some(unlisted) = listed.iter().position(|&seen| !seen) {
+            return Err(ModelError::Inconsistent {
+                what: format!("s{unlisted} is missing from its cluster's membership list"),
+            });
+        }
+        for (server, background) in self.servers.iter().zip(&self.background) {
+            let class =
+                self.server_classes.get(server.class.index()).ok_or(ModelError::UnknownEntity {
+                    kind: "server class",
+                    index: server.class.index(),
+                })?;
+            if server.cluster.index() >= self.clusters.len() {
+                return Err(ModelError::UnknownEntity {
+                    kind: "cluster",
+                    index: server.cluster.index(),
+                });
+            }
+            background.validate()?;
+            if background.storage > class.cap_storage {
+                return Err(ModelError::BackgroundStorageOverflow {
+                    used: background.storage,
+                    capacity: class.cap_storage,
+                });
+            }
+        }
+        for (pos, client) in self.clients.iter().enumerate() {
+            if client.id.index() != pos {
+                return Err(ModelError::IdMismatch {
+                    kind: "client",
+                    slot: "insertion",
+                    declared: client.id.index(),
+                    position: pos,
+                });
+            }
+            if client.utility_class.index() >= self.utility_classes.len() {
+                return Err(ModelError::UnknownEntity {
+                    kind: "utility class",
+                    index: client.utility_class.index(),
+                });
+            }
+            client.validate()?;
+        }
+        Ok(())
     }
 
     /// The hardware catalog.
@@ -240,26 +426,29 @@ impl CloudSystem {
         self.background[id.index()]
     }
 
+    /// Resolved view of server `id` — the shared [`ServerRef`]
+    /// construction site used by every iteration helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn server_ref(&self, id: ServerId) -> ServerRef<'_> {
+        let server = self.server(id);
+        ServerRef { id, server, class: self.server_class(server.class) }
+    }
+
     /// Iterates over the servers of cluster `cluster` with resolved classes.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range.
     pub fn servers_in(&self, cluster: ClusterId) -> impl Iterator<Item = ServerRef<'_>> + '_ {
-        self.clusters[cluster.index()].servers.iter().map(move |&id| ServerRef {
-            id,
-            server: self.server(id),
-            class: self.class_of(id),
-        })
+        self.clusters[cluster.index()].servers.iter().map(move |&id| self.server_ref(id))
     }
 
     /// Iterates over every server in the system with resolved classes.
     pub fn all_servers(&self) -> impl Iterator<Item = ServerRef<'_>> + '_ {
-        self.servers.iter().enumerate().map(move |(idx, server)| ServerRef {
-            id: ServerId(idx),
-            server,
-            class: self.server_class(server.class),
-        })
+        (0..self.servers.len()).map(move |idx| self.server_ref(ServerId(idx)))
     }
 
     /// Total raw processing capacity of the datacenter (sum of `C^p` over
@@ -379,5 +568,87 @@ mod tests {
         let sys = two_cluster_system();
         let json = serde_json::to_string(&sys).unwrap();
         assert_eq!(serde_json::from_str::<CloudSystem>(&json).unwrap(), sys);
+    }
+
+    #[test]
+    fn validate_accepts_constructed_systems() {
+        two_cluster_system().validate().expect("constructed systems are consistent");
+    }
+
+    #[test]
+    fn try_constructors_report_typed_errors() {
+        let mut sys = two_cluster_system();
+        assert!(matches!(
+            sys.try_add_server(Server::new(ServerClassId(9), ClusterId(0))),
+            Err(ModelError::UnknownEntity { kind: "server class", index: 9 })
+        ));
+        assert!(matches!(
+            sys.try_add_server(Server::new(ServerClassId(0), ClusterId(9))),
+            Err(ModelError::UnknownEntity { kind: "cluster", index: 9 })
+        ));
+        assert!(matches!(
+            sys.try_add_cluster(Cluster::new(ClusterId(7))),
+            Err(ModelError::IdMismatch { kind: "cluster", .. })
+        ));
+        assert!(matches!(
+            sys.try_add_client(Client::new(
+                ClientId(5),
+                UtilityClassId(0),
+                1.0,
+                1.0,
+                1.0,
+                1.0,
+                0.0
+            )),
+            Err(ModelError::IdMismatch { kind: "client", .. })
+        ));
+        assert!(matches!(
+            sys.try_add_server_with_background(
+                Server::new(ServerClassId(0), ClusterId(0)),
+                BackgroundLoad::new(0.0, 0.0, 100.0),
+            ),
+            Err(ModelError::BackgroundStorageOverflow { .. })
+        ));
+        // Failed attempts must not have mutated the system.
+        sys.validate().expect("rejected inserts leave the system consistent");
+        assert_eq!(sys.num_servers(), 3);
+        assert_eq!(sys.num_clients(), 1);
+    }
+
+    #[test]
+    fn validate_catches_serde_smuggled_domain_violations() {
+        // Serde derives bypass the fallible constructors entirely, so a
+        // JSON scenario can smuggle out-of-domain numbers; validate() is
+        // the CLI's defense. Corrupt a distinctive value in transit.
+        let mut sys = two_cluster_system();
+        sys.add_client(Client::new(ClientId(1), UtilityClassId(0), 7.25, 1.0, 0.5, 0.5, 1.0));
+        let json = serde_json::to_string(&sys).unwrap();
+        let bad = json.replace("7.25", "-7.25");
+        let smuggled: CloudSystem = serde_json::from_str(&bad).unwrap();
+        assert!(matches!(
+            smuggled.validate(),
+            Err(ModelError::OutOfRange { field: "rate_predicted", .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_serde_smuggled_membership_corruption() {
+        let sys = two_cluster_system();
+        let json = serde_json::to_string(&sys).unwrap();
+        // Cluster 1 owns server 2; rewriting the membership list to claim
+        // server 0 (owned by cluster 0) must be caught.
+        let corrupted = json.replacen("[2]", "[0]", 1);
+        assert_ne!(corrupted, json, "fixture drifted: cluster 1 no longer serializes as [2]");
+        let smuggled: CloudSystem = serde_json::from_str(&corrupted).unwrap();
+        assert!(matches!(smuggled.validate(), Err(ModelError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn server_ref_resolves_id_record_and_class() {
+        let sys = two_cluster_system();
+        let r = sys.server_ref(ServerId(1));
+        assert_eq!(r.id, ServerId(1));
+        assert!(std::ptr::eq(r.server, sys.server(ServerId(1))));
+        assert!(std::ptr::eq(r.class, sys.class_of(ServerId(1))));
     }
 }

@@ -102,6 +102,60 @@ impl UtilityFunction {
         Self::Exponential { intercept, tau }
     }
 
+    /// Domain check for deserialized functions, which bypass the
+    /// panicking constructors.
+    pub(crate) fn validate(&self) -> Result<(), crate::ModelError> {
+        use crate::ModelError;
+        match self {
+            Self::Linear { intercept, slope } => {
+                if !(intercept.is_finite() && *intercept > 0.0) {
+                    return Err(ModelError::OutOfRange {
+                        field: "utility intercept",
+                        value: *intercept,
+                    });
+                }
+                if !(slope.is_finite() && *slope >= 0.0) {
+                    return Err(ModelError::OutOfRange { field: "utility slope", value: *slope });
+                }
+            }
+            Self::Step { levels } => {
+                if levels.is_empty() {
+                    return Err(ModelError::Inconsistent {
+                        what: "step utility needs at least one level".into(),
+                    });
+                }
+                let mut prev_t = 0.0;
+                let mut prev_v = f64::INFINITY;
+                for &(t, v) in levels {
+                    if !(t.is_finite() && t > prev_t) {
+                        return Err(ModelError::Inconsistent {
+                            what: "step thresholds must be positive and strictly increasing".into(),
+                        });
+                    }
+                    if !(v.is_finite() && v >= 0.0 && v <= prev_v) {
+                        return Err(ModelError::Inconsistent {
+                            what: "step prices must be non-negative and non-increasing".into(),
+                        });
+                    }
+                    prev_t = t;
+                    prev_v = v;
+                }
+            }
+            Self::Exponential { intercept, tau } => {
+                if !(intercept.is_finite() && *intercept > 0.0) {
+                    return Err(ModelError::OutOfRange {
+                        field: "utility intercept",
+                        value: *intercept,
+                    });
+                }
+                if !(tau.is_finite() && *tau > 0.0) {
+                    return Err(ModelError::OutOfRange { field: "utility tau", value: *tau });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Price earned per request at mean response time `r`.
     ///
     /// Returns `0.0` for infinite `r` (an unserved client earns nothing).

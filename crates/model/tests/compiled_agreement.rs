@@ -1,0 +1,191 @@
+//! Property tests pinning the [`CompiledSystem`] lowering to the
+//! [`CloudSystem`] frontend accessors: on arbitrary built systems, every
+//! compiled field must agree — bit-for-bit for cached floats — with the
+//! frontend value it replaces, and re-lowering after a system mutation
+//! (`with_predicted_rates`) must stay consistent with the mutated model.
+
+use cloudalloc_model::{
+    BackgroundLoad, Client, ClientId, CloudSystem, Cluster, ClusterId, CompiledSystem, Server,
+    ServerClass, ServerClassId, ServerId, UtilityClass, UtilityClassId, UtilityFunction,
+};
+use proptest::prelude::*;
+
+/// One server row of a [`SystemSpec`]: (class index, cluster index,
+/// optional background `(φ^p, φ^c)`).
+type ServerSpec = (usize, usize, Option<(f64, f64)>);
+
+/// Compact recipe for one arbitrary system; kept as plain data so shrunk
+/// counterexamples print readably.
+#[derive(Debug, Clone)]
+struct SystemSpec {
+    classes: Vec<(f64, f64, f64, f64, f64)>,
+    utilities: Vec<(f64, f64)>,
+    servers: Vec<ServerSpec>,
+    num_clusters: usize,
+    /// Per client: (utility index, λ, λ̃, t̄p, t̄c, storage).
+    clients: Vec<(usize, f64, f64, f64, f64, f64)>,
+}
+
+fn build(spec: &SystemSpec) -> CloudSystem {
+    let classes: Vec<ServerClass> = spec
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, &(cp, cs, cc, p0, p1))| ServerClass::new(ServerClassId(i), cp, cs, cc, p0, p1))
+        .collect();
+    let utilities: Vec<UtilityClass> = spec
+        .utilities
+        .iter()
+        .enumerate()
+        .map(|(i, &(intercept, slope))| {
+            UtilityClass::new(UtilityClassId(i), UtilityFunction::linear(intercept, slope))
+        })
+        .collect();
+    let mut sys = CloudSystem::new(classes, utilities);
+    for k in 0..spec.num_clusters {
+        sys.add_cluster(Cluster::new(ClusterId(k)));
+    }
+    for &(class, cluster, bg) in &spec.servers {
+        let class = ServerClassId(class % spec.classes.len());
+        let cluster = ClusterId(cluster % spec.num_clusters);
+        match bg {
+            None => sys.add_server(Server::new(class, cluster)),
+            Some((phi_p, phi_c)) => sys.add_server_with_background(
+                Server::new(class, cluster),
+                BackgroundLoad::new(phi_p, phi_c, 0.0),
+            ),
+        };
+    }
+    for (i, &(util, rate_p, rate_a, exec_p, exec_c, storage)) in spec.clients.iter().enumerate() {
+        sys.add_client(Client::new(
+            ClientId(i),
+            UtilityClassId(util % spec.utilities.len()),
+            rate_p,
+            rate_a,
+            exec_p,
+            exec_c,
+            storage,
+        ));
+    }
+    sys
+}
+
+fn arb_spec() -> impl Strategy<Value = SystemSpec> {
+    let pos = 0.1f64..8.0;
+    let classes = proptest::collection::vec(
+        (pos.clone(), pos.clone(), pos.clone(), 0.0f64..4.0, 0.0f64..2.0),
+        1..4,
+    );
+    let utilities = proptest::collection::vec((0.5f64..5.0, 0.05f64..2.0), 1..3);
+    let servers = proptest::collection::vec(
+        (0usize..8, 0usize..8, any::<bool>(), 0.0f64..0.5, 0.0f64..0.5),
+        1..10,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(class, cluster, has_bg, phi_p, phi_c)| {
+                (class, cluster, has_bg.then_some((phi_p, phi_c)))
+            })
+            .collect::<Vec<_>>()
+    });
+    let clients = proptest::collection::vec(
+        (0usize..8, pos.clone(), pos.clone(), pos.clone(), pos, 0.0f64..2.0),
+        0..8,
+    );
+    (classes, utilities, servers, 1usize..4, clients).prop_map(
+        |(classes, utilities, servers, num_clusters, clients)| SystemSpec {
+            classes,
+            utilities,
+            servers,
+            num_clusters,
+            clients,
+        },
+    )
+}
+
+/// Every compiled field must agree with the frontend accessor it caches;
+/// float caches must agree bit-for-bit.
+fn assert_agreement(sys: &CloudSystem, cs: &CompiledSystem<'_>) {
+    assert_eq!(cs.num_clients(), sys.num_clients());
+    assert_eq!(cs.num_servers(), sys.num_servers());
+    assert_eq!(cs.num_clusters(), sys.num_clusters());
+
+    for j in 0..sys.num_servers() {
+        let id = ServerId(j);
+        let class = sys.class_of(id);
+        assert_eq!(cs.class_index(id), sys.server(id).class.index());
+        assert_eq!(cs.cluster_index(id), sys.server(id).cluster.index());
+        assert!(std::ptr::eq(cs.class_of(id), class), "server {j}: class identity");
+        assert_eq!(cs.cap_processing(id).to_bits(), class.cap_processing.to_bits());
+        assert_eq!(cs.cap_communication(id).to_bits(), class.cap_communication.to_bits());
+        assert_eq!(cs.cap_storage(id).to_bits(), class.cap_storage.to_bits());
+        assert_eq!(cs.cost_fixed(id).to_bits(), class.cost_fixed.to_bits());
+        assert_eq!(cs.cost_per_utilization(id).to_bits(), class.cost_per_utilization.to_bits());
+        assert_eq!(cs.background(id), sys.background(id));
+        let sref = cs.server_ref(id);
+        assert_eq!(sref.id, id);
+        assert!(std::ptr::eq(sref.class, class));
+    }
+
+    for k in 0..sys.num_clusters() {
+        let cluster = ClusterId(k);
+        let frontend: Vec<ServerId> = sys.servers_in(cluster).map(|s| s.id).collect();
+        assert_eq!(cs.cluster_servers(cluster), &frontend[..], "cluster {k}: scan order");
+        let compiled: Vec<ServerId> = cs.servers_in(cluster).map(|s| s.id).collect();
+        assert_eq!(compiled, frontend, "cluster {k}: servers_in order");
+    }
+
+    for c in sys.clients() {
+        assert_eq!(cs.rate_predicted(c.id).to_bits(), c.rate_predicted.to_bits());
+        assert_eq!(cs.rate_agreed(c.id).to_bits(), c.rate_agreed.to_bits());
+        assert_eq!(cs.exec_processing(c.id).to_bits(), c.exec_processing.to_bits());
+        assert_eq!(cs.exec_communication(c.id).to_bits(), c.exec_communication.to_bits());
+        assert_eq!(cs.client_storage(c.id).to_bits(), c.storage.to_bits());
+        assert_eq!(cs.utility_index(c.id), c.utility_class.index());
+        assert!(std::ptr::eq(cs.utility(c.id), sys.utility_of(c.id)), "{}: utility", c.id);
+        let marginal = c.rate_agreed * sys.utility_of(c.id).reference_slope();
+        assert_eq!(cs.ref_marginal(c.id).to_bits(), marginal.to_bits());
+        assert_eq!(cs.ref_weight(c.id).to_bits(), marginal.max(1e-9).to_bits());
+        for (ci, class) in sys.server_classes().iter().enumerate() {
+            let m_p = class.cap_processing / c.exec_processing;
+            let m_c = class.cap_communication / c.exec_communication;
+            assert_eq!(cs.m_p(ci, c.id).to_bits(), m_p.to_bits(), "m_p[{ci}][{}]", c.id);
+            assert_eq!(cs.m_c(ci, c.id).to_bits(), m_c.to_bits(), "m_c[{ci}][{}]", c.id);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lowering an arbitrary built system reproduces every frontend fact.
+    #[test]
+    fn compiled_fields_agree_with_frontend(spec in arb_spec()) {
+        let sys = build(&spec);
+        prop_assert!(sys.validate().is_ok(), "generated system must be valid");
+        let cs = CompiledSystem::new(&sys);
+        assert_agreement(&sys, &cs);
+    }
+
+    /// Mutating the system (new predicted rates per epoch) and re-lowering
+    /// stays consistent: the new view reflects the mutation and the old
+    /// system is untouched.
+    #[test]
+    fn relowering_after_mutation_stays_consistent(
+        spec in arb_spec(),
+        scale in 0.25f64..4.0,
+    ) {
+        let sys = build(&spec);
+        let rates: Vec<f64> =
+            sys.clients().iter().map(|c| c.rate_predicted * scale).collect();
+        let mutated = sys.with_predicted_rates(&rates);
+        let cs = CompiledSystem::new(&mutated);
+        assert_agreement(&mutated, &cs);
+        for (c, &rate) in mutated.clients().iter().zip(&rates) {
+            prop_assert_eq!(cs.rate_predicted(c.id).to_bits(), rate.to_bits());
+        }
+        // The original system still lowers to its own (unscaled) rates.
+        let original = CompiledSystem::new(&sys);
+        assert_agreement(&sys, &original);
+    }
+}
