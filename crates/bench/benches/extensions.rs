@@ -23,7 +23,11 @@ fn bench_epoch_step(c: &mut Criterion) {
                 EpochManager::new(
                     system.clone(),
                     EwmaPredictor::new(0.4, &base),
-                    EpochConfig { solver: SolverConfig::fast(), resolve_threshold: 0.5 },
+                    EpochConfig {
+                        solver: SolverConfig::fast(),
+                        resolve_threshold: 0.5,
+                        ..Default::default()
+                    },
                     1,
                 )
             },

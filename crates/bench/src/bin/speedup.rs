@@ -38,6 +38,13 @@
 //!   gives every server a distinct background load, which defeats the
 //!   signature dedup — one curve per server, the regime where per-curve
 //!   constant reuse (vs per-curve recomputation) dominates the search.
+//! * **E5g — fault repair.** Fails 20% of the active servers and compares
+//!   the incremental repair (`evict → re-disperse / re-place / shed`, then
+//!   an admission-shedding pass) against a bounded full re-solve on the
+//!   masked system. Asserts the repair never falls below the naive
+//!   drop-the-victims baseline **and** that it is strictly faster than the
+//!   re-solve — the latency headroom that justifies the epoch loop's
+//!   repair-first, escalate-late policy.
 //!
 //! ```text
 //! cargo run -p cloudalloc-bench --release --bin speedup [--seed N] [--json PATH] [--smoke]
@@ -253,6 +260,22 @@ struct LoweringRecord {
     compiled_profit: f64,
 }
 
+/// Per-seed record of the incremental-repair vs full-re-solve comparison
+/// on a fault scenario (E5g).
+#[derive(Debug, Serialize)]
+struct RepairLatencyRecord {
+    seed: u64,
+    clients: usize,
+    failed_servers: usize,
+    victims: usize,
+    repair_seconds: f64,
+    resolve_seconds: f64,
+    speedup: f64,
+    naive_profit: f64,
+    repair_profit: f64,
+    resolve_profit: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct SpeedupReport {
     scoring: Vec<ScoringRecord>,
@@ -260,6 +283,7 @@ struct SpeedupReport {
     candidate_search: Vec<CandidateSearchRecord>,
     telemetry_overhead: Vec<TelemetryOverheadRecord>,
     lowering: Vec<LoweringRecord>,
+    repair: Vec<RepairLatencyRecord>,
 }
 
 fn bench_distributed_greedy(seed: u64) {
@@ -822,6 +846,141 @@ fn bench_lowering(base_seed: u64, smoke: bool) -> Vec<LoweringRecord> {
     records
 }
 
+/// Rebuilds an allocation against another (here: masked) system so its
+/// cached per-server aggregates start from that system's background
+/// loads — the precondition for lowering it into a scored view.
+fn rebuild_on(system: &cloudalloc_model::CloudSystem, alloc: &Allocation) -> Allocation {
+    let mut fresh = Allocation::new(system);
+    for i in 0..system.num_clients() {
+        let client = ClientId(i);
+        if let Some(cluster) = alloc.cluster_of(client) {
+            fresh.assign_cluster(client, cluster);
+            for &(server, placement) in alloc.placements(client) {
+                fresh.place(system, client, server, placement);
+            }
+        }
+    }
+    fresh
+}
+
+fn bench_repair_latency(base_seed: u64, smoke: bool) -> Vec<RepairLatencyRecord> {
+    use cloudalloc_core::ops;
+    let mut table = Table::new(vec![
+        "seed".into(),
+        "failed".into(),
+        "victims".into(),
+        "repair".into(),
+        "resolve".into(),
+        "speedup".into(),
+        "profit_naive".into(),
+        "profit_repair".into(),
+        "profit_resolve".into(),
+    ]);
+    let (clients, seeds) = if smoke { (16, 1) } else { (SCORING_CLIENTS, SCORING_SEEDS as u64) };
+    println!(
+        "E5g — fault repair, incremental evict/re-place/shed vs full re-solve \
+         on the masked system (N={clients}, 20% of active servers failed, \
+         best of {REPS} reps per path)"
+    );
+    let mut records = Vec::new();
+    for offset in 0..seeds {
+        let seed = base_seed.wrapping_add(offset);
+        let scenario =
+            if smoke { ScenarioConfig::small(clients) } else { ScenarioConfig::paper(clients) };
+        let system = generate(&scenario, seed);
+        let solver = SolverConfig::default();
+        let alloc = solve(&system, &solver, seed).allocation;
+        let active: Vec<ServerId> = alloc.active_servers().collect();
+        if active.is_empty() {
+            println!("seed {seed}: no active servers, skipping");
+            continue;
+        }
+        let failed: Vec<ServerId> = active[..(active.len() / 5).max(1)].to_vec();
+        let masked = system.with_failed_servers(&failed);
+        let ctx = SolverCtx::new(&masked, &solver);
+        let stale = rebuild_on(&masked, &alloc);
+
+        // The baseline the repair must beat: drop every victim outright.
+        let mut naive = stale.clone();
+        let mut dead = vec![false; masked.num_servers()];
+        for &s in &failed {
+            dead[s.index()] = true;
+        }
+        let mut victims = 0;
+        for i in 0..masked.num_clients() {
+            let client = ClientId(i);
+            if naive.placements(client).iter().any(|&(s, _)| dead[s.index()]) {
+                naive.clear_client(&masked, client);
+                victims += 1;
+            }
+        }
+        let naive_profit = evaluate(&masked, &naive).profit;
+
+        let mut repair = (f64::INFINITY, 0.0);
+        let mut resolve = (f64::INFINITY, 0.0);
+        for _ in 0..REPS {
+            let fresh = stale.clone();
+            let begin = Instant::now();
+            let mut scored = ScoredAllocation::lowered(&ctx.compiled, fresh);
+            ops::repair_failed_servers(&ctx, &mut scored, &failed);
+            ops::shed_unprofitable(&ctx, &mut scored);
+            let t = begin.elapsed().as_secs_f64();
+            if t < repair.0 {
+                repair = (t, scored.profit());
+            }
+            let begin = Instant::now();
+            let result = solve(&masked, &solver, seed);
+            let t = begin.elapsed().as_secs_f64();
+            if t < resolve.0 {
+                resolve = (t, result.report.profit);
+            }
+        }
+        assert!(
+            repair.1 >= naive_profit - 1e-9,
+            "seed {seed}: repair profit {} fell below the naive drop baseline {naive_profit}",
+            repair.1
+        );
+        assert!(
+            repair.0 < resolve.0,
+            "seed {seed}: incremental repair ({:.4}s) must be faster than the \
+             full re-solve ({:.4}s)",
+            repair.0,
+            resolve.0
+        );
+        let speedup = resolve.0 / repair.0;
+        table.row(vec![
+            seed.to_string(),
+            failed.len().to_string(),
+            victims.to_string(),
+            format!("{:.4}s", repair.0),
+            format!("{:.4}s", resolve.0),
+            format!("{speedup:.1}x"),
+            format!("{naive_profit:.4}"),
+            format!("{:.4}", repair.1),
+            format!("{:.4}", resolve.1),
+        ]);
+        records.push(RepairLatencyRecord {
+            seed,
+            clients,
+            failed_servers: failed.len(),
+            victims,
+            repair_seconds: repair.0,
+            resolve_seconds: resolve.0,
+            speedup,
+            naive_profit,
+            repair_profit: repair.1,
+            resolve_profit: resolve.1,
+        });
+    }
+    println!("{table}");
+    println!(
+        "expected shape: repair touches only the victims, the re-solve\n\
+         reconstructs everything — a multi-x latency gap (asserted), at a\n\
+         profit never below the drop-the-victims baseline (asserted)\n"
+    );
+    records
+}
+
 /// E5e with the `telemetry` feature: identical solves with recording on vs
 /// suppressed via the runtime gate, profits asserted bit-identical. The
 /// single-binary comparison isolates exactly the per-event atomics cost
@@ -925,12 +1084,14 @@ fn main() {
         let candidate_search = bench_candidate_search(args.seed, true);
         let telemetry_overhead = bench_telemetry_overhead(args.seed, true);
         let lowering = bench_lowering(args.seed, true);
+        let repair = bench_repair_latency(args.seed, true);
         let report = SpeedupReport {
             scoring: Vec::new(),
             parallel: Vec::new(),
             candidate_search,
             telemetry_overhead,
             lowering,
+            repair,
         };
         std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
             .expect("writable json path");
@@ -944,9 +1105,10 @@ fn main() {
     let candidate_search = bench_candidate_search(args.seed, false);
     let telemetry_overhead = bench_telemetry_overhead(args.seed, false);
     let lowering = bench_lowering(args.seed, false);
+    let repair = bench_repair_latency(args.seed, false);
 
     let report =
-        SpeedupReport { scoring, parallel, candidate_search, telemetry_overhead, lowering };
+        SpeedupReport { scoring, parallel, candidate_search, telemetry_overhead, lowering, repair };
     std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
         .expect("writable json path");
     cloudalloc_telemetry::progress!("wrote {path}");

@@ -13,7 +13,7 @@ use cloudalloc_simulator::{
     simulate, validate, FailureConfig, GpsMode, RoutingPolicy, ServiceDistribution, SimConfig,
 };
 use cloudalloc_telemetry as telemetry;
-use cloudalloc_workload::{generate, ScenarioConfig};
+use cloudalloc_workload::{generate, FaultPlan, FaultRecord, ScenarioConfig};
 use serde::{Deserialize, Value};
 
 use crate::args::{ArgError, Parsed};
@@ -260,9 +260,18 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn load_fault_plan(parsed: &Parsed, system: &CloudSystem) -> Result<Option<FaultPlan>, CliError> {
+    let Some(path) = parsed.get("--faults") else { return Ok(None) };
+    let plan: FaultPlan = serde_json::from_str(&fs::read_to_string(path)?)?;
+    plan.validate(system.num_servers(), system.num_clients())
+        .map_err(|e| ArgError(format!("--faults {path}: {e}")))?;
+    Ok(Some(plan))
+}
+
 fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
     use cloudalloc_epoch::{
-        DriftConfig, EpochConfig, EpochManager, EwmaPredictor, OperationsLog, WorkloadDrift,
+        DriftConfig, EpochConfig, EpochManager, EwmaPredictor, OperationsLog, RepairPolicy,
+        WorkloadDrift,
     };
     let system = load_system(parsed)?;
     let seed = parsed.num("--seed", 0u64)?;
@@ -271,11 +280,23 @@ fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
         return Err(ArgError("--epochs must be at least 1".into()).into());
     }
     let volatility = parsed.num("--volatility", 0.08f64)?;
+    let degradation_threshold = parsed.num("--degradation-threshold", 0.5f64)?;
+    if degradation_threshold.is_nan() || degradation_threshold < 0.0 {
+        return Err(ArgError("--degradation-threshold must be non-negative".into()).into());
+    }
+    let faults = load_fault_plan(parsed, &system)?;
     let telemetry_path = telemetry_begin(parsed)?;
     let base: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
     let num_clients = system.num_clients();
     let predictor = EwmaPredictor::new(0.4, &base);
-    let config = EpochConfig { solver: solver_config(parsed)?, resolve_threshold: 0.15 };
+    let config = EpochConfig {
+        solver: solver_config(parsed)?,
+        resolve_threshold: 0.15,
+        repair: RepairPolicy {
+            degradation_threshold,
+            max_resolve_retries: parsed.num("--retries", 2usize)?,
+        },
+    };
     let mut manager = EpochManager::new(system, predictor, config, seed);
     let mut drift =
         WorkloadDrift::new(DriftConfig { volatility, ..Default::default() }, &base, seed ^ 0xD21F);
@@ -287,9 +308,13 @@ fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
         "realized".into(),
         "unstable".into(),
         "replan".into(),
+        "faults".into(),
+        "repair".into(),
     ]);
-    for _ in 0..epochs {
-        let report = manager.step(&drift.step());
+    let no_events: &[FaultRecord] = &[];
+    for epoch in 0..epochs {
+        let events = faults.as_ref().map_or(no_events, |p| p.events_at(epoch));
+        let report = manager.step_faulted(&drift.step(), events);
         table.row(vec![
             report.epoch.to_string(),
             format!("{:.1}%", report.prediction_error * 100.0),
@@ -297,6 +322,16 @@ fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
             format!("{:.2}", report.actual_profit),
             report.unstable_clients.to_string(),
             if report.resolved_fully { "full".into() } else { "warm".into() },
+            events.len().to_string(),
+            match &report.repair {
+                None => "-".into(),
+                Some(r) => format!(
+                    "{}v/{}s{}",
+                    r.victims,
+                    r.shed + r.shed_low_utility,
+                    if r.escalated { "!" } else { "" }
+                ),
+            },
         ]);
         log.record(report);
     }
@@ -310,7 +345,41 @@ fn cmd_epochs(parsed: &Parsed) -> Result<String, CliError> {
         summary.instability_rate * 100.0,
         summary.mean_prediction_error * 100.0
     ));
+    if faults.is_some() {
+        out.push_str(&format!(
+            "repairs in {:.0}% of epochs, {} clients shed, {} escalations to full re-solve\n",
+            summary.repair_rate * 100.0,
+            summary.total_shed,
+            summary.escalations
+        ));
+    }
     telemetry_finish(telemetry_path, &mut out);
+    Ok(out)
+}
+
+fn cmd_gen_faults(parsed: &Parsed) -> Result<String, CliError> {
+    let system = load_system(parsed)?;
+    let epochs = parsed.num("--epochs", 8usize)?;
+    let seed = parsed.num("--seed", 0u64)?;
+    // Mean time between failures / to repair, measured in epochs.
+    let mtbf = parsed.num("--mtbf", 6.0f64)?;
+    let mttr = parsed.num("--mttr", 2.0f64)?;
+    if !(mtbf > 0.0 && mtbf.is_finite() && mttr > 0.0 && mttr.is_finite()) {
+        return Err(ArgError("--mtbf and --mttr must be positive epochs".into()).into());
+    }
+    let failures = FailureConfig::new(mtbf, mttr);
+    let plan = failures.sample_epoch_plan(system.num_servers(), epochs, 1.0, seed);
+    let mut out = format!(
+        "sampled {} fault events over {} epochs for {} servers (availability {:.0}%)\n",
+        plan.len(),
+        epochs,
+        system.num_servers(),
+        failures.availability() * 100.0
+    );
+    if let Some(path) = parsed.get("--out") {
+        fs::write(path, serde_json::to_string_pretty(&plan)?)?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
     Ok(out)
 }
 
@@ -489,13 +558,22 @@ COMMANDS
             [--shared] [--least-work] [--cv2 X] [--availability A]
   baseline  --system FILE [--mc N] [--seed S]
   epochs    --system FILE [--epochs N] [--volatility V] [--seed S]
+            [--faults FILE] [--degradation-threshold X] [--retries N]
             [--telemetry-out FILE]
+  gen-faults --system FILE [--epochs N] [--mtbf E] [--mttr E] [--seed S]
+            [--out FILE]
   telemetry-report  --in FILE
   help
 
 The solver parallelizes best-of-N construction; worker count comes from
 --threads, else the CLOUDALLOC_THREADS environment variable, else all
 cores. Results are identical for every thread count.
+
+`gen-faults` samples a server up/down fault plan (exponential MTBF/MTTR,
+in epochs) for a system; `epochs --faults` replays such a plan through
+the control loop, repairing incrementally, shedding unprofitable clients
+and escalating to a full re-solve when repaired profit drops below
+--degradation-threshold × the pre-fault profit.
 
 Builds with the `telemetry` feature stream solver spans, counters and
 events to --telemetry-out as JSONL; `telemetry-report` summarizes such a
@@ -518,6 +596,7 @@ pub fn run(parsed: &Parsed) -> Result<String, CliError> {
         "simulate" => cmd_simulate(parsed),
         "baseline" => cmd_baseline(parsed),
         "epochs" => cmd_epochs(parsed),
+        "gen-faults" => cmd_gen_faults(parsed),
         "telemetry-report" => cmd_telemetry_report(parsed),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(ArgError(format!("unknown command {other:?}; try `cloudalloc help`")).into()),
@@ -739,6 +818,83 @@ mod tests {
     }
 
     #[test]
+    fn gen_faults_feeds_the_epochs_loop() {
+        let sys_path = temp_path("sys_faults.json");
+        let plan_path = temp_path("faults.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "6",
+            "--preset",
+            "small",
+            "--seed",
+            "11",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        let out = run(&parse(&[
+            "gen-faults",
+            "--system",
+            &sys_path,
+            "--epochs",
+            "4",
+            "--mtbf",
+            "2",
+            "--mttr",
+            "2",
+            "--seed",
+            "5",
+            "--out",
+            &plan_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("sampled"), "no sample note:\n{out}");
+        assert!(out.contains("wrote"), "no plan written:\n{out}");
+
+        let out = run(&parse(&[
+            "epochs", "--system", &sys_path, "--epochs", "4", "--init", "1", "--faults", &plan_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("faults"), "missing faults column:\n{out}");
+        assert!(out.contains("repairs in"), "missing repair summary:\n{out}");
+        // Same plan, same seed → byte-identical run.
+        let again = run(&parse(&[
+            "epochs", "--system", &sys_path, "--epochs", "4", "--init", "1", "--faults", &plan_path,
+        ]))
+        .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn epochs_rejects_a_fault_plan_that_does_not_fit_the_system() {
+        use cloudalloc_model::ServerId;
+        use cloudalloc_workload::{FaultEvent, FaultPlan, FaultRecord};
+        let sys_path = temp_path("sys_badfaults.json");
+        let plan_path = temp_path("bad_faults.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "4",
+            "--preset",
+            "small",
+            "--seed",
+            "3",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        let plan = FaultPlan::new(vec![FaultRecord {
+            epoch: 0,
+            event: FaultEvent::ServerFail { server: ServerId(999) },
+        }]);
+        fs::write(&plan_path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let err =
+            run(&parse(&["epochs", "--system", &sys_path, "--faults", &plan_path])).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "unhelpful: {err}");
+    }
+
+    #[test]
     fn telemetry_report_summarizes_a_jsonl_file() {
         let path = temp_path("telemetry_sample.jsonl");
         fs::write(
@@ -867,6 +1023,7 @@ mod tests {
             "simulate",
             "baseline",
             "epochs",
+            "gen-faults",
             "telemetry-report",
         ] {
             assert!(out.contains(cmd), "help misses {cmd}");

@@ -5,6 +5,7 @@
 
 mod disperse;
 mod reassign;
+mod repair;
 mod shares;
 mod swap;
 mod turnoff;
@@ -12,6 +13,9 @@ mod turnon;
 
 pub use disperse::adjust_dispersion_rates;
 pub use reassign::reassign_clients;
+pub use repair::{
+    repair_failed_servers, repair_failed_servers_within, shed_unprofitable, RepairStats,
+};
 pub use shares::{adjust_resource_shares, rebalance_server_shares};
 pub use swap::swap_clients;
 pub use turnoff::turn_off_servers;

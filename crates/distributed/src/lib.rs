@@ -27,9 +27,11 @@
 mod merge;
 mod parallel_mc;
 mod protocol;
+mod repair;
 
 pub use merge::merge_cluster_allocations;
 pub use parallel_mc::{monte_carlo_parallel, ParallelMcOutcome};
 pub use protocol::{
     greedy_distributed, greedy_distributed_timed, improve_distributed, solve_distributed, DistStats,
 };
+pub use repair::repair_distributed;

@@ -16,7 +16,11 @@
 //! * [`EpochManager`] — runs the allocator epoch by epoch: re-predicts
 //!   rates, warm-starts the local search from the previous allocation,
 //!   falls back to a full re-solve when the workload moved too much, and
-//!   scores each epoch against the *actual* (realized) rates.
+//!   scores each epoch against the *actual* (realized) rates. Under
+//!   injected fault events
+//!   ([`FaultPlan`](cloudalloc_workload::FaultPlan)) it additionally
+//!   runs the repair → shed → escalate state machine ([`RepairPolicy`])
+//!   to rescue clients stranded on failed servers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +32,5 @@ mod predictor;
 
 pub use drift::{DriftConfig, WorkloadDrift};
 pub use log::{OperationsLog, OperationsSummary};
-pub use manager::{EpochConfig, EpochManager, EpochReport};
+pub use manager::{EpochConfig, EpochManager, EpochReport, RepairPolicy, RepairReport};
 pub use predictor::{EwmaPredictor, LastValue, RatePredictor};

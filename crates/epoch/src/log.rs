@@ -29,6 +29,13 @@ pub struct OperationsSummary {
     pub instability_rate: f64,
     /// Mean absolute relative prediction error across epochs.
     pub mean_prediction_error: f64,
+    /// Fraction of epochs that needed a mid-epoch fault repair.
+    pub repair_rate: f64,
+    /// Clients shed across all repairs (victims without a profitable
+    /// rescue plus admission-control sheds).
+    pub total_shed: usize,
+    /// Repairs that escalated to full re-solves.
+    pub escalations: usize,
 }
 
 impl OperationsLog {
@@ -82,6 +89,10 @@ impl OperationsLog {
             / n;
         let mean_prediction_error =
             self.reports.iter().map(|r| r.prediction_error).sum::<f64>() / n;
+        let repairs: Vec<_> = self.reports.iter().filter_map(|r| r.repair.as_ref()).collect();
+        let repair_rate = repairs.len() as f64 / n;
+        let total_shed = repairs.iter().map(|r| r.shed + r.shed_low_utility).sum();
+        let escalations = repairs.iter().filter(|r| r.escalated).count();
         OperationsSummary {
             epochs: self.reports.len(),
             total_profit,
@@ -89,6 +100,9 @@ impl OperationsLog {
             replan_rate,
             instability_rate,
             mean_prediction_error,
+            repair_rate,
+            total_shed,
+            escalations,
         }
     }
 }
@@ -112,6 +126,7 @@ mod tests {
             unstable_clients: unstable,
             active_servers: 10,
             prediction_error: 0.1,
+            repair: None,
         }
     }
 
@@ -127,6 +142,35 @@ mod tests {
         assert!((s.replan_rate - 0.5).abs() < 1e-12);
         assert!((s.instability_rate - 0.05).abs() < 1e-12);
         assert!((s.mean_prediction_error - 0.1).abs() < 1e-12);
+        assert_eq!(s.repair_rate, 0.0);
+        assert_eq!((s.total_shed, s.escalations), (0, 0));
+    }
+
+    #[test]
+    fn summary_aggregates_repairs() {
+        use crate::manager::RepairReport;
+        let mut log = OperationsLog::new();
+        let mut faulted = report(0, 10.0, 8.0, 0, false);
+        faulted.repair = Some(RepairReport {
+            failed_servers: 2,
+            victims: 3,
+            evicted: 4,
+            redispersed: 1,
+            replaced: 1,
+            shed: 1,
+            shed_low_utility: 2,
+            stale_profit: 3.0,
+            naive_profit: 5.0,
+            repaired_profit: 7.0,
+            used_naive_fallback: false,
+            escalated: true,
+            resolve_retries: 1,
+        });
+        log.extend([faulted, report(1, 10.0, 9.0, 0, false)]);
+        let s = log.summary(10);
+        assert!((s.repair_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.total_shed, 3);
+        assert_eq!(s.escalations, 1);
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! The epoch loop: predict → (re-)allocate → realize → score.
+//! The epoch loop: predict → (re-)allocate → realize → score — and, when
+//! faults strike mid-epoch, repair → shed → escalate.
 
 use serde::{Deserialize, Serialize};
 
-use cloudalloc_core::{improve, solve, SolverConfig, SolverCtx};
-use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem};
+use cloudalloc_core::{improve, ops, solve, SolverConfig, SolverCtx};
+use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem, ScoredAllocation, ServerId};
 use cloudalloc_telemetry as telemetry;
+use cloudalloc_workload::{FaultEvent, FaultRecord};
 
 use crate::predictor::RatePredictor;
 
@@ -17,12 +19,73 @@ pub struct EpochConfig {
     /// a full re-solve instead of a warm-started local search — the
     /// paper's "large changes cannot be handled by the local managers".
     pub resolve_threshold: f64,
+    /// Policy of the fault-repair state machine.
+    pub repair: RepairPolicy,
 }
 
 impl Default for EpochConfig {
     fn default() -> Self {
-        Self { solver: SolverConfig::default(), resolve_threshold: 0.15 }
+        Self {
+            solver: SolverConfig::default(),
+            resolve_threshold: 0.15,
+            repair: RepairPolicy::default(),
+        }
     }
+}
+
+/// Policy of the repair → shed → escalate state machine that handles
+/// server failures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairPolicy {
+    /// Escalate from incremental repair to a bounded full re-solve when
+    /// the repaired profit falls below this fraction of the pre-fault
+    /// expected profit (only meaningful when that reference is positive).
+    pub degradation_threshold: f64,
+    /// Extra escalation re-solves (each with a freshly derived seed)
+    /// allowed after the first, stopping early once the degradation
+    /// threshold is recovered — the retry/backoff budget.
+    pub max_resolve_retries: usize,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        Self { degradation_threshold: 0.5, max_resolve_retries: 2 }
+    }
+}
+
+/// What one mid-epoch repair did; attached to the [`EpochReport`] of the
+/// epoch whose fault events triggered it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Servers down after applying this epoch's events.
+    pub failed_servers: usize,
+    /// Clients that held at least one placement on a dead server.
+    pub victims: usize,
+    /// Placements evicted from dead servers.
+    pub evicted: usize,
+    /// Victims rescued by re-dispersing their surviving branches.
+    pub redispersed: usize,
+    /// Victims rescued by full re-placement.
+    pub replaced: usize,
+    /// Victims shed because no profitable rescue existed.
+    pub shed: usize,
+    /// Clients shed by the follow-up admission sweep (lowest marginal
+    /// utility first).
+    pub shed_low_utility: usize,
+    /// Expected profit of the *stale* allocation on the failed system —
+    /// the "do nothing" outcome repair must beat.
+    pub stale_profit: f64,
+    /// Expected profit of the naive drop-every-victim baseline.
+    pub naive_profit: f64,
+    /// Expected profit after repair (and escalation, when triggered).
+    pub repaired_profit: f64,
+    /// Whether repair fell back to the naive baseline allocation.
+    pub used_naive_fallback: bool,
+    /// Whether profit degradation escalated repair to full re-solves.
+    pub escalated: bool,
+    /// Escalation re-solves actually attempted minus one (0-based retry
+    /// counter; 0 when escalation stopped after its first solve).
+    pub resolve_retries: usize,
 }
 
 /// Outcome of one epoch.
@@ -43,6 +106,8 @@ pub struct EpochReport {
     pub active_servers: usize,
     /// Mean absolute relative prediction error of this epoch.
     pub prediction_error: f64,
+    /// Present when fault events forced a mid-epoch repair.
+    pub repair: Option<RepairReport>,
 }
 
 /// Runs the allocator across decision epochs.
@@ -61,6 +126,8 @@ pub struct EpochManager<P> {
     predicted: Vec<f64>,
     epoch: usize,
     seed: u64,
+    /// Per-server down flags maintained from fault events.
+    down: Vec<bool>,
 }
 
 /// Rebuilds an allocation's derived aggregates against a re-parameterized
@@ -87,7 +154,17 @@ impl<P: RatePredictor> EpochManager<P> {
         let predicted = predictor.predict();
         let system = base.with_predicted_rates(&predicted);
         let result = solve(&system, &config.solver, seed);
-        Self { base, predictor, config, allocation: result.allocation, predicted, epoch: 0, seed }
+        let down = vec![false; base.num_servers()];
+        Self {
+            base,
+            predictor,
+            config,
+            allocation: result.allocation,
+            predicted,
+            epoch: 0,
+            seed,
+            down,
+        }
     }
 
     /// The allocation currently in force (computed against the predicted
@@ -101,18 +178,75 @@ impl<P: RatePredictor> EpochManager<P> {
         &self.predicted
     }
 
+    /// Servers currently down (ascending id).
+    pub fn failed_servers(&self) -> Vec<ServerId> {
+        self.down.iter().enumerate().filter(|&(_, &d)| d).map(|(j, _)| ServerId(j)).collect()
+    }
+
+    /// Seed of the `retry`-th escalation re-solve of the *current* epoch.
+    /// Public so tests can reproduce escalation results bit-for-bit.
+    pub fn escalation_seed(&self, retry: u64) -> u64 {
+        (self.seed ^ 0xFA17_5EED).wrapping_add(retry.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     /// Closes the current epoch with the rates that actually occurred and
     /// prepares the next epoch's allocation.
+    ///
+    /// Equivalent to [`EpochManager::step_faulted`] with no fault events.
     ///
     /// # Panics
     ///
     /// Panics if `actual_rates` does not hold one positive rate per
     /// client.
     pub fn step(&mut self, actual_rates: &[f64]) -> EpochReport {
-        // 1. Score the standing allocation against reality.
-        let predicted_system = self.base.with_predicted_rates(&self.predicted);
+        self.step_faulted(actual_rates, &[])
+    }
+
+    /// Closes the current epoch under adversity: applies this epoch's
+    /// fault events (failures flip servers down, recoveries bring them
+    /// back, rate spikes multiply the *realized* rates), repairs the
+    /// standing allocation in place when a failure strands clients, then
+    /// runs the regular close-and-plan cycle against the masked system.
+    ///
+    /// With no events and no standing failures this is bit-identical to
+    /// the fault-free [`EpochManager::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actual_rates` does not hold one positive rate per
+    /// client, an event references an out-of-range id, or a spike factor
+    /// is not positive and finite.
+    pub fn step_faulted(&mut self, actual_rates: &[f64], events: &[FaultRecord]) -> EpochReport {
+        // 0. Apply the epoch's fault events.
+        let mut spiked = actual_rates.to_vec();
+        for rec in events {
+            match rec.event {
+                FaultEvent::ServerFail { server } => self.down[server.index()] = true,
+                FaultEvent::ServerRecover { server } => self.down[server.index()] = false,
+                FaultEvent::RateSpike { client, factor } => {
+                    assert!(
+                        factor.is_finite() && factor > 0.0,
+                        "spike factor must be positive, got {factor}"
+                    );
+                    spiked[client.index()] *= factor;
+                }
+            }
+        }
+        let failed = self.failed_servers();
+
+        // 1. Repair mid-epoch when the standing allocation still holds
+        //    mass on a dead server (recoveries alone need no repair; the
+        //    next planning step simply sees the capacity again).
+        let repair = failed
+            .iter()
+            .any(|&s| !self.allocation.residents(s).is_empty())
+            .then(|| self.repair(&failed));
+
+        // 2. Score the (possibly repaired) allocation against reality.
+        let predicted_system =
+            self.base.with_predicted_rates(&self.predicted).with_failed_servers(&failed);
         let predicted_profit = evaluate(&predicted_system, &self.allocation).profit;
-        let actual_system = self.base.with_predicted_rates(actual_rates);
+        let actual_system = self.base.with_predicted_rates(&spiked).with_failed_servers(&failed);
         let realized_alloc = rebuild(&actual_system, &self.allocation);
         let actual_report = evaluate(&actual_system, &realized_alloc);
         let unstable_clients = actual_report
@@ -124,9 +258,11 @@ impl<P: RatePredictor> EpochManager<P> {
                     && !outcome.response_time.is_finite()
             })
             .count();
+        // Error against the spiked reality: a spike the predictor did not
+        // see is a prediction miss like any other.
         let prediction_error =
-            self.predicted.iter().zip(actual_rates).map(|(p, a)| (p - a).abs() / a).sum::<f64>()
-                / actual_rates.len().max(1) as f64;
+            self.predicted.iter().zip(&spiked).map(|(p, a)| (p - a).abs() / a).sum::<f64>()
+                / spiked.len().max(1) as f64;
 
         let report = EpochReport {
             epoch: self.epoch,
@@ -136,15 +272,19 @@ impl<P: RatePredictor> EpochManager<P> {
             unstable_clients,
             active_servers: actual_report.active_servers,
             prediction_error,
+            repair,
         };
 
-        // 2. Learn and plan the next epoch.
+        // 3. Learn and plan the next epoch. Spikes are transient, so the
+        //    predictor learns the *base* realized rates; the down-set
+        //    masks the planning system until recoveries clear it.
         self.predictor.observe(actual_rates);
         let next_predicted = self.predictor.predict();
         let old_demand: f64 = self.predicted.iter().sum();
         let new_demand: f64 = next_predicted.iter().sum();
         let shift = (new_demand - old_demand).abs() / old_demand.max(1e-9);
-        let next_system = self.base.with_predicted_rates(&next_predicted);
+        let next_system =
+            self.base.with_predicted_rates(&next_predicted).with_failed_servers(&failed);
         self.epoch += 1;
         self.seed = self.seed.wrapping_add(1);
 
@@ -182,6 +322,114 @@ impl<P: RatePredictor> EpochManager<P> {
             .emit();
 
         EpochReport { resolved_fully, ..report }
+    }
+
+    /// The repair → shed → escalate state machine, run mid-epoch against
+    /// the masked system:
+    ///
+    /// 1. **Repair**: evict victims from dead servers via the journaled
+    ///    incremental evaluator and rescue each with the most profitable
+    ///    of re-disperse / re-place / shed, then shed any remaining
+    ///    clients whose presence costs more than they earn. The result is
+    ///    floored at the naive drop-every-victim baseline (which itself
+    ///    dominates doing nothing — stranded clients earn zero revenue
+    ///    but still hold costly shares), so repaired profit is monotone
+    ///    versus both.
+    /// 2. **Escalate**: when the repaired profit falls below
+    ///    `degradation_threshold ×` the pre-fault expected profit, run
+    ///    bounded full re-solves with derived seeds, keeping the best
+    ///    allocation and stopping as soon as the threshold is recovered.
+    fn repair(&mut self, failed: &[ServerId]) -> RepairReport {
+        let _span = telemetry::span!("epoch.repair");
+        telemetry::counter!("epoch.repairs").incr();
+
+        // Pre-fault reference: what this epoch was expected to earn.
+        let pre_fault = self.base.with_predicted_rates(&self.predicted);
+        let reference = evaluate(&pre_fault, &self.allocation).profit;
+        let masked = pre_fault.with_failed_servers(failed);
+
+        // Doing nothing: the stale allocation scored on the failed system.
+        let stale = rebuild(&masked, &self.allocation);
+        let stale_profit = evaluate(&masked, &stale).profit;
+
+        // Naive baseline: drop every client that touches a dead server.
+        let mut dead = vec![false; masked.num_servers()];
+        for &s in failed {
+            dead[s.index()] = true;
+        }
+        let mut naive = stale.clone();
+        for i in 0..masked.num_clients() {
+            let client = ClientId(i);
+            if naive.placements(client).iter().any(|&(s, _)| dead[s.index()]) {
+                naive.clear_client(&masked, client);
+            }
+        }
+        let naive_profit = evaluate(&masked, &naive).profit;
+
+        // Incremental repair plus the admission-control sweep.
+        let ctx = SolverCtx::new(&masked, &self.config.solver);
+        let mut scored = ScoredAllocation::lowered(&ctx.compiled, stale);
+        let stats = ops::repair_failed_servers(&ctx, &mut scored, failed);
+        let shed_low_utility = ops::shed_unprofitable(&ctx, &mut scored);
+        let mut repaired_profit = scored.profit();
+        let mut repaired = scored.into_allocation();
+        let mut used_naive_fallback = false;
+        if repaired_profit < naive_profit {
+            repaired = naive;
+            repaired_profit = naive_profit;
+            used_naive_fallback = true;
+        }
+
+        let mut escalated = false;
+        let mut resolve_retries = 0;
+        let floor = self.config.repair.degradation_threshold * reference;
+        if reference > 0.0 && repaired_profit < floor {
+            escalated = true;
+            telemetry::counter!("epoch.repair.escalations").incr();
+            let _span = telemetry::span!("epoch.repair.escalate");
+            for retry in 0..=self.config.repair.max_resolve_retries {
+                resolve_retries = retry;
+                let result =
+                    solve(&masked, &self.config.solver, self.escalation_seed(retry as u64));
+                let profit = evaluate(&masked, &result.allocation).profit;
+                if profit > repaired_profit {
+                    repaired_profit = profit;
+                    repaired = result.allocation;
+                    used_naive_fallback = false;
+                }
+                if repaired_profit >= floor {
+                    break;
+                }
+            }
+        }
+        self.allocation = repaired;
+
+        let report = RepairReport {
+            failed_servers: failed.len(),
+            victims: stats.victims,
+            evicted: stats.evicted,
+            redispersed: stats.redispersed,
+            replaced: stats.replaced,
+            shed: stats.shed,
+            shed_low_utility,
+            stale_profit,
+            naive_profit,
+            repaired_profit,
+            used_naive_fallback,
+            escalated,
+            resolve_retries,
+        };
+        telemetry::Event::new("epoch.repair")
+            .field_u64("epoch", self.epoch as u64)
+            .field_u64("failed_servers", report.failed_servers as u64)
+            .field_u64("victims", report.victims as u64)
+            .field_u64("shed", (report.shed + report.shed_low_utility) as u64)
+            .field_f64("stale_profit", report.stale_profit)
+            .field_f64("naive_profit", report.naive_profit)
+            .field_f64("repaired_profit", report.repaired_profit)
+            .field_bool("escalated", report.escalated)
+            .emit();
+        report
     }
 }
 
@@ -288,5 +536,105 @@ mod tests {
             (0..3).map(|_| mgr.step(&drift.step()).actual_profit).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn step_faulted_without_events_matches_step() {
+        let (mut plain, rates) = manager(307);
+        let (mut faulted, _) = manager(307);
+        for _ in 0..3 {
+            assert_eq!(plain.step(&rates), faulted.step_faulted(&rates, &[]));
+        }
+    }
+
+    #[test]
+    fn failures_trigger_repair_that_beats_the_naive_baseline() {
+        let (mut mgr, rates) = manager(308);
+        let failed: Vec<ServerId> = mgr.allocation.active_servers().take(2).collect();
+        assert_eq!(failed.len(), 2, "scenario too small to fail two servers");
+        let events: Vec<FaultRecord> = failed
+            .iter()
+            .map(|&server| FaultRecord { epoch: 0, event: FaultEvent::ServerFail { server } })
+            .collect();
+        let report = mgr.step_faulted(&rates, &events);
+        let repair = report.repair.expect("stranded clients force a repair");
+        assert_eq!(repair.failed_servers, 2);
+        assert!(repair.victims > 0);
+        assert_eq!(repair.redispersed + repair.replaced + repair.shed, repair.victims);
+        // Profit monotone: repaired ≥ naive drop ≥ doing nothing.
+        assert!(repair.naive_profit >= repair.stale_profit - 1e-9);
+        assert!(repair.repaired_profit >= repair.naive_profit - 1e-9);
+        // The next plan keeps dead servers empty.
+        assert_eq!(mgr.failed_servers(), failed);
+        for &s in &failed {
+            assert!(mgr.allocation().residents(s).is_empty(), "plan placed load on dead {s}");
+        }
+    }
+
+    #[test]
+    fn rate_spikes_perturb_realized_rates_only() {
+        let (mut mgr, rates) = manager(311);
+        let spike = FaultRecord {
+            epoch: 0,
+            event: FaultEvent::RateSpike { client: ClientId(0), factor: 4.0 },
+        };
+        let report = mgr.step_faulted(&rates, &[spike]);
+        assert!(report.repair.is_none(), "spikes alone never trigger server repair");
+        // One client spiked 4x: its relative error is 0.75, averaged over n.
+        let expect = 0.75 / rates.len() as f64;
+        assert!((report.prediction_error - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_restores_capacity_and_profit() {
+        let (mut mgr, rates) = manager(309);
+        let active: Vec<ServerId> = mgr.allocation.active_servers().collect();
+        let subset = &active[..active.len() / 2];
+        let fail: Vec<FaultRecord> = subset
+            .iter()
+            .map(|&server| FaultRecord { epoch: 0, event: FaultEvent::ServerFail { server } })
+            .collect();
+        let hit = mgr.step_faulted(&rates, &fail);
+        assert!(!mgr.failed_servers().is_empty());
+        let recover: Vec<FaultRecord> = subset
+            .iter()
+            .map(|&server| FaultRecord { epoch: 1, event: FaultEvent::ServerRecover { server } })
+            .collect();
+        mgr.step_faulted(&rates, &recover);
+        assert!(mgr.failed_servers().is_empty());
+        // With every server back and demand unchanged, the re-planned
+        // epoch earns at least what the degraded one did.
+        let healed = mgr.step(&rates);
+        assert!(healed.actual_profit >= hit.actual_profit - 1e-9);
+    }
+
+    #[test]
+    fn escalation_adopts_the_full_resolve_or_keeps_a_better_repair() {
+        let (mut mgr, rates) = manager(312);
+        mgr.config.repair =
+            RepairPolicy { degradation_threshold: f64::INFINITY, max_resolve_retries: 0 };
+        let failed: Vec<ServerId> = mgr.allocation.active_servers().collect();
+        let masked =
+            mgr.base.with_predicted_rates(mgr.predicted_rates()).with_failed_servers(&failed);
+        let esc_seed = mgr.escalation_seed(0);
+        let solver = mgr.config.solver.clone();
+        let events: Vec<FaultRecord> = failed
+            .iter()
+            .map(|&server| FaultRecord { epoch: 0, event: FaultEvent::ServerFail { server } })
+            .collect();
+        let report = mgr.step_faulted(&rates, &events);
+        let repair = report.repair.expect("failing every active server strands everyone");
+        assert!(repair.escalated, "an infinite threshold always escalates");
+        assert_eq!(repair.resolve_retries, 0);
+        // The escalation solve is reproducible from the documented seed:
+        // either it won and the standing-at-repair-time allocation IS its
+        // result bit-for-bit, or the incremental repair was at least as
+        // good and was kept.
+        let resolve = solve(&masked, &solver, esc_seed);
+        let resolve_profit = evaluate(&masked, &resolve.allocation).profit;
+        assert!(
+            repair.repaired_profit >= resolve_profit - 1e-9,
+            "escalation must keep the best of repair and re-solve"
+        );
     }
 }

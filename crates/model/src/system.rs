@@ -478,6 +478,63 @@ impl CloudSystem {
         }
         next
     }
+
+    /// A copy of the system where each listed server is *dead*: its class
+    /// is swapped for a zero-cost twin with vanishing processing and
+    /// communication capacity, and its background load saturates both
+    /// shares and all storage.
+    ///
+    /// This masking keeps every hot path honest without special-casing
+    /// failure anywhere: the saturated background leaves no free share or
+    /// storage, so candidate search can never place new load on a dead
+    /// server; a stale placement that still points at one sees a vanishing
+    /// service rate, making its queue unstable — the client earns zero
+    /// revenue until repaired; and the zero-cost twin means a dead server
+    /// charges nothing whether or not stale shares keep it nominally ON.
+    /// The masked copy passes [`CloudSystem::validate`] (dead twins are
+    /// appended to the catalog, preserving id-equals-position).
+    ///
+    /// An empty `failed` list returns a plain clone, so fault-free paths
+    /// stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn with_failed_servers(&self, failed: &[ServerId]) -> CloudSystem {
+        // Small enough to starve any queue, large enough that derived
+        // quantities (inverse service rates, utilizations) stay finite.
+        const DEAD_CAPACITY: f64 = 1e-12;
+        if failed.is_empty() {
+            return self.clone();
+        }
+        let mut next = self.clone();
+        // One dead twin per distinct original class, minted on demand.
+        let mut dead_twin: Vec<Option<ServerClassId>> = vec![None; self.server_classes.len()];
+        for &sid in failed {
+            let orig = next.servers[sid.index()].class;
+            if orig.index() >= dead_twin.len() {
+                // Already repointed at a twin (duplicate id in `failed`).
+                continue;
+            }
+            let twin = *dead_twin[orig.index()].get_or_insert_with(|| {
+                let id = ServerClassId(next.server_classes.len());
+                let original = &next.server_classes[orig.index()];
+                next.server_classes.push(ServerClass {
+                    id,
+                    cap_processing: DEAD_CAPACITY,
+                    cap_storage: original.cap_storage,
+                    cap_communication: DEAD_CAPACITY,
+                    cost_fixed: 0.0,
+                    cost_per_utilization: 0.0,
+                });
+                id
+            });
+            next.servers[sid.index()].class = twin;
+            let storage = next.server_classes[twin.index()].cap_storage;
+            next.background[sid.index()] = BackgroundLoad::new(1.0, 1.0, storage);
+        }
+        next
+    }
 }
 
 #[cfg(test)]
@@ -650,5 +707,36 @@ mod tests {
         assert_eq!(r.id, ServerId(1));
         assert!(std::ptr::eq(r.server, sys.server(ServerId(1))));
         assert!(std::ptr::eq(r.class, sys.class_of(ServerId(1))));
+    }
+
+    #[test]
+    fn failed_server_masking_starves_and_uncosts_dead_servers() {
+        let sys = two_cluster_system();
+        let masked = sys.with_failed_servers(&[ServerId(0), ServerId(2)]);
+        masked.validate().unwrap();
+        // Both dead servers share class 0, so exactly one twin is minted.
+        assert_eq!(masked.server_classes().len(), sys.server_classes().len() + 1);
+        for sid in [ServerId(0), ServerId(2)] {
+            let class = masked.class_of(sid);
+            assert!(class.cap_processing < 1e-9);
+            assert!(class.cap_communication < 1e-9);
+            assert_eq!(class.cost_fixed, 0.0);
+            assert_eq!(class.cost_per_utilization, 0.0);
+            let bg = masked.background(sid);
+            assert_eq!(bg.phi_p, 1.0);
+            assert_eq!(bg.phi_c, 1.0);
+            assert_eq!(bg.storage, class.cap_storage);
+        }
+        // Survivors are untouched.
+        assert_eq!(masked.class_of(ServerId(1)), sys.class_of(ServerId(1)));
+        assert_eq!(masked.background(ServerId(1)), sys.background(ServerId(1)));
+        // Duplicate ids are a no-op on top of the first failure.
+        assert_eq!(masked, sys.with_failed_servers(&[ServerId(0), ServerId(2), ServerId(0)]));
+    }
+
+    #[test]
+    fn failed_server_masking_with_empty_list_is_a_plain_clone() {
+        let sys = two_cluster_system();
+        assert_eq!(sys.with_failed_servers(&[]), sys);
     }
 }

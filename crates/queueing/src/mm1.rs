@@ -169,6 +169,39 @@ mod tests {
     }
 
     #[test]
+    fn response_time_diverges_cleanly_toward_the_stability_boundary() {
+        // ρ = 1 − 10⁻ᵏ sweep: every metric stays finite, positive and
+        // strictly increasing right up to the boundary, then snaps to the
+        // documented infeasible signal (+∞, never NaN, never negative) at
+        // and beyond it. The allocator leans on this: an unstable branch
+        // must read as "zero utility", not as poisoned arithmetic.
+        let service = 2.0;
+        let mut last_response = 0.0;
+        let mut last_backlog = 0.0;
+        for k in 1..=14 {
+            let rho = 1.0 - 10f64.powi(-k);
+            let q = MM1::new(rho * service, service);
+            assert!(q.is_stable(), "rho={rho} must still be stable");
+            let r = q.mean_response_time();
+            let l = q.mean_in_system();
+            assert!(r.is_finite() && r > 0.0, "rho={rho}: response {r}");
+            assert!(l.is_finite() && l > 0.0, "rho={rho}: backlog {l}");
+            assert!(r > last_response, "response must increase toward the boundary");
+            assert!(l > last_backlog, "backlog must increase toward the boundary");
+            assert!(q.mean_waiting_time() < r, "waiting must stay below response");
+            last_response = r;
+            last_backlog = l;
+        }
+        for over in [1.0, 1.0 + 1e-12, 1.5, 1e6] {
+            let q = MM1::new(over * service, service);
+            assert!(!q.is_stable(), "rho={over} must be infeasible");
+            for metric in [q.mean_response_time(), q.mean_waiting_time(), q.mean_in_system()] {
+                assert_eq!(metric, f64::INFINITY, "rho={over}: infeasible must be a clean +∞");
+            }
+        }
+    }
+
+    #[test]
     fn zero_arrivals_mean_pure_service() {
         let q = MM1::new(0.0, 2.0);
         assert!((q.mean_response_time() - 0.5).abs() < 1e-12);

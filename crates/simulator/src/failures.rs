@@ -7,6 +7,10 @@
 //! otherwise); requests keep queueing, so outages surface as response
 //! time spikes and, through the utility functions, as lost revenue.
 
+use cloudalloc_model::ServerId;
+use cloudalloc_workload::{FaultEvent, FaultPlan, FaultRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Exponential up/down failure process parameters, shared by all servers.
@@ -54,6 +58,63 @@ impl FailureConfig {
     pub fn availability(&self) -> f64 {
         self.mtbf / (self.mtbf + self.mttr)
     }
+
+    /// Samples the continuous exponential up/down process at epoch
+    /// granularity: every server alternates UP phases (mean `mtbf`) and
+    /// DOWN phases (mean `mttr`) in continuous time, and each transition
+    /// is recorded at the epoch containing it — the bridge from the
+    /// simulator's failure process to the epoch control loop's
+    /// [`FaultPlan`]. A transition pair landing inside one epoch still
+    /// emits both records (the stable sort keeps their order), so the
+    /// replayed down-set matches the state at each epoch boundary.
+    ///
+    /// Deterministic per seed; each server draws from its own derived
+    /// stream, so the plan for server `j` does not change when
+    /// `num_servers` grows past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_length` is not positive and finite.
+    pub fn sample_epoch_plan(
+        &self,
+        num_servers: usize,
+        epochs: usize,
+        epoch_length: f64,
+        seed: u64,
+    ) -> FaultPlan {
+        self.validate();
+        assert!(
+            epoch_length.is_finite() && epoch_length > 0.0,
+            "epoch_length must be positive, got {epoch_length}"
+        );
+        let horizon = epochs as f64 * epoch_length;
+        let mut events = Vec::new();
+        for j in 0..num_servers {
+            // SplitMix64-style stream split: one independent RNG per
+            // server.
+            let stream = seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = StdRng::seed_from_u64(stream);
+            let mut exponential = |mean: f64| -> f64 {
+                // Inverse-CDF with the uniform clamped away from 0.
+                -mean * (1.0 - rng.gen::<f64>()).max(1e-300).ln()
+            };
+            let mut t = exponential(self.mtbf);
+            let mut up = true;
+            while t < horizon {
+                let epoch = (t / epoch_length) as usize;
+                let server = ServerId(j);
+                let event = if up {
+                    FaultEvent::ServerFail { server }
+                } else {
+                    FaultEvent::ServerRecover { server }
+                };
+                events.push(FaultRecord { epoch, event });
+                t += exponential(if up { self.mttr } else { self.mtbf });
+                up = !up;
+            }
+        }
+        FaultPlan::new(events)
+    }
 }
 
 #[cfg(test)]
@@ -76,5 +137,61 @@ mod tests {
     #[should_panic(expected = "mttr must be positive")]
     fn rejects_negative_mttr() {
         let _ = FailureConfig::new(1.0, -1.0);
+    }
+
+    #[test]
+    fn sampled_plans_are_deterministic_and_well_formed() {
+        let f = FailureConfig::new(20.0, 5.0);
+        let a = f.sample_epoch_plan(8, 50, 1.0, 11);
+        let b = f.sample_epoch_plan(8, 50, 1.0, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, f.sample_epoch_plan(8, 50, 1.0, 12));
+        a.validate(8, 0).unwrap();
+        assert!(a.horizon() <= 50);
+        // Per-server records alternate fail → recover → fail …
+        for j in 0..8 {
+            let mut expect_fail = true;
+            for rec in a.events() {
+                match rec.event {
+                    FaultEvent::ServerFail { server } if server.index() == j => {
+                        assert!(expect_fail, "double fail for server {j}");
+                        expect_fail = false;
+                    }
+                    FaultEvent::ServerRecover { server } if server.index() == j => {
+                        assert!(!expect_fail, "recover before fail for server {j}");
+                        expect_fail = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_streams_are_stable_under_fleet_growth() {
+        let f = FailureConfig::new(10.0, 3.0);
+        let small = f.sample_epoch_plan(4, 40, 2.0, 7);
+        let large = f.sample_epoch_plan(9, 40, 2.0, 7);
+        let only_first_four = |plan: &FaultPlan| {
+            plan.events()
+                .iter()
+                .filter(|r| match r.event {
+                    FaultEvent::ServerFail { server } | FaultEvent::ServerRecover { server } => {
+                        server.index() < 4
+                    }
+                    FaultEvent::RateSpike { .. } => false,
+                })
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(only_first_four(&small), only_first_four(&large));
+    }
+
+    #[test]
+    fn frequent_failures_produce_events_rare_failures_almost_none() {
+        let flaky = FailureConfig::new(2.0, 1.0).sample_epoch_plan(10, 100, 1.0, 3);
+        assert!(flaky.len() > 50, "mtbf of 2 epochs must fail often, got {}", flaky.len());
+        let solid = FailureConfig::new(1e9, 1.0).sample_epoch_plan(10, 100, 1.0, 3);
+        assert!(solid.len() <= 2, "mtbf of 1e9 epochs should almost never fail");
     }
 }

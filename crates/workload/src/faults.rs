@@ -1,0 +1,312 @@
+//! Injectable fault plans: epoch-indexed schedules of server failures,
+//! recoveries and arrival-rate spikes.
+//!
+//! A [`FaultPlan`] is the contract between whatever produces adversity —
+//! the simulator's exponential up/down failure process, a recorded
+//! production trace, a chaos test's RNG — and the epoch control loop that
+//! must survive it. Plans are plain data (serde-serializable, sorted by
+//! epoch) so a chaos run can be replayed bit-for-bit from a JSON file.
+
+use cloudalloc_model::{ClientId, ServerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One adversarial event the epoch loop must react to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The server goes down at the start of the epoch. Placements on it
+    /// stop serving; the repair path must evict and rescue its residents.
+    ServerFail {
+        /// The failing server.
+        server: ServerId,
+    },
+    /// The server comes back at the start of the epoch and may be used by
+    /// the next planning step. Failing an already-down server or
+    /// recovering an up server is a no-op.
+    ServerRecover {
+        /// The recovering server.
+        server: ServerId,
+    },
+    /// The client's *realized* arrival rate this epoch is multiplied by
+    /// `factor` (`> 0`, finite). Spikes are transient: they perturb one
+    /// epoch's actuals, not the base rates the predictor learns from.
+    RateSpike {
+        /// The spiking client.
+        client: ClientId,
+        /// Multiplier applied to the realized rate (`> 0`).
+        factor: f64,
+    },
+}
+
+/// A fault event pinned to the decision epoch in which it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Epoch index (0-based) at whose start the event applies.
+    pub epoch: usize,
+    /// The event.
+    pub event: FaultEvent,
+}
+
+/// Tunables for [`FaultPlan::random`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Per-epoch probability that an up server fails.
+    pub fail_probability: f64,
+    /// Per-epoch probability that a down server recovers.
+    pub recover_probability: f64,
+    /// Per-epoch probability that a client's realized rate spikes.
+    pub spike_probability: f64,
+    /// Spike multipliers are drawn uniformly from this range (`> 0`).
+    pub spike_range: (f64, f64),
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        Self {
+            fail_probability: 0.05,
+            recover_probability: 0.3,
+            spike_probability: 0.05,
+            spike_range: (0.5, 2.5),
+        }
+    }
+}
+
+/// An epoch-sorted schedule of [`FaultRecord`]s.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultRecord>,
+}
+
+impl FaultPlan {
+    /// Creates a plan from an arbitrary record list, sorting it by epoch
+    /// (stable, so same-epoch events keep their given order — failures
+    /// listed before recoveries fire in that order).
+    pub fn new(mut events: Vec<FaultRecord>) -> Self {
+        events.sort_by_key(|r| r.epoch);
+        Self { events }
+    }
+
+    /// All records, sorted by epoch.
+    pub fn events(&self) -> &[FaultRecord] {
+        &self.events
+    }
+
+    /// The records firing at the start of `epoch`.
+    pub fn events_at(&self, epoch: usize) -> &[FaultRecord] {
+        let lo = self.events.partition_point(|r| r.epoch < epoch);
+        let hi = self.events.partition_point(|r| r.epoch <= epoch);
+        &self.events[lo..hi]
+    }
+
+    /// Number of records in the plan.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// One past the last epoch with a scheduled event (0 for an empty
+    /// plan). A replay horizon at least this long sees every event.
+    pub fn horizon(&self) -> usize {
+        self.events.last().map_or(0, |r| r.epoch + 1)
+    }
+
+    /// Checks every record against the system dimensions: ids in range
+    /// and spike factors positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending record.
+    pub fn validate(&self, num_servers: usize, num_clients: usize) -> Result<(), String> {
+        for (i, rec) in self.events.iter().enumerate() {
+            match rec.event {
+                FaultEvent::ServerFail { server } | FaultEvent::ServerRecover { server } => {
+                    if server.index() >= num_servers {
+                        return Err(format!(
+                            "event {i} (epoch {}): server {server} out of range (system has \
+                             {num_servers} servers)",
+                            rec.epoch
+                        ));
+                    }
+                }
+                FaultEvent::RateSpike { client, factor } => {
+                    if client.index() >= num_clients {
+                        return Err(format!(
+                            "event {i} (epoch {}): client {client} out of range (system has \
+                             {num_clients} clients)",
+                            rec.epoch
+                        ));
+                    }
+                    if !(factor.is_finite() && factor > 0.0) {
+                        return Err(format!(
+                            "event {i} (epoch {}): spike factor must be positive and finite, \
+                             got {factor}",
+                            rec.epoch
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws a random plan over `epochs` epochs: every server runs an
+    /// independent per-epoch Bernoulli up/down chain and every client
+    /// independently spikes. Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or the spike range is
+    /// not positive and ordered.
+    pub fn random(
+        config: &FaultPlanConfig,
+        num_servers: usize,
+        num_clients: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        for (name, p) in [
+            ("fail_probability", config.fail_probability),
+            ("recover_probability", config.recover_probability),
+            ("spike_probability", config.spike_probability),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+        }
+        let (lo, hi) = config.spike_range;
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi,
+            "spike_range must be positive and ordered, got ({lo}, {hi})"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut up = vec![true; num_servers];
+        let mut events = Vec::new();
+        for epoch in 0..epochs {
+            for (j, server_up) in up.iter_mut().enumerate() {
+                let roll = rng.gen::<f64>();
+                if *server_up && roll < config.fail_probability {
+                    *server_up = false;
+                    events.push(FaultRecord {
+                        epoch,
+                        event: FaultEvent::ServerFail { server: ServerId(j) },
+                    });
+                } else if !*server_up && roll < config.recover_probability {
+                    *server_up = true;
+                    events.push(FaultRecord {
+                        epoch,
+                        event: FaultEvent::ServerRecover { server: ServerId(j) },
+                    });
+                }
+            }
+            for i in 0..num_clients {
+                if rng.gen::<f64>() < config.spike_probability {
+                    let factor = lo + rng.gen::<f64>() * (hi - lo);
+                    events.push(FaultRecord {
+                        epoch,
+                        event: FaultEvent::RateSpike { client: ClientId(i), factor },
+                    });
+                }
+            }
+        }
+        // Already epoch-ordered by construction; `new` keeps the invariant
+        // explicit.
+        Self::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(vec![
+            FaultRecord { epoch: 3, event: FaultEvent::ServerRecover { server: ServerId(1) } },
+            FaultRecord { epoch: 1, event: FaultEvent::ServerFail { server: ServerId(1) } },
+            FaultRecord {
+                epoch: 1,
+                event: FaultEvent::RateSpike { client: ClientId(0), factor: 2.0 },
+            },
+        ])
+    }
+
+    #[test]
+    fn constructor_sorts_by_epoch_stably() {
+        let p = plan();
+        assert_eq!(p.events()[0].epoch, 1);
+        assert_eq!(p.events()[1].epoch, 1);
+        assert_eq!(p.events()[2].epoch, 3);
+        // Stable: the fail listed first among epoch-1 events stays first.
+        assert!(matches!(p.events()[0].event, FaultEvent::ServerFail { .. }));
+    }
+
+    #[test]
+    fn events_at_returns_the_epoch_slice() {
+        let p = plan();
+        assert_eq!(p.events_at(0).len(), 0);
+        assert_eq!(p.events_at(1).len(), 2);
+        assert_eq!(p.events_at(3).len(), 1);
+        assert_eq!(p.horizon(), 4);
+        assert_eq!(FaultPlan::default().horizon(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_bad_factors() {
+        let p = plan();
+        assert!(p.validate(2, 1).is_ok());
+        assert!(p.validate(1, 1).unwrap_err().contains("server s1 out of range"));
+        assert!(p.validate(2, 0).unwrap_err().contains("client c0 out of range"));
+        let bad = FaultPlan::new(vec![FaultRecord {
+            epoch: 0,
+            event: FaultEvent::RateSpike { client: ClientId(0), factor: 0.0 },
+        }]);
+        assert!(bad.validate(1, 1).unwrap_err().contains("spike factor"));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_valid() {
+        let config = FaultPlanConfig::default();
+        let a = FaultPlan::random(&config, 10, 20, 8, 7);
+        let b = FaultPlan::random(&config, 10, 20, 8, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::random(&config, 10, 20, 8, 8));
+        a.validate(10, 20).unwrap();
+        assert!(a.horizon() <= 8);
+    }
+
+    #[test]
+    fn random_chains_fail_before_recover() {
+        // A recovery for a server can only follow a failure of the same
+        // server at a strictly earlier epoch.
+        let config = FaultPlanConfig {
+            fail_probability: 0.5,
+            recover_probability: 0.5,
+            spike_probability: 0.0,
+            spike_range: (1.0, 1.0),
+        };
+        let p = FaultPlan::random(&config, 6, 0, 20, 3);
+        let mut up = [true; 6];
+        for rec in p.events() {
+            match rec.event {
+                FaultEvent::ServerFail { server } => {
+                    assert!(up[server.index()], "fail of a down server at {}", rec.epoch);
+                    up[server.index()] = false;
+                }
+                FaultEvent::ServerRecover { server } => {
+                    assert!(!up[server.index()], "recover of an up server at {}", rec.epoch);
+                    up[server.index()] = true;
+                }
+                FaultEvent::RateSpike { .. } => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = plan();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<FaultPlan>(&json).unwrap(), p);
+    }
+}

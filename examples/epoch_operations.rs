@@ -17,7 +17,11 @@ fn main() {
     let base_rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
 
     let predictor = EwmaPredictor::new(0.35, &base_rates);
-    let config = EpochConfig { solver: SolverConfig::default(), resolve_threshold: 0.12 };
+    let config = EpochConfig {
+        solver: SolverConfig::default(),
+        resolve_threshold: 0.12,
+        ..Default::default()
+    };
     let mut manager = EpochManager::new(system, predictor, config, 1);
 
     // Drifting demand with occasional surges (a synthetic stand-in for

@@ -1,0 +1,256 @@
+//! Deterministic chaos harness for the resilient epoch loop.
+//!
+//! Seeded fault plans — mass failures, recoveries, rate spikes — are
+//! replayed through [`EpochManager::step_faulted`] and every epoch is
+//! audited: the standing allocation must stay consistent with the masked
+//! system it was planned for, keep no mass on dead servers, and never
+//! fall below the naive drop-the-victims baseline (which itself is never
+//! below doing nothing — partially-dispersed victims earn zero revenue
+//! while their servers still burn cost). All randomness flows from
+//! explicit `u64` seeds: the workload generator, the solver's
+//! best-of-N streams, and [`FaultPlan::random`] each derive their own
+//! SplitMix64 streams, so a failing case replays from its seed alone.
+
+use cloudalloc_core::SolverConfig;
+use cloudalloc_epoch::{EpochConfig, EpochManager, EpochReport, EwmaPredictor, RepairPolicy};
+use cloudalloc_model::{check_feasibility, evaluate, CloudSystem, ServerId, Violation};
+use cloudalloc_workload::{
+    generate, FaultEvent, FaultPlan, FaultPlanConfig, FaultRecord, ScenarioConfig,
+};
+
+fn paper_system(clients: usize, seed: u64) -> CloudSystem {
+    generate(&ScenarioConfig::paper(clients), seed)
+}
+
+fn manager_for(system: CloudSystem, threads: usize, seed: u64) -> EpochManager<EwmaPredictor> {
+    let base: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+    let predictor = EwmaPredictor::new(0.4, &base);
+    let config = EpochConfig {
+        solver: SolverConfig { num_threads: Some(threads), ..SolverConfig::fast() },
+        repair: RepairPolicy::default(),
+        ..Default::default()
+    };
+    EpochManager::new(system, predictor, config, seed)
+}
+
+/// Audits the manager's standing plan against the exact system it was
+/// planned for (predicted rates + down-set): aggregates consistent, no
+/// mass on dead servers, no violation beyond declined admission.
+fn audit_plan(manager: &EpochManager<EwmaPredictor>, base: &CloudSystem, what: &str) {
+    let failed = manager.failed_servers();
+    let planned = base.with_predicted_rates(manager.predicted_rates()).with_failed_servers(&failed);
+    manager.allocation().assert_consistent(&planned);
+    for &s in &failed {
+        assert!(
+            manager.allocation().residents(s).is_empty(),
+            "{what}: plan keeps clients on dead server {s}"
+        );
+    }
+    assert!(
+        check_feasibility(&planned, manager.allocation())
+            .iter()
+            .all(|v| matches!(v, Violation::Unassigned { .. })),
+        "{what}: plan violates a hard constraint"
+    );
+}
+
+#[test]
+fn mass_failure_mid_run_repairs_validly_and_beats_dropping_the_victims() {
+    let system = paper_system(30, 41);
+    let rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+    let mut manager = manager_for(system.clone(), 1, 41);
+
+    // Warm up two healthy epochs, then kill 20% of the servers the
+    // standing plan actually uses.
+    for _ in 0..2 {
+        manager.step_faulted(&rates, &[]);
+        audit_plan(&manager, &system, "healthy epoch");
+    }
+    let active: Vec<ServerId> = manager.allocation().active_servers().collect();
+    assert!(!active.is_empty(), "warm plan serves nobody");
+    let kill = ((system.num_servers() as f64 * 0.2).ceil() as usize).min(active.len()).max(1);
+    let events: Vec<FaultRecord> = active[..kill]
+        .iter()
+        .map(|&server| FaultRecord { epoch: 2, event: FaultEvent::ServerFail { server } })
+        .collect();
+
+    let report = manager.step_faulted(&rates, &events);
+    let repair = report.repair.expect("mass failure must trigger a repair");
+    assert_eq!(repair.failed_servers, kill);
+    assert!(repair.victims > 0, "the killed servers were active; someone lived there");
+    // Profit-monotone rescue chain: repaired ≥ naive drop ≥ doing nothing.
+    assert!(
+        repair.repaired_profit >= repair.naive_profit - 1e-9,
+        "repair {} fell below the drop-the-victims baseline {}",
+        repair.repaired_profit,
+        repair.naive_profit
+    );
+    assert!(
+        repair.naive_profit >= repair.stale_profit - 1e-9,
+        "dropping the victims ({}) must not lose to doing nothing ({})",
+        repair.naive_profit,
+        repair.stale_profit
+    );
+    audit_plan(&manager, &system, "post-failure epoch");
+
+    // The outage persists (no recovery events): later plans must keep
+    // avoiding the dead servers without any further repair work.
+    let report = manager.step_faulted(&rates, &[]);
+    assert!(report.repair.is_none(), "repair must not re-trigger on an already-clean plan");
+    audit_plan(&manager, &system, "steady outage epoch");
+}
+
+#[test]
+fn random_fault_storms_never_break_the_plan() {
+    for seed in [7_u64, 19] {
+        let system = paper_system(24, seed);
+        let rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+        let epochs = 8;
+        let plan = FaultPlan::random(
+            &FaultPlanConfig { fail_probability: 0.25, ..Default::default() },
+            system.num_servers(),
+            system.num_clients(),
+            epochs,
+            seed ^ 0xC4A05,
+        );
+        plan.validate(system.num_servers(), system.num_clients()).unwrap();
+        let mut manager = manager_for(system.clone(), 1, seed);
+        for epoch in 0..epochs {
+            let report = manager.step_faulted(&rates, plan.events_at(epoch));
+            assert!(report.actual_profit.is_finite(), "seed {seed} epoch {epoch}: NaN profit");
+            if let Some(repair) = &report.repair {
+                assert!(
+                    repair.repaired_profit >= repair.naive_profit - 1e-9,
+                    "seed {seed} epoch {epoch}: repair lost to the naive drop"
+                );
+            }
+            audit_plan(&manager, &system, &format!("seed {seed} epoch {epoch}"));
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_are_bit_identical_across_thread_counts() {
+    let seed = 23;
+    let system = paper_system(20, seed);
+    let rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+    let epochs = 6;
+    let plan = FaultPlan::random(
+        &FaultPlanConfig { fail_probability: 0.3, spike_probability: 0.2, ..Default::default() },
+        system.num_servers(),
+        system.num_clients(),
+        epochs,
+        seed ^ 0xDE7,
+    );
+
+    let run = |threads: usize| -> (Vec<EpochReport>, f64) {
+        let mut manager = manager_for(system.clone(), threads, seed);
+        let reports: Vec<EpochReport> =
+            (0..epochs).map(|e| manager.step_faulted(&rates, plan.events_at(e))).collect();
+        let failed = manager.failed_servers();
+        let final_system =
+            system.with_predicted_rates(manager.predicted_rates()).with_failed_servers(&failed);
+        let final_profit = evaluate(&final_system, manager.allocation()).profit;
+        (reports, final_profit)
+    };
+
+    let (reports_1, profit_1) = run(1);
+    let (reports_8, profit_8) = run(8);
+    // Same seed + same plan ⇒ identical event trace, repair decisions
+    // and profits, bit for bit, regardless of worker count.
+    assert_eq!(reports_1, reports_8);
+    assert_eq!(profit_1.to_bits(), profit_8.to_bits());
+    assert!(reports_1.iter().any(|r| r.repair.is_some()), "storm never struck; weak test");
+}
+
+#[test]
+fn recovery_after_an_outage_restores_the_profit_band() {
+    let system = paper_system(20, 57);
+    let rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+    let mut manager = manager_for(system.clone(), 1, 57);
+    let healthy = manager.step_faulted(&rates, &[]).actual_profit;
+
+    let active: Vec<ServerId> = manager.allocation().active_servers().collect();
+    assert!(active.len() >= 2, "need at least two active servers to stage an outage");
+    let kill = &active[..active.len() / 2];
+    let fail: Vec<FaultRecord> = kill
+        .iter()
+        .map(|&server| FaultRecord { epoch: 1, event: FaultEvent::ServerFail { server } })
+        .collect();
+    let hit = manager.step_faulted(&rates, &fail).actual_profit;
+    audit_plan(&manager, &system, "outage epoch");
+
+    let recover: Vec<FaultRecord> = kill
+        .iter()
+        .map(|&server| FaultRecord { epoch: 2, event: FaultEvent::ServerRecover { server } })
+        .collect();
+    manager.step_faulted(&rates, &recover);
+    assert!(manager.failed_servers().is_empty());
+    // Give the warm-started planner one epoch to re-expand, then demand
+    // the healthy band back (the loop may even do better: post-outage
+    // plans start from a fresher search).
+    let healed = manager.step_faulted(&rates, &[]).actual_profit;
+    assert!(healed >= hit - 1e-9, "recovery lost profit: {healed} < outage {hit}");
+    assert!(
+        healed >= 0.9 * healthy - 1e-9,
+        "recovered profit {healed} never returned near the healthy band {healthy}"
+    );
+}
+
+#[test]
+fn shed_then_readmit_cycle_stays_clean() {
+    // Starve the fleet (fail most of it, spike the survivors' demand) so
+    // admission shedding must trigger, then heal everything and verify
+    // the loop re-admits: served clients and profit return, and no epoch
+    // ever reports a non-finite profit or phantom instability.
+    let system = paper_system(16, 73);
+    let rates: Vec<f64> = system.clients().iter().map(|c| c.rate_predicted).collect();
+    let mut manager = manager_for(system.clone(), 1, 73);
+    let served = |manager: &EpochManager<EwmaPredictor>| {
+        (0..system.num_clients())
+            .filter(|&i| !manager.allocation().placements(cloudalloc_model::ClientId(i)).is_empty())
+            .count()
+    };
+    manager.step_faulted(&rates, &[]);
+
+    let active: Vec<ServerId> = manager.allocation().active_servers().collect();
+    assert!(!active.is_empty());
+    let keep = 1.max(active.len() / 4);
+    let mut events: Vec<FaultRecord> = active[keep..]
+        .iter()
+        .map(|&server| FaultRecord { epoch: 1, event: FaultEvent::ServerFail { server } })
+        .collect();
+    for i in 0..system.num_clients() {
+        events.push(FaultRecord {
+            epoch: 1,
+            event: FaultEvent::RateSpike { client: cloudalloc_model::ClientId(i), factor: 2.5 },
+        });
+    }
+    let squeezed = manager.step_faulted(&rates, &events);
+    assert!(squeezed.actual_profit.is_finite());
+    assert!(squeezed.repair.expect("the squeeze must trigger a repair").victims > 0);
+    audit_plan(&manager, &system, "squeezed epoch");
+    let squeezed_served = served(&manager);
+
+    let heal: Vec<FaultRecord> = manager
+        .failed_servers()
+        .into_iter()
+        .map(|server| FaultRecord { epoch: 2, event: FaultEvent::ServerRecover { server } })
+        .collect();
+    manager.step_faulted(&rates, &heal);
+    let healed = manager.step_faulted(&rates, &[]);
+    assert!(healed.actual_profit.is_finite());
+    audit_plan(&manager, &system, "healed epoch");
+    let healed_served = served(&manager);
+    assert!(
+        healed_served >= squeezed_served,
+        "healing lost clients: {healed_served} served after vs {squeezed_served} while squeezed"
+    );
+    assert!(
+        healed.actual_profit >= squeezed.actual_profit - 1e-9,
+        "healing lost profit: {} < squeezed {}",
+        healed.actual_profit,
+        squeezed.actual_profit
+    );
+    assert_eq!(healed.unstable_clients, 0, "healed fleet still reports unstable queues");
+}

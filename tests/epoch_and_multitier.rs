@@ -14,7 +14,8 @@ fn diurnal_operations_survive_a_full_day() {
     let trace = DiurnalTrace::new(base.len(), 8.0, 0.4, 0.05, 3);
 
     let predictor = EwmaPredictor::new(0.5, &base);
-    let config = EpochConfig { solver: SolverConfig::fast(), resolve_threshold: 0.10 };
+    let config =
+        EpochConfig { solver: SolverConfig::fast(), resolve_threshold: 0.10, ..Default::default() };
     let mut manager = EpochManager::new(system, predictor, config, 1);
 
     let mut total_profit = 0.0;
@@ -96,6 +97,7 @@ fn epoch_manager_composes_with_multitier_systems() {
     let config = EpochConfig {
         solver: SolverConfig { require_service: true, ..SolverConfig::fast() },
         resolve_threshold: 0.2,
+        ..Default::default()
     };
     let mut manager = EpochManager::new(system, predictor, config, 4);
     for scale in [1.0, 1.1, 0.9] {
