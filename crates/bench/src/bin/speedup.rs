@@ -14,9 +14,13 @@
 //!   through from-scratch [`evaluate`] calls (the pre-incremental scoring
 //!   discipline), asserting the final profits agree to 1e-6 and reporting
 //!   the wall-clock ratio.
-//! * **E5c — parallel construction.** Times `solve` with one worker
-//!   thread vs all available cores on a best-of-N configuration; the
-//!   per-pass RNG streams make the result identical for any thread count.
+//! * **E5c — restart fan-out.** Times `solve` with one worker thread vs
+//!   all available cores on a best-of-N configuration; the per-pass RNG
+//!   streams make the result identical for any thread count. Records the
+//!   thread count actually requested for the parallel leg *and* the
+//!   machine's core count (earlier revisions wrote whatever
+//!   `available_parallelism` returned into `threads`, which on a one-core
+//!   CI box rendered every "parallel" row as `"threads": 1`).
 //! * **E5d — candidate search.** The allocation-free, run-deduplicated,
 //!   slack-pruned `assign_distribute` path vs the retained exhaustive
 //!   reference. An untimed verification pass first asserts every candidate
@@ -45,15 +49,26 @@
 //!   drop-the-victims baseline **and** that it is strictly faster than the
 //!   re-solve — the latency headroom that justifies the epoch loop's
 //!   repair-first, escalate-late policy.
+//! * **E5h — intra-solve fan-out.** A *single* paper-scale solve
+//!   (`num_init_solns = 1`, so the restart fan-out of E5c contributes
+//!   nothing) with one worker vs eight. This isolates the per-cluster
+//!   fan-out inside the solve: candidate searches and the cluster-grained
+//!   local-search phases dispatch over the pool with a deterministic
+//!   fixed-order reduction, so the profit is asserted **bit-identical**
+//!   across thread counts. The ≥3x wall-clock gate additionally applies
+//!   whenever the machine exposes at least eight cores; on smaller boxes
+//!   the bit-identity assertion still runs and the gate reports itself
+//!   skipped.
 //!
 //! ```text
 //! cargo run -p cloudalloc-bench --release --bin speedup [--seed N] [--json PATH] [--smoke]
 //! ```
 //!
-//! The per-seed records of E5b/E5c/E5d are always written as JSON
+//! The per-seed records of every section are always written as JSON
 //! (default `BENCH_speedup.json`, override with `--json`). `--smoke` runs
-//! only the E5d equivalence assertions on a tiny configuration — the CI
-//! gate: the process exits non-zero when old and new paths disagree.
+//! the E5d/E5e/E5f/E5g/E5h equivalence assertions on tiny configurations —
+//! the CI gate: the process exits non-zero when any pair of paths
+//! disagrees.
 
 use std::time::Instant;
 
@@ -77,6 +92,11 @@ const SCORING_SEEDS: usize = 3;
 const REPS: usize = 3;
 /// E5d runs are only milliseconds long; extra reps tame timer noise.
 const SEARCH_REPS: usize = 7;
+/// Worker count for the E5h parallel leg.
+const INTRA_THREADS: usize = 8;
+/// Minimum E5h wall-clock speedup demanded when the machine actually has
+/// [`INTRA_THREADS`] cores to run on.
+const INTRA_SPEEDUP_FLOOR: f64 = 3.0;
 
 /// One local-search move of the scoring trace, pre-resolved so both
 /// engines replay bit-identical mutations.
@@ -202,16 +222,36 @@ struct ScoringRecord {
     incremental_profit: f64,
 }
 
-/// Per-seed record of the one-thread-vs-all-cores solve comparison (E5c).
+/// Per-seed record of the one-thread-vs-all-cores restart comparison
+/// (E5c). `threads` is the worker count the parallel leg *requested*;
+/// `available_cores` is what the machine actually offers — on a one-core
+/// box the two legs run the same schedule and the speedup is ~1.
 #[derive(Debug, Serialize)]
-struct ParallelRecord {
+struct RestartsRecord {
     seed: u64,
     clients: usize,
     threads: usize,
+    available_cores: usize,
     single_seconds: f64,
     parallel_seconds: f64,
     speedup: f64,
     single_profit: f64,
+    parallel_profit: f64,
+}
+
+/// Per-seed record of the single-solve intra-solve fan-out comparison
+/// (E5h): one paper-scale solve, one worker vs [`INTRA_THREADS`].
+#[derive(Debug, Serialize)]
+struct IntraSolveRecord {
+    seed: u64,
+    clients: usize,
+    clusters: usize,
+    threads: usize,
+    available_cores: usize,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    speedup: f64,
+    serial_profit: f64,
     parallel_profit: f64,
 }
 
@@ -279,7 +319,8 @@ struct RepairLatencyRecord {
 #[derive(Debug, Serialize)]
 struct SpeedupReport {
     scoring: Vec<ScoringRecord>,
-    parallel: Vec<ParallelRecord>,
+    restarts: Vec<RestartsRecord>,
+    intra_solve: Vec<IntraSolveRecord>,
     candidate_search: Vec<CandidateSearchRecord>,
     telemetry_overhead: Vec<TelemetryOverheadRecord>,
     lowering: Vec<LoweringRecord>,
@@ -430,8 +471,9 @@ fn bench_incremental_scoring(base_seed: u64) -> Vec<ScoringRecord> {
     records
 }
 
-fn bench_parallel_construction(base_seed: u64) -> Vec<ParallelRecord> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+fn bench_restarts(base_seed: u64) -> Vec<RestartsRecord> {
+    let available_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = available_cores;
     let mut table = Table::new(vec![
         "seed".into(),
         "1 thread".into(),
@@ -442,7 +484,7 @@ fn bench_parallel_construction(base_seed: u64) -> Vec<ParallelRecord> {
     ]);
     println!(
         "E5c — best-of-8 construction + local search, 1 worker vs {threads} \
-         (N={SCORING_CLIENTS}, best of {REPS} reps)"
+         (N={SCORING_CLIENTS}, {available_cores} cores, best of {REPS} reps)"
     );
     let mut records = Vec::new();
     for offset in 0..SCORING_SEEDS as u64 {
@@ -483,10 +525,11 @@ fn bench_parallel_construction(base_seed: u64) -> Vec<ParallelRecord> {
             format!("{:.4}", single.1),
             format!("{:.4}", parallel.1),
         ]);
-        records.push(ParallelRecord {
+        records.push(RestartsRecord {
             seed,
             clients: SCORING_CLIENTS,
             threads,
+            available_cores,
             single_seconds: single.0,
             parallel_seconds: parallel.0,
             speedup: single.0 / parallel.0,
@@ -498,6 +541,112 @@ fn bench_parallel_construction(base_seed: u64) -> Vec<ParallelRecord> {
     println!(
         "expected shape: identical profits per seed for every thread count;\n\
          wall-clock speedup bounded by min(8 passes, physical cores)\n"
+    );
+    records
+}
+
+/// E5h: one paper-scale solve (`num_init_solns = 1`) so the only
+/// parallelism in play is the intra-solve per-cluster fan-out — candidate
+/// searches and the cluster-grained local-search phases dispatched over
+/// the solver pool with the deterministic fixed-order reduction.
+///
+/// Profit bit-identity between the serial and parallel legs is asserted
+/// unconditionally. The ≥[`INTRA_SPEEDUP_FLOOR`]x wall-clock gate applies
+/// only when the machine exposes at least [`INTRA_THREADS`] cores: the
+/// schedule is identical either way, but a one-core CI box cannot
+/// manufacture wall-clock parallelism to measure.
+fn bench_intra_solve(base_seed: u64, smoke: bool) -> Vec<IntraSolveRecord> {
+    let available_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // A cluster count comfortably above the worker count keeps every
+    // worker's chunk non-trivial; the paper family's default of 5 would
+    // leave most of an 8-worker pool idle.
+    let (clients, clusters, reps) = if smoke { (48, 8, 1) } else { (NUM_CLIENTS, 16, REPS) };
+    let mut table = Table::new(vec![
+        "seed".into(),
+        "clusters".into(),
+        "1 thread".into(),
+        format!("{INTRA_THREADS} threads"),
+        "speedup".into(),
+        "profit_1".into(),
+        format!("profit_{INTRA_THREADS}"),
+    ]);
+    println!(
+        "E5h — intra-solve fan-out, single solve (num_init_solns=1), 1 worker \
+         vs {INTRA_THREADS} (N={clients}, K={clusters}, {available_cores} \
+         cores, best of {reps} reps)"
+    );
+    let mut records = Vec::new();
+    let seed = base_seed;
+    let scenario = ScenarioConfig { num_clusters: clusters, ..ScenarioConfig::paper(clients) };
+    let system = generate(&scenario, seed);
+    let base_cfg = if smoke { SolverConfig::fast() } else { SolverConfig::default() };
+    let serial_cfg = SolverConfig { num_init_solns: 1, num_threads: Some(1), ..base_cfg };
+    let parallel_cfg = SolverConfig { num_threads: Some(INTRA_THREADS), ..serial_cfg.clone() };
+
+    let mut serial = (f64::INFINITY, 0.0);
+    let mut parallel = (f64::INFINITY, 0.0);
+    for _ in 0..reps {
+        let begin = Instant::now();
+        let result = solve(&system, &serial_cfg, seed);
+        let t = begin.elapsed().as_secs_f64();
+        if t < serial.0 {
+            serial = (t, result.report.profit);
+        }
+        let begin = Instant::now();
+        let result = solve(&system, &parallel_cfg, seed);
+        let t = begin.elapsed().as_secs_f64();
+        if t < parallel.0 {
+            parallel = (t, result.report.profit);
+        }
+    }
+    assert_eq!(
+        serial.1.to_bits(),
+        parallel.1.to_bits(),
+        "seed {seed}: intra-solve fan-out changed the result: {} vs {}",
+        serial.1,
+        parallel.1
+    );
+    let speedup = serial.0 / parallel.0;
+    if available_cores >= INTRA_THREADS {
+        assert!(
+            speedup >= INTRA_SPEEDUP_FLOOR,
+            "seed {seed}: intra-solve speedup {speedup:.2}x fell below the \
+             {INTRA_SPEEDUP_FLOOR}x floor on a {available_cores}-core machine"
+        );
+    } else {
+        println!(
+            "note: {available_cores} core(s) < {INTRA_THREADS} workers — the \
+             {INTRA_SPEEDUP_FLOOR}x wall-clock gate is skipped; profit \
+             bit-identity was asserted regardless"
+        );
+    }
+    table.row(vec![
+        seed.to_string(),
+        clusters.to_string(),
+        format!("{:.3}s", serial.0),
+        format!("{:.3}s", parallel.0),
+        format!("{speedup:.2}x"),
+        format!("{:.4}", serial.1),
+        format!("{:.4}", parallel.1),
+    ]);
+    records.push(IntraSolveRecord {
+        seed,
+        clients,
+        clusters,
+        threads: INTRA_THREADS,
+        available_cores,
+        serial_seconds: serial.0,
+        parallel_seconds: parallel.0,
+        speedup,
+        serial_profit: serial.1,
+        parallel_profit: parallel.1,
+    });
+    println!("{table}");
+    println!(
+        "expected shape: profits bit-identical by construction (asserted);\n\
+         wall-clock speedup tracks min(workers, cores, clusters/chunk) — the\n\
+         fan-out covers candidate search and the cluster-local phases, while\n\
+         delta replay and the global-profit operators stay serial\n"
     );
     records
 }
@@ -1079,15 +1228,18 @@ fn main() {
     args.init_telemetry();
     let path = args.json.clone().unwrap_or_else(|| "BENCH_speedup.json".into());
     if args.smoke {
-        // CI smoke gate: the E5d and E5f equivalence assertions plus the
-        // E5e telemetry bit-identity assertion, tiny configs.
+        // CI smoke gate: the E5d/E5f equivalence assertions, the E5e
+        // telemetry bit-identity assertion and the E5h intra-solve
+        // thread-invariance assertion, tiny configs.
         let candidate_search = bench_candidate_search(args.seed, true);
         let telemetry_overhead = bench_telemetry_overhead(args.seed, true);
         let lowering = bench_lowering(args.seed, true);
         let repair = bench_repair_latency(args.seed, true);
+        let intra_solve = bench_intra_solve(args.seed, true);
         let report = SpeedupReport {
             scoring: Vec::new(),
-            parallel: Vec::new(),
+            restarts: Vec::new(),
+            intra_solve,
             candidate_search,
             telemetry_overhead,
             lowering,
@@ -1101,14 +1253,22 @@ fn main() {
     }
     bench_distributed_greedy(args.seed);
     let scoring = bench_incremental_scoring(args.seed);
-    let parallel = bench_parallel_construction(args.seed);
+    let restarts = bench_restarts(args.seed);
+    let intra_solve = bench_intra_solve(args.seed, false);
     let candidate_search = bench_candidate_search(args.seed, false);
     let telemetry_overhead = bench_telemetry_overhead(args.seed, false);
     let lowering = bench_lowering(args.seed, false);
     let repair = bench_repair_latency(args.seed, false);
 
-    let report =
-        SpeedupReport { scoring, parallel, candidate_search, telemetry_overhead, lowering, repair };
+    let report = SpeedupReport {
+        scoring,
+        restarts,
+        intra_solve,
+        candidate_search,
+        telemetry_overhead,
+        lowering,
+        repair,
+    };
     std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
         .expect("writable json path");
     cloudalloc_telemetry::progress!("wrote {path}");

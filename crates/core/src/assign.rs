@@ -609,14 +609,30 @@ pub fn best_cluster(
     alloc: &Allocation,
     client: ClientId,
 ) -> Option<Candidate> {
+    let clusters = ctx.system.num_clusters();
+    let threads = ctx.threads.min(clusters);
+    // Fan the per-cluster searches out over the solver pool when one is
+    // available and we are not already inside a fan-out (nested dispatch
+    // runs serially inline; see `par`). The reduction below visits the
+    // slots in cluster order either way, so the winner — including the
+    // lowest-index tie-break — is bit-identical to the serial loop.
+    let reduce = |best: Option<Candidate>, cand: Candidate| match best {
+        Some(b) if b.score >= cand.score => Some(b),
+        _ => Some(cand),
+    };
+    if threads > 1 && !crate::par::in_worker() {
+        return crate::par::run_parallel(clusters, threads, |k| {
+            assign_distribute(ctx, alloc, client, ClusterId(k))
+        })
+        .into_iter()
+        .flatten()
+        .fold(None, reduce);
+    }
     // Ties break toward the lowest cluster id so the sequential and
     // distributed solvers make identical choices.
-    (0..ctx.system.num_clusters())
+    (0..clusters)
         .filter_map(|k| assign_distribute(ctx, alloc, client, ClusterId(k)))
-        .fold(None, |best: Option<Candidate>, cand| match best {
-            Some(b) if b.score >= cand.score => Some(b),
-            _ => Some(cand),
-        })
+        .fold(None, reduce)
 }
 
 /// [`best_cluster`] over the reference search path; exported alongside

@@ -38,6 +38,10 @@ pub struct SolverCtx<'a> {
     /// for another context's (clones share the token — and the identical
     /// system, configuration and shadow price the tables derive from).
     pub(crate) token: u64,
+    /// [`SolverConfig::effective_threads`] resolved once at construction:
+    /// the env-var lookup and core count probe are too slow for per-call
+    /// hot paths like the candidate-search fan-out.
+    pub(crate) threads: usize,
 }
 
 impl<'a> SolverCtx<'a> {
@@ -66,7 +70,8 @@ impl<'a> SolverCtx<'a> {
             (total / n as f64).max(1e-9)
         });
         let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
-        Self { system, config, shadow_price, compiled, token }
+        let threads = config.effective_threads();
+        Self { system, config, shadow_price, compiled, token, threads }
     }
 
     /// Revenue-sensitivity weight of a client at response time `r`:

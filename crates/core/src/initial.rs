@@ -5,9 +5,6 @@
 //! each pass owns a seeded RNG stream, so results are identical for every
 //! thread count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -16,6 +13,7 @@ use cloudalloc_model::{evaluate, Allocation, ClientId};
 
 use crate::assign::{best_cluster, commit};
 use crate::ctx::SolverCtx;
+use crate::par::{pass_seed, run_parallel};
 
 /// One greedy pass: clients in `order` are inserted sequentially, each
 /// into the cluster maximizing its approximate profit against the current
@@ -34,56 +32,6 @@ pub fn greedy_pass(ctx: &SolverCtx<'_>, order: &[ClientId]) -> Allocation {
         }
     }
     alloc
-}
-
-/// Decorrelates per-pass RNG streams (SplitMix64 finalizer over the
-/// golden-ratio-striped pass index). Pass 0 keeps the raw seed so a
-/// single-pass run and the first pass of a multi-pass run draw the same
-/// ordering.
-pub(crate) fn pass_seed(seed: u64, pass: u64) -> u64 {
-    if pass == 0 {
-        return seed;
-    }
-    let mut z = seed ^ pass.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Runs `jobs` independent tasks on up to `threads` scoped workers and
-/// returns the results in job order. Falls back to the calling thread
-/// when one worker suffices. Used for greedy passes and multi-seed
-/// restarts; `f` must be deterministic per job index for the solver's
-/// reproducibility guarantee.
-pub(crate) fn run_parallel<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.min(jobs).max(1);
-    if threads == 1 {
-        return (0..jobs).map(f).collect();
-    }
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let job = next.fetch_add(1, Ordering::Relaxed);
-                if job >= jobs {
-                    break;
-                }
-                let result = f(job);
-                slots.lock().expect("worker panicked")[job] = Some(result);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("worker panicked")
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
 }
 
 /// Builds `num_init_solns` randomized greedy solutions in parallel and

@@ -44,12 +44,14 @@ mod config;
 mod ctx;
 mod explain;
 mod initial;
+mod rounds;
 mod scratch;
 mod solve;
 
 pub mod dispersion;
 pub mod kkt;
 pub mod ops;
+pub mod par;
 
 pub use assign::{
     assign_distribute, assign_distribute_excluding, assign_distribute_reference, best_cluster,

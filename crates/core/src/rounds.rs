@@ -1,0 +1,141 @@
+//! Deterministic intra-round operator fan-out (DESIGN.md §3h).
+//!
+//! The cluster-grained local-search phases — share re-balancing,
+//! dispersion re-balancing, server activation and shutdown — only ever
+//! read and mutate state inside one cluster (clients assigned to it,
+//! servers belonging to it), so distinct clusters can be evaluated
+//! concurrently. [`run_phase`] does exactly that while keeping the result
+//! a pure function of the inputs, independent of the thread count:
+//!
+//! 1. The live evaluator is flushed, then **forked** once per cluster
+//!    ([`ScoredAllocation::fork`]); each fork sees the identical
+//!    phase-start snapshot no matter which worker runs it or in what
+//!    order.
+//! 2. The phase's operator runs on the fork exactly as it would have on
+//!    the live evaluator, savepoints, rollbacks and all. Rejected trial
+//!    moves unwind inside the fork and leave no trace.
+//! 3. The surviving net change is extracted as an
+//!    [`AllocationDelta`](cloudalloc_model::AllocationDelta) and
+//!    **committed serially** in canonical cluster order on the calling
+//!    thread. The commit must stay serial: replaying through the normal
+//!    journaled mutation path is what keeps the undo journal, the dirty
+//!    sets and the compensated profit totals on the live evaluator in one
+//!    consistent, rollback-safe sequence — and a fixed replay order is
+//!    what makes the accumulated floats reproducible.
+//!
+//! This schedule is *the* canonical schedule: it also runs at
+//! `threads == 1` (the fan-out simply degenerates to an inline loop over
+//! the same forks), so every thread count replays byte-identical
+//! decisions rather than merely similar ones.
+
+use cloudalloc_model::{AllocationDelta, ClusterId, ScoredAllocation};
+use cloudalloc_telemetry as telemetry;
+
+use crate::ctx::SolverCtx;
+use crate::par;
+
+/// Runs one cluster-grained operator phase: `op(fork, k)` is evaluated
+/// for every cluster `k` on the solver pool against a private fork of the
+/// phase-start state, and the accepted changes are replayed onto `scored`
+/// in ascending cluster order.
+///
+/// `op` must confine its reads and writes to cluster `k` (the operator
+/// contract of paper §V-B); subject to that, the post-phase state is
+/// identical for every thread count.
+pub(crate) fn run_phase<'a, F>(ctx: &SolverCtx<'_>, scored: &mut ScoredAllocation<'a>, op: F)
+where
+    F: Fn(&mut ScoredAllocation<'a>, ClusterId) + Sync,
+{
+    let clusters = ctx.system.num_clusters();
+    // Canonical flush: forks must snapshot fully-rescored caches so every
+    // cluster's decisions price against the same phase-start profit.
+    scored.profit();
+    let deltas: Vec<AllocationDelta> = {
+        let base: &ScoredAllocation<'a> = scored;
+        par::run_parallel(clusters, ctx.threads.min(clusters), |k| {
+            let _span = telemetry::span!("solve.fanout.cluster");
+            let mut sim = base.fork();
+            let mark = sim.savepoint();
+            op(&mut sim, ClusterId(k));
+            sim.delta_since(mark)
+        })
+    };
+    for delta in &deltas {
+        if !delta.is_empty() {
+            telemetry::counter!("solve.fanout.changes").add(delta.len() as u64);
+            scored.apply_delta(delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::ops::{adjust_resource_shares, turn_off_servers, turn_on_servers};
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    /// A greedy start followed by one fan-out phase per operator must be
+    /// bit-identical across thread counts.
+    #[test]
+    fn phase_results_are_identical_across_thread_counts() {
+        let system = generate(&ScenarioConfig::small(12), 91);
+        let run = |threads: usize| {
+            let config = SolverConfig { num_threads: Some(threads), ..Default::default() };
+            let ctx = SolverCtx::new(&system, &config);
+            let (alloc, _) = crate::initial::best_initial(&ctx, 5);
+            let mut scored = ScoredAllocation::lowered(&ctx.compiled, alloc);
+            run_phase(&ctx, &mut scored, |sim, k| {
+                for &server in ctx.compiled.cluster_servers(k) {
+                    if sim.alloc().is_on(server) {
+                        adjust_resource_shares(&ctx, sim, server);
+                    }
+                }
+            });
+            run_phase(&ctx, &mut scored, |sim, k| {
+                turn_on_servers(&ctx, sim, k);
+            });
+            run_phase(&ctx, &mut scored, |sim, k| {
+                turn_off_servers(&ctx, sim, k);
+            });
+            let profit = scored.profit();
+            (scored.into_allocation(), profit)
+        };
+        let (alloc_1, profit_1) = run(1);
+        for threads in [2, 4, 8] {
+            let (alloc_t, profit_t) = run(threads);
+            assert_eq!(alloc_1, alloc_t, "threads={threads}");
+            assert_eq!(profit_1.to_bits(), profit_t.to_bits(), "threads={threads}");
+        }
+    }
+
+    /// Each phase only commits improving changes, so the fan-out preserves
+    /// the operators' monotonicity: disjoint clusters contribute disjoint,
+    /// individually non-negative profit deltas.
+    #[test]
+    fn phases_never_decrease_profit() {
+        let system = generate(&ScenarioConfig::small(10), 92);
+        let config = SolverConfig { num_threads: Some(4), ..Default::default() };
+        let ctx = SolverCtx::new(&system, &config);
+        let (alloc, _) = crate::initial::best_initial(&ctx, 9);
+        let mut scored = ScoredAllocation::lowered(&ctx.compiled, alloc);
+        let mut last = scored.profit();
+        for _ in 0..2 {
+            run_phase(&ctx, &mut scored, |sim, k| {
+                for &server in ctx.compiled.cluster_servers(k) {
+                    if sim.alloc().is_on(server) {
+                        adjust_resource_shares(&ctx, sim, server);
+                    }
+                }
+            });
+            run_phase(&ctx, &mut scored, |sim, k| {
+                turn_off_servers(&ctx, sim, k);
+            });
+            let now = scored.profit();
+            assert!(now >= last - 1e-9, "phase decreased profit: {last} -> {now}");
+            last = now;
+        }
+        let alloc = scored.into_allocation();
+        alloc.assert_consistent(&system);
+    }
+}

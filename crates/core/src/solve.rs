@@ -8,17 +8,18 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use cloudalloc_model::{
-    evaluate, Allocation, ClientId, CloudSystem, ClusterId, ProfitReport, ScoredAllocation,
-    ServerId,
+    evaluate, Allocation, ClientId, CloudSystem, ProfitReport, ScoredAllocation,
 };
 
 use crate::config::SolverConfig;
 use crate::ctx::SolverCtx;
-use crate::initial::{best_initial, pass_seed, run_parallel};
+use crate::initial::best_initial;
 use crate::ops::{
     adjust_dispersion_rates, adjust_resource_shares, reassign_clients, swap_clients,
     turn_off_servers, turn_on_servers,
 };
+use crate::par::{pass_seed, run_parallel};
+use crate::rounds::run_phase;
 
 /// Outcome of a full solver run.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +52,15 @@ pub struct SearchStats {
 /// profit trace is non-decreasing. The round-level profit comes straight
 /// from the incremental caches — no full re-evaluation anywhere in the
 /// loop.
+///
+/// The cluster-grained phases fan out over the solver pool via
+/// [`run_phase`]: each cluster is evaluated against a fork of the
+/// phase-start state and the accepted changes replay serially in cluster
+/// order. That schedule runs at every thread count (including one), so
+/// identical `(system, config, seed)` inputs yield bit-identical results
+/// regardless of `num_threads`. Reassignment (and the optional swap) stay
+/// serial — their accept tests chain through the evolving global profit —
+/// but the candidate search inside them fans out per cluster.
 pub fn improve_scored(
     ctx: &SolverCtx<'_>,
     scored: &mut ScoredAllocation<'_>,
@@ -63,36 +73,47 @@ pub fn improve_scored(
     let mut stats = SearchStats { history: vec![profit], ..Default::default() };
 
     let mut order: Vec<ClientId> = (0..system.num_clients()).map(ClientId).collect();
-    // Active-server work list owned by the loop: re-filled each round, its
-    // allocation amortized away instead of re-collected per pass.
-    let mut active: Vec<ServerId> = Vec::new();
     for round in 0..config.max_rounds {
         let _round_span = telemetry::span!("solve.round");
         if config.adjust_shares {
             let _span = telemetry::span!("solve.phase.shares");
-            active.clear();
-            active.extend(scored.alloc().active_servers());
-            for &server in &active {
-                adjust_resource_shares(ctx, scored, server);
-            }
+            run_phase(ctx, scored, |sim, k| {
+                // Servers in id order within the cluster; the operator
+                // never flips power states, so checking ON in-loop equals
+                // the phase-start snapshot.
+                for &server in ctx.compiled.cluster_servers(k) {
+                    if sim.alloc().is_on(server) {
+                        adjust_resource_shares(ctx, sim, server);
+                    }
+                }
+            });
         }
         if config.adjust_dispersion {
             let _span = telemetry::span!("solve.phase.dispersion");
-            for i in 0..system.num_clients() {
-                adjust_dispersion_rates(ctx, scored, ClientId(i));
-            }
+            run_phase(ctx, scored, |sim, k| {
+                // Dispersion is client-local and never moves a client
+                // across clusters, so grouping clients under their
+                // phase-start cluster keeps the fan-out disjoint.
+                // Unassigned clients hold no branches — a no-op anyway.
+                for i in 0..system.num_clients() {
+                    let client = ClientId(i);
+                    if sim.alloc().cluster_of(client) == Some(k) {
+                        adjust_dispersion_rates(ctx, sim, client);
+                    }
+                }
+            });
         }
         if config.turn_on {
             let _span = telemetry::span!("solve.phase.turn_on");
-            for k in 0..system.num_clusters() {
-                turn_on_servers(ctx, scored, ClusterId(k));
-            }
+            run_phase(ctx, scored, |sim, k| {
+                turn_on_servers(ctx, sim, k);
+            });
         }
         if config.turn_off {
             let _span = telemetry::span!("solve.phase.turn_off");
-            for k in 0..system.num_clusters() {
-                turn_off_servers(ctx, scored, ClusterId(k));
-            }
+            run_phase(ctx, scored, |sim, k| {
+                turn_off_servers(ctx, sim, k);
+            });
         }
         if config.reassign {
             let _span = telemetry::span!("solve.phase.reassign");
@@ -244,15 +265,49 @@ mod tests {
         assert_eq!(a.report.profit, b.report.profit);
     }
 
+    /// Full bit-for-bit equality of two solver results: allocation,
+    /// profit bits, and the entire search trace (round count, every
+    /// history entry, convergence flag).
+    fn assert_results_identical(a: &SolveResult, b: &SolveResult, what: &str) {
+        assert_eq!(a.allocation, b.allocation, "{what}: allocation diverged");
+        assert_eq!(a.report.profit.to_bits(), b.report.profit.to_bits(), "{what}: profit bits");
+        assert_eq!(
+            a.initial_profit.to_bits(),
+            b.initial_profit.to_bits(),
+            "{what}: initial profit bits"
+        );
+        assert_eq!(a.stats.rounds, b.stats.rounds, "{what}: round count");
+        assert_eq!(a.stats.converged, b.stats.converged, "{what}: convergence flag");
+        assert_eq!(a.stats.history.len(), b.stats.history.len(), "{what}: history length");
+        for (round, (x, y)) in a.stats.history.iter().zip(&b.stats.history).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: history[{round}]");
+        }
+    }
+
     #[test]
     fn solve_is_identical_across_thread_counts() {
         let system = generate(&ScenarioConfig::small(10), 74);
-        let serial = SolverConfig { num_threads: Some(1), ..Default::default() };
-        let threaded = SolverConfig { num_threads: Some(4), ..Default::default() };
-        let a = solve(&system, &serial, 9);
-        let b = solve(&system, &threaded, 9);
-        assert_eq!(a.allocation, b.allocation);
-        assert_eq!(a.report.profit, b.report.profit);
+        let base = solve(&system, &SolverConfig { num_threads: Some(1), ..Default::default() }, 9);
+        for threads in [2, 4, 8] {
+            let config = SolverConfig { num_threads: Some(threads), ..Default::default() };
+            let result = solve(&system, &config, 9);
+            assert_results_identical(&base, &result, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn solve_is_identical_across_thread_counts_at_paper_scale() {
+        // Paper-family scenario (5 clusters, 10 server classes) with every
+        // operator enabled: exercises the per-cluster fan-out, the forked
+        // operator phases, and the parallel candidate search together.
+        let system = generate(&ScenarioConfig::paper(30), 74);
+        let base =
+            solve(&system, &SolverConfig { num_threads: Some(1), ..SolverConfig::fast() }, 9);
+        for threads in [2, 4, 8] {
+            let config = SolverConfig { num_threads: Some(threads), ..SolverConfig::fast() };
+            let result = solve(&system, &config, 9);
+            assert_results_identical(&base, &result, &format!("paper threads={threads}"));
+        }
     }
 
     #[test]

@@ -7,11 +7,10 @@
 //! than consuming a shared stream, and ties between equal-profit optima
 //! break toward the lowest iteration index.
 
-use std::thread;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use cloudalloc_core::par::run_parallel;
 use cloudalloc_core::{improve, random_assignment, SolverConfig, SolverCtx};
 use cloudalloc_model::{evaluate, Allocation, ClientId, CloudSystem, ScoredAllocation};
 use cloudalloc_telemetry as telemetry;
@@ -82,51 +81,41 @@ pub fn monte_carlo_parallel(
         worst_raw: f64,
         worst_polished: f64,
     }
-    let shards: Vec<Shard> = thread::scope(|scope| {
-        // Workers share the context (and its lowering) by reference.
-        let ctx = &ctx;
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                scope.spawn(move || {
-                    // Per-thread pass timing: one span per shard, plus a
-                    // JSONL record tying the worker index to its share.
-                    let _span = telemetry::span!("mc.shard");
-                    let mut shard = Shard {
-                        best: None,
-                        worst_raw: f64::INFINITY,
-                        worst_polished: f64::INFINITY,
-                    };
-                    let mut done = 0u64;
-                    let mut idx = w;
-                    while idx < iterations {
-                        let _iter_span = telemetry::span!("mc.iteration");
-                        telemetry::counter!("mc.iterations").incr();
-                        let (alloc, raw, polished) = run_iteration(ctx, seed, idx);
-                        shard.worst_raw = shard.worst_raw.min(raw);
-                        shard.worst_polished = shard.worst_polished.min(polished);
-                        let better = match &shard.best {
-                            None => true,
-                            Some((p, i, _)) => polished > *p || (polished == *p && idx < *i),
-                        };
-                        if better {
-                            shard.best = Some((polished, idx, alloc));
-                        }
-                        done += 1;
-                        idx += threads;
-                    }
-                    telemetry::Event::new("mc_shard")
-                        .field_u64("worker", w as u64)
-                        .field_u64("iterations", done)
-                        .field_f64(
-                            "best_profit",
-                            shard.best.as_ref().map_or(f64::NEG_INFINITY, |(p, _, _)| *p),
-                        )
-                        .emit();
-                    shard
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    // One job per shard on the solver's shared deterministic fan-out
+    // primitive; shard `w` owns the strided iteration set `w, w+T, …`, so
+    // the per-shard extrema — and the ordered reduction below — are a pure
+    // function of `(iterations, threads, seed)`.
+    let ctx = &ctx;
+    let shards: Vec<Shard> = run_parallel(threads, threads, |w| {
+        // Per-thread pass timing: one span per shard, plus a JSONL record
+        // tying the worker index to its share.
+        let _span = telemetry::span!("mc.shard");
+        let mut shard =
+            Shard { best: None, worst_raw: f64::INFINITY, worst_polished: f64::INFINITY };
+        let mut done = 0u64;
+        let mut idx = w;
+        while idx < iterations {
+            let _iter_span = telemetry::span!("mc.iteration");
+            telemetry::counter!("mc.iterations").incr();
+            let (alloc, raw, polished) = run_iteration(ctx, seed, idx);
+            shard.worst_raw = shard.worst_raw.min(raw);
+            shard.worst_polished = shard.worst_polished.min(polished);
+            let better = match &shard.best {
+                None => true,
+                Some((p, i, _)) => polished > *p || (polished == *p && idx < *i),
+            };
+            if better {
+                shard.best = Some((polished, idx, alloc));
+            }
+            done += 1;
+            idx += threads;
+        }
+        telemetry::Event::new("mc_shard")
+            .field_u64("worker", w as u64)
+            .field_u64("iterations", done)
+            .field_f64("best_profit", shard.best.as_ref().map_or(f64::NEG_INFINITY, |(p, _, _)| *p))
+            .emit();
+        shard
     });
 
     let mut best: Option<(f64, usize, Allocation)> = None;
@@ -148,7 +137,7 @@ pub fn monte_carlo_parallel(
     let (mut best_profit, best_iteration, mut best_allocation) = best.expect("iterations >= 1");
 
     if polish_best {
-        improve(&ctx, &mut best_allocation, seed.wrapping_add(0xBE57));
+        improve(ctx, &mut best_allocation, seed.wrapping_add(0xBE57));
         best_profit = evaluate(system, &best_allocation).profit;
     }
 

@@ -44,6 +44,37 @@ use crate::CloudSystem;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Savepoint(usize);
 
+/// The net allocation-level effect of a transaction: which placement
+/// pairs and cluster slots it touched, with their final values. Extracted
+/// from a journal suffix by [`ScoredAllocation::delta_since`] and
+/// replayed onto another evaluator by [`ScoredAllocation::apply_delta`];
+/// an empty delta means the transaction changed nothing (e.g. every trial
+/// move was rolled back).
+///
+/// Entries are sorted by id, so equal transactions produce equal deltas
+/// regardless of the order their mutations were journaled in.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AllocationDelta {
+    /// Placement pairs whose final state is *absent*.
+    removes: Vec<(ClientId, ServerId)>,
+    /// Cluster slots with their final assignment.
+    clusters: Vec<(ClientId, Option<ClusterId>)>,
+    /// Placement pairs with their final placement.
+    places: Vec<(ClientId, ServerId, Placement)>,
+}
+
+impl AllocationDelta {
+    /// `true` when replaying the delta is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.removes.is_empty() && self.clusters.is_empty() && self.places.is_empty()
+    }
+
+    /// Number of touched placement pairs and cluster slots.
+    pub fn len(&self) -> usize {
+        self.removes.len() + self.clusters.len() + self.places.len()
+    }
+}
+
 /// One reversible step, recorded before the corresponding state change.
 #[derive(Debug, Clone)]
 enum Undo {
@@ -273,6 +304,24 @@ impl<'a> ScoredAllocation<'a> {
         self.alloc.assign_cluster(client, cluster);
     }
 
+    /// Journaled raw write of the cluster slot, including clearing it.
+    /// Unlike [`ScoredAllocation::assign_cluster`] this bypasses the
+    /// placement guard, so it exists for [`ScoredAllocation::apply_delta`]
+    /// replays where the surrounding delta guarantees the client holds no
+    /// placements whenever its slot actually changes.
+    fn set_cluster(&mut self, client: ClientId, cluster: Option<ClusterId>) {
+        let prev = self.alloc.cluster_of(client);
+        if prev == cluster {
+            return;
+        }
+        debug_assert!(
+            self.alloc.placements(client).is_empty(),
+            "cannot rewrite the cluster slot of {client} while it holds placements"
+        );
+        self.journal.push(Undo::Cluster { client, prev });
+        self.alloc.set_cluster_raw(client, cluster);
+    }
+
     // ------------------------------------------------------------------
     // Scoring
     // ------------------------------------------------------------------
@@ -367,6 +416,91 @@ impl<'a> ScoredAllocation<'a> {
         telemetry::counter!("incr.commits").incr();
         self.journal.clear();
         self.alloc.refresh_slack();
+    }
+
+    // ------------------------------------------------------------------
+    // Forks and deltas (intra-solve fan-out support)
+    // ------------------------------------------------------------------
+
+    /// An independent copy of this evaluator with an empty journal: the
+    /// allocation and every score cache are cloned, so mutations on the
+    /// fork never touch `self`. The solver's intra-round fan-out hands
+    /// one fork per cluster to concurrent workers, then folds the
+    /// accepted changes back via [`ScoredAllocation::delta_since`] /
+    /// [`ScoredAllocation::apply_delta`].
+    pub fn fork(&self) -> ScoredAllocation<'a> {
+        telemetry::counter!("incr.forks").incr();
+        ScoredAllocation {
+            system: self.system,
+            compiled: self.compiled,
+            alloc: self.alloc.clone(),
+            outcomes: self.outcomes.clone(),
+            client_dirty: self.client_dirty.clone(),
+            dirty_clients: self.dirty_clients.clone(),
+            server_cost: self.server_cost.clone(),
+            server_on: self.server_on.clone(),
+            server_dirty: self.server_dirty.clone(),
+            dirty_servers: self.dirty_servers.clone(),
+            revenue: self.revenue,
+            revenue_comp: self.revenue_comp,
+            cost: self.cost,
+            cost_comp: self.cost_comp,
+            active: self.active,
+            journal: Vec::new(),
+        }
+    }
+
+    /// The *net* allocation change since `mark`, read from the journal
+    /// suffix: every placement pair and cluster slot touched by a
+    /// surviving (not rolled-back) mutation, each paired with its final
+    /// value in the current state. Rejected trial moves roll back before
+    /// their journal entries are read, so they contribute nothing.
+    pub fn delta_since(&self, mark: Savepoint) -> AllocationDelta {
+        let mut pairs: Vec<(ClientId, ServerId)> = Vec::new();
+        let mut clients: Vec<ClientId> = Vec::new();
+        for undo in &self.journal[mark.0..] {
+            match undo {
+                Undo::Placement { client, server, .. } => pairs.push((*client, *server)),
+                Undo::Cluster { client, .. } => clients.push(*client),
+                _ => {}
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        clients.sort_unstable();
+        clients.dedup();
+        let mut delta = AllocationDelta::default();
+        for (client, server) in pairs {
+            match self.alloc.placement(client, server) {
+                Some(p) => delta.places.push((client, server, p)),
+                None => delta.removes.push((client, server)),
+            }
+        }
+        delta.clusters = clients.into_iter().map(|c| (c, self.alloc.cluster_of(c))).collect();
+        delta
+    }
+
+    /// Replays a delta extracted from a fork onto this evaluator, through
+    /// the normal journaled mutation path (so it participates in
+    /// savepoints/rollbacks like any hand-written move). The order —
+    /// removals, then cluster slots, then placements — keeps every
+    /// intermediate state legal: a client only changes cluster once its
+    /// old placements are gone, and only gains placements once its slot
+    /// points at the new cluster.
+    ///
+    /// The caller must ensure this evaluator still agrees with the fork's
+    /// base state on everything the delta touches (the solver guarantees
+    /// that by giving concurrent forks disjoint clusters).
+    pub fn apply_delta(&mut self, delta: &AllocationDelta) {
+        for &(client, server) in &delta.removes {
+            self.remove(client, server);
+        }
+        for &(client, cluster) in &delta.clusters {
+            self.set_cluster(client, cluster);
+        }
+        for &(client, server, placement) in &delta.places {
+            self.place(client, server, placement);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -651,6 +785,102 @@ mod tests {
             assert_eq!(a.response_time.to_bits(), b.response_time.to_bits());
         }
         assert_eq!(plain.num_active_servers(), low.num_active_servers());
+    }
+
+    #[test]
+    fn fork_isolates_mutations_and_delta_replays_them() {
+        let system = fixture();
+        let mut live = ScoredAllocation::fresh(&system);
+        live.assign_cluster(ClientId(0), ClusterId(0));
+        live.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        let live_profit = live.profit();
+
+        let mut sim = live.fork();
+        let mark = sim.savepoint();
+        // Move client 0 to the sibling server and bring client 1 in.
+        sim.remove(ClientId(0), ServerId(0));
+        sim.place(ClientId(0), ServerId(1), Placement { alpha: 1.0, phi_p: 0.6, phi_c: 0.6 });
+        sim.assign_cluster(ClientId(1), ClusterId(0));
+        sim.place(ClientId(1), ServerId(0), Placement { alpha: 1.0, phi_p: 0.4, phi_c: 0.4 });
+        let sim_profit = sim.profit();
+
+        // The live evaluator is untouched until the delta is applied.
+        assert_eq!(live.profit().to_bits(), live_profit.to_bits());
+        let delta = sim.delta_since(mark);
+        assert!(!delta.is_empty());
+        live.apply_delta(&delta);
+        assert_eq!(live.alloc(), sim.alloc(), "replay must reproduce the fork's allocation");
+        assert!((live.profit() - sim_profit).abs() <= 1e-9 * (1.0 + sim_profit.abs()));
+        agrees_with_full(&mut live);
+    }
+
+    #[test]
+    fn rolled_back_trials_leave_an_empty_delta() {
+        let system = fixture();
+        let mut live = ScoredAllocation::fresh(&system);
+        live.assign_cluster(ClientId(0), ClusterId(0));
+        live.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        live.profit();
+
+        let mut sim = live.fork();
+        let mark = sim.savepoint();
+        let trial = sim.savepoint();
+        sim.place(ClientId(0), ServerId(1), Placement { alpha: 0.3, phi_p: 0.2, phi_c: 0.2 });
+        sim.clear_client(ClientId(0));
+        sim.profit();
+        sim.rollback_to(trial);
+        let delta = sim.delta_since(mark);
+        assert!(delta.is_empty(), "rejected trials must not leak into the delta: {delta:?}");
+        assert_eq!(delta.len(), 0);
+    }
+
+    #[test]
+    fn delta_replays_cluster_moves_and_evictions() {
+        let system = fixture();
+        let mut live = ScoredAllocation::fresh(&system);
+        live.assign_cluster(ClientId(0), ClusterId(0));
+        live.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        live.assign_cluster(ClientId(1), ClusterId(0));
+        live.place(ClientId(1), ServerId(1), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        live.profit();
+
+        let mut sim = live.fork();
+        let mark = sim.savepoint();
+        // Client 0 migrates to cluster 1; client 1 is evicted entirely.
+        sim.clear_client(ClientId(0));
+        sim.assign_cluster(ClientId(0), ClusterId(1));
+        sim.place(ClientId(0), ServerId(2), Placement { alpha: 1.0, phi_p: 0.7, phi_c: 0.7 });
+        sim.clear_client(ClientId(1));
+        let sim_profit = sim.profit();
+
+        live.apply_delta(&sim.delta_since(mark));
+        assert_eq!(live.alloc(), sim.alloc());
+        assert_eq!(live.alloc().cluster_of(ClientId(0)), Some(ClusterId(1)));
+        assert_eq!(live.alloc().cluster_of(ClientId(1)), None);
+        assert!((live.profit() - sim_profit).abs() <= 1e-9 * (1.0 + sim_profit.abs()));
+        agrees_with_full(&mut live);
+    }
+
+    #[test]
+    fn applied_deltas_participate_in_rollbacks() {
+        let system = fixture();
+        let mut live = ScoredAllocation::fresh(&system);
+        live.assign_cluster(ClientId(0), ClusterId(0));
+        live.place(ClientId(0), ServerId(0), Placement { alpha: 1.0, phi_p: 0.5, phi_c: 0.5 });
+        let before = live.profit();
+        let alloc_before = live.alloc().clone();
+
+        let mut sim = live.fork();
+        let mark = sim.savepoint();
+        sim.place(ClientId(0), ServerId(1), Placement { alpha: 0.4, phi_p: 0.3, phi_c: 0.3 });
+        let delta = sim.delta_since(mark);
+
+        let undo = live.savepoint();
+        live.apply_delta(&delta);
+        assert_ne!(live.profit().to_bits(), before.to_bits());
+        live.rollback_to(undo);
+        assert_eq!(live.alloc(), &alloc_before);
+        assert_eq!(live.profit().to_bits(), before.to_bits());
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use eval::{
     ClientOutcome, ProfitReport, Violation, FEASIBILITY_TOL,
 };
 pub use ids::{ClientId, ClusterId, ServerClassId, ServerId, UtilityClassId};
-pub use incremental::{Savepoint, ScoredAllocation};
+pub use incremental::{AllocationDelta, Savepoint, ScoredAllocation};
 pub use server::{Server, ServerClass, ServerRef};
 pub use system::CloudSystem;
 pub use utility::{UtilityClass, UtilityFunction};

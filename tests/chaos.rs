@@ -155,11 +155,13 @@ fn chaos_runs_are_bit_identical_across_thread_counts() {
     };
 
     let (reports_1, profit_1) = run(1);
-    let (reports_8, profit_8) = run(8);
-    // Same seed + same plan ⇒ identical event trace, repair decisions
-    // and profits, bit for bit, regardless of worker count.
-    assert_eq!(reports_1, reports_8);
-    assert_eq!(profit_1.to_bits(), profit_8.to_bits());
+    for threads in [2, 8] {
+        let (reports_t, profit_t) = run(threads);
+        // Same seed + same plan ⇒ identical event trace, repair decisions
+        // and profits, bit for bit, regardless of worker count.
+        assert_eq!(reports_1, reports_t, "threads={threads}: epoch reports diverged");
+        assert_eq!(profit_1.to_bits(), profit_t.to_bits(), "threads={threads}: profit bits");
+    }
     assert!(reports_1.iter().any(|r| r.repair.is_some()), "storm never struck; weak test");
 }
 
