@@ -49,6 +49,19 @@
 //!   drop-the-victims baseline **and** that it is strictly faster than the
 //!   re-solve — the latency headroom that justifies the epoch loop's
 //!   repair-first, escalate-late policy.
+//! * **E5i — datacenter scale.** Sweeps the [`ScenarioConfig::scale`]
+//!   family from 10k clients up to a million (full mode only; `--smoke`
+//!   stops at 100k), generating each system through the *streaming*
+//!   scenario pipeline under a fixed staging [`MemoryBudget`] and solving
+//!   it with the hierarchical sketch-then-exact scheme
+//!   ([`solve_hierarchical`]). Records wall-clock, profit, the process's
+//!   peak RSS (self-measured from `/proc/self/status` `VmHWM`, no
+//!   dependencies), and — where the flat solve is still tractable — the
+//!   hierarchical-vs-flat profit gap, asserted within the documented
+//!   one-sided [`PROFIT_BAND`]. Rows of 100k clients and beyond gate peak
+//!   RSS against a per-size budget; the 10k row additionally re-runs the
+//!   hierarchical solve single-threaded and asserts the profit
+//!   bit-identical to the pooled run.
 //! * **E5h — intra-solve fan-out.** A *single* paper-scale solve
 //!   (`num_init_solns = 1`, so the restart fan-out of E5c contributes
 //!   nothing) with one worker vs eight. This isolates the per-cluster
@@ -66,24 +79,25 @@
 //!
 //! The per-seed records of every section are always written as JSON
 //! (default `BENCH_speedup.json`, override with `--json`). `--smoke` runs
-//! the E5d/E5e/E5f/E5g/E5h equivalence assertions on tiny configurations —
-//! the CI gate: the process exits non-zero when any pair of paths
-//! disagrees.
+//! the E5d/E5e/E5f/E5g/E5h equivalence assertions on tiny configurations
+//! plus the E5i scale rows up to 100k clients — the CI gate: the process
+//! exits non-zero when any pair of paths disagrees, a profit leaves the
+//! hierarchical band, or the peak RSS blows its budget.
 
 use std::time::Instant;
 
 use serde::Serialize;
 
 use cloudalloc_core::{
-    best_cluster, best_cluster_aos, best_cluster_reference, commit, greedy_pass, solve, Candidate,
-    SolverConfig, SolverCtx,
+    best_cluster, best_cluster_aos, best_cluster_reference, commit, greedy_pass, solve,
+    solve_hierarchical, Candidate, HierConfig, SolverConfig, SolverCtx, PROFIT_BAND,
 };
 use cloudalloc_distributed::greedy_distributed_timed;
 use cloudalloc_metrics::Table;
 use cloudalloc_model::{
-    evaluate, Allocation, ClientId, ClusterId, Placement, ScoredAllocation, ServerId,
+    evaluate, Allocation, ClientId, ClusterId, MemoryBudget, Placement, ScoredAllocation, ServerId,
 };
-use cloudalloc_workload::{generate, Range, ScenarioConfig};
+use cloudalloc_workload::{generate, Range, ScenarioConfig, ScenarioStream};
 
 const NUM_CLIENTS: usize = 200;
 const SCORING_CLIENTS: usize = 80;
@@ -97,6 +111,12 @@ const INTRA_THREADS: usize = 8;
 /// Minimum E5h wall-clock speedup demanded when the machine actually has
 /// [`INTRA_THREADS`] cores to run on.
 const INTRA_SPEEDUP_FLOOR: f64 = 3.0;
+/// Clusters per sketch group in the E5i hierarchical solves.
+const SCALE_GROUP_SIZE: usize = 8;
+/// Staging budget handed to the streaming scenario assembly in E5i: the
+/// client-draw buffer is bounded to this many mebibytes regardless of the
+/// population size (1 MiB ≈ 18k staged clients per chunk).
+const SCALE_STAGING_MIB: usize = 1;
 
 /// One local-search move of the scoring trace, pre-resolved so both
 /// engines replay bit-identical mutations.
@@ -316,6 +336,27 @@ struct RepairLatencyRecord {
     resolve_profit: f64,
 }
 
+/// Per-size record of the datacenter-scale sweep (E5i). `flat_*` and
+/// `gap` are `None` where the flat solve is no longer tractable;
+/// `peak_rss_bytes` is `None` off Linux (no `/proc/self/status`).
+#[derive(Debug, Serialize)]
+struct ScaleRecord {
+    seed: u64,
+    clients: usize,
+    servers: usize,
+    clusters: usize,
+    groups: usize,
+    generate_seconds: f64,
+    hier_seconds: f64,
+    hier_profit: f64,
+    flat_seconds: Option<f64>,
+    flat_profit: Option<f64>,
+    /// `1 − hier_profit / flat_profit`; negative when hierarchical wins.
+    gap: Option<f64>,
+    peak_rss_bytes: Option<usize>,
+    rss_budget_bytes: usize,
+}
+
 #[derive(Debug, Serialize)]
 struct SpeedupReport {
     scoring: Vec<ScoringRecord>,
@@ -325,6 +366,7 @@ struct SpeedupReport {
     telemetry_overhead: Vec<TelemetryOverheadRecord>,
     lowering: Vec<LoweringRecord>,
     repair: Vec<RepairLatencyRecord>,
+    scale: Vec<ScaleRecord>,
 }
 
 fn bench_distributed_greedy(seed: u64) {
@@ -647,6 +689,154 @@ fn bench_intra_solve(base_seed: u64, smoke: bool) -> Vec<IntraSolveRecord> {
          wall-clock speedup tracks min(workers, cores, clusters/chunk) — the\n\
          fan-out covers candidate search and the cluster-local phases, while\n\
          delta replay and the global-profit operators stay serial\n"
+    );
+    records
+}
+
+/// Peak resident-set size of this process in bytes, read from
+/// `/proc/self/status` (`VmHWM`, reported in kB). `None` where the file
+/// or the field is unavailable (non-Linux); no dependency needed.
+fn read_vm_hwm() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: usize = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// E5i: the datacenter-scale sweep. Every system is *streamed* into
+/// existence — the generator stages at most [`SCALE_STAGING_MIB`] MiB of
+/// drawn clients at a time while lowering them chunk-by-chunk (asserted
+/// by `within_budget`), so scenario construction never holds a second
+/// full copy of the population. The hierarchical solve then handles the
+/// sizes where the flat solver's every-client-against-every-cluster
+/// coupling stops being tractable; where flat still runs (10k clients)
+/// the profit gap is asserted within the one-sided [`PROFIT_BAND`] and
+/// the hierarchical solve is re-run single-threaded to assert profit
+/// bit-identity across worker counts. From 100k clients up, the process's
+/// peak RSS is gated against a per-size budget.
+fn bench_scale(base_seed: u64, smoke: bool) -> Vec<ScaleRecord> {
+    // (clients, run flat comparison, peak-RSS budget in bytes).
+    const MIB: usize = 1 << 20;
+    let sizes: &[(usize, bool, usize)] = if smoke {
+        &[(10_000, true, 512 * MIB), (100_000, false, 512 * MIB)]
+    } else {
+        &[(10_000, true, 512 * MIB), (100_000, false, 512 * MIB), (1_000_000, false, 2048 * MIB)]
+    };
+    let mut table = Table::new(vec![
+        "clients".into(),
+        "servers".into(),
+        "clusters".into(),
+        "groups".into(),
+        "generate".into(),
+        "hier".into(),
+        "flat".into(),
+        "gap".into(),
+        "peak_rss".into(),
+    ]);
+    println!(
+        "E5i — datacenter scale: streamed generation ({SCALE_STAGING_MIB} MiB staging) \
+         + hierarchical solve (groups of {SCALE_GROUP_SIZE} clusters), up to {} clients",
+        sizes.last().expect("non-empty sweep").0
+    );
+    let seed = base_seed;
+    let config = SolverConfig { max_rounds: 2, ..SolverConfig::fast() };
+    let hier_cfg = HierConfig { group_size: SCALE_GROUP_SIZE };
+    let mut records = Vec::new();
+    for &(clients, run_flat, rss_budget_bytes) in sizes {
+        let scenario = ScenarioConfig::scale(clients);
+        let begin = Instant::now();
+        let streamed =
+            ScenarioStream::new(scenario, seed).assemble(MemoryBudget::from_mib(SCALE_STAGING_MIB));
+        let generate_seconds = begin.elapsed().as_secs_f64();
+        assert!(
+            streamed.within_budget(),
+            "{clients} clients: staging peak {} bytes exceeded the {} MiB budget",
+            streamed.peak_staging_bytes(),
+            SCALE_STAGING_MIB
+        );
+        let system = streamed.system;
+        let groups = system.num_clusters().div_ceil(SCALE_GROUP_SIZE);
+
+        let begin = Instant::now();
+        let hier = solve_hierarchical(&system, &config, &hier_cfg, seed);
+        let hier_seconds = begin.elapsed().as_secs_f64();
+
+        let (flat_seconds, flat_profit, gap) = if run_flat {
+            let begin = Instant::now();
+            let flat = solve(&system, &config, seed);
+            let flat_seconds = begin.elapsed().as_secs_f64();
+            assert!(
+                hier.report.profit >= (1.0 - PROFIT_BAND) * flat.report.profit,
+                "{clients} clients: hierarchical profit {} fell out of the \
+                 {PROFIT_BAND} band below flat {}",
+                hier.report.profit,
+                flat.report.profit
+            );
+            // Worker-count invariance on the sweep's own workload: the
+            // pooled run above (session default threads) must match a
+            // single-worker run bit for bit.
+            let serial_cfg = SolverConfig { num_threads: Some(1), ..config.clone() };
+            let serial = solve_hierarchical(&system, &serial_cfg, &hier_cfg, seed);
+            assert_eq!(
+                serial.report.profit.to_bits(),
+                hier.report.profit.to_bits(),
+                "{clients} clients: hierarchical profit depends on the worker count"
+            );
+            let gap = 1.0 - hier.report.profit / flat.report.profit;
+            (Some(flat_seconds), Some(flat.report.profit), Some(gap))
+        } else {
+            (None, None, None)
+        };
+
+        let peak_rss_bytes = read_vm_hwm();
+        match peak_rss_bytes {
+            Some(rss) if clients >= 100_000 => {
+                assert!(
+                    rss <= rss_budget_bytes,
+                    "{clients} clients: peak RSS {:.1} MiB exceeded the {:.0} MiB budget",
+                    rss as f64 / MIB as f64,
+                    rss_budget_bytes as f64 / MIB as f64
+                );
+            }
+            None => println!("note: /proc/self/status unavailable — peak-RSS gate skipped"),
+            _ => {}
+        }
+
+        table.row(vec![
+            clients.to_string(),
+            system.num_servers().to_string(),
+            system.num_clusters().to_string(),
+            groups.to_string(),
+            format!("{generate_seconds:.2}s"),
+            format!("{hier_seconds:.2}s"),
+            flat_seconds.map_or_else(|| "-".into(), |t| format!("{t:.2}s")),
+            gap.map_or_else(|| "-".into(), |g| format!("{:+.2}%", g * 100.0)),
+            peak_rss_bytes
+                .map_or_else(|| "-".into(), |b| format!("{:.0}MiB", b as f64 / MIB as f64)),
+        ]);
+        records.push(ScaleRecord {
+            seed,
+            clients,
+            servers: system.num_servers(),
+            clusters: system.num_clusters(),
+            groups,
+            generate_seconds,
+            hier_seconds,
+            hier_profit: hier.report.profit,
+            flat_seconds,
+            flat_profit,
+            gap,
+            peak_rss_bytes,
+            rss_budget_bytes,
+        });
+    }
+    println!("{table}");
+    println!(
+        "expected shape: hierarchical wall-clock grows near-linearly with the\n\
+         population (sketch is O(clients x groups), groups solve independently)\n\
+         while the profit stays within the documented band of flat where flat\n\
+         is feasible; peak RSS is gated per size, with the staging buffer\n\
+         bounded by the memory budget regardless of population\n"
     );
     records
 }
@@ -1229,13 +1419,15 @@ fn main() {
     let path = args.json.clone().unwrap_or_else(|| "BENCH_speedup.json".into());
     if args.smoke {
         // CI smoke gate: the E5d/E5f equivalence assertions, the E5e
-        // telemetry bit-identity assertion and the E5h intra-solve
-        // thread-invariance assertion, tiny configs.
+        // telemetry bit-identity assertion, the E5h intra-solve
+        // thread-invariance assertion (tiny configs), and the E5i scale
+        // rows (10k with flat comparison, 100k hierarchical + RSS gate).
         let candidate_search = bench_candidate_search(args.seed, true);
         let telemetry_overhead = bench_telemetry_overhead(args.seed, true);
         let lowering = bench_lowering(args.seed, true);
         let repair = bench_repair_latency(args.seed, true);
         let intra_solve = bench_intra_solve(args.seed, true);
+        let scale = bench_scale(args.seed, true);
         let report = SpeedupReport {
             scoring: Vec::new(),
             restarts: Vec::new(),
@@ -1244,6 +1436,7 @@ fn main() {
             telemetry_overhead,
             lowering,
             repair,
+            scale,
         };
         std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
             .expect("writable json path");
@@ -1259,6 +1452,7 @@ fn main() {
     let telemetry_overhead = bench_telemetry_overhead(args.seed, false);
     let lowering = bench_lowering(args.seed, false);
     let repair = bench_repair_latency(args.seed, false);
+    let scale = bench_scale(args.seed, false);
 
     let report = SpeedupReport {
         scoring,
@@ -1268,6 +1462,7 @@ fn main() {
         telemetry_overhead,
         lowering,
         repair,
+        scale,
     };
     std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
         .expect("writable json path");

@@ -26,7 +26,8 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--require-service", "--shared", "--least-work", "--quiet"];
+const SWITCHES: &[&str] =
+    &["--require-service", "--shared", "--least-work", "--quiet", "--hierarchical"];
 
 impl Parsed {
     /// Parses an iterator of argument words (without the binary name).

@@ -6,7 +6,7 @@ use std::fmt;
 use std::fs;
 
 use cloudalloc_baselines::{modified_ps, monte_carlo, McConfig, PsConfig};
-use cloudalloc_core::{solve, SolverConfig};
+use cloudalloc_core::{solve, solve_hierarchical, HierConfig, SolverConfig};
 use cloudalloc_metrics::Table;
 use cloudalloc_model::{check_feasibility, evaluate, Allocation, CloudSystem, Violation};
 use cloudalloc_simulator::{
@@ -135,6 +135,7 @@ fn cmd_generate(parsed: &Parsed) -> Result<String, CliError> {
         "paper" => ScenarioConfig::paper(clients),
         "small" => ScenarioConfig::small(clients),
         "overloaded" => ScenarioConfig::overloaded(clients),
+        "scale" => ScenarioConfig::scale(clients),
         other => return Err(ArgError(format!("unknown preset {other:?}")).into()),
     };
     let system = generate(&config, seed);
@@ -171,12 +172,29 @@ fn render_report(system: &CloudSystem, alloc: &Allocation) -> String {
     out
 }
 
+/// Peak resident-set size of this process in bytes, from
+/// `/proc/self/status` (`VmHWM`, in kB); `None` off Linux.
+fn peak_rss_bytes() -> Option<usize> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: usize = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 fn cmd_solve(parsed: &Parsed) -> Result<String, CliError> {
     let system = load_system(parsed)?;
     let seed = parsed.num("--seed", 0u64)?;
     let config = solver_config(parsed)?;
     let telemetry_path = telemetry_begin(parsed)?;
-    let result = solve(&system, &config, seed);
+    let result = if parsed.switch("--hierarchical") {
+        let group_size = parsed.num("--group-size", 8usize)?;
+        if group_size == 0 {
+            return Err(ArgError("--group-size needs at least 1".into()).into());
+        }
+        solve_hierarchical(&system, &config, &HierConfig { group_size }, seed)
+    } else {
+        solve(&system, &config, seed)
+    };
     let mut out = format!(
         "initial {:.4} → final {:.4} in {} rounds (converged: {})\n",
         result.initial_profit, result.report.profit, result.stats.rounds, result.stats.converged
@@ -185,6 +203,30 @@ fn cmd_solve(parsed: &Parsed) -> Result<String, CliError> {
     if let Some(path) = parsed.get("--out") {
         fs::write(path, serde_json::to_string_pretty(&result.allocation)?)?;
         out.push_str(&format!("wrote {path}\n"));
+    }
+    // An operational guard for scale runs: fail loudly when the solve
+    // blew past its memory envelope instead of letting a quietly swapping
+    // process report success.
+    if parsed.get("--memory-budget").is_some() {
+        let budget_mib = parsed.num("--memory-budget", 0usize)?;
+        if budget_mib == 0 {
+            return Err(ArgError("--memory-budget needs at least 1 (MiB)".into()).into());
+        }
+        match peak_rss_bytes() {
+            Some(rss) if rss > budget_mib << 20 => {
+                return Err(ArgError(format!(
+                    "peak RSS {:.1} MiB exceeded --memory-budget {budget_mib} MiB",
+                    rss as f64 / (1 << 20) as f64
+                ))
+                .into());
+            }
+            Some(rss) => out.push_str(&format!(
+                "peak RSS {:.1} MiB within the {budget_mib} MiB budget\n",
+                rss as f64 / (1 << 20) as f64
+            )),
+            None => out
+                .push_str("peak RSS unavailable on this platform; --memory-budget not enforced\n"),
+        }
     }
     telemetry_finish(telemetry_path, &mut out);
     Ok(out)
@@ -548,9 +590,11 @@ pub const HELP: &str = "cloudalloc — SLA-driven profit-maximizing cloud resour
 USAGE: cloudalloc <command> [--flag value] [--switch]
 
 COMMANDS
-  generate  --clients N [--preset paper|small|overloaded] [--seed S] [--out FILE]
+  generate  --clients N [--preset paper|small|overloaded|scale] [--seed S]
+            [--out FILE]
   solve     --system FILE [--seed S] [--granularity G] [--init N]
-            [--threads T] [--require-service] [--out FILE]
+            [--threads T] [--require-service] [--hierarchical]
+            [--group-size K] [--memory-budget MIB] [--out FILE]
             [--telemetry-out FILE]
   evaluate  --system FILE --allocation FILE
   explain   --system FILE --allocation FILE
@@ -568,6 +612,14 @@ COMMANDS
 The solver parallelizes best-of-N construction; worker count comes from
 --threads, else the CLOUDALLOC_THREADS environment variable, else all
 cores. Results are identical for every thread count.
+
+`--hierarchical` switches `solve` to the datacenter-scale scheme: a
+sketch pass routes every client to a group of --group-size clusters,
+then each group runs the exact solver independently (deterministic at
+every thread count; one group reproduces the flat solve exactly).
+`--memory-budget` makes the solve fail if the process's peak RSS exceeds
+the given number of MiB. The `scale` generate preset grows the cluster
+count with the client population (one cluster per ~500 clients).
 
 `gen-faults` samples a server up/down fault plan (exponential MTBF/MTTR,
 in epochs) for a system; `epochs --faults` replays such a plan through
@@ -699,6 +751,88 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn hierarchical_solve_runs_and_matches_flat_with_one_group() {
+        let sys_path = temp_path("sys_hier.json");
+        let alloc_path = temp_path("alloc_hier.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "12",
+            "--preset",
+            "scale",
+            "--seed",
+            "19",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        let hier = run(&parse(&[
+            "solve",
+            "--system",
+            &sys_path,
+            "--seed",
+            "2",
+            "--hierarchical",
+            "--group-size",
+            "2",
+            "--out",
+            &alloc_path,
+        ]))
+        .unwrap();
+        assert!(hier.contains("final"), "no result line:\n{hier}");
+        let out =
+            run(&parse(&["evaluate", "--system", &sys_path, "--allocation", &alloc_path])).unwrap();
+        assert!(out.contains("0 hard violations"), "infeasible hierarchical solve:\n{out}");
+
+        // One group spans every cluster → identical to the flat solve.
+        let wide = run(&parse(&[
+            "solve",
+            "--system",
+            &sys_path,
+            "--seed",
+            "2",
+            "--hierarchical",
+            "--group-size",
+            "1000",
+        ]))
+        .unwrap();
+        let flat = run(&parse(&["solve", "--system", &sys_path, "--seed", "2"])).unwrap();
+        assert_eq!(wide, flat);
+    }
+
+    #[test]
+    fn memory_budget_gates_peak_rss() {
+        let sys_path = temp_path("sys_budget.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "6",
+            "--preset",
+            "small",
+            "--seed",
+            "23",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        if peak_rss_bytes().is_none() {
+            return; // gate unavailable off Linux
+        }
+        // Any real process peaks above 1 MiB; the gate must trip.
+        let err =
+            run(&parse(&["solve", "--system", &sys_path, "--memory-budget", "1"])).unwrap_err();
+        assert!(err.to_string().contains("exceeded"), "unhelpful: {err}");
+        // A generous budget passes and reports the measurement.
+        let out =
+            run(&parse(&["solve", "--system", &sys_path, "--memory-budget", "65536"])).unwrap();
+        assert!(out.contains("within the 65536 MiB budget"), "missing note:\n{out}");
+        // Zero is a config error, not a trivially-failing gate.
+        let err =
+            run(&parse(&["solve", "--system", &sys_path, "--memory-budget", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "unhelpful: {err}");
     }
 
     #[test]

@@ -92,22 +92,28 @@ impl SolverConfig {
     /// back to all cores *with a warning* (once per process) — silently
     /// eating a typo like `CLOUDALLOC_THREADS=two` used to hide that the
     /// run was not pinned at all.
+    ///
+    /// Requested counts are clamped to the machine's available
+    /// parallelism: the solve schedule is identical for every worker
+    /// count, so extra workers beyond the core count can only add spawn
+    /// and contention overhead (on a one-core box an eight-worker request
+    /// used to *quadruple* wall-clock at identical profit).
     pub fn effective_threads(&self) -> usize {
-        let all_cores = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let all_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         if let Some(t) = self.num_threads.filter(|&t| t >= 1) {
-            return t;
+            return t.min(all_cores);
         }
         match std::env::var("CLOUDALLOC_THREADS") {
-            Err(std::env::VarError::NotPresent) => all_cores(),
+            Err(std::env::VarError::NotPresent) => all_cores,
             Err(std::env::VarError::NotUnicode(_)) => {
                 warn_threads_once("CLOUDALLOC_THREADS is not valid unicode");
-                all_cores()
+                all_cores
             }
             Ok(raw) => match parse_threads_var(&raw) {
-                Ok(t) => t,
+                Ok(t) => t.min(all_cores),
                 Err(msg) => {
                     warn_threads_once(&msg);
-                    all_cores()
+                    all_cores
                 }
             },
         }
@@ -216,8 +222,22 @@ mod tests {
     #[test]
     fn explicit_config_thread_count_wins_over_environment() {
         // CI pins CLOUDALLOC_THREADS=2; an explicit config value must
-        // override whatever the environment says, without warnings.
+        // override whatever the environment says, without warnings. The
+        // request is still clamped to the machine's core count — workers
+        // beyond the hardware only add spawn overhead for an identical
+        // schedule.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let c = SolverConfig { num_threads: Some(3), ..Default::default() };
-        assert_eq!(c.effective_threads(), 3);
+        assert_eq!(c.effective_threads(), 3.min(cores));
+    }
+
+    #[test]
+    fn requested_workers_are_clamped_to_available_cores() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let c = SolverConfig { num_threads: Some(usize::MAX), ..Default::default() };
+        assert_eq!(c.effective_threads(), cores);
+        // A request at or below the core count passes through untouched.
+        let c = SolverConfig { num_threads: Some(1), ..Default::default() };
+        assert_eq!(c.effective_threads(), 1);
     }
 }

@@ -1,0 +1,396 @@
+//! Hierarchical solve for datacenter-scale systems (DESIGN.md §3i).
+//!
+//! The flat `Resource_Alloc` pipeline prices every client against every
+//! cluster: one greedy insertion is `O(clusters × servers_per_cluster ×
+//! G)`, and the local-search rounds repeat that coupling. At the paper's
+//! five clusters that is the right trade; at thousands of clusters almost
+//! all of that work is spent rejecting clusters the client was never
+//! going to win.
+//!
+//! [`solve_hierarchical`] cuts the coupling with a two-level scheme:
+//!
+//! 1. **Sketch pass** — clusters are partitioned into contiguous
+//!    *groups* of [`HierConfig::group_size`]. Each group is summarized by
+//!    three numbers (its best per-server processing and communication
+//!    capacity, and its total processing capacity), and every client
+//!    picks one group by a closed-form score: the revenue its SLA would
+//!    earn at the group's optimistic single-server response time,
+//!    discounted by the group's running load pressure. The pass is a
+//!    serial `O(clients × groups)` loop in client-id order — the load
+//!    term makes it order-sensitive, and keeping it serial keeps it
+//!    deterministic.
+//! 2. **Exact pass** — each group becomes a self-contained sub-system
+//!    (same catalogs, its clusters and servers renumbered densely, its
+//!    sketch-assigned clients renumbered densely) and the *existing*
+//!    [`crate::solve`] runs on it: same greedy construction, same
+//!    operators, same per-cluster fan-out semantics. Group solves are
+//!    independent, so they fan out over [`crate::par`] with one derived
+//!    seed per group ([`crate::pass_seed`]); nested fan-outs inside each
+//!    solve collapse to serial loops as usual. The group allocations are
+//!    stitched back onto the original ids serially, in group order.
+//!
+//! Every stage is a pure function of `(system, config, hier, seed)`, so
+//! the result is bit-identical at every thread count. The price is that
+//! clients can no longer migrate between groups during the local search;
+//! EXPERIMENTS.md §E5i documents the resulting one-sided profit band
+//! against the flat solve at paper scale (hierarchical profit within
+//! [`PROFIT_BAND`] below flat, and free to exceed it). With a single
+//! group the scheme degenerates to the flat solve exactly.
+
+use cloudalloc_model::{
+    evaluate, Allocation, Client, ClientId, CloudSystem, Cluster, ClusterId, ServerId,
+};
+use cloudalloc_telemetry as telemetry;
+
+use crate::config::SolverConfig;
+use crate::par::{pass_seed, run_parallel};
+use crate::solve::{solve, SearchStats, SolveResult};
+
+/// Documented one-sided profit band of the hierarchical solve vs the
+/// flat solve at paper scale: hierarchical profit stays within this
+/// fraction *below* the flat profit (and may exceed it). Asserted by the
+/// `hierarchical_profit_stays_in_band_at_paper_scale` test and the E5i
+/// bench gate.
+pub const PROFIT_BAND: f64 = 0.15;
+
+/// Tuning of the hierarchical scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierConfig {
+    /// Clusters per sketch group. Smaller groups mean cheaper exact
+    /// passes and a coarser sketch; one group reproduces the flat solve.
+    pub group_size: usize,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        Self { group_size: 8 }
+    }
+}
+
+impl HierConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `group_size` is zero.
+    pub fn validate(&self) {
+        assert!(self.group_size >= 1, "need at least one cluster per group");
+    }
+}
+
+/// Cluster-group capacity summary driving the sketch pass.
+struct GroupSketch {
+    /// First cluster id of the group (groups are contiguous ranges).
+    cluster_start: usize,
+    /// One past the last cluster id of the group.
+    cluster_end: usize,
+    /// Best per-server processing capacity in the group.
+    max_cap_p: f64,
+    /// Best per-server communication capacity in the group.
+    max_cap_c: f64,
+    /// Total processing capacity of the group.
+    total_cap_p: f64,
+    /// Running processing work (`λ·t̄^p`) of sketch-assigned clients.
+    load: f64,
+}
+
+/// Builds the per-group capacity summaries — `O(servers)` over the
+/// frontend model, no full lowering required.
+fn summarize_groups(system: &CloudSystem, group_size: usize) -> Vec<GroupSketch> {
+    let clusters = system.num_clusters();
+    let num_groups = clusters.div_ceil(group_size);
+    let mut groups = Vec::with_capacity(num_groups);
+    for g in 0..num_groups {
+        let cluster_start = g * group_size;
+        let cluster_end = ((g + 1) * group_size).min(clusters);
+        let mut sketch = GroupSketch {
+            cluster_start,
+            cluster_end,
+            max_cap_p: 0.0,
+            max_cap_c: 0.0,
+            total_cap_p: 0.0,
+            load: 0.0,
+        };
+        for k in cluster_start..cluster_end {
+            for &server in &system.cluster(ClusterId(k)).servers {
+                let class = system.class_of(server);
+                sketch.max_cap_p = sketch.max_cap_p.max(class.cap_processing);
+                sketch.max_cap_c = sketch.max_cap_c.max(class.cap_communication);
+                sketch.total_cap_p += class.cap_processing;
+            }
+        }
+        groups.push(sketch);
+    }
+    groups
+}
+
+/// The sketch pass: assigns every client to one cluster group, returning
+/// `group_of[client]`. Serial in client-id order (the pressure term
+/// couples consecutive decisions), deterministic by construction.
+fn sketch_assign(system: &CloudSystem, groups: &mut [GroupSketch]) -> Vec<usize> {
+    let mut group_of = Vec::with_capacity(system.num_clients());
+    for client in system.clients() {
+        let utility = system.utility_of(client.id);
+        let work = client.rate_predicted * client.exec_processing;
+        let mut best_group = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (g, sketch) in groups.iter().enumerate() {
+            if sketch.total_cap_p <= 0.0 {
+                continue;
+            }
+            // Optimistic response time on the group's best hardware: one
+            // server carrying the whole client at full share.
+            let r_hat = client.exec_processing / sketch.max_cap_p
+                + client.exec_communication / sketch.max_cap_c;
+            let revenue_est = client.rate_agreed * utility.value(r_hat);
+            let pressure = (sketch.load + work) / sketch.total_cap_p;
+            let score = revenue_est * (1.0 - pressure);
+            // Strict improvement only: ties break toward the lowest
+            // group id, mirroring the flat solver's cluster tie-break.
+            if score > best_score {
+                best_score = score;
+                best_group = g;
+            }
+        }
+        groups[best_group].load += work;
+        group_of.push(best_group);
+    }
+    group_of
+}
+
+/// One group's sub-problem: a dense renumbering of its clusters, servers
+/// and sketch-assigned clients, plus the maps back to the original ids.
+struct GroupProblem {
+    system: CloudSystem,
+    /// Original server id of each sub-system server, by new id index.
+    server_ids: Vec<ServerId>,
+    /// Original client id of each sub-system client, by new id index.
+    client_ids: Vec<ClientId>,
+}
+
+/// Extracts group `g`'s sub-system. Catalogs are copied whole (so class
+/// and utility ids — and therefore every derived float — are unchanged);
+/// clusters, servers and clients are renumbered densely in their
+/// original order, which preserves the solver's scan-order tie-breaks
+/// within the group.
+fn extract_group(system: &CloudSystem, sketch: &GroupSketch, members: &[ClientId]) -> GroupProblem {
+    let mut sub =
+        CloudSystem::new(system.server_classes().to_vec(), system.utility_classes().to_vec());
+    for (new_k, _) in (sketch.cluster_start..sketch.cluster_end).enumerate() {
+        sub.add_cluster(Cluster::new(ClusterId(new_k)));
+    }
+    let mut server_ids = Vec::new();
+    for (new_k, orig_k) in (sketch.cluster_start..sketch.cluster_end).enumerate() {
+        for &server in &system.cluster(ClusterId(orig_k)).servers {
+            let orig = system.server(server);
+            sub.add_server_with_background(
+                cloudalloc_model::Server::new(orig.class, ClusterId(new_k)),
+                system.background(server),
+            );
+            server_ids.push(server);
+        }
+    }
+    sub.reserve_clients(members.len());
+    let mut client_ids = Vec::with_capacity(members.len());
+    for (new_i, &orig_id) in members.iter().enumerate() {
+        let c = &system.clients()[orig_id.index()];
+        sub.add_client(Client::new(
+            ClientId(new_i),
+            c.utility_class,
+            c.rate_predicted,
+            c.rate_agreed,
+            c.exec_processing,
+            c.exec_communication,
+            c.storage,
+        ));
+        client_ids.push(orig_id);
+    }
+    GroupProblem { system: sub, server_ids, client_ids }
+}
+
+/// Runs the hierarchical scheme: sketch pass, per-group exact solves
+/// fanned over the solver pool, serial stitch, full re-evaluation.
+///
+/// The returned [`SolveResult`] reports the stitched allocation and its
+/// exact profit; `initial_profit` aggregates the groups' greedy starts
+/// and `stats` their search traces (max rounds, converged iff every
+/// group converged).
+///
+/// # Panics
+///
+/// Panics if `config` fails [`SolverConfig::validate`] or `hier` fails
+/// [`HierConfig::validate`].
+pub fn solve_hierarchical(
+    system: &CloudSystem,
+    config: &SolverConfig,
+    hier: &HierConfig,
+    seed: u64,
+) -> SolveResult {
+    let _span = telemetry::span!("hier.total");
+    config.validate();
+    hier.validate();
+
+    let mut groups = summarize_groups(system, hier.group_size);
+    let group_of = {
+        let _span = telemetry::span!("hier.sketch");
+        sketch_assign(system, &mut groups)
+    };
+
+    let mut members: Vec<Vec<ClientId>> = vec![Vec::new(); groups.len()];
+    for (i, &g) in group_of.iter().enumerate() {
+        members[g].push(ClientId(i));
+    }
+    let problems: Vec<GroupProblem> = groups
+        .iter()
+        .zip(&members)
+        .map(|(sketch, members)| extract_group(system, sketch, members))
+        .collect();
+
+    telemetry::counter!("hier.groups").add(groups.len() as u64);
+
+    // Independent exact solves, one derived seed per group. Each group's
+    // result is a pure function of (sub-system, config, seed), so the
+    // fan-out is deterministic at every thread count; a group solve's own
+    // fan-outs run serially inline when dispatched from a worker.
+    let results: Vec<SolveResult> = {
+        let _span = telemetry::span!("hier.groups.solve");
+        let problems = &problems;
+        run_parallel(problems.len(), config.effective_threads().min(problems.len()), |g| {
+            solve(&problems[g].system, config, pass_seed(seed, g as u64))
+        })
+    };
+
+    // Serial stitch in group order: map each group's placements back to
+    // the original ids. Group cluster `k` is original cluster
+    // `cluster_start + k`; servers and clients map through the recorded
+    // id tables.
+    let mut allocation = Allocation::new(system);
+    for ((result, problem), sketch) in results.iter().zip(&problems).zip(&groups) {
+        for (new_i, &orig_client) in problem.client_ids.iter().enumerate() {
+            let new_id = ClientId(new_i);
+            if let Some(sub_cluster) = result.allocation.cluster_of(new_id) {
+                allocation
+                    .assign_cluster(orig_client, ClusterId(sketch.cluster_start + sub_cluster.0));
+                for &(sub_server, placement) in result.allocation.placements(new_id) {
+                    let orig_server = problem.server_ids[sub_server.index()];
+                    allocation.place(system, orig_client, orig_server, placement);
+                }
+            }
+        }
+    }
+
+    let report = evaluate(system, &allocation);
+    let initial_profit: f64 = results.iter().map(|r| r.initial_profit).sum();
+    let stats = SearchStats {
+        rounds: results.iter().map(|r| r.stats.rounds).max().unwrap_or(0),
+        history: vec![initial_profit, report.profit],
+        converged: results.iter().all(|r| r.stats.converged),
+    };
+    telemetry::Event::new("hier.solve")
+        .field_u64("seed", seed)
+        .field_u64("groups", groups.len() as u64)
+        .field_f64("profit", report.profit)
+        .emit();
+    SolveResult { allocation, report, initial_profit, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudalloc_model::check_feasibility;
+    use cloudalloc_workload::{generate, ScenarioConfig};
+
+    #[test]
+    fn one_group_reproduces_the_flat_solve_exactly() {
+        // group_size >= num_clusters puts everything in group 0, whose
+        // sub-system is an id-identical copy solved with the raw seed, so
+        // the result must be bit-identical to the flat solve.
+        let system = generate(&ScenarioConfig::paper(24), 91);
+        let config = SolverConfig::fast();
+        let flat = solve(&system, &config, 7);
+        let hier = solve_hierarchical(&system, &config, &HierConfig { group_size: 100 }, 7);
+        assert_eq!(hier.allocation, flat.allocation);
+        assert_eq!(hier.report.profit.to_bits(), flat.report.profit.to_bits());
+        assert_eq!(hier.initial_profit.to_bits(), flat.initial_profit.to_bits());
+    }
+
+    #[test]
+    fn hierarchical_solutions_are_feasible() {
+        let system = generate(&ScenarioConfig::paper(40), 92);
+        let config = SolverConfig::fast();
+        let result = solve_hierarchical(&system, &config, &HierConfig { group_size: 2 }, 5);
+        assert!(result.report.profit.is_finite());
+        assert!(check_feasibility(&system, &result.allocation)
+            .iter()
+            .all(|v| matches!(v, cloudalloc_model::Violation::Unassigned { .. })));
+        result.allocation.assert_consistent(&system);
+    }
+
+    #[test]
+    fn hierarchical_is_identical_across_thread_counts() {
+        let system = generate(&ScenarioConfig::paper(30), 93);
+        let hier = HierConfig { group_size: 2 };
+        let base = {
+            let config = SolverConfig { num_threads: Some(1), ..SolverConfig::fast() };
+            solve_hierarchical(&system, &config, &hier, 11)
+        };
+        for threads in [2, 4, 8] {
+            let config = SolverConfig { num_threads: Some(threads), ..SolverConfig::fast() };
+            let result = solve_hierarchical(&system, &config, &hier, 11);
+            assert_eq!(result.allocation, base.allocation, "threads={threads}");
+            assert_eq!(
+                result.report.profit.to_bits(),
+                base.report.profit.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                result.initial_profit.to_bits(),
+                base.initial_profit.to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_profit_stays_in_band_at_paper_scale() {
+        // The documented one-sided band: hierarchical profit within
+        // PROFIT_BAND below flat (free to exceed it) on paper-family
+        // scenarios.
+        for seed in [3_u64, 17] {
+            let system = generate(&ScenarioConfig::paper(60), seed);
+            let config = SolverConfig::fast();
+            let flat = solve(&system, &config, 9);
+            let hier = solve_hierarchical(&system, &config, &HierConfig { group_size: 2 }, 9);
+            assert!(flat.report.profit > 0.0, "fixture must be profitable");
+            assert!(
+                hier.report.profit >= (1.0 - PROFIT_BAND) * flat.report.profit,
+                "seed {seed}: hierarchical profit {} fell out of the {PROFIT_BAND} band \
+                 below flat {}",
+                hier.report.profit,
+                flat.report.profit
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_spreads_load_across_groups() {
+        // With the pressure discount, a large population must not pile
+        // into a single group.
+        let system = generate(&ScenarioConfig::paper(80), 94);
+        let mut groups = summarize_groups(&system, 2);
+        let group_of = sketch_assign(&system, &mut groups);
+        let mut counts = vec![0usize; groups.len()];
+        for &g in &group_of {
+            counts[g] += 1;
+        }
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 1, "sketch used one group: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster per group")]
+    fn zero_group_size_is_rejected() {
+        let system = generate(&ScenarioConfig::small(4), 1);
+        let _ =
+            solve_hierarchical(&system, &SolverConfig::fast(), &HierConfig { group_size: 0 }, 1);
+    }
+}

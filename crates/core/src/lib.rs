@@ -43,6 +43,7 @@ mod bounds;
 mod config;
 mod ctx;
 mod explain;
+mod hier;
 mod initial;
 mod rounds;
 mod scratch;
@@ -62,5 +63,6 @@ pub use bounds::{client_bounds, profit_upper_bound, ClientBound};
 pub use config::SolverConfig;
 pub use ctx::SolverCtx;
 pub use explain::{cluster_digests, explain, ClusterDigest};
+pub use hier::{solve_hierarchical, HierConfig, PROFIT_BAND};
 pub use initial::{best_initial, greedy_pass, random_assignment};
 pub use solve::{improve, improve_scored, solve, solve_restarts, SearchStats, SolveResult};

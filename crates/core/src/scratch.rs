@@ -21,9 +21,25 @@
 //! concurrent users. Thread-locality also keeps results bit-identical and
 //! thread-count-invariant: an arena never carries data across threads,
 //! only capacity.
+//!
+//! # Cross-dispatch reuse
+//!
+//! [`crate::par::run_parallel`] spawns *fresh* scoped workers per
+//! dispatch, so a worker's thread-local pool — and every warmed-up arena
+//! in it — used to die with the thread, making each of the thousands of
+//! dispatches in a solve re-allocate its arenas from scratch. The pools
+//! now drain into a bounded process-wide free list on thread exit, and
+//! [`acquire`] falls back to that list before allocating. Migrating
+//! arenas carry **capacity only**: their cached level-constant tables are
+//! invalidated at migration (`level_key = None`), preserving the
+//! bit-identity contract above. The telemetry counters
+//! `scratch.pool_hits` (arena reused from the global list) vs
+//! `scratch.allocs` (fresh heap allocation) expose the reuse rate under
+//! fan-out.
 
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 
 use cloudalloc_model::{ClientId, Placement, ServerId};
 
@@ -140,26 +156,77 @@ pub(crate) struct CandidateScratch {
     pub seen_class: Vec<bool>,
 }
 
+/// Process-wide overflow free list, fed by thread-local pools as their
+/// threads exit (see the module docs). Bounded so a pathological burst of
+/// short-lived workers cannot pin unbounded capacity. Boxed for the same
+/// reason as [`LocalPool`]: migration is a pointer move.
+#[allow(clippy::vec_box)]
+static GLOBAL_POOL: Mutex<Vec<Box<CandidateScratch>>> = Mutex::new(Vec::new());
+
+/// Upper bound on [`GLOBAL_POOL`]'s size; arenas beyond it are simply
+/// dropped. Far above the worker count of any dispatch.
+const GLOBAL_POOL_CAP: usize = 64;
+
+/// A thread's arena pool; on thread exit the warmed arenas migrate to
+/// [`GLOBAL_POOL`] instead of dying with the thread.
+#[derive(Default)]
+struct LocalPool {
+    #[allow(clippy::vec_box)]
+    arenas: Vec<Box<CandidateScratch>>,
+}
+
+impl Drop for LocalPool {
+    fn drop(&mut self) {
+        if self.arenas.is_empty() {
+            return;
+        }
+        // A poisoned lock only costs the reuse, never correctness.
+        if let Ok(mut global) = GLOBAL_POOL.lock() {
+            for mut arena in self.arenas.drain(..) {
+                if global.len() >= GLOBAL_POOL_CAP {
+                    break;
+                }
+                // Only capacity may cross threads: the level-constant
+                // cache is keyed per (context, client) and must not be
+                // trusted by whoever inherits this arena.
+                arena.level_key = None;
+                global.push(arena);
+            }
+        }
+    }
+}
+
 thread_local! {
     /// Per-thread arena pool; depth equals the maximum nesting of live
     /// searches (≤ 4 in practice), so the pool stays tiny. Boxing keeps
     /// acquire/release a pointer move instead of copying ~20 `Vec`
     /// headers per candidate search.
-    #[allow(clippy::vec_box)]
-    static POOL: RefCell<Vec<Box<CandidateScratch>>> = const { RefCell::new(Vec::new()) };
+    static POOL: RefCell<LocalPool> = RefCell::new(LocalPool::default());
 }
 
-/// Borrows an arena from the current thread's pool (allocating one only on
-/// first use at each nesting depth). Buffers may hold stale data from the
-/// previous user — callers clear what they use.
+/// Borrows an arena: from the current thread's pool, else from the
+/// process-wide free list of exited workers, else freshly allocated.
+/// Buffers may hold stale data from the previous user — callers clear
+/// what they use.
 pub(crate) fn acquire() -> ScratchGuard {
     cloudalloc_telemetry::counter!("scratch.acquires").incr();
-    let inner = POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_else(|| {
-        // A miss means a fresh heap allocation; the acquires/allocs ratio
-        // is the pool's reuse rate.
-        cloudalloc_telemetry::counter!("scratch.allocs").incr();
-        Box::default()
-    });
+    let inner = POOL
+        .with(|pool| pool.borrow_mut().arenas.pop())
+        .or_else(|| {
+            let migrated = GLOBAL_POOL.lock().ok().and_then(|mut global| global.pop());
+            if migrated.is_some() {
+                // A cross-dispatch reuse: this arena was warmed by a
+                // worker that has since exited.
+                cloudalloc_telemetry::counter!("scratch.pool_hits").incr();
+            }
+            migrated
+        })
+        .unwrap_or_else(|| {
+            // A miss means a fresh heap allocation; the acquires/allocs
+            // ratio is the pool's overall reuse rate.
+            cloudalloc_telemetry::counter!("scratch.allocs").incr();
+            Box::default()
+        });
     ScratchGuard { inner: Some(inner) }
 }
 
@@ -186,7 +253,7 @@ impl DerefMut for ScratchGuard {
 impl Drop for ScratchGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
-            POOL.with(|pool| pool.borrow_mut().push(inner));
+            POOL.with(|pool| pool.borrow_mut().arenas.push(inner));
         }
     }
 }
@@ -216,5 +283,40 @@ mod tests {
         let g = acquire();
         // Same thread: the pooled arena comes back with its capacity.
         assert!(g.dp.capacity() >= 64);
+    }
+
+    #[test]
+    fn exiting_threads_migrate_capacity_with_level_keys_cleared() {
+        // Warm an arena on a short-lived worker; its pool drains into the
+        // global free list on thread exit with the level cache
+        // invalidated.
+        let mut arena = Box::<CandidateScratch>::default();
+        arena.level_key = Some((42, 7));
+        arena.dp.reserve(128);
+        drop(LocalPool { arenas: vec![arena] });
+        let all_invalidated =
+            GLOBAL_POOL.lock().unwrap().iter().all(|arena| arena.level_key.is_none());
+        assert!(all_invalidated, "a migrated arena kept its level-table key");
+    }
+
+    #[test]
+    fn fresh_threads_inherit_arenas_from_exited_workers() {
+        // A worker warms an arena and exits...
+        std::thread::spawn(|| {
+            let mut g = acquire();
+            g.level_key = Some((1, 1));
+            g.dp.reserve(64);
+        })
+        .join()
+        .unwrap();
+        // ...and whichever arena a brand-new thread acquires — migrated
+        // or fresh — must never carry a trusted level cache.
+        let key = std::thread::spawn(|| {
+            let g = acquire();
+            g.level_key
+        })
+        .join()
+        .unwrap();
+        assert!(key.is_none(), "cached level tables crossed a thread boundary");
     }
 }

@@ -58,9 +58,11 @@ pub struct SearchStats {
 /// phase-start state and the accepted changes replay serially in cluster
 /// order. That schedule runs at every thread count (including one), so
 /// identical `(system, config, seed)` inputs yield bit-identical results
-/// regardless of `num_threads`. Reassignment (and the optional swap) stay
-/// serial — their accept tests chain through the evolving global profit —
-/// but the candidate search inside them fans out per cluster.
+/// regardless of `num_threads`. Reassignment fans out too, as blocks of
+/// snapshot-priced proposals whose accept tests replay serially against
+/// the evolving global profit (see `ops::reassign`); only the optional
+/// swap stays fully serial, though the candidate search inside it fans
+/// out per cluster.
 pub fn improve_scored(
     ctx: &SolverCtx<'_>,
     scored: &mut ScoredAllocation<'_>,

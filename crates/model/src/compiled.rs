@@ -38,6 +38,7 @@ use crate::cluster::BackgroundLoad;
 use crate::eval::{placement_response_time, ClientOutcome, FEASIBILITY_TOL};
 use crate::ids::{ClientId, ClusterId, ServerId};
 use crate::server::{Server, ServerClass, ServerRef};
+use crate::streamed::LoweredClients;
 use crate::system::CloudSystem;
 use crate::utility::UtilityFunction;
 
@@ -91,105 +92,13 @@ impl<'a> CompiledSystem<'a> {
     /// mid-search. Cost is `O(classes × clients + servers)` — negligible
     /// next to one greedy pass.
     pub fn new(system: &'a CloudSystem) -> Self {
-        let classes = system.server_classes();
-        let servers = system.servers();
-        let clients = system.clients();
-
-        let num_servers = servers.len();
-        let mut server_class = Vec::with_capacity(num_servers);
-        let mut server_cluster = Vec::with_capacity(num_servers);
-        let mut cap_processing = Vec::with_capacity(num_servers);
-        let mut cap_communication = Vec::with_capacity(num_servers);
-        let mut cap_storage = Vec::with_capacity(num_servers);
-        let mut cost_fixed = Vec::with_capacity(num_servers);
-        let mut cost_per_utilization = Vec::with_capacity(num_servers);
-        let mut background = Vec::with_capacity(num_servers);
-        for (idx, server) in servers.iter().enumerate() {
-            let class = &classes[server.class.index()];
-            server_class.push(server.class.index());
-            server_cluster.push(server.cluster.index());
-            cap_processing.push(class.cap_processing);
-            cap_communication.push(class.cap_communication);
-            cap_storage.push(class.cap_storage);
-            cost_fixed.push(class.cost_fixed);
-            cost_per_utilization.push(class.cost_per_utilization);
-            background.push(system.background(ServerId(idx)));
-        }
-
-        // Cluster-major permutation, preserving each cluster's insertion
-        // order (the solver's tie-breaks depend on scan order).
-        let mut cluster_servers = Vec::with_capacity(num_servers);
-        let mut cluster_start = Vec::with_capacity(system.num_clusters() + 1);
-        cluster_start.push(0);
-        for cluster in system.clusters() {
-            cluster_servers.extend_from_slice(&cluster.servers);
-            cluster_start.push(cluster_servers.len());
-        }
-
-        let num_clients = clients.len();
-        let mut rate_predicted = Vec::with_capacity(num_clients);
-        let mut rate_agreed = Vec::with_capacity(num_clients);
-        let mut exec_processing = Vec::with_capacity(num_clients);
-        let mut exec_communication = Vec::with_capacity(num_clients);
-        let mut client_storage = Vec::with_capacity(num_clients);
-        let mut utility_index = Vec::with_capacity(num_clients);
-        let mut utility = Vec::with_capacity(num_clients);
-        let mut ref_weight = Vec::with_capacity(num_clients);
-        let mut ref_marginal = Vec::with_capacity(num_clients);
-        for c in clients {
-            let u = &system.utility_class(c.utility_class).function;
-            rate_predicted.push(c.rate_predicted);
-            rate_agreed.push(c.rate_agreed);
-            exec_processing.push(c.exec_processing);
-            exec_communication.push(c.exec_communication);
-            client_storage.push(c.storage);
-            utility_index.push(c.utility_class.index());
-            utility.push(u);
-            // Same expressions as `SolverCtx::reference_weight` and the
-            // shadow-price calibration sum; cached, not rederived.
-            ref_weight.push((c.rate_agreed * u.reference_slope()).max(1e-9));
-            ref_marginal.push(c.rate_agreed * u.reference_slope());
-        }
-
-        // Class-major service-rate tables. The divisions are the exact
-        // expressions the search evaluates per (class, client) pair
-        // (`class.cap / client.exec`), so table reads are bit-identical
-        // to the recomputation they replace.
-        let mut m_p = Vec::with_capacity(classes.len() * num_clients);
-        let mut m_c = Vec::with_capacity(classes.len() * num_clients);
-        for class in classes {
-            for c in clients {
-                m_p.push(class.cap_processing / c.exec_processing);
-                m_c.push(class.cap_communication / c.exec_communication);
-            }
-        }
-
-        Self {
-            system,
-            classes,
-            servers,
-            server_class,
-            server_cluster,
-            cap_processing,
-            cap_communication,
-            cap_storage,
-            cost_fixed,
-            cost_per_utilization,
-            background,
-            cluster_servers,
-            cluster_start,
-            rate_predicted,
-            rate_agreed,
-            exec_processing,
-            exec_communication,
-            client_storage,
-            utility_index,
-            utility,
-            ref_weight,
-            ref_marginal,
-            m_p,
-            m_c,
-        }
+        // Batch lowering is the streamed lowering with one full-population
+        // chunk: a single code path produces the client arrays, which is
+        // what makes streamed and batch compiles bit-identical by
+        // construction (see `crate::streamed`).
+        let mut clients = LoweredClients::new(system.num_clients(), system.server_classes().len());
+        clients.push_chunk(system.server_classes(), system.utility_classes(), system.clients());
+        compile_streamed(system, clients)
     }
 
     /// The frontend model this view was lowered from.
@@ -416,6 +325,101 @@ impl<'a> CompiledSystem<'a> {
     }
 }
 
+/// Finishes a streamed lowering: moves the fully-populated client arrays
+/// of `clients` into a [`CompiledSystem`] over `system`, deriving only
+/// the cheap `O(servers)` server-side arrays.
+///
+/// This is the scale-path twin of [`CompiledSystem::new`] (which routes
+/// through it with one full chunk): a producer that filled `clients`
+/// chunk-by-chunk under a [`crate::MemoryBudget`] never needed the whole
+/// client population staged at once, and nothing client-side is
+/// re-derived here — the utility-function pointers are the only per-client
+/// data rebuilt, straight from the cached catalog indices.
+///
+/// # Panics
+///
+/// Panics when `clients` is incomplete or its declared population or
+/// catalog size disagrees with `system`.
+pub fn compile_streamed<'a>(
+    system: &'a CloudSystem,
+    clients: LoweredClients,
+) -> CompiledSystem<'a> {
+    assert!(
+        clients.is_complete(),
+        "streamed lowering holds {} of {} clients",
+        clients.len(),
+        clients.num_clients()
+    );
+    assert_eq!(
+        clients.num_clients(),
+        system.num_clients(),
+        "streamed lowering disagrees with the system's population"
+    );
+    let classes = system.server_classes();
+    let servers = system.servers();
+
+    let num_servers = servers.len();
+    let mut server_class = Vec::with_capacity(num_servers);
+    let mut server_cluster = Vec::with_capacity(num_servers);
+    let mut cap_processing = Vec::with_capacity(num_servers);
+    let mut cap_communication = Vec::with_capacity(num_servers);
+    let mut cap_storage = Vec::with_capacity(num_servers);
+    let mut cost_fixed = Vec::with_capacity(num_servers);
+    let mut cost_per_utilization = Vec::with_capacity(num_servers);
+    let mut background = Vec::with_capacity(num_servers);
+    for (idx, server) in servers.iter().enumerate() {
+        let class = &classes[server.class.index()];
+        server_class.push(server.class.index());
+        server_cluster.push(server.cluster.index());
+        cap_processing.push(class.cap_processing);
+        cap_communication.push(class.cap_communication);
+        cap_storage.push(class.cap_storage);
+        cost_fixed.push(class.cost_fixed);
+        cost_per_utilization.push(class.cost_per_utilization);
+        background.push(system.background(ServerId(idx)));
+    }
+
+    // Cluster-major permutation, preserving each cluster's insertion
+    // order (the solver's tie-breaks depend on scan order).
+    let mut cluster_servers = Vec::with_capacity(num_servers);
+    let mut cluster_start = Vec::with_capacity(system.num_clusters() + 1);
+    cluster_start.push(0);
+    for cluster in system.clusters() {
+        cluster_servers.extend_from_slice(&cluster.servers);
+        cluster_start.push(cluster_servers.len());
+    }
+
+    let utility: Vec<&'a UtilityFunction> =
+        clients.utility_index.iter().map(|&u| &system.utility_classes()[u].function).collect();
+
+    CompiledSystem {
+        system,
+        classes,
+        servers,
+        server_class,
+        server_cluster,
+        cap_processing,
+        cap_communication,
+        cap_storage,
+        cost_fixed,
+        cost_per_utilization,
+        background,
+        cluster_servers,
+        cluster_start,
+        rate_predicted: clients.rate_predicted,
+        rate_agreed: clients.rate_agreed,
+        exec_processing: clients.exec_processing,
+        exec_communication: clients.exec_communication,
+        client_storage: clients.client_storage,
+        utility_index: clients.utility_index,
+        utility,
+        ref_weight: clients.ref_weight,
+        ref_marginal: clients.ref_marginal,
+        m_p: clients.m_p,
+        m_c: clients.m_c,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +511,27 @@ mod tests {
             let marginal = c.rate_agreed * sys.utility_of(c.id).reference_slope();
             assert_eq!(cs.ref_marginal(c.id).to_bits(), marginal.to_bits());
             assert_eq!(cs.ref_weight(c.id).to_bits(), marginal.max(1e-9).to_bits());
+        }
+    }
+
+    #[test]
+    fn streamed_compile_matches_batch_compile() {
+        let sys = sample_system();
+        let batch = CompiledSystem::new(&sys);
+        let mut lowered = LoweredClients::new(sys.num_clients(), sys.server_classes().len());
+        for chunk in sys.clients().chunks(1) {
+            lowered.push_chunk(sys.server_classes(), sys.utility_classes(), chunk);
+        }
+        let streamed = compile_streamed(&sys, lowered);
+        for i in 0..sys.num_clients() {
+            let id = ClientId(i);
+            assert_eq!(streamed.ref_weight(id).to_bits(), batch.ref_weight(id).to_bits());
+            assert_eq!(streamed.ref_marginal(id).to_bits(), batch.ref_marginal(id).to_bits());
+            assert!(std::ptr::eq(streamed.utility(id), batch.utility(id)));
+            for ci in 0..sys.server_classes().len() {
+                assert_eq!(streamed.m_p(ci, id).to_bits(), batch.m_p(ci, id).to_bits());
+                assert_eq!(streamed.m_c(ci, id).to_bits(), batch.m_c(ci, id).to_bits());
+            }
         }
     }
 

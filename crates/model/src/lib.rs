@@ -56,6 +56,7 @@ mod eval;
 mod ids;
 mod incremental;
 mod server;
+mod streamed;
 mod system;
 mod utility;
 
@@ -63,7 +64,7 @@ pub use allocation::{Allocation, ClusterSlack, Placement, ServerLoad};
 pub use builder::SystemBuilder;
 pub use client::Client;
 pub use cluster::{BackgroundLoad, Cluster};
-pub use compiled::CompiledSystem;
+pub use compiled::{compile_streamed, CompiledSystem};
 pub use error::ModelError;
 pub use eval::{
     check_feasibility, evaluate, evaluate_client, is_stable, placement_response_time,
@@ -72,6 +73,7 @@ pub use eval::{
 pub use ids::{ClientId, ClusterId, ServerClassId, ServerId, UtilityClassId};
 pub use incremental::{AllocationDelta, Savepoint, ScoredAllocation};
 pub use server::{Server, ServerClass, ServerRef};
+pub use streamed::{LoweredClients, MemoryBudget};
 pub use system::CloudSystem;
 pub use utility::{UtilityClass, UtilityFunction};
 

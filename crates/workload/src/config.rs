@@ -138,6 +138,21 @@ impl ScenarioConfig {
         }
     }
 
+    /// The large-scale family for the E5i scale bench: the paper's §VI
+    /// distributions stretched to datacenter proportions. Cluster count
+    /// grows with the client population (one cluster per ~500 clients, so
+    /// a million clients spread over thousands of clusters) and every
+    /// cluster holds 4–6 servers of each of the 10 classes — roughly one
+    /// server per ten clients, matching the 1M-client / 100k-server
+    /// regime the ROADMAP targets.
+    pub fn scale(num_clients: usize) -> Self {
+        Self {
+            num_clusters: (num_clients / 500).max(4),
+            servers_per_class: Range::new(4.0, 6.0),
+            ..Self::paper(num_clients)
+        }
+    }
+
     /// A deliberately over-subscribed scenario: client demand far exceeds
     /// capacity, exercising the solvers' handling of saturation.
     pub fn overloaded(num_clients: usize) -> Self {
@@ -220,6 +235,22 @@ mod tests {
     fn presets_validate() {
         ScenarioConfig::small(10).validate();
         ScenarioConfig::overloaded(50).validate();
+        ScenarioConfig::scale(100_000).validate();
+    }
+
+    #[test]
+    fn scale_preset_tracks_the_client_count() {
+        // ~500 clients per cluster, ~10 clients per server: a million
+        // clients means thousands of clusters and ~100k servers.
+        let c = ScenarioConfig::scale(1_000_000);
+        assert_eq!(c.num_clusters, 2000);
+        assert_eq!(c.num_server_classes, 10);
+        // Expected servers: clusters × classes × U(4,6) ≈ 80k–120k.
+        let lo = c.num_clusters * c.num_server_classes * 4;
+        let hi = c.num_clusters * c.num_server_classes * 6;
+        assert!(lo <= 120_000 && hi >= 100_000);
+        // Tiny requests still get a solvable topology.
+        assert_eq!(ScenarioConfig::scale(100).num_clusters, 4);
     }
 
     #[test]

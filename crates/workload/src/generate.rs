@@ -1,23 +1,23 @@
 //! Drawing a concrete [`CloudSystem`] from a [`ScenarioConfig`].
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use cloudalloc_model::{
-    BackgroundLoad, Client, ClientId, CloudSystem, Cluster, ClusterId, Server, ServerClass,
-    ServerClassId, UtilityClass, UtilityClassId, UtilityFunction,
+    BackgroundLoad, CloudSystem, Cluster, ClusterId, Server, ServerClass, ServerClassId,
+    UtilityClass, UtilityClassId, UtilityFunction,
 };
 
 use crate::config::{ScenarioConfig, UtilityShape};
 
 /// Per-utility-class draws shared by all clients of the class.
-struct UtilityDraw {
-    function: UtilityFunction,
-    exec_processing: f64,
-    exec_communication: f64,
+pub(crate) struct UtilityDraw {
+    pub(crate) function: UtilityFunction,
+    pub(crate) exec_processing: f64,
+    pub(crate) exec_communication: f64,
 }
 
-fn sample(rng: &mut StdRng, range: crate::Range) -> f64 {
+pub(crate) fn sample(rng: &mut StdRng, range: crate::Range) -> f64 {
     range.sample(rng.gen::<f64>())
 }
 
@@ -48,26 +48,26 @@ fn utility_function(rng: &mut StdRng, config: &ScenarioConfig) -> UtilityFunctio
     }
 }
 
-/// Draws a complete [`CloudSystem`] from `config` using the deterministic
-/// RNG stream seeded by `seed`. Same `(config, seed)` → identical system.
-///
-/// # Panics
-///
-/// Panics if `config` fails [`ScenarioConfig::validate`].
-pub fn generate(config: &ScenarioConfig, seed: u64) -> CloudSystem {
-    config.validate();
-    let mut rng = StdRng::seed_from_u64(seed);
-
+/// Draws the client-free scenario skeleton — hardware catalog, SLA
+/// catalog (with its per-class execution-time draws), clusters, and
+/// servers — leaving `rng` positioned exactly where the client loop
+/// starts drawing. Shared verbatim by [`generate`] and
+/// [`crate::ScenarioStream`]; a single code path is what makes streamed
+/// and batch generation bit-identical.
+pub(crate) fn build_skeleton(
+    rng: &mut StdRng,
+    config: &ScenarioConfig,
+) -> (CloudSystem, Vec<UtilityDraw>) {
     // Hardware catalog.
     let server_classes: Vec<ServerClass> = (0..config.num_server_classes)
         .map(|idx| {
             ServerClass::new(
                 ServerClassId(idx),
-                sample(&mut rng, config.cap_processing),
-                sample(&mut rng, config.cap_storage),
-                sample(&mut rng, config.cap_communication),
-                sample(&mut rng, config.cost_fixed),
-                sample(&mut rng, config.cost_per_utilization),
+                sample(rng, config.cap_processing),
+                sample(rng, config.cap_storage),
+                sample(rng, config.cap_communication),
+                sample(rng, config.cost_fixed),
+                sample(rng, config.cost_per_utilization),
             )
         })
         .collect();
@@ -76,11 +76,11 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> CloudSystem {
     let mut utility_draws = Vec::with_capacity(config.num_utility_classes);
     let utility_classes: Vec<UtilityClass> = (0..config.num_utility_classes)
         .map(|idx| {
-            let function = utility_function(&mut rng, config);
+            let function = utility_function(rng, config);
             let draw = UtilityDraw {
                 function: function.clone(),
-                exec_processing: sample(&mut rng, config.exec_time),
-                exec_communication: sample(&mut rng, config.exec_time),
+                exec_processing: sample(rng, config.exec_time),
+                exec_communication: sample(rng, config.exec_time),
             };
             utility_draws.push(draw);
             UtilityClass::new(UtilityClassId(idx), function)
@@ -105,8 +105,8 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> CloudSystem {
                 {
                     let storage_cap = system.server_classes()[class].cap_storage;
                     let bg = BackgroundLoad::new(
-                        sample(&mut rng, config.background_share),
-                        sample(&mut rng, config.background_share),
+                        sample(rng, config.background_share),
+                        sample(rng, config.background_share),
                         rng.gen::<f64>() * 0.5 * storage_cap,
                     );
                     system.add_server_with_background(server, bg);
@@ -117,28 +117,20 @@ pub fn generate(config: &ScenarioConfig, seed: u64) -> CloudSystem {
         }
     }
 
-    // Client population.
-    for i in 0..config.num_clients {
-        let class_idx = rng.gen_range(0..config.num_utility_classes);
-        let draw = &utility_draws[class_idx];
-        debug_assert_eq!(
-            &system.utility_classes()[class_idx].function,
-            &draw.function,
-            "utility draw bookkeeping out of sync"
-        );
-        let rate = sample(&mut rng, config.arrival_rate);
-        system.add_client(Client::new(
-            ClientId(i),
-            UtilityClassId(class_idx),
-            rate,
-            rate * config.agreed_rate_factor,
-            draw.exec_processing,
-            draw.exec_communication,
-            sample(&mut rng, config.client_storage),
-        ));
-    }
+    (system, utility_draws)
+}
 
-    system
+/// Draws a complete [`CloudSystem`] from `config` using the deterministic
+/// RNG stream seeded by `seed`. Same `(config, seed)` → identical system.
+///
+/// Delegates to [`crate::ScenarioStream`]: batch generation is the
+/// streaming generator drained in one go, so the two can never diverge.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ScenarioConfig::validate`].
+pub fn generate(config: &ScenarioConfig, seed: u64) -> CloudSystem {
+    crate::ScenarioStream::new(config.clone(), seed).into_system()
 }
 
 #[cfg(test)]

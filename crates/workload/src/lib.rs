@@ -28,11 +28,13 @@ pub mod catalog;
 mod config;
 mod faults;
 mod generate;
+mod stream;
 mod sweep;
 mod trace;
 
 pub use config::{Range, ScenarioConfig, UtilityShape};
 pub use faults::{FaultEvent, FaultPlan, FaultPlanConfig, FaultRecord};
 pub use generate::generate;
+pub use stream::{ScenarioStream, StreamedScenario};
 pub use sweep::{paper_client_counts, scenario_seeds, Sweep};
 pub use trace::DiurnalTrace;

@@ -1,0 +1,299 @@
+//! Streaming scenario generation: the same RNG draws as [`generate`],
+//! yielded in memory-budgeted chunks.
+//!
+//! [`crate::generate`] materializes the whole client population before
+//! anything downstream can run. At the E5i scale (a million clients)
+//! that staging order is the bottleneck: everything the solver reads
+//! about a client lives in the flat arrays of
+//! [`cloudalloc_model::CompiledSystem`], and those arrays can be filled
+//! incrementally.
+//!
+//! [`ScenarioStream`] splits generation in two. Construction draws the
+//! *skeleton* — hardware catalog, SLA catalog, clusters, servers — which
+//! is cheap (`O(servers)`) and consumes exactly the same prefix of the
+//! seeded RNG stream as `generate()`. Clients are then drawn on demand,
+//! in id order, either one chunk at a time ([`ScenarioStream::next_chunk`])
+//! or straight into a finished system ([`ScenarioStream::into_system`]).
+//! `generate()` itself is now a thin wrapper over `into_system`, so there
+//! is a single client-drawing code path and streamed output is
+//! bit-identical to batch output *by construction* (the proptests below
+//! still assert it).
+//!
+//! [`ScenarioStream::assemble`] is the end-to-end scale path: it sizes
+//! chunks from a [`MemoryBudget`], lowers each chunk into
+//! [`LoweredClients`] as it is drawn, and returns a [`StreamedScenario`]
+//! ready for [`cloudalloc_model::compile_streamed`] — peak transient
+//! staging is one budget-sized chunk regardless of the population.
+//!
+//! [`generate`]: crate::generate
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cloudalloc_model::{
+    Client, ClientId, CloudSystem, LoweredClients, MemoryBudget, UtilityClassId,
+};
+
+use crate::config::ScenarioConfig;
+use crate::generate::{build_skeleton, sample, UtilityDraw};
+
+/// A partially-drawn scenario: the skeleton is complete, clients stream
+/// out in id order from the same seeded RNG as [`crate::generate`].
+pub struct ScenarioStream {
+    rng: StdRng,
+    config: ScenarioConfig,
+    system: CloudSystem,
+    utility_draws: Vec<UtilityDraw>,
+    next_client: usize,
+}
+
+impl ScenarioStream {
+    /// Draws the scenario skeleton (catalogs, clusters, servers) for
+    /// `config` under `seed`, leaving the RNG positioned exactly where
+    /// `generate()` starts drawing clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ScenarioConfig::validate`].
+    pub fn new(config: ScenarioConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (system, utility_draws) = build_skeleton(&mut rng, &config);
+        Self { rng, config, system, utility_draws, next_client: 0 }
+    }
+
+    /// The client-free skeleton (catalogs, clusters, servers).
+    pub fn skeleton(&self) -> &CloudSystem {
+        &self.system
+    }
+
+    /// Total clients this stream will yield.
+    pub fn num_clients(&self) -> usize {
+        self.config.num_clients
+    }
+
+    /// Clients not yet drawn.
+    pub fn remaining(&self) -> usize {
+        self.config.num_clients - self.next_client
+    }
+
+    /// Draws the next client — the exact draw sequence of `generate()`'s
+    /// client loop.
+    fn draw_client(&mut self) -> Client {
+        let i = self.next_client;
+        let class_idx = self.rng.gen_range(0..self.config.num_utility_classes);
+        debug_assert_eq!(
+            &self.system.utility_classes()[class_idx].function,
+            &self.utility_draws[class_idx].function,
+            "utility draw bookkeeping out of sync"
+        );
+        let (exec_processing, exec_communication) = {
+            let draw = &self.utility_draws[class_idx];
+            (draw.exec_processing, draw.exec_communication)
+        };
+        let rate = sample(&mut self.rng, self.config.arrival_rate);
+        self.next_client += 1;
+        Client::new(
+            ClientId(i),
+            UtilityClassId(class_idx),
+            rate,
+            rate * self.config.agreed_rate_factor,
+            exec_processing,
+            exec_communication,
+            sample(&mut self.rng, self.config.client_storage),
+        )
+    }
+
+    /// Draws up to `max_clients` further clients into `buf` (cleared
+    /// first), reusing its allocation across calls.
+    pub fn next_chunk_into(&mut self, max_clients: usize, buf: &mut Vec<Client>) {
+        buf.clear();
+        let n = max_clients.min(self.remaining());
+        buf.reserve(n);
+        for _ in 0..n {
+            let client = self.draw_client();
+            buf.push(client);
+        }
+    }
+
+    /// Draws up to `max_clients` further clients. Empty once the stream
+    /// is exhausted.
+    pub fn next_chunk(&mut self, max_clients: usize) -> Vec<Client> {
+        let mut buf = Vec::new();
+        self.next_chunk_into(max_clients, &mut buf);
+        buf
+    }
+
+    /// Drains the stream into a complete [`CloudSystem`] — what
+    /// [`crate::generate`] returns.
+    pub fn into_system(mut self) -> CloudSystem {
+        self.system.reserve_clients(self.remaining());
+        while self.remaining() > 0 {
+            let client = self.draw_client();
+            self.system.add_client(client);
+        }
+        self.system
+    }
+
+    /// Drains the stream chunk-by-chunk under `budget`, lowering each
+    /// chunk into the compiled client arrays as it is drawn. The only
+    /// transient staging is one budget-sized chunk buffer; the resident
+    /// system and arrays are reserved exact-size up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when clients were already drawn from this stream (the
+    /// lowering needs the full id-ordered population).
+    pub fn assemble(mut self, budget: MemoryBudget) -> StreamedScenario {
+        assert_eq!(self.next_client, 0, "assemble requires an unconsumed stream");
+        let chunk_cap = budget.chunk_clients();
+        let mut clients =
+            LoweredClients::new(self.config.num_clients, self.system.server_classes().len());
+        self.system.reserve_clients(self.config.num_clients);
+        let mut buf = Vec::new();
+        let mut chunks = 0;
+        let mut peak_chunk_clients = 0;
+        while self.remaining() > 0 {
+            self.next_chunk_into(chunk_cap, &mut buf);
+            chunks += 1;
+            peak_chunk_clients = peak_chunk_clients.max(buf.len());
+            clients.push_chunk(self.system.server_classes(), self.system.utility_classes(), &buf);
+            for client in buf.drain(..) {
+                self.system.add_client(client);
+            }
+        }
+        StreamedScenario { system: self.system, clients, chunks, peak_chunk_clients, budget }
+    }
+}
+
+/// A scenario drawn and lowered under a [`MemoryBudget`]: feed `system`
+/// and `clients` to [`cloudalloc_model::compile_streamed`].
+pub struct StreamedScenario {
+    /// The complete frontend system (identical to `generate()` output).
+    pub system: CloudSystem,
+    /// The fully-populated client-side lowering.
+    pub clients: LoweredClients,
+    /// Number of chunks the stream was drawn in.
+    pub chunks: usize,
+    /// Largest chunk staged at once — the budget invariant is
+    /// `peak_chunk_clients × STAGING_BYTES_PER_CLIENT ≤ budget`.
+    pub peak_chunk_clients: usize,
+    /// The budget the stream was drawn under.
+    pub budget: MemoryBudget,
+}
+
+impl StreamedScenario {
+    /// Peak transient staging the drain held at once, in bytes.
+    pub fn peak_staging_bytes(&self) -> usize {
+        self.peak_chunk_clients * MemoryBudget::STAGING_BYTES_PER_CLIENT
+    }
+
+    /// True when the drain respected its memory budget.
+    pub fn within_budget(&self) -> bool {
+        self.peak_staging_bytes() <= self.budget.bytes() || self.peak_chunk_clients <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use cloudalloc_model::{compile_streamed, CompiledSystem};
+    use proptest::prelude::*;
+
+    #[test]
+    fn skeleton_matches_generate_prefix() {
+        let config = ScenarioConfig::paper(30);
+        let stream = ScenarioStream::new(config.clone(), 11);
+        let batch = generate(&config, 11);
+        assert_eq!(stream.skeleton().server_classes(), batch.server_classes());
+        assert_eq!(stream.skeleton().num_servers(), batch.num_servers());
+        assert_eq!(stream.skeleton().num_clients(), 0);
+        assert_eq!(stream.remaining(), 30);
+    }
+
+    #[test]
+    fn into_system_equals_generate() {
+        let config = ScenarioConfig::paper(50);
+        assert_eq!(ScenarioStream::new(config.clone(), 3).into_system(), generate(&config, 3));
+    }
+
+    #[test]
+    fn assembled_lowering_matches_batch_compile() {
+        let config = ScenarioConfig::paper(120);
+        let batch = generate(&config, 42);
+        let budget = MemoryBudget::from_bytes(7 * MemoryBudget::STAGING_BYTES_PER_CLIENT);
+        let scenario = ScenarioStream::new(config, 42).assemble(budget);
+        assert_eq!(scenario.system, batch);
+        assert_eq!(scenario.peak_chunk_clients, 7);
+        assert_eq!(scenario.chunks, 120usize.div_ceil(7));
+        assert!(scenario.within_budget());
+
+        let reference = CompiledSystem::new(&batch);
+        let streamed = compile_streamed(&scenario.system, scenario.clients);
+        for i in 0..batch.num_clients() {
+            let id = ClientId(i);
+            assert_eq!(streamed.ref_weight(id).to_bits(), reference.ref_weight(id).to_bits());
+            assert_eq!(streamed.rate_agreed(id).to_bits(), reference.rate_agreed(id).to_bits());
+            for ci in 0..batch.server_classes().len() {
+                assert_eq!(streamed.m_p(ci, id).to_bits(), reference.m_p(ci, id).to_bits());
+                assert_eq!(streamed.m_c(ci, id).to_bits(), reference.m_c(ci, id).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hundred_thousand_client_drain_stays_under_budget() {
+        // The satellite memory-budget check: a 100k-client scale scenario
+        // drains under a 1 MiB staging budget in many small chunks, and
+        // the lowering is complete at the end.
+        let config = ScenarioConfig::scale(100_000);
+        let budget = MemoryBudget::from_mib(1);
+        let scenario = ScenarioStream::new(config, 1).assemble(budget);
+        assert!(scenario.within_budget(), "staging exceeded the budget");
+        assert_eq!(scenario.system.num_clients(), 100_000);
+        assert!(scenario.clients.is_complete());
+        assert_eq!(scenario.chunks, 100_000usize.div_ceil(budget.chunk_clients()));
+        assert!(scenario.chunks > 1, "budget should force multiple chunks");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn streamed_clients_are_bit_identical_to_batch(
+            seed in any::<u64>(),
+            n in 1usize..60,
+            chunk in 1usize..17,
+        ) {
+            let config = ScenarioConfig::small(n);
+            let batch = generate(&config, seed);
+            let mut stream = ScenarioStream::new(config, seed);
+            let mut streamed = Vec::new();
+            while stream.remaining() > 0 {
+                streamed.extend(stream.next_chunk(chunk));
+            }
+            prop_assert_eq!(streamed.len(), n);
+            for (s, b) in streamed.iter().zip(batch.clients()) {
+                prop_assert_eq!(s, b);
+                prop_assert_eq!(s.rate_predicted.to_bits(), b.rate_predicted.to_bits());
+                prop_assert_eq!(s.storage.to_bits(), b.storage.to_bits());
+            }
+        }
+
+        #[test]
+        fn assemble_equals_generate_for_any_budget(
+            seed in any::<u64>(),
+            n in 1usize..40,
+            chunk_clients in 1usize..9,
+        ) {
+            let config = ScenarioConfig::small(n);
+            let budget = MemoryBudget::from_bytes(
+                chunk_clients * MemoryBudget::STAGING_BYTES_PER_CLIENT,
+            );
+            let scenario = ScenarioStream::new(config.clone(), seed).assemble(budget);
+            prop_assert_eq!(scenario.system, generate(&config, seed));
+            prop_assert!(scenario.clients.is_complete());
+            prop_assert!(scenario.peak_chunk_clients <= chunk_clients);
+        }
+    }
+}
