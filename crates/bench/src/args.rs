@@ -103,6 +103,8 @@ impl HarnessArgs {
         let Some(path) = &self.telemetry_out else { return };
         if cloudalloc_telemetry::ENABLED {
             cloudalloc_telemetry::init_jsonl(path).expect("writable telemetry path");
+            // Flight-recorder memory timeline rides along with the spans.
+            cloudalloc_telemetry::start_memory_sampler(std::time::Duration::from_millis(50));
         } else {
             eprintln!(
                 "telemetry disabled at build time; rebuild with --features telemetry \
@@ -115,6 +117,7 @@ impl HarnessArgs {
     pub fn finish_telemetry(&self) {
         let Some(path) = &self.telemetry_out else { return };
         if cloudalloc_telemetry::ENABLED {
+            cloudalloc_telemetry::stop_memory_sampler();
             cloudalloc_telemetry::flush_metrics();
             cloudalloc_telemetry::close_sink();
             eprintln!("telemetry written to {path}");

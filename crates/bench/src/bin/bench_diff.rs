@@ -1,0 +1,53 @@
+//! Perf-regression gate: compares a fresh `speedup --json` artifact
+//! against the committed `BENCH_speedup.json` baseline and exits nonzero
+//! on regression (see `cloudalloc_bench::bench_diff` for the per-field
+//! rules).
+//!
+//! ```text
+//! bench-diff BASELINE.json CURRENT.json [--tolerance 0.35] [--overhead-slack 0.10]
+//! ```
+
+use cloudalloc_bench::{bench_diff, DiffOptions};
+use serde::Value;
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(word) = it.next() {
+        let mut grab = |name: &str| -> f64 {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} requires a number"))
+        };
+        match word.as_str() {
+            "--tolerance" => opts.tolerance = grab("--tolerance"),
+            "--overhead-slack" => opts.overhead_slack = grab("--overhead-slack"),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}; supported: --tolerance X, --overhead-slack X");
+                std::process::exit(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench-diff BASELINE.json CURRENT.json [--tolerance X] [--overhead-slack X]"
+        );
+        std::process::exit(2);
+    }
+    let read = |path: &str| -> Value {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+    };
+    let report = bench_diff(&read(&paths[0]), &read(&paths[1]), &opts)
+        .unwrap_or_else(|e| panic!("malformed bench artifact: {e}"));
+    print!("{}", report.render());
+    if report.is_regression() {
+        eprintln!("bench-diff: FAIL — performance regressed beyond the noise band");
+        std::process::exit(1);
+    }
+    println!("bench-diff: OK");
+}

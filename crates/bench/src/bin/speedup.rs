@@ -30,8 +30,12 @@
 //! * **E5e — telemetry overhead.** On builds with the `telemetry` feature,
 //!   times identical solves with recording enabled vs suppressed (the
 //!   runtime gate) and asserts the profits **bit-identical** — telemetry
-//!   observes the solver but never steers it. Without the feature the
-//!   layer compiles to no-ops and the section reports itself skipped.
+//!   observes the solver but never steers it. A third leg measures the
+//!   full flight recorder (JSONL sink armed, span-tree records and the
+//!   background memory sampler streaming to a temp file) against the
+//!   same suppressed baseline; it is skipped when `--telemetry-out`
+//!   already owns the process-wide sink. Without the feature the layer
+//!   compiles to no-ops and the section reports itself skipped.
 //! * **E5f — compiled lowering.** The structure-of-arrays fast path
 //!   (per-server capacity/cost arrays, cached `cap/exec` inverse-service
 //!   tables, per-(class, client) level-constant tables) vs the retained
@@ -302,6 +306,13 @@ struct TelemetryOverheadRecord {
     overhead: f64,
     recording_profit: f64,
     suppressed_profit: f64,
+    /// Full flight recording (JSONL sink + memory sampler) wall clock;
+    /// `None` when `--telemetry-out` already owns the sink.
+    flight_seconds: Option<f64>,
+    /// `(flight − suppressed) / suppressed`.
+    flight_overhead: Option<f64>,
+    /// Bit-identical to the other two profits (asserted).
+    flight_profit: Option<f64>,
 }
 
 /// Per-seed record of the compiled (structure-of-arrays) vs retained
@@ -1333,6 +1344,8 @@ fn bench_telemetry_overhead(base_seed: u64, smoke: bool) -> Vec<TelemetryOverhea
         "recording".into(),
         "suppressed".into(),
         "overhead".into(),
+        "flight".into(),
+        "flight_ovh".into(),
         "profit_rec".into(),
         "profit_sup".into(),
     ]);
@@ -1375,12 +1388,50 @@ fn bench_telemetry_overhead(base_seed: u64, smoke: bool) -> Vec<TelemetryOverhea
             recording.1,
             suppressed.1
         );
+
+        // Third leg: the full flight recorder — JSONL sink armed (span
+        // start/end records stream to disk) plus the background memory
+        // sampler. Skipped when the harness's own --telemetry-out owns
+        // the process-wide sink.
+        let mut flight = None;
+        if !telemetry::sink_active() {
+            let dir = std::env::temp_dir().join("cloudalloc-bench-flight");
+            std::fs::create_dir_all(&dir).expect("temp dir for flight sink");
+            let sink = dir.join(format!("e5e_seed{seed}.jsonl"));
+            let mut best = (f64::INFINITY, 0.0);
+            for _ in 0..REPS {
+                telemetry::init_jsonl(&sink).expect("writable flight sink");
+                telemetry::start_memory_sampler(std::time::Duration::from_millis(25));
+                telemetry::set_recording(true);
+                let begin = Instant::now();
+                let result = solve(&system, &config, seed);
+                let t = begin.elapsed().as_secs_f64();
+                telemetry::stop_memory_sampler();
+                telemetry::close_sink();
+                if t < best.0 {
+                    best = (t, result.report.profit);
+                }
+            }
+            assert_eq!(
+                best.1.to_bits(),
+                suppressed.1.to_bits(),
+                "seed {seed}: flight recording changed the solver result: \
+                 {} vs {}",
+                best.1,
+                suppressed.1
+            );
+            flight = Some(best);
+        }
+
         let overhead = (recording.0 - suppressed.0) / suppressed.0;
+        let flight_overhead = flight.map(|(t, _)| (t - suppressed.0) / suppressed.0);
         table.row(vec![
             seed.to_string(),
             format!("{:.4}s", recording.0),
             format!("{:.4}s", suppressed.0),
             format!("{:+.2}%", overhead * 100.0),
+            flight.map_or("-".into(), |(t, _)| format!("{t:.4}s")),
+            flight_overhead.map_or("-".into(), |o| format!("{:+.2}%", o * 100.0)),
             format!("{:.4}", recording.1),
             format!("{:.4}", suppressed.1),
         ]);
@@ -1392,12 +1443,16 @@ fn bench_telemetry_overhead(base_seed: u64, smoke: bool) -> Vec<TelemetryOverhea
             overhead,
             recording_profit: recording.1,
             suppressed_profit: suppressed.1,
+            flight_seconds: flight.map(|(t, _)| t),
+            flight_overhead,
+            flight_profit: flight.map(|(_, p)| p),
         });
     }
     println!("{table}");
     println!(
-        "expected shape: profits bit-identical (asserted); overhead within a\n\
-         couple percent — the hot paths touch only per-site atomics\n"
+        "expected shape: profits bit-identical (asserted); counter-only\n\
+         overhead within a couple percent, full flight recording (span\n\
+         tree + memory sampler on disk) under ten percent\n"
     );
     records
 }

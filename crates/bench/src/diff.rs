@@ -1,0 +1,405 @@
+//! Noise-aware comparison of two `BENCH_speedup.json` artifacts — the
+//! perf-regression gate behind the `bench-diff` binary.
+//!
+//! Rows are matched section-by-section on their configuration key
+//! (seed, client count, thread count, …), then compared field-by-field
+//! under per-field rules chosen for how each quantity behaves across
+//! machines:
+//!
+//! * **profits** (and other deterministic outputs like `gap` and repair
+//!   `victims`) must match *exactly* — the solver is bit-deterministic,
+//!   so any drift is a correctness regression, not noise;
+//! * **speedup ratios** get a one-sided relative tolerance: only a drop
+//!   below `base × (1 − tolerance)` is a regression (faster is fine);
+//! * **overhead ratios** (telemetry recording cost) get a one-sided
+//!   absolute slack — they sit near zero, where relative bands are
+//!   meaningless;
+//! * **raw seconds, byte counts and core counts** are machine-dependent
+//!   and never gate; they are reported for context only.
+//!
+//! Unmatched rows and sections (a smoke run covers a subset of the
+//! committed full-run baseline) are counted and reported, never fatal —
+//! the gate only fails on rows both files actually measured.
+
+use serde::{Error as SerdeError, Value};
+
+/// Tolerances for the noisy field classes.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative slack for `speedup` fields: a current value below
+    /// `base × (1 − tolerance)` is a regression.
+    pub tolerance: f64,
+    /// Absolute slack for `*overhead*` fields: a current value above
+    /// `base + overhead_slack` is a regression.
+    pub overhead_slack: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        // Speedup measurements on shared CI runners jitter by tens of
+        // percent; 0.35 keeps the gate quiet on noise while still
+        // catching a halved speedup. Overheads are ratios near zero.
+        Self { tolerance: 0.35, overhead_slack: 0.10 }
+    }
+}
+
+/// One gating failure.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Section name (`scoring`, `restarts`, …).
+    pub section: String,
+    /// Rendered row key, e.g. `seed=1 clients=80`.
+    pub key: String,
+    /// Field that regressed.
+    pub field: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub current: f64,
+    /// Which rule tripped.
+    pub rule: &'static str,
+}
+
+/// The outcome of a comparison.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Gating failures; empty means the gate passes.
+    pub regressions: Vec<Regression>,
+    /// Matched rows that were compared.
+    pub compared_rows: usize,
+    /// Gating fields that were checked across those rows.
+    pub compared_fields: usize,
+    /// Rows/sections present in only one file (non-fatal), rendered.
+    pub unmatched: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when any gating rule tripped.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "bench-diff: {} rows compared, {} gating fields checked, {} unmatched, \
+             {} regressions\n",
+            self.compared_rows,
+            self.compared_fields,
+            self.unmatched.len(),
+            self.regressions.len()
+        );
+        for u in &self.unmatched {
+            out.push_str(&format!("  unmatched (not gated): {u}\n"));
+        }
+        if !self.regressions.is_empty() {
+            let mut table = cloudalloc_metrics::Table::new(vec![
+                "section".into(),
+                "row".into(),
+                "field".into(),
+                "baseline".into(),
+                "current".into(),
+                "rule".into(),
+            ]);
+            for r in &self.regressions {
+                table.row(vec![
+                    r.section.clone(),
+                    r.key.clone(),
+                    r.field.clone(),
+                    format!("{:.6}", r.base),
+                    format!("{:.6}", r.current),
+                    r.rule.into(),
+                ]);
+            }
+            out.push_str(&table.to_string());
+        }
+        out
+    }
+}
+
+/// How one field participates in the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldKind {
+    /// Part of the row-matching key (configuration, not measurement).
+    Key,
+    /// Deterministic output: must match exactly.
+    Exact,
+    /// Speedup ratio: one-sided relative tolerance.
+    Ratio,
+    /// Overhead ratio near zero: one-sided absolute slack.
+    Overhead,
+    /// Machine-dependent or unknown: reported context, never gates.
+    Info,
+}
+
+fn classify(name: &str) -> FieldKind {
+    const KEYS: &[&str] = &[
+        "seed",
+        "clients",
+        "servers",
+        "steps",
+        "threads",
+        "clusters",
+        "groups",
+        "searches",
+        "granularity",
+        "failed_servers",
+    ];
+    if KEYS.contains(&name) {
+        FieldKind::Key
+    } else if name.ends_with("_profit") || name == "gap" || name == "victims" {
+        FieldKind::Exact
+    } else if name == "speedup" {
+        FieldKind::Ratio
+    } else if name.contains("overhead") {
+        FieldKind::Overhead
+    } else {
+        // _seconds, _bytes, available_cores — and whatever fields future
+        // harness versions add.
+        FieldKind::Info
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(x) => Some(*x as f64),
+        Value::I64(x) => Some(*x as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// A row's identity: its key fields, sorted by name so field order in
+/// the JSON never matters.
+fn row_key(row: &Value) -> Result<String, SerdeError> {
+    let mut parts: Vec<String> = row
+        .as_map()?
+        .iter()
+        .filter(|(name, _)| classify(name) == FieldKind::Key)
+        .filter_map(|(name, v)| as_f64(v).map(|x| (name.clone(), x)))
+        .map(|(name, x)| format!("{name}={x}"))
+        .collect();
+    parts.sort();
+    Ok(parts.join(" "))
+}
+
+fn compare_row(
+    section: &str,
+    key: &str,
+    base: &Value,
+    cur: &Value,
+    opts: &DiffOptions,
+    report: &mut DiffReport,
+) -> Result<(), SerdeError> {
+    for (field, base_v) in base.as_map()? {
+        let kind = classify(field);
+        if matches!(kind, FieldKind::Key | FieldKind::Info) {
+            continue;
+        }
+        let Some(base_x) = as_f64(base_v) else { continue };
+        let cur_v = match cur.field(field) {
+            Ok(v) => v,
+            Err(_) => {
+                report.unmatched.push(format!("{section} [{key}]: field {field} absent"));
+                continue;
+            }
+        };
+        let Some(cur_x) = as_f64(cur_v) else { continue };
+        report.compared_fields += 1;
+        let failed = match kind {
+            FieldKind::Exact => (base_x != cur_x, "exact (deterministic output)"),
+            FieldKind::Ratio => {
+                (cur_x < base_x * (1.0 - opts.tolerance), "speedup below tolerance band")
+            }
+            FieldKind::Overhead => {
+                (cur_x > base_x + opts.overhead_slack, "overhead above slack band")
+            }
+            FieldKind::Key | FieldKind::Info => unreachable!("filtered above"),
+        };
+        if failed.0 {
+            report.regressions.push(Regression {
+                section: section.to_string(),
+                key: key.to_string(),
+                field: field.clone(),
+                base: base_x,
+                current: cur_x,
+                rule: failed.1,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Compares two parsed `BENCH_speedup.json` documents.
+///
+/// # Errors
+///
+/// Fails when either document is not an object of row arrays.
+pub fn bench_diff(base: &Value, cur: &Value, opts: &DiffOptions) -> Result<DiffReport, SerdeError> {
+    let mut report = DiffReport::default();
+    for (section, base_rows) in base.as_map()? {
+        let cur_rows = match cur.field(section) {
+            Ok(v) => v,
+            Err(_) => {
+                if !base_rows.as_seq()?.is_empty() {
+                    report.unmatched.push(format!("section {section} absent from current"));
+                }
+                continue;
+            }
+        };
+        let cur_rows = cur_rows.as_seq()?;
+        let mut cur_claimed = vec![false; cur_rows.len()];
+        for base_row in base_rows.as_seq()? {
+            let key = row_key(base_row)?;
+            let mut hit = None;
+            for (i, cur_row) in cur_rows.iter().enumerate() {
+                if !cur_claimed[i] && row_key(cur_row)? == key {
+                    hit = Some(i);
+                    break;
+                }
+            }
+            match hit {
+                Some(i) => {
+                    cur_claimed[i] = true;
+                    report.compared_rows += 1;
+                    compare_row(section, &key, base_row, &cur_rows[i], opts, &mut report)?;
+                }
+                None => report.unmatched.push(format!("{section} [{key}]: baseline-only row")),
+            }
+        }
+        for (i, claimed) in cur_claimed.iter().enumerate() {
+            if !claimed {
+                report
+                    .unmatched
+                    .push(format!("{section} [{}]: current-only row", row_key(&cur_rows[i])?));
+            }
+        }
+    }
+    for (section, cur_rows) in cur.as_map()? {
+        if base.field(section).is_err() && !cur_rows.as_seq()?.is_empty() {
+            report.unmatched.push(format!("section {section} absent from baseline"));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Value {
+        serde_json::from_str(text).unwrap()
+    }
+
+    const BASE: &str = r#"{
+        "scoring": [
+            {"seed": 1, "clients": 80, "servers": 208, "steps": 4000,
+             "full_seconds": 0.004, "incremental_seconds": 0.0005,
+             "speedup": 8.0, "full_profit": -208.5, "incremental_profit": -208.5}
+        ],
+        "telemetry_overhead": [
+            {"seed": 1, "clients": 200, "recording_seconds": 0.2,
+             "suppressed_seconds": 0.19, "overhead": 0.05,
+             "recording_profit": 10.0, "suppressed_profit": 10.0}
+        ]
+    }"#;
+
+    #[test]
+    fn identical_files_pass() {
+        let report = bench_diff(&doc(BASE), &doc(BASE), &DiffOptions::default()).unwrap();
+        assert!(!report.is_regression(), "{}", report.render());
+        assert_eq!(report.compared_rows, 2);
+        assert!(report.unmatched.is_empty(), "{:?}", report.unmatched);
+    }
+
+    #[test]
+    fn noise_within_the_band_passes_but_a_halved_speedup_fails() {
+        // 15% slower is runner jitter…
+        let noisy = BASE.replace("\"speedup\": 8.0", "\"speedup\": 6.8");
+        let report = bench_diff(&doc(BASE), &doc(&noisy), &DiffOptions::default()).unwrap();
+        assert!(!report.is_regression(), "{}", report.render());
+
+        // …a halving is the injected synthetic regression the gate exists
+        // to catch.
+        let regressed = BASE.replace("\"speedup\": 8.0", "\"speedup\": 4.0");
+        let report = bench_diff(&doc(BASE), &doc(&regressed), &DiffOptions::default()).unwrap();
+        assert!(report.is_regression());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].field, "speedup");
+        assert!(report.render().contains("tolerance band"), "{}", report.render());
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let faster = BASE.replace("\"speedup\": 8.0", "\"speedup\": 16.0");
+        let report = bench_diff(&doc(BASE), &doc(&faster), &DiffOptions::default()).unwrap();
+        assert!(!report.is_regression(), "{}", report.render());
+    }
+
+    #[test]
+    fn profit_drift_fails_exactly() {
+        // A millionth of profit drift means the solver changed behavior.
+        let drifted =
+            BASE.replace("\"incremental_profit\": -208.5", "\"incremental_profit\": -208.500001");
+        let report = bench_diff(&doc(BASE), &doc(&drifted), &DiffOptions::default()).unwrap();
+        assert!(report.is_regression());
+        assert_eq!(report.regressions[0].field, "incremental_profit");
+        assert_eq!(report.regressions[0].rule, "exact (deterministic output)");
+    }
+
+    #[test]
+    fn overhead_gates_on_absolute_slack() {
+        let worse = BASE.replace("\"overhead\": 0.05", "\"overhead\": 0.3");
+        let report = bench_diff(&doc(BASE), &doc(&worse), &DiffOptions::default()).unwrap();
+        assert!(report.is_regression());
+        assert_eq!(report.regressions[0].field, "overhead");
+
+        let slightly = BASE.replace("\"overhead\": 0.05", "\"overhead\": 0.12");
+        let report = bench_diff(&doc(BASE), &doc(&slightly), &DiffOptions::default()).unwrap();
+        assert!(!report.is_regression(), "{}", report.render());
+    }
+
+    #[test]
+    fn seconds_and_machine_fields_never_gate() {
+        let slower = BASE
+            .replace("\"full_seconds\": 0.004", "\"full_seconds\": 4.0")
+            .replace("\"recording_seconds\": 0.2", "\"recording_seconds\": 99.0");
+        let report = bench_diff(&doc(BASE), &doc(&slower), &DiffOptions::default()).unwrap();
+        assert!(!report.is_regression(), "{}", report.render());
+    }
+
+    #[test]
+    fn subset_runs_report_unmatched_rows_non_fatally() {
+        // A smoke run measures fewer rows and an extra seed; only the
+        // overlap gates.
+        let smoke = r#"{
+            "scoring": [
+                {"seed": 9, "clients": 80, "servers": 208, "steps": 4000,
+                 "speedup": 8.0, "full_profit": -1.0, "incremental_profit": -1.0}
+            ]
+        }"#;
+        let report = bench_diff(&doc(BASE), &doc(smoke), &DiffOptions::default()).unwrap();
+        assert!(!report.is_regression(), "{}", report.render());
+        assert_eq!(report.compared_rows, 0);
+        // baseline-only scoring row, current-only scoring row, missing
+        // telemetry_overhead section.
+        assert_eq!(report.unmatched.len(), 3, "{:?}", report.unmatched);
+    }
+
+    #[test]
+    fn key_matching_ignores_field_order() {
+        let reordered = r#"{
+            "scoring": [
+                {"clients": 80, "steps": 4000, "seed": 1, "servers": 208,
+                 "incremental_profit": -208.5, "full_profit": -208.5, "speedup": 8.0}
+            ],
+            "telemetry_overhead": []
+        }"#;
+        let report = bench_diff(&doc(BASE), &doc(reordered), &DiffOptions::default()).unwrap();
+        assert_eq!(report.compared_rows, 1);
+        assert!(!report.is_regression(), "{}", report.render());
+        // The baseline's non-empty telemetry_overhead row goes unmatched,
+        // not silently dropped.
+        assert_eq!(report.unmatched.len(), 1);
+    }
+}

@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 mod args;
+mod diff;
 mod figures;
 
 pub use args::HarnessArgs;
+pub use diff::{bench_diff, DiffOptions, DiffReport, Regression};
 pub use figures::{figure4, figure5, run_scenario, Figure4Row, Figure5Row, ScenarioProfit};

@@ -107,6 +107,9 @@ fn telemetry_begin(parsed: &Parsed) -> Result<Option<&str>, CliError> {
         Some(path) => {
             if telemetry::ENABLED {
                 telemetry::init_jsonl(path)?;
+                // Background memory timeline (VmRSS/VmHWM + streamed
+                // staging watermarks) for the flight recorder.
+                telemetry::start_memory_sampler(std::time::Duration::from_millis(50));
             }
             Ok(Some(path))
         }
@@ -118,6 +121,7 @@ fn telemetry_begin(parsed: &Parsed) -> Result<Option<&str>, CliError> {
 fn telemetry_finish(path: Option<&str>, out: &mut String) {
     let Some(path) = path else { return };
     if telemetry::ENABLED {
+        telemetry::stop_memory_sampler();
         telemetry::flush_metrics();
         telemetry::close_sink();
         out.push_str(&format!("telemetry written to {path}\n"));
@@ -481,6 +485,11 @@ fn cmd_telemetry_report(parsed: &Parsed) -> Result<String, CliError> {
     let mut counters: BTreeMap<String, String> = BTreeMap::new();
     let mut hists: BTreeMap<String, [u64; 5]> = BTreeMap::new();
     let mut events: BTreeMap<String, u64> = BTreeMap::new();
+    // Flight-recorder records are skipped here (this is the flat
+    // summary; `trace-report` owns the causal view) but counted, so a
+    // dense trace doesn't masquerade as a pile of domain events.
+    let mut span_starts = 0u64;
+    let mut mem_samples = 0u64;
     let mut lines = 0u64;
 
     for (idx, line) in text.lines().enumerate() {
@@ -523,6 +532,11 @@ fn cmd_telemetry_report(parsed: &Parsed) -> Result<String, CliError> {
                 }
                 hists.insert(name.to_string(), row);
             }
+            "span_start" => span_starts += 1,
+            "mem" => mem_samples += 1,
+            // Any record type this report doesn't understand — domain
+            // events and whatever future recorders emit — is tallied by
+            // type instead of silently dropped or misparsed.
             other => *events.entry(other.to_string()).or_insert(0) += 1,
         }
     }
@@ -581,6 +595,12 @@ fn cmd_telemetry_report(parsed: &Parsed) -> Result<String, CliError> {
         out.push_str("\nevents\n");
         out.push_str(&table.to_string());
     }
+    if span_starts + mem_samples > 0 {
+        out.push_str(&format!(
+            "\nflight recorder: skipped {span_starts} span-start and {mem_samples} memory \
+             records; run `trace-report --in {path}` for the causal tree and timeline\n"
+        ));
+    }
     Ok(out)
 }
 
@@ -607,6 +627,7 @@ COMMANDS
   gen-faults --system FILE [--epochs N] [--mtbf E] [--mttr E] [--seed S]
             [--out FILE]
   telemetry-report  --in FILE
+  trace-report  --in FILE [--perfetto FILE] [--top K]
   help
 
 The solver parallelizes best-of-N construction; worker count comes from
@@ -629,8 +650,13 @@ and escalating to a full re-solve when repaired profit drops below
 
 Builds with the `telemetry` feature stream solver spans, counters and
 events to --telemetry-out as JSONL; `telemetry-report` summarizes such a
-file. Telemetry never changes results: allocations are bit-identical
-with the feature on, off, or recording suppressed.
+file. Spans carry process-unique ids and parent links (causal trees
+across parallel fan-outs) and a background sampler adds a memory
+timeline; `trace-report` rebuilds the span forest from the same JSONL,
+prints self-time hotspots plus per-dispatch critical-path/imbalance
+numbers, and exports a Perfetto/Chrome-trace timeline with --perfetto.
+Telemetry never changes results: allocations are bit-identical with the
+feature on, off, or recording suppressed.
 ";
 
 /// Dispatches one parsed command and returns its rendered output.
@@ -650,6 +676,7 @@ pub fn run(parsed: &Parsed) -> Result<String, CliError> {
         "epochs" => cmd_epochs(parsed),
         "gen-faults" => cmd_gen_faults(parsed),
         "telemetry-report" => cmd_telemetry_report(parsed),
+        "trace-report" => crate::trace::cmd_trace_report(parsed),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(ArgError(format!("unknown command {other:?}; try `cloudalloc help`")).into()),
     }
@@ -1061,6 +1088,80 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_report_skips_and_counts_unfamiliar_record_types() {
+        // Flight-recorder records and record types from future recorder
+        // versions must be counted, never conflated into the span table
+        // or rejected as errors.
+        let path = temp_path("telemetry_future.jsonl");
+        fs::write(
+            &path,
+            concat!(
+                "{\"t\":\"span_start\",\"ts\":5,\"id\":1,\"parent\":0,\
+                 \"name\":\"solve.total\",\"tid\":1}\n",
+                "{\"t\":\"span\",\"ts\":10,\"name\":\"solve.total\",\"depth\":0,\"ns\":5,\
+                 \"id\":1,\"parent\":0,\"tid\":1}\n",
+                "{\"t\":\"mem\",\"ts\":12,\"rss_bytes\":1,\"hwm_bytes\":2,\
+                 \"staging_bytes\":0,\"staging_peak_bytes\":0}\n",
+                "{\"t\":\"quux\",\"ts\":15,\"payload\":42}\n",
+                "{\"t\":\"quux\",\"ts\":16,\"payload\":43}\n",
+            ),
+        )
+        .unwrap();
+        let out = run(&parse(&["telemetry-report", "--in", &path])).unwrap();
+        assert!(out.contains("5 lines"), "line count missing:\n{out}");
+        // The span end still aggregates; the start/mem records are
+        // skipped with a pointer at the causal tool.
+        assert!(out.contains("solve.total"), "span table missing:\n{out}");
+        assert!(
+            out.contains("skipped 1 span-start and 1 memory records"),
+            "flight-recorder tally missing:\n{out}"
+        );
+        assert!(out.contains("trace-report"), "no pointer to trace-report:\n{out}");
+        // The future type lands in the tally with its count.
+        assert!(out.contains("quux"), "future record type dropped:\n{out}");
+        assert!(out.lines().any(|l| l.contains("quux") && l.contains('2')), "count lost:\n{out}");
+    }
+
+    #[test]
+    fn trace_report_renders_the_causal_view() {
+        let path = temp_path("trace_sample.jsonl");
+        let perfetto = temp_path("trace_sample_perfetto.json");
+        fs::write(
+            &path,
+            concat!(
+                "{\"t\":\"span_start\",\"ts\":0,\"id\":1,\"parent\":0,\
+                 \"name\":\"solve.total\",\"tid\":1}\n",
+                "{\"t\":\"span_start\",\"ts\":10,\"id\":2,\"parent\":1,\
+                 \"name\":\"par.dispatch\",\"tid\":1}\n",
+                "{\"t\":\"span_start\",\"ts\":12,\"id\":3,\"parent\":2,\
+                 \"name\":\"par.lane\",\"tid\":1}\n",
+                "{\"t\":\"span_start\",\"ts\":12,\"id\":4,\"parent\":2,\
+                 \"name\":\"par.lane\",\"tid\":2}\n",
+                "{\"t\":\"span\",\"ts\":42,\"name\":\"par.lane\",\"depth\":1,\"ns\":30,\
+                 \"id\":3,\"parent\":2,\"tid\":1}\n",
+                "{\"t\":\"span\",\"ts\":22,\"name\":\"par.lane\",\"depth\":1,\"ns\":10,\
+                 \"id\":4,\"parent\":2,\"tid\":2}\n",
+                "{\"t\":\"span\",\"ts\":45,\"name\":\"par.dispatch\",\"depth\":0,\"ns\":35,\
+                 \"id\":2,\"parent\":1,\"tid\":1}\n",
+                "{\"t\":\"span\",\"ts\":50,\"name\":\"solve.total\",\"depth\":0,\"ns\":50,\
+                 \"id\":1,\"parent\":0,\"tid\":1}\n",
+                "{\"t\":\"mem\",\"ts\":30,\"rss_bytes\":2097152,\"hwm_bytes\":4194304,\
+                 \"staging_bytes\":0,\"staging_peak_bytes\":128}\n",
+            ),
+        )
+        .unwrap();
+        let out = run(&parse(&["trace-report", "--in", &path, "--perfetto", &perfetto])).unwrap();
+        assert!(out.contains("4 spans in 1 trees"), "forest stats missing:\n{out}");
+        assert!(out.contains("parallel dispatch critical paths"), "no dispatch table:\n{out}");
+        assert!(out.contains("solve.total"), "dispatch site missing:\n{out}");
+        assert!(out.contains("memory timeline"), "memory summary missing:\n{out}");
+        assert!(out.contains("wrote Perfetto timeline"), "no export note:\n{out}");
+        // The export is valid JSON with the Chrome-trace envelope.
+        let doc: Value = serde_json::from_str(&fs::read_to_string(&perfetto).unwrap()).unwrap();
+        assert!(doc.field("traceEvents").unwrap().as_seq().unwrap().len() >= 5);
+    }
+
+    #[test]
     fn telemetry_report_rejects_malformed_lines() {
         let path = temp_path("telemetry_bad.jsonl");
         fs::write(&path, "{\"t\":\"meta\",\"ts\":0,\"version\":1}\nnot json\n").unwrap();
@@ -1159,6 +1260,7 @@ mod tests {
             "epochs",
             "gen-faults",
             "telemetry-report",
+            "trace-report",
         ] {
             assert!(out.contains(cmd), "help misses {cmd}");
         }

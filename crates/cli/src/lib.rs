@@ -20,6 +20,7 @@
 
 mod args;
 mod commands;
+pub mod trace;
 
 pub use args::{ArgError, Parsed};
 pub use commands::{run, CliError};

@@ -240,13 +240,34 @@ pub fn solve_hierarchical(
     for (i, &g) in group_of.iter().enumerate() {
         members[g].push(ClientId(i));
     }
-    let problems: Vec<GroupProblem> = groups
-        .iter()
-        .zip(&members)
-        .map(|(sketch, members)| extract_group(system, sketch, members))
-        .collect();
+    let problems: Vec<GroupProblem> = {
+        let _span = telemetry::span!("hier.extract");
+        groups
+            .iter()
+            .zip(&members)
+            .map(|(sketch, members)| extract_group(system, sketch, members))
+            .collect()
+    };
 
     telemetry::counter!("hier.groups").add(groups.len() as u64);
+    // Per-group routing shape: how many clients the sketch sent to each
+    // group and how hard it loaded the group relative to its capacity.
+    // PR 7 landed the hierarchical solve nearly blind; these are the
+    // numbers needed to judge sketch balance without re-deriving it.
+    for (g, (sketch, group_members)) in groups.iter().zip(&members).enumerate() {
+        telemetry::histogram!("hier.group.clients").record(group_members.len() as u64);
+        let pressure =
+            if sketch.total_cap_p > 0.0 { sketch.load / sketch.total_cap_p } else { 0.0 };
+        telemetry::float_counter!("hier.routing.pressure").add(pressure);
+        telemetry::Event::new("hier.group")
+            .field_u64("group", g as u64)
+            .field_u64("clients", group_members.len() as u64)
+            .field_u64("clusters", (sketch.cluster_end - sketch.cluster_start) as u64)
+            .field_f64("load", sketch.load)
+            .field_f64("total_cap_p", sketch.total_cap_p)
+            .field_f64("pressure", pressure)
+            .emit();
+    }
 
     // Independent exact solves, one derived seed per group. Each group's
     // result is a pure function of (sub-system, config, seed), so the
@@ -256,6 +277,7 @@ pub fn solve_hierarchical(
         let _span = telemetry::span!("hier.groups.solve");
         let problems = &problems;
         run_parallel(problems.len(), config.effective_threads().min(problems.len()), |g| {
+            let _span = telemetry::span!("hier.group.solve");
             solve(&problems[g].system, config, pass_seed(seed, g as u64))
         })
     };
@@ -264,6 +286,7 @@ pub fn solve_hierarchical(
     // the original ids. Group cluster `k` is original cluster
     // `cluster_start + k`; servers and clients map through the recorded
     // id tables.
+    let stitch_span = telemetry::span!("hier.stitch");
     let mut allocation = Allocation::new(system);
     for ((result, problem), sketch) in results.iter().zip(&problems).zip(&groups) {
         for (new_i, &orig_client) in problem.client_ids.iter().enumerate() {
@@ -279,7 +302,12 @@ pub fn solve_hierarchical(
         }
     }
 
-    let report = evaluate(system, &allocation);
+    drop(stitch_span);
+
+    let report = {
+        let _span = telemetry::span!("hier.rescore");
+        evaluate(system, &allocation)
+    };
     let initial_profit: f64 = results.iter().map(|r| r.initial_profit).sum();
     let stats = SearchStats {
         rounds: results.iter().map(|r| r.stats.rounds).max().unwrap_or(0),

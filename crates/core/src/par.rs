@@ -91,6 +91,11 @@ where
     }
     telemetry::counter!("par.dispatches").incr();
     telemetry::counter!("par.tasks").add(jobs as u64);
+    // Flight recorder: the dispatch span is the causal parent of every
+    // worker lane — the handle rides into each chunk so per-worker spans
+    // nest under it instead of starting new roots on their threads.
+    let _dispatch = telemetry::span!("par.dispatch");
+    let parent = telemetry::current_span();
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
     {
         // Split the result buffer into one contiguous chunk per worker:
@@ -112,22 +117,26 @@ where
             let mut chunks = chunks.into_iter();
             let own = chunks.next().expect("threads >= 1");
             for (chunk_start, chunk) in chunks {
-                scope.spawn(move || run_chunk(chunk_start, chunk, f));
+                scope.spawn(move || run_chunk(chunk_start, chunk, f, parent));
             }
             // The caller is worker 0: it pays for its own share instead of
             // blocking on the join.
-            run_chunk(own.0, own.1, f);
+            run_chunk(own.0, own.1, f, parent);
         });
     }
     slots.into_iter().map(|slot| slot.expect("every job ran")).collect()
 }
 
 /// Executes one worker's chunk, filling `chunk[i]` with `f(start + i)`.
-fn run_chunk<T, F>(start: usize, chunk: &mut [Option<T>], f: &F)
+fn run_chunk<T, F>(start: usize, chunk: &mut [Option<T>], f: &F, parent: telemetry::SpanHandle)
 where
     F: Fn(usize) -> T,
 {
     let _guard = PoolGuard::enter();
+    // Nest this worker's lane (and everything inside it) under the
+    // dispatching span, even though it runs on a different thread.
+    let _adopt = telemetry::adopt_parent(parent);
+    let _lane = telemetry::span!("par.lane");
     telemetry::histogram!("par.chunk_size").record(chunk.len() as u64);
     for (offset, slot) in chunk.iter_mut().enumerate() {
         let _span = telemetry::span!("par.task");

@@ -51,6 +51,7 @@ where
     // cluster's decisions price against the same phase-start profit.
     scored.profit();
     let deltas: Vec<AllocationDelta> = {
+        let _span = telemetry::span!("solve.fanout.fork");
         let base: &ScoredAllocation<'a> = scored;
         par::run_parallel(clusters, ctx.threads.min(clusters), |k| {
             let _span = telemetry::span!("solve.fanout.cluster");
@@ -60,6 +61,9 @@ where
             sim.delta_since(mark)
         })
     };
+    // Serial replay in ascending cluster order — its own span so a trace
+    // can attribute phase time to fork vs replay (ROADMAP open item 2).
+    let _replay = telemetry::span!("solve.fanout.replay");
     for delta in &deltas {
         if !delta.is_empty() {
             telemetry::counter!("solve.fanout.changes").add(delta.len() as u64);

@@ -32,6 +32,8 @@
 //! view, not a copy, and the frontend model remains the only
 //! construction/serialization surface.
 
+use cloudalloc_telemetry as telemetry;
+
 use crate::allocation::Allocation;
 use crate::client::Client;
 use crate::cluster::BackgroundLoad;
@@ -344,6 +346,7 @@ pub fn compile_streamed<'a>(
     system: &'a CloudSystem,
     clients: LoweredClients,
 ) -> CompiledSystem<'a> {
+    let _span = telemetry::span!("compile.streamed");
     assert!(
         clients.is_complete(),
         "streamed lowering holds {} of {} clients",

@@ -21,6 +21,8 @@
 //! chosen by a [`MemoryBudget`], so peak *transient* memory is bounded by
 //! the budget instead of the client count.
 
+use cloudalloc_telemetry as telemetry;
+
 use crate::client::Client;
 use crate::server::ServerClass;
 use crate::utility::UtilityClass;
@@ -139,6 +141,8 @@ impl LoweredClients {
             "chunk overflows the declared population of {} clients",
             self.num_clients
         );
+        telemetry::counter!("compile.stream.chunks").incr();
+        telemetry::histogram!("compile.stream.chunk_clients").record(chunk.len() as u64);
         for c in chunk {
             let i = self.filled;
             debug_assert_eq!(c.id.index(), i, "clients must arrive densely in id order");

@@ -11,8 +11,9 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::{HistogramSnapshot, MetricSnapshot, MetricValue};
 
@@ -36,6 +37,38 @@ static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
 
 /// Process start reference for event timestamps (monotonic, ns).
 static START: OnceLock<Instant> = OnceLock::new();
+
+/// Process-unique span id allocator. Id 0 is reserved for "no span"
+/// (the root of the causal forest), so allocation starts at 1.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-unique lane (thread) id allocator for trace records. Std's
+/// `ThreadId` has no stable integer form, so the flight recorder hands
+/// out its own small dense ids on first use per thread.
+static NEXT_LANE_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The innermost open span on this thread (0 = none). Spans read it
+    /// as their parent link on entry; [`adopt_parent`] re-seats it so a
+    /// worker thread's spans nest under the dispatching span.
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+
+    /// This thread's lane id for trace records (0 = not yet assigned).
+    static LANE_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn lane_id() -> u64 {
+    LANE_ID.with(|l| {
+        let v = l.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_LANE_ID.fetch_add(1, Relaxed);
+        l.set(v);
+        v
+    })
+}
 
 #[derive(Clone, Copy)]
 enum MetricRef {
@@ -281,15 +314,24 @@ thread_local! {
 }
 
 /// RAII span timer; open via [`crate::span!`], which pairs each site
-/// with a dedicated [`LogHistogram`]. On drop it records the elapsed
-/// nanoseconds and, when a sink is active, writes a
-/// `{"t":"span","name":…,"depth":…,"ns":…}` record.
+/// with a dedicated [`LogHistogram`]. Every open span carries a
+/// process-unique id and a parent link to the span that was innermost
+/// on this thread at entry (or the adopted cross-thread parent — see
+/// [`adopt_parent`]), forming a causal forest across `run_parallel`
+/// fan-outs. When a sink is active, entry writes a
+/// `{"t":"span_start","id":…,"parent":…,"name":…,"tid":…}` record and
+/// drop writes the matching
+/// `{"t":"span","name":…,"depth":…,"ns":…,"id":…,"parent":…,"tid":…}`
+/// end record (the pre-flight-recorder fields stay, so old consumers
+/// keep working).
 #[must_use = "a span measures nothing unless bound to a live guard"]
 pub struct Span {
     name: &'static str,
     hist: &'static LogHistogram,
     start: Option<Instant>,
     depth: usize,
+    id: u64,
+    parent: u64,
 }
 
 impl Span {
@@ -297,19 +339,45 @@ impl Span {
     #[inline]
     pub fn enter(name: &'static str, hist: &'static LogHistogram) -> Span {
         if !RECORDING.load(Relaxed) {
-            return Span { name, hist, start: None, depth: 0 };
+            return Span { name, hist, start: None, depth: 0, id: 0, parent: 0 };
         }
         let depth = SPAN_DEPTH.with(|d| {
             let v = d.get();
             d.set(v + 1);
             v
         });
-        Span { name, hist, start: Some(Instant::now()), depth }
+        let id = NEXT_SPAN_ID.fetch_add(1, Relaxed);
+        let parent = CURRENT_SPAN.with(|c| {
+            let p = c.get();
+            c.set(id);
+            p
+        });
+        if SINK_ACTIVE.load(Relaxed) {
+            let mut buf = String::with_capacity(96);
+            buf.push_str("{\"t\":\"span_start\",\"ts\":");
+            buf.push_str(&ts_ns().to_string());
+            buf.push_str(",\"id\":");
+            buf.push_str(&id.to_string());
+            buf.push_str(",\"parent\":");
+            buf.push_str(&parent.to_string());
+            buf.push_str(",\"name\":");
+            push_json_str(&mut buf, name);
+            buf.push_str(",\"tid\":");
+            buf.push_str(&lane_id().to_string());
+            buf.push('}');
+            write_line(&buf);
+        }
+        Span { name, hist, start: Some(Instant::now()), depth, id, parent }
     }
 
     /// Nesting depth at entry (0 = top level) — test/report hook.
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// This span's process-unique id (0 when recording was off at entry).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 }
 
@@ -318,9 +386,10 @@ impl Drop for Span {
         let Some(start) = self.start else { return };
         let ns = start.elapsed().as_nanos() as u64;
         SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        CURRENT_SPAN.with(|c| c.set(self.parent));
         self.hist.record(ns);
         if SINK_ACTIVE.load(Relaxed) {
-            let mut buf = String::with_capacity(96);
+            let mut buf = String::with_capacity(128);
             buf.push_str("{\"t\":\"span\",\"ts\":");
             buf.push_str(&ts_ns().to_string());
             buf.push_str(",\"name\":");
@@ -329,9 +398,58 @@ impl Drop for Span {
             buf.push_str(&self.depth.to_string());
             buf.push_str(",\"ns\":");
             buf.push_str(&ns.to_string());
+            buf.push_str(",\"id\":");
+            buf.push_str(&self.id.to_string());
+            buf.push_str(",\"parent\":");
+            buf.push_str(&self.parent.to_string());
+            buf.push_str(",\"tid\":");
+            buf.push_str(&lane_id().to_string());
             buf.push('}');
             write_line(&buf);
         }
+    }
+}
+
+// --- cross-thread parent adoption ---------------------------------------
+
+/// A copyable handle to a span's identity, safe to send to worker
+/// threads so their spans can nest under the dispatching span. Obtain
+/// via [`current_span`], consume via [`adopt_parent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle(u64);
+
+/// The innermost open span on the calling thread as a sendable handle
+/// (the null handle when no span is open or recording is off).
+#[inline]
+pub fn current_span() -> SpanHandle {
+    SpanHandle(CURRENT_SPAN.with(|c| c.get()))
+}
+
+/// Re-seats the calling thread's span cursor onto `handle`, so spans
+/// opened while the returned guard lives become children of the
+/// dispatching span instead of roots. The previous cursor is restored
+/// on drop, making adoption safe on the dispatching thread itself and
+/// across nested dispatches.
+#[inline]
+pub fn adopt_parent(handle: SpanHandle) -> ParentGuard {
+    let prev = CURRENT_SPAN.with(|c| {
+        let p = c.get();
+        c.set(handle.0);
+        p
+    });
+    ParentGuard { prev }
+}
+
+/// RAII guard of [`adopt_parent`]; restores the thread's previous span
+/// cursor on drop.
+#[must_use = "adoption ends when the guard drops"]
+pub struct ParentGuard {
+    prev: u64,
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|c| c.set(self.prev));
     }
 }
 
@@ -420,6 +538,116 @@ impl Event {
 /// already been printed; this adds the JSONL record when a sink exists.
 pub fn emit_progress(msg: &str) {
     Event::new("progress").field_str("msg", msg).emit();
+}
+
+// --- memory timeline ----------------------------------------------------
+
+/// Current streamed-compile staging bytes, as last reported by the
+/// producer via [`record_staging`].
+static STAGING_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// High-watermark of [`STAGING_BYTES`] since process start (or the last
+/// [`reset_metrics`]).
+static STAGING_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// The background memory sampler, if one is running.
+static SAMPLER: Mutex<Option<SamplerHandle>> = Mutex::new(None);
+
+struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<()>,
+}
+
+/// Reports the streaming producer's in-flight staging size (bytes).
+/// Tracked as a current value plus a high-watermark; both ride along in
+/// every `{"t":"mem",…}` sample so the memory timeline correlates RSS
+/// with staging pressure.
+#[inline]
+pub fn record_staging(bytes: u64) {
+    if !RECORDING.load(Relaxed) {
+        return;
+    }
+    STAGING_BYTES.store(bytes, Relaxed);
+    STAGING_PEAK.fetch_max(bytes, Relaxed);
+}
+
+/// High-watermark of staging bytes seen by [`record_staging`].
+pub fn staging_peak_bytes() -> u64 {
+    STAGING_PEAK.load(Relaxed)
+}
+
+/// Reads VmRSS/VmHWM from `/proc/self/status` in bytes; `(0, 0)` when
+/// the proc filesystem is unavailable.
+fn read_vm_bytes() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |key: &str| -> u64 {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|kb| kb.parse::<u64>().ok())
+            .map(|kb| kb * 1024)
+            .unwrap_or(0)
+    };
+    (field("VmRSS:"), field("VmHWM:"))
+}
+
+/// Writes one `{"t":"mem",…}` timeline sample (no-op without an active
+/// sink or with recording off).
+pub fn emit_memory_sample() {
+    if !SINK_ACTIVE.load(Relaxed) || !RECORDING.load(Relaxed) {
+        return;
+    }
+    let (rss, hwm) = read_vm_bytes();
+    Event::new("mem")
+        .field_u64("rss_bytes", rss)
+        .field_u64("hwm_bytes", hwm)
+        .field_u64("staging_bytes", STAGING_BYTES.load(Relaxed))
+        .field_u64("staging_peak_bytes", STAGING_PEAK.load(Relaxed))
+        .emit();
+}
+
+/// Starts the background memory sampler: a named thread that writes a
+/// `{"t":"mem",…}` record every `interval` until [`stop_memory_sampler`].
+/// Idempotent — a second start while one is running does nothing.
+pub fn start_memory_sampler(interval: Duration) {
+    let mut guard = SAMPLER.lock().expect("telemetry sampler poisoned");
+    if guard.is_some() {
+        return;
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("telemetry-mem".into())
+        .spawn(move || {
+            // Slice the sleep so stop latency stays bounded even for
+            // coarse sampling intervals.
+            let slice = interval.min(Duration::from_millis(20));
+            let mut since_sample = interval; // emit one sample immediately
+            while !stop2.load(Relaxed) {
+                if since_sample >= interval {
+                    emit_memory_sample();
+                    since_sample = Duration::ZERO;
+                }
+                std::thread::sleep(slice);
+                since_sample += slice;
+            }
+        })
+        .expect("spawning the telemetry memory sampler");
+    *guard = Some(SamplerHandle { stop, join });
+}
+
+/// Stops the background sampler (if running), waits for it to exit, and
+/// writes one final sample so the timeline always covers the stop point.
+pub fn stop_memory_sampler() {
+    let handle = SAMPLER.lock().expect("telemetry sampler poisoned").take();
+    if let Some(h) = handle {
+        h.stop.store(true, Relaxed);
+        let _ = h.join.join();
+        emit_memory_sample();
+    }
 }
 
 // --- sink lifecycle -----------------------------------------------------
@@ -525,6 +753,8 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
 /// without unregistering them. Used by the bench overhead section to
 /// isolate phases.
 pub fn reset_metrics() {
+    STAGING_BYTES.store(0, Relaxed);
+    STAGING_PEAK.store(0, Relaxed);
     let metrics: Vec<MetricRef> = REGISTRY.lock().expect("telemetry registry poisoned").clone();
     for m in metrics {
         match m {

@@ -36,6 +36,20 @@
 //! touch; [`flush_metrics`] writes a snapshot of all of them to the
 //! sink and [`snapshot`] exposes the same data in-process.
 //!
+//! # Flight recorder
+//!
+//! When a JSONL sink is active, spans stream structured
+//! `{"t":"span_start",…}` / `{"t":"span",…}` records carrying a
+//! process-unique `id`, a `parent` link, and a per-thread lane id
+//! (`tid`), forming a causal forest. Parallel dispatch sites capture
+//! [`current_span`] and hand the [`SpanHandle`] to worker jobs, which
+//! [`adopt_parent`] it so per-worker spans nest under the dispatching
+//! span. A background sampler ([`start_memory_sampler`] /
+//! [`stop_memory_sampler`]) writes `{"t":"mem",…}` records with
+//! VmRSS/VmHWM and the streamed-compile staging watermark reported by
+//! [`record_staging`]. The `trace-report` CLI mode reconstructs the
+//! forest and exports a Chrome-trace/Perfetto timeline.
+//!
 //! # Recording gate
 //!
 //! Even when compiled in, recording can be switched off at runtime via

@@ -6,10 +6,15 @@
 //! the guards have no `Drop`, and the optimizer deletes the calls. This
 //! is what guarantees bit-identical solver output and zero measurable
 //! overhead for un-instrumented builds.
+//!
+//! Signatures must match `imp` exactly (same receiver forms included) so
+//! call sites compile identically under both features; the parity test
+//! in `tests.rs` pins this with fn-pointer coercions.
 
 use std::path::Path;
+use std::time::Duration;
 
-use crate::MetricSnapshot;
+use crate::{HistogramSnapshot, MetricSnapshot};
 
 /// No-op counter stand-in (see `imp::Counter` for the real one).
 pub struct Counter;
@@ -22,11 +27,11 @@ impl Counter {
 
     /// Does nothing.
     #[inline(always)]
-    pub fn add(&self, _n: u64) {}
+    pub fn add(&'static self, _n: u64) {}
 
     /// Does nothing.
     #[inline(always)]
-    pub fn incr(&self) {}
+    pub fn incr(&'static self) {}
 
     /// Always 0.
     #[inline(always)]
@@ -46,7 +51,7 @@ impl FloatCounter {
 
     /// Does nothing.
     #[inline(always)]
-    pub fn add(&self, _v: f64) {}
+    pub fn add(&'static self, _v: f64) {}
 
     /// Always 0.
     #[inline(always)]
@@ -66,7 +71,13 @@ impl LogHistogram {
 
     /// Does nothing.
     #[inline(always)]
-    pub fn record(&self, _v: u64) {}
+    pub fn record(&'static self, _v: u64) {}
+
+    /// Always the all-zero snapshot.
+    #[inline(always)]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot { count: 0, sum: 0, p50: 0, p90: 0, p99: 0, max: 0 }
+    }
 }
 
 /// No-op span guard: zero-sized, no `Drop`, nothing to time.
@@ -85,7 +96,33 @@ impl Span {
     pub fn depth(&self) -> usize {
         0
     }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn id(&self) -> u64 {
+        0
+    }
 }
+
+/// No-op span handle: zero-sized, nothing to link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle;
+
+/// Always the null handle.
+#[inline(always)]
+pub fn current_span() -> SpanHandle {
+    SpanHandle
+}
+
+/// Returns the inert guard.
+#[inline(always)]
+pub fn adopt_parent(_handle: SpanHandle) -> ParentGuard {
+    ParentGuard
+}
+
+/// No-op adoption guard: zero-sized, no `Drop`.
+#[must_use = "adoption ends when the guard drops"]
+pub struct ParentGuard;
 
 /// No-op event builder: the field chain evaluates its arguments (they
 /// must stay cheap at call sites) but builds nothing.
@@ -136,6 +173,28 @@ impl Event {
 /// Does nothing (the `progress!` stderr mirror already printed).
 #[inline(always)]
 pub fn emit_progress(_msg: &str) {}
+
+/// Does nothing.
+#[inline(always)]
+pub fn record_staging(_bytes: u64) {}
+
+/// Always 0.
+#[inline(always)]
+pub fn staging_peak_bytes() -> u64 {
+    0
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn emit_memory_sample() {}
+
+/// Does nothing — no thread is spawned in disabled builds.
+#[inline(always)]
+pub fn start_memory_sampler(_interval: Duration) {}
+
+/// Does nothing.
+#[inline(always)]
+pub fn stop_memory_sampler() {}
 
 /// Accepted but ignored: reports success so callers need no cfg.
 #[inline(always)]

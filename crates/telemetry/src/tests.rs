@@ -7,15 +7,28 @@
 
 use super::*;
 
+/// Recording/sink/staging state is process-global in enabled builds;
+/// every test that touches it serializes on this lock (cargo runs tests
+/// on multiple threads).
+#[cfg(feature = "enabled")]
+static GLOBALS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn api_is_callable_in_every_mode() {
+    #[cfg(feature = "enabled")]
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
     let c = counter!("test.api.counter");
     c.add(2);
     c.incr();
     float_counter!("test.api.float").add(1.5);
     histogram!("test.api.hist").record(7);
     {
-        let _span = span!("test.api.span");
+        let parent = {
+            let _span = span!("test.api.span");
+            current_span()
+        };
+        let _adopt = adopt_parent(parent);
+        let _lane = span!("test.api.lane");
     }
     Event::new("test")
         .field_u64("u", 1)
@@ -24,9 +37,57 @@ fn api_is_callable_in_every_mode() {
         .field_str("s", "x")
         .field_bool("b", true)
         .emit();
+    record_staging(4096);
+    let _ = staging_peak_bytes();
+    emit_memory_sample();
+    start_memory_sampler(std::time::Duration::from_millis(5));
+    stop_memory_sampler();
     flush_metrics();
     close_sink();
     assert_eq!(ENABLED, cfg!(feature = "enabled"));
+}
+
+/// Pins both surfaces to the same signatures by coercing each public
+/// method to an explicit fn-pointer type. This compiles under both
+/// feature modes, so a receiver drift like PR 3's `&'static self` vs
+/// `&self` mismatch becomes a compile error instead of a latent
+/// feature-gated break.
+#[test]
+fn noop_and_imp_surfaces_have_identical_signatures() {
+    let _: fn(&'static Counter, u64) = Counter::add;
+    let _: fn(&'static Counter) = Counter::incr;
+    let _: fn(&Counter) -> u64 = Counter::get;
+    let _: fn(&'static FloatCounter, f64) = FloatCounter::add;
+    let _: fn(&FloatCounter) -> f64 = FloatCounter::get;
+    let _: fn(&'static LogHistogram, u64) = LogHistogram::record;
+    let _: fn(&LogHistogram) -> HistogramSnapshot = LogHistogram::snapshot;
+    let _: fn(&'static str, &'static LogHistogram) -> Span = Span::enter;
+    let _: fn(&Span) -> usize = Span::depth;
+    let _: fn(&Span) -> u64 = Span::id;
+    let _: fn() -> SpanHandle = current_span;
+    let _: fn(SpanHandle) -> ParentGuard = adopt_parent;
+    let _: fn(&str) -> Event = Event::new;
+    let _: fn(Event, &str, u64) -> Event = Event::field_u64;
+    let _: fn(Event, &str, i64) -> Event = Event::field_i64;
+    let _: fn(Event, &str, f64) -> Event = Event::field_f64;
+    let _: fn(Event, &str, &str) -> Event = Event::field_str;
+    let _: fn(Event, &str, bool) -> Event = Event::field_bool;
+    let _: fn(Event) = Event::emit;
+    let _: fn(&str) = emit_progress;
+    let _: fn(u64) = record_staging;
+    let _: fn() -> u64 = staging_peak_bytes;
+    let _: fn() = emit_memory_sample;
+    let _: fn(std::time::Duration) = start_memory_sampler;
+    let _: fn() = stop_memory_sampler;
+    let _: fn(&'static std::path::Path) -> std::io::Result<()> =
+        init_jsonl::<&'static std::path::Path>;
+    let _: fn() -> bool = sink_active;
+    let _: fn() = flush_metrics;
+    let _: fn() = close_sink;
+    let _: fn(bool) = set_recording;
+    let _: fn() -> bool = is_recording;
+    let _: fn() -> Vec<MetricSnapshot> = snapshot;
+    let _: fn() = reset_metrics;
 }
 
 #[test]
@@ -50,13 +111,9 @@ fn disabled_mode_observes_nothing() {
 
 #[cfg(feature = "enabled")]
 mod enabled_behavior {
-    use std::sync::{Mutex, MutexGuard};
+    use std::sync::MutexGuard;
 
     use super::*;
-
-    /// Recording/sink state is process-global; serialize the tests that
-    /// mutate it (cargo runs tests on multiple threads).
-    static GLOBALS: Mutex<()> = Mutex::new(());
 
     fn lock_globals() -> MutexGuard<'static, ()> {
         let guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
@@ -181,6 +238,135 @@ mod enabled_behavior {
         assert!(body.contains("quote \\\" backslash \\\\ newline \\n done"));
         // Non-finite floats become null.
         assert!(body.contains("\"nan\":null"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spans_stream_ids_and_parent_links() {
+        let _g = lock_globals();
+        let path = std::env::temp_dir().join("cloudalloc-telemetry-tree.jsonl");
+        init_jsonl(&path).expect("sink opens");
+        {
+            let outer = span!("test.tree.outer");
+            assert_ne!(outer.id(), 0);
+            let inner = span!("test.tree.inner");
+            assert_ne!(inner.id(), outer.id());
+            drop(inner);
+        }
+        close_sink();
+        let body = std::fs::read_to_string(&path).expect("sink file exists");
+        // Both spans leave a start and an end record carrying id/parent/tid.
+        for name in ["test.tree.outer", "test.tree.inner"] {
+            let starts: Vec<&str> = body
+                .lines()
+                .filter(|l| l.contains("\"t\":\"span_start\"") && l.contains(name))
+                .collect();
+            let ends: Vec<&str> =
+                body.lines().filter(|l| l.contains("\"t\":\"span\"") && l.contains(name)).collect();
+            assert_eq!(starts.len(), 1, "one start for {name}: {body}");
+            assert_eq!(ends.len(), 1, "one end for {name}: {body}");
+            for l in starts.iter().chain(&ends) {
+                assert!(
+                    l.contains("\"id\":") && l.contains("\"parent\":") && l.contains("\"tid\":")
+                );
+            }
+        }
+        // The inner span's parent field is the outer span's id.
+        let id_of = |line: &str| -> u64 {
+            let rest = &line[line.find("\"id\":").unwrap() + 5..];
+            rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+        };
+        let parent_of = |line: &str| -> u64 {
+            let rest = &line[line.find("\"parent\":").unwrap() + 9..];
+            rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+        };
+        let outer_start = body
+            .lines()
+            .find(|l| l.contains("\"t\":\"span_start\"") && l.contains("test.tree.outer"))
+            .unwrap();
+        let inner_start = body
+            .lines()
+            .find(|l| l.contains("\"t\":\"span_start\"") && l.contains("test.tree.inner"))
+            .unwrap();
+        assert_eq!(parent_of(inner_start), id_of(outer_start));
+        assert_eq!(parent_of(outer_start), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adopted_parents_cross_threads() {
+        let _g = lock_globals();
+        let path = std::env::temp_dir().join("cloudalloc-telemetry-adopt.jsonl");
+        init_jsonl(&path).expect("sink opens");
+        let dispatch_id;
+        {
+            let dispatch = span!("test.adopt.dispatch");
+            dispatch_id = dispatch.id();
+            let handle = current_span();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(move || {
+                        let _adopt = adopt_parent(handle);
+                        let _lane = span!("test.adopt.lane");
+                    });
+                }
+            });
+        }
+        close_sink();
+        let body = std::fs::read_to_string(&path).expect("sink file exists");
+        let lanes: Vec<&str> = body
+            .lines()
+            .filter(|l| l.contains("\"t\":\"span_start\"") && l.contains("test.adopt.lane"))
+            .collect();
+        assert_eq!(lanes.len(), 2);
+        for l in lanes {
+            assert!(
+                l.contains(&format!("\"parent\":{dispatch_id}")),
+                "worker lane not parented to the dispatch span: {l}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adopt_parent_restores_previous_cursor() {
+        let _g = lock_globals();
+        let outer = span!("test.adoptrestore.outer");
+        let outer_handle = current_span();
+        let inner = span!("test.adoptrestore.inner");
+        let before = current_span();
+        assert_ne!(before, outer_handle);
+        {
+            let _adopt = adopt_parent(outer_handle);
+            assert_eq!(current_span(), outer_handle);
+        }
+        assert_eq!(current_span(), before);
+        drop(inner);
+        drop(outer);
+    }
+
+    #[test]
+    fn memory_sampler_writes_mem_records() {
+        let _g = lock_globals();
+        let path = std::env::temp_dir().join("cloudalloc-telemetry-mem.jsonl");
+        init_jsonl(&path).expect("sink opens");
+        record_staging(12_345);
+        record_staging(700);
+        assert_eq!(staging_peak_bytes(), 12_345);
+        start_memory_sampler(std::time::Duration::from_millis(1));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        stop_memory_sampler();
+        close_sink();
+        let body = std::fs::read_to_string(&path).expect("sink file exists");
+        let mems: Vec<&str> = body.lines().filter(|l| l.contains("\"t\":\"mem\"")).collect();
+        assert!(!mems.is_empty(), "sampler wrote no mem records: {body}");
+        for m in &mems {
+            assert!(m.contains("\"rss_bytes\":") && m.contains("\"hwm_bytes\":"));
+            assert!(m.contains("\"staging_bytes\":700"));
+            assert!(m.contains("\"staging_peak_bytes\":12345"));
+        }
+        reset_metrics();
+        assert_eq!(staging_peak_bytes(), 0);
         let _ = std::fs::remove_file(&path);
     }
 

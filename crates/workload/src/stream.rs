@@ -33,6 +33,7 @@ use rand::{Rng, SeedableRng};
 use cloudalloc_model::{
     Client, ClientId, CloudSystem, LoweredClients, MemoryBudget, UtilityClassId,
 };
+use cloudalloc_telemetry as telemetry;
 
 use crate::config::ScenarioConfig;
 use crate::generate::{build_skeleton, sample, UtilityDraw};
@@ -146,6 +147,7 @@ impl ScenarioStream {
     /// lowering needs the full id-ordered population).
     pub fn assemble(mut self, budget: MemoryBudget) -> StreamedScenario {
         assert_eq!(self.next_client, 0, "assemble requires an unconsumed stream");
+        let _span = telemetry::span!("stream.assemble");
         let chunk_cap = budget.chunk_clients();
         let mut clients =
             LoweredClients::new(self.config.num_clients, self.system.server_classes().len());
@@ -157,11 +159,24 @@ impl ScenarioStream {
             self.next_chunk_into(chunk_cap, &mut buf);
             chunks += 1;
             peak_chunk_clients = peak_chunk_clients.max(buf.len());
+            // Feed the flight recorder's memory timeline with the actual
+            // in-flight staging, then mark it drained after the lowering.
+            telemetry::record_staging((buf.len() * MemoryBudget::STAGING_BYTES_PER_CLIENT) as u64);
             clients.push_chunk(self.system.server_classes(), self.system.utility_classes(), &buf);
             for client in buf.drain(..) {
                 self.system.add_client(client);
             }
+            telemetry::record_staging(0);
         }
+        telemetry::Event::new("stream.assemble")
+            .field_u64("clients", self.config.num_clients as u64)
+            .field_u64("chunks", chunks as u64)
+            .field_u64(
+                "peak_staging_bytes",
+                (peak_chunk_clients * MemoryBudget::STAGING_BYTES_PER_CLIENT) as u64,
+            )
+            .field_u64("budget_bytes", budget.bytes() as u64)
+            .emit();
         StreamedScenario { system: self.system, clients, chunks, peak_chunk_clients, budget }
     }
 }
