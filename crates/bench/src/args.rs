@@ -15,6 +15,9 @@
 /// * `--json PATH` — also write the aggregated rows as JSON;
 /// * `--smoke` — CI smoke mode: a single tiny configuration exercising the
 ///   equivalence assertions (currently honoured by the `speedup` binary);
+/// * `--deep` — extend the smoke run's scale tier to the million-client
+///   row, solved under the memory budget (the budget-bounded deep tier;
+///   no effect without `--smoke`, where the row already runs);
 /// * `--telemetry-out PATH` — stream solver telemetry (spans, counters,
 ///   events) to `PATH` as JSONL. Requires a build with the `telemetry`
 ///   feature; otherwise the flag is accepted and a note is printed.
@@ -32,6 +35,8 @@ pub struct HarnessArgs {
     pub json: Option<String>,
     /// CI smoke mode: tiny config, correctness assertions only.
     pub smoke: bool,
+    /// Deep tier: include the million-client scale row in smoke runs.
+    pub deep: bool,
     /// Optional telemetry JSONL output path.
     pub telemetry_out: Option<String>,
 }
@@ -45,6 +50,7 @@ impl Default for HarnessArgs {
             seed: 1,
             json: None,
             smoke: false,
+            deep: false,
             telemetry_out: None,
         }
     }
@@ -78,10 +84,12 @@ impl HarnessArgs {
                     out.client_counts = vec![20, 60, 100];
                 }
                 "--smoke" => out.smoke = true,
+                "--deep" => out.deep = true,
                 "--telemetry-out" => out.telemetry_out = Some(grab("--telemetry-out")),
                 other => panic!(
                     "unknown flag {other}; supported: --scenarios N, --mc N, --seed N, \
-                     --json PATH, --paper-scale, --quick, --smoke, --telemetry-out PATH"
+                     --json PATH, --paper-scale, --quick, --smoke, --deep, \
+                     --telemetry-out PATH"
                 ),
             }
         }
@@ -167,6 +175,12 @@ mod tests {
     #[test]
     fn smoke_flag_is_recognized() {
         assert!(parse(&["--smoke"]).smoke);
+    }
+
+    #[test]
+    fn deep_flag_is_recognized() {
+        assert!(parse(&["--smoke", "--deep"]).deep);
+        assert!(!parse(&["--smoke"]).deep);
     }
 
     #[test]

@@ -86,7 +86,9 @@
 //! the E5d/E5e/E5f/E5g/E5h equivalence assertions on tiny configurations
 //! plus the E5i scale rows up to 100k clients — the CI gate: the process
 //! exits non-zero when any pair of paths disagrees, a profit leaves the
-//! hierarchical band, or the peak RSS blows its budget.
+//! hierarchical band, or the peak RSS blows its budget. `--smoke --deep`
+//! extends E5i to the million-client row, solved in memory-budgeted
+//! waves so the deep tier runs routinely rather than full-mode-only.
 
 use std::time::Instant;
 
@@ -94,7 +96,7 @@ use serde::Serialize;
 
 use cloudalloc_core::{
     best_cluster, best_cluster_aos, best_cluster_reference, commit, greedy_pass, solve,
-    solve_hierarchical, Candidate, HierConfig, SolverConfig, SolverCtx, PROFIT_BAND,
+    solve_hierarchical_streamed, Candidate, HierConfig, SolverConfig, SolverCtx, PROFIT_BAND,
 };
 use cloudalloc_distributed::greedy_distributed_timed;
 use cloudalloc_metrics::Table;
@@ -121,6 +123,12 @@ const SCALE_GROUP_SIZE: usize = 8;
 /// client-draw buffer is bounded to this many mebibytes regardless of the
 /// population size (1 MiB ≈ 18k staged clients per chunk).
 const SCALE_STAGING_MIB: usize = 1;
+/// Solve-side residency budget of the E5i hierarchical runs: group
+/// sub-problems are extracted and solved in waves whose estimated
+/// footprint fits this many mebibytes (≈ a handful of scale-preset
+/// groups per wave), so only a sliver of the population's sub-problems
+/// is ever resident at once. Wave boundaries never change the result.
+const SCALE_SOLVE_MIB: usize = 8;
 
 /// One local-search move of the scoring trace, pre-resolved so both
 /// engines replay bit-identical mutations.
@@ -366,6 +374,8 @@ struct ScaleRecord {
     gap: Option<f64>,
     peak_rss_bytes: Option<usize>,
     rss_budget_bytes: usize,
+    /// Wave budget the hierarchical solve ran under ([`SCALE_SOLVE_MIB`]).
+    solve_budget_mib: usize,
 }
 
 #[derive(Debug, Serialize)]
@@ -717,22 +727,26 @@ fn read_vm_hwm() -> Option<usize> {
 /// E5i: the datacenter-scale sweep. Every system is *streamed* into
 /// existence — the generator stages at most [`SCALE_STAGING_MIB`] MiB of
 /// drawn clients at a time while lowering them chunk-by-chunk (asserted
-/// by `within_budget`), so scenario construction never holds a second
-/// full copy of the population. The hierarchical solve then handles the
-/// sizes where the flat solver's every-client-against-every-cluster
-/// coupling stops being tractable; where flat still runs (10k clients)
-/// the profit gap is asserted within the one-sided [`PROFIT_BAND`] and
-/// the hierarchical solve is re-run single-threaded to assert profit
-/// bit-identity across worker counts. From 100k clients up, the process's
-/// peak RSS is gated against a per-size budget.
-fn bench_scale(base_seed: u64, smoke: bool) -> Vec<ScaleRecord> {
+/// by `within_budget`), and the finished lowering is handed straight to
+/// [`solve_hierarchical_streamed`], so the population is lowered exactly
+/// once per run and the solve adds only one [`SCALE_SOLVE_MIB`]-MiB wave
+/// of group sub-problems on top of assemble-time residency. The
+/// hierarchical solve handles the sizes where the flat solver's
+/// every-client-against-every-cluster coupling stops being tractable;
+/// where flat still runs (10k clients) the profit gap is asserted within
+/// the one-sided [`PROFIT_BAND`] and the hierarchical solve is re-run
+/// single-threaded to assert profit bit-identity across worker counts.
+/// From 100k clients up, the process's peak RSS is gated against a
+/// per-size budget. `deep` extends a smoke run to the million-client
+/// row — the budget-bounded deep tier that lets CI run it routinely
+/// instead of full-mode-only.
+fn bench_scale(base_seed: u64, smoke: bool, deep: bool) -> Vec<ScaleRecord> {
     // (clients, run flat comparison, peak-RSS budget in bytes).
     const MIB: usize = 1 << 20;
-    let sizes: &[(usize, bool, usize)] = if smoke {
-        &[(10_000, true, 512 * MIB), (100_000, false, 512 * MIB)]
-    } else {
-        &[(10_000, true, 512 * MIB), (100_000, false, 512 * MIB), (1_000_000, false, 2048 * MIB)]
-    };
+    let mut sizes = vec![(10_000, true, 512 * MIB), (100_000, false, 512 * MIB)];
+    if !smoke || deep {
+        sizes.push((1_000_000, false, 1024 * MIB));
+    }
     let mut table = Table::new(vec![
         "clients".into(),
         "servers".into(),
@@ -746,14 +760,18 @@ fn bench_scale(base_seed: u64, smoke: bool) -> Vec<ScaleRecord> {
     ]);
     println!(
         "E5i — datacenter scale: streamed generation ({SCALE_STAGING_MIB} MiB staging) \
-         + hierarchical solve (groups of {SCALE_GROUP_SIZE} clusters), up to {} clients",
+         + hierarchical solve (groups of {SCALE_GROUP_SIZE} clusters, {SCALE_SOLVE_MIB} MiB \
+         wave budget), up to {} clients",
         sizes.last().expect("non-empty sweep").0
     );
     let seed = base_seed;
     let config = SolverConfig { max_rounds: 2, ..SolverConfig::fast() };
-    let hier_cfg = HierConfig { group_size: SCALE_GROUP_SIZE };
+    let hier_cfg = HierConfig {
+        group_size: Some(SCALE_GROUP_SIZE),
+        memory_budget: Some(MemoryBudget::from_mib(SCALE_SOLVE_MIB)),
+    };
     let mut records = Vec::new();
-    for &(clients, run_flat, rss_budget_bytes) in sizes {
+    for &(clients, run_flat, rss_budget_bytes) in &sizes {
         let scenario = ScenarioConfig::scale(clients);
         let begin = Instant::now();
         let streamed =
@@ -766,10 +784,15 @@ fn bench_scale(base_seed: u64, smoke: bool) -> Vec<ScaleRecord> {
             SCALE_STAGING_MIB
         );
         let system = streamed.system;
+        let lowered = streamed.clients;
+        // Flat rows re-run the hierarchical solve single-threaded below;
+        // keep a copy of the lowering for it (tiny at 10k clients). The
+        // big rows hand the one-and-only lowering straight to the solve.
+        let serial_lowered = run_flat.then(|| lowered.clone());
         let groups = system.num_clusters().div_ceil(SCALE_GROUP_SIZE);
 
         let begin = Instant::now();
-        let hier = solve_hierarchical(&system, &config, &hier_cfg, seed);
+        let hier = solve_hierarchical_streamed(&system, lowered, &config, &hier_cfg, seed);
         let hier_seconds = begin.elapsed().as_secs_f64();
 
         let (flat_seconds, flat_profit, gap) = if run_flat {
@@ -787,7 +810,13 @@ fn bench_scale(base_seed: u64, smoke: bool) -> Vec<ScaleRecord> {
             // pooled run above (session default threads) must match a
             // single-worker run bit for bit.
             let serial_cfg = SolverConfig { num_threads: Some(1), ..config.clone() };
-            let serial = solve_hierarchical(&system, &serial_cfg, &hier_cfg, seed);
+            let serial = solve_hierarchical_streamed(
+                &system,
+                serial_lowered.expect("cloned for flat rows"),
+                &serial_cfg,
+                &hier_cfg,
+                seed,
+            );
             assert_eq!(
                 serial.report.profit.to_bits(),
                 hier.report.profit.to_bits(),
@@ -839,6 +868,7 @@ fn bench_scale(base_seed: u64, smoke: bool) -> Vec<ScaleRecord> {
             gap,
             peak_rss_bytes,
             rss_budget_bytes,
+            solve_budget_mib: SCALE_SOLVE_MIB,
         });
     }
     println!("{table}");
@@ -846,8 +876,8 @@ fn bench_scale(base_seed: u64, smoke: bool) -> Vec<ScaleRecord> {
         "expected shape: hierarchical wall-clock grows near-linearly with the\n\
          population (sketch is O(clients x groups), groups solve independently)\n\
          while the profit stays within the documented band of flat where flat\n\
-         is feasible; peak RSS is gated per size, with the staging buffer\n\
-         bounded by the memory budget regardless of population\n"
+         is feasible; peak RSS is gated per size, with the staging buffer and\n\
+         the solve waves both bounded by their budgets regardless of population\n"
     );
     records
 }
@@ -1476,13 +1506,14 @@ fn main() {
         // CI smoke gate: the E5d/E5f equivalence assertions, the E5e
         // telemetry bit-identity assertion, the E5h intra-solve
         // thread-invariance assertion (tiny configs), and the E5i scale
-        // rows (10k with flat comparison, 100k hierarchical + RSS gate).
+        // rows (10k with flat comparison, 100k hierarchical + RSS gate;
+        // --deep adds the budget-bounded million-client row).
         let candidate_search = bench_candidate_search(args.seed, true);
         let telemetry_overhead = bench_telemetry_overhead(args.seed, true);
         let lowering = bench_lowering(args.seed, true);
         let repair = bench_repair_latency(args.seed, true);
         let intra_solve = bench_intra_solve(args.seed, true);
-        let scale = bench_scale(args.seed, true);
+        let scale = bench_scale(args.seed, true, args.deep);
         let report = SpeedupReport {
             scoring: Vec::new(),
             restarts: Vec::new(),
@@ -1507,7 +1538,7 @@ fn main() {
     let telemetry_overhead = bench_telemetry_overhead(args.seed, false);
     let lowering = bench_lowering(args.seed, false);
     let repair = bench_repair_latency(args.seed, false);
-    let scale = bench_scale(args.seed, false);
+    let scale = bench_scale(args.seed, false, true);
 
     let report = SpeedupReport {
         scoring,

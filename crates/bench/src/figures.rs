@@ -192,6 +192,7 @@ mod tests {
             seed: 5,
             json: None,
             smoke: false,
+            deep: false,
             telemetry_out: None,
         }
     }

@@ -6,7 +6,7 @@ use std::fmt;
 use std::fs;
 
 use cloudalloc_baselines::{modified_ps, monte_carlo, McConfig, PsConfig};
-use cloudalloc_core::{solve, solve_hierarchical, HierConfig, SolverConfig};
+use cloudalloc_core::{solve, solve_hierarchical, HierConfig, HierError, SolverConfig};
 use cloudalloc_metrics::Table;
 use cloudalloc_model::{check_feasibility, evaluate, Allocation, CloudSystem, Violation};
 use cloudalloc_simulator::{
@@ -30,6 +30,10 @@ pub enum CliError {
     /// A scenario parsed as JSON but violates a model invariant (bad ids,
     /// out-of-range numbers, inconsistent structures).
     Model(cloudalloc_model::ModelError),
+    /// Invalid hierarchical-solve knobs (`--group-size`,
+    /// `--memory-budget`). Typed pass-through of the solver's own
+    /// validation, so no zero value can reach a solver panic from here.
+    Hier(HierError),
 }
 
 impl fmt::Display for CliError {
@@ -39,6 +43,7 @@ impl fmt::Display for CliError {
             Self::Io(e) => write!(f, "io error: {e}"),
             Self::Json(e) => write!(f, "json error: {e}"),
             Self::Model(e) => write!(f, "invalid system: {e}"),
+            Self::Hier(e) => write!(f, "{e}"),
         }
     }
 }
@@ -61,6 +66,11 @@ impl From<serde_json::Error> for CliError {
 impl From<cloudalloc_model::ModelError> for CliError {
     fn from(e: cloudalloc_model::ModelError) -> Self {
         Self::Model(e)
+    }
+}
+impl From<HierError> for CliError {
+    fn from(e: HierError) -> Self {
+        Self::Hier(e)
     }
 }
 
@@ -189,13 +199,22 @@ fn cmd_solve(parsed: &Parsed) -> Result<String, CliError> {
     let system = load_system(parsed)?;
     let seed = parsed.num("--seed", 0u64)?;
     let config = solver_config(parsed)?;
+    // The one validation site for the hierarchical knobs: zero values
+    // surface as typed `CliError::Hier` before any solving (for *all*
+    // paths — `--memory-budget` also gates flat runs below), and the
+    // solver's panicking validators become unreachable from CLI input.
+    let group_size = match parsed.get("--group-size") {
+        None => None,
+        Some(_) => Some(parsed.num("--group-size", 8usize)?),
+    };
+    let budget_mib = match parsed.get("--memory-budget") {
+        None => None,
+        Some(_) => Some(parsed.num("--memory-budget", 0usize)?),
+    };
+    let hier = HierConfig::try_new(group_size, budget_mib)?;
     let telemetry_path = telemetry_begin(parsed)?;
     let result = if parsed.switch("--hierarchical") {
-        let group_size = parsed.num("--group-size", 8usize)?;
-        if group_size == 0 {
-            return Err(ArgError("--group-size needs at least 1".into()).into());
-        }
-        solve_hierarchical(&system, &config, &HierConfig { group_size }, seed)
+        solve_hierarchical(&system, &config, &hier, seed)
     } else {
         solve(&system, &config, seed)
     };
@@ -210,12 +229,9 @@ fn cmd_solve(parsed: &Parsed) -> Result<String, CliError> {
     }
     // An operational guard for scale runs: fail loudly when the solve
     // blew past its memory envelope instead of letting a quietly swapping
-    // process report success.
-    if parsed.get("--memory-budget").is_some() {
-        let budget_mib = parsed.num("--memory-budget", 0usize)?;
-        if budget_mib == 0 {
-            return Err(ArgError("--memory-budget needs at least 1 (MiB)".into()).into());
-        }
+    // process report success. (On hierarchical runs the same budget also
+    // bounds the solve waves above, so the gate and the scheduler agree.)
+    if let Some(budget_mib) = budget_mib {
         match peak_rss_bytes() {
             Some(rss) if rss > budget_mib << 20 => {
                 return Err(ArgError(format!(
@@ -635,11 +651,15 @@ The solver parallelizes best-of-N construction; worker count comes from
 cores. Results are identical for every thread count.
 
 `--hierarchical` switches `solve` to the datacenter-scale scheme: a
-sketch pass routes every client to a group of --group-size clusters,
-then each group runs the exact solver independently (deterministic at
-every thread count; one group reproduces the flat solve exactly).
-`--memory-budget` makes the solve fail if the process's peak RSS exceeds
-the given number of MiB. The `scale` generate preset grows the cluster
+sketch pass routes every client to a group of clusters, then each group
+runs the exact solver independently (deterministic at every thread
+count; one group reproduces the flat solve exactly). Group size defaults
+to an adaptive rule — roughly the square root of the cluster count,
+shrunk to fit --memory-budget — and --group-size K pins it explicitly.
+`--memory-budget MIB` bounds solve-side residency: groups are extracted
+and solved in waves sized to the budget (wave boundaries never change
+the result), and the run fails afterwards if the process's peak RSS
+exceeded the budget. The `scale` generate preset grows the cluster
 count with the client population (one cluster per ~500 clients).
 
 `gen-faults` samples a server up/down fault plan (exponential MTBF/MTTR,
@@ -859,7 +879,64 @@ mod tests {
         // Zero is a config error, not a trivially-failing gate.
         let err =
             run(&parse(&["solve", "--system", &sys_path, "--memory-budget", "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Hier(_)), "wrong variant: {err:?}");
         assert!(err.to_string().contains("at least 1"), "unhelpful: {err}");
+    }
+
+    #[test]
+    fn zero_group_size_is_a_typed_cli_error() {
+        let sys_path = temp_path("sys_gs0.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "4",
+            "--preset",
+            "small",
+            "--seed",
+            "29",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        let err =
+            run(&parse(&["solve", "--system", &sys_path, "--hierarchical", "--group-size", "0"]))
+                .unwrap_err();
+        assert!(matches!(err, CliError::Hier(_)), "wrong variant: {err:?}");
+        assert!(err.to_string().contains("at least one cluster per group"), "unhelpful: {err}");
+        // The knob is validated up front even on the flat path.
+        let err = run(&parse(&["solve", "--system", &sys_path, "--group-size", "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Hier(_)), "wrong variant: {err:?}");
+    }
+
+    #[test]
+    fn hierarchical_defaults_to_adaptive_grouping() {
+        let sys_path = temp_path("sys_adaptive.json");
+        run(&parse(&[
+            "generate",
+            "--clients",
+            "12",
+            "--preset",
+            "scale",
+            "--seed",
+            "31",
+            "--out",
+            &sys_path,
+        ]))
+        .unwrap();
+        // No --group-size: the adaptive rule picks one; with a budget the
+        // waves are bounded and the RSS gate reports the measurement.
+        let out = run(&parse(&[
+            "solve",
+            "--system",
+            &sys_path,
+            "--seed",
+            "2",
+            "--hierarchical",
+            "--memory-budget",
+            "65536",
+        ]))
+        .unwrap();
+        assert!(out.contains("final"), "no result line:\n{out}");
     }
 
     #[test]

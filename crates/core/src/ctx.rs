@@ -56,8 +56,23 @@ impl<'a> SolverCtx<'a> {
     ///
     /// Panics if the configuration fails [`SolverConfig::validate`].
     pub fn new(system: &'a CloudSystem, config: &'a SolverConfig) -> Self {
+        Self::from_compiled(config, CompiledSystem::new(system))
+    }
+
+    /// Builds a context around an *existing* lowering instead of running
+    /// one — the scale path: group sub-problems extracted by
+    /// `compile_group` and streamed populations arrive with their client
+    /// arrays already filled, and re-deriving them here would double the
+    /// lowering work. The arrays are bit-identical either way (the
+    /// streamed/copied lowerings reuse the batch expressions verbatim),
+    /// so contexts built both ways produce bit-identical solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SolverConfig::validate`].
+    pub fn from_compiled(config: &'a SolverConfig, compiled: CompiledSystem<'a>) -> Self {
         config.validate();
-        let compiled = CompiledSystem::new(system);
+        let system = compiled.system();
         let shadow_price = config.shadow_price.unwrap_or_else(|| {
             let n = system.num_clients();
             if n == 0 {

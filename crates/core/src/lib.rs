@@ -63,6 +63,10 @@ pub use bounds::{client_bounds, profit_upper_bound, ClientBound};
 pub use config::SolverConfig;
 pub use ctx::SolverCtx;
 pub use explain::{cluster_digests, explain, ClusterDigest};
-pub use hier::{solve_hierarchical, HierConfig, PROFIT_BAND};
+pub use hier::{
+    solve_hierarchical, solve_hierarchical_streamed, HierConfig, HierError, PROFIT_BAND,
+};
 pub use initial::{best_initial, greedy_pass, random_assignment};
-pub use solve::{improve, improve_scored, solve, solve_restarts, SearchStats, SolveResult};
+pub use solve::{
+    improve, improve_scored, solve, solve_prelowered, solve_restarts, SearchStats, SolveResult,
+};

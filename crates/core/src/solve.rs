@@ -8,7 +8,8 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use cloudalloc_model::{
-    evaluate, Allocation, ClientId, CloudSystem, ProfitReport, ScoredAllocation,
+    compile_streamed, evaluate, Allocation, ClientId, CloudSystem, LoweredClients, ProfitReport,
+    ScoredAllocation,
 };
 
 use crate::config::SolverConfig;
@@ -170,14 +171,45 @@ pub fn improve(ctx: &SolverCtx<'_>, alloc: &mut Allocation, seed: u64) -> Search
 pub fn solve(system: &CloudSystem, config: &SolverConfig, seed: u64) -> SolveResult {
     let _span = telemetry::span!("solve.total");
     let ctx = SolverCtx::new(system, config);
+    solve_with_ctx(&ctx, seed)
+}
+
+/// Runs the complete heuristic on a system whose client lowering already
+/// exists — the scale path. Group sub-problems extracted by
+/// `cloudalloc_model::compile_group` and streamed populations arrive with
+/// their arrays pre-filled; this entry moves them straight into the
+/// solver context instead of re-deriving them from the AoS model. The
+/// pre-filled arrays are bit-identical to a fresh lowering by the
+/// streamed-compile contract, so the result is bit-identical to
+/// [`solve`] on the same `(system, config, seed)`.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`SolverConfig::validate`] or `clients`
+/// disagrees with `system` (incomplete, or a different population).
+pub fn solve_prelowered(
+    system: &CloudSystem,
+    clients: LoweredClients,
+    config: &SolverConfig,
+    seed: u64,
+) -> SolveResult {
+    let _span = telemetry::span!("solve.total");
+    let ctx = SolverCtx::from_compiled(config, compile_streamed(system, clients));
+    solve_with_ctx(&ctx, seed)
+}
+
+/// The shared pipeline body behind [`solve`] and [`solve_prelowered`]:
+/// greedy construction, local search, final evaluation.
+fn solve_with_ctx(ctx: &SolverCtx<'_>, seed: u64) -> SolveResult {
+    let system = ctx.system;
     let (allocation, initial_profit) = {
         let _span = telemetry::span!("solve.greedy");
-        best_initial(&ctx, seed)
+        best_initial(ctx, seed)
     };
     let mut scored = ScoredAllocation::lowered(&ctx.compiled, allocation);
     let stats = {
         let _span = telemetry::span!("solve.local_search");
-        improve_scored(&ctx, &mut scored, seed.wrapping_add(0x5EED))
+        improve_scored(ctx, &mut scored, seed.wrapping_add(0x5EED))
     };
     let allocation = scored.into_allocation();
     let report = evaluate(system, &allocation);
@@ -284,6 +316,21 @@ mod tests {
         for (round, (x, y)) in a.stats.history.iter().zip(&b.stats.history).enumerate() {
             assert_eq!(x.to_bits(), y.to_bits(), "{what}: history[{round}]");
         }
+    }
+
+    #[test]
+    fn prelowered_solve_matches_the_plain_entry_bit_for_bit() {
+        // The scale entry: client arrays filled chunk-by-chunk ahead of
+        // time, moved into the solver context without re-lowering.
+        let system = generate(&ScenarioConfig::small(10), 74);
+        let config = SolverConfig::default();
+        let plain = solve(&system, &config, 4);
+        let mut clients = LoweredClients::new(system.num_clients(), system.server_classes().len());
+        for chunk in system.clients().chunks(3) {
+            clients.push_chunk(system.server_classes(), system.utility_classes(), chunk);
+        }
+        let pre = solve_prelowered(&system, clients, &config, 4);
+        assert_results_identical(&plain, &pre, "prelowered");
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Group sub-problems lowered straight from a compiled parent system.
+//!
+//! The hierarchical solver (DESIGN.md §3k) partitions clusters into
+//! contiguous groups and runs the flat solver on each group's
+//! self-contained sub-system. Historically the extraction walked the
+//! frontend AoS model once per group and every sub-solve then re-lowered
+//! its clients from scratch; [`compile_group`] instead reads the parent's
+//! [`CompiledSystem`] arrays. The sub-system is constructed densely
+//! renumbered as before, and the client side of its lowering is a
+//! verbatim slot-for-slot copy of the parent's — no floating-point
+//! expression is re-evaluated, so bit-identity with a from-scratch
+//! lowering is structural (the parent slots were produced by the exact
+//! expressions a fresh lowering would run).
+//!
+//! Extraction is intended to happen *per solve wave*: a caller under a
+//! [`crate::MemoryBudget`] extracts only the groups of the current wave
+//! (sized via [`GroupProblem::estimated_bytes`]), solves them, stitches
+//! the results out and drops the sub-problems before the next wave, so a
+//! group's working set exists only while its solve runs.
+
+use std::ops::Range;
+
+use crate::client::Client;
+use crate::cluster::{BackgroundLoad, Cluster};
+use crate::compiled::CompiledSystem;
+use crate::ids::{ClientId, ClusterId, ServerId};
+use crate::server::Server;
+use crate::streamed::LoweredClients;
+use crate::system::CloudSystem;
+
+/// One cluster group's self-contained sub-problem: a dense renumbering
+/// of its clusters, servers and assigned clients, the pre-lowered client
+/// arrays, and the maps back to the original ids.
+#[derive(Debug, Clone)]
+pub struct GroupProblem {
+    /// The sub-system: same catalogs as the parent; clusters, servers and
+    /// clients renumbered densely from zero in their original order.
+    pub system: CloudSystem,
+    /// The sub-system's client lowering, copied verbatim from the parent
+    /// compiled view (feed to [`crate::compile_streamed`] to solve
+    /// without re-lowering).
+    pub clients: LoweredClients,
+    /// Original server id of each sub-system server, by new id index.
+    pub server_ids: Vec<ServerId>,
+    /// Original client id of each sub-system client, by new id index.
+    pub client_ids: Vec<ClientId>,
+}
+
+impl GroupProblem {
+    /// Estimated resident bytes of one extracted sub-problem holding
+    /// `num_servers` servers and `num_clients` clients against a catalog
+    /// of `num_classes` hardware classes. The wave scheduler of the
+    /// hierarchical solve sizes its solve waves with this: clients charge
+    /// their AoS struct plus the lowered columns (eight scalar columns
+    /// and the two class-major service-rate rows), servers their struct,
+    /// background load, cluster-list slot and original-id map entry.
+    pub fn estimated_bytes(num_servers: usize, num_clients: usize, num_classes: usize) -> usize {
+        let per_client =
+            std::mem::size_of::<Client>() + (8 + 2 * num_classes) * std::mem::size_of::<f64>();
+        let per_server = std::mem::size_of::<Server>()
+            + std::mem::size_of::<BackgroundLoad>()
+            + 2 * std::mem::size_of::<ServerId>();
+        num_clients * per_client + num_servers * per_server
+    }
+}
+
+/// Extracts the sub-problem of the contiguous cluster range `clusters`
+/// with the routed client set `members`, reading every fact from the
+/// parent's compiled arrays.
+///
+/// Catalogs are copied whole, so class and utility ids — and therefore
+/// every derived float — are unchanged. Clusters, servers and clients are
+/// renumbered densely in their original order, which preserves the
+/// solver's scan-order tie-breaks within the group; with `clusters`
+/// spanning the whole parent and `members` listing every client in id
+/// order, the sub-system is an id-identical copy.
+///
+/// # Panics
+///
+/// Panics if `clusters` is out of range or a member id is out of range.
+pub fn compile_group(
+    parent: &CompiledSystem<'_>,
+    clusters: Range<usize>,
+    members: &[ClientId],
+) -> GroupProblem {
+    let system = parent.system();
+    let mut sub =
+        CloudSystem::new(system.server_classes().to_vec(), system.utility_classes().to_vec());
+    for new_k in 0..clusters.len() {
+        sub.add_cluster(Cluster::new(ClusterId(new_k)));
+    }
+    let mut server_ids = Vec::new();
+    for (new_k, orig_k) in clusters.enumerate() {
+        for &server in parent.cluster_servers(ClusterId(orig_k)) {
+            sub.add_server_with_background(
+                Server::new(parent.server_ref(server).server.class, ClusterId(new_k)),
+                parent.background(server),
+            );
+            server_ids.push(server);
+        }
+    }
+    sub.reserve_clients(members.len());
+    let mut client_ids = Vec::with_capacity(members.len());
+    for (new_i, &orig) in members.iter().enumerate() {
+        let c = parent.client(orig);
+        sub.add_client(Client::new(
+            ClientId(new_i),
+            c.utility_class,
+            c.rate_predicted,
+            c.rate_agreed,
+            c.exec_processing,
+            c.exec_communication,
+            c.storage,
+        ));
+        client_ids.push(orig);
+    }
+    let clients = LoweredClients::copy_members(parent, members);
+    GroupProblem { system: sub, clients, server_ids, client_ids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::compile_streamed;
+    use crate::ids::{ServerClassId, UtilityClassId};
+    use crate::server::ServerClass;
+    use crate::utility::{UtilityClass, UtilityFunction};
+
+    fn sample_system() -> CloudSystem {
+        let classes = vec![
+            ServerClass::new(ServerClassId(0), 4.0, 4.0, 4.0, 1.0, 0.5),
+            ServerClass::new(ServerClassId(1), 2.0, 6.0, 3.0, 2.0, 1.0),
+        ];
+        let utils = vec![
+            UtilityClass::new(UtilityClassId(0), UtilityFunction::linear(2.0, 0.5)),
+            UtilityClass::new(UtilityClassId(1), UtilityFunction::linear(3.0, 0.25)),
+        ];
+        let mut sys = CloudSystem::new(classes, utils);
+        let k0 = sys.add_cluster(Cluster::new(ClusterId(0)));
+        let k1 = sys.add_cluster(Cluster::new(ClusterId(1)));
+        sys.add_server(Server::new(ServerClassId(0), k0));
+        sys.add_server_with_background(
+            Server::new(ServerClassId(1), k0),
+            BackgroundLoad::new(0.25, 0.125, 1.0),
+        );
+        sys.add_server(Server::new(ServerClassId(0), k1));
+        sys.add_client(Client::new(ClientId(0), UtilityClassId(1), 1.0, 1.5, 0.5, 0.25, 1.0));
+        sys.add_client(Client::new(ClientId(1), UtilityClassId(0), 2.0, 2.0, 0.25, 0.5, 0.5));
+        sys.add_client(Client::new(ClientId(2), UtilityClassId(1), 1.5, 1.75, 0.4, 0.3, 0.25));
+        sys
+    }
+
+    #[test]
+    fn full_range_group_is_an_id_identical_copy() {
+        let sys = sample_system();
+        let parent = CompiledSystem::new(&sys);
+        let members: Vec<ClientId> = (0..sys.num_clients()).map(ClientId).collect();
+        let group = compile_group(&parent, 0..sys.num_clusters(), &members);
+        assert_eq!(group.system.num_clusters(), sys.num_clusters());
+        assert_eq!(group.system.servers(), sys.servers());
+        assert_eq!(group.system.clients(), sys.clients());
+        for j in 0..sys.num_servers() {
+            assert_eq!(group.server_ids[j], ServerId(j));
+            assert_eq!(group.system.background(ServerId(j)), sys.background(ServerId(j)));
+        }
+        assert_eq!(group.client_ids, members);
+    }
+
+    #[test]
+    fn sub_range_group_renumbers_densely_in_original_order() {
+        let sys = sample_system();
+        let parent = CompiledSystem::new(&sys);
+        // Only cluster 1 and the last client.
+        let group = compile_group(&parent, 1..2, &[ClientId(2)]);
+        assert_eq!(group.system.num_clusters(), 1);
+        assert_eq!(group.system.num_servers(), 1);
+        assert_eq!(group.server_ids, vec![ServerId(2)]);
+        assert_eq!(group.system.server(ServerId(0)).class, ServerClassId(0));
+        assert_eq!(group.system.num_clients(), 1);
+        assert_eq!(group.client_ids, vec![ClientId(2)]);
+        let c = &group.system.clients()[0];
+        assert_eq!(c.id, ClientId(0));
+        assert_eq!(c.rate_predicted.to_bits(), 1.5f64.to_bits());
+    }
+
+    #[test]
+    fn copied_lowering_is_bit_identical_to_a_fresh_one() {
+        let sys = sample_system();
+        let parent = CompiledSystem::new(&sys);
+        let members = [ClientId(2), ClientId(0)];
+        let group = compile_group(&parent, 0..2, &members);
+        // Lowering the extracted sub-system from scratch must agree with
+        // the verbatim copy in every slot.
+        let copied = compile_streamed(&group.system, group.clients.clone());
+        let fresh = CompiledSystem::new(&group.system);
+        for i in 0..group.system.num_clients() {
+            let id = ClientId(i);
+            assert_eq!(copied.rate_predicted(id).to_bits(), fresh.rate_predicted(id).to_bits());
+            assert_eq!(copied.ref_weight(id).to_bits(), fresh.ref_weight(id).to_bits());
+            assert_eq!(copied.ref_marginal(id).to_bits(), fresh.ref_marginal(id).to_bits());
+            assert_eq!(copied.utility_index(id), fresh.utility_index(id));
+            for ci in 0..sys.server_classes().len() {
+                assert_eq!(copied.m_p(ci, id).to_bits(), fresh.m_p(ci, id).to_bits());
+                assert_eq!(copied.m_c(ci, id).to_bits(), fresh.m_c(ci, id).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_bytes_scales_with_population_and_catalog() {
+        let small = GroupProblem::estimated_bytes(10, 100, 2);
+        let more_clients = GroupProblem::estimated_bytes(10, 200, 2);
+        let more_classes = GroupProblem::estimated_bytes(10, 100, 8);
+        assert!(more_clients > small);
+        assert!(more_classes > small);
+        assert_eq!(GroupProblem::estimated_bytes(0, 0, 4), 0);
+    }
+}

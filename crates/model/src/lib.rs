@@ -53,6 +53,7 @@ mod cluster;
 mod compiled;
 mod error;
 mod eval;
+mod group;
 mod ids;
 mod incremental;
 mod server;
@@ -70,6 +71,7 @@ pub use eval::{
     check_feasibility, evaluate, evaluate_client, is_stable, placement_response_time,
     ClientOutcome, ProfitReport, Violation, FEASIBILITY_TOL,
 };
+pub use group::{compile_group, GroupProblem};
 pub use ids::{ClientId, ClusterId, ServerClassId, ServerId, UtilityClassId};
 pub use incremental::{AllocationDelta, Savepoint, ScoredAllocation};
 pub use server::{Server, ServerClass, ServerRef};

@@ -24,6 +24,8 @@
 use cloudalloc_telemetry as telemetry;
 
 use crate::client::Client;
+use crate::compiled::CompiledSystem;
+use crate::ids::ClientId;
 use crate::server::ServerClass;
 use crate::utility::UtilityClass;
 
@@ -162,6 +164,35 @@ impl LoweredClients {
             }
             self.filled += 1;
         }
+    }
+
+    /// Verbatim sub-lowering used by [`crate::compile_group`]: copies the
+    /// already-lowered slots of `members` out of a parent compiled view,
+    /// renumbering them densely in member order. No floating-point
+    /// expression is re-evaluated — every slot (including the class-major
+    /// `m^p`/`m^c` columns) is moved bit-for-bit, so the result is
+    /// indistinguishable from lowering the members from scratch while
+    /// costing only the copies.
+    pub(crate) fn copy_members(parent: &CompiledSystem<'_>, members: &[ClientId]) -> Self {
+        let num_classes = parent.server_classes().len();
+        let n = members.len();
+        let mut out = Self::new(n, num_classes);
+        for (new_i, &orig) in members.iter().enumerate() {
+            out.rate_predicted.push(parent.rate_predicted(orig));
+            out.rate_agreed.push(parent.rate_agreed(orig));
+            out.exec_processing.push(parent.exec_processing(orig));
+            out.exec_communication.push(parent.exec_communication(orig));
+            out.client_storage.push(parent.client_storage(orig));
+            out.utility_index.push(parent.utility_index(orig));
+            out.ref_weight.push(parent.ref_weight(orig));
+            out.ref_marginal.push(parent.ref_marginal(orig));
+            for ci in 0..num_classes {
+                out.m_p[ci * n + new_i] = parent.m_p(ci, orig);
+                out.m_c[ci * n + new_i] = parent.m_c(ci, orig);
+            }
+        }
+        out.filled = n;
+        out
     }
 
     /// Clients lowered so far.

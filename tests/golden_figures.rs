@@ -126,6 +126,7 @@ mod regeneration {
             seed: 1,
             json: None,
             smoke: false,
+            deep: false,
             telemetry_out: None,
         }
     }
