@@ -74,7 +74,7 @@ impl From<HierError> for CliError {
     }
 }
 
-fn load_system(parsed: &Parsed) -> Result<CloudSystem, CliError> {
+pub(crate) fn load_system(parsed: &Parsed) -> Result<CloudSystem, CliError> {
     let path = parsed.require("--system")?;
     let system: CloudSystem = serde_json::from_str(&fs::read_to_string(path)?)?;
     // Deserialization only checks shape; a hand-edited or corrupted file
@@ -89,7 +89,7 @@ fn load_allocation(parsed: &Parsed) -> Result<Allocation, CliError> {
     Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
 }
 
-fn solver_config(parsed: &Parsed) -> Result<SolverConfig, CliError> {
+pub(crate) fn solver_config(parsed: &Parsed) -> Result<SolverConfig, CliError> {
     // `--threads 0` would trip the config validator's assert; surface it
     // as a CLI error instead. Absent flag → `None`, which defers to the
     // CLOUDALLOC_THREADS environment variable and then all cores.
@@ -111,7 +111,7 @@ fn solver_config(parsed: &Parsed) -> Result<SolverConfig, CliError> {
 
 /// Arms the JSONL telemetry sink when `--telemetry-out` was passed.
 /// Returns the target path so [`telemetry_finish`] can report it.
-fn telemetry_begin(parsed: &Parsed) -> Result<Option<&str>, CliError> {
+pub(crate) fn telemetry_begin(parsed: &Parsed) -> Result<Option<&str>, CliError> {
     match parsed.get("--telemetry-out") {
         None => Ok(None),
         Some(path) => {
@@ -128,7 +128,7 @@ fn telemetry_begin(parsed: &Parsed) -> Result<Option<&str>, CliError> {
 
 /// Flushes accumulated metrics, closes the sink and appends a note about
 /// where the telemetry went (or why it didn't).
-fn telemetry_finish(path: Option<&str>, out: &mut String) {
+pub(crate) fn telemetry_finish(path: Option<&str>, out: &mut String) {
     let Some(path) = path else { return };
     if telemetry::ENABLED {
         telemetry::stop_memory_sampler();
@@ -322,7 +322,10 @@ fn cmd_simulate(parsed: &Parsed) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn load_fault_plan(parsed: &Parsed, system: &CloudSystem) -> Result<Option<FaultPlan>, CliError> {
+pub(crate) fn load_fault_plan(
+    parsed: &Parsed,
+    system: &CloudSystem,
+) -> Result<Option<FaultPlan>, CliError> {
     let Some(path) = parsed.get("--faults") else { return Ok(None) };
     let plan: FaultPlan = serde_json::from_str(&fs::read_to_string(path)?)?;
     plan.validate(system.num_servers(), system.num_clients())
@@ -503,8 +506,13 @@ fn cmd_telemetry_report(parsed: &Parsed) -> Result<String, CliError> {
     let mut events: BTreeMap<String, u64> = BTreeMap::new();
     // Flight-recorder records are skipped here (this is the flat
     // summary; `trace-report` owns the causal view) but counted, so a
-    // dense trace doesn't masquerade as a pile of domain events.
-    let mut span_starts = 0u64;
+    // dense trace doesn't masquerade as a pile of domain events. A
+    // `span_start` whose matching `span` end (same id) is aggregated in
+    // the span table is the *same* span, not an extra record: ends
+    // consume their starts, and only unmatched (unclosed) starts are
+    // tallied as skipped.
+    let mut open_starts: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut orphan_starts = 0u64;
     let mut mem_samples = 0u64;
     let mut lines = 0u64;
 
@@ -529,6 +537,10 @@ fn cmd_telemetry_report(parsed: &Parsed) -> Result<String, CliError> {
                 agg.count += 1;
                 agg.total_ns += ns;
                 agg.max_ns = agg.max_ns.max(ns);
+                // An extended (flight-recorder) end names its start.
+                if let Ok(id) = v.field("id").and_then(u64::from_value) {
+                    open_starts.remove(&id);
+                }
             }
             "counter" => {
                 let name = v.field("name").and_then(Value::as_str).map_err(jerr)?;
@@ -548,7 +560,12 @@ fn cmd_telemetry_report(parsed: &Parsed) -> Result<String, CliError> {
                 }
                 hists.insert(name.to_string(), row);
             }
-            "span_start" => span_starts += 1,
+            "span_start" => match v.field("id").and_then(u64::from_value) {
+                Ok(id) => {
+                    open_starts.insert(id);
+                }
+                Err(_) => orphan_starts += 1,
+            },
             "mem" => mem_samples += 1,
             // Any record type this report doesn't understand — domain
             // events and whatever future recorders emit — is tallied by
@@ -611,6 +628,7 @@ fn cmd_telemetry_report(parsed: &Parsed) -> Result<String, CliError> {
         out.push_str("\nevents\n");
         out.push_str(&table.to_string());
     }
+    let span_starts = open_starts.len() as u64 + orphan_starts;
     if span_starts + mem_samples > 0 {
         out.push_str(&format!(
             "\nflight recorder: skipped {span_starts} span-start and {mem_samples} memory \
@@ -641,6 +659,13 @@ COMMANDS
             [--faults FILE] [--degradation-threshold X] [--retries N]
             [--telemetry-out FILE]
   gen-faults --system FILE [--epochs N] [--mtbf E] [--mttr E] [--seed S]
+            [--out FILE]
+  serve     --system FILE [--addr HOST:PORT] [--addr-file FILE]
+            [--slo-ms MS] [--epoch-every N] [--seed S] [--accept N]
+            [--faults FILE] [--degradation-threshold X] [--retries N]
+            [--logical-clock-us STEP] [--threads T] [--granularity G]
+            [--init N] [--telemetry-out FILE]
+  client    (--addr HOST:PORT | --addr-file FILE) --script FILE
             [--out FILE]
   telemetry-report  --in FILE
   trace-report  --in FILE [--perfetto FILE] [--top K]
@@ -696,6 +721,8 @@ pub fn run(parsed: &Parsed) -> Result<String, CliError> {
         "epochs" => cmd_epochs(parsed),
         "gen-faults" => cmd_gen_faults(parsed),
         "telemetry-report" => cmd_telemetry_report(parsed),
+        "serve" => crate::serve::cmd_serve(parsed),
+        "client" => crate::serve::cmd_client(parsed),
         "trace-report" => crate::trace::cmd_trace_report(parsed),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(ArgError(format!("unknown command {other:?}; try `cloudalloc help`")).into()),
@@ -1186,17 +1213,46 @@ mod tests {
         .unwrap();
         let out = run(&parse(&["telemetry-report", "--in", &path])).unwrap();
         assert!(out.contains("5 lines"), "line count missing:\n{out}");
-        // The span end still aggregates; the start/mem records are
-        // skipped with a pointer at the causal tool.
+        // The span end aggregates in the span table; its paired start
+        // (same id) is the *same* span and must not be double-counted
+        // into the skipped tally — only the mem record is skipped.
         assert!(out.contains("solve.total"), "span table missing:\n{out}");
         assert!(
-            out.contains("skipped 1 span-start and 1 memory records"),
-            "flight-recorder tally missing:\n{out}"
+            out.contains("skipped 0 span-start and 1 memory records"),
+            "flight-recorder tally wrong:\n{out}"
         );
         assert!(out.contains("trace-report"), "no pointer to trace-report:\n{out}");
         // The future type lands in the tally with its count.
         assert!(out.contains("quux"), "future record type dropped:\n{out}");
         assert!(out.lines().any(|l| l.contains("quux") && l.contains('2')), "count lost:\n{out}");
+    }
+
+    #[test]
+    fn telemetry_report_counts_span_pairs_once() {
+        // Regression: a `span_start`/`span` pair sharing an id used to
+        // contribute both a span-table row *and* a "skipped span-start"
+        // tally. Paired starts are consumed by their end record; only
+        // genuinely unclosed starts count as skipped.
+        let path = temp_path("telemetry_pairs.jsonl");
+        fs::write(
+            &path,
+            concat!(
+                "{\"t\":\"span_start\",\"ts\":5,\"id\":1,\"parent\":0,\
+                 \"name\":\"solve.total\",\"tid\":1}\n",
+                "{\"t\":\"span_start\",\"ts\":6,\"id\":2,\"parent\":1,\
+                 \"name\":\"solve.round\",\"tid\":1}\n",
+                "{\"t\":\"span\",\"ts\":10,\"name\":\"solve.round\",\"depth\":1,\"ns\":4,\
+                 \"id\":2,\"parent\":1,\"tid\":1}\n",
+            ),
+        )
+        .unwrap();
+        let out = run(&parse(&["telemetry-report", "--in", &path])).unwrap();
+        // id=2 paired (counted once, in the span table); id=1 unclosed.
+        assert!(out.contains("solve.round"), "span table missing:\n{out}");
+        assert!(
+            out.contains("skipped 1 span-start and 0 memory records"),
+            "unclosed-start tally wrong:\n{out}"
+        );
     }
 
     #[test]

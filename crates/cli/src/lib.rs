@@ -20,6 +20,7 @@
 
 mod args;
 mod commands;
+mod serve;
 pub mod trace;
 
 pub use args::{ArgError, Parsed};

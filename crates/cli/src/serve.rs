@@ -1,0 +1,180 @@
+//! The `serve` and `client` commands: the allocation-as-a-service front
+//! end and its scriptable session driver.
+//!
+//! `serve` binds a TCP/JSONL listener, owns the admission engine and
+//! runs until its `--accept` budget drains (or forever without one).
+//! `client` connects, replays a script of `ClientMessage` JSON lines in
+//! lockstep — each request waits for its correlated response — and
+//! records every received line verbatim as the session transcript.
+//! Under `serve --logical-clock-us`, those transcripts are
+//! byte-reproducible across runs, thread counts and telemetry builds.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use cloudalloc_epoch::RepairPolicy;
+use cloudalloc_protocol::{decode_line, encode_line, ClientMessage, ServerMessage};
+use cloudalloc_server::{
+    serve, Clock, Engine, EngineConfig, LogicalClock, ServeOptions, WallClock,
+};
+
+use crate::args::{ArgError, Parsed};
+use crate::commands::{
+    load_fault_plan, load_system, solver_config, telemetry_begin, telemetry_finish, CliError,
+};
+
+pub(crate) fn cmd_serve(parsed: &Parsed) -> Result<String, CliError> {
+    let system = load_system(parsed)?;
+    let plan = load_fault_plan(parsed, &system)?;
+    let telemetry_path = telemetry_begin(parsed)?;
+
+    let config = EngineConfig {
+        solver: solver_config(parsed)?,
+        repair: RepairPolicy {
+            degradation_threshold: parsed.num("--degradation-threshold", 0.5f64)?,
+            max_resolve_retries: parsed.num("--retries", 2usize)?,
+        },
+        slo_us: parsed.num("--slo-ms", 50u64)?.saturating_mul(1000),
+        epoch_every: parsed.num("--epoch-every", 16u64)?,
+        seed: parsed.num("--seed", 0u64)?,
+    };
+    let mut engine = Engine::new(system, config);
+    if let Some(plan) = plan {
+        engine.set_fault_plan(plan);
+    }
+
+    // The clock seam: pin time for reproducible transcripts.
+    let clock: Box<dyn Clock> = match parsed.get("--logical-clock-us") {
+        Some(_) => Box::new(LogicalClock::new(parsed.num("--logical-clock-us", 1u64)?)),
+        None => Box::new(WallClock::new()),
+    };
+    let accept = match parsed.get("--accept") {
+        None => None,
+        Some(_) => Some(parsed.num("--accept", 0usize)?),
+    };
+
+    let listener = TcpListener::bind(parsed.get("--addr").unwrap_or("127.0.0.1:0"))?;
+    let local = listener.local_addr()?;
+    // Scripted harnesses bind port 0 and discover the address here.
+    if let Some(path) = parsed.get("--addr-file") {
+        fs::write(path, local.to_string())?;
+    }
+    eprintln!("cloudalloc serve: listening on {local}");
+
+    let (summary, engine) = serve(listener, engine, clock, ServeOptions { accept })?;
+    let stats = summary.stats;
+    let mut out = format!(
+        "served {} connections, {} requests: {} admitted, {} rejected, {} departed, \
+         {} renegotiated, {} shed\n\
+         epochs folded: {} | final population: {} clients, profit {:.4}\n\
+         slo: {} misses (slo {} us, max latency {} us)\n",
+        summary.connections,
+        stats.requests,
+        stats.admitted,
+        stats.rejected,
+        stats.departed,
+        stats.renegotiated,
+        stats.shed,
+        summary.epoch,
+        summary.admitted,
+        summary.profit,
+        stats.slo_misses,
+        engine.config_slo_us(),
+        stats.max_latency_us,
+    );
+    telemetry_finish(telemetry_path, &mut out);
+    Ok(out)
+}
+
+pub(crate) fn cmd_client(parsed: &Parsed) -> Result<String, CliError> {
+    let addr = resolve_addr(parsed)?;
+    let script = fs::read_to_string(parsed.require("--script")?)?;
+
+    let writer = TcpStream::connect(addr.as_str())?;
+    writer.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    let mut writer = writer;
+    let mut transcript = String::new();
+
+    // The server speaks first.
+    read_message(&mut reader, &mut transcript)?;
+
+    for (lineno, raw) in script.lines().enumerate() {
+        let raw = raw.trim();
+        if raw.is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        let msg: ClientMessage =
+            decode_line(raw).map_err(|e| ArgError(format!("script line {}: {e}", lineno + 1)))?;
+        let mut line = encode_line(&msg);
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
+
+        // Lockstep: wait for the correlated response, recording any
+        // server-initiated lines (op-log deltas) that arrive first.
+        let req = msg.req();
+        loop {
+            let received = read_message(&mut reader, &mut transcript)?;
+            if received.req() == Some(req) {
+                break;
+            }
+        }
+        if matches!(msg, ClientMessage::Bye { .. }) {
+            break;
+        }
+    }
+
+    let mut out = format!("session transcript: {} lines\n", transcript.lines().count());
+    if let Some(path) = parsed.get("--out") {
+        fs::write(path, &transcript)?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&transcript);
+    }
+    Ok(out)
+}
+
+/// Reads one server line, records it verbatim in the transcript, and
+/// returns the decoded message.
+fn read_message(
+    reader: &mut BufReader<TcpStream>,
+    transcript: &mut String,
+) -> Result<ServerMessage, CliError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-session",
+        )
+        .into());
+    }
+    let msg = decode_line::<ServerMessage>(&line)
+        .map_err(|e| ArgError(format!("unreadable server line: {e}")))?;
+    if !line.ends_with('\n') {
+        line.push('\n');
+    }
+    transcript.push_str(&line);
+    Ok(msg)
+}
+
+fn resolve_addr(parsed: &Parsed) -> Result<String, CliError> {
+    if let Some(addr) = parsed.get("--addr") {
+        return Ok(addr.to_string());
+    }
+    if let Some(path) = parsed.get("--addr-file") {
+        // The server writes the file right after binding; poll briefly.
+        for _ in 0..200 {
+            if let Ok(contents) = fs::read_to_string(path) {
+                let addr = contents.trim();
+                if !addr.is_empty() {
+                    return Ok(addr.to_string());
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        return Err(ArgError(format!("timed out waiting for server address in {path}")).into());
+    }
+    Err(ArgError("client needs --addr or --addr-file".into()).into())
+}

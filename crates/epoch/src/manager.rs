@@ -130,23 +130,6 @@ pub struct EpochManager<P> {
     down: Vec<bool>,
 }
 
-/// Rebuilds an allocation's derived aggregates against a re-parameterized
-/// system (placements and assignments carry over verbatim; per-server
-/// work totals depend on the rates and must be recomputed).
-fn rebuild(system: &CloudSystem, alloc: &Allocation) -> Allocation {
-    let mut fresh = Allocation::new(system);
-    for i in 0..system.num_clients() {
-        let client = ClientId(i);
-        if let Some(cluster) = alloc.cluster_of(client) {
-            fresh.assign_cluster(client, cluster);
-            for &(server, placement) in alloc.placements(client) {
-                fresh.place(system, client, server, placement);
-            }
-        }
-    }
-    fresh
-}
-
 impl<P: RatePredictor> EpochManager<P> {
     /// Creates a manager and computes the epoch-0 allocation from the
     /// predictor's initial rates.
@@ -247,7 +230,7 @@ impl<P: RatePredictor> EpochManager<P> {
             self.base.with_predicted_rates(&self.predicted).with_failed_servers(&failed);
         let predicted_profit = evaluate(&predicted_system, &self.allocation).profit;
         let actual_system = self.base.with_predicted_rates(&spiked).with_failed_servers(&failed);
-        let realized_alloc = rebuild(&actual_system, &self.allocation);
+        let realized_alloc = self.allocation.replayed_onto(&actual_system);
         let actual_report = evaluate(&actual_system, &realized_alloc);
         let unstable_clients = actual_report
             .clients
@@ -303,7 +286,7 @@ impl<P: RatePredictor> EpochManager<P> {
             telemetry::counter!("epoch.warm_starts").incr();
             let _span = telemetry::span!("epoch.warm_start");
             let ctx = SolverCtx::new(&next_system, &self.config.solver);
-            let mut warm = rebuild(&next_system, &self.allocation);
+            let mut warm = self.allocation.replayed_onto(&next_system);
             improve(&ctx, &mut warm, self.seed);
             self.allocation = warm;
         }
@@ -349,7 +332,7 @@ impl<P: RatePredictor> EpochManager<P> {
         let masked = pre_fault.with_failed_servers(failed);
 
         // Doing nothing: the stale allocation scored on the failed system.
-        let stale = rebuild(&masked, &self.allocation);
+        let stale = self.allocation.replayed_onto(&masked);
         let stale_profit = evaluate(&masked, &stale).profit;
 
         // Naive baseline: drop every client that touches a dead server.

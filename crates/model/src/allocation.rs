@@ -161,6 +161,33 @@ impl Allocation {
         this
     }
 
+    /// Rebuilds this allocation's derived aggregates against a
+    /// re-parameterized `system`: cluster assignments and placements carry
+    /// over verbatim while per-server work totals (which depend on the
+    /// clients' predicted rates) are recomputed from scratch. This is how
+    /// an allocation survives a rate change, a fault mask, or any other
+    /// [`CloudSystem`] re-parameterization that keeps entity ids stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a carried placement references a client or server that
+    /// `system` does not contain.
+    pub fn replayed_onto(&self, system: &CloudSystem) -> Allocation {
+        let mut fresh = Allocation::new(system);
+        // `system` may hold *more* clients than this allocation (a grown
+        // population); the extras start unassigned.
+        for i in 0..self.cluster_of.len().min(system.num_clients()) {
+            let client = ClientId(i);
+            if let Some(cluster) = self.cluster_of(client) {
+                fresh.assign_cluster(client, cluster);
+                for &(server, placement) in self.placements(client) {
+                    fresh.place(system, client, server, placement);
+                }
+            }
+        }
+        fresh
+    }
+
     /// (Re)builds the per-cluster slack index from `system`. Needed only
     /// for allocations that did not come out of [`Allocation::new`] (e.g.
     /// deserialized ones, where serde leaves the index empty and slack

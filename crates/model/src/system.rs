@@ -487,6 +487,24 @@ impl CloudSystem {
         next
     }
 
+    /// A copy of the system with the client population *replaced* — the
+    /// admission server's population seam. The hardware catalog, cluster
+    /// topology and background load carry over verbatim while the set of
+    /// clients under contract changes between requests; each client is
+    /// re-admitted through [`CloudSystem::try_add_client`], so id-equals-
+    /// position and utility-class references are re-checked and any
+    /// mismatch surfaces as a typed error instead of a panic.
+    pub fn try_with_clients(&self, clients: Vec<Client>) -> Result<CloudSystem, ModelError> {
+        let mut next = self.clone();
+        next.clients.clear();
+        next.clients.reserve_exact(clients.len());
+        for client in clients {
+            client.validate()?;
+            next.try_add_client(client)?;
+        }
+        Ok(next)
+    }
+
     /// A copy of the system where each listed server is *dead*: its class
     /// is swapped for a zero-cost twin with vanishing processing and
     /// communication capacity, and its background load saturates both

@@ -1,0 +1,454 @@
+//! Wire protocol for the allocation-as-a-service front end.
+//!
+//! The transport is JSONL: one serde-encoded message per `\n`-terminated
+//! line, in both directions. Clients speak [`ClientMessage`], the server
+//! answers with [`ServerMessage`], and subscribed clients additionally
+//! receive the server's op log — a totally ordered stream of [`ModelOp`]
+//! deltas, each tagged with its [`LogPosition`] — so a mirror can fold
+//! the ops and reconstruct the admitted population without polling.
+//!
+//! Design rules, in decreasing order of importance:
+//!
+//! 1. **Decoding never panics.** Malformed, truncated, or unknown input
+//!    yields a typed [`WireError`]; the connection survives.
+//! 2. **Forward compatibility.** Unknown *fields* in a known message are
+//!    ignored (the serde shim reads declared fields by name and skips the
+//!    rest), so an older peer tolerates a newer one's additions. Unknown
+//!    *variants* are a hard [`WireError`] — a message the peer cannot
+//!    represent must not be silently dropped.
+//! 3. **Determinism.** Encoding is canonical: the same message value
+//!    always produces the same bytes, so scripted-session transcripts can
+//!    be compared byte-for-byte across runs and thread counts.
+//!
+//! Every request carries a client-chosen `req` correlation id, echoed in
+//! the matching response; op-log [`ServerMessage::Delta`] records carry no
+//! `req` because they are server-initiated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use cloudalloc_model::{ClientId, ClusterId, ServerId};
+use serde::{Deserialize, Serialize};
+
+/// Protocol revision carried in [`ServerMessage::Welcome`]; bump on any
+/// change that is not a pure field addition.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Position of an op in the server's totally ordered op log. The first
+/// op ever emitted has position 0; a subscriber that has folded position
+/// `p` has seen `p + 1` ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LogPosition(pub u64);
+
+/// One client's placement on one server, as carried on the wire
+/// (mirrors `cloudalloc_model::Placement` plus the server it lands on).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WirePlacement {
+    /// Server the slice lives on.
+    pub server: ServerId,
+    /// Fraction of the client's traffic dispatched to this server.
+    pub alpha: f64,
+    /// Processing share held on the server.
+    pub phi_p: f64,
+    /// Communication share held on the server.
+    pub phi_c: f64,
+}
+
+/// What a client may ask of the server. All ids are *universe* ids: the
+/// dense client ids of the scenario file the server was started with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientMessage {
+    /// Ask to admit `client` into the served population. Answered with
+    /// [`ServerMessage::Admitted`] or [`ServerMessage::Rejected`].
+    Admit {
+        /// Correlation id echoed in the response.
+        req: u64,
+        /// Universe id of the client asking for service.
+        client: ClientId,
+    },
+    /// Withdraw `client` from the served population.
+    Depart {
+        /// Correlation id echoed in the response.
+        req: u64,
+        /// Universe id of the departing client.
+        client: ClientId,
+    },
+    /// Propose a new contract for an admitted client. The server re-places
+    /// the client under the new rates and accepts only if the new contract
+    /// is profitable; on rejection the old contract stays in force.
+    Renegotiate {
+        /// Correlation id echoed in the response.
+        req: u64,
+        /// Universe id of the renegotiating client.
+        client: ClientId,
+        /// Proposed agreed (contract) arrival rate `λ̃`, `> 0`.
+        rate_agreed: f64,
+        /// Proposed predicted arrival rate `λ`, `> 0`.
+        rate_predicted: f64,
+    },
+    /// Ask for a state snapshot ([`ServerMessage::State`]).
+    Query {
+        /// Correlation id echoed in the response.
+        req: u64,
+    },
+    /// Start streaming op-log deltas to this connection.
+    Subscribe {
+        /// Correlation id echoed in the response.
+        req: u64,
+    },
+    /// Force an epoch fold now (re-optimize + shed sweep). Primarily a
+    /// test/ops seam; production folds fire on the `--epoch-every` cadence.
+    Tick {
+        /// Correlation id echoed in the response.
+        req: u64,
+    },
+    /// Close the session; the server answers [`ServerMessage::Bye`] and
+    /// drops the connection.
+    Bye {
+        /// Correlation id echoed in the response.
+        req: u64,
+    },
+}
+
+impl ClientMessage {
+    /// The request's correlation id.
+    pub fn req(&self) -> u64 {
+        match *self {
+            ClientMessage::Admit { req, .. }
+            | ClientMessage::Depart { req, .. }
+            | ClientMessage::Renegotiate { req, .. }
+            | ClientMessage::Query { req }
+            | ClientMessage::Subscribe { req }
+            | ClientMessage::Tick { req }
+            | ClientMessage::Bye { req } => req,
+        }
+    }
+}
+
+/// Why an admit/depart/renegotiate request was declined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The client id is outside the server's universe.
+    UnknownClient,
+    /// Admit for a client that is already served.
+    AlreadyAdmitted,
+    /// Depart/renegotiate for a client that is not currently served.
+    NotAdmitted,
+    /// Serving (or re-serving) the client at the offered contract would
+    /// not increase profit.
+    Unprofitable,
+    /// A proposed rate was not positive and finite.
+    InvalidRates,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectReason::UnknownClient => "unknown client",
+            RejectReason::AlreadyAdmitted => "already admitted",
+            RejectReason::NotAdmitted => "not admitted",
+            RejectReason::Unprofitable => "unprofitable",
+            RejectReason::InvalidRates => "invalid rates",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of the server's op log: the delta stream a subscriber folds
+/// to mirror the served population. Ops reference universe client ids and
+/// global server ids, so they stay meaningful across membership churn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelOp {
+    /// `client` entered the served population with these placements.
+    Admitted {
+        /// Universe id of the admitted client.
+        client: ClientId,
+        /// Cluster the client was assigned to.
+        cluster: ClusterId,
+        /// The committed placements.
+        placements: Vec<WirePlacement>,
+    },
+    /// `client` left the served population voluntarily.
+    Departed {
+        /// Universe id of the departed client.
+        client: ClientId,
+    },
+    /// The server shed `client` (repair/fold found it unprofitable or
+    /// unplaceable); it is no longer served and must re-admit to return.
+    Shed {
+        /// Universe id of the shed client.
+        client: ClientId,
+    },
+    /// An admitted client's contract changed.
+    Renegotiated {
+        /// Universe id of the renegotiating client.
+        client: ClientId,
+        /// New agreed (contract) arrival rate.
+        rate_agreed: f64,
+        /// New predicted arrival rate.
+        rate_predicted: f64,
+    },
+    /// An admitted client's placements moved (epoch fold or repair).
+    Placements {
+        /// Universe id of the re-placed client.
+        client: ClientId,
+        /// Cluster the client is now assigned to.
+        cluster: ClusterId,
+        /// The new placements.
+        placements: Vec<WirePlacement>,
+    },
+    /// A server failed; stale placements on it earn nothing until repair.
+    ServerDown {
+        /// Global id of the failed server.
+        server: ServerId,
+    },
+    /// A failed server recovered.
+    ServerUp {
+        /// Global id of the recovered server.
+        server: ServerId,
+    },
+    /// An epoch fold completed; `profit` is the canonical batch-scored
+    /// profit of the served population after the fold.
+    Epoch {
+        /// Index of the completed epoch.
+        epoch: u64,
+        /// Profit after the fold.
+        profit: f64,
+    },
+}
+
+/// What the server says. Responses echo the request's `req`; the op-log
+/// [`ServerMessage::Delta`] stream is server-initiated and carries a
+/// [`LogPosition`] instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerMessage {
+    /// First message on every connection.
+    Welcome {
+        /// [`PROTOCOL_VERSION`] of the server.
+        protocol: u32,
+        /// Number of clients in the server's universe (admissible ids are
+        /// `0..clients`).
+        clients: u64,
+        /// Number of servers in the fleet.
+        servers: u64,
+        /// Current epoch index.
+        epoch: u64,
+    },
+    /// Admit accepted; the client is now served.
+    Admitted {
+        /// Correlation id of the request.
+        req: u64,
+        /// Universe id of the admitted client.
+        client: ClientId,
+        /// Cluster the client was assigned to.
+        cluster: ClusterId,
+        /// Canonical profit of the served population after the admit.
+        profit: f64,
+        /// Profit change produced by the admit.
+        profit_delta: f64,
+        /// Decision latency in microseconds (see the clock seam).
+        latency_us: u64,
+        /// Whether the decision met the configured latency SLO.
+        slo_ok: bool,
+    },
+    /// Admit/depart/renegotiate declined; state is unchanged.
+    Rejected {
+        /// Correlation id of the request.
+        req: u64,
+        /// Universe id of the client the request named.
+        client: ClientId,
+        /// Why the request was declined.
+        reason: RejectReason,
+        /// Decision latency in microseconds.
+        latency_us: u64,
+        /// Whether the decision met the configured latency SLO.
+        slo_ok: bool,
+    },
+    /// Depart accepted; the client is no longer served.
+    Departed {
+        /// Correlation id of the request.
+        req: u64,
+        /// Universe id of the departed client.
+        client: ClientId,
+        /// Canonical profit after the departure.
+        profit: f64,
+        /// Decision latency in microseconds.
+        latency_us: u64,
+        /// Whether the decision met the configured latency SLO.
+        slo_ok: bool,
+    },
+    /// Renegotiation accepted; the new contract is in force.
+    Renegotiated {
+        /// Correlation id of the request.
+        req: u64,
+        /// Universe id of the renegotiating client.
+        client: ClientId,
+        /// Canonical profit under the new contract.
+        profit: f64,
+        /// Profit change produced by the renegotiation.
+        profit_delta: f64,
+        /// Decision latency in microseconds.
+        latency_us: u64,
+        /// Whether the decision met the configured latency SLO.
+        slo_ok: bool,
+    },
+    /// State snapshot answering [`ClientMessage::Query`].
+    State {
+        /// Correlation id of the request.
+        req: u64,
+        /// Current epoch index.
+        epoch: u64,
+        /// Number of currently served clients.
+        admitted: u64,
+        /// Canonical batch-scored profit of the served population.
+        profit: f64,
+        /// Next op-log position (ops emitted so far).
+        log: LogPosition,
+    },
+    /// Subscription confirmed; deltas start at `log`.
+    Subscribed {
+        /// Correlation id of the request.
+        req: u64,
+        /// Next op-log position this connection will receive.
+        log: LogPosition,
+    },
+    /// Epoch fold completed on request.
+    Ticked {
+        /// Correlation id of the request.
+        req: u64,
+        /// Epoch index after the fold.
+        epoch: u64,
+        /// Canonical profit after the fold.
+        profit: f64,
+        /// Clients shed by the fold.
+        shed: u64,
+        /// Fold latency in microseconds.
+        latency_us: u64,
+        /// Whether the fold met the configured latency SLO.
+        slo_ok: bool,
+    },
+    /// One op-log entry, streamed to subscribed connections.
+    Delta {
+        /// Position of `op` in the server's op log.
+        log: LogPosition,
+        /// The op itself.
+        op: ModelOp,
+    },
+    /// The request could not be understood (parse failure, or a request
+    /// field outside its domain). `req` is 0 when the line did not parse
+    /// far enough to recover a correlation id.
+    Error {
+        /// Correlation id of the offending request, or 0.
+        req: u64,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Session close acknowledgment.
+    Bye {
+        /// Correlation id of the request.
+        req: u64,
+    },
+}
+
+impl ServerMessage {
+    /// The correlation id this message answers, if it answers one.
+    pub fn req(&self) -> Option<u64> {
+        match *self {
+            ServerMessage::Admitted { req, .. }
+            | ServerMessage::Rejected { req, .. }
+            | ServerMessage::Departed { req, .. }
+            | ServerMessage::Renegotiated { req, .. }
+            | ServerMessage::State { req, .. }
+            | ServerMessage::Subscribed { req, .. }
+            | ServerMessage::Ticked { req, .. }
+            | ServerMessage::Error { req, .. }
+            | ServerMessage::Bye { req } => Some(req),
+            ServerMessage::Welcome { .. } | ServerMessage::Delta { .. } => None,
+        }
+    }
+}
+
+/// Why a received line could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The line was empty (or whitespace only).
+    Empty,
+    /// The line was not valid JSON, or valid JSON that does not match the
+    /// expected message shape (unknown variant, wrong field type, ...).
+    Malformed {
+        /// The decoder's description of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Empty => f.write_str("empty line"),
+            WireError::Malformed { detail } => write!(f, "malformed line: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes one message as its canonical single-line JSON form (no
+/// trailing newline — the transport appends exactly one `\n`).
+pub fn encode_line<T: Serialize>(msg: &T) -> String {
+    // The shim's encoder is infallible for the plain-data types this
+    // protocol is built from (non-finite floats encode as `null`).
+    serde_json::to_string(msg).expect("protocol messages always encode")
+}
+
+/// Decodes one received line (tolerating a trailing `\r`/`\n`) into a
+/// message, returning a typed error — never panicking — on anything
+/// malformed, truncated, or unrepresentable.
+pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, WireError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.trim().is_empty() {
+        return Err(WireError::Empty);
+    }
+    serde_json::from_str(line).map_err(|e| WireError::Malformed { detail: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_single_line_and_round_trips() {
+        let msg = ClientMessage::Renegotiate {
+            req: 7,
+            client: ClientId(3),
+            rate_agreed: 2.5,
+            rate_predicted: 2.25,
+        };
+        let line = encode_line(&msg);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_line::<ClientMessage>(&line).unwrap(), msg);
+    }
+
+    #[test]
+    fn req_accessors_cover_every_variant() {
+        assert_eq!(ClientMessage::Query { req: 9 }.req(), 9);
+        assert_eq!(ServerMessage::Bye { req: 4 }.req(), Some(4));
+        let delta = ServerMessage::Delta {
+            log: LogPosition(0),
+            op: ModelOp::Departed { client: ClientId(1) },
+        };
+        assert_eq!(delta.req(), None);
+    }
+
+    #[test]
+    fn unknown_variant_is_a_typed_error() {
+        let err = decode_line::<ClientMessage>(r#"{"Teleport":{"req":1}}"#).unwrap_err();
+        assert!(matches!(err, WireError::Malformed { .. }));
+    }
+
+    #[test]
+    fn empty_line_is_a_typed_error() {
+        assert_eq!(decode_line::<ClientMessage>("  \r\n").unwrap_err(), WireError::Empty);
+    }
+}

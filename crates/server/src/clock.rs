@@ -1,0 +1,83 @@
+//! The time seam: every latency the server measures (and therefore every
+//! latency byte that reaches a transcript) comes from a [`Clock`], so a
+//! test harness can pin time and make scripted sessions bit-reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone microsecond clock. The engine observes it a *fixed* number
+/// of times per request kind, so a deterministic implementation yields
+/// deterministic latencies.
+pub trait Clock: Send + Sync {
+    /// Microseconds since some fixed origin; must never decrease.
+    fn now_us(&self) -> u64;
+}
+
+/// Production clock: microseconds of real elapsed time since creation.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Starts the clock at zero.
+    pub fn new() -> Self {
+        Self { start: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+/// Deterministic clock: the n-th observation reads `n * step_us`. Two
+/// runs that observe the clock in the same order (which the engine's
+/// single-threaded request loop guarantees) see identical timestamps, so
+/// every derived latency — and every transcript byte — is reproducible.
+#[derive(Debug)]
+pub struct LogicalClock {
+    step_us: u64,
+    ticks: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A clock advancing `step_us` microseconds per observation.
+    pub fn new(step_us: u64) -> Self {
+        Self { step_us, ticks: AtomicU64::new(0) }
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now_us(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed).wrapping_mul(self.step_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_is_deterministic() {
+        let a = LogicalClock::new(3);
+        assert_eq!((a.now_us(), a.now_us(), a.now_us()), (0, 3, 6));
+        let b = LogicalClock::new(3);
+        assert_eq!((b.now_us(), b.now_us(), b.now_us()), (0, 3, 6));
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let t0 = c.now_us();
+        let t1 = c.now_us();
+        assert!(t1 >= t0);
+    }
+}

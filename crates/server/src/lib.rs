@@ -1,0 +1,27 @@
+//! Allocation-as-a-service: a long-running admission server over the
+//! solver stack.
+//!
+//! Three layers, separable for testing:
+//!
+//! - [`clock`]: the time seam. Latency accounting reads a [`Clock`];
+//!   production uses [`WallClock`], harnesses pin [`LogicalClock`].
+//! - [`engine`]: the single-threaded [`Engine`] state machine owning the
+//!   served population, answering admit/depart/renegotiate from the
+//!   incremental scorer, folding accepted ops into epochs and running
+//!   the repair → shed → escalate path under faults. Directly drivable
+//!   by tests — no sockets required.
+//! - [`net`]: the zero-dependency TCP/JSONL transport funneling all
+//!   connections into the engine through one totally ordered channel.
+//!
+//! The wire format lives in `cloudalloc-protocol`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod engine;
+pub mod net;
+
+pub use clock::{Clock, LogicalClock, WallClock};
+pub use engine::{Engine, EngineConfig, EngineStats, Outcome};
+pub use net::{serve, ServeOptions, ServeSummary};

@@ -14,6 +14,8 @@
 //! * [`metrics`] — statistics and figure/table rendering.
 //! * [`epoch`] — decision-epoch management: prediction, drift, warm starts.
 //! * [`multitier`] — multi-tier applications compiled onto the model.
+//! * [`protocol`] — TCP/JSONL wire messages + op-log delta stream.
+//! * [`server`] — live admission server over the incremental scorer.
 //! * [`telemetry`] — feature-gated spans, counters and JSONL event export.
 //!
 //! See the `examples/` directory for runnable entry points, starting with
@@ -28,7 +30,9 @@ pub use cloudalloc_epoch as epoch;
 pub use cloudalloc_metrics as metrics;
 pub use cloudalloc_model as model;
 pub use cloudalloc_multitier as multitier;
+pub use cloudalloc_protocol as protocol;
 pub use cloudalloc_queueing as queueing;
+pub use cloudalloc_server as server;
 pub use cloudalloc_simulator as simulator;
 pub use cloudalloc_telemetry as telemetry;
 pub use cloudalloc_workload as workload;
